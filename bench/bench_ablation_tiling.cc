@@ -1,0 +1,57 @@
+// Ablation — tile size (P6.1, §4.1): "We choose the tile size to fit in
+// the L1 cache." Sweeps the LCM tile size through the hierarchy (below
+// L1, at L1, at L2, beyond) and reports both end-to-end mining time and
+// simulated column-walk misses at each size.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fpm/algo/lcm/lcm_miner.h"
+#include "fpm/perf/report.h"
+#include "fpm/simcache/db_trace.h"
+
+int main() {
+  using namespace fpm;
+  bench::PrintHeader("bench_ablation_tiling",
+                     "ablation of §4.1 P6.1: tile size vs cache level");
+  const double scale = BenchScale();
+  const int repeats = BenchRepeats();
+  bench::BenchDataset ds1 = bench::MakeDs1(scale);
+
+  // End-to-end mining with swept tile sizes (entries of 4 bytes each).
+  ReportTable table({"tile entries", "tile bytes", "mine time", "speedup",
+                     "sim L2 miss (M1)", "note"});
+  LcmMiner baseline;  // untiled
+  const Measurement base =
+      MeasureMiner(baseline, ds1.db, ds1.min_support, repeats);
+
+  MemorySystem m1(MemorySystemConfig::PentiumD());
+  const auto untiled_sim = TraceColumnWalk(ds1.db, &m1);
+
+  table.AddRow({"untiled", "-", FormatSeconds(base.seconds), "1.00x",
+                FormatCount(untiled_sim.l2.misses), ""});
+  for (uint32_t entries : {512u, 2048u, 4096u, 65536u, 1u << 20}) {
+    LcmOptions o;
+    o.tiling = true;
+    o.tile_entries = entries;
+    LcmMiner miner(o);
+    const Measurement m = MeasureMiner(miner, ds1.db, ds1.min_support,
+                                       repeats);
+    const auto rows = ComputeSpeedups(base, {m});
+    const auto sim = TraceTiledColumnWalk(ds1.db, entries, &m1);
+    std::string note;
+    const uint32_t bytes = entries * 4;
+    if (bytes == 16 * 1024) note = "<- fits M1 L1 (16KB)";
+    if (bytes == 1024 * 1024 * 4) note = "<- exceeds M1 L2";
+    table.AddRow({FormatCount(entries), FormatCount(bytes),
+                  FormatSeconds(m.seconds), FormatSpeedup(rows[0].speedup),
+                  FormatCount(sim.l2.misses), note});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Claim under test (§4.1): L1-sized tiles minimize misses; very\n"
+      "small tiles add loop overhead, very large ones stop fitting and\n"
+      "lose the reuse. Wall-clock effects depend on the host cache (a\n"
+      "large L3 absorbs most of the simulated misses).\n");
+  return 0;
+}

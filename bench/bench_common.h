@@ -1,0 +1,111 @@
+// Shared infrastructure for the figure/table reproduction benches:
+// scaled construction of the paper's four datasets (Table 6) and the
+// platform banner every bench prints (our stand-in for Table 5).
+//
+// Scaling: FPM_BENCH_SCALE (default 0.1) multiplies transaction counts
+// and support thresholds together, preserving the relative support the
+// paper evaluates at; vocabulary sizes of the real-data stand-ins scale
+// alongside so density is preserved. Scale 1.0 reproduces the paper's
+// full dataset sizes.
+
+#ifndef FPM_BENCH_BENCH_COMMON_H_
+#define FPM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fpm/common/logging.h"
+#include "fpm/dataset/database.h"
+#include "fpm/dataset/quest_gen.h"
+#include "fpm/dataset/standin_gen.h"
+#include "fpm/perf/harness.h"
+#include "fpm/perf/platform_info.h"
+
+namespace fpm::bench {
+
+/// One evaluation dataset with its support threshold (Table 6 row).
+struct BenchDataset {
+  std::string name;        ///< "DS1".."DS4"
+  std::string description; ///< "T60I10D300K" / "WebDocs-like" / ...
+  Database db;
+  Support min_support;
+};
+
+inline uint32_t Scaled(double base, double scale, uint32_t floor_value) {
+  const double v = base * scale;
+  return v < floor_value ? floor_value : static_cast<uint32_t>(v);
+}
+
+/// DS1 = T60I10D300K, support 3000 (both scaled).
+inline BenchDataset MakeDs1(double scale) {
+  QuestParams p;
+  FPM_CHECK_OK(QuestParams::FromName("T60I10D300K").status());
+  p = QuestParams::FromName("T60I10D300K").value();
+  p.num_transactions = Scaled(p.num_transactions, scale, 1000);
+  p.seed = 20070801;
+  auto db = GenerateQuest(p);
+  FPM_CHECK_OK(db.status());
+  return {"DS1", p.Name(), std::move(db).value(), Scaled(3000, scale, 2)};
+}
+
+/// DS2 = T70I10D300K, support 3000 (both scaled).
+inline BenchDataset MakeDs2(double scale) {
+  QuestParams p = QuestParams::FromName("T70I10D300K").value();
+  p.num_transactions = Scaled(p.num_transactions, scale, 1000);
+  p.seed = 20070802;
+  auto db = GenerateQuest(p);
+  FPM_CHECK_OK(db.status());
+  return {"DS2", p.Name(), std::move(db).value(), Scaled(3000, scale, 2)};
+}
+
+/// DS3 = WebDocs stand-in, 500K transactions, support 50000 (scaled).
+inline BenchDataset MakeDs3(double scale) {
+  WebDocsLikeParams p;
+  p.num_transactions = Scaled(500000, scale, 1000);
+  p.vocabulary = Scaled(40000, scale, 2000);
+  p.topic_vocabulary = 600;
+  if (p.topic_vocabulary > p.vocabulary) p.topic_vocabulary = p.vocabulary;
+  auto db = GenerateWebDocsLike(p);
+  FPM_CHECK_OK(db.status());
+  return {"DS3", "WebDocs-like", std::move(db).value(),
+          Scaled(50000, scale, 2)};
+}
+
+/// DS4 = AP stand-in, 1.8M transactions, support 2000 (scaled).
+inline BenchDataset MakeDs4(double scale) {
+  ApLikeParams p;
+  p.num_transactions = Scaled(1800000, scale, 1000);
+  p.vocabulary = Scaled(120000, scale, 5000);
+  auto db = GenerateApLike(p);
+  FPM_CHECK_OK(db.status());
+  return {"DS4", "AP-like", std::move(db).value(), Scaled(2000, scale, 2)};
+}
+
+/// All four, in paper order.
+inline std::vector<BenchDataset> MakeAllDatasets(double scale) {
+  std::vector<BenchDataset> out;
+  out.push_back(MakeDs1(scale));
+  out.push_back(MakeDs2(scale));
+  out.push_back(MakeDs3(scale));
+  out.push_back(MakeDs4(scale));
+  return out;
+}
+
+/// Prints the bench banner: what is being reproduced and on what
+/// platform (Table 5 stand-in).
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("Scale: %.3g (FPM_BENCH_SCALE), repeats: %d "
+              "(FPM_BENCH_REPEATS)\n",
+              BenchScale(), BenchRepeats());
+  std::printf("----------------------------------------------------------\n");
+  std::printf("%s", PlatformInfo::Detect().ToString().c_str());
+  std::printf("==========================================================\n\n");
+}
+
+}  // namespace fpm::bench
+
+#endif  // FPM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,16 @@
+// Reproduces Figure 8(c,d): Eclat speedups from Lex (P1, which enables
+// 0-escaping) and SIMDization (P8), their combination, and the best
+// subset, on DS1-DS4.
+
+#include "fig8_runner.h"
+
+int main() {
+  using namespace fpm;
+  const std::vector<bench::Fig8Config> configs = {
+      {"Lex", PatternSet().With(Pattern::kLexicographicOrdering)},
+      {"SIMD", PatternSet().With(Pattern::kSimdization)},
+  };
+  return bench::RunFig8(Algorithm::kEclat, configs,
+                        "bench_fig8_eclat",
+                        "Figure 8(c,d) - speedup of Eclat on DS1-DS4");
+}

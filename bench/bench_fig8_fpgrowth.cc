@@ -1,0 +1,29 @@
+// Reproduces Figure 8(e,f): FP-Growth speedups from Lex (P1), Reorg
+// (P2 compact nodes + P3/P4 DFS re-layout), Pref (P5 jump pointers + P7
+// software prefetch), their combination, and the best subset, on
+// DS1-DS4.
+
+#include "fig8_runner.h"
+
+int main() {
+  using namespace fpm;
+  const std::vector<bench::Fig8Config> configs = {
+      {"Lex", PatternSet().With(Pattern::kLexicographicOrdering)},
+      {"Reorg", PatternSet()
+                    .With(Pattern::kDataStructureAdaptation)
+                    .With(Pattern::kAggregation)
+                    .With(Pattern::kCompaction)},
+      {"Pref", PatternSet()
+                   .With(Pattern::kPrefetchPointers)
+                   .With(Pattern::kSoftwarePrefetch)},
+      {"Reorg+Pref", PatternSet()
+                         .With(Pattern::kDataStructureAdaptation)
+                         .With(Pattern::kAggregation)
+                         .With(Pattern::kCompaction)
+                         .With(Pattern::kPrefetchPointers)
+                         .With(Pattern::kSoftwarePrefetch)},
+  };
+  return bench::RunFig8(Algorithm::kFpGrowth, configs,
+                        "bench_fig8_fpgrowth",
+                        "Figure 8(e,f) - speedup of FP-Growth on DS1-DS4");
+}

@@ -1,0 +1,29 @@
+// Reproduces Figure 8(a,b): LCM speedups from Lex (P1), Reorg (P3+P4),
+// Pref (P7.1), Tile (P6.1), their combination, and the best subset, on
+// DS1-DS4.
+
+#include "fig8_runner.h"
+
+int main() {
+  using namespace fpm;
+  const std::vector<bench::Fig8Config> configs = {
+      {"Lex", PatternSet().With(Pattern::kLexicographicOrdering)},
+      {"Reorg", PatternSet()
+                    .With(Pattern::kAggregation)
+                    .With(Pattern::kCompaction)},
+      {"Pref", PatternSet().With(Pattern::kSoftwarePrefetch)},
+      {"Tile", PatternSet().With(Pattern::kTiling)},
+      // Extra combinations searched for the `best` annotation (the paper
+      // found e.g. prefetch+data-structure best on DS4).
+      {"Reorg+Pref", PatternSet()
+                         .With(Pattern::kAggregation)
+                         .With(Pattern::kCompaction)
+                         .With(Pattern::kSoftwarePrefetch)},
+      {"Lex+Tile", PatternSet()
+                       .With(Pattern::kLexicographicOrdering)
+                       .With(Pattern::kTiling)},
+  };
+  return bench::RunFig8(Algorithm::kLcm, configs,
+                        "bench_fig8_lcm",
+                        "Figure 8(a,b) - speedup of LCM on DS1-DS4");
+}

@@ -1,0 +1,167 @@
+// Locality-mechanism reproduction on simulated hardware.
+//
+// The paper attributes P1/P6's wall-clock gains to reduced cache and TLB
+// misses, measured with PMCs on M1 (Pentium D) and M2 (Athlon 64 X2).
+// Hosts with huge last-level caches absorb these effects, so this bench
+// replays the miners' access patterns on simulated M1/M2 hierarchies
+// (DESIGN.md §5, substitution 3) and reports:
+//
+//   1. P1: per-item column-walk misses on the original vs
+//      lexicographically ordered database, on both machine models —
+//      also exposing the platform dependence of Figure 8(a) vs 8(b).
+//   2. P6.1: untiled vs tiled column walk.
+//   3. P2/P3: pointer-chasing a tree in insertion-order 40-byte nodes
+//      vs DFS-relaid compact 13-byte nodes (the "Reorg" mechanism).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "fpm/common/rng.h"
+#include "fpm/dataset/stats.h"
+#include "fpm/layout/lexicographic.h"
+#include "fpm/perf/report.h"
+#include "fpm/simcache/db_trace.h"
+
+namespace {
+
+using namespace fpm;
+
+std::string Pct(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", 100 * x);
+  return buf;
+}
+
+std::string Ratio(double a, double b) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", b == 0 ? 0.0 : a / b);
+  return buf;
+}
+
+// Tree-walk trace: `walks` upward walks of average `depth` nodes over a
+// node pool laid out either randomly (insertion order of a shuffled
+// corpus) or path-contiguously (DFS re-layout). Node size models the
+// two stores: 40B pointer nodes vs 13B diff-encoded SoA rows.
+MemorySystemStats TraceTreeWalk(MemorySystem* mem, uint64_t num_nodes,
+                                uint32_t node_bytes, uint64_t walks,
+                                uint32_t depth, bool path_contiguous) {
+  mem->Reset();
+  Rng rng(99);
+  for (uint64_t w = 0; w < walks; ++w) {
+    if (path_contiguous) {
+      // Ancestors of a DFS-relaid path sit at decreasing nearby indices.
+      uint64_t node = rng.NextBounded(num_nodes);
+      for (uint32_t d = 0; d < depth && node > 0; ++d) {
+        mem->Touch(node * node_bytes, node_bytes);
+        node -= 1 + rng.NextBounded(3);  // parents a few slots back
+        if (node > num_nodes) break;
+      }
+    } else {
+      // Insertion-order layout: each parent lives anywhere in the pool.
+      for (uint32_t d = 0; d < depth; ++d) {
+        const uint64_t node = rng.NextBounded(num_nodes);
+        mem->Touch(node * node_bytes, node_bytes);
+      }
+    }
+  }
+  return mem->stats();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "bench_simcache_locality",
+      "locality mechanism of P1/P2/P3/P6 on simulated M1/M2 (Table 5)");
+  const double scale = BenchScale();
+
+  const std::vector<MemorySystemConfig> machines = {
+      MemorySystemConfig::PentiumD(), MemorySystemConfig::Athlon64X2()};
+
+  // ---------------- P1: lexicographic ordering. ----------------------
+  {
+    ReportTable table({"Machine", "Dataset", "Layout", "L1 miss", "L2 miss",
+                       "TLB miss", "est. cycles vs base"});
+    for (auto& ds : {bench::MakeDs1(scale), bench::MakeDs4(scale)}) {
+      LexicographicResult lex = LexicographicOrder(ds.db);
+      for (const auto& mc : machines) {
+        MemorySystem mem(mc);
+        const auto base = TraceColumnWalk(ds.db, &mem);
+        const auto tuned = TraceColumnWalk(lex.database, &mem);
+        table.AddRow({mc.name, ds.name, "original", Pct(base.l1.miss_rate()),
+                      Pct(base.l2.miss_rate()), Pct(base.tlb.miss_rate()),
+                      "1.00x"});
+        table.AddRow({mc.name, ds.name, "lex (P1)",
+                      Pct(tuned.l1.miss_rate()), Pct(tuned.l2.miss_rate()),
+                      Pct(tuned.tlb.miss_rate()),
+                      Ratio(base.EstimatedCycles(),
+                            tuned.EstimatedCycles()) });
+      }
+    }
+    std::printf("P1 lexicographic ordering - column-walk misses\n%s\n",
+                table.ToString().c_str());
+  }
+
+  // ---------------- P6.1: sparse tiling. ------------------------------
+  {
+    ReportTable table({"Machine", "Dataset", "Walk", "L1 miss", "L2 miss",
+                       "est. cycles vs untiled"});
+    for (auto& ds : {bench::MakeDs1(scale), bench::MakeDs4(scale)}) {
+      for (const auto& mc : machines) {
+        MemorySystem mem(mc);
+        const auto base = TraceColumnWalk(ds.db, &mem);
+        // Tile sized to the machine's L1, as §4.1 prescribes.
+        const uint32_t tile_entries =
+            static_cast<uint32_t>(mc.l1.size_bytes / sizeof(Item) / 2);
+        const auto tiled = TraceTiledColumnWalk(ds.db, tile_entries, &mem);
+        table.AddRow({mc.name, ds.name, "untiled", Pct(base.l1.miss_rate()),
+                      Pct(base.l2.miss_rate()), "1.00x"});
+        table.AddRow({mc.name, ds.name, "tiled (P6.1)",
+                      Pct(tiled.l1.miss_rate()), Pct(tiled.l2.miss_rate()),
+                      Ratio(base.EstimatedCycles(),
+                            tiled.EstimatedCycles())});
+      }
+    }
+    std::printf("P6.1 tiling - column-walk misses (tile = L1/2)\n%s\n",
+                table.ToString().c_str());
+    std::printf(
+        "The simulator isolates the *reuse* side of tiling: misses drop\n"
+        "whenever a tile is revisited by many items. The paper's §4.4\n"
+        "caveat — that on the very sparse DS4 the added loop nesting can\n"
+        "cancel the gain — is a compute overhead, visible in the\n"
+        "wall-clock numbers of bench_fig8_lcm, not in miss counts.\n\n");
+  }
+
+  // ---------------- P2+P3: compact nodes + DFS re-layout. -------------
+  {
+    ReportTable table({"Machine", "Tree layout", "L1 miss", "L2 miss",
+                       "est. cycles vs baseline"});
+    const uint64_t nodes = static_cast<uint64_t>(2000000 * scale) + 10000;
+    const uint64_t walks = nodes / 4;
+    for (const auto& mc : machines) {
+      MemorySystem mem(mc);
+      const auto base =
+          TraceTreeWalk(&mem, nodes, 40, walks, 12, /*contiguous=*/false);
+      const auto compact =
+          TraceTreeWalk(&mem, nodes, 13, walks, 12, /*contiguous=*/false);
+      const auto relaid =
+          TraceTreeWalk(&mem, nodes, 13, walks, 12, /*contiguous=*/true);
+      table.AddRow({mc.name, "40B ptr nodes, insertion order",
+                    Pct(base.l1.miss_rate()), Pct(base.l2.miss_rate()),
+                    "1.00x"});
+      table.AddRow({mc.name, "13B compact nodes (P2)",
+                    Pct(compact.l1.miss_rate()), Pct(compact.l2.miss_rate()),
+                    Ratio(base.EstimatedCycles(),
+                          compact.EstimatedCycles())});
+      table.AddRow({mc.name, "13B compact + DFS re-layout (P2+P3)",
+                    Pct(relaid.l1.miss_rate()), Pct(relaid.l2.miss_rate()),
+                    Ratio(base.EstimatedCycles(),
+                          relaid.EstimatedCycles())});
+    }
+    std::printf("P2+P3 FP-tree node layout - upward-walk misses\n%s\n",
+                table.ToString().c_str());
+  }
+  return 0;
+}

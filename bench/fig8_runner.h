@@ -1,0 +1,31 @@
+// Shared driver for the Figure 8 reproductions: measures a kernel's
+// baseline and a list of pattern configurations on DS1–DS4, validates
+// that every configuration produces identical output, and prints the
+// per-dataset speedup table (the paper's bar clusters, as rows), with
+// `all` and `best` columns.
+
+#ifndef FPM_BENCH_FIG8_RUNNER_H_
+#define FPM_BENCH_FIG8_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "fpm/core/patterns.h"
+
+namespace fpm::bench {
+
+/// One bar of a Figure 8 cluster.
+struct Fig8Config {
+  std::string label;    ///< "Lex", "Reorg", "Pref", "Tile", "SIMD", ...
+  PatternSet patterns;
+};
+
+/// Runs the whole figure for one kernel: every dataset x every config
+/// (+ baseline + all-applicable), prints speedup tables, and returns 0
+/// on success (for main()).
+int RunFig8(Algorithm algorithm, const std::vector<Fig8Config>& configs,
+            const char* title, const char* paper_ref);
+
+}  // namespace fpm::bench
+
+#endif  // FPM_BENCH_FIG8_RUNNER_H_

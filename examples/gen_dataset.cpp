@@ -1,0 +1,131 @@
+// Synthetic dataset generator CLI — reproduces the role of the IBM
+// Quest generator in the paper's evaluation pipeline and adds the
+// real-data stand-ins, writing FIMI-format files mine_cli can consume.
+//
+//   ./gen_dataset quest T60I10D300K out.dat [--items=N] [--seed=S]
+//   ./gen_dataset webdocs out.dat [--docs=N] [--vocab=N] [--seed=S]
+//   ./gen_dataset ap out.dat [--docs=N] [--vocab=N] [--seed=S]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fpm/common/timer.h"
+#include "fpm/dataset/fimi_io.h"
+#include "fpm/dataset/quest_gen.h"
+#include "fpm/dataset/standin_gen.h"
+#include "fpm/dataset/stats.h"
+
+namespace {
+
+using namespace fpm;
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  %s quest <T..I..D..> <out.dat> [--items=N] [--patterns=N] "
+      "[--seed=S]\n"
+      "  %s webdocs <out.dat> [--docs=N] [--vocab=N] [--avglen=L] "
+      "[--seed=S]\n"
+      "  %s ap <out.dat> [--docs=N] [--vocab=N] [--avglen=L] [--seed=S]\n",
+      argv0, argv0, argv0);
+  return 2;
+}
+
+// Returns the numeric value of --key=value if `arg` matches, else -1.
+long MatchOption(const std::string& arg, const char* key) {
+  const std::string prefix = std::string("--") + key + "=";
+  if (arg.rfind(prefix, 0) != 0) return -1;
+  return std::atol(arg.c_str() + prefix.size());
+}
+
+int WriteAndReport(const Result<Database>& dbr, const std::string& path) {
+  if (!dbr.ok()) {
+    std::fprintf(stderr, "%s\n", dbr.status().ToString().c_str());
+    return 1;
+  }
+  WallTimer timer;
+  const Status status = WriteFimiFile(dbr.value(), path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s in %.3fs\n", path.c_str(), timer.ElapsedSeconds());
+  std::printf("%s", ComputeStats(dbr.value()).ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage(argv[0]);
+  const std::string mode = argv[1];
+
+  if (mode == "quest") {
+    if (argc < 4) return Usage(argv[0]);
+    auto params = QuestParams::FromName(argv[2]);
+    if (!params.ok()) {
+      std::fprintf(stderr, "%s\n", params.status().ToString().c_str());
+      return 2;
+    }
+    const std::string out = argv[3];
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      long v;
+      if ((v = MatchOption(arg, "items")) >= 0) {
+        params->num_items = static_cast<uint32_t>(v);
+      } else if ((v = MatchOption(arg, "patterns")) >= 0) {
+        params->num_patterns = static_cast<uint32_t>(v);
+      } else if ((v = MatchOption(arg, "seed")) >= 0) {
+        params->seed = static_cast<uint64_t>(v);
+      } else {
+        return Usage(argv[0]);
+      }
+    }
+    std::printf("generating %s (items=%u, patterns=%u, seed=%llu)\n",
+                params->Name().c_str(), params->num_items,
+                params->num_patterns,
+                static_cast<unsigned long long>(params->seed));
+    return WriteAndReport(GenerateQuest(params.value()), out);
+  }
+
+  if (mode == "webdocs" || mode == "ap") {
+    const std::string out = argv[2];
+    long docs = -1, vocab = -1, avglen = -1, seed = -1;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      long v;
+      if ((v = MatchOption(arg, "docs")) >= 0) {
+        docs = v;
+      } else if ((v = MatchOption(arg, "vocab")) >= 0) {
+        vocab = v;
+      } else if ((v = MatchOption(arg, "avglen")) >= 0) {
+        avglen = v;
+      } else if ((v = MatchOption(arg, "seed")) >= 0) {
+        seed = v;
+      } else {
+        return Usage(argv[0]);
+      }
+    }
+    if (mode == "webdocs") {
+      WebDocsLikeParams p;
+      if (docs >= 0) p.num_transactions = static_cast<uint32_t>(docs);
+      if (vocab >= 0) p.vocabulary = static_cast<uint32_t>(vocab);
+      if (avglen >= 0) p.avg_length = static_cast<double>(avglen);
+      if (seed >= 0) p.seed = static_cast<uint64_t>(seed);
+      if (p.topic_vocabulary > p.vocabulary) {
+        p.topic_vocabulary = p.vocabulary;
+      }
+      return WriteAndReport(GenerateWebDocsLike(p), out);
+    }
+    ApLikeParams p;
+    if (docs >= 0) p.num_transactions = static_cast<uint32_t>(docs);
+    if (vocab >= 0) p.vocabulary = static_cast<uint32_t>(vocab);
+    if (avglen >= 0) p.avg_length = static_cast<double>(avglen);
+    if (seed >= 0) p.seed = static_cast<uint64_t>(seed);
+    return WriteAndReport(GenerateApLike(p), out);
+  }
+  return Usage(argv[0]);
+}

@@ -1,0 +1,66 @@
+// Text-corpus mining — the paper's large-real-dataset scenario (DS3/DS4).
+// Generates a web-document-like corpus, mines frequently co-occurring
+// term sets with all three kernels (baseline and fully tuned), and shows
+// that the best algorithm is input dependent — the paper's "no single
+// best algorithm" observation — while tuned variants always match the
+// baseline output.
+//
+//   ./webdocs_like [num_docs] [support]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fpm/core/mine.h"
+#include "fpm/dataset/standin_gen.h"
+#include "fpm/dataset/stats.h"
+#include "fpm/perf/harness.h"
+#include "fpm/perf/report.h"
+
+int main(int argc, char** argv) {
+  using namespace fpm;
+  const uint32_t num_docs =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 20000;
+  const Support support =
+      argc > 2 ? static_cast<Support>(std::atoi(argv[2])) : num_docs / 10;
+
+  WebDocsLikeParams params;
+  params.num_transactions = num_docs;
+  params.vocabulary = 8000;
+  params.avg_length = 60;
+  auto dbr = GenerateWebDocsLike(params);
+  if (!dbr.ok()) {
+    std::fprintf(stderr, "%s\n", dbr.status().ToString().c_str());
+    return 1;
+  }
+  const Database& db = dbr.value();
+  std::printf("== Corpus ==\n%s\n", ComputeStats(db).ToString().c_str());
+  std::printf("Mining term sets appearing in >= %u documents.\n\n", support);
+
+  ReportTable table({"Algorithm", "Patterns", "Time", "#frequent sets",
+                     "peak structure"});
+  uint64_t reference_checksum = 0;
+  for (Algorithm algo :
+       {Algorithm::kLcm, Algorithm::kEclat, Algorithm::kFpGrowth}) {
+    for (const PatternSet& patterns :
+         {PatternSet::None(), PatternSet::ApplicableTo(algo)}) {
+      auto miner = CreateMiner(algo, patterns);
+      if (!miner.ok()) {
+        std::fprintf(stderr, "%s\n", miner.status().ToString().c_str());
+        return 1;
+      }
+      const Measurement m = MeasureMiner(**miner, db, support, 1);
+      if (reference_checksum == 0) reference_checksum = m.checksum;
+      if (m.checksum != reference_checksum) {
+        std::fprintf(stderr, "output mismatch from %s!\n", m.name.c_str());
+        return 1;
+      }
+      table.AddRow({m.name, patterns.ToString(), FormatSeconds(m.seconds),
+                    FormatCount(m.num_frequent),
+                    FormatCount(m.stats.peak_structure_bytes) + " B"});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("All six runs produced identical term sets (checksum "
+              "verified).\n");
+  return 0;
+}

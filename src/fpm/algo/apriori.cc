@@ -1,0 +1,159 @@
+#include "fpm/algo/apriori.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "fpm/algo/candidate_trie.h"
+#include "fpm/common/timer.h"
+
+namespace fpm {
+namespace {
+
+// Candidate k-itemsets as a flat sorted matrix: candidates[i*k .. i*k+k)
+// holds the i-th candidate's items ascending; the candidate list itself
+// is lexicographically sorted (a by-product of the join).
+struct CandidateLevel {
+  size_t k = 0;
+  std::vector<Item> items;    // k items per candidate
+  std::vector<Support> counts;
+
+  size_t size() const { return k == 0 ? 0 : items.size() / k; }
+  std::span<const Item> candidate(size_t i) const {
+    return {items.data() + i * k, k};
+  }
+};
+
+// Binary search for `key` in the sorted candidate list of `level`.
+bool ContainsCandidate(const CandidateLevel& level,
+                       std::span<const Item> key) {
+  size_t lo = 0, hi = level.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    const auto cand = level.candidate(mid);
+    if (std::lexicographical_compare(cand.begin(), cand.end(), key.begin(),
+                                     key.end())) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo >= level.size()) return false;
+  const auto cand = level.candidate(lo);
+  return std::equal(cand.begin(), cand.end(), key.begin(), key.end());
+}
+
+// Join step: pairs of frequent (k-1)-itemsets sharing their first k-2
+// items produce a k-candidate; prune candidates with an infrequent
+// (k-1)-subset.
+CandidateLevel GenerateCandidates(const CandidateLevel& prev) {
+  CandidateLevel next;
+  next.k = prev.k + 1;
+  std::vector<Item> scratch(next.k);
+  std::vector<Item> subset(prev.k);
+  for (size_t i = 0; i < prev.size(); ++i) {
+    const auto a = prev.candidate(i);
+    for (size_t j = i + 1; j < prev.size(); ++j) {
+      const auto b = prev.candidate(j);
+      if (!std::equal(a.begin(), a.end() - 1, b.begin())) break;
+      // a and b share the k-2 prefix; a < b lexicographically.
+      std::copy(a.begin(), a.end(), scratch.begin());
+      scratch[next.k - 1] = b[prev.k - 1];
+      // Prune: every (k-1)-subset must be frequent. The two subsets that
+      // produced the join are frequent by construction; check the rest.
+      bool keep = true;
+      for (size_t drop = 0; drop + 2 < next.k && keep; ++drop) {
+        size_t out = 0;
+        for (size_t pos = 0; pos < next.k; ++pos) {
+          if (pos != drop) subset[out++] = scratch[pos];
+        }
+        keep = ContainsCandidate(prev, subset);
+      }
+      if (keep) {
+        next.items.insert(next.items.end(), scratch.begin(), scratch.end());
+      }
+    }
+  }
+  next.counts.assign(next.size(), 0);
+  return next;
+}
+
+}  // namespace
+
+Status AprioriMiner::Mine(const Database& db, Support min_support,
+                          ItemsetSink* sink) {
+  if (min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (sink == nullptr) return Status::InvalidArgument("sink is null");
+  stats_ = MineStats{};
+  WallTimer timer;
+
+  // L1: frequent items (raw ids; Apriori needs no re-ranking, but the
+  // candidate machinery needs sorted transactions of frequent items).
+  const auto& freq = db.item_frequencies();
+  CandidateLevel level;
+  level.k = 1;
+  for (Item i = 0; i < freq.size(); ++i) {
+    if (freq[i] >= min_support) {
+      level.items.push_back(i);
+      level.counts.push_back(freq[i]);
+    }
+  }
+
+  std::vector<std::vector<Item>> transactions;
+  transactions.reserve(db.num_transactions());
+  std::vector<Support> weights;
+  {
+    std::vector<bool> frequent(db.num_items(), false);
+    for (size_t i = 0; i < level.size(); ++i) {
+      frequent[level.candidate(i)[0]] = true;
+    }
+    std::vector<Item> scratch;
+    for (Tid t = 0; t < db.num_transactions(); ++t) {
+      scratch.clear();
+      for (Item it : db.transaction(t)) {
+        if (frequent[it]) scratch.push_back(it);
+      }
+      if (scratch.empty()) continue;
+      std::sort(scratch.begin(), scratch.end());
+      transactions.push_back(scratch);
+      weights.push_back(db.weight(t));
+    }
+  }
+
+  while (level.size() > 0) {
+    // Emit the level.
+    for (size_t i = 0; i < level.size(); ++i) {
+      sink->Emit(level.candidate(i), level.counts[i]);
+      ++stats_.num_frequent;
+    }
+    // Generate and count the next level.
+    CandidateLevel next = GenerateCandidates(level);
+    if (next.size() == 0) break;
+    CandidateTrie trie;
+    for (size_t i = 0; i < next.size(); ++i) {
+      trie.Insert(next.candidate(i), static_cast<uint32_t>(i));
+    }
+    for (size_t t = 0; t < transactions.size(); ++t) {
+      if (transactions[t].size() >= next.k) {
+        trie.CountTransaction(transactions[t], weights[t], &next.counts);
+      }
+    }
+    // Keep only frequent candidates.
+    CandidateLevel pruned;
+    pruned.k = next.k;
+    for (size_t i = 0; i < next.size(); ++i) {
+      if (next.counts[i] >= min_support) {
+        const auto cand = next.candidate(i);
+        pruned.items.insert(pruned.items.end(), cand.begin(), cand.end());
+        pruned.counts.push_back(next.counts[i]);
+      }
+    }
+    level = std::move(pruned);
+  }
+
+  stats_.mine_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+}  // namespace fpm

@@ -1,0 +1,31 @@
+// Apriori (Agrawal & Srikant, VLDB'94): the classical breadth-first
+// miner. The paper excludes it from its evaluation (depth-first miners
+// are generally faster, §4) but discusses it as the canonical
+// alternative; we include it for completeness, as a second reference
+// implementation for the property tests, and for the quickstart's
+// algorithm comparison.
+//
+// Implementation: level-wise candidate generation (join + subset prune)
+// with a candidate prefix-trie; support counting walks each transaction
+// against the trie.
+
+#ifndef FPM_ALGO_APRIORI_H_
+#define FPM_ALGO_APRIORI_H_
+
+#include "fpm/algo/miner.h"
+
+namespace fpm {
+
+/// Breadth-first miner. Exact but typically slower than the depth-first
+/// kernels; intended for small/medium inputs.
+class AprioriMiner : public Miner {
+ public:
+  Status Mine(const Database& db, Support min_support,
+              ItemsetSink* sink) override;
+
+  std::string name() const override { return "apriori"; }
+};
+
+}  // namespace fpm
+
+#endif  // FPM_ALGO_APRIORI_H_

@@ -1,0 +1,63 @@
+#include "fpm/algo/bruteforce.h"
+
+#include <vector>
+
+#include "fpm/common/timer.h"
+
+namespace fpm {
+namespace {
+
+// Weighted support of `candidate` (sorted ascending) by scanning every
+// transaction.
+Support CountSupport(const Database& db, const std::vector<Item>& candidate) {
+  Support support = 0;
+  std::vector<Item> sorted_tx;
+  for (Tid t = 0; t < db.num_transactions(); ++t) {
+    const auto tx = db.transaction(t);
+    if (tx.size() < candidate.size()) continue;
+    sorted_tx.assign(tx.begin(), tx.end());
+    std::sort(sorted_tx.begin(), sorted_tx.end());
+    if (std::includes(sorted_tx.begin(), sorted_tx.end(), candidate.begin(),
+                      candidate.end())) {
+      support += db.weight(t);
+    }
+  }
+  return support;
+}
+
+// Extends `prefix` (sorted) with items > prefix.back(), pruning by
+// anti-monotonicity.
+void Extend(const Database& db, Support min_support, ItemsetSink* sink,
+            std::vector<Item>* prefix, uint64_t* emitted) {
+  const Item start = prefix->empty() ? 0 : prefix->back() + 1;
+  for (Item i = start; i < db.num_items(); ++i) {
+    prefix->push_back(i);
+    const Support support = CountSupport(db, *prefix);
+    if (support >= min_support) {
+      sink->Emit(*prefix, support);
+      ++*emitted;
+      Extend(db, min_support, sink, prefix, emitted);
+    }
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+Status BruteForceMiner::Mine(const Database& db, Support min_support,
+                             ItemsetSink* sink) {
+  if (min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (sink == nullptr) return Status::InvalidArgument("sink is null");
+  stats_ = MineStats{};
+  WallTimer timer;
+  std::vector<Item> prefix;
+  uint64_t emitted = 0;
+  Extend(db, min_support, sink, &prefix, &emitted);
+  stats_.num_frequent = emitted;
+  stats_.mine_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+}  // namespace fpm

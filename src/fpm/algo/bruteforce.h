@@ -1,0 +1,24 @@
+// Reference miner: depth-first enumeration with naive per-candidate
+// support counting over the full database. Exponentially slower than the
+// real miners but obviously correct — the oracle every other miner is
+// property-tested against.
+
+#ifndef FPM_ALGO_BRUTEFORCE_H_
+#define FPM_ALGO_BRUTEFORCE_H_
+
+#include "fpm/algo/miner.h"
+
+namespace fpm {
+
+/// Oracle miner for tests. Only use on small databases.
+class BruteForceMiner : public Miner {
+ public:
+  Status Mine(const Database& db, Support min_support,
+              ItemsetSink* sink) override;
+
+  std::string name() const override { return "bruteforce"; }
+};
+
+}  // namespace fpm
+
+#endif  // FPM_ALGO_BRUTEFORCE_H_

@@ -1,0 +1,58 @@
+#include "fpm/algo/candidate_trie.h"
+
+#include <algorithm>
+
+#include "fpm/common/logging.h"
+
+namespace fpm {
+
+void CandidateTrie::Insert(std::span<const Item> candidate, uint32_t index) {
+  FPM_CHECK(!candidate.empty()) << "empty candidate";
+  uint32_t cur = 0;
+  for (Item it : candidate) {
+    Node& node = nodes_[cur];
+    auto pos = std::lower_bound(node.labels.begin(), node.labels.end(), it);
+    const size_t idx = static_cast<size_t>(pos - node.labels.begin());
+    if (pos == node.labels.end() || *pos != it) {
+      const uint32_t child = static_cast<uint32_t>(nodes_.size());
+      // Insert into the node's arrays before push_back may invalidate
+      // the `node` reference.
+      nodes_[cur].labels.insert(nodes_[cur].labels.begin() + idx, it);
+      nodes_[cur].children.insert(nodes_[cur].children.begin() + idx, child);
+      nodes_.push_back(Node{});
+      cur = child;
+    } else {
+      cur = node.children[idx];
+    }
+  }
+  FPM_CHECK(nodes_[cur].candidate == kNoCandidate)
+      << "duplicate candidate insertion";
+  nodes_[cur].candidate = index;
+}
+
+void CandidateTrie::CountTransaction(std::span<const Item> tx,
+                                     Support weight,
+                                     std::vector<Support>* counts) const {
+  Walk(0, tx, weight, counts);
+}
+
+void CandidateTrie::Walk(uint32_t node_id, std::span<const Item> tx,
+                         Support weight,
+                         std::vector<Support>* counts) const {
+  const Node& node = nodes_[node_id];
+  if (node.candidate != kNoCandidate) {
+    (*counts)[node.candidate] += weight;
+  }
+  if (node.labels.empty()) return;
+  // Advance through the transaction, descending on matching labels.
+  size_t li = 0;
+  for (size_t ti = 0; ti < tx.size() && li < node.labels.size(); ++ti) {
+    while (li < node.labels.size() && node.labels[li] < tx[ti]) ++li;
+    if (li < node.labels.size() && node.labels[li] == tx[ti]) {
+      Walk(node.children[li], tx.subspan(ti + 1), weight, counts);
+      ++li;
+    }
+  }
+}
+
+}  // namespace fpm

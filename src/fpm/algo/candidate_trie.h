@@ -1,0 +1,50 @@
+// Prefix trie over a fixed candidate set, for batch support counting:
+// CountTransaction adds a transaction's weight to every candidate that
+// is a subset of it. Used by the Apriori level loop and by the
+// partitioned miner's global counting phase.
+
+#ifndef FPM_ALGO_CANDIDATE_TRIE_H_
+#define FPM_ALGO_CANDIDATE_TRIE_H_
+
+#include <span>
+#include <vector>
+
+#include "fpm/dataset/types.h"
+
+namespace fpm {
+
+/// Immutable after construction; candidates may have mixed sizes.
+class CandidateTrie {
+ public:
+  CandidateTrie() = default;
+
+  /// Inserts a candidate (items sorted ascending, non-empty, no
+  /// duplicates within the set) under the given index. Indices must be
+  /// unique; counting accumulates into counts[index].
+  void Insert(std::span<const Item> candidate, uint32_t index);
+
+  /// Adds `weight` to counts[i] for every candidate i ⊆ tx.
+  /// `tx` must be sorted ascending without duplicates.
+  void CountTransaction(std::span<const Item> tx, Support weight,
+                        std::vector<Support>* counts) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Sorted parallel arrays of edge labels and child node ids.
+    std::vector<Item> labels;
+    std::vector<uint32_t> children;
+    uint32_t candidate = kNoCandidate;
+  };
+  static constexpr uint32_t kNoCandidate = ~0u;
+
+  void Walk(uint32_t node_id, std::span<const Item> tx, Support weight,
+            std::vector<Support>* counts) const;
+
+  std::vector<Node> nodes_{1};  // node 0 = root
+};
+
+}  // namespace fpm
+
+#endif  // FPM_ALGO_CANDIDATE_TRIE_H_

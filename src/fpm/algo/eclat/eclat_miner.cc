@@ -1,0 +1,354 @@
+#include "fpm/algo/eclat/eclat_miner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "fpm/bitvec/tidlist.h"
+#include "fpm/bitvec/vertical.h"
+#include "fpm/common/timer.h"
+#include "fpm/layout/lexicographic.h"
+#include "fpm/layout/item_order.h"
+
+namespace fpm {
+
+const char* EclatRepresentationName(EclatRepresentation r) {
+  switch (r) {
+    case EclatRepresentation::kBitVector:
+      return "bitvector";
+    case EclatRepresentation::kTidList:
+      return "tidlist";
+    case EclatRepresentation::kDiffset:
+      return "diffset";
+    case EclatRepresentation::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+std::string EclatOptions::Suffix() const {
+  std::string s;
+  if (lexicographic_order) s += "+lex";
+  if (zero_escape) s += "+esc";
+  if (popcount != PopcountStrategy::kLut16) {
+    s += "+simd:";
+    s += PopcountStrategyName(ResolvePopcountStrategy(popcount));
+  }
+  if (representation != EclatRepresentation::kBitVector) {
+    s += "+repr:";
+    s += EclatRepresentationName(representation);
+  }
+  return s;
+}
+
+namespace {
+
+// One itemset's occurrence vector during the DFS. Top-level columns
+// borrow the VerticalDatabase's storage; derived columns own a slice
+// covering only their 1-range window (`offset` = global word index of
+// data[0]), so 0-escaping also shrinks the working set.
+struct Column {
+  Item raw_item = 0;        // original item id of the extending item
+  Support support = 0;
+  WordRange range;          // global word coordinates
+  uint32_t offset = 0;      // global index of data[0]
+  const uint64_t* data = nullptr;
+  std::vector<uint64_t> owned;
+};
+
+class EclatRun {
+ public:
+  EclatRun(const EclatOptions& options, Support min_support,
+           ItemsetSink* sink, MineStats* stats)
+      : options_(options),
+        strategy_(ResolvePopcountStrategy(options.popcount)),
+        min_support_(min_support),
+        sink_(sink),
+        stats_(stats) {}
+
+  void Run(const Database& db) {
+    // Preparation: frequency ranking (intrinsic) + optional P1 sort.
+    WallTimer prep_timer;
+    Database ranked;
+    if (options_.lexicographic_order) {
+      LexicographicResult lex = LexicographicOrder(db);
+      ranked = std::move(lex.database);
+      item_map_ = lex.item_order.to_item();
+    } else {
+      ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
+      ranked = RemapItems(db, order);
+      item_map_ = order.to_item();
+    }
+    stats_->prepare_seconds = prep_timer.ElapsedSeconds();
+
+    // Frequency ranks are descending, so the frequent items form a
+    // prefix of the rank space; only those columns are materialized.
+    const auto& freq = ranked.item_frequencies();
+    size_t num_frequent = 0;
+    while (num_frequent < freq.size() &&
+           freq[num_frequent] >= min_support_) {
+      ++num_frequent;
+    }
+
+    // P2: resolve the vertical representation. The tid list wins when
+    // the frequent columns are sparse: 4 bytes per entry beats 1 bit per
+    // row below a fill of ~1/32.
+    EclatRepresentation repr = options_.representation;
+    if (repr == EclatRepresentation::kAuto) {
+      uint64_t entries = 0;
+      for (size_t i = 0; i < num_frequent; ++i) entries += freq[i];
+      const uint64_t cells =
+          static_cast<uint64_t>(num_frequent) * ranked.total_weight();
+      repr = (cells > 0 && entries * 32 < cells)
+                 ? EclatRepresentation::kTidList
+                 : EclatRepresentation::kBitVector;
+    }
+    if (repr == EclatRepresentation::kTidList ||
+        repr == EclatRepresentation::kDiffset) {
+      RunTidList(ranked, num_frequent,
+                 /*diffsets=*/repr == EclatRepresentation::kDiffset);
+      return;
+    }
+
+    // Build the vertical bit matrix (frequent columns only).
+    WallTimer build_timer;
+    VerticalDatabase vdb = VerticalDatabase::FromDatabase(ranked,
+                                                          num_frequent);
+    stats_->build_seconds = build_timer.ElapsedSeconds();
+    stats_->peak_structure_bytes = vdb.memory_bytes();
+
+    WallTimer mine_timer;
+    // Top-level columns: frequent items only, ascending support (the
+    // classic Eclat extension order — small intermediates first).
+    std::vector<Item> items;
+    for (Item i = 0; i < num_frequent; ++i) items.push_back(i);
+    std::sort(items.begin(), items.end(),
+              [&freq](Item a, Item b) { return freq[a] < freq[b]; });
+
+    std::vector<Column> cols(items.size());
+    for (size_t k = 0; k < items.size(); ++k) {
+      const Item i = items[k];
+      cols[k].raw_item = item_map_[i];
+      cols[k].support = freq[i];
+      cols[k].data = vdb.column(i).words();
+      cols[k].offset = 0;
+      cols[k].range =
+          options_.zero_escape ? vdb.one_range(i) : vdb.full_range();
+    }
+    std::vector<Item> prefix;
+    MineClass(cols, &prefix);
+    stats_->mine_seconds = mine_timer.ElapsedSeconds();
+  }
+
+ private:
+  // One itemset's tid list during the sparse DFS (P2 representation).
+  struct TidColumn {
+    Item raw_item = 0;
+    Support support = 0;
+    std::span<const Tid> tids;   // view: either borrowed or into `owned`
+    std::vector<Tid> owned;
+  };
+
+  // Sparse-representation mining path. With `diffsets`, level-1 columns
+  // are tid lists and every deeper class switches to diffsets relative
+  // to its prefix (dEclat).
+  void RunTidList(const Database& ranked, size_t num_frequent,
+                  bool diffsets) {
+    WallTimer build_timer;
+    TidListDatabase tdb =
+        TidListDatabase::FromDatabase(ranked, num_frequent);
+    stats_->build_seconds = build_timer.ElapsedSeconds();
+    stats_->peak_structure_bytes = tdb.memory_bytes();
+
+    WallTimer mine_timer;
+    const auto& freq = ranked.item_frequencies();
+    std::vector<Item> items(num_frequent);
+    for (size_t i = 0; i < num_frequent; ++i) items[i] = static_cast<Item>(i);
+    std::sort(items.begin(), items.end(),
+              [&freq](Item a, Item b) { return freq[a] < freq[b]; });
+
+    std::vector<TidColumn> cols(items.size());
+    for (size_t k = 0; k < items.size(); ++k) {
+      cols[k].raw_item = item_map_[items[k]];
+      cols[k].support = freq[items[k]];
+      cols[k].tids = tdb.list(items[k]);
+    }
+    std::vector<Item> prefix;
+    if (diffsets) {
+      MineClassDiff(cols, tdb.weights().data(), &prefix,
+                    /*cols_are_tidsets=*/true);
+    } else {
+      MineClassTid(cols, tdb.weights().data(), &prefix);
+    }
+    stats_->mine_seconds = mine_timer.ElapsedSeconds();
+  }
+
+  void MineClassTid(const std::vector<TidColumn>& cols,
+                    const Support* weights, std::vector<Item>* prefix) {
+    std::vector<TidColumn> next;
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const TidColumn& a = cols[k];
+      prefix->push_back(a.raw_item);
+      sink_->Emit(*prefix, a.support);
+      ++stats_->num_frequent;
+
+      next.clear();
+      for (size_t l = k + 1; l < cols.size(); ++l) {
+        const TidColumn& b = cols[l];
+        const size_t cap = std::min(a.tids.size(), b.tids.size());
+        if (tid_scratch_.size() < cap) tid_scratch_.resize(cap);
+        Support support = 0;
+        const size_t n = IntersectTidLists(a.tids, b.tids, weights,
+                                           tid_scratch_.data(), &support);
+        if (support < min_support_) continue;
+        TidColumn child;
+        child.raw_item = b.raw_item;
+        child.support = support;
+        child.owned.assign(tid_scratch_.begin(), tid_scratch_.begin() + n);
+        child.tids = std::span<const Tid>(child.owned);
+        next.push_back(std::move(child));
+      }
+      if (!next.empty()) MineClassTid(next, weights, prefix);
+      prefix->pop_back();
+    }
+  }
+
+  // dEclat recursion. When `cols_are_tidsets`, members carry t(P∪{x});
+  // otherwise they carry d(P∪{x}) relative to the current prefix P.
+  // Either way, combining member X (the new prefix element) with a
+  // later member Y produces the child's diffset
+  //   tidsets:  d(XY) = t(X) \ t(Y)
+  //   diffsets: d(PXY) = d(PY) \ d(PX)
+  // and support(·XY) = support(·X) - weight(diffset).
+  void MineClassDiff(const std::vector<TidColumn>& cols,
+                     const Support* weights, std::vector<Item>* prefix,
+                     bool cols_are_tidsets) {
+    std::vector<TidColumn> next;
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const TidColumn& a = cols[k];
+      prefix->push_back(a.raw_item);
+      sink_->Emit(*prefix, a.support);
+      ++stats_->num_frequent;
+
+      next.clear();
+      for (size_t l = k + 1; l < cols.size(); ++l) {
+        const TidColumn& b = cols[l];
+        const std::span<const Tid> minuend =
+            cols_are_tidsets ? a.tids : b.tids;
+        const std::span<const Tid> subtrahend =
+            cols_are_tidsets ? b.tids : a.tids;
+        if (tid_scratch_.size() < minuend.size()) {
+          tid_scratch_.resize(minuend.size());
+        }
+        Support diff_weight = 0;
+        const size_t n =
+            DifferenceTidLists(minuend, subtrahend, weights,
+                               tid_scratch_.data(), &diff_weight);
+        if (static_cast<uint64_t>(a.support) <
+            static_cast<uint64_t>(min_support_) + diff_weight) {
+          continue;
+        }
+        TidColumn child;
+        child.raw_item = b.raw_item;
+        child.support = a.support - diff_weight;
+        child.owned.assign(tid_scratch_.begin(), tid_scratch_.begin() + n);
+        child.tids = std::span<const Tid>(child.owned);
+        next.push_back(std::move(child));
+      }
+      if (!next.empty()) {
+        MineClassDiff(next, weights, prefix, /*cols_are_tidsets=*/false);
+      }
+      prefix->pop_back();
+    }
+  }
+
+  // Mines one equivalence class: emits every column as an extension of
+  // `prefix` and recurses on its own extensions.
+  void MineClass(const std::vector<Column>& cols, std::vector<Item>* prefix) {
+    std::vector<Column> next;
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const Column& a = cols[k];
+      prefix->push_back(a.raw_item);
+      sink_->Emit(*prefix, a.support);
+      ++stats_->num_frequent;
+
+      next.clear();
+      for (size_t l = k + 1; l < cols.size(); ++l) {
+        Column child = Intersect(a, cols[l]);
+        if (child.support >= min_support_) next.push_back(std::move(child));
+      }
+      if (!next.empty()) MineClass(next, prefix);
+      prefix->pop_back();
+    }
+  }
+
+  // child = a & b, counted with the configured strategy, windowed to the
+  // operands' 1-ranges when 0-escaping is on. The AND lands in a shared
+  // scratch buffer; only frequent children are materialized (trimmed to
+  // their 1-range), so the common infrequent-candidate case allocates
+  // nothing.
+  Column Intersect(const Column& a, const Column& b) {
+    Column child;
+    child.raw_item = b.raw_item;
+    const WordRange window = IntersectRanges(a.range, b.range);
+    if (window.empty()) {
+      child.range = WordRange{window.begin, window.begin};
+      child.offset = window.begin;
+      return child;
+    }
+    if (scratch_.size() < window.size()) scratch_.resize(window.size());
+    child.support = static_cast<Support>(
+        AndCount(a.data + (window.begin - a.offset),
+                 b.data + (window.begin - b.offset), scratch_.data(),
+                 window.size(), strategy_));
+    if (child.support < min_support_) {
+      child.range = window;  // never used: the caller discards the child
+      return child;
+    }
+    uint32_t begin = 0;
+    uint32_t end = window.size();
+    if (options_.zero_escape) {
+      // Tighten the conservative window (§4.2: ranges are conservative,
+      // not necessarily optimal — tightening keeps them short downpath).
+      while (begin < end && scratch_[begin] == 0) ++begin;
+      while (end > begin && scratch_[end - 1] == 0) --end;
+    }
+    child.offset = window.begin + begin;
+    child.range = WordRange{window.begin + begin, window.begin + end};
+    child.owned.assign(scratch_.begin() + begin, scratch_.begin() + end);
+    child.data = child.owned.data();
+    return child;
+  }
+
+  const EclatOptions& options_;
+  const PopcountStrategy strategy_;
+  const Support min_support_;
+  ItemsetSink* sink_;
+  MineStats* stats_;
+  std::vector<Item> item_map_;  // rank -> raw item id
+  std::vector<uint64_t> scratch_;  // shared AND destination
+  std::vector<Tid> tid_scratch_;   // shared merge destination
+};
+
+}  // namespace
+
+EclatMiner::EclatMiner(EclatOptions options) : options_(options) {}
+
+Status EclatMiner::Mine(const Database& db, Support min_support,
+                        ItemsetSink* sink) {
+  if (min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (sink == nullptr) return Status::InvalidArgument("sink is null");
+  if (!PopcountStrategyAvailable(options_.popcount)) {
+    return Status::InvalidArgument(
+        std::string("popcount strategy unavailable on this machine: ") +
+        PopcountStrategyName(options_.popcount));
+  }
+  stats_ = MineStats{};
+  EclatRun run(options_, min_support, sink, &stats_);
+  run.Run(db);
+  return Status::OK();
+}
+
+}  // namespace fpm

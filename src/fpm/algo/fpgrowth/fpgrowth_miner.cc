@@ -1,0 +1,186 @@
+#include "fpm/algo/fpgrowth/fpgrowth_miner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "fpm/algo/fpgrowth/fptree.h"
+#include "fpm/common/timer.h"
+#include "fpm/layout/item_order.h"
+#include "fpm/layout/lexicographic.h"
+
+namespace fpm {
+
+std::string FpGrowthOptions::Suffix() const {
+  std::string s;
+  if (lexicographic_order) s += "+lex";
+  if (compact_nodes || dfs_relayout) s += "+cmp";
+  if (dfs_relayout) s += "+dfs";
+  if (software_prefetch) s += "+pref";
+  return s;
+}
+
+namespace {
+
+// The FP-Growth recursion, shared by both tree stores.
+template <typename Tree>
+class FpGrowthRun {
+ public:
+  FpGrowthRun(const FpTreeConfig& tree_config, Support min_support,
+              const std::vector<Item>& item_map, ItemsetSink* sink,
+              MineStats* stats)
+      : tree_config_(tree_config),
+        min_support_(min_support),
+        item_map_(item_map),
+        sink_(sink),
+        stats_(stats) {}
+
+  void MineTree(const Tree& tree, std::vector<Item>* prefix) {
+    // Single-path shortcut: enumerate all subsets directly; the support
+    // of a subset is the count of its deepest element.
+    std::vector<std::pair<Item, Support>> path;
+    if (tree.SinglePath(&path)) {
+      if (!path.empty()) EnumeratePath(path, 0, prefix);
+      return;
+    }
+
+    // Bottom-up: least frequent item (largest rank) first.
+    const std::vector<Item>& items = tree.items();
+    std::vector<Support> cond_counts;
+    std::vector<Item> filtered;
+    for (size_t pos = items.size(); pos-- > 0;) {
+      const Item item = items[pos];
+      const Support support = tree.ItemSupport(item);
+      prefix->push_back(item_map_[item]);
+      sink_->Emit(*prefix, support);
+      ++stats_->num_frequent;
+
+      if (item > 0) {
+        // Conditional pattern base: count items over the upward paths.
+        cond_counts.assign(item, 0);
+        tree.ForEachPath(item, [&](std::span<const Item> base,
+                                   Support count) {
+          for (Item it : base) cond_counts[it] += count;
+        });
+        bool any = false;
+        for (Item i = 0; i < item; ++i) {
+          if (cond_counts[i] >= min_support_) {
+            any = true;
+            break;
+          }
+        }
+        if (any) {
+          // Build the conditional tree from the filtered paths.
+          Tree cond(item, tree_config_);
+          tree.ForEachPath(item, [&](std::span<const Item> base,
+                                     Support count) {
+            filtered.clear();
+            for (Item it : base) {
+              if (cond_counts[it] >= min_support_) filtered.push_back(it);
+            }
+            if (!filtered.empty()) cond.AddPath(filtered, count);
+          });
+          cond.Finalize();
+          MineTree(cond, prefix);
+        }
+      }
+      prefix->pop_back();
+    }
+  }
+
+ private:
+  // Emits every non-empty subset of path[pos..]; the last chosen element
+  // is the deepest, so its count is the subset's support.
+  void EnumeratePath(const std::vector<std::pair<Item, Support>>& path,
+                     size_t pos, std::vector<Item>* prefix) {
+    for (size_t j = pos; j < path.size(); ++j) {
+      prefix->push_back(item_map_[path[j].first]);
+      sink_->Emit(*prefix, path[j].second);
+      ++stats_->num_frequent;
+      EnumeratePath(path, j + 1, prefix);
+      prefix->pop_back();
+    }
+  }
+
+  const FpTreeConfig& tree_config_;
+  const Support min_support_;
+  const std::vector<Item>& item_map_;
+  ItemsetSink* sink_;
+  MineStats* stats_;
+};
+
+template <typename Tree>
+void RunFpGrowth(const Database& db, const FpGrowthOptions& options,
+                 Support min_support, ItemsetSink* sink, MineStats* stats) {
+  // Preparation: frequency ranking + optional P1 lexicographic sort.
+  WallTimer prep_timer;
+  Database ranked;
+  std::vector<Item> item_map;
+  if (options.lexicographic_order) {
+    LexicographicResult lex = LexicographicOrder(db);
+    ranked = std::move(lex.database);
+    item_map = lex.item_order.to_item();
+  } else {
+    ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
+    ranked = RemapItems(db, order);
+    item_map = order.to_item();
+  }
+  // Frequent ranks form a prefix of the rank space.
+  const auto& freq = ranked.item_frequencies();
+  uint32_t num_frequent = 0;
+  while (num_frequent < freq.size() && freq[num_frequent] >= min_support) {
+    ++num_frequent;
+  }
+  stats->prepare_seconds = prep_timer.ElapsedSeconds();
+
+  // Tree construction (the "insert" phase of Figure 2's profile).
+  WallTimer build_timer;
+  FpTreeConfig tree_config;
+  tree_config.software_prefetch = options.software_prefetch;
+  tree_config.dfs_relayout = options.dfs_relayout;
+  tree_config.jump_distance = options.jump_distance;
+
+  Tree tree(num_frequent, tree_config);
+  std::vector<Item> filtered;
+  for (Tid t = 0; t < ranked.num_transactions(); ++t) {
+    filtered.clear();
+    for (Item it : ranked.transaction(t)) {
+      // Ranked transactions are ascending, so the first infrequent rank
+      // ends the frequent prefix.
+      if (it >= num_frequent) break;
+      filtered.push_back(it);
+    }
+    if (!filtered.empty()) tree.AddPath(filtered, ranked.weight(t));
+  }
+  tree.Finalize();
+  stats->build_seconds = build_timer.ElapsedSeconds();
+  stats->peak_structure_bytes = tree.memory_bytes();
+
+  WallTimer mine_timer;
+  FpGrowthRun<Tree> run(tree_config, min_support, item_map, sink, stats);
+  std::vector<Item> prefix;
+  run.MineTree(tree, &prefix);
+  stats->mine_seconds = mine_timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+FpGrowthMiner::FpGrowthMiner(FpGrowthOptions options) : options_(options) {
+  if (options_.dfs_relayout) options_.compact_nodes = true;
+}
+
+Status FpGrowthMiner::Mine(const Database& db, Support min_support,
+                           ItemsetSink* sink) {
+  if (min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (sink == nullptr) return Status::InvalidArgument("sink is null");
+  stats_ = MineStats{};
+  if (options_.compact_nodes) {
+    RunFpGrowth<CompactFpTree>(db, options_, min_support, sink, &stats_);
+  } else {
+    RunFpGrowth<PointerFpTree>(db, options_, min_support, sink, &stats_);
+  }
+  return Status::OK();
+}
+
+}  // namespace fpm

@@ -1,0 +1,168 @@
+#include "fpm/algo/hmine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "fpm/common/timer.h"
+#include "fpm/layout/item_order.h"
+
+namespace fpm {
+namespace {
+
+// The hyper structure: one flat cell per (transaction, item) incidence.
+// Cells of one transaction are contiguous with items ascending by rank;
+// cell c's transaction suffix is [c+1, tx_end[c]).
+struct HyperStructure {
+  std::vector<Item> item;       // per cell
+  std::vector<uint32_t> tx_end; // per cell: end cell of its transaction
+  std::vector<Support> weight;  // per cell: its transaction's weight
+};
+
+class HMineRun {
+ public:
+  HMineRun(Support min_support, ItemsetSink* sink, MineStats* stats)
+      : min_support_(min_support), sink_(sink), stats_(stats) {}
+
+  void Run(const Database& db) {
+    WallTimer prep_timer;
+    ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
+    item_map_ = order.to_item();
+    const auto& freq = db.item_frequencies();
+    num_ranks_ = 0;
+    while (num_ranks_ < item_map_.size() &&
+           freq[item_map_[num_ranks_]] >= min_support_) {
+      ++num_ranks_;
+    }
+
+    // Build the hyper structure over frequent ranks.
+    std::vector<Item> scratch;
+    for (Tid t = 0; t < db.num_transactions(); ++t) {
+      scratch.clear();
+      for (Item raw : db.transaction(t)) {
+        const Item rank = order.RankOf(raw);
+        if (rank < num_ranks_) scratch.push_back(rank);
+      }
+      if (scratch.empty()) continue;
+      std::sort(scratch.begin(), scratch.end());
+      const uint32_t begin = static_cast<uint32_t>(hs_.item.size());
+      const uint32_t end = begin + static_cast<uint32_t>(scratch.size());
+      for (Item i : scratch) {
+        hs_.item.push_back(i);
+        hs_.tx_end.push_back(end);
+        hs_.weight.push_back(db.weight(t));
+      }
+    }
+    stats_->prepare_seconds = prep_timer.ElapsedSeconds();
+    stats_->peak_structure_bytes =
+        hs_.item.size() *
+        (sizeof(Item) + sizeof(uint32_t) + sizeof(Support));
+    if (num_ranks_ == 0) return;
+
+    WallTimer mine_timer;
+    counts_.assign(num_ranks_, 0);
+
+    // Top-level queues: every cell, bucketed by item.
+    std::vector<std::vector<uint32_t>> queues(num_ranks_);
+    for (uint32_t c = 0; c < hs_.item.size(); ++c) {
+      queues[hs_.item[c]].push_back(c);
+    }
+    std::vector<Item> prefix;
+    for (Item i = 0; i < num_ranks_; ++i) {
+      // Top-level supports are the (already filtered) global
+      // frequencies; recompute from the queue to stay weight-exact.
+      Support support = 0;
+      for (uint32_t c : queues[i]) support += hs_.weight[c];
+      if (support < min_support_) continue;  // defensive; never at top
+      prefix.push_back(item_map_[i]);
+      sink_->Emit(prefix, support);
+      ++stats_->num_frequent;
+      MineQueue(queues[i], &prefix);
+      prefix.pop_back();
+      queues[i].clear();
+      queues[i].shrink_to_fit();
+    }
+    stats_->mine_seconds = mine_timer.ElapsedSeconds();
+  }
+
+ private:
+  // Mines the extensions of the prefix whose supporting cells are
+  // `queue` (one cell per supporting transaction; suffixes start after
+  // the cell). Emits and recurses for every frequent extension.
+  void MineQueue(const std::vector<uint32_t>& queue,
+                 std::vector<Item>* prefix) {
+    // Suffix scan: count every item occurring after a queued cell.
+    touched_.clear();
+    for (uint32_t c : queue) {
+      const Support w = hs_.weight[c];
+      for (uint32_t s = c + 1; s < hs_.tx_end[c]; ++s) {
+        const Item j = hs_.item[s];
+        if (counts_[j] == 0) touched_.push_back(j);
+        counts_[j] += w;
+      }
+    }
+    std::sort(touched_.begin(), touched_.end());
+
+    // Frequent extensions, then reset the shared counters before
+    // recursing (the recursion reuses them).
+    frequent_scratch_.clear();
+    for (Item j : touched_) {
+      if (counts_[j] >= min_support_) {
+        frequent_scratch_.push_back(j);
+      }
+      counts_[j] = 0;
+    }
+    if (frequent_scratch_.empty()) return;
+    const std::vector<Item> frequent = frequent_scratch_;
+
+    // Collect each frequent extension's queue with one more scan.
+    std::vector<std::vector<uint32_t>> sub(frequent.size());
+    std::vector<int32_t> slot(num_ranks_, -1);
+    for (size_t k = 0; k < frequent.size(); ++k) {
+      slot[frequent[k]] = static_cast<int32_t>(k);
+    }
+    for (uint32_t c : queue) {
+      for (uint32_t s = c + 1; s < hs_.tx_end[c]; ++s) {
+        const int32_t k = slot[hs_.item[s]];
+        if (k >= 0) sub[static_cast<size_t>(k)].push_back(s);
+      }
+    }
+
+    for (size_t k = 0; k < frequent.size(); ++k) {
+      Support support = 0;
+      for (uint32_t c : sub[k]) support += hs_.weight[c];
+      prefix->push_back(item_map_[frequent[k]]);
+      sink_->Emit(*prefix, support);
+      ++stats_->num_frequent;
+      MineQueue(sub[k], prefix);
+      prefix->pop_back();
+      sub[k].clear();
+      sub[k].shrink_to_fit();
+    }
+  }
+
+  const Support min_support_;
+  ItemsetSink* sink_;
+  MineStats* stats_;
+  HyperStructure hs_;
+  std::vector<Item> item_map_;
+  size_t num_ranks_ = 0;
+  std::vector<Support> counts_;        // shared, reset via touched_
+  std::vector<Item> touched_;
+  std::vector<Item> frequent_scratch_;
+};
+
+}  // namespace
+
+Status HMineMiner::Mine(const Database& db, Support min_support,
+                        ItemsetSink* sink) {
+  if (min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (sink == nullptr) return Status::InvalidArgument("sink is null");
+  stats_ = MineStats{};
+  HMineRun run(min_support, sink, &stats_);
+  run.Run(db);
+  return Status::OK();
+}
+
+}  // namespace fpm

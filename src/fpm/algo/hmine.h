@@ -1,0 +1,35 @@
+// H-mine: hyper-structure frequent itemset mining (Pei, Han, Lu,
+// Nishio, Tang & Yang, ICDM'01 — the paper's reference [25]).
+//
+// The distinctive design point: projections are never copied. The
+// database is stored once as flat per-transaction cell arrays; a
+// conditional database is a *queue of cell indices* (the positions of
+// the extension item inside its transactions), and frequency counting
+// scans each queued cell's in-place transaction suffix. Memory stays
+// O(database) plus the queue stack — the behaviour the H-mine paper
+// argues wins on sparse data, and a third data-structure design point
+// next to LCM's copied arrays and FP-Growth's prefix tree.
+
+#ifndef FPM_ALGO_HMINE_H_
+#define FPM_ALGO_HMINE_H_
+
+#include <string>
+
+#include "fpm/algo/miner.h"
+
+namespace fpm {
+
+/// Scan-based hyper-structure miner. Not thread-safe.
+class HMineMiner : public Miner {
+ public:
+  HMineMiner() = default;
+
+  Status Mine(const Database& db, Support min_support,
+              ItemsetSink* sink) override;
+
+  std::string name() const override { return "hmine"; }
+};
+
+}  // namespace fpm
+
+#endif  // FPM_ALGO_HMINE_H_

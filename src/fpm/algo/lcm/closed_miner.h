@@ -1,0 +1,41 @@
+// Native closed-itemset miner in the style of LCM ver.2 (Uno et al.,
+// FIMI'04 — the paper's [32]): depth-first enumeration of closed sets
+// via prefix-preserving closure (ppc) extensions, never materializing
+// the (possibly exponentially larger) full frequent listing the
+// post-filter in algo/postprocess.h requires.
+//
+// Sketch: the closure clo(P) is the set of items present in every
+// transaction containing P. Starting from clo(∅), each closed set P
+// with core item c is extended by candidate items i > c (frequency-rank
+// order): Q = clo(P ∪ {i}) is accepted iff its members below i match
+// P's (the ppc test), which guarantees every closed set is generated
+// exactly once, from exactly one parent.
+
+#ifndef FPM_ALGO_LCM_CLOSED_MINER_H_
+#define FPM_ALGO_LCM_CLOSED_MINER_H_
+
+#include <string>
+
+#include "fpm/algo/miner.h"
+
+namespace fpm {
+
+/// Emits every *closed* frequent itemset exactly once (via the common
+/// Miner interface; supports are exact weighted supports).
+///
+/// Contract difference from the other miners: the output is the closed
+/// subset of the frequent sets, i.e. exactly
+/// FilterClosed(all frequent itemsets).
+class LcmClosedMiner : public Miner {
+ public:
+  LcmClosedMiner() = default;
+
+  Status Mine(const Database& db, Support min_support,
+              ItemsetSink* sink) override;
+
+  std::string name() const override { return "lcm-closed"; }
+};
+
+}  // namespace fpm
+
+#endif  // FPM_ALGO_LCM_CLOSED_MINER_H_

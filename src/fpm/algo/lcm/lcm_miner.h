@@ -1,0 +1,99 @@
+// LCM-style array-based frequent itemset miner (§4.1).
+//
+// The kernel mirrors LCM ver.2's structure for frequent-itemset mining:
+// a horizontal sparse array database; per-level occurrence deliver
+// (CalcFreq) that counts item frequencies and builds the item-major
+// occurrence array; duplicate-transaction merging (RmDupTrans) via
+// bucket hashing with per-bucket chains; and depth-first projection onto
+// conditional databases.
+//
+// Tuning patterns (each an independent toggle, all output-neutral):
+//   P1  lexicographic_order — sort the initial transactions
+//       lexicographically over the frequency-ranked alphabet.
+//   P3  aggregate_buckets   — RmDupTrans bucket chains become supernode
+//       (cache-line) lists instead of one-node-per-link chains.
+//   P4  compact_counters    — frequency counters live in one contiguous
+//       array instead of inside the 32-byte occurrence column headers.
+//   P6.1 tiling             — top-level projections process the
+//       occurrence array in L1-sized transaction tiles, batched over
+//       items (see lcm_miner.cc for the batching memory bound).
+//   P7.1 wavefront_prefetch — occurrence walks prefetch transaction
+//       headers/payloads of entries several positions ahead.
+
+#ifndef FPM_ALGO_LCM_LCM_MINER_H_
+#define FPM_ALGO_LCM_LCM_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "fpm/algo/miner.h"
+
+namespace fpm {
+
+/// Pattern toggles and knobs for the LCM kernel.
+struct LcmOptions {
+  bool lexicographic_order = false;  ///< P1
+  bool aggregate_buckets = false;    ///< P3
+  bool compact_counters = false;     ///< P4
+  bool tiling = false;               ///< P6.1
+  bool wavefront_prefetch = false;   ///< P7.1
+
+  /// Tile capacity in database *entries* (items). 0 = auto: sized so one
+  /// tile's transaction data fits in half the L1 data cache.
+  uint32_t tile_entries = 0;
+
+  /// Wave-front distances (occurrence entries ahead).
+  uint32_t prefetch_near = 4;
+  uint32_t prefetch_far = 8;
+
+  /// Accumulate per-phase wall time into MineStats::phase_seconds
+  /// (adds timer overhead; off by default).
+  bool collect_phase_stats = false;
+
+  /// Enables every pattern (tile/prefetch knobs keep their defaults).
+  static LcmOptions All() {
+    LcmOptions o;
+    o.lexicographic_order = true;
+    o.aggregate_buckets = true;
+    o.compact_counters = true;
+    o.tiling = true;
+    o.wavefront_prefetch = true;
+    return o;
+  }
+
+  /// "+lex+agg+cmp+tile+wave" style suffix (empty when all off).
+  std::string Suffix() const;
+};
+
+/// Per-phase wall time of the latest Mine() call, filled only when
+/// LcmOptions::collect_phase_stats is set. The names match the paper's
+/// hot functions for Figure 2.
+struct LcmPhaseStats {
+  double calcfreq_seconds = 0.0;    ///< counting + occurrence deliver
+  double rmduptrans_seconds = 0.0;  ///< duplicate merging
+  double project_seconds = 0.0;     ///< conditional database construction
+};
+
+/// Array-based depth-first miner. Not thread-safe; use one instance per
+/// thread.
+class LcmMiner : public Miner {
+ public:
+  explicit LcmMiner(LcmOptions options = LcmOptions());
+
+  Status Mine(const Database& db, Support min_support,
+              ItemsetSink* sink) override;
+
+  std::string name() const override { return "lcm" + options_.Suffix(); }
+
+  const LcmOptions& options() const { return options_; }
+  const LcmPhaseStats& phase_stats() const { return phase_stats_; }
+
+ private:
+  struct Impl;
+  LcmOptions options_;
+  LcmPhaseStats phase_stats_;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_ALGO_LCM_LCM_MINER_H_

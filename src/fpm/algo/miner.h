@@ -1,0 +1,57 @@
+// Common miner interface. Each algorithm (LCM-style array miner, Eclat,
+// FP-Growth, Apriori, brute force) implements Mine(); pattern toggles
+// live in per-algorithm option structs, and the core front-end
+// (fpm/core/mine.h) maps a PatternSet onto them.
+
+#ifndef FPM_ALGO_MINER_H_
+#define FPM_ALGO_MINER_H_
+
+#include <string>
+#include <string_view>
+
+#include "fpm/common/status.h"
+#include "fpm/dataset/database.h"
+#include "fpm/algo/itemset_sink.h"
+
+namespace fpm {
+
+/// Instrumentation filled in by Mine(). Phase timings feed the Figure 2
+/// CPI bench; memory feeds the aggregation-cost discussion of §4.3.
+struct MineStats {
+  uint64_t num_frequent = 0;       ///< itemsets emitted
+  double prepare_seconds = 0.0;    ///< layout transforms (e.g. P1 sort)
+  double build_seconds = 0.0;      ///< data structure construction
+  double mine_seconds = 0.0;       ///< the recursive mining phase
+  size_t peak_structure_bytes = 0; ///< main data structure footprint
+
+  double total_seconds() const {
+    return prepare_seconds + build_seconds + mine_seconds;
+  }
+};
+
+/// Abstract frequent-itemset miner.
+///
+/// Contract: emits every itemset (size >= 1) whose weighted support is
+/// >= min_support, exactly once, with its exact support, in original
+/// item ids. min_support must be >= 1.
+class Miner {
+ public:
+  virtual ~Miner() = default;
+
+  /// Mines `db` at threshold `min_support` into `sink`.
+  virtual Status Mine(const Database& db, Support min_support,
+                      ItemsetSink* sink) = 0;
+
+  /// Display name including the active pattern configuration.
+  virtual std::string name() const = 0;
+
+  /// Statistics of the most recent Mine() call.
+  const MineStats& stats() const { return stats_; }
+
+ protected:
+  MineStats stats_;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_ALGO_MINER_H_

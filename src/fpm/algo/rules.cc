@@ -1,0 +1,129 @@
+#include "fpm/algo/rules.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace fpm {
+namespace {
+
+uint64_t HashItemset(const Itemset& set) {
+  uint64_t h = 1469598103934665603ull;
+  for (Item it : set) {
+    h ^= it;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct ItemsetHash {
+  size_t operator()(const Itemset& set) const {
+    return static_cast<size_t>(HashItemset(set));
+  }
+};
+
+using SupportIndex = std::unordered_map<Itemset, Support, ItemsetHash>;
+
+// Enumerates consequents: all non-empty subsets of `set` of size up to
+// `max_size` (never the whole set). `chosen` marks the consequent.
+class ConsequentEnumerator {
+ public:
+  ConsequentEnumerator(const Itemset& set, size_t max_size)
+      : set_(set), max_size_(std::min(max_size, set.size() - 1)) {}
+
+  template <typename Fn>
+  Status ForEach(Fn&& fn) {
+    consequent_.clear();
+    return Recurse(0, std::forward<Fn>(fn));
+  }
+
+ private:
+  template <typename Fn>
+  Status Recurse(size_t pos, Fn&& fn) {
+    if (!consequent_.empty()) {
+      FPM_RETURN_IF_ERROR(fn(consequent_));
+    }
+    if (consequent_.size() == max_size_) return Status::OK();
+    for (size_t i = pos; i < set_.size(); ++i) {
+      consequent_.push_back(set_[i]);
+      FPM_RETURN_IF_ERROR(Recurse(i + 1, fn));
+      consequent_.pop_back();
+    }
+    return Status::OK();
+  }
+
+  const Itemset& set_;
+  size_t max_size_;
+  Itemset consequent_;
+};
+
+}  // namespace
+
+Result<std::vector<AssociationRule>> GenerateRules(
+    const std::vector<CollectingSink::Entry>& frequent, Support total_weight,
+    const RuleOptions& options) {
+  if (options.min_confidence < 0.0 || options.min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must be in [0, 1]");
+  }
+  if (options.max_consequent < 1) {
+    return Status::InvalidArgument("max_consequent must be >= 1");
+  }
+  if (total_weight == 0 && !frequent.empty()) {
+    return Status::InvalidArgument("total_weight must be positive");
+  }
+
+  SupportIndex index;
+  index.reserve(frequent.size() * 2);
+  for (const auto& [set, support] : frequent) index.emplace(set, support);
+
+  std::vector<AssociationRule> rules;
+  Itemset antecedent;
+  for (const auto& [set, support] : frequent) {
+    if (set.size() < 2) continue;
+    ConsequentEnumerator consequents(set, options.max_consequent);
+    const Support set_support = support;
+    const Status status = consequents.ForEach(
+        [&](const Itemset& consequent) -> Status {
+          antecedent.clear();
+          std::set_difference(set.begin(), set.end(), consequent.begin(),
+                              consequent.end(),
+                              std::back_inserter(antecedent));
+          const auto ante = index.find(antecedent);
+          const auto cons = index.find(consequent);
+          if (ante == index.end() || cons == index.end()) {
+            return Status::InvalidArgument(
+                "frequent listing is incomplete: missing a subset "
+                "required for rule generation");
+          }
+          const double confidence =
+              static_cast<double>(set_support) / ante->second;
+          if (confidence < options.min_confidence) return Status::OK();
+          AssociationRule rule;
+          rule.antecedent = antecedent;
+          rule.consequent = consequent;
+          rule.itemset_support = set_support;
+          rule.support =
+              static_cast<double>(set_support) / total_weight;
+          rule.confidence = confidence;
+          rule.lift = confidence * static_cast<double>(total_weight) /
+                      static_cast<double>(cons->second);
+          rules.push_back(std::move(rule));
+          return Status::OK();
+        });
+    FPM_RETURN_IF_ERROR(status);
+  }
+
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.lift != b.lift) return a.lift > b.lift;
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.antecedent != b.antecedent) {
+                return a.antecedent < b.antecedent;
+              }
+              return a.consequent < b.consequent;
+            });
+  return rules;
+}
+
+}  // namespace fpm

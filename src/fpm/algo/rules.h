@@ -1,0 +1,51 @@
+// Association-rule generation — the application that motivated frequent
+// pattern mining (§1, after Agrawal et al. SIGMOD'93). Derives rules
+// `antecedent => consequent` with support, confidence and lift from a
+// complete frequent-itemset listing.
+
+#ifndef FPM_ALGO_RULES_H_
+#define FPM_ALGO_RULES_H_
+
+#include <vector>
+
+#include "fpm/algo/itemset_sink.h"
+#include "fpm/common/status.h"
+#include "fpm/dataset/types.h"
+
+namespace fpm {
+
+/// One association rule: antecedent => consequent.
+struct AssociationRule {
+  Itemset antecedent;       ///< sorted ascending
+  Itemset consequent;       ///< sorted ascending, disjoint from antecedent
+  Support itemset_support;  ///< weighted support of antecedent ∪ consequent
+  double support = 0.0;     ///< itemset_support / total transactions
+  double confidence = 0.0;  ///< P(consequent | antecedent)
+  double lift = 0.0;        ///< confidence / P(consequent)
+
+  bool operator==(const AssociationRule&) const = default;
+};
+
+/// Generation thresholds and limits.
+struct RuleOptions {
+  double min_confidence = 0.5;
+  /// Maximum consequent size; 1 reproduces the classic single-item
+  /// consequent setting and keeps generation linear in itemset size.
+  size_t max_consequent = 1;
+};
+
+/// Generates rules from a *complete, canonical* frequent listing (a
+/// Canonicalize()d CollectingSink result: every frequent itemset
+/// present with exact support, sets sorted). `total_weight` is the
+/// database's total transaction weight (Database::total_weight()).
+///
+/// Returns InvalidArgument when thresholds are out of range or when a
+/// required subset is missing from the listing (incomplete input).
+/// Rules are ordered by descending lift, ties by descending confidence.
+Result<std::vector<AssociationRule>> GenerateRules(
+    const std::vector<CollectingSink::Entry>& frequent, Support total_weight,
+    const RuleOptions& options = RuleOptions());
+
+}  // namespace fpm
+
+#endif  // FPM_ALGO_RULES_H_

@@ -1,0 +1,15 @@
+#include "fpm/bitvec/bitvector.h"
+
+namespace fpm {
+
+WordRange BitVector::ComputeOneRange() const {
+  uint32_t begin = 0;
+  const uint32_t n = static_cast<uint32_t>(words_.size());
+  while (begin < n && words_[begin] == 0) ++begin;
+  if (begin == n) return WordRange{0, 0};
+  uint32_t end = n;
+  while (end > begin && words_[end - 1] == 0) --end;
+  return WordRange{begin, end};
+}
+
+}  // namespace fpm

@@ -1,0 +1,93 @@
+// Dense bit vector over transaction ids — the vertical representation of
+// §3.3 (Feature 2, choice (1)) used by Eclat. Each item (and, during
+// mining, each itemset) owns one vector; bit t is set iff transaction t
+// contains the item(set).
+
+#ifndef FPM_BITVEC_BITVECTOR_H_
+#define FPM_BITVEC_BITVECTOR_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "fpm/common/logging.h"
+
+namespace fpm {
+
+/// Half-open range of 64-bit words [begin, end). The "1-range" of §4.2:
+/// a conservative window containing every set bit of a vector. 0-escaping
+/// restricts intersections and popcounts to this window.
+struct WordRange {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  bool empty() const { return begin >= end; }
+  uint32_t size() const { return empty() ? 0 : end - begin; }
+
+  bool operator==(const WordRange&) const = default;
+};
+
+/// Intersection of two conservative 1-ranges is a conservative 1-range of
+/// the AND (§4.2: "updated by intersecting the corresponding 1-ranges").
+inline WordRange IntersectRanges(WordRange a, WordRange b) {
+  WordRange r;
+  r.begin = a.begin > b.begin ? a.begin : b.begin;
+  r.end = a.end < b.end ? a.end : b.end;
+  if (r.begin > r.end) r.end = r.begin;
+  return r;
+}
+
+/// Fixed-width dense bit vector backed by 64-bit words.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// All-zero vector able to hold `num_bits` bits.
+  explicit BitVector(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t num_bits() const { return num_bits_; }
+  size_t num_words() const { return words_.size(); }
+
+  void Set(size_t i) {
+    FPM_DCHECK(i < num_bits_);
+    words_[i >> 6] |= 1ull << (i & 63);
+  }
+
+  void Clear(size_t i) {
+    FPM_DCHECK(i < num_bits_);
+    words_[i >> 6] &= ~(1ull << (i & 63));
+  }
+
+  bool Test(size_t i) const {
+    FPM_DCHECK(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  uint64_t* words() { return words_.data(); }
+  const uint64_t* words() const { return words_.data(); }
+
+  /// Sets every word to zero.
+  void Reset() {
+    std::memset(words_.data(), 0, words_.size() * sizeof(uint64_t));
+  }
+
+  /// Scans for the tightest window of words containing all set bits.
+  /// Returns an empty range when no bit is set. O(num_words).
+  WordRange ComputeOneRange() const;
+
+  /// Full range [0, num_words) — the "no 0-escaping" baseline window.
+  WordRange FullRange() const {
+    return WordRange{0, static_cast<uint32_t>(words_.size())};
+  }
+
+  bool operator==(const BitVector&) const = default;
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_BITVEC_BITVECTOR_H_

@@ -1,0 +1,45 @@
+#include "fpm/bitvec/intersect.h"
+
+namespace fpm {
+
+AndResult AndCountRange(const uint64_t* a, WordRange ra, const uint64_t* b,
+                        WordRange rb, uint64_t* out,
+                        PopcountStrategy strategy) {
+  AndResult result;
+  const WordRange window = IntersectRanges(ra, rb);
+  if (window.empty()) {
+    result.range = WordRange{window.begin, window.begin};
+    return result;
+  }
+  result.support = AndCount(a + window.begin, b + window.begin,
+                            out + window.begin, window.size(), strategy);
+  if (result.support == 0) {
+    result.range = WordRange{window.begin, window.begin};
+    return result;
+  }
+  // Tighten the conservative window to the actual extremal non-zero
+  // words; cheap relative to the AND and keeps ranges short along deep
+  // DFS paths.
+  uint32_t begin = window.begin;
+  while (begin < window.end && out[begin] == 0) ++begin;
+  uint32_t end = window.end;
+  while (end > begin && out[end - 1] == 0) --end;
+  result.range = WordRange{begin, end};
+  return result;
+}
+
+uint64_t CountOnesRange(const uint64_t* words, WordRange r,
+                        PopcountStrategy strategy) {
+  if (r.empty()) return 0;
+  return CountOnes(words + r.begin, r.size(), strategy);
+}
+
+AndResult AndCount(const BitVector& a, WordRange ra, const BitVector& b,
+                   WordRange rb, BitVector* out, PopcountStrategy strategy) {
+  FPM_CHECK(a.num_words() == b.num_words() &&
+            a.num_words() == out->num_words())
+      << "AndCount requires equally sized vectors";
+  return AndCountRange(a.words(), ra, b.words(), rb, out->words(), strategy);
+}
+
+}  // namespace fpm

@@ -1,0 +1,42 @@
+// Bit-vector intersection with optional 0-escaping (§4.2).
+//
+// 0-escaping skips the AND and popcount outside the conservative 1-range
+// of either operand. After lexicographic ordering (P1) the set bits of
+// frequent items cluster at the front of the vector, so ranges are short
+// and the skipped prefix/suffix is large.
+//
+// Invariant: the destination's words are only defined inside the returned
+// range. Consumers must never read outside the range they carry — the
+// Eclat DFS maintains this because ranges only shrink along a path.
+
+#ifndef FPM_BITVEC_INTERSECT_H_
+#define FPM_BITVEC_INTERSECT_H_
+
+#include "fpm/bitvec/bitvector.h"
+#include "fpm/bitvec/popcount.h"
+
+namespace fpm {
+
+/// Outcome of a fused and+count.
+struct AndResult {
+  uint64_t support = 0;
+  WordRange range;  ///< conservative 1-range of the output
+};
+
+/// out[w] = a[w] & b[w] for w in intersect(ra, rb); support counted over
+/// that window only. Words outside the window are left untouched.
+AndResult AndCountRange(const uint64_t* a, WordRange ra, const uint64_t* b,
+                        WordRange rb, uint64_t* out, PopcountStrategy strategy);
+
+/// Popcount restricted to the window `r`.
+uint64_t CountOnesRange(const uint64_t* words, WordRange r,
+                        PopcountStrategy strategy);
+
+/// Convenience wrapper over BitVector objects (used by tests/examples;
+/// the miner works on raw word arrays).
+AndResult AndCount(const BitVector& a, WordRange ra, const BitVector& b,
+                   WordRange rb, BitVector* out, PopcountStrategy strategy);
+
+}  // namespace fpm
+
+#endif  // FPM_BITVEC_INTERSECT_H_

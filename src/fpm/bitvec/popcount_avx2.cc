@@ -1,0 +1,110 @@
+// AVX2 popcount / fused and-popcount kernels (pattern P8).
+//
+// Compiled with -mavx2 in this TU only; callers reach it through the
+// runtime dispatch in popcount.cc. The counting core is the classic
+// nibble-shuffle method: VPSHUFB maps each nibble to its popcount, VPSADBW
+// horizontally sums bytes — pure computation, no indirect loads, exactly
+// the transformation §4.2 describes for replacing the lookup table.
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "fpm/common/bits.h"
+
+namespace fpm {
+namespace internal {
+
+#if defined(__AVX2__)
+
+namespace {
+
+// Per-byte popcount of a 256-bit lane via nibble shuffle.
+inline __m256i PopcountBytes(__m256i v) {
+  const __m256i lookup = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                         _mm256_shuffle_epi8(lookup, hi));
+}
+
+// Horizontal sum of the four 64-bit sub-sums produced by VPSADBW.
+inline uint64_t HorizontalSum(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return static_cast<uint64_t>(_mm_extract_epi64(s, 0)) +
+         static_cast<uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+}  // namespace
+
+uint64_t CountOnesAvx2(const uint64_t* words, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    acc = _mm256_add_epi64(acc,
+                           _mm256_sad_epu8(PopcountBytes(v),
+                                           _mm256_setzero_si256()));
+  }
+  uint64_t total = HorizontalSum(acc);
+  for (; i < n; ++i) total += static_cast<uint64_t>(PopCount64(words[i]));
+  return total;
+}
+
+uint64_t AndCountAvx2(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                      size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i v = _mm256_and_si256(va, vb);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+    acc = _mm256_add_epi64(acc,
+                           _mm256_sad_epu8(PopcountBytes(v),
+                                           _mm256_setzero_si256()));
+  }
+  uint64_t total = HorizontalSum(acc);
+  for (; i < n; ++i) {
+    const uint64_t w = a[i] & b[i];
+    out[i] = w;
+    total += static_cast<uint64_t>(PopCount64(w));
+  }
+  return total;
+}
+
+#else  // !defined(__AVX2__)
+
+// Non-x86 fallback: these are never dispatched to (availability check
+// fails), but must link.
+uint64_t CountOnesAvx2(const uint64_t* words, size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += PopCount64(words[i]);
+  return total;
+}
+
+uint64_t AndCountAvx2(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                      size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] & b[i];
+    total += PopCount64(out[i]);
+  }
+  return total;
+}
+
+#endif  // __AVX2__
+
+}  // namespace internal
+}  // namespace fpm

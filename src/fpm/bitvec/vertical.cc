@@ -1,0 +1,36 @@
+#include "fpm/bitvec/vertical.h"
+
+#include <algorithm>
+
+namespace fpm {
+
+VerticalDatabase VerticalDatabase::FromDatabase(const Database& db,
+                                                size_t item_bound) {
+  VerticalDatabase v;
+  const size_t num_columns = std::min(item_bound, db.num_items());
+  // Expand weighted transactions into runs of bit positions.
+  size_t total_rows = 0;
+  for (Tid t = 0; t < db.num_transactions(); ++t) total_rows += db.weight(t);
+  v.num_transactions_ = total_rows;
+
+  v.columns_.assign(num_columns, BitVector(total_rows));
+  v.words_per_column_ = total_rows == 0 ? 0 : (total_rows + 63) / 64;
+
+  size_t row = 0;
+  for (Tid t = 0; t < db.num_transactions(); ++t) {
+    const Support w = db.weight(t);
+    for (Item it : db.transaction(t)) {
+      if (it >= num_columns) continue;
+      for (Support k = 0; k < w; ++k) v.columns_[it].Set(row + k);
+    }
+    row += w;
+  }
+
+  v.one_ranges_.resize(num_columns);
+  for (size_t i = 0; i < v.columns_.size(); ++i) {
+    v.one_ranges_[i] = v.columns_[i].ComputeOneRange();
+  }
+  return v;
+}
+
+}  // namespace fpm

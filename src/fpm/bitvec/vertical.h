@@ -1,0 +1,61 @@
+// Vertical (item-major) database: one bit vector per item over the
+// transaction axis — the dense boolean-matrix representation of §3.3 that
+// Eclat mines. Construction optionally records per-item 1-ranges for
+// 0-escaping.
+
+#ifndef FPM_BITVEC_VERTICAL_H_
+#define FPM_BITVEC_VERTICAL_H_
+
+#include <vector>
+
+#include "fpm/bitvec/bitvector.h"
+#include "fpm/dataset/database.h"
+
+namespace fpm {
+
+/// Immutable vertical bit-matrix view of a horizontal database.
+///
+/// Weighted databases are expanded: a transaction with weight w occupies
+/// w consecutive bit positions, so popcounts equal weighted supports.
+class VerticalDatabase {
+ public:
+  /// Builds the matrix. O(num_entries) after allocation.
+  ///
+  /// `item_bound` (default: the full universe) limits the build to items
+  /// with id < item_bound. Miners that rank items by frequency pass the
+  /// count of frequent ranks here, so no storage is spent on columns the
+  /// mining run can never touch.
+  static VerticalDatabase FromDatabase(const Database& db,
+                                       size_t item_bound = ~size_t{0});
+
+  size_t num_items() const { return columns_.size(); }
+  size_t num_transactions() const { return num_transactions_; }
+  /// Words per column (all columns are equally sized).
+  size_t words_per_column() const { return words_per_column_; }
+
+  const BitVector& column(Item item) const { return columns_[item]; }
+
+  /// Tight 1-range of `item`'s column (empty if the item never occurs).
+  WordRange one_range(Item item) const { return one_ranges_[item]; }
+
+  /// Full [0, words_per_column) window — the no-0-escaping baseline.
+  WordRange full_range() const {
+    return WordRange{0, static_cast<uint32_t>(words_per_column_)};
+  }
+
+  /// Bytes held by the matrix.
+  size_t memory_bytes() const {
+    return columns_.size() *
+           (words_per_column_ * sizeof(uint64_t) + sizeof(BitVector));
+  }
+
+ private:
+  std::vector<BitVector> columns_;
+  std::vector<WordRange> one_ranges_;
+  size_t num_transactions_ = 0;
+  size_t words_per_column_ = 0;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_BITVEC_VERTICAL_H_

@@ -1,0 +1,41 @@
+// Scalar bit-manipulation utilities shared by the bit-vector library and
+// the popcount strategy implementations.
+
+#ifndef FPM_COMMON_BITS_H_
+#define FPM_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace fpm {
+
+/// Number of set bits, hardware instruction when available.
+inline int PopCount64(uint64_t x) { return std::popcount(x); }
+
+/// Pure-software SWAR popcount — the "computation" the paper SIMDizes in
+/// §4.2; kept as an explicit implementation so the scalar/SIMD variants
+/// compute the same function and can be benchmarked against the LUT.
+inline int PopCount64Swar(uint64_t x) {
+  x = x - ((x >> 1) & 0x5555555555555555ULL);
+  x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+  x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  return static_cast<int>((x * 0x0101010101010101ULL) >> 56);
+}
+
+/// Index of the lowest set bit; undefined for x == 0.
+inline int CountTrailingZeros64(uint64_t x) { return std::countr_zero(x); }
+
+/// Index of the highest set bit; undefined for x == 0.
+inline int Log2Floor64(uint64_t x) { return 63 - std::countl_zero(x); }
+
+/// Rounds up to the next multiple of `align` (align must be a power of 2).
+inline uint64_t RoundUp(uint64_t v, uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// True iff v is a power of two (v > 0).
+inline bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace fpm
+
+#endif  // FPM_COMMON_BITS_H_

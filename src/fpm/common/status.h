@@ -1,0 +1,177 @@
+// Status / Result error model for the fpm library.
+//
+// The public API does not throw exceptions (Google C++ style / Arrow
+// convention for database libraries). Fallible operations return
+// `fpm::Status` or `fpm::Result<T>`; callers propagate with
+// FPM_RETURN_IF_ERROR / FPM_ASSIGN_OR_RETURN.
+
+#ifndef FPM_COMMON_STATUS_H_
+#define FPM_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fpm {
+
+/// Canonical error space, modeled after absl::StatusCode.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kIOError = 7,
+  kResourceExhausted = 8,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic success-or-error type. Cheap to copy on the OK path
+/// (a single enum); carries a message only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+namespace internal {
+[[noreturn]] void DieOnBadAccess(const Status& status, const char* what);
+}  // namespace internal
+
+/// Result<T> holds either a T or a non-OK Status.
+///
+/// Accessing the value of an error Result aborts the process with a
+/// diagnostic (programming error), mirroring absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (this->status().ok()) {
+      internal::DieOnBadAccess(this->status(),
+                               "Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns OK when holding a value, the error otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(data_);
+    return fallback;
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      internal::DieOnBadAccess(std::get<Status>(data_),
+                               "Result::value() on error");
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+}  // namespace fpm
+
+/// Propagates a non-OK Status from the enclosing function.
+#define FPM_RETURN_IF_ERROR(expr)                        \
+  do {                                                   \
+    ::fpm::Status fpm_status_internal_ = (expr);         \
+    if (!fpm_status_internal_.ok()) {                    \
+      return fpm_status_internal_;                       \
+    }                                                    \
+  } while (false)
+
+#define FPM_STATUS_CONCAT_INNER_(x, y) x##y
+#define FPM_STATUS_CONCAT_(x, y) FPM_STATUS_CONCAT_INNER_(x, y)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error. `lhs` may include a declaration: FPM_ASSIGN_OR_RETURN(auto v, F());
+#define FPM_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  auto FPM_STATUS_CONCAT_(fpm_result_, __LINE__) = (rexpr);           \
+  if (!FPM_STATUS_CONCAT_(fpm_result_, __LINE__).ok()) {              \
+    return FPM_STATUS_CONCAT_(fpm_result_, __LINE__).status();        \
+  }                                                                   \
+  lhs = std::move(FPM_STATUS_CONCAT_(fpm_result_, __LINE__)).value()
+
+#endif  // FPM_COMMON_STATUS_H_

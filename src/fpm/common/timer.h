@@ -1,0 +1,39 @@
+// Wall-clock timing utilities used by the perf harness and benches.
+
+#ifndef FPM_COMMON_TIMER_H_
+#define FPM_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fpm {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction or the last Reset().
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_COMMON_TIMER_H_

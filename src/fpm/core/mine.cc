@@ -1,0 +1,71 @@
+#include "fpm/core/mine.h"
+
+#include "fpm/algo/apriori.h"
+#include "fpm/algo/bruteforce.h"
+#include "fpm/algo/eclat/eclat_miner.h"
+#include "fpm/algo/fpgrowth/fpgrowth_miner.h"
+#include "fpm/algo/hmine.h"
+#include "fpm/algo/lcm/lcm_miner.h"
+
+namespace fpm {
+
+PatternSet EffectivePatterns(Algorithm algorithm, PatternSet set) {
+  return set.Intersect(PatternSet::ApplicableTo(algorithm));
+}
+
+Result<std::unique_ptr<Miner>> CreateMiner(Algorithm algorithm,
+                                           PatternSet patterns) {
+  const PatternSet p = EffectivePatterns(algorithm, patterns);
+  switch (algorithm) {
+    case Algorithm::kLcm: {
+      LcmOptions o;
+      o.lexicographic_order = p.Contains(Pattern::kLexicographicOrdering);
+      o.aggregate_buckets = p.Contains(Pattern::kAggregation);
+      o.compact_counters = p.Contains(Pattern::kCompaction);
+      o.tiling = p.Contains(Pattern::kTiling);
+      o.wavefront_prefetch = p.Contains(Pattern::kSoftwarePrefetch);
+      return std::unique_ptr<Miner>(std::make_unique<LcmMiner>(o));
+    }
+    case Algorithm::kEclat: {
+      EclatOptions o;
+      // §4.2 couples them: the lexicographic ordering is what makes the
+      // 0-escaping ranges short, so P1 enables both.
+      o.lexicographic_order = p.Contains(Pattern::kLexicographicOrdering);
+      o.zero_escape = o.lexicographic_order;
+      o.popcount = p.Contains(Pattern::kSimdization)
+                       ? PopcountStrategy::kAuto
+                       : PopcountStrategy::kLut16;
+      return std::unique_ptr<Miner>(std::make_unique<EclatMiner>(o));
+    }
+    case Algorithm::kFpGrowth: {
+      FpGrowthOptions o;
+      o.lexicographic_order = p.Contains(Pattern::kLexicographicOrdering);
+      o.compact_nodes = p.Contains(Pattern::kDataStructureAdaptation);
+      // P3 and P4 both act through the DFS re-layout of the compact
+      // store (see fptree.h); either enables it.
+      o.dfs_relayout = p.Contains(Pattern::kAggregation) ||
+                       p.Contains(Pattern::kCompaction);
+      o.software_prefetch = p.Contains(Pattern::kSoftwarePrefetch) ||
+                            p.Contains(Pattern::kPrefetchPointers);
+      return std::unique_ptr<Miner>(std::make_unique<FpGrowthMiner>(o));
+    }
+    case Algorithm::kApriori:
+      return std::unique_ptr<Miner>(std::make_unique<AprioriMiner>());
+    case Algorithm::kHMine:
+      return std::unique_ptr<Miner>(std::make_unique<HMineMiner>());
+    case Algorithm::kBruteForce:
+      return std::unique_ptr<Miner>(std::make_unique<BruteForceMiner>());
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+Status Mine(const Database& db, const MineOptions& options, ItemsetSink* sink,
+            MineStats* stats) {
+  FPM_ASSIGN_OR_RETURN(std::unique_ptr<Miner> miner,
+                       CreateMiner(options.algorithm, options.patterns));
+  FPM_RETURN_IF_ERROR(miner->Mine(db, options.min_support, sink));
+  if (stats != nullptr) *stats = miner->stats();
+  return Status::OK();
+}
+
+}  // namespace fpm

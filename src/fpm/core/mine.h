@@ -1,0 +1,45 @@
+// The library front door: pick an algorithm and a pattern set, mine.
+//
+//   fpm::MineOptions options;
+//   options.algorithm = fpm::Algorithm::kLcm;
+//   options.min_support = 3000;
+//   options.patterns = fpm::PatternSet::ApplicableTo(options.algorithm);
+//   fpm::CollectingSink sink;
+//   FPM_CHECK_OK(fpm::Mine(db, options, &sink));
+
+#ifndef FPM_CORE_MINE_H_
+#define FPM_CORE_MINE_H_
+
+#include <memory>
+
+#include "fpm/algo/miner.h"
+#include "fpm/core/patterns.h"
+
+namespace fpm {
+
+/// What to mine and how.
+struct MineOptions {
+  Algorithm algorithm = Algorithm::kLcm;
+  Support min_support = 1;
+  /// Patterns to enable. Patterns inapplicable to the chosen algorithm
+  /// (Table 4) are ignored; query EffectivePatterns() to see the subset
+  /// that will act.
+  PatternSet patterns;
+};
+
+/// Patterns of `set` that actually affect `algorithm`.
+PatternSet EffectivePatterns(Algorithm algorithm, PatternSet set);
+
+/// Instantiates a configured miner. Returns InvalidArgument for
+/// configurations that cannot run here (e.g. SIMD on a machine without
+/// AVX2 — the auto strategy falls back instead of failing).
+Result<std::unique_ptr<Miner>> CreateMiner(Algorithm algorithm,
+                                           PatternSet patterns);
+
+/// One-shot convenience: create, mine, optionally return stats.
+Status Mine(const Database& db, const MineOptions& options, ItemsetSink* sink,
+            MineStats* stats = nullptr);
+
+}  // namespace fpm
+
+#endif  // FPM_CORE_MINE_H_

@@ -1,0 +1,116 @@
+#include "fpm/core/partition.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "fpm/algo/candidate_trie.h"
+#include "fpm/common/timer.h"
+#include "fpm/core/mine.h"
+
+namespace fpm {
+namespace {
+
+uint64_t HashItemset(const Itemset& set) {
+  uint64_t h = 1469598103934665603ull;
+  for (Item it : set) {
+    h ^= it;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct ItemsetHash {
+  size_t operator()(const Itemset& set) const {
+    return static_cast<size_t>(HashItemset(set));
+  }
+};
+
+}  // namespace
+
+PartitionedMiner::PartitionedMiner(PartitionOptions options)
+    : options_(options) {}
+
+std::string PartitionedMiner::name() const {
+  return std::string("partition(") +
+         std::to_string(options_.num_partitions) + "x" +
+         AlgorithmName(options_.inner_algorithm) + ")";
+}
+
+Status PartitionedMiner::Mine(const Database& db, Support min_support,
+                              ItemsetSink* sink) {
+  if (min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (sink == nullptr) return Status::InvalidArgument("sink is null");
+  if (options_.num_partitions < 1) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  stats_ = MineStats{};
+  last_candidates_ = 0;
+  WallTimer timer;
+
+  const size_t n = db.num_transactions();
+  const uint32_t k = static_cast<uint32_t>(
+      std::min<size_t>(options_.num_partitions, n == 0 ? 1 : n));
+  const Support total_weight = db.total_weight();
+
+  // ---- Phase 1: mine each contiguous partition at scaled support. ----
+  std::unordered_set<Itemset, ItemsetHash> candidates;
+  for (uint32_t p = 0; p < k; ++p) {
+    const size_t begin = n * p / k;
+    const size_t end = n * (p + 1) / k;
+    DatabaseBuilder builder;
+    Support part_weight = 0;
+    for (size_t t = begin; t < end; ++t) {
+      builder.AddTransaction(db.transaction(static_cast<Tid>(t)),
+                             db.weight(static_cast<Tid>(t)));
+      part_weight += db.weight(static_cast<Tid>(t));
+    }
+    if (part_weight == 0) continue;
+    // ceil(min_support * part_weight / total_weight), at least 1.
+    const uint64_t scaled =
+        (static_cast<uint64_t>(min_support) * part_weight +
+         total_weight - 1) /
+        total_weight;
+    const Support local_support =
+        scaled < 1 ? 1 : static_cast<Support>(scaled);
+
+    FPM_ASSIGN_OR_RETURN(
+        std::unique_ptr<Miner> inner,
+        CreateMiner(options_.inner_algorithm, options_.inner_patterns));
+    CollectingSink local;
+    FPM_RETURN_IF_ERROR(
+        inner->Mine(builder.Build(), local_support, &local));
+    for (auto& [set, support] : local.mutable_results()) {
+      candidates.insert(std::move(set));
+    }
+  }
+  last_candidates_ = candidates.size();
+
+  // ---- Phase 2: exact counting over the full database. ---------------
+  CandidateTrie trie;
+  std::vector<Itemset> ordered(candidates.begin(), candidates.end());
+  std::sort(ordered.begin(), ordered.end());
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    trie.Insert(ordered[i], static_cast<uint32_t>(i));
+  }
+  std::vector<Support> counts(ordered.size(), 0);
+  std::vector<Item> sorted_tx;
+  for (Tid t = 0; t < n; ++t) {
+    const auto tx = db.transaction(t);
+    sorted_tx.assign(tx.begin(), tx.end());
+    std::sort(sorted_tx.begin(), sorted_tx.end());
+    trie.CountTransaction(sorted_tx, db.weight(t), &counts);
+  }
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    if (counts[i] >= min_support) {
+      sink->Emit(ordered[i], counts[i]);
+      ++stats_.num_frequent;
+    }
+  }
+
+  stats_.mine_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+}  // namespace fpm

@@ -1,0 +1,121 @@
+#include "fpm/core/pattern_advisor.h"
+
+#include <sstream>
+
+namespace fpm {
+namespace {
+
+std::string Fmt(double v) {
+  std::ostringstream os;
+  os.precision(4);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+PatternAdvice AdvisePatterns(Algorithm algorithm, const DatabaseStats& stats,
+                             const AdvisorConfig& config) {
+  PatternAdvice advice;
+  PatternSet set = PatternSet::ApplicableTo(algorithm);
+  auto keep = [&](Pattern p, const std::string& why) {
+    if (set.Contains(p)) {
+      advice.rationale.push_back(std::string(GetPatternInfo(p).id) +
+                                 " kept: " + why);
+    }
+  };
+  auto drop = [&](Pattern p, const std::string& why) {
+    if (set.Contains(p)) {
+      set = set.Without(p);
+      advice.rationale.push_back(std::string(GetPatternInfo(p).id) +
+                                 " dropped: " + why);
+    }
+  };
+
+  // P1 — lexicographic ordering.
+  if (stats.consecutive_jaccard > config.lex_jaccard_ceiling) {
+    drop(Pattern::kLexicographicOrdering,
+         "input already clustered (consecutive Jaccard " +
+             Fmt(stats.consecutive_jaccard) + " > " +
+             Fmt(config.lex_jaccard_ceiling) + ")");
+  } else if (algorithm == Algorithm::kFpGrowth &&
+             stats.num_transactions > config.lex_fpgrowth_tx_limit) {
+    drop(Pattern::kLexicographicOrdering,
+         "too many transactions (" + std::to_string(stats.num_transactions) +
+             "); the sort would dominate FP-tree build time (the paper's "
+             "DS4 case)");
+  } else {
+    keep(Pattern::kLexicographicOrdering,
+         "input order is random (consecutive Jaccard " +
+             Fmt(stats.consecutive_jaccard) + ")");
+  }
+
+  // P3/P5/P7 — latency hiding wants long linked structures.
+  const bool long_structures =
+      stats.avg_transaction_len >= config.prefetch_min_avg_len;
+  if (!long_structures) {
+    const std::string why = "average transaction length " +
+                            Fmt(stats.avg_transaction_len) +
+                            " too short to hide latency in";
+    drop(Pattern::kAggregation, why);
+    drop(Pattern::kPrefetchPointers, why);
+    drop(Pattern::kSoftwarePrefetch, why);
+  } else {
+    const std::string why = "long transactions (avg " +
+                            Fmt(stats.avg_transaction_len) +
+                            ") imply deep linked structures";
+    keep(Pattern::kAggregation, why);
+    keep(Pattern::kPrefetchPointers, why);
+    keep(Pattern::kSoftwarePrefetch, why);
+  }
+
+  // P6 — tiling needs reuse.
+  if (stats.density < config.tiling_density_floor) {
+    drop(Pattern::kTiling, "database too sparse (density " +
+                               Fmt(stats.density) +
+                               "); tiling adds loop overhead without "
+                               "reuse (the paper's DS4 case)");
+  } else {
+    keep(Pattern::kTiling,
+         "density " + Fmt(stats.density) + " gives cache reuse to exploit");
+  }
+
+  // P2/P4 — smaller/denser structures help whenever applicable.
+  keep(Pattern::kDataStructureAdaptation,
+       "smaller nodes always reduce the tree working set");
+  keep(Pattern::kCompaction, "contiguous counters always reduce misses");
+
+  // P8 — computation-bound kernels always benefit.
+  keep(Pattern::kSimdization, "the kernel is computation bound (Table 3)");
+
+  advice.patterns = set;
+  return advice;
+}
+
+MiningAdvice AdviseMining(const DatabaseStats& stats,
+                          const AdvisorConfig& config) {
+  MiningAdvice advice;
+  if (stats.density >= config.eclat_density_floor &&
+      stats.num_used_items <= config.eclat_max_items) {
+    advice.algorithm = Algorithm::kEclat;
+    advice.rationale.push_back(
+        "algorithm eclat: dense matrix (density " + Fmt(stats.density) +
+        " >= " + Fmt(config.eclat_density_floor) + ") over a moderate "
+        "universe (" + std::to_string(stats.num_used_items) +
+        " items) keeps the bit matrix compact and intersection bound");
+  } else {
+    advice.algorithm = Algorithm::kLcm;
+    advice.rationale.push_back(
+        "algorithm lcm: sparse or wide-universe input (density " +
+        Fmt(stats.density) + ", " + std::to_string(stats.num_used_items) +
+        " items) favors the horizontal array kernel");
+  }
+  PatternAdvice patterns = AdvisePatterns(advice.algorithm, stats, config);
+  advice.patterns = patterns.patterns;
+  for (auto& reason : patterns.rationale) {
+    advice.rationale.push_back(std::move(reason));
+  }
+  return advice;
+}
+
+}  // namespace fpm

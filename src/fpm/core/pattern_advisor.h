@@ -1,0 +1,77 @@
+// Pattern advisor — the paper's §6 future work ("the problem of
+// selecting an optimal set of transformations, given the input and
+// machine parameters"), implemented as the transparent rule set §4.4's
+// observations suggest:
+//
+//   - lexicographic ordering pays off when the input order is random
+//     (low consecutive-transaction similarity) and hurts when the
+//     database is so large that the sort dominates (the DS4/FP-Growth
+//     case);
+//   - software prefetch and aggregation want long linked structures
+//     (proxy: average transaction length);
+//   - tiling wants clustered transactions with reuse; on very sparse
+//     data it only adds loop overhead (the DS4/LCM case);
+//   - SIMDization always helps the computation-bound kernel.
+
+#ifndef FPM_CORE_PATTERN_ADVISOR_H_
+#define FPM_CORE_PATTERN_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "fpm/core/patterns.h"
+#include "fpm/dataset/stats.h"
+
+namespace fpm {
+
+/// Tunable decision thresholds (defaults calibrated on the bench suite).
+struct AdvisorConfig {
+  /// P1 skipped when consecutive Jaccard is already above this (input is
+  /// pre-clustered; the sort buys little).
+  double lex_jaccard_ceiling = 0.15;
+  /// P1 skipped for FP-Growth above this many transactions on sparse
+  /// data (sort time dominates — the paper's DS4 observation).
+  size_t lex_fpgrowth_tx_limit = 1000000;
+  /// P6 skipped below this density (no reuse to tile for).
+  double tiling_density_floor = 0.002;
+  /// P3/P5/P7 skipped below this average transaction length (linked
+  /// structures too short to hide latency in).
+  double prefetch_min_avg_len = 6.0;
+
+  /// AdviseMining picks Eclat when density is at least this and the
+  /// used-item universe is at most eclat_max_items (bit matrix stays
+  /// compact and intersections dominate).
+  double eclat_density_floor = 0.03;
+  size_t eclat_max_items = 4000;
+};
+
+/// A recommendation plus the reason for every inclusion/exclusion.
+struct PatternAdvice {
+  PatternSet patterns;
+  std::vector<std::string> rationale;
+};
+
+/// Recommends a pattern subset of PatternSet::ApplicableTo(algorithm)
+/// for the given input characteristics.
+PatternAdvice AdvisePatterns(Algorithm algorithm, const DatabaseStats& stats,
+                             const AdvisorConfig& config = AdvisorConfig());
+
+/// A full mining recommendation: which kernel and which patterns.
+struct MiningAdvice {
+  Algorithm algorithm = Algorithm::kLcm;
+  PatternSet patterns;
+  std::vector<std::string> rationale;
+};
+
+/// Picks a kernel for the input ("no one algorithm dominates: the
+/// performance of these algorithms is very dependent on input
+/// characteristics", §1) and the pattern set to tune it with:
+/// dense moderate-universe inputs go to Eclat (compact bit matrix,
+/// SIMD-able intersections); everything else to LCM. Heuristic and
+/// transparent — the rationale lists every decision.
+MiningAdvice AdviseMining(const DatabaseStats& stats,
+                          const AdvisorConfig& config = AdvisorConfig());
+
+}  // namespace fpm
+
+#endif  // FPM_CORE_PATTERN_ADVISOR_H_

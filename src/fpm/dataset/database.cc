@@ -1,0 +1,67 @@
+#include "fpm/dataset/database.h"
+
+#include <algorithm>
+
+namespace fpm {
+
+void DatabaseBuilder::AddTransaction(std::span<const Item> items,
+                                     Support weight) {
+  // De-duplicate while preserving first-occurrence order. Transactions
+  // are short relative to the item universe, so sort a scratch copy to
+  // detect duplicates, then emit in input order.
+  scratch_.assign(items.begin(), items.end());
+  std::sort(scratch_.begin(), scratch_.end());
+  const bool has_dup =
+      std::adjacent_find(scratch_.begin(), scratch_.end()) != scratch_.end();
+
+  if (!has_dup) {
+    items_.insert(items_.end(), items.begin(), items.end());
+  } else {
+    scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                   scratch_.end());
+    // Emit in input order, keeping only the first occurrence of each item.
+    std::vector<Item> remaining = scratch_;
+    for (Item it : items) {
+      auto pos = std::lower_bound(remaining.begin(), remaining.end(), it);
+      if (pos != remaining.end() && *pos == it) {
+        items_.push_back(it);
+        remaining.erase(pos);
+      }
+    }
+  }
+  for (Item it : items) {
+    if (static_cast<size_t>(it) + 1 > max_item_bound_) {
+      max_item_bound_ = static_cast<size_t>(it) + 1;
+    }
+  }
+  offsets_.push_back(items_.size());
+  weights_.push_back(weight);
+  if (weight != 1) any_weighted_ = true;
+}
+
+Database DatabaseBuilder::Build() {
+  Database db;
+  db.items_ = std::move(items_);
+  db.offsets_ = std::move(offsets_);
+  db.num_items_ = max_item_bound_;
+  if (any_weighted_) {
+    db.weights_ = std::move(weights_);
+  }
+  db.frequencies_.assign(db.num_items_, 0);
+  db.total_weight_ = 0;
+  for (Tid t = 0; t < db.num_transactions(); ++t) {
+    const Support w = db.weight(t);
+    db.total_weight_ += w;
+    for (Item it : db.transaction(t)) db.frequencies_[it] += w;
+  }
+
+  // Reset to a clean reusable state.
+  items_.clear();
+  offsets_.assign(1, 0);
+  weights_.clear();
+  max_item_bound_ = 0;
+  any_weighted_ = false;
+  return db;
+}
+
+}  // namespace fpm

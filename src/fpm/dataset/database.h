@@ -1,0 +1,123 @@
+// Horizontal in-memory transaction database.
+//
+// Layout: CSR (compressed sparse row) — one flat `items` array plus an
+// `offsets` array with one entry per transaction boundary. This is the
+// "sparse, transaction-major" representation of the paper's §3.3
+// (Feature 1 horizontal / Feature 2 sparse); it keeps each transaction's
+// items in consecutive memory, the property pattern P1 builds on.
+
+#ifndef FPM_DATASET_DATABASE_H_
+#define FPM_DATASET_DATABASE_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fpm/common/status.h"
+#include "fpm/dataset/types.h"
+
+namespace fpm {
+
+/// Immutable transaction database. Build with DatabaseBuilder.
+class Database {
+ public:
+  Database() = default;
+
+  /// Number of transactions.
+  size_t num_transactions() const { return offsets_.size() - 1; }
+
+  /// Size of the item universe: all item ids are < num_items().
+  /// (Items with zero occurrences may exist below this bound.)
+  size_t num_items() const { return num_items_; }
+
+  /// Total number of (transaction, item) incidences.
+  size_t num_entries() const { return items_.size(); }
+
+  /// Items of transaction `t`, in stored order.
+  std::span<const Item> transaction(Tid t) const {
+    return {items_.data() + offsets_[t], offsets_[t + 1] - offsets_[t]};
+  }
+
+  /// Multiplicity of transaction `t` (merged duplicates); 1 by default.
+  Support weight(Tid t) const { return weights_.empty() ? 1 : weights_[t]; }
+
+  /// True when duplicate transactions were merged and carry weights.
+  bool has_weights() const { return !weights_.empty(); }
+
+  /// Per-item frequency: number of transactions (weighted) containing it.
+  /// Size num_items().
+  const std::vector<Support>& item_frequencies() const {
+    return frequencies_;
+  }
+
+  /// Sum of weights over all transactions (== num_transactions() when
+  /// unweighted).
+  Support total_weight() const { return total_weight_; }
+
+  /// Direct access to the flat CSR arrays (used by the miners).
+  const std::vector<Item>& items() const { return items_; }
+  const std::vector<size_t>& offsets() const { return offsets_; }
+
+  /// Average transaction length.
+  double average_length() const {
+    return num_transactions() == 0
+               ? 0.0
+               : static_cast<double>(items_.size()) / num_transactions();
+  }
+
+  /// Bytes of heap memory held by the database arrays.
+  size_t memory_bytes() const {
+    return items_.size() * sizeof(Item) + offsets_.size() * sizeof(size_t) +
+           weights_.size() * sizeof(Support) +
+           frequencies_.size() * sizeof(Support);
+  }
+
+ private:
+  friend class DatabaseBuilder;
+
+  std::vector<Item> items_;
+  std::vector<size_t> offsets_{0};
+  std::vector<Support> weights_;  // empty => all 1
+  std::vector<Support> frequencies_;
+  size_t num_items_ = 0;
+  Support total_weight_ = 0;
+};
+
+/// Accumulates transactions and produces an immutable Database.
+///
+/// Items inside a transaction are de-duplicated; their stored order is
+/// preserved as given (the layout library controls ordering).
+class DatabaseBuilder {
+ public:
+  DatabaseBuilder() = default;
+
+  /// Appends one transaction. Duplicate items within the transaction are
+  /// removed (first occurrence wins). Empty transactions are kept: they
+  /// contribute to the transaction count but to no support.
+  void AddTransaction(std::span<const Item> items, Support weight = 1);
+
+  /// Convenience overload.
+  void AddTransaction(std::initializer_list<Item> items, Support weight = 1) {
+    AddTransaction(std::span<const Item>(items.begin(), items.size()), weight);
+  }
+
+  /// Number of transactions added so far.
+  size_t size() const { return offsets_.size() - 1; }
+
+  /// Finalizes: computes item frequencies and moves the data out.
+  /// The builder is left empty and reusable.
+  Database Build();
+
+ private:
+  std::vector<Item> items_;
+  std::vector<size_t> offsets_{0};
+  std::vector<Support> weights_;
+  std::vector<Item> scratch_;
+  size_t max_item_bound_ = 0;
+  bool any_weighted_ = false;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_DATASET_DATABASE_H_

@@ -1,0 +1,98 @@
+#include "fpm/dataset/fimi_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace fpm {
+namespace {
+
+// Parses one line of whitespace-separated unsigned integers into `out`.
+// Returns false on malformed input.
+bool ParseLine(const char* p, const char* end, std::vector<Item>* out,
+               std::string* error) {
+  out->clear();
+  while (p < end) {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+    if (p >= end) break;
+    if (!std::isdigit(static_cast<unsigned char>(*p))) {
+      *error = std::string("unexpected character '") + *p + "'";
+      return false;
+    }
+    uint64_t v = 0;
+    while (p < end && std::isdigit(static_cast<unsigned char>(*p))) {
+      v = v * 10 + static_cast<uint64_t>(*p - '0');
+      if (v > 0xffffffffULL) {
+        *error = "item id overflows 32 bits";
+        return false;
+      }
+      ++p;
+    }
+    out->push_back(static_cast<Item>(v));
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Database> ParseFimi(const std::string& text) {
+  DatabaseBuilder builder;
+  std::vector<Item> tx;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    ++line_no;
+    std::string error;
+    if (!ParseLine(text.data() + pos, text.data() + eol, &tx, &error)) {
+      return Status::InvalidArgument("FIMI parse error at line " +
+                                     std::to_string(line_no) + ": " + error);
+    }
+    // Skip blank lines entirely (common trailing newline case).
+    if (!tx.empty()) builder.AddTransaction(tx);
+    if (eol == text.size()) break;
+    pos = eol + 1;
+  }
+  return builder.Build();
+}
+
+Result<Database> ReadFimiFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failure on '" + path + "'");
+  return ParseFimi(buf.str());
+}
+
+std::string ToFimi(const Database& db) {
+  std::string out;
+  char num[16];
+  for (Tid t = 0; t < db.num_transactions(); ++t) {
+    const auto tx = db.transaction(t);
+    for (Support copy = 0; copy < db.weight(t); ++copy) {
+      bool first = true;
+      for (Item it : tx) {
+        int n = std::snprintf(num, sizeof(num), first ? "%u" : " %u", it);
+        out.append(num, static_cast<size_t>(n));
+        first = false;
+      }
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+Status WriteFimiFile(const Database& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  const std::string text = ToFimi(db);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace fpm

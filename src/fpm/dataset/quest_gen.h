@@ -1,0 +1,51 @@
+// IBM Quest synthetic transaction generator.
+//
+// Reimplements the classic Agrawal–Srikant generator (VLDB'94 §2.4.3, the
+// "IBM Quest Dataset Generator" the paper uses for DS1 = T60I10D300K and
+// DS2 = T70I10D300K): a pool of |L| potentially-large itemsets with
+// exponentially distributed weights, correlated contents and per-itemset
+// corruption levels; transactions of Poisson length are filled from the
+// weighted pool with carry-over of oversized picks.
+
+#ifndef FPM_DATASET_QUEST_GEN_H_
+#define FPM_DATASET_QUEST_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "fpm/common/status.h"
+#include "fpm/dataset/database.h"
+
+namespace fpm {
+
+/// Parameters of the Quest generator. Field names follow the paper's
+/// T..I..D.. naming: T = avg transaction length, I = avg size of maximal
+/// potentially-large itemsets, D = number of transactions.
+struct QuestParams {
+  uint32_t num_transactions = 10000;      ///< D
+  double avg_transaction_len = 10.0;      ///< T
+  double avg_pattern_len = 4.0;           ///< I
+  uint32_t num_items = 1000;              ///< N (item universe)
+  uint32_t num_patterns = 2000;           ///< |L| (pool size)
+  double correlation = 0.5;               ///< fraction inherited from prev pattern
+  double corruption_mean = 0.5;           ///< mean corruption level
+  double corruption_sd = 0.1;             ///< stddev of corruption level
+  uint64_t seed = 20070401;               ///< deterministic seed
+
+  /// Parses names like "T60I10D300K" / "T10I4D100K" (K/M suffixes on D).
+  /// Item universe and pool size keep their defaults.
+  static Result<QuestParams> FromName(const std::string& name);
+
+  /// Canonical "T..I..D.." name for these parameters.
+  std::string Name() const;
+
+  /// Validates ranges (positive sizes, correlation/corruption in [0,1]).
+  Status Validate() const;
+};
+
+/// Generates a database. Deterministic for fixed parameters.
+Result<Database> GenerateQuest(const QuestParams& params);
+
+}  // namespace fpm
+
+#endif  // FPM_DATASET_QUEST_GEN_H_

@@ -1,0 +1,111 @@
+#include "fpm/dataset/standin_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "fpm/common/rng.h"
+
+namespace fpm {
+
+Status WebDocsLikeParams::Validate() const {
+  if (num_transactions == 0) {
+    return Status::InvalidArgument("num_transactions must be > 0");
+  }
+  if (vocabulary == 0) return Status::InvalidArgument("vocabulary must be > 0");
+  if (avg_length <= 0) return Status::InvalidArgument("avg_length must be > 0");
+  if (zipf_exponent < 0) {
+    return Status::InvalidArgument("zipf_exponent must be >= 0");
+  }
+  if (num_topics == 0) return Status::InvalidArgument("num_topics must be > 0");
+  if (topic_vocabulary == 0 || topic_vocabulary > vocabulary) {
+    return Status::InvalidArgument("topic_vocabulary out of range");
+  }
+  if (topic_mix < 0 || topic_mix > 1) {
+    return Status::InvalidArgument("topic_mix must be in [0,1]");
+  }
+  return Status::OK();
+}
+
+Status ApLikeParams::Validate() const {
+  if (num_transactions == 0) {
+    return Status::InvalidArgument("num_transactions must be > 0");
+  }
+  if (vocabulary == 0) return Status::InvalidArgument("vocabulary must be > 0");
+  if (avg_length <= 0) return Status::InvalidArgument("avg_length must be > 0");
+  if (zipf_exponent < 0) {
+    return Status::InvalidArgument("zipf_exponent must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<Database> GenerateWebDocsLike(const WebDocsLikeParams& p) {
+  FPM_RETURN_IF_ERROR(p.Validate());
+  Rng rng(p.seed);
+  // Global popularity ranks double as item ids: rank r -> item r, so the
+  // generated ids are already roughly frequency-ordered, like the output
+  // of a text tokenizer that assigns ids in corpus-frequency order.
+  ZipfSampler global(p.vocabulary, p.zipf_exponent);
+  // Each topic owns a random subset of mid-tail vocabulary plus its own
+  // internal Zipf skew.
+  ZipfSampler topical(p.topic_vocabulary, 1.0);
+  std::vector<std::vector<Item>> topic_items(p.num_topics);
+  for (auto& items : topic_items) {
+    std::unordered_set<Item> seen;
+    items.reserve(p.topic_vocabulary);
+    while (items.size() < p.topic_vocabulary) {
+      const Item it = static_cast<Item>(rng.NextBounded(p.vocabulary));
+      if (seen.insert(it).second) items.push_back(it);
+    }
+  }
+
+  DatabaseBuilder builder;
+  std::vector<Item> tx;
+  std::unordered_set<Item> in_tx;
+  for (uint32_t t = 0; t < p.num_transactions; ++t) {
+    uint32_t target = std::max<uint32_t>(1, rng.NextPoisson(p.avg_length));
+    target = std::min<uint32_t>(target, p.vocabulary);
+    const auto& topic =
+        topic_items[static_cast<size_t>(rng.NextBounded(p.num_topics))];
+    tx.clear();
+    in_tx.clear();
+    uint32_t attempts = 0;
+    const uint32_t max_attempts = 20 * target + 100;
+    while (tx.size() < target && attempts++ < max_attempts) {
+      Item it;
+      if (rng.NextBool(p.topic_mix)) {
+        it = topic[topical.Sample(&rng)];
+      } else {
+        it = static_cast<Item>(global.Sample(&rng));
+      }
+      if (in_tx.insert(it).second) tx.push_back(it);
+    }
+    builder.AddTransaction(tx);
+  }
+  return builder.Build();
+}
+
+Result<Database> GenerateApLike(const ApLikeParams& p) {
+  FPM_RETURN_IF_ERROR(p.Validate());
+  Rng rng(p.seed);
+  ZipfSampler global(p.vocabulary, p.zipf_exponent);
+  DatabaseBuilder builder;
+  std::vector<Item> tx;
+  std::unordered_set<Item> in_tx;
+  for (uint32_t t = 0; t < p.num_transactions; ++t) {
+    uint32_t target = std::max<uint32_t>(1, rng.NextPoisson(p.avg_length));
+    target = std::min<uint32_t>(target, p.vocabulary);
+    tx.clear();
+    in_tx.clear();
+    uint32_t attempts = 0;
+    const uint32_t max_attempts = 20 * target + 100;
+    while (tx.size() < target && attempts++ < max_attempts) {
+      const Item it = static_cast<Item>(global.Sample(&rng));
+      if (in_tx.insert(it).second) tx.push_back(it);
+    }
+    builder.AddTransaction(tx);
+  }
+  return builder.Build();
+}
+
+}  // namespace fpm

@@ -1,0 +1,106 @@
+#include "fpm/dataset/stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace fpm {
+namespace {
+
+// Jaccard similarity of two item sets given as sorted vectors.
+double JaccardSorted(const std::vector<Item>& a, const std::vector<Item>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+double ConsecutiveJaccard(const Database& db) {
+  const size_t n = db.num_transactions();
+  if (n < 2) return 0.0;
+  std::vector<Item> prev, cur;
+  double total = 0.0;
+  {
+    auto t0 = db.transaction(0);
+    prev.assign(t0.begin(), t0.end());
+    std::sort(prev.begin(), prev.end());
+  }
+  for (Tid t = 1; t < n; ++t) {
+    auto tx = db.transaction(t);
+    cur.assign(tx.begin(), tx.end());
+    std::sort(cur.begin(), cur.end());
+    total += JaccardSorted(prev, cur);
+    prev.swap(cur);
+  }
+  return total / static_cast<double>(n - 1);
+}
+
+DatabaseStats ComputeStats(const Database& db) {
+  DatabaseStats s;
+  s.num_transactions = db.num_transactions();
+  s.num_items = db.num_items();
+  s.num_entries = db.num_entries();
+  s.avg_transaction_len = db.average_length();
+  for (Tid t = 0; t < db.num_transactions(); ++t) {
+    s.max_transaction_len =
+        std::max(s.max_transaction_len, db.transaction(t).size());
+  }
+  const auto& freq = db.item_frequencies();
+  for (Support f : freq) {
+    if (f > 0) ++s.num_used_items;
+  }
+  if (s.num_transactions > 0 && s.num_used_items > 0) {
+    s.density = static_cast<double>(s.num_entries) /
+                (static_cast<double>(s.num_transactions) *
+                 static_cast<double>(s.num_used_items));
+  }
+
+  // Gini over used-item frequencies.
+  std::vector<Support> used;
+  used.reserve(s.num_used_items);
+  for (Support f : freq) {
+    if (f > 0) used.push_back(f);
+  }
+  if (used.size() > 1) {
+    std::sort(used.begin(), used.end());
+    double cum = 0.0, weighted = 0.0;
+    for (size_t i = 0; i < used.size(); ++i) {
+      cum += used[i];
+      weighted += static_cast<double>(i + 1) * used[i];
+    }
+    const double n = static_cast<double>(used.size());
+    s.frequency_gini = (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+  }
+
+  s.consecutive_jaccard = ConsecutiveJaccard(db);
+  return s;
+}
+
+std::string DatabaseStats::ToString() const {
+  std::ostringstream os;
+  os << "transactions:        " << num_transactions << "\n"
+     << "item universe:       " << num_items << " (" << num_used_items
+     << " used)\n"
+     << "incidences:          " << num_entries << "\n"
+     << "avg / max length:    " << avg_transaction_len << " / "
+     << max_transaction_len << "\n"
+     << "density:             " << density << "\n"
+     << "frequency gini:      " << frequency_gini << "\n"
+     << "consecutive jaccard: " << consecutive_jaccard << "\n";
+  return os.str();
+}
+
+}  // namespace fpm

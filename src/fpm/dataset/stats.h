@@ -1,0 +1,50 @@
+// Database statistics: the input characteristics the paper's §4.4 links
+// to pattern effectiveness (average transaction length → prefetch and
+// aggregation; transaction clustering → tiling; input order randomness →
+// lexicographic ordering), consumed by the pattern advisor.
+
+#ifndef FPM_DATASET_STATS_H_
+#define FPM_DATASET_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "fpm/dataset/database.h"
+
+namespace fpm {
+
+/// Summary statistics of a transaction database.
+struct DatabaseStats {
+  size_t num_transactions = 0;
+  size_t num_items = 0;        ///< item universe bound
+  size_t num_used_items = 0;   ///< items with frequency > 0
+  size_t num_entries = 0;      ///< total incidences
+  double avg_transaction_len = 0.0;
+  size_t max_transaction_len = 0;
+  /// num_entries / (num_transactions * num_used_items): fill ratio of the
+  /// boolean matrix of §3.3.
+  double density = 0.0;
+  /// Gini coefficient of the item frequency distribution in [0, 1);
+  /// higher = heavier skew (more Zipf-like).
+  double frequency_gini = 0.0;
+  /// Mean Jaccard similarity of consecutive transactions in stored order.
+  /// This is the "metric that captures the clustering of the input
+  /// transactions" the paper sketches: ~0 for random order, →1 for
+  /// perfectly clustered input.
+  double consecutive_jaccard = 0.0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes all statistics in one pass (plus a sort of the frequency
+/// array for the Gini coefficient).
+DatabaseStats ComputeStats(const Database& db);
+
+/// Mean Jaccard similarity of consecutive transactions only; exposed
+/// separately so layout code can cheaply measure before/after pattern P1.
+double ConsecutiveJaccard(const Database& db);
+
+}  // namespace fpm
+
+#endif  // FPM_DATASET_STATS_H_

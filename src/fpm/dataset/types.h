@@ -1,0 +1,30 @@
+// Fundamental value types of the mining library.
+
+#ifndef FPM_DATASET_TYPES_H_
+#define FPM_DATASET_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fpm {
+
+/// Item identifier. The database re-maps raw input item ids into a dense
+/// range [0, num_items); the layout library additionally re-maps them into
+/// frequency-descending order (pattern P1).
+using Item = uint32_t;
+
+/// Transaction identifier: index into the database.
+using Tid = uint32_t;
+
+/// Number of transactions supporting an itemset.
+using Support = uint32_t;
+
+/// A materialized itemset (sorted ascending by convention).
+using Itemset = std::vector<Item>;
+
+/// Sentinel for "no item".
+inline constexpr Item kInvalidItem = ~static_cast<Item>(0);
+
+}  // namespace fpm
+
+#endif  // FPM_DATASET_TYPES_H_

@@ -1,0 +1,36 @@
+#include "fpm/layout/item_order.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fpm {
+
+ItemOrder ItemOrder::ByDecreasingFrequency(const Database& db) {
+  const auto& freq = db.item_frequencies();
+  ItemOrder order;
+  order.to_item_.resize(freq.size());
+  std::iota(order.to_item_.begin(), order.to_item_.end(), 0);
+  std::stable_sort(order.to_item_.begin(), order.to_item_.end(),
+                   [&freq](Item a, Item b) { return freq[a] > freq[b]; });
+  order.to_rank_.resize(freq.size());
+  for (size_t r = 0; r < order.to_item_.size(); ++r) {
+    order.to_rank_[order.to_item_[r]] = static_cast<Item>(r);
+  }
+  return order;
+}
+
+Database RemapItems(const Database& db, const ItemOrder& order) {
+  DatabaseBuilder builder;
+  std::vector<Item> tx;
+  for (Tid t = 0; t < db.num_transactions(); ++t) {
+    const auto span = db.transaction(t);
+    tx.clear();
+    tx.reserve(span.size());
+    for (Item it : span) tx.push_back(order.RankOf(it));
+    std::sort(tx.begin(), tx.end());
+    builder.AddTransaction(tx, db.weight(t));
+  }
+  return builder.Build();
+}
+
+}  // namespace fpm

@@ -1,0 +1,50 @@
+// Item re-ranking by frequency — the "alphabet" of pattern P1.
+//
+// Every miner in the paper orders items by frequency before mining; P1
+// additionally sorts the transactions themselves over that alphabet
+// (see lexicographic.h). The ItemOrder maps raw item ids to dense ranks
+// where rank 0 is the most frequent item.
+
+#ifndef FPM_LAYOUT_ITEM_ORDER_H_
+#define FPM_LAYOUT_ITEM_ORDER_H_
+
+#include <vector>
+
+#include "fpm/dataset/database.h"
+
+namespace fpm {
+
+/// Bidirectional mapping between raw item ids and frequency ranks.
+class ItemOrder {
+ public:
+  /// Builds the decreasing-frequency order for `db` (weighted
+  /// frequencies). Ties are broken by ascending raw item id, which makes
+  /// the mapping deterministic.
+  static ItemOrder ByDecreasingFrequency(const Database& db);
+
+  /// Rank of raw item `item` (0 = most frequent). Items that never occur
+  /// are ranked after all occurring items.
+  Item RankOf(Item item) const { return to_rank_[item]; }
+
+  /// Raw item id of `rank`.
+  Item ItemAt(Item rank) const { return to_item_[rank]; }
+
+  /// Size of the item universe covered.
+  size_t size() const { return to_rank_.size(); }
+
+  const std::vector<Item>& to_rank() const { return to_rank_; }
+  const std::vector<Item>& to_item() const { return to_item_; }
+
+ private:
+  std::vector<Item> to_rank_;
+  std::vector<Item> to_item_;
+};
+
+/// Rewrites `db` with items replaced by their ranks; within each
+/// transaction items are sorted ascending by rank — i.e. in decreasing
+/// frequency order, as P1 prescribes. Transaction order is unchanged.
+Database RemapItems(const Database& db, const ItemOrder& order);
+
+}  // namespace fpm
+
+#endif  // FPM_LAYOUT_ITEM_ORDER_H_

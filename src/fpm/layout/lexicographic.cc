@@ -1,0 +1,46 @@
+#include "fpm/layout/lexicographic.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fpm {
+namespace {
+
+// Sorts the transactions of `db` lexicographically, returning the
+// permutation and the rebuilt database.
+LexicographicResult SortByTransaction(const Database& db,
+                                      ItemOrder item_order) {
+  std::vector<Tid> perm(db.num_transactions());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&db](Tid a, Tid b) {
+    const auto ta = db.transaction(a);
+    const auto tb = db.transaction(b);
+    return std::lexicographical_compare(ta.begin(), ta.end(), tb.begin(),
+                                        tb.end());
+  });
+  DatabaseBuilder builder;
+  for (Tid t : perm) {
+    const auto tx = db.transaction(t);
+    builder.AddTransaction(tx, db.weight(t));
+  }
+  LexicographicResult result;
+  result.database = builder.Build();
+  result.item_order = std::move(item_order);
+  result.tid_permutation = std::move(perm);
+  return result;
+}
+
+}  // namespace
+
+LexicographicResult LexicographicOrder(const Database& db) {
+  ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
+  Database ranked = RemapItems(db, order);
+  return SortByTransaction(ranked, std::move(order));
+}
+
+LexicographicResult LexicographicSortTransactions(const Database& db) {
+  ItemOrder identity;  // empty mapping: caller already ranked the items
+  return SortByTransaction(db, std::move(identity));
+}
+
+}  // namespace fpm

@@ -1,0 +1,47 @@
+#include "fpm/layout/locality_metrics.h"
+
+namespace fpm {
+namespace {
+
+// Shared single pass: computes run counts per item.
+std::vector<uint32_t> ComputeRuns(const Database& db) {
+  std::vector<uint32_t> runs(db.num_items(), 0);
+  // last_seen[i] == most recent transaction containing i, or kNone.
+  constexpr Tid kNone = ~static_cast<Tid>(0);
+  std::vector<Tid> last_seen(db.num_items(), kNone);
+  for (Tid t = 0; t < db.num_transactions(); ++t) {
+    for (Item it : db.transaction(t)) {
+      if (last_seen[it] == kNone || last_seen[it] + 1 != t) ++runs[it];
+      last_seen[it] = t;
+    }
+  }
+  return runs;
+}
+
+}  // namespace
+
+std::vector<uint32_t> ItemRunCounts(const Database& db) {
+  return ComputeRuns(db);
+}
+
+uint64_t TotalDiscontinuities(const Database& db) {
+  uint64_t total = 0;
+  for (uint32_t r : ComputeRuns(db)) {
+    if (r > 0) total += r - 1;
+  }
+  return total;
+}
+
+double FrequencyWeightedDiscontinuities(const Database& db) {
+  const auto runs = ComputeRuns(db);
+  const auto& freq = db.item_frequencies();
+  double total = 0.0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i] > 0) {
+      total += static_cast<double>(runs[i] - 1) * freq[i];
+    }
+  }
+  return total;
+}
+
+}  // namespace fpm

@@ -1,0 +1,153 @@
+// Pattern P3 — aggregation of linked structures into supernodes (§3.3).
+//
+// Pointer-chasing lists pay a full memory latency per node and waste
+// cache-line capacity when nodes are smaller than a line. Aggregation
+// packs up to K consecutive payloads into one contiguous *supernode*;
+// traversal touches one line per K payloads and dereferences one pointer
+// per supernode. "Making each supernode the size of a cache line seems
+// to be optimal" — the ablation bench sweeps K to test that claim.
+//
+// Aggregation is efficient only when the structure is seldom updated
+// (§3.3); AggregatedList is therefore append-only/freeze-style.
+
+#ifndef FPM_MEM_AGGREGATION_H_
+#define FPM_MEM_AGGREGATION_H_
+
+#include <cstdint>
+
+#include "fpm/common/arena.h"
+#include "fpm/common/prefetch.h"
+
+namespace fpm {
+
+/// Classic pointer-chasing singly linked list on an arena — the baseline
+/// P3 transforms. Kept deliberately naive: one node per allocation, next
+/// pointer first so traversal is a dependent-load chain.
+template <typename T>
+class LinkedList {
+ public:
+  struct Node {
+    Node* next;
+    T value;
+  };
+
+  explicit LinkedList(Arena* arena) : arena_(arena) {}
+
+  /// Appends in O(1); preserves insertion order.
+  void PushBack(const T& value) {
+    Node* n = static_cast<Node*>(arena_->Allocate(sizeof(Node), alignof(Node)));
+    n->next = nullptr;
+    n->value = value;
+    if (tail_ == nullptr) {
+      head_ = tail_ = n;
+    } else {
+      tail_->next = n;
+      tail_ = n;
+    }
+    ++size_;
+  }
+
+  const Node* head() const { return head_; }
+  size_t size() const { return size_; }
+  bool empty() const { return head_ == nullptr; }
+
+  /// Visits each element in order.
+  template <typename Visit>
+  void ForEach(Visit&& visit) const {
+    for (const Node* n = head_; n != nullptr; n = n->next) visit(n->value);
+  }
+
+ private:
+  Arena* arena_;
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Aggregated (supernode) singly linked list. Each supernode stores up to
+/// `capacity` payloads contiguously. Append-only; `capacity` is chosen at
+/// construction (default sizes the supernode to one cache line).
+template <typename T>
+class AggregatedList {
+ public:
+  struct SuperNode {
+    SuperNode* next;
+    uint32_t count;
+    // Payloads follow the header inline (flexible-array idiom via
+    // over-allocation on the arena).
+    T values[1];
+  };
+
+  /// Number of payloads per supernode such that the supernode occupies
+  /// approximately one cache line.
+  static constexpr uint32_t CacheLineCapacity() {
+    constexpr size_t header = sizeof(SuperNode) - sizeof(T);
+    constexpr size_t avail =
+        kCacheLineBytes > header ? kCacheLineBytes - header : sizeof(T);
+    constexpr uint32_t k = static_cast<uint32_t>(avail / sizeof(T));
+    return k == 0 ? 1 : k;
+  }
+
+  explicit AggregatedList(Arena* arena, uint32_t capacity = CacheLineCapacity())
+      : arena_(arena), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Appends in amortized O(1); preserves insertion order.
+  void PushBack(const T& value) {
+    if (tail_ == nullptr || tail_->count == capacity_) {
+      SuperNode* n = AllocateSuperNode();
+      if (tail_ == nullptr) {
+        head_ = tail_ = n;
+      } else {
+        tail_->next = n;
+        tail_ = n;
+      }
+    }
+    tail_->values[tail_->count++] = value;
+    ++size_;
+  }
+
+  const SuperNode* head() const { return head_; }
+  size_t size() const { return size_; }
+  bool empty() const { return head_ == nullptr; }
+  uint32_t capacity() const { return capacity_; }
+
+  /// Visits each element in order. One dependent load per supernode
+  /// instead of one per element.
+  template <typename Visit>
+  void ForEach(Visit&& visit) const {
+    for (const SuperNode* n = head_; n != nullptr; n = n->next) {
+      for (uint32_t i = 0; i < n->count; ++i) visit(n->values[i]);
+    }
+  }
+
+  /// Like ForEach but prefetches the successor supernode while the
+  /// current one is processed (P3 + P7 composition).
+  template <typename Visit>
+  void ForEachPrefetched(Visit&& visit) const {
+    for (const SuperNode* n = head_; n != nullptr; n = n->next) {
+      Prefetch(n->next);
+      for (uint32_t i = 0; i < n->count; ++i) visit(n->values[i]);
+    }
+  }
+
+ private:
+  SuperNode* AllocateSuperNode() {
+    static_assert(std::is_trivially_destructible_v<T>);
+    const size_t bytes = sizeof(SuperNode) + (capacity_ - 1) * sizeof(T);
+    auto* n =
+        static_cast<SuperNode*>(arena_->Allocate(bytes, alignof(SuperNode)));
+    n->next = nullptr;
+    n->count = 0;
+    return n;
+  }
+
+  Arena* arena_;
+  uint32_t capacity_;
+  SuperNode* head_ = nullptr;
+  SuperNode* tail_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_MEM_AGGREGATION_H_

@@ -1,0 +1,26 @@
+#include "fpm/mem/prefetch_pointers.h"
+
+#include "fpm/common/logging.h"
+
+namespace fpm {
+
+std::vector<uint32_t> BuildJumpPointers(std::span<const uint32_t> heads,
+                                        std::span<const uint32_t> next,
+                                        uint32_t distance) {
+  FPM_CHECK(distance > 0) << "jump distance must be positive";
+  std::vector<uint32_t> jump(next.size(), kInvalidIndex);
+  std::vector<uint32_t> window(distance);
+  for (uint32_t head : heads) {
+    uint32_t pos = 0;
+    for (uint32_t n = head; n != kInvalidIndex; n = next[n], ++pos) {
+      FPM_DCHECK(n < next.size());
+      if (pos >= distance) {
+        jump[window[pos % distance]] = n;
+      }
+      window[pos % distance] = n;
+    }
+  }
+  return jump;
+}
+
+}  // namespace fpm

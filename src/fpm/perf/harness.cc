@@ -1,0 +1,69 @@
+#include "fpm/perf/harness.h"
+
+#include <cstdlib>
+
+#include "fpm/common/logging.h"
+#include "fpm/common/timer.h"
+
+namespace fpm {
+
+Measurement MeasureMiner(Miner& miner, const Database& db,
+                         Support min_support, int repeats) {
+  FPM_CHECK(repeats >= 1);
+  Measurement best;
+  best.name = miner.name();
+  for (int r = 0; r < repeats; ++r) {
+    CountingSink sink;
+    WallTimer timer;
+    FPM_CHECK_OK(miner.Mine(db, min_support, &sink));
+    const double seconds = timer.ElapsedSeconds();
+    if (r == 0 || seconds < best.seconds) {
+      best.seconds = seconds;
+      best.stats = miner.stats();
+    }
+    if (r == 0) {
+      best.num_frequent = sink.count();
+      best.checksum = sink.checksum();
+    } else {
+      FPM_CHECK(best.checksum == sink.checksum())
+          << miner.name() << ": non-deterministic output across repeats";
+    }
+  }
+  return best;
+}
+
+std::vector<SpeedupRow> ComputeSpeedups(
+    const Measurement& baseline, const std::vector<Measurement>& runs) {
+  std::vector<SpeedupRow> rows;
+  rows.reserve(runs.size());
+  for (const Measurement& m : runs) {
+    FPM_CHECK(m.checksum == baseline.checksum)
+        << m.name << " produced different itemsets than baseline "
+        << baseline.name << " (" << m.num_frequent << " vs "
+        << baseline.num_frequent << ")";
+    SpeedupRow row;
+    row.label = m.name;
+    row.seconds = m.seconds;
+    row.speedup = m.seconds > 0 ? baseline.seconds / m.seconds : 0.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+double BenchScale() {
+  if (const char* env = std::getenv("FPM_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 0.05;
+}
+
+int BenchRepeats() {
+  if (const char* env = std::getenv("FPM_BENCH_REPEATS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return 2;
+}
+
+}  // namespace fpm

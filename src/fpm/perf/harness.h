@@ -1,0 +1,54 @@
+// Measurement harness for the figure-reproduction benches: repeated
+// runs, best-of-N timing (the paper reports overall execution time;
+// best-of-N suppresses scheduler noise on a shared host), and speedup
+// computation against a named baseline.
+
+#ifndef FPM_PERF_HARNESS_H_
+#define FPM_PERF_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "fpm/algo/miner.h"
+
+namespace fpm {
+
+/// Outcome of measuring one miner configuration on one dataset.
+struct Measurement {
+  std::string name;          ///< miner name (config suffix included)
+  double seconds = 0.0;      ///< best-of-N total wall time
+  uint64_t num_frequent = 0; ///< itemsets found (must match across configs)
+  uint64_t checksum = 0;     ///< CountingSink checksum (output validation)
+  MineStats stats;           ///< stats of the best run
+};
+
+/// Runs `miner` `repeats` times on (db, min_support) and keeps the
+/// fastest run. Dies if the miner fails.
+Measurement MeasureMiner(Miner& miner, const Database& db,
+                         Support min_support, int repeats);
+
+/// A labeled speedup relative to a baseline measurement.
+struct SpeedupRow {
+  std::string label;
+  double seconds = 0.0;
+  double speedup = 1.0;
+};
+
+/// speedup[i] = baseline.seconds / runs[i].seconds. Dies if any run's
+/// output checksum differs from the baseline's (a tuned variant that
+/// changes results is a bug, not a speedup).
+std::vector<SpeedupRow> ComputeSpeedups(
+    const Measurement& baseline, const std::vector<Measurement>& runs);
+
+/// Scale factor for bench datasets: FPM_BENCH_SCALE env var (default
+/// 0.05). 1.0 reproduces the paper's full dataset sizes; smaller values
+/// shrink transaction counts and supports proportionally so the suite
+/// finishes quickly on small machines.
+double BenchScale();
+
+/// Repeat count for best-of-N: FPM_BENCH_REPEATS env var (default 2).
+int BenchRepeats();
+
+}  // namespace fpm
+
+#endif  // FPM_PERF_HARNESS_H_

@@ -1,0 +1,123 @@
+#include "fpm/perf/perf_counters.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace fpm {
+
+#if defined(__linux__)
+
+namespace {
+
+int OpenCounter(uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = (group_fd == -1) ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0));
+}
+
+Result<uint64_t> ReadCounter(int fd) {
+  uint64_t value = 0;
+  const ssize_t n = read(fd, &value, sizeof(value));
+  if (n != static_cast<ssize_t>(sizeof(value))) {
+    return Status::IOError("short read from perf counter");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<CpiCounter> CpiCounter::Create() {
+  const int cycles_fd = OpenCounter(PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (cycles_fd < 0) {
+    return Status::IOError(
+        "perf_event_open(cycles) failed: " + std::string(strerror(errno)) +
+        " (check /proc/sys/kernel/perf_event_paranoid)");
+  }
+  const int instr_fd = OpenCounter(PERF_COUNT_HW_INSTRUCTIONS, cycles_fd);
+  if (instr_fd < 0) {
+    const std::string err = strerror(errno);
+    close(cycles_fd);
+    return Status::IOError("perf_event_open(instructions) failed: " + err);
+  }
+  return CpiCounter(cycles_fd, instr_fd);
+}
+
+Status CpiCounter::Start() {
+  if (cycles_fd_ < 0) return Status::Internal("counter moved-from");
+  if (ioctl(cycles_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) != 0 ||
+      ioctl(cycles_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+    return Status::IOError("failed to enable perf counters");
+  }
+  return Status::OK();
+}
+
+Status CpiCounter::Stop() {
+  if (cycles_fd_ < 0) return Status::Internal("counter moved-from");
+  if (ioctl(cycles_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP) != 0) {
+    return Status::IOError("failed to disable perf counters");
+  }
+  FPM_ASSIGN_OR_RETURN(cycles_, ReadCounter(cycles_fd_));
+  FPM_ASSIGN_OR_RETURN(instructions_, ReadCounter(instructions_fd_));
+  return Status::OK();
+}
+
+void CpiCounter::Close() {
+  if (cycles_fd_ >= 0) close(cycles_fd_);
+  if (instructions_fd_ >= 0) close(instructions_fd_);
+  cycles_fd_ = instructions_fd_ = -1;
+}
+
+bool CpiCountersAvailable() {
+  auto probe = CpiCounter::Create();
+  return probe.ok();
+}
+
+#else  // !__linux__
+
+Result<CpiCounter> CpiCounter::Create() {
+  return Status::Unimplemented("perf counters require Linux");
+}
+Status CpiCounter::Start() { return Status::Unimplemented("no perf"); }
+Status CpiCounter::Stop() { return Status::Unimplemented("no perf"); }
+void CpiCounter::Close() {}
+bool CpiCountersAvailable() { return false; }
+
+#endif  // __linux__
+
+CpiCounter::CpiCounter(CpiCounter&& other) noexcept
+    : cycles_fd_(other.cycles_fd_),
+      instructions_fd_(other.instructions_fd_),
+      cycles_(other.cycles_),
+      instructions_(other.instructions_) {
+  other.cycles_fd_ = other.instructions_fd_ = -1;
+}
+
+CpiCounter& CpiCounter::operator=(CpiCounter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    cycles_fd_ = other.cycles_fd_;
+    instructions_fd_ = other.instructions_fd_;
+    cycles_ = other.cycles_;
+    instructions_ = other.instructions_;
+    other.cycles_fd_ = other.instructions_fd_ = -1;
+  }
+  return *this;
+}
+
+CpiCounter::~CpiCounter() { Close(); }
+
+}  // namespace fpm

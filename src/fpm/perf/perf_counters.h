@@ -1,0 +1,67 @@
+// Hardware performance counters via perf_event_open (Linux).
+//
+// The paper's Figure 2 reports CPI (cycles per instruction) of the hot
+// mining kernels, measured with on-chip PMCs. We read the same two
+// counters (CPU cycles, retired instructions) through perf_event_open.
+// Containers and locked-down kernels frequently refuse the syscall
+// (perf_event_paranoid); creation then returns an error and the CPI
+// bench falls back to wall-time shares, saying so.
+
+#ifndef FPM_PERF_PERF_COUNTERS_H_
+#define FPM_PERF_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+#include "fpm/common/status.h"
+
+namespace fpm {
+
+/// One cycles+instructions counter pair for the calling thread.
+/// Movable, not copyable. Counting is stopped until Start().
+class CpiCounter {
+ public:
+  CpiCounter(CpiCounter&& other) noexcept;
+  CpiCounter& operator=(CpiCounter&& other) noexcept;
+  CpiCounter(const CpiCounter&) = delete;
+  CpiCounter& operator=(const CpiCounter&) = delete;
+  ~CpiCounter();
+
+  /// Opens the counter pair. Fails with Unimplemented on non-Linux
+  /// builds and IOError when the kernel refuses perf_event_open.
+  static Result<CpiCounter> Create();
+
+  /// Resets and enables counting.
+  Status Start();
+
+  /// Disables counting and latches the values.
+  Status Stop();
+
+  /// Values of the last Start()/Stop() window.
+  uint64_t cycles() const { return cycles_; }
+  uint64_t instructions() const { return instructions_; }
+
+  /// Cycles per instruction; 0 when no instructions were counted.
+  double Cpi() const {
+    return instructions_ == 0
+               ? 0.0
+               : static_cast<double>(cycles_) /
+                     static_cast<double>(instructions_);
+  }
+
+ private:
+  CpiCounter(int cycles_fd, int instructions_fd)
+      : cycles_fd_(cycles_fd), instructions_fd_(instructions_fd) {}
+  void Close();
+
+  int cycles_fd_ = -1;
+  int instructions_fd_ = -1;
+  uint64_t cycles_ = 0;
+  uint64_t instructions_ = 0;
+};
+
+/// True when CpiCounter::Create() is expected to succeed (cheap probe).
+bool CpiCountersAvailable();
+
+}  // namespace fpm
+
+#endif  // FPM_PERF_PERF_COUNTERS_H_

@@ -1,0 +1,100 @@
+#include "fpm/perf/platform_info.h"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace fpm {
+namespace {
+
+// Parses sysfs cache size strings like "32K" / "1024K" / "8M".
+size_t ParseCacheSize(const std::string& text) {
+  if (text.empty()) return 0;
+  size_t value = 0;
+  size_t i = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    value = value * 10 + static_cast<size_t>(text[i] - '0');
+    ++i;
+  }
+  if (i < text.size()) {
+    if (text[i] == 'K' || text[i] == 'k') value <<= 10;
+    if (text[i] == 'M' || text[i] == 'm') value <<= 20;
+  }
+  return value;
+}
+
+std::string ReadLineFromFile(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in) std::getline(in, line);
+  return line;
+}
+
+}  // namespace
+
+PlatformInfo PlatformInfo::Detect() {
+  PlatformInfo info;
+  info.logical_cpus =
+      static_cast<int>(std::thread::hardware_concurrency());
+  if (info.logical_cpus == 0) info.logical_cpus = 1;
+
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        size_t start = colon + 1;
+        while (start < line.size() && line[start] == ' ') ++start;
+        info.cpu_model = line.substr(start);
+      }
+      break;
+    }
+  }
+
+  // Cache hierarchy from sysfs; index order varies, so dispatch on the
+  // reported level and type.
+  for (int index = 0; index < 8; ++index) {
+    const std::string base =
+        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(index);
+    const std::string level = ReadLineFromFile(base + "/level");
+    if (level.empty()) continue;
+    const std::string type = ReadLineFromFile(base + "/type");
+    const size_t size = ParseCacheSize(ReadLineFromFile(base + "/size"));
+    if (level == "1" && (type == "Data" || type == "Unified")) {
+      info.l1d_bytes = size;
+    } else if (level == "2") {
+      info.l2_bytes = size;
+    } else if (level == "3") {
+      info.l3_bytes = size;
+    }
+  }
+
+#if defined(__x86_64__) || defined(__i386__)
+  info.has_popcnt = __builtin_cpu_supports("popcnt");
+  info.has_avx2 = __builtin_cpu_supports("avx2");
+  info.has_avx512f = __builtin_cpu_supports("avx512f");
+#endif
+  return info;
+}
+
+std::string PlatformInfo::ToString() const {
+  std::ostringstream os;
+  auto cache = [](size_t bytes) {
+    if (bytes == 0) return std::string("n/a");
+    if (bytes >= (1u << 20) && bytes % (1u << 20) == 0) {
+      return std::to_string(bytes >> 20) + "MB";
+    }
+    return std::to_string(bytes >> 10) + "KB";
+  };
+  os << "Processor type    " << cpu_model << "\n"
+     << "Logical CPUs      " << logical_cpus << "\n"
+     << "L1 data cache     " << cache(l1d_bytes) << "\n"
+     << "L2 cache          " << cache(l2_bytes) << "\n"
+     << "L3 cache          " << cache(l3_bytes) << "\n"
+     << "SIMD              " << (has_avx512f ? "AVX-512 " : "")
+     << (has_avx2 ? "AVX2 " : "") << (has_popcnt ? "POPCNT" : "") << "\n";
+  return os.str();
+}
+
+}  // namespace fpm

@@ -1,0 +1,35 @@
+// Host platform detection — the reproduction's stand-in for the paper's
+// Table 5: every bench prints the detected platform so results are
+// interpretable (we run on whatever host we get, not on the paper's
+// Pentium D / Athlon 64).
+
+#ifndef FPM_PERF_PLATFORM_INFO_H_
+#define FPM_PERF_PLATFORM_INFO_H_
+
+#include <cstddef>
+#include <string>
+
+namespace fpm {
+
+/// CPU and cache-hierarchy facts discovered at runtime.
+struct PlatformInfo {
+  std::string cpu_model = "unknown";
+  int logical_cpus = 1;
+  size_t l1d_bytes = 0;  ///< 0 = undetected
+  size_t l2_bytes = 0;
+  size_t l3_bytes = 0;
+  bool has_popcnt = false;
+  bool has_avx2 = false;
+  bool has_avx512f = false;
+
+  /// Reads /proc/cpuinfo and sysfs cache indices (Linux); degrades to
+  /// compile-time feature tests elsewhere.
+  static PlatformInfo Detect();
+
+  /// Multi-line table, Table-5 style.
+  std::string ToString() const;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_PERF_PLATFORM_INFO_H_

@@ -1,0 +1,75 @@
+#include "fpm/perf/report.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+#include "fpm/common/logging.h"
+
+namespace fpm {
+
+ReportTable::ReportTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FPM_CHECK(!header_.empty());
+}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  FPM_CHECK(cells.size() <= header_.size())
+      << "row has " << cells.size() << " cells, header has "
+      << header_.size();
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ReportTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row,
+                      std::string* out) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      *out += (c == 0) ? "| " : " | ";
+      *out += row[c];
+      out->append(widths[c] - row[c].size(), ' ');
+    }
+    *out += " |\n";
+  };
+  std::string out;
+  emit_row(header_, &out);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out += (c == 0) ? "|" : "|";
+    out.append(widths[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) emit_row(row, &out);
+  return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  return buf;
+}
+
+std::string FormatSpeedup(double speedup) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", speedup);
+  return buf;
+}
+
+std::string FormatCount(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  const size_t n = digits.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+}  // namespace fpm

@@ -1,0 +1,40 @@
+// Fixed-width table printer for the paper-style bench reports.
+
+#ifndef FPM_PERF_REPORT_H_
+#define FPM_PERF_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace fpm {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> header);
+
+  /// Adds a row; missing trailing cells render empty, extra cells die.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column separators and a header rule.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds with 3 significant decimals ("0.124s").
+std::string FormatSeconds(double seconds);
+
+/// Formats a speedup ("1.37x").
+std::string FormatSpeedup(double speedup);
+
+/// Formats a count with thousands separators ("1,234,567").
+std::string FormatCount(uint64_t value);
+
+}  // namespace fpm
+
+#endif  // FPM_PERF_REPORT_H_

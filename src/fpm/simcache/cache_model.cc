@@ -1,0 +1,127 @@
+#include "fpm/simcache/cache_model.h"
+
+#include "fpm/common/bits.h"
+#include "fpm/common/logging.h"
+
+namespace fpm {
+
+Status CacheConfig::Validate() const {
+  if (line_bytes == 0 || !IsPowerOfTwo(line_bytes)) {
+    return Status::InvalidArgument("line_bytes must be a power of two");
+  }
+  if (ways == 0) return Status::InvalidArgument("ways must be positive");
+  if (size_bytes == 0 || size_bytes % (static_cast<size_t>(ways) * line_bytes) != 0) {
+    return Status::InvalidArgument(
+        "size_bytes must be a multiple of ways * line_bytes");
+  }
+  const size_t sets = size_bytes / (static_cast<size_t>(ways) * line_bytes);
+  if (!IsPowerOfTwo(sets)) {
+    return Status::InvalidArgument("number of sets must be a power of two");
+  }
+  return Status::OK();
+}
+
+CacheModel::CacheModel(const CacheConfig& config) : config_(config) {
+  FPM_CHECK_OK(config.Validate());
+  num_sets_ = static_cast<uint32_t>(
+      config.size_bytes / (static_cast<size_t>(config.ways) * config.line_bytes));
+  line_shift_ = Log2Floor64(config.line_bytes);
+  lines_.assign(static_cast<size_t>(num_sets_) * config.ways, Line{});
+}
+
+bool CacheModel::Access(uint64_t addr) {
+  ++stats_.accesses;
+  ++tick_;
+  const uint64_t line_addr = addr >> line_shift_;
+  const uint32_t set = static_cast<uint32_t>(line_addr & (num_sets_ - 1));
+  const uint64_t tag = line_addr >> Log2Floor64(num_sets_ == 1 ? 1 : num_sets_);
+  Line* base = &lines_[static_cast<size_t>(set) * config_.ways];
+
+  Line* victim = base;
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = tick_;
+      return true;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+void CacheModel::Install(uint64_t addr) {
+  ++tick_;
+  const uint64_t line_addr = addr >> line_shift_;
+  const uint32_t set = static_cast<uint32_t>(line_addr & (num_sets_ - 1));
+  const uint64_t tag =
+      line_addr >> Log2Floor64(num_sets_ == 1 ? 1 : num_sets_);
+  Line* base = &lines_[static_cast<size_t>(set) * config_.ways];
+  Line* victim = base;
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = tick_;
+      return;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+}
+
+void CacheModel::Reset() {
+  for (auto& line : lines_) line = Line{};
+  tick_ = 0;
+  stats_ = CacheStats{};
+}
+
+TlbModel::TlbModel(uint32_t entries, uint32_t page_bytes) {
+  FPM_CHECK(entries > 0);
+  FPM_CHECK(IsPowerOfTwo(page_bytes));
+  page_shift_ = Log2Floor64(page_bytes);
+  entries_.assign(entries, Entry{});
+}
+
+bool TlbModel::Access(uint64_t addr) {
+  ++stats_.accesses;
+  ++tick_;
+  const uint64_t page = addr >> page_shift_;
+  Entry* victim = &entries_[0];
+  for (auto& e : entries_) {
+    if (e.valid && e.page == page) {
+      e.lru = tick_;
+      return true;
+    }
+    if (!e.valid) {
+      victim = &e;
+    } else if (victim->valid && e.lru < victim->lru) {
+      victim = &e;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->page = page;
+  victim->lru = tick_;
+  return false;
+}
+
+void TlbModel::Reset() {
+  for (auto& e : entries_) e = Entry{};
+  tick_ = 0;
+  stats_ = CacheStats{};
+}
+
+}  // namespace fpm

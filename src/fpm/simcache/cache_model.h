@@ -1,0 +1,102 @@
+// Set-associative cache model with true-LRU replacement.
+//
+// The paper validated its locality patterns with hardware cache-miss
+// counters on two specific machines (Table 5). We cannot demand those
+// machines, so this simulator replays the miners' access patterns
+// against *configurable* cache geometries — including M1's and M2's —
+// making the platform-dependence of P1/P4/P6 reproducible anywhere
+// (DESIGN.md §5, substitution 3).
+
+#ifndef FPM_SIMCACHE_CACHE_MODEL_H_
+#define FPM_SIMCACHE_CACHE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fpm/common/status.h"
+
+namespace fpm {
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  size_t size_bytes = 32 * 1024;
+  uint32_t ways = 8;
+  uint32_t line_bytes = 64;
+
+  Status Validate() const;
+};
+
+/// Hit/miss counters of one level.
+struct CacheStats {
+  uint64_t accesses = 0;
+  uint64_t misses = 0;
+
+  double miss_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+/// One cache level. Stores tags only (no data); LRU via per-line
+/// timestamps (sets are small, linear scan is fine).
+class CacheModel {
+ public:
+  /// Dies on invalid geometry (sizes must divide into power-of-two sets).
+  explicit CacheModel(const CacheConfig& config);
+
+  /// Touches the line containing `addr`; returns true on hit.
+  bool Access(uint64_t addr);
+
+  /// Installs the line containing `addr` without counting an access or a
+  /// miss — models a hardware prefetch fill.
+  void Install(uint64_t addr);
+
+  /// Invalidates everything and zeroes the statistics.
+  void Reset();
+
+  const CacheStats& stats() const { return stats_; }
+  const CacheConfig& config() const { return config_; }
+  uint32_t num_sets() const { return num_sets_; }
+
+ private:
+  struct Line {
+    uint64_t tag = ~0ull;
+    uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  CacheConfig config_;
+  uint32_t num_sets_;
+  int line_shift_;
+  std::vector<Line> lines_;  // num_sets * ways, set-major
+  uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+/// Fully associative TLB model (LRU), 4 KiB pages by default.
+class TlbModel {
+ public:
+  explicit TlbModel(uint32_t entries, uint32_t page_bytes = 4096);
+
+  bool Access(uint64_t addr);
+  void Reset();
+
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    uint64_t page = ~0ull;
+    uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  int page_shift_;
+  std::vector<Entry> entries_;
+  uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_SIMCACHE_CACHE_MODEL_H_

@@ -1,0 +1,75 @@
+#include "fpm/algo/apriori.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/db_testutil.h"
+
+namespace fpm {
+namespace {
+
+using testutil::MakeDb;
+using testutil::MineCanonical;
+
+TEST(AprioriTest, TextbookExample) {
+  Database db = MakeDb({{0, 1}, {0, 2}, {0, 1, 2}, {1}});
+  AprioriMiner miner;
+  const auto r = MineCanonical(miner, db, 2);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(r[0], (CollectingSink::Entry{{0}, 3}));
+  EXPECT_EQ(r[1], (CollectingSink::Entry{{0, 1}, 2}));
+  EXPECT_EQ(r[2], (CollectingSink::Entry{{0, 2}, 2}));
+  EXPECT_EQ(r[3], (CollectingSink::Entry{{1}, 3}));
+  EXPECT_EQ(r[4], (CollectingSink::Entry{{2}, 2}));
+}
+
+TEST(AprioriTest, DeepLevels) {
+  // 5 transactions of {0..4}: every subset of a 5-set is frequent at 5.
+  DatabaseBuilder b;
+  for (int i = 0; i < 5; ++i) b.AddTransaction({0, 1, 2, 3, 4});
+  AprioriMiner miner;
+  const auto r = MineCanonical(miner, b.Build(), 5);
+  EXPECT_EQ(r.size(), 31u);  // 2^5 - 1
+  for (const auto& [set, support] : r) EXPECT_EQ(support, 5u);
+}
+
+TEST(AprioriTest, PruningStillExact) {
+  // {0,1} and {1,2} frequent but {0,2} not: {0,1,2} must be pruned and
+  // absent.
+  Database db = MakeDb({{0, 1}, {0, 1}, {1, 2}, {1, 2}, {0, 3}, {2, 4}});
+  AprioriMiner miner;
+  const auto r = MineCanonical(miner, db, 2);
+  for (const auto& [set, support] : r) {
+    EXPECT_LT(set.size(), 3u) << "no 3-itemset is frequent here";
+  }
+}
+
+TEST(AprioriTest, NonContiguousItemIds) {
+  Database db = MakeDb({{100, 5000}, {100, 5000}, {100}});
+  AprioriMiner miner;
+  const auto r = MineCanonical(miner, db, 2);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], (CollectingSink::Entry{{100}, 3}));
+  EXPECT_EQ(r[1], (CollectingSink::Entry{{100, 5000}, 2}));
+  EXPECT_EQ(r[2], (CollectingSink::Entry{{5000}, 2}));
+}
+
+TEST(AprioriTest, WeightedSupports) {
+  DatabaseBuilder b;
+  b.AddTransaction({0, 1}, 9);
+  b.AddTransaction({1}, 1);
+  AprioriMiner miner;
+  const auto r = MineCanonical(miner, b.Build(), 9);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[2], (CollectingSink::Entry{{1}, 10}));
+}
+
+TEST(AprioriTest, RejectsBadArguments) {
+  Database db = MakeDb({{0}});
+  AprioriMiner miner;
+  CollectingSink sink;
+  EXPECT_FALSE(miner.Mine(db, 0, &sink).ok());
+  EXPECT_FALSE(miner.Mine(db, 1, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,77 @@
+#include "fpm/algo/bruteforce.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/db_testutil.h"
+
+namespace fpm {
+namespace {
+
+using testutil::MakeDb;
+
+TEST(BruteForceTest, TextbookExample) {
+  // {a,b}, {a,c}, {a,b,c}, {b} with minsup 2:
+  // a:3 b:3 c:2 ab:2 ac:2 bc:1 abc:1
+  Database db = MakeDb({{0, 1}, {0, 2}, {0, 1, 2}, {1}});
+  BruteForceMiner miner;
+  CollectingSink sink;
+  ASSERT_TRUE(miner.Mine(db, 2, &sink).ok());
+  sink.Canonicalize();
+  const auto& r = sink.results();
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(r[0], (CollectingSink::Entry{{0}, 3}));
+  EXPECT_EQ(r[1], (CollectingSink::Entry{{0, 1}, 2}));
+  EXPECT_EQ(r[2], (CollectingSink::Entry{{0, 2}, 2}));
+  EXPECT_EQ(r[3], (CollectingSink::Entry{{1}, 3}));
+  EXPECT_EQ(r[4], (CollectingSink::Entry{{2}, 2}));
+}
+
+TEST(BruteForceTest, MinSupportOneEnumeratesEverything) {
+  Database db = MakeDb({{0, 1, 2}});
+  BruteForceMiner miner;
+  CollectingSink sink;
+  ASSERT_TRUE(miner.Mine(db, 1, &sink).ok());
+  EXPECT_EQ(sink.size(), 7u);  // 2^3 - 1 subsets
+}
+
+TEST(BruteForceTest, ThresholdAboveTotalWeightYieldsNothing) {
+  Database db = MakeDb({{0}, {0}});
+  BruteForceMiner miner;
+  CollectingSink sink;
+  ASSERT_TRUE(miner.Mine(db, 3, &sink).ok());
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(BruteForceTest, RespectsWeights) {
+  DatabaseBuilder b;
+  b.AddTransaction({0, 1}, 5);
+  b.AddTransaction({1}, 2);
+  Database db = b.Build();
+  BruteForceMiner miner;
+  CollectingSink sink;
+  ASSERT_TRUE(miner.Mine(db, 5, &sink).ok());
+  sink.Canonicalize();
+  ASSERT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.results()[0], (CollectingSink::Entry{{0}, 5}));
+  EXPECT_EQ(sink.results()[1], (CollectingSink::Entry{{0, 1}, 5}));
+  EXPECT_EQ(sink.results()[2], (CollectingSink::Entry{{1}, 7}));
+}
+
+TEST(BruteForceTest, RejectsZeroSupport) {
+  Database db = MakeDb({{0}});
+  BruteForceMiner miner;
+  CollectingSink sink;
+  EXPECT_FALSE(miner.Mine(db, 0, &sink).ok());
+}
+
+TEST(BruteForceTest, StatsPopulated) {
+  Database db = MakeDb({{0, 1}, {0, 1}});
+  BruteForceMiner miner;
+  CountingSink sink;
+  ASSERT_TRUE(miner.Mine(db, 2, &sink).ok());
+  EXPECT_EQ(miner.stats().num_frequent, 3u);
+  EXPECT_EQ(sink.count(), 3u);
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,138 @@
+#include "fpm/algo/eclat/eclat_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "fpm/dataset/quest_gen.h"
+#include "testing/db_testutil.h"
+
+namespace fpm {
+namespace {
+
+using testutil::MakeDb;
+using testutil::MineCanonical;
+
+TEST(EclatOptionsTest, SuffixReflectsToggles) {
+  EXPECT_EQ(EclatOptions{}.Suffix(), "");
+  EclatOptions o;
+  o.lexicographic_order = true;
+  EXPECT_EQ(o.Suffix(), "+lex");
+  o.zero_escape = true;
+  o.popcount = PopcountStrategy::kHardware;
+  EXPECT_EQ(o.Suffix(), "+lex+esc+simd:hardware");
+}
+
+TEST(EclatMinerTest, TextbookExample) {
+  Database db = MakeDb({{0, 1}, {0, 2}, {0, 1, 2}, {1}});
+  EclatMiner miner;
+  const auto r = MineCanonical(miner, db, 2);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(r[0], (CollectingSink::Entry{{0}, 3}));
+  EXPECT_EQ(r[1], (CollectingSink::Entry{{0, 1}, 2}));
+  EXPECT_EQ(r[4], (CollectingSink::Entry{{2}, 2}));
+}
+
+TEST(EclatMinerTest, WeightedSupportsViaRowExpansion) {
+  DatabaseBuilder b;
+  b.AddTransaction({0, 1}, 100);  // expands to 100 bit rows
+  b.AddTransaction({1}, 30);
+  Database db = b.Build();
+  EclatMiner miner;
+  const auto r = MineCanonical(miner, db, 100);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], (CollectingSink::Entry{{0}, 100}));
+  EXPECT_EQ(r[1], (CollectingSink::Entry{{0, 1}, 100}));
+  EXPECT_EQ(r[2], (CollectingSink::Entry{{1}, 130}));
+}
+
+TEST(EclatMinerTest, ZeroEscapeMatchesBaselineOnClusteredData) {
+  QuestParams p;
+  p.num_transactions = 600;
+  p.avg_transaction_len = 10;
+  p.avg_pattern_len = 4;
+  p.num_items = 40;
+  p.num_patterns = 25;
+  auto db = GenerateQuest(p);
+  ASSERT_TRUE(db.ok());
+  EclatMiner base;
+  EclatOptions esc;
+  esc.lexicographic_order = true;
+  esc.zero_escape = true;
+  EclatMiner escaped(esc);
+  const auto a = MineCanonical(base, db.value(), 15);
+  const auto b = MineCanonical(escaped, db.value(), 15);
+  testutil::ExpectSameResults(a, b, "escape-vs-base");
+  ASSERT_GT(a.size(), 0u);
+}
+
+TEST(EclatMinerTest, UnavailableStrategyRejectedUpFront) {
+  if (PopcountStrategyAvailable(PopcountStrategy::kAvx2)) {
+    GTEST_SKIP() << "host has AVX2; cannot exercise the rejection path";
+  }
+  EclatOptions o;
+  o.popcount = PopcountStrategy::kAvx2;
+  EclatMiner miner(o);
+  Database db = MakeDb({{0}});
+  CollectingSink sink;
+  const Status s = miner.Mine(db, 1, &sink);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EclatMinerTest, StatsPopulated) {
+  Database db = MakeDb({{0, 1, 2}, {0, 1}, {2}});
+  EclatMiner miner;
+  CountingSink sink;
+  ASSERT_TRUE(miner.Mine(db, 1, &sink).ok());
+  EXPECT_EQ(miner.stats().num_frequent, sink.count());
+  EXPECT_GT(miner.stats().peak_structure_bytes, 0u);
+}
+
+TEST(EclatRepresentationTest, NamesAreStable) {
+  EXPECT_STREQ(EclatRepresentationName(EclatRepresentation::kBitVector),
+               "bitvector");
+  EXPECT_STREQ(EclatRepresentationName(EclatRepresentation::kTidList),
+               "tidlist");
+  EXPECT_STREQ(EclatRepresentationName(EclatRepresentation::kDiffset),
+               "diffset");
+  EXPECT_STREQ(EclatRepresentationName(EclatRepresentation::kAuto), "auto");
+}
+
+TEST(EclatRepresentationTest, SuffixIncludesNonDefaultRepresentation) {
+  EclatOptions o;
+  o.representation = EclatRepresentation::kDiffset;
+  EXPECT_EQ(o.Suffix(), "+repr:diffset");
+  o.representation = EclatRepresentation::kBitVector;
+  EXPECT_EQ(o.Suffix(), "");
+}
+
+TEST(EclatRepresentationTest, AutoPicksTidListOnSparseData) {
+  // Very sparse: every frequent column fill far below 1/32, over a
+  // universe wide enough that the dense matrix would dwarf the lists.
+  DatabaseBuilder b;
+  for (int i = 0; i < 8000; ++i) {
+    b.AddTransaction({static_cast<Item>(i % 400),
+                      static_cast<Item>((i + 7) % 400)});
+  }
+  Database db = b.Build();
+  EclatOptions o;
+  o.representation = EclatRepresentation::kAuto;
+  EclatMiner auto_miner(o);
+  EclatMiner dense_miner;  // bit vector
+  const auto a = MineCanonical(auto_miner, db, 10);
+  const auto d = MineCanonical(dense_miner, db, 10);
+  testutil::ExpectSameResults(d, a, "auto-vs-dense");
+  // Sparse build must be far smaller than the dense matrix would be.
+  EXPECT_LT(auto_miner.stats().peak_structure_bytes,
+            dense_miner.stats().peak_structure_bytes);
+}
+
+TEST(EclatMinerTest, RejectsBadArguments) {
+  Database db = MakeDb({{0}});
+  EclatMiner miner;
+  CollectingSink sink;
+  EXPECT_FALSE(miner.Mine(db, 0, &sink).ok());
+  EXPECT_FALSE(miner.Mine(db, 1, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace fpm

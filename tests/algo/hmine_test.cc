@@ -1,0 +1,101 @@
+#include "fpm/algo/hmine.h"
+
+#include <gtest/gtest.h>
+
+#include "fpm/algo/bruteforce.h"
+#include "fpm/algo/lcm/lcm_miner.h"
+#include "fpm/dataset/standin_gen.h"
+#include "testing/db_testutil.h"
+
+namespace fpm {
+namespace {
+
+using testutil::ExpectSameResults;
+using testutil::MakeDb;
+using testutil::MineCanonical;
+using testutil::RandomDb;
+using testutil::RandomDbSpec;
+
+TEST(HMineTest, TextbookExample) {
+  Database db = MakeDb({{0, 1}, {0, 2}, {0, 1, 2}, {1}});
+  HMineMiner miner;
+  const auto r = MineCanonical(miner, db, 2);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(r[0], (CollectingSink::Entry{{0}, 3}));
+  EXPECT_EQ(r[1], (CollectingSink::Entry{{0, 1}, 2}));
+  EXPECT_EQ(r[2], (CollectingSink::Entry{{0, 2}, 2}));
+  EXPECT_EQ(r[3], (CollectingSink::Entry{{1}, 3}));
+  EXPECT_EQ(r[4], (CollectingSink::Entry{{2}, 2}));
+}
+
+TEST(HMineTest, MatchesOracleOnRandomDbs) {
+  HMineMiner miner;
+  BruteForceMiner oracle;
+  for (uint64_t seed = 501; seed <= 506; ++seed) {
+    RandomDbSpec spec;
+    spec.seed = seed;
+    spec.num_transactions = 45;
+    spec.num_items = 9;
+    Database db = RandomDb(spec);
+    for (Support support : {2u, 5u}) {
+      const auto expected = MineCanonical(oracle, db, support);
+      const auto actual = MineCanonical(miner, db, support);
+      ExpectSameResults(expected, actual,
+                        "hmine seed=" + std::to_string(seed) +
+                            " support=" + std::to_string(support));
+    }
+  }
+}
+
+TEST(HMineTest, SparseDataItsDesignPoint) {
+  ApLikeParams p;
+  p.num_transactions = 4000;
+  p.vocabulary = 3000;
+  p.avg_length = 7;
+  auto dbr = GenerateApLike(p);
+  ASSERT_TRUE(dbr.ok());
+  // The oracle is infeasible at this size; cross-check against LCM via
+  // the order-insensitive checksum.
+  HMineMiner hmine;
+  LcmMiner lcm;
+  CountingSink a, b;
+  ASSERT_TRUE(hmine.Mine(dbr.value(), 40, &a).ok());
+  ASSERT_TRUE(lcm.Mine(dbr.value(), 40, &b).ok());
+  EXPECT_GT(a.count(), 0u);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.checksum(), b.checksum());
+}
+
+TEST(HMineTest, WeightedSupports) {
+  DatabaseBuilder b;
+  b.AddTransaction({0, 1}, 6);
+  b.AddTransaction({1}, 4);
+  Database db = b.Build();
+  HMineMiner miner;
+  const auto r = MineCanonical(miner, db, 4);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], (CollectingSink::Entry{{0}, 6}));
+  EXPECT_EQ(r[1], (CollectingSink::Entry{{0, 1}, 6}));
+  EXPECT_EQ(r[2], (CollectingSink::Entry{{1}, 10}));
+}
+
+TEST(HMineTest, DegenerateInputs) {
+  HMineMiner miner;
+  CollectingSink sink;
+  ASSERT_TRUE(miner.Mine(Database(), 1, &sink).ok());
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_FALSE(miner.Mine(Database(), 0, &sink).ok());
+  EXPECT_FALSE(miner.Mine(Database(), 1, nullptr).ok());
+}
+
+TEST(HMineTest, StatsPopulated) {
+  Database db = MakeDb({{0, 1, 2}, {0, 1}});
+  HMineMiner miner;
+  CountingSink sink;
+  ASSERT_TRUE(miner.Mine(db, 1, &sink).ok());
+  EXPECT_EQ(miner.stats().num_frequent, sink.count());
+  EXPECT_GT(miner.stats().peak_structure_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace fpm

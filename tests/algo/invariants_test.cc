@@ -1,0 +1,145 @@
+// Cross-cutting output invariants every miner must satisfy, checked on
+// random databases (property-style sweeps):
+//   - downward closure: every subset of a frequent itemset is emitted,
+//     with support >= the superset's;
+//   - no duplicates; supports within [min_support, total_weight];
+//   - singleton supports equal the database's item frequencies;
+//   - determinism: repeated runs produce identical output.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "fpm/algo/apriori.h"
+#include "fpm/algo/eclat/eclat_miner.h"
+#include "fpm/algo/fpgrowth/fpgrowth_miner.h"
+#include "fpm/algo/lcm/lcm_miner.h"
+#include "testing/db_testutil.h"
+
+namespace fpm {
+namespace {
+
+using testutil::MineCanonical;
+using testutil::RandomDb;
+using testutil::RandomDbSpec;
+
+std::unique_ptr<Miner> MakeMiner(int which) {
+  switch (which) {
+    case 0:
+      return std::make_unique<LcmMiner>();
+    case 1:
+      return std::make_unique<LcmMiner>(LcmOptions::All());
+    case 2:
+      return std::make_unique<EclatMiner>();
+    case 3:
+      return std::make_unique<EclatMiner>(EclatOptions::All());
+    case 4:
+      return std::make_unique<FpGrowthMiner>();
+    case 5:
+      return std::make_unique<FpGrowthMiner>(FpGrowthOptions::All());
+    default:
+      return std::make_unique<AprioriMiner>();
+  }
+}
+
+class MinerInvariantsTest : public ::testing::TestWithParam<int> {
+ protected:
+  Database TestDb(uint64_t seed) const {
+    RandomDbSpec spec;
+    spec.num_transactions = 60;
+    spec.num_items = 10;
+    spec.avg_len = 5;
+    spec.seed = seed;
+    return RandomDb(spec);
+  }
+};
+
+TEST_P(MinerInvariantsTest, DownwardClosure) {
+  auto miner = MakeMiner(GetParam());
+  for (uint64_t seed : {101ull, 102ull}) {
+    Database db = TestDb(seed);
+    constexpr Support kMinSupport = 4;
+    const auto results = MineCanonical(*miner, db, kMinSupport);
+    std::map<Itemset, Support> index(results.begin(), results.end());
+    for (const auto& [set, support] : results) {
+      EXPECT_GE(support, kMinSupport);
+      EXPECT_LE(support, db.total_weight());
+      if (set.size() < 2) continue;
+      Itemset subset(set.size() - 1);
+      for (size_t drop = 0; drop < set.size(); ++drop) {
+        size_t out = 0;
+        for (size_t i = 0; i < set.size(); ++i) {
+          if (i != drop) subset[out++] = set[i];
+        }
+        const auto it = index.find(subset);
+        ASSERT_NE(it, index.end())
+            << miner->name() << ": missing subset of a frequent itemset";
+        EXPECT_GE(it->second, support)
+            << miner->name() << ": support must be anti-monotone";
+      }
+    }
+  }
+}
+
+TEST_P(MinerInvariantsTest, NoDuplicateItemsets) {
+  auto miner = MakeMiner(GetParam());
+  Database db = TestDb(103);
+  const auto results = MineCanonical(*miner, db, 3);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_NE(results[i - 1].first, results[i].first)
+        << miner->name() << ": duplicate emission";
+  }
+}
+
+TEST_P(MinerInvariantsTest, SingletonSupportsMatchFrequencies) {
+  auto miner = MakeMiner(GetParam());
+  Database db = TestDb(104);
+  const auto results = MineCanonical(*miner, db, 1);
+  const auto& freq = db.item_frequencies();
+  size_t singletons = 0;
+  for (const auto& [set, support] : results) {
+    if (set.size() == 1) {
+      EXPECT_EQ(support, freq[set[0]]) << miner->name();
+      ++singletons;
+    }
+  }
+  size_t used = 0;
+  for (Support f : freq) used += (f > 0);
+  EXPECT_EQ(singletons, used) << miner->name();
+}
+
+TEST_P(MinerInvariantsTest, DeterministicAcrossRuns) {
+  auto miner = MakeMiner(GetParam());
+  Database db = TestDb(105);
+  const auto a = MineCanonical(*miner, db, 2);
+  const auto b = MineCanonical(*miner, db, 2);
+  EXPECT_EQ(a, b) << miner->name();
+}
+
+TEST_P(MinerInvariantsTest, HigherSupportYieldsSubset) {
+  auto miner = MakeMiner(GetParam());
+  Database db = TestDb(106);
+  const auto loose = MineCanonical(*miner, db, 2);
+  const auto strict = MineCanonical(*miner, db, 6);
+  std::map<Itemset, Support> loose_index(loose.begin(), loose.end());
+  EXPECT_LE(strict.size(), loose.size());
+  for (const auto& [set, support] : strict) {
+    const auto it = loose_index.find(set);
+    ASSERT_NE(it, loose_index.end()) << miner->name();
+    EXPECT_EQ(it->second, support) << miner->name();
+  }
+}
+
+std::string MinerParamName(const ::testing::TestParamInfo<int>& info) {
+  static const char* kNames[] = {"lcm_base",  "lcm_all",  "eclat_base",
+                                 "eclat_all", "fpg_base", "fpg_all",
+                                 "apriori"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMiners, MinerInvariantsTest,
+                         ::testing::Range(0, 7), MinerParamName);
+
+}  // namespace
+}  // namespace fpm

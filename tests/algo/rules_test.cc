@@ -1,0 +1,161 @@
+#include "fpm/algo/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "fpm/algo/lcm/lcm_miner.h"
+#include "testing/db_testutil.h"
+
+namespace fpm {
+namespace {
+
+using testutil::MakeDb;
+using Entry = CollectingSink::Entry;
+
+std::vector<Entry> MineAll(const Database& db, Support min_support) {
+  LcmMiner miner;
+  CollectingSink sink;
+  EXPECT_TRUE(miner.Mine(db, min_support, &sink).ok());
+  sink.Canonicalize();
+  return sink.results();
+}
+
+TEST(RulesTest, TextbookNumbers) {
+  // 10 transactions: 6x{a,b}, 2x{a}, 2x{b,c}.
+  DatabaseBuilder b;
+  for (int i = 0; i < 6; ++i) b.AddTransaction({0, 1});
+  for (int i = 0; i < 2; ++i) b.AddTransaction({0});
+  for (int i = 0; i < 2; ++i) b.AddTransaction({1, 2});
+  Database db = b.Build();
+  const auto frequent = MineAll(db, 1);
+
+  RuleOptions options;
+  options.min_confidence = 0.5;
+  auto rules = GenerateRules(frequent, db.total_weight(), options);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+
+  // Expect the rule {a} => {b}: supp(ab)=6, supp(a)=8, supp(b)=8.
+  bool found = false;
+  for (const auto& rule : *rules) {
+    if (rule.antecedent == Itemset{0} && rule.consequent == Itemset{1}) {
+      found = true;
+      EXPECT_EQ(rule.itemset_support, 6u);
+      EXPECT_DOUBLE_EQ(rule.support, 0.6);
+      EXPECT_DOUBLE_EQ(rule.confidence, 6.0 / 8.0);
+      EXPECT_DOUBLE_EQ(rule.lift, (6.0 / 8.0) * 10.0 / 8.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RulesTest, ConfidenceThresholdFilters) {
+  DatabaseBuilder b;
+  for (int i = 0; i < 9; ++i) b.AddTransaction({0});
+  b.AddTransaction({0, 1});
+  Database db = b.Build();
+  const auto frequent = MineAll(db, 1);
+  // {0} => {1} has confidence 0.1.
+  RuleOptions strict;
+  strict.min_confidence = 0.5;
+  auto rules = GenerateRules(frequent, db.total_weight(), strict);
+  ASSERT_TRUE(rules.ok());
+  for (const auto& rule : *rules) {
+    EXPECT_GE(rule.confidence, 0.5);
+    EXPECT_FALSE(rule.antecedent == Itemset{0} &&
+                 rule.consequent == Itemset{1});
+  }
+  // {1} => {0} has confidence 1.0 and must survive.
+  bool reverse_found = false;
+  for (const auto& rule : *rules) {
+    if (rule.antecedent == Itemset{1}) reverse_found = true;
+  }
+  EXPECT_TRUE(reverse_found);
+}
+
+TEST(RulesTest, MultiItemConsequents) {
+  DatabaseBuilder b;
+  for (int i = 0; i < 5; ++i) b.AddTransaction({0, 1, 2});
+  Database db = b.Build();
+  const auto frequent = MineAll(db, 1);
+  RuleOptions options;
+  options.min_confidence = 0.9;
+  options.max_consequent = 2;
+  auto rules = GenerateRules(frequent, db.total_weight(), options);
+  ASSERT_TRUE(rules.ok());
+  // {0} => {1,2} must be present with confidence 1.
+  bool found = false;
+  for (const auto& rule : *rules) {
+    if (rule.antecedent == Itemset{0} &&
+        rule.consequent == (Itemset{1, 2})) {
+      found = true;
+      EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+    }
+    EXPECT_LE(rule.consequent.size(), 2u);
+    EXPECT_GE(rule.antecedent.size(), 1u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RulesTest, SortedByLiftDescending) {
+  Database db = MakeDb({{0, 1}, {0, 1}, {0, 2}, {1}, {2, 3}, {2, 3}});
+  const auto frequent = MineAll(db, 1);
+  RuleOptions options;
+  options.min_confidence = 0.0;
+  auto rules = GenerateRules(frequent, db.total_weight(), options);
+  ASSERT_TRUE(rules.ok());
+  for (size_t i = 1; i < rules->size(); ++i) {
+    EXPECT_GE((*rules)[i - 1].lift, (*rules)[i].lift);
+  }
+}
+
+TEST(RulesTest, AntecedentAndConsequentDisjointAndSorted) {
+  Database db = MakeDb({{3, 1, 2}, {1, 2}, {3, 2}, {1, 3}});
+  const auto frequent = MineAll(db, 1);
+  RuleOptions options;
+  options.min_confidence = 0.0;
+  options.max_consequent = 2;
+  auto rules = GenerateRules(frequent, db.total_weight(), options);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_FALSE(rules->empty());
+  for (const auto& rule : *rules) {
+    EXPECT_TRUE(std::is_sorted(rule.antecedent.begin(),
+                               rule.antecedent.end()));
+    EXPECT_TRUE(std::is_sorted(rule.consequent.begin(),
+                               rule.consequent.end()));
+    for (Item a : rule.antecedent) {
+      for (Item c : rule.consequent) EXPECT_NE(a, c);
+    }
+  }
+}
+
+TEST(RulesTest, RejectsBadOptions) {
+  EXPECT_FALSE(GenerateRules({}, 1, {.min_confidence = -0.1}).ok());
+  EXPECT_FALSE(GenerateRules({}, 1, {.min_confidence = 1.5}).ok());
+  EXPECT_FALSE(
+      GenerateRules({}, 1, {.min_confidence = 0.5, .max_consequent = 0})
+          .ok());
+}
+
+TEST(RulesTest, RejectsIncompleteListing) {
+  // {0,1} present but singleton {0} missing.
+  const std::vector<Entry> partial = {{{0, 1}, 2}, {{1}, 3}};
+  auto rules = GenerateRules(partial, 5, {.min_confidence = 0.0});
+  ASSERT_FALSE(rules.ok());
+  EXPECT_EQ(rules.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RulesTest, EmptyListingYieldsNoRules) {
+  auto rules = GenerateRules({}, 0, {});
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+}
+
+TEST(RulesTest, SingletonsOnlyYieldNoRules) {
+  Database db = MakeDb({{0}, {1}});
+  const auto frequent = MineAll(db, 1);
+  auto rules = GenerateRules(frequent, db.total_weight(), {});
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+}
+
+}  // namespace
+}  // namespace fpm

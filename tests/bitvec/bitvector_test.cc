@@ -1,0 +1,95 @@
+#include "fpm/bitvec/bitvector.h"
+
+#include <gtest/gtest.h>
+
+namespace fpm {
+namespace {
+
+TEST(BitVectorTest, StartsZeroed) {
+  BitVector v(130);
+  EXPECT_EQ(v.num_bits(), 130u);
+  EXPECT_EQ(v.num_words(), 3u);
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(v.Test(i));
+}
+
+TEST(BitVectorTest, SetTestClear) {
+  BitVector v(100);
+  v.Set(0);
+  v.Set(63);
+  v.Set(64);
+  v.Set(99);
+  EXPECT_TRUE(v.Test(0));
+  EXPECT_TRUE(v.Test(63));
+  EXPECT_TRUE(v.Test(64));
+  EXPECT_TRUE(v.Test(99));
+  EXPECT_FALSE(v.Test(1));
+  v.Clear(63);
+  EXPECT_FALSE(v.Test(63));
+  EXPECT_TRUE(v.Test(64));
+}
+
+TEST(BitVectorTest, ResetZeroesEverything) {
+  BitVector v(128);
+  v.Set(5);
+  v.Set(127);
+  v.Reset();
+  EXPECT_FALSE(v.Test(5));
+  EXPECT_FALSE(v.Test(127));
+}
+
+TEST(BitVectorTest, OneRangeEmptyVector) {
+  BitVector v(256);
+  EXPECT_TRUE(v.ComputeOneRange().empty());
+}
+
+TEST(BitVectorTest, OneRangeSingleBit) {
+  BitVector v(256);
+  v.Set(130);  // word 2
+  const WordRange r = v.ComputeOneRange();
+  EXPECT_EQ(r.begin, 2u);
+  EXPECT_EQ(r.end, 3u);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(BitVectorTest, OneRangeSpansBits) {
+  BitVector v(320);
+  v.Set(70);   // word 1
+  v.Set(200);  // word 3
+  const WordRange r = v.ComputeOneRange();
+  EXPECT_EQ(r.begin, 1u);
+  EXPECT_EQ(r.end, 4u);
+}
+
+TEST(BitVectorTest, FullRangeCoversAllWords) {
+  BitVector v(129);
+  const WordRange r = v.FullRange();
+  EXPECT_EQ(r.begin, 0u);
+  EXPECT_EQ(r.end, 3u);
+}
+
+TEST(WordRangeTest, IntersectOverlapping) {
+  const WordRange r = IntersectRanges({2, 8}, {5, 12});
+  EXPECT_EQ(r.begin, 5u);
+  EXPECT_EQ(r.end, 8u);
+}
+
+TEST(WordRangeTest, IntersectDisjointIsEmpty) {
+  const WordRange r = IntersectRanges({0, 3}, {5, 9});
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(WordRangeTest, IntersectNested) {
+  const WordRange r = IntersectRanges({0, 100}, {40, 42});
+  EXPECT_EQ(r.begin, 40u);
+  EXPECT_EQ(r.end, 42u);
+}
+
+TEST(WordRangeTest, EmptyRangeProperties) {
+  WordRange r{7, 7};
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0u);
+}
+
+}  // namespace
+}  // namespace fpm

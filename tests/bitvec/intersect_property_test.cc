@@ -1,0 +1,72 @@
+// Property sweep: AndCountRange under every strategy and any pair of
+// conservative ranges must agree with the definitionally-correct
+// bit loop, and range handling must never lose a set bit.
+
+#include <gtest/gtest.h>
+
+#include "fpm/bitvec/intersect.h"
+#include "fpm/common/rng.h"
+
+namespace fpm {
+namespace {
+
+class IntersectPropertyTest
+    : public ::testing::TestWithParam<PopcountStrategy> {};
+
+TEST_P(IntersectPropertyTest, MatchesBitLoopUnderRandomRanges) {
+  const PopcountStrategy strategy = GetParam();
+  if (!PopcountStrategyAvailable(strategy)) {
+    GTEST_SKIP() << "strategy unavailable";
+  }
+  Rng rng(909);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t bits = 64 * (1 + rng.NextBounded(12));
+    BitVector a(bits), b(bits), out(bits);
+    for (size_t i = 0; i < bits; ++i) {
+      if (rng.NextBool(0.3)) a.Set(i);
+      if (rng.NextBool(0.3)) b.Set(i);
+    }
+    // Random *conservative* ranges: must contain the tight 1-range.
+    auto widen = [&](WordRange tight, size_t words) {
+      if (tight.empty()) return tight;
+      WordRange r = tight;
+      r.begin -= std::min<uint32_t>(r.begin, rng.NextBounded(3));
+      r.end += rng.NextBounded(3);
+      if (r.end > words) r.end = static_cast<uint32_t>(words);
+      return r;
+    };
+    const WordRange ra = widen(a.ComputeOneRange(), a.num_words());
+    const WordRange rb = widen(b.ComputeOneRange(), b.num_words());
+
+    const AndResult result = AndCount(a, ra, b, rb, &out, strategy);
+
+    // Definitional check.
+    uint64_t expected = 0;
+    for (size_t i = 0; i < bits; ++i) {
+      if (a.Test(i) && b.Test(i)) ++expected;
+    }
+    EXPECT_EQ(result.support, expected) << "trial " << trial;
+
+    // The returned range must cover every set bit of the AND, and the
+    // output words inside the range must be exact.
+    for (uint32_t w = result.range.begin; w < result.range.end; ++w) {
+      EXPECT_EQ(out.words()[w], a.words()[w] & b.words()[w]);
+    }
+    for (size_t i = 0; i < bits; ++i) {
+      if (a.Test(i) && b.Test(i)) {
+        const uint32_t w = static_cast<uint32_t>(i / 64);
+        EXPECT_GE(w, result.range.begin);
+        EXPECT_LT(w, result.range.end);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, IntersectPropertyTest,
+    ::testing::Values(PopcountStrategy::kLut16, PopcountStrategy::kSwar,
+                      PopcountStrategy::kHardware, PopcountStrategy::kAuto),
+    [](const auto& info) { return PopcountStrategyName(info.param); });
+
+}  // namespace
+}  // namespace fpm

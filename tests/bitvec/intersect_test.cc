@@ -1,0 +1,99 @@
+#include "fpm/bitvec/intersect.h"
+
+#include <gtest/gtest.h>
+
+#include "fpm/common/rng.h"
+
+namespace fpm {
+namespace {
+
+TEST(IntersectTest, BasicAndCount) {
+  BitVector a(200), b(200), out(200);
+  a.Set(1);
+  a.Set(100);
+  a.Set(150);
+  b.Set(100);
+  b.Set(150);
+  b.Set(199);
+  const AndResult r = AndCount(a, a.FullRange(), b, b.FullRange(), &out,
+                               PopcountStrategy::kHardware);
+  EXPECT_EQ(r.support, 2u);
+  EXPECT_TRUE(out.Test(100));
+  EXPECT_TRUE(out.Test(150));
+  EXPECT_FALSE(out.Test(1));
+  EXPECT_FALSE(out.Test(199));
+}
+
+TEST(IntersectTest, ResultRangeIsTight) {
+  BitVector a(640), b(640), out(640);
+  for (size_t i = 0; i < 640; ++i) a.Set(i);
+  b.Set(130);  // word 2
+  b.Set(200);  // word 3
+  const AndResult r = AndCount(a, a.ComputeOneRange(), b, b.ComputeOneRange(),
+                               &out, PopcountStrategy::kHardware);
+  EXPECT_EQ(r.support, 2u);
+  EXPECT_EQ(r.range.begin, 2u);
+  EXPECT_EQ(r.range.end, 4u);
+}
+
+TEST(IntersectTest, DisjointRangesShortCircuit) {
+  BitVector a(640), b(640), out(640);
+  a.Set(10);    // word 0
+  b.Set(600);   // word 9
+  const AndResult r = AndCount(a, a.ComputeOneRange(), b, b.ComputeOneRange(),
+                               &out, PopcountStrategy::kHardware);
+  EXPECT_EQ(r.support, 0u);
+  EXPECT_TRUE(r.range.empty());
+}
+
+TEST(IntersectTest, ZeroEscapedEqualsFullComputation) {
+  // Property: restricting to 1-ranges never changes the support.
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t bits = 64 * (1 + rng.NextBounded(10));
+    BitVector a(bits), b(bits), out_full(bits), out_esc(bits);
+    // Clustered bits so ranges are meaningfully narrow.
+    const size_t ca = rng.NextBounded(bits);
+    const size_t cb = rng.NextBounded(bits);
+    for (int k = 0; k < 40; ++k) {
+      a.Set((ca + rng.NextBounded(128)) % bits);
+      b.Set((cb + rng.NextBounded(128)) % bits);
+    }
+    const AndResult full = AndCount(a, a.FullRange(), b, b.FullRange(),
+                                    &out_full, PopcountStrategy::kHardware);
+    const AndResult esc =
+        AndCount(a, a.ComputeOneRange(), b, b.ComputeOneRange(), &out_esc,
+                 PopcountStrategy::kHardware);
+    EXPECT_EQ(full.support, esc.support) << "trial " << trial;
+    // Escaped output must match inside its range.
+    for (uint32_t w = esc.range.begin; w < esc.range.end; ++w) {
+      EXPECT_EQ(out_esc.words()[w], out_full.words()[w]);
+    }
+  }
+}
+
+TEST(IntersectTest, CountOnesRange) {
+  BitVector v(256);
+  v.Set(0);
+  v.Set(64);
+  v.Set(128);
+  EXPECT_EQ(CountOnesRange(v.words(), WordRange{0, 4},
+                           PopcountStrategy::kHardware),
+            3u);
+  EXPECT_EQ(CountOnesRange(v.words(), WordRange{1, 2},
+                           PopcountStrategy::kHardware),
+            1u);
+  EXPECT_EQ(CountOnesRange(v.words(), WordRange{3, 3},
+                           PopcountStrategy::kHardware),
+            0u);
+}
+
+TEST(IntersectDeathTest, MismatchedSizesRejected) {
+  BitVector a(64), b(128), out(128);
+  EXPECT_DEATH(AndCount(a, a.FullRange(), b, b.FullRange(), &out,
+                        PopcountStrategy::kHardware),
+               "equally sized");
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,71 @@
+#include "fpm/common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace fpm {
+namespace {
+
+TEST(ArenaTest, AllocationsAreDistinctAndWritable) {
+  Arena arena;
+  int* a = arena.New<int>(1);
+  int* b = arena.New<int>(2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+}
+
+TEST(ArenaTest, AlignmentRespected) {
+  Arena arena;
+  (void)arena.Allocate(1, 1);
+  void* p8 = arena.Allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p8) % 8, 0u);
+  (void)arena.Allocate(3, 1);
+  void* p64 = arena.Allocate(16, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p64) % 64, 0u);
+}
+
+TEST(ArenaTest, LargeAllocationSpansNewBlock) {
+  Arena arena(/*block_bytes=*/4096);
+  char* big = static_cast<char*>(arena.Allocate(100000));
+  std::memset(big, 0xab, 100000);  // must be fully usable
+  EXPECT_GE(arena.bytes_reserved(), 100000u);
+}
+
+TEST(ArenaTest, ManySmallAllocationsAllUsable) {
+  Arena arena(4096);
+  std::vector<uint32_t*> ptrs;
+  for (uint32_t i = 0; i < 10000; ++i) ptrs.push_back(arena.New<uint32_t>(i));
+  for (uint32_t i = 0; i < 10000; ++i) EXPECT_EQ(*ptrs[i], i);
+  EXPECT_EQ(arena.bytes_used(), 10000 * sizeof(uint32_t));
+}
+
+TEST(ArenaTest, AllocateArrayValueInitializes) {
+  Arena arena;
+  uint64_t* arr = arena.AllocateArray<uint64_t>(256);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(arr[i], 0u);
+}
+
+TEST(ArenaTest, ResetReleasesAccounting) {
+  Arena arena;
+  (void)arena.Allocate(1000);
+  EXPECT_GT(arena.bytes_used(), 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  // Usable again after reset.
+  int* p = arena.New<int>(5);
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(ArenaTest, BytesUsedExcludesPadding) {
+  Arena arena;
+  (void)arena.Allocate(1, 1);
+  (void)arena.Allocate(1, 64);
+  EXPECT_EQ(arena.bytes_used(), 2u);
+}
+
+}  // namespace
+}  // namespace fpm

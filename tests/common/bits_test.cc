@@ -1,0 +1,60 @@
+#include "fpm/common/bits.h"
+
+#include <gtest/gtest.h>
+
+#include "fpm/common/rng.h"
+
+namespace fpm {
+namespace {
+
+TEST(BitsTest, PopCountBasics) {
+  EXPECT_EQ(PopCount64(0), 0);
+  EXPECT_EQ(PopCount64(1), 1);
+  EXPECT_EQ(PopCount64(~0ull), 64);
+  EXPECT_EQ(PopCount64(0xf0f0f0f0f0f0f0f0ull), 32);
+}
+
+TEST(BitsTest, SwarMatchesBuiltinOnRandomInputs) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t x = rng.NextU64();
+    EXPECT_EQ(PopCount64Swar(x), PopCount64(x)) << std::hex << x;
+  }
+  EXPECT_EQ(PopCount64Swar(0), 0);
+  EXPECT_EQ(PopCount64Swar(~0ull), 64);
+}
+
+TEST(BitsTest, CountTrailingZeros) {
+  EXPECT_EQ(CountTrailingZeros64(1), 0);
+  EXPECT_EQ(CountTrailingZeros64(2), 1);
+  EXPECT_EQ(CountTrailingZeros64(1ull << 63), 63);
+  EXPECT_EQ(CountTrailingZeros64(0b1010000), 4);
+}
+
+TEST(BitsTest, Log2Floor) {
+  EXPECT_EQ(Log2Floor64(1), 0);
+  EXPECT_EQ(Log2Floor64(2), 1);
+  EXPECT_EQ(Log2Floor64(3), 1);
+  EXPECT_EQ(Log2Floor64(1024), 10);
+  EXPECT_EQ(Log2Floor64(~0ull), 63);
+}
+
+TEST(BitsTest, RoundUp) {
+  EXPECT_EQ(RoundUp(0, 8), 0u);
+  EXPECT_EQ(RoundUp(1, 8), 8u);
+  EXPECT_EQ(RoundUp(8, 8), 8u);
+  EXPECT_EQ(RoundUp(9, 8), 16u);
+  EXPECT_EQ(RoundUp(63, 64), 64u);
+}
+
+TEST(BitsTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1ull << 63));
+  EXPECT_FALSE(IsPowerOfTwo((1ull << 63) + 1));
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,39 @@
+#include "fpm/common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "fpm/common/status.h"
+
+namespace fpm {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(prev);
+}
+
+TEST(LoggingTest, LogDoesNotCrash) {
+  FPM_LOG(Debug) << "debug " << 1;
+  FPM_LOG(Info) << "info " << 2.5;
+  FPM_LOG(Warning) << "warning " << "text";
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(FPM_CHECK(1 == 2) << "math broke", "Check failed: 1 == 2");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(FPM_CHECK_OK(Status::Internal("bad state")), "bad state");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  FPM_CHECK(true) << "never shown";
+  FPM_CHECK_OK(Status::OK()) << "never shown";
+}
+
+TEST(LoggingTest, DcheckPassesSilently) { FPM_DCHECK(2 + 2 == 4); }
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,83 @@
+#include "fpm/core/mine.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/db_testutil.h"
+
+namespace fpm {
+namespace {
+
+using testutil::MakeDb;
+
+TEST(EffectivePatternsTest, ClampsToApplicable) {
+  const PatternSet all = PatternSet::All();
+  EXPECT_EQ(EffectivePatterns(Algorithm::kEclat, all),
+            PatternSet::ApplicableTo(Algorithm::kEclat));
+  EXPECT_TRUE(EffectivePatterns(Algorithm::kApriori, all).empty());
+}
+
+TEST(CreateMinerTest, NamesReflectConfiguration) {
+  auto base = CreateMiner(Algorithm::kLcm, PatternSet::None());
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ((*base)->name(), "lcm");
+
+  auto tuned = CreateMiner(Algorithm::kLcm, PatternSet::All());
+  ASSERT_TRUE(tuned.ok());
+  EXPECT_EQ((*tuned)->name(), "lcm+lex+agg+cmp+tile+wave");
+
+  auto eclat = CreateMiner(
+      Algorithm::kEclat, PatternSet().With(Pattern::kSimdization));
+  ASSERT_TRUE(eclat.ok());
+  EXPECT_NE((*eclat)->name().find("simd"), std::string::npos);
+
+  auto fpg = CreateMiner(Algorithm::kFpGrowth, PatternSet::All());
+  ASSERT_TRUE(fpg.ok());
+  EXPECT_EQ((*fpg)->name(), "fpgrowth+lex+cmp+dfs+pref");
+}
+
+TEST(CreateMinerTest, InapplicablePatternsIgnored) {
+  // Tiling does nothing for Eclat (Table 4): the miner must be baseline.
+  auto m = CreateMiner(Algorithm::kEclat, PatternSet().With(Pattern::kTiling));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ((*m)->name(), "eclat");
+}
+
+TEST(MineTest, EndToEndAcrossAlgorithms) {
+  Database db = MakeDb({{0, 1}, {0, 2}, {0, 1, 2}, {1}});
+  for (Algorithm a : {Algorithm::kLcm, Algorithm::kEclat,
+                      Algorithm::kFpGrowth, Algorithm::kApriori, Algorithm::kHMine,
+                      Algorithm::kBruteForce}) {
+    for (const PatternSet& p : {PatternSet::None(), PatternSet::All()}) {
+      MineOptions options;
+      options.algorithm = a;
+      options.min_support = 2;
+      options.patterns = p;
+      CollectingSink sink;
+      MineStats stats;
+      ASSERT_TRUE(Mine(db, options, &sink, &stats).ok())
+          << AlgorithmName(a) << " " << p.ToString();
+      EXPECT_EQ(sink.size(), 5u) << AlgorithmName(a) << " " << p.ToString();
+      EXPECT_EQ(stats.num_frequent, 5u);
+    }
+  }
+}
+
+TEST(MineTest, StatsOptional) {
+  Database db = MakeDb({{0}});
+  MineOptions options;
+  options.min_support = 1;
+  CountingSink sink;
+  EXPECT_TRUE(Mine(db, options, &sink, nullptr).ok());
+  EXPECT_EQ(sink.count(), 1u);
+}
+
+TEST(MineTest, PropagatesMinerErrors) {
+  Database db = MakeDb({{0}});
+  MineOptions options;
+  options.min_support = 0;  // invalid
+  CountingSink sink;
+  EXPECT_FALSE(Mine(db, options, &sink).ok());
+}
+
+}  // namespace
+}  // namespace fpm

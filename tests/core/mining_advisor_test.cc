@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "fpm/core/pattern_advisor.h"
+
+namespace fpm {
+namespace {
+
+DatabaseStats DenseStats() {
+  DatabaseStats s;
+  s.num_transactions = 30000;
+  s.num_items = 1000;
+  s.num_used_items = 1000;
+  s.avg_transaction_len = 60;
+  s.density = 0.06;
+  s.frequency_gini = 0.2;
+  s.consecutive_jaccard = 0.03;
+  return s;
+}
+
+DatabaseStats SparseStats() {
+  DatabaseStats s;
+  s.num_transactions = 1800000;
+  s.num_items = 120000;
+  s.num_used_items = 90000;
+  s.avg_transaction_len = 12;
+  s.density = 0.0001;
+  s.frequency_gini = 0.85;
+  s.consecutive_jaccard = 0.1;
+  return s;
+}
+
+TEST(MiningAdvisorTest, DenseModerateUniverseGoesToEclat) {
+  const MiningAdvice advice = AdviseMining(DenseStats());
+  EXPECT_EQ(advice.algorithm, Algorithm::kEclat);
+  // Pattern set must match what the pattern advisor says for Eclat.
+  EXPECT_EQ(advice.patterns,
+            AdvisePatterns(Algorithm::kEclat, DenseStats()).patterns);
+}
+
+TEST(MiningAdvisorTest, SparseWideUniverseGoesToLcm) {
+  const MiningAdvice advice = AdviseMining(SparseStats());
+  EXPECT_EQ(advice.algorithm, Algorithm::kLcm);
+}
+
+TEST(MiningAdvisorTest, HugeUniverseAvoidsEclatEvenWhenDense) {
+  DatabaseStats s = DenseStats();
+  s.num_used_items = 100000;  // bit matrix would be enormous
+  const MiningAdvice advice = AdviseMining(s);
+  EXPECT_EQ(advice.algorithm, Algorithm::kLcm);
+}
+
+TEST(MiningAdvisorTest, RationaleExplainsChoice) {
+  const MiningAdvice advice = AdviseMining(DenseStats());
+  ASSERT_FALSE(advice.rationale.empty());
+  EXPECT_NE(advice.rationale[0].find("eclat"), std::string::npos);
+  // Pattern rationale follows the algorithm rationale.
+  EXPECT_GT(advice.rationale.size(), 1u);
+}
+
+TEST(MiningAdvisorTest, ConfigThresholdsRespected) {
+  AdvisorConfig config;
+  config.eclat_density_floor = 0.5;  // nothing is that dense
+  const MiningAdvice advice = AdviseMining(DenseStats(), config);
+  EXPECT_EQ(advice.algorithm, Algorithm::kLcm);
+}
+
+TEST(MiningAdvisorTest, PatternsAreApplicableToChosenAlgorithm) {
+  for (const DatabaseStats& s : {DenseStats(), SparseStats()}) {
+    const MiningAdvice advice = AdviseMining(s);
+    const PatternSet applicable = PatternSet::ApplicableTo(advice.algorithm);
+    EXPECT_EQ(advice.patterns.Intersect(applicable), advice.patterns);
+  }
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,132 @@
+#include "fpm/core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "fpm/algo/lcm/lcm_miner.h"
+#include "fpm/dataset/quest_gen.h"
+#include "testing/db_testutil.h"
+
+namespace fpm {
+namespace {
+
+using testutil::ExpectSameResults;
+using testutil::MakeDb;
+using testutil::MineCanonical;
+using testutil::RandomDb;
+using testutil::RandomDbSpec;
+
+TEST(PartitionedMinerTest, NameReflectsConfiguration) {
+  PartitionOptions o;
+  o.num_partitions = 8;
+  o.inner_algorithm = Algorithm::kEclat;
+  EXPECT_EQ(PartitionedMiner(o).name(), "partition(8xeclat)");
+}
+
+TEST(PartitionedMinerTest, TextbookExample) {
+  Database db = MakeDb({{0, 1}, {0, 2}, {0, 1, 2}, {1}});
+  PartitionOptions o;
+  o.num_partitions = 2;
+  PartitionedMiner miner(o);
+  const auto r = MineCanonical(miner, db, 2);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(r[0], (CollectingSink::Entry{{0}, 3}));
+  EXPECT_EQ(r[4], (CollectingSink::Entry{{2}, 2}));
+}
+
+// Exactness over partition counts, inner algorithms and random inputs.
+class PartitionSweepTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, Algorithm>> {};
+
+TEST_P(PartitionSweepTest, MatchesDirectMining) {
+  PartitionOptions o;
+  o.num_partitions = std::get<0>(GetParam());
+  o.inner_algorithm = std::get<1>(GetParam());
+  PartitionedMiner partitioned(o);
+  LcmMiner direct;
+  for (uint64_t seed : {401ull, 402ull}) {
+    RandomDbSpec spec;
+    spec.num_transactions = 80;
+    spec.num_items = 10;
+    spec.seed = seed;
+    Database db = RandomDb(spec);
+    const auto expected = MineCanonical(direct, db, 5);
+    const auto actual = MineCanonical(partitioned, db, 5);
+    ExpectSameResults(expected, actual,
+                      partitioned.name() + " seed=" + std::to_string(seed));
+    // Phase 1 must overshoot or match, never undershoot.
+    EXPECT_GE(partitioned.last_candidate_count(), expected.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionSweepTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 7u, 64u),
+                       ::testing::Values(Algorithm::kLcm,
+                                         Algorithm::kEclat,
+                                         Algorithm::kFpGrowth)));
+
+TEST(PartitionedMinerTest, MorePartitionsThanTransactions) {
+  Database db = MakeDb({{0, 1}, {0, 1}});
+  PartitionOptions o;
+  o.num_partitions = 50;
+  PartitionedMiner miner(o);
+  const auto r = MineCanonical(miner, db, 2);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(PartitionedMinerTest, WeightedTransactions) {
+  DatabaseBuilder b;
+  b.AddTransaction({0, 1}, 7);
+  b.AddTransaction({1}, 3);
+  b.AddTransaction({0}, 2);
+  Database db = b.Build();
+  PartitionOptions o;
+  o.num_partitions = 3;
+  PartitionedMiner miner(o);
+  const auto r = MineCanonical(miner, db, 7);
+  // {0}:9 {1}:10 {0,1}:7
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[1], (CollectingSink::Entry{{0, 1}, 7}));
+}
+
+TEST(PartitionedMinerTest, QuestEquivalence) {
+  QuestParams p;
+  p.num_transactions = 1000;
+  p.avg_transaction_len = 8;
+  p.avg_pattern_len = 3;
+  p.num_items = 60;
+  p.num_patterns = 30;
+  auto db = GenerateQuest(p);
+  ASSERT_TRUE(db.ok());
+  LcmMiner direct;
+  PartitionOptions o;
+  o.num_partitions = 5;
+  o.inner_patterns = PatternSet::All();
+  PartitionedMiner miner(o);
+  const auto expected = MineCanonical(direct, db.value(), 20);
+  const auto actual = MineCanonical(miner, db.value(), 20);
+  ASSERT_GT(expected.size(), 0u);
+  ExpectSameResults(expected, actual, "quest-partitioned");
+}
+
+TEST(PartitionedMinerTest, RejectsBadArguments) {
+  Database db = MakeDb({{0}});
+  PartitionOptions o;
+  o.num_partitions = 0;
+  PartitionedMiner miner(o);
+  CollectingSink sink;
+  EXPECT_FALSE(miner.Mine(db, 1, &sink).ok());
+  PartitionedMiner ok_miner{PartitionOptions{}};
+  EXPECT_FALSE(ok_miner.Mine(db, 0, &sink).ok());
+  EXPECT_FALSE(ok_miner.Mine(db, 1, nullptr).ok());
+}
+
+TEST(PartitionedMinerTest, EmptyDatabase) {
+  PartitionedMiner miner{PartitionOptions{}};
+  CollectingSink sink;
+  ASSERT_TRUE(miner.Mine(Database(), 1, &sink).ok());
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,97 @@
+#include "fpm/core/pattern_advisor.h"
+
+#include <gtest/gtest.h>
+
+namespace fpm {
+namespace {
+
+DatabaseStats BaseStats() {
+  DatabaseStats s;
+  s.num_transactions = 100000;
+  s.num_items = 1000;
+  s.num_used_items = 1000;
+  s.avg_transaction_len = 20;
+  s.density = 0.02;
+  s.frequency_gini = 0.6;
+  s.consecutive_jaccard = 0.01;  // random order
+  return s;
+}
+
+TEST(AdvisorTest, RandomOrderedClusteredInputGetsEverything) {
+  const PatternAdvice advice = AdvisePatterns(Algorithm::kLcm, BaseStats());
+  EXPECT_EQ(advice.patterns, PatternSet::ApplicableTo(Algorithm::kLcm));
+  EXPECT_FALSE(advice.rationale.empty());
+}
+
+TEST(AdvisorTest, PreClusteredInputDropsLex) {
+  DatabaseStats s = BaseStats();
+  s.consecutive_jaccard = 0.5;
+  const PatternAdvice advice = AdvisePatterns(Algorithm::kLcm, s);
+  EXPECT_FALSE(advice.patterns.Contains(Pattern::kLexicographicOrdering));
+}
+
+TEST(AdvisorTest, HugeSparseFpGrowthDropsLex) {
+  // The paper's DS4 observation: too many transactions make the sort
+  // dominate FP-Growth.
+  DatabaseStats s = BaseStats();
+  s.num_transactions = 1800000;
+  const PatternAdvice advice = AdvisePatterns(Algorithm::kFpGrowth, s);
+  EXPECT_FALSE(advice.patterns.Contains(Pattern::kLexicographicOrdering));
+  // Same size is fine for LCM.
+  const PatternAdvice lcm = AdvisePatterns(Algorithm::kLcm, s);
+  EXPECT_TRUE(lcm.patterns.Contains(Pattern::kLexicographicOrdering));
+}
+
+TEST(AdvisorTest, VerySparseInputDropsTiling) {
+  DatabaseStats s = BaseStats();
+  s.density = 0.0001;
+  const PatternAdvice advice = AdvisePatterns(Algorithm::kLcm, s);
+  EXPECT_FALSE(advice.patterns.Contains(Pattern::kTiling));
+  // Rationale must explain the drop.
+  bool mentioned = false;
+  for (const auto& r : advice.rationale) {
+    if (r.find("P6 dropped") != std::string::npos) mentioned = true;
+  }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST(AdvisorTest, ShortTransactionsDropLatencyPatterns) {
+  DatabaseStats s = BaseStats();
+  s.avg_transaction_len = 2.5;
+  const PatternAdvice fpg = AdvisePatterns(Algorithm::kFpGrowth, s);
+  EXPECT_FALSE(fpg.patterns.Contains(Pattern::kAggregation));
+  EXPECT_FALSE(fpg.patterns.Contains(Pattern::kPrefetchPointers));
+  EXPECT_FALSE(fpg.patterns.Contains(Pattern::kSoftwarePrefetch));
+  // P2 stays: smaller nodes always help.
+  EXPECT_TRUE(fpg.patterns.Contains(Pattern::kDataStructureAdaptation));
+}
+
+TEST(AdvisorTest, EclatAlwaysKeepsSimd) {
+  DatabaseStats s = BaseStats();
+  s.avg_transaction_len = 2.0;
+  s.density = 0.00001;
+  const PatternAdvice advice = AdvisePatterns(Algorithm::kEclat, s);
+  EXPECT_TRUE(advice.patterns.Contains(Pattern::kSimdization));
+}
+
+TEST(AdvisorTest, RecommendationIsSubsetOfApplicable) {
+  for (Algorithm a : {Algorithm::kLcm, Algorithm::kEclat,
+                      Algorithm::kFpGrowth, Algorithm::kApriori}) {
+    const PatternAdvice advice = AdvisePatterns(a, BaseStats());
+    const PatternSet applicable = PatternSet::ApplicableTo(a);
+    EXPECT_EQ(advice.patterns.Intersect(applicable), advice.patterns)
+        << AlgorithmName(a);
+  }
+}
+
+TEST(AdvisorTest, ConfigThresholdsRespected) {
+  DatabaseStats s = BaseStats();
+  s.consecutive_jaccard = 0.1;
+  AdvisorConfig config;
+  config.lex_jaccard_ceiling = 0.05;  // stricter than default
+  const PatternAdvice advice = AdvisePatterns(Algorithm::kLcm, s, config);
+  EXPECT_FALSE(advice.patterns.Contains(Pattern::kLexicographicOrdering));
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,135 @@
+#include "fpm/dataset/database.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fpm {
+namespace {
+
+TEST(DatabaseBuilderTest, EmptyDatabase) {
+  DatabaseBuilder b;
+  Database db = b.Build();
+  EXPECT_EQ(db.num_transactions(), 0u);
+  EXPECT_EQ(db.num_items(), 0u);
+  EXPECT_EQ(db.num_entries(), 0u);
+  EXPECT_EQ(db.total_weight(), 0u);
+  EXPECT_EQ(db.average_length(), 0.0);
+}
+
+TEST(DatabaseBuilderTest, SingleTransaction) {
+  DatabaseBuilder b;
+  b.AddTransaction({3, 1, 4});
+  Database db = b.Build();
+  ASSERT_EQ(db.num_transactions(), 1u);
+  EXPECT_EQ(db.num_items(), 5u);  // bound = max item + 1
+  auto tx = db.transaction(0);
+  ASSERT_EQ(tx.size(), 3u);
+  EXPECT_EQ(tx[0], 3u);  // stored order preserved
+  EXPECT_EQ(tx[1], 1u);
+  EXPECT_EQ(tx[2], 4u);
+}
+
+TEST(DatabaseBuilderTest, FrequenciesCounted) {
+  DatabaseBuilder b;
+  b.AddTransaction({0, 1});
+  b.AddTransaction({1, 2});
+  b.AddTransaction({1});
+  Database db = b.Build();
+  const auto& f = db.item_frequencies();
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], 1u);
+  EXPECT_EQ(f[1], 3u);
+  EXPECT_EQ(f[2], 1u);
+  EXPECT_EQ(db.total_weight(), 3u);
+}
+
+TEST(DatabaseBuilderTest, DuplicateItemsWithinTransactionRemoved) {
+  DatabaseBuilder b;
+  b.AddTransaction({5, 3, 5, 3, 7, 5});
+  Database db = b.Build();
+  auto tx = db.transaction(0);
+  ASSERT_EQ(tx.size(), 3u);
+  EXPECT_EQ(tx[0], 5u);  // first occurrence order
+  EXPECT_EQ(tx[1], 3u);
+  EXPECT_EQ(tx[2], 7u);
+  EXPECT_EQ(db.item_frequencies()[5], 1u);
+}
+
+TEST(DatabaseBuilderTest, WeightsTracked) {
+  DatabaseBuilder b;
+  b.AddTransaction({0, 1}, 3);
+  b.AddTransaction({1}, 1);
+  Database db = b.Build();
+  EXPECT_TRUE(db.has_weights());
+  EXPECT_EQ(db.weight(0), 3u);
+  EXPECT_EQ(db.weight(1), 1u);
+  EXPECT_EQ(db.total_weight(), 4u);
+  EXPECT_EQ(db.item_frequencies()[1], 4u);
+  EXPECT_EQ(db.item_frequencies()[0], 3u);
+}
+
+TEST(DatabaseBuilderTest, UnweightedDatabaseHasNoWeightArray) {
+  DatabaseBuilder b;
+  b.AddTransaction({0});
+  b.AddTransaction({1});
+  Database db = b.Build();
+  EXPECT_FALSE(db.has_weights());
+  EXPECT_EQ(db.weight(0), 1u);
+  EXPECT_EQ(db.weight(1), 1u);
+}
+
+TEST(DatabaseBuilderTest, EmptyTransactionKept) {
+  DatabaseBuilder b;
+  b.AddTransaction(std::span<const Item>{});
+  b.AddTransaction({2});
+  Database db = b.Build();
+  ASSERT_EQ(db.num_transactions(), 2u);
+  EXPECT_EQ(db.transaction(0).size(), 0u);
+  EXPECT_EQ(db.total_weight(), 2u);
+}
+
+TEST(DatabaseBuilderTest, BuilderIsReusableAfterBuild) {
+  DatabaseBuilder b;
+  b.AddTransaction({0, 1});
+  Database first = b.Build();
+  b.AddTransaction({5});
+  Database second = b.Build();
+  EXPECT_EQ(first.num_transactions(), 1u);
+  EXPECT_EQ(second.num_transactions(), 1u);
+  EXPECT_EQ(second.transaction(0)[0], 5u);
+  EXPECT_EQ(second.num_items(), 6u);
+}
+
+TEST(DatabaseTest, AverageLength) {
+  DatabaseBuilder b;
+  b.AddTransaction({0, 1, 2});
+  b.AddTransaction({0});
+  Database db = b.Build();
+  EXPECT_DOUBLE_EQ(db.average_length(), 2.0);
+}
+
+TEST(DatabaseTest, CsrArraysConsistent) {
+  DatabaseBuilder b;
+  b.AddTransaction({9, 4});
+  b.AddTransaction({2});
+  b.AddTransaction({7, 3, 1});
+  Database db = b.Build();
+  const auto& offsets = db.offsets();
+  ASSERT_EQ(offsets.size(), 4u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[3], db.items().size());
+  for (Tid t = 0; t < db.num_transactions(); ++t) {
+    EXPECT_EQ(db.transaction(t).size(), offsets[t + 1] - offsets[t]);
+  }
+}
+
+TEST(DatabaseTest, MemoryBytesPositive) {
+  DatabaseBuilder b;
+  b.AddTransaction({0, 1, 2});
+  Database db = b.Build();
+  EXPECT_GT(db.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,99 @@
+// Robustness: the FIMI parser must never crash and must classify every
+// input as either a valid database or a clean InvalidArgument —
+// including random byte soup, pathological whitespace, and huge tokens.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fpm/common/rng.h"
+#include "fpm/dataset/fimi_io.h"
+
+namespace fpm {
+namespace {
+
+TEST(FimiFuzzTest, RandomPrintableGarbageNeverCrashes) {
+  Rng rng(2024);
+  constexpr const char kAlphabet[] =
+      "0123456789 \t\r\nabcXYZ-+.,;#!\"'\\";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const size_t len = rng.NextBounded(200);
+    for (size_t i = 0; i < len; ++i) {
+      text += kAlphabet[rng.NextBounded(sizeof(kAlphabet) - 1)];
+    }
+    auto result = ParseFimi(text);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(FimiFuzzTest, RandomBinaryGarbageNeverCrashes) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const size_t len = rng.NextBounded(128);
+    for (size_t i = 0; i < len; ++i) {
+      text += static_cast<char>(rng.NextBounded(256));
+    }
+    auto result = ParseFimi(text);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(FimiFuzzTest, ValidNumericSoupAlwaysParses) {
+  // Inputs made only of digits and separators must always parse —
+  // unless a token overflows 32 bits.
+  Rng rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const size_t tokens = rng.NextBounded(40);
+    for (size_t i = 0; i < tokens; ++i) {
+      text += std::to_string(rng.NextBounded(1000000));
+      text += (rng.NextBool(0.2)) ? "\n" : " ";
+    }
+    auto result = ParseFimi(text);
+    ASSERT_TRUE(result.ok()) << "input: " << text;
+  }
+}
+
+TEST(FimiFuzzTest, ParsedDatabasesRoundTrip) {
+  // Any successfully parsed input must survive serialize -> parse with
+  // identical structure.
+  Rng rng(2027);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string text;
+    const size_t lines = 1 + rng.NextBounded(10);
+    for (size_t l = 0; l < lines; ++l) {
+      const size_t items = rng.NextBounded(8);
+      for (size_t i = 0; i < items; ++i) {
+        text += std::to_string(rng.NextBounded(50));
+        text += ' ';
+      }
+      text += '\n';
+    }
+    auto first = ParseFimi(text);
+    ASSERT_TRUE(first.ok());
+    auto second = ParseFimi(ToFimi(first.value()));
+    ASSERT_TRUE(second.ok());
+    ASSERT_EQ(first->num_transactions(), second->num_transactions());
+    for (Tid t = 0; t < first->num_transactions(); ++t) {
+      const auto a = first->transaction(t);
+      const auto b = second->transaction(t);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    }
+  }
+}
+
+TEST(FimiFuzzTest, HugeTokenRejectedCleanly) {
+  std::string text(500, '9');
+  auto result = ParseFimi(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,96 @@
+#include "fpm/dataset/fimi_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace fpm {
+namespace {
+
+TEST(FimiParseTest, BasicParse) {
+  auto r = ParseFimi("1 2 3\n4 5\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Database& db = r.value();
+  ASSERT_EQ(db.num_transactions(), 2u);
+  EXPECT_EQ(db.transaction(0).size(), 3u);
+  EXPECT_EQ(db.transaction(1)[1], 5u);
+}
+
+TEST(FimiParseTest, HandlesMissingTrailingNewline) {
+  auto r = ParseFimi("1 2\n3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_transactions(), 2u);
+}
+
+TEST(FimiParseTest, SkipsBlankLines) {
+  auto r = ParseFimi("1 2\n\n\n3\n\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_transactions(), 2u);
+}
+
+TEST(FimiParseTest, ToleratesTabsAndCarriageReturns) {
+  auto r = ParseFimi("1\t2 \r\n3\r\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_transactions(), 2u);
+  EXPECT_EQ(r->transaction(0).size(), 2u);
+}
+
+TEST(FimiParseTest, RejectsGarbage) {
+  auto r = ParseFimi("1 2\nx y\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(FimiParseTest, RejectsNegativeNumbers) {
+  EXPECT_FALSE(ParseFimi("-1 2\n").ok());
+}
+
+TEST(FimiParseTest, RejectsOverflowingItem) {
+  EXPECT_FALSE(ParseFimi("99999999999\n").ok());
+}
+
+TEST(FimiParseTest, EmptyInputYieldsEmptyDatabase) {
+  auto r = ParseFimi("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_transactions(), 0u);
+}
+
+TEST(FimiRoundTripTest, ParseSerializeParse) {
+  const std::string text = "1 2 3\n10 20\n7\n";
+  auto db = ParseFimi(text);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(ToFimi(db.value()), text);
+}
+
+TEST(FimiRoundTripTest, WeightedTransactionsExpand) {
+  DatabaseBuilder b;
+  b.AddTransaction({1, 2}, 3);
+  const std::string text = ToFimi(b.Build());
+  EXPECT_EQ(text, "1 2\n1 2\n1 2\n");
+}
+
+TEST(FimiFileTest, WriteAndReadBack) {
+  DatabaseBuilder b;
+  b.AddTransaction({4, 2});
+  b.AddTransaction({9});
+  Database db = b.Build();
+  const std::string path = testing::TempDir() + "/fimi_io_test.dat";
+  ASSERT_TRUE(WriteFimiFile(db, path).ok());
+  auto back = ReadFimiFile(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_transactions(), 2u);
+  EXPECT_EQ(back->transaction(0)[0], 4u);
+  EXPECT_EQ(back->transaction(1)[0], 9u);
+  std::remove(path.c_str());
+}
+
+TEST(FimiFileTest, MissingFileIsIOError) {
+  auto r = ReadFimiFile("/nonexistent/path/to/nothing.dat");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,163 @@
+#include "fpm/dataset/quest_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "fpm/dataset/fimi_io.h"
+#include "fpm/dataset/stats.h"
+
+namespace fpm {
+namespace {
+
+QuestParams SmallParams() {
+  QuestParams p;
+  p.num_transactions = 2000;
+  p.avg_transaction_len = 10;
+  p.avg_pattern_len = 4;
+  p.num_items = 200;
+  p.num_patterns = 100;
+  return p;
+}
+
+TEST(QuestNameTest, ParsesPaperNames) {
+  auto p = QuestParams::FromName("T60I10D300K");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_DOUBLE_EQ(p->avg_transaction_len, 60);
+  EXPECT_DOUBLE_EQ(p->avg_pattern_len, 10);
+  EXPECT_EQ(p->num_transactions, 300000u);
+}
+
+TEST(QuestNameTest, ParsesMillionSuffixAndPlainCount) {
+  auto m = QuestParams::FromName("T10I4D2M");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_transactions, 2000000u);
+  auto plain = QuestParams::FromName("T10I4D500");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->num_transactions, 500u);
+}
+
+TEST(QuestNameTest, RejectsMalformedNames) {
+  EXPECT_FALSE(QuestParams::FromName("").ok());
+  EXPECT_FALSE(QuestParams::FromName("X60I10D300K").ok());
+  EXPECT_FALSE(QuestParams::FromName("T60D300K").ok());
+  EXPECT_FALSE(QuestParams::FromName("T60I10").ok());
+  EXPECT_FALSE(QuestParams::FromName("T60I10D300K!").ok());
+}
+
+TEST(QuestNameTest, NameRoundTrips) {
+  auto p = QuestParams::FromName("T60I10D300K");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->Name(), "T60I10D300K");
+  QuestParams q;
+  q.num_transactions = 1234;
+  q.avg_transaction_len = 5;
+  q.avg_pattern_len = 2;
+  EXPECT_EQ(q.Name(), "T5I2D1234");
+}
+
+TEST(QuestValidateTest, RejectsBadRanges) {
+  QuestParams p = SmallParams();
+  p.num_transactions = 0;
+  EXPECT_FALSE(GenerateQuest(p).ok());
+  p = SmallParams();
+  p.correlation = 1.5;
+  EXPECT_FALSE(GenerateQuest(p).ok());
+  p = SmallParams();
+  p.avg_transaction_len = 0;
+  EXPECT_FALSE(GenerateQuest(p).ok());
+  p = SmallParams();
+  p.corruption_mean = -0.1;
+  EXPECT_FALSE(GenerateQuest(p).ok());
+}
+
+TEST(QuestGenTest, ProducesRequestedShape) {
+  auto db = GenerateQuest(SmallParams());
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->num_transactions(), 2000u);
+  EXPECT_LE(db->num_items(), 200u);
+  // Mean length should land near T (within generous tolerance; the
+  // carry-over mechanism biases it slightly).
+  EXPECT_GT(db->average_length(), 5.0);
+  EXPECT_LT(db->average_length(), 20.0);
+}
+
+TEST(QuestGenTest, DeterministicForSeed) {
+  auto a = GenerateQuest(SmallParams());
+  auto b = GenerateQuest(SmallParams());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(ToFimi(a.value()), ToFimi(b.value()));
+}
+
+TEST(QuestGenTest, SeedChangesOutput) {
+  QuestParams p = SmallParams();
+  auto a = GenerateQuest(p);
+  p.seed += 1;
+  auto b = GenerateQuest(p);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(ToFimi(a.value()), ToFimi(b.value()));
+}
+
+TEST(QuestGenTest, TransactionsHaveNoDuplicateItems) {
+  auto db = GenerateQuest(SmallParams());
+  ASSERT_TRUE(db.ok());
+  for (Tid t = 0; t < db->num_transactions(); ++t) {
+    auto tx = db->transaction(t);
+    std::vector<Item> sorted(tx.begin(), tx.end());
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST(QuestGenTest, PatternPoolCreatesCooccurrence) {
+  // A Quest database must contain genuinely frequent co-occurring
+  // itemsets (that's its purpose); a crude proxy: the top item pair
+  // frequency should far exceed the independence expectation.
+  QuestParams p = SmallParams();
+  p.num_transactions = 5000;
+  auto dbr = GenerateQuest(p);
+  ASSERT_TRUE(dbr.ok());
+  const Database& db = dbr.value();
+  // Count co-occurrences of the two most frequent items.
+  const auto& freq = db.item_frequencies();
+  Item top1 = 0, top2 = 1;
+  if (freq[top2] > freq[top1]) std::swap(top1, top2);
+  for (Item i = 0; i < freq.size(); ++i) {
+    if (freq[i] > freq[top1]) {
+      top2 = top1;
+      top1 = i;
+    } else if (i != top1 && freq[i] > freq[top2]) {
+      top2 = i;
+    }
+  }
+  size_t both = 0;
+  for (Tid t = 0; t < db.num_transactions(); ++t) {
+    auto tx = db.transaction(t);
+    bool has1 = false, has2 = false;
+    for (Item it : tx) {
+      has1 |= (it == top1);
+      has2 |= (it == top2);
+    }
+    if (has1 && has2) ++both;
+  }
+  const double expected_independent =
+      static_cast<double>(freq[top1]) * freq[top2] / db.num_transactions();
+  EXPECT_GT(static_cast<double>(both), 0.8 * expected_independent);
+}
+
+TEST(QuestGenTest, TinyUniverseStillWorks) {
+  QuestParams p;
+  p.num_transactions = 50;
+  p.avg_transaction_len = 3;
+  p.avg_pattern_len = 2;
+  p.num_items = 4;
+  p.num_patterns = 5;
+  auto db = GenerateQuest(p);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->num_transactions(), 50u);
+  for (Tid t = 0; t < db->num_transactions(); ++t) {
+    EXPECT_GE(db->transaction(t).size(), 1u);
+    EXPECT_LE(db->transaction(t).size(), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace fpm

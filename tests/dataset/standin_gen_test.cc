@@ -1,0 +1,98 @@
+#include "fpm/dataset/standin_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "fpm/dataset/fimi_io.h"
+#include "fpm/dataset/stats.h"
+
+namespace fpm {
+namespace {
+
+WebDocsLikeParams SmallWebDocs() {
+  WebDocsLikeParams p;
+  p.num_transactions = 1500;
+  p.vocabulary = 2000;
+  p.avg_length = 30;
+  p.num_topics = 8;
+  p.topic_vocabulary = 150;
+  return p;
+}
+
+ApLikeParams SmallAp() {
+  ApLikeParams p;
+  p.num_transactions = 3000;
+  p.vocabulary = 5000;
+  p.avg_length = 8;
+  return p;
+}
+
+TEST(WebDocsLikeTest, ShapeMatchesParams) {
+  auto db = GenerateWebDocsLike(SmallWebDocs());
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->num_transactions(), 1500u);
+  EXPECT_LE(db->num_items(), 2000u);
+  EXPECT_NEAR(db->average_length(), 30, 6);
+}
+
+TEST(WebDocsLikeTest, Deterministic) {
+  auto a = GenerateWebDocsLike(SmallWebDocs());
+  auto b = GenerateWebDocsLike(SmallWebDocs());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(ToFimi(a.value()), ToFimi(b.value()));
+}
+
+TEST(WebDocsLikeTest, HeavySkew) {
+  auto db = GenerateWebDocsLike(SmallWebDocs());
+  ASSERT_TRUE(db.ok());
+  DatabaseStats s = ComputeStats(db.value());
+  EXPECT_GT(s.frequency_gini, 0.5) << "web corpus should be Zipf-skewed";
+}
+
+TEST(WebDocsLikeTest, ValidationCatchesBadParams) {
+  WebDocsLikeParams p = SmallWebDocs();
+  p.topic_vocabulary = p.vocabulary + 1;
+  EXPECT_FALSE(GenerateWebDocsLike(p).ok());
+  p = SmallWebDocs();
+  p.topic_mix = 2.0;
+  EXPECT_FALSE(GenerateWebDocsLike(p).ok());
+  p = SmallWebDocs();
+  p.num_transactions = 0;
+  EXPECT_FALSE(GenerateWebDocsLike(p).ok());
+}
+
+TEST(ApLikeTest, ShapeMatchesParams) {
+  auto db = GenerateApLike(SmallAp());
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->num_transactions(), 3000u);
+  EXPECT_NEAR(db->average_length(), 8, 2);
+}
+
+TEST(ApLikeTest, Deterministic) {
+  auto a = GenerateApLike(SmallAp());
+  auto b = GenerateApLike(SmallAp());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(ToFimi(a.value()), ToFimi(b.value()));
+}
+
+TEST(ApLikeTest, SparserAndLessClusteredThanWebDocs) {
+  auto web = GenerateWebDocsLike(SmallWebDocs());
+  auto ap = GenerateApLike(SmallAp());
+  ASSERT_TRUE(web.ok() && ap.ok());
+  DatabaseStats ws = ComputeStats(web.value());
+  DatabaseStats as = ComputeStats(ap.value());
+  EXPECT_LT(as.density, ws.density)
+      << "AP stand-in must be sparser (paper: DS4 'very sparse')";
+  EXPECT_LT(as.avg_transaction_len, ws.avg_transaction_len);
+}
+
+TEST(ApLikeTest, ValidationCatchesBadParams) {
+  ApLikeParams p = SmallAp();
+  p.avg_length = 0;
+  EXPECT_FALSE(GenerateApLike(p).ok());
+  p = SmallAp();
+  p.zipf_exponent = -1;
+  EXPECT_FALSE(GenerateApLike(p).ok());
+}
+
+}  // namespace
+}  // namespace fpm

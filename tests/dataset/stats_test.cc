@@ -1,0 +1,85 @@
+#include "fpm/dataset/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace fpm {
+namespace {
+
+Database MakeDb(std::initializer_list<std::initializer_list<Item>> txs) {
+  DatabaseBuilder b;
+  for (const auto& tx : txs) b.AddTransaction(tx);
+  return b.Build();
+}
+
+TEST(StatsTest, EmptyDatabase) {
+  DatabaseStats s = ComputeStats(Database());
+  EXPECT_EQ(s.num_transactions, 0u);
+  EXPECT_EQ(s.density, 0.0);
+  EXPECT_EQ(s.consecutive_jaccard, 0.0);
+}
+
+TEST(StatsTest, BasicCounts) {
+  Database db = MakeDb({{0, 1, 2}, {1, 2}, {5}});
+  DatabaseStats s = ComputeStats(db);
+  EXPECT_EQ(s.num_transactions, 3u);
+  EXPECT_EQ(s.num_items, 6u);
+  EXPECT_EQ(s.num_used_items, 4u);  // 0,1,2,5
+  EXPECT_EQ(s.num_entries, 6u);
+  EXPECT_DOUBLE_EQ(s.avg_transaction_len, 2.0);
+  EXPECT_EQ(s.max_transaction_len, 3u);
+  EXPECT_DOUBLE_EQ(s.density, 6.0 / (3 * 4));
+}
+
+TEST(StatsTest, UniformFrequenciesHaveZeroGini) {
+  Database db = MakeDb({{0, 1}, {2, 3}, {4, 5}});
+  DatabaseStats s = ComputeStats(db);
+  EXPECT_NEAR(s.frequency_gini, 0.0, 1e-12);
+}
+
+TEST(StatsTest, SkewedFrequenciesHavePositiveGini) {
+  DatabaseBuilder b;
+  for (int i = 0; i < 100; ++i) b.AddTransaction({0});
+  for (Item i = 1; i <= 20; ++i) b.AddTransaction({i});
+  Database db = b.Build();
+  DatabaseStats s = ComputeStats(db);
+  // One item holds 100 of 120 occurrences across 21 items.
+  EXPECT_GT(s.frequency_gini, 0.75);
+}
+
+TEST(JaccardTest, IdenticalConsecutiveTransactions) {
+  Database db = MakeDb({{1, 2, 3}, {1, 2, 3}, {1, 2, 3}});
+  EXPECT_DOUBLE_EQ(ConsecutiveJaccard(db), 1.0);
+}
+
+TEST(JaccardTest, DisjointConsecutiveTransactions) {
+  Database db = MakeDb({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_DOUBLE_EQ(ConsecutiveJaccard(db), 0.0);
+}
+
+TEST(JaccardTest, PartialOverlap) {
+  // {1,2} vs {2,3}: 1/3.
+  Database db = MakeDb({{1, 2}, {2, 3}});
+  EXPECT_NEAR(ConsecutiveJaccard(db), 1.0 / 3.0, 1e-12);
+}
+
+TEST(JaccardTest, OrderInsensitiveWithinTransaction) {
+  Database a = MakeDb({{1, 2, 3}, {3, 2, 1}});
+  EXPECT_DOUBLE_EQ(ConsecutiveJaccard(a), 1.0);
+}
+
+TEST(JaccardTest, SingleTransactionIsZero) {
+  Database db = MakeDb({{1, 2}});
+  EXPECT_DOUBLE_EQ(ConsecutiveJaccard(db), 0.0);
+}
+
+TEST(StatsTest, ToStringMentionsEveryField) {
+  Database db = MakeDb({{0, 1}, {1}});
+  const std::string s = ComputeStats(db).ToString();
+  EXPECT_NE(s.find("transactions"), std::string::npos);
+  EXPECT_NE(s.find("density"), std::string::npos);
+  EXPECT_NE(s.find("gini"), std::string::npos);
+  EXPECT_NE(s.find("jaccard"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpm

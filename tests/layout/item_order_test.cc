@@ -1,0 +1,86 @@
+#include "fpm/layout/item_order.h"
+
+#include <gtest/gtest.h>
+
+namespace fpm {
+namespace {
+
+Database MakeDb(std::initializer_list<std::initializer_list<Item>> txs) {
+  DatabaseBuilder b;
+  for (const auto& tx : txs) b.AddTransaction(tx);
+  return b.Build();
+}
+
+TEST(ItemOrderTest, RanksByDecreasingFrequency) {
+  // freq: 0->1, 1->3, 2->2
+  Database db = MakeDb({{0, 1, 2}, {1, 2}, {1}});
+  ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
+  EXPECT_EQ(order.RankOf(1), 0u);
+  EXPECT_EQ(order.RankOf(2), 1u);
+  EXPECT_EQ(order.RankOf(0), 2u);
+  EXPECT_EQ(order.ItemAt(0), 1u);
+  EXPECT_EQ(order.ItemAt(2), 0u);
+}
+
+TEST(ItemOrderTest, TieBrokenByItemId) {
+  Database db = MakeDb({{3, 1}, {1, 3}});
+  ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
+  EXPECT_LT(order.RankOf(1), order.RankOf(3));
+}
+
+TEST(ItemOrderTest, RoundTripBijective) {
+  Database db = MakeDb({{5, 2, 9}, {2}, {9, 2}});
+  ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
+  for (Item i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order.RankOf(order.ItemAt(i)), i);
+    EXPECT_EQ(order.ItemAt(order.RankOf(i)), i);
+  }
+}
+
+TEST(ItemOrderTest, WeightedFrequenciesRespected) {
+  DatabaseBuilder b;
+  b.AddTransaction({0}, 10);
+  b.AddTransaction({1}, 1);
+  b.AddTransaction({1}, 1);
+  Database db = b.Build();
+  // item 0 weighted freq 10 beats item 1 freq 2 despite fewer rows.
+  ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
+  EXPECT_EQ(order.RankOf(0), 0u);
+}
+
+TEST(RemapItemsTest, TransactionsSortedByRank) {
+  // freq: a=0:1, b=1:2, c=2:3 -> ranks: c=0, b=1, a=2
+  Database db = MakeDb({{0, 1, 2}, {1, 2}, {2}});
+  ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
+  Database ranked = RemapItems(db, order);
+  auto t0 = ranked.transaction(0);
+  ASSERT_EQ(t0.size(), 3u);
+  EXPECT_EQ(t0[0], 0u);  // c first (most frequent)
+  EXPECT_EQ(t0[1], 1u);  // b
+  EXPECT_EQ(t0[2], 2u);  // a
+}
+
+TEST(RemapItemsTest, PreservesTransactionOrderAndWeights) {
+  DatabaseBuilder b;
+  b.AddTransaction({4}, 2);
+  b.AddTransaction({4, 7}, 5);
+  Database db = b.Build();
+  Database ranked = RemapItems(db, ItemOrder::ByDecreasingFrequency(db));
+  EXPECT_EQ(ranked.num_transactions(), 2u);
+  EXPECT_EQ(ranked.weight(0), 2u);
+  EXPECT_EQ(ranked.weight(1), 5u);
+  EXPECT_EQ(ranked.transaction(0).size(), 1u);
+}
+
+TEST(RemapItemsTest, FrequenciesArePermuted) {
+  Database db = MakeDb({{0, 1, 2}, {1, 2}, {2}});
+  Database ranked = RemapItems(db, ItemOrder::ByDecreasingFrequency(db));
+  const auto& f = ranked.item_frequencies();
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], 3u);
+  EXPECT_EQ(f[1], 2u);
+  EXPECT_EQ(f[2], 1u);
+}
+
+}  // namespace
+}  // namespace fpm

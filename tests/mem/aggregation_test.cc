@@ -1,0 +1,112 @@
+#include "fpm/mem/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fpm {
+namespace {
+
+TEST(LinkedListTest, PreservesOrder) {
+  Arena arena;
+  LinkedList<int> list(&arena);
+  for (int i = 0; i < 100; ++i) list.PushBack(i);
+  EXPECT_EQ(list.size(), 100u);
+  int expect = 0;
+  list.ForEach([&](int v) { EXPECT_EQ(v, expect++); });
+  EXPECT_EQ(expect, 100);
+}
+
+TEST(LinkedListTest, EmptyList) {
+  Arena arena;
+  LinkedList<int> list(&arena);
+  EXPECT_TRUE(list.empty());
+  int visits = 0;
+  list.ForEach([&](int) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(AggregatedListTest, PreservesOrderAcrossSupernodes) {
+  Arena arena;
+  AggregatedList<uint32_t> list(&arena, /*capacity=*/4);
+  for (uint32_t i = 0; i < 37; ++i) list.PushBack(i);
+  EXPECT_EQ(list.size(), 37u);
+  uint32_t expect = 0;
+  list.ForEach([&](uint32_t v) { EXPECT_EQ(v, expect++); });
+  EXPECT_EQ(expect, 37u);
+}
+
+TEST(AggregatedListTest, SupernodeCountMatchesCapacity) {
+  Arena arena;
+  AggregatedList<uint32_t> list(&arena, 8);
+  for (uint32_t i = 0; i < 17; ++i) list.PushBack(i);
+  size_t supernodes = 0;
+  for (const auto* n = list.head(); n != nullptr; n = n->next) ++supernodes;
+  EXPECT_EQ(supernodes, 3u);  // 8 + 8 + 1
+}
+
+TEST(AggregatedListTest, CacheLineCapacityFillsOneLine) {
+  using List = AggregatedList<uint32_t>;
+  const uint32_t cap = List::CacheLineCapacity();
+  EXPECT_GT(cap, 0u);
+  const size_t supernode_bytes =
+      sizeof(List::SuperNode) + (cap - 1) * sizeof(uint32_t);
+  EXPECT_LE(supernode_bytes, static_cast<size_t>(kCacheLineBytes));
+  // Adding one more element would overflow the line.
+  EXPECT_GT(supernode_bytes + sizeof(uint32_t),
+            static_cast<size_t>(kCacheLineBytes));
+}
+
+TEST(AggregatedListTest, ZeroCapacityCoercedToOne) {
+  Arena arena;
+  AggregatedList<uint64_t> list(&arena, 0);
+  list.PushBack(7);
+  list.PushBack(8);
+  EXPECT_EQ(list.capacity(), 1u);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(AggregatedListTest, PrefetchedTraversalVisitsEverything) {
+  Arena arena;
+  AggregatedList<int> list(&arena, 5);
+  long sum = 0;
+  for (int i = 1; i <= 100; ++i) list.PushBack(i);
+  list.ForEachPrefetched([&](int v) { sum += v; });
+  EXPECT_EQ(sum, 5050);
+}
+
+TEST(AggregatedListTest, LargePayloadTypes) {
+  struct Wide {
+    uint64_t a, b, c;
+  };
+  Arena arena;
+  AggregatedList<Wide> list(&arena);  // capacity from cache line
+  EXPECT_GE(list.capacity(), 1u);
+  for (uint64_t i = 0; i < 10; ++i) list.PushBack({i, i * 2, i * 3});
+  uint64_t idx = 0;
+  list.ForEach([&](const Wide& w) {
+    EXPECT_EQ(w.b, idx * 2);
+    ++idx;
+  });
+  EXPECT_EQ(idx, 10u);
+}
+
+TEST(AggregationEquivalenceTest, BothListsProduceIdenticalSequences) {
+  Arena arena;
+  LinkedList<uint32_t> plain(&arena);
+  AggregatedList<uint32_t> agg(&arena, 7);
+  std::vector<uint32_t> input;
+  for (uint32_t i = 0; i < 500; ++i) input.push_back(i * 2654435761u);
+  for (uint32_t v : input) {
+    plain.PushBack(v);
+    agg.PushBack(v);
+  }
+  std::vector<uint32_t> a, b;
+  plain.ForEach([&](uint32_t v) { a.push_back(v); });
+  agg.ForEach([&](uint32_t v) { b.push_back(v); });
+  EXPECT_EQ(a, input);
+  EXPECT_EQ(b, input);
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,72 @@
+#include "fpm/mem/compaction.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fpm {
+namespace {
+
+TEST(CompactCopyTest, GathersThroughPointers) {
+  int a = 1, b = 2, c = 3;
+  std::vector<const int*> ptrs = {&c, &a, &b};
+  const std::vector<int> out = CompactCopy(std::span<const int* const>(ptrs));
+  EXPECT_EQ(out, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(CompactCopyTest, SkipsNulls) {
+  int a = 5;
+  std::vector<const int*> ptrs = {nullptr, &a, nullptr};
+  const std::vector<int> out = CompactCopy(std::span<const int* const>(ptrs));
+  EXPECT_EQ(out, (std::vector<int>{5}));
+}
+
+TEST(CompactGatherTest, GathersByIndex) {
+  const std::vector<double> src = {0.0, 1.5, 3.0, 4.5};
+  const std::vector<uint32_t> idx = {3, 0, 2};
+  const std::vector<double> out = CompactGather(
+      std::span<const double>(src), std::span<const uint32_t>(idx));
+  EXPECT_EQ(out, (std::vector<double>{4.5, 0.0, 3.0}));
+}
+
+TEST(CounterTableTest, AddAndGet) {
+  CounterTable t(10);
+  t.Add(3, 5);
+  t.Add(3, 2);
+  t.Add(9, 1);
+  EXPECT_EQ(t.Get(3), 7u);
+  EXPECT_EQ(t.Get(9), 1u);
+  EXPECT_EQ(t.Get(0), 0u);
+}
+
+TEST(CounterTableTest, ResetTouchedIsSelective) {
+  CounterTable t(5);
+  t.Add(1, 10);
+  t.Add(2, 20);
+  const std::vector<uint32_t> touched = {1};
+  t.ResetTouched(touched);
+  EXPECT_EQ(t.Get(1), 0u);
+  EXPECT_EQ(t.Get(2), 20u);
+}
+
+TEST(CounterTableTest, ResetAll) {
+  CounterTable t(4);
+  for (uint32_t i = 0; i < 4; ++i) t.Add(i, i + 1);
+  t.ResetAll();
+  for (uint32_t i = 0; i < 4; ++i) EXPECT_EQ(t.Get(i), 0u);
+}
+
+TEST(CounterTableTest, DataIsContiguous) {
+  CounterTable t(3);
+  t.Add(0, 1);
+  t.Add(1, 2);
+  t.Add(2, 3);
+  const uint32_t* d = t.data();
+  EXPECT_EQ(d[0], 1u);
+  EXPECT_EQ(d[1], 2u);
+  EXPECT_EQ(d[2], 3u);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,93 @@
+#include "fpm/mem/prefetch_pointers.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fpm {
+namespace {
+
+// Chain 0: 0 -> 1 -> 2 -> 3 -> end; chain 1: 4 -> 5 -> end.
+std::vector<uint32_t> TwoChains() {
+  return {1, 2, 3, kInvalidIndex, 5, kInvalidIndex};
+}
+
+TEST(JumpPointersTest, DistanceOne) {
+  const auto next = TwoChains();
+  const std::vector<uint32_t> heads = {0, 4};
+  const auto jump = BuildJumpPointers(heads, next, 1);
+  EXPECT_EQ(jump, next);  // distance 1 == the next pointer itself
+}
+
+TEST(JumpPointersTest, DistanceTwo) {
+  const auto next = TwoChains();
+  const std::vector<uint32_t> heads = {0, 4};
+  const auto jump = BuildJumpPointers(heads, next, 2);
+  EXPECT_EQ(jump[0], 2u);
+  EXPECT_EQ(jump[1], 3u);
+  EXPECT_EQ(jump[2], kInvalidIndex);
+  EXPECT_EQ(jump[3], kInvalidIndex);
+  EXPECT_EQ(jump[4], kInvalidIndex);  // chain shorter than distance
+  EXPECT_EQ(jump[5], kInvalidIndex);
+}
+
+TEST(JumpPointersTest, DistanceBeyondChainLength) {
+  const auto next = TwoChains();
+  const std::vector<uint32_t> heads = {0, 4};
+  const auto jump = BuildJumpPointers(heads, next, 10);
+  for (uint32_t j : jump) EXPECT_EQ(j, kInvalidIndex);
+}
+
+TEST(JumpPointersTest, EmptyHeads) {
+  const auto next = TwoChains();
+  const auto jump = BuildJumpPointers({}, next, 2);
+  for (uint32_t j : jump) EXPECT_EQ(j, kInvalidIndex);
+}
+
+TEST(JumpPointersTest, LongChainAllDistances) {
+  // Chain of 100 nodes: jump[i] must be i+d.
+  std::vector<uint32_t> next(100);
+  for (uint32_t i = 0; i < 99; ++i) next[i] = i + 1;
+  next[99] = kInvalidIndex;
+  const std::vector<uint32_t> heads = {0};
+  for (uint32_t d : {1u, 3u, 7u, 50u}) {
+    const auto jump = BuildJumpPointers(heads, next, d);
+    for (uint32_t i = 0; i < 100; ++i) {
+      if (i + d < 100) {
+        EXPECT_EQ(jump[i], i + d) << "d=" << d << " i=" << i;
+      } else {
+        EXPECT_EQ(jump[i], kInvalidIndex) << "d=" << d << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(JumpPointersDeathTest, ZeroDistanceRejected) {
+  const auto next = TwoChains();
+  const std::vector<uint32_t> heads = {0};
+  EXPECT_DEATH(BuildJumpPointers(heads, next, 0), "positive");
+}
+
+struct PNode {
+  PNode* next = nullptr;
+  PNode* jump = nullptr;
+  int value = 0;
+};
+
+TEST(JumpPointersForChainTest, PointerVariant) {
+  std::vector<PNode> nodes(6);
+  for (int i = 0; i < 5; ++i) {
+    nodes[i].next = &nodes[i + 1];
+    nodes[i].value = i;
+  }
+  BuildJumpPointersForChain<PNode>(
+      &nodes[0], 2, [](PNode* n) { return n->next; },
+      [](PNode* n, PNode* target) { n->jump = target; });
+  EXPECT_EQ(nodes[0].jump, &nodes[2]);
+  EXPECT_EQ(nodes[3].jump, &nodes[5]);
+  EXPECT_EQ(nodes[4].jump, nullptr);
+  EXPECT_EQ(nodes[5].jump, nullptr);
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,103 @@
+#include "fpm/mem/wavefront.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fpm {
+namespace {
+
+struct Node {
+  Node* next = nullptr;
+  int value = 0;
+};
+
+// Builds an array of short lists: list i holds values i*10, i*10+1, ...
+std::vector<Node*> BuildLists(std::vector<Node>* storage, int num_lists,
+                              int list_len) {
+  storage->assign(static_cast<size_t>(num_lists * list_len), Node{});
+  std::vector<Node*> heads(num_lists, nullptr);
+  for (int i = 0; i < num_lists; ++i) {
+    for (int j = 0; j < list_len; ++j) {
+      Node& n = (*storage)[static_cast<size_t>(i * list_len + j)];
+      n.value = i * 10 + j;
+      n.next = (j + 1 < list_len)
+                   ? &(*storage)[static_cast<size_t>(i * list_len + j + 1)]
+                   : nullptr;
+    }
+    heads[i] = &(*storage)[static_cast<size_t>(i * list_len)];
+  }
+  return heads;
+}
+
+TEST(WaveFrontTest, VisitsEveryNodeInOrder) {
+  std::vector<Node> storage;
+  const auto heads = BuildLists(&storage, 5, 3);
+  std::vector<int> visited;
+  WaveFrontTraverse<Node>(
+      heads, [](Node* n) { return n->next; },
+      [&](size_t, Node* n) { visited.push_back(n->value); });
+  std::vector<int> expected;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 3; ++j) expected.push_back(i * 10 + j);
+  }
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(WaveFrontTest, ListIndexReported) {
+  std::vector<Node> storage;
+  const auto heads = BuildLists(&storage, 3, 2);
+  WaveFrontTraverse<Node>(
+      heads, [](Node* n) { return n->next; },
+      [&](size_t list, Node* n) { EXPECT_EQ(n->value / 10, (int)list); });
+}
+
+TEST(WaveFrontTest, EmptyHeadArray) {
+  std::vector<Node*> heads;
+  int visits = 0;
+  WaveFrontTraverse<Node>(
+      heads, [](Node* n) { return n->next; },
+      [&](size_t, Node*) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(WaveFrontTest, CustomDistancesStillVisitAll) {
+  std::vector<Node> storage;
+  const auto heads = BuildLists(&storage, 10, 4);
+  WaveFrontOptions options;
+  options.depth = 7;
+  int visits = 0;
+  WaveFrontTraverse<Node>(
+      heads, [](Node* n) { return n->next; },
+      [&](size_t, Node*) { ++visits; }, options);
+  EXPECT_EQ(visits, 40);
+}
+
+TEST(WaveFrontIndexedTest, VisitsEveryIndexInOrder) {
+  // Two chains over an index array: 0->1->end, 2->3->4->end.
+  constexpr uint32_t kEnd = ~0u;
+  const std::vector<uint32_t> next = {1, kEnd, 3, 4, kEnd};
+  const std::vector<uint32_t> heads = {0, 2};
+  std::vector<uint32_t> payload = {10, 11, 20, 21, 22};
+  std::vector<uint32_t> visited;
+  WaveFrontTraverseIndexed(
+      heads, next, payload.data(), sizeof(uint32_t),
+      [&](size_t, uint32_t idx) { visited.push_back(payload[idx]); });
+  EXPECT_EQ(visited, (std::vector<uint32_t>{10, 11, 20, 21, 22}));
+}
+
+TEST(WaveFrontIndexedTest, EmptyChainsSkipped) {
+  constexpr uint32_t kEnd = ~0u;
+  const std::vector<uint32_t> next = {kEnd};
+  const std::vector<uint32_t> heads = {kEnd, 0, kEnd};
+  int payload = 0;
+  std::vector<size_t> lists;
+  WaveFrontTraverseIndexed(heads, next, &payload, sizeof(int),
+                           [&](size_t list, uint32_t) {
+                             lists.push_back(list);
+                           });
+  EXPECT_EQ(lists, (std::vector<size_t>{1}));
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,65 @@
+#include "fpm/perf/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "fpm/algo/lcm/lcm_miner.h"
+#include "testing/db_testutil.h"
+
+namespace fpm {
+namespace {
+
+using testutil::MakeDb;
+
+TEST(MeasureMinerTest, ReportsConsistentOutput) {
+  Database db = MakeDb({{0, 1}, {0, 2}, {0, 1, 2}, {1}});
+  LcmMiner miner;
+  const Measurement m = MeasureMiner(miner, db, 2, /*repeats=*/3);
+  EXPECT_EQ(m.name, "lcm");
+  EXPECT_EQ(m.num_frequent, 5u);
+  EXPECT_GE(m.seconds, 0.0);
+  EXPECT_NE(m.checksum, 0u);
+}
+
+TEST(ComputeSpeedupsTest, BaselineIsOne) {
+  Measurement base;
+  base.name = "base";
+  base.seconds = 2.0;
+  base.checksum = 42;
+  Measurement fast = base;
+  fast.name = "fast";
+  fast.seconds = 1.0;
+  const auto rows = ComputeSpeedups(base, {base, fast});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].speedup, 1.0);
+  EXPECT_DOUBLE_EQ(rows[1].speedup, 2.0);
+}
+
+TEST(ComputeSpeedupsDeathTest, ChecksumMismatchDies) {
+  Measurement base;
+  base.checksum = 1;
+  base.seconds = 1.0;
+  Measurement other;
+  other.checksum = 2;
+  other.seconds = 1.0;
+  other.name = "broken";
+  EXPECT_DEATH(ComputeSpeedups(base, {other}), "different itemsets");
+}
+
+TEST(BenchKnobsTest, EnvOverridesRespected) {
+  setenv("FPM_BENCH_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(), 0.5);
+  setenv("FPM_BENCH_SCALE", "bogus", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(), 0.05);
+  unsetenv("FPM_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(BenchScale(), 0.05);
+
+  setenv("FPM_BENCH_REPEATS", "7", 1);
+  EXPECT_EQ(BenchRepeats(), 7);
+  unsetenv("FPM_BENCH_REPEATS");
+  EXPECT_EQ(BenchRepeats(), 2);
+}
+
+}  // namespace
+}  // namespace fpm

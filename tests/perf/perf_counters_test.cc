@@ -1,0 +1,57 @@
+#include "fpm/perf/perf_counters.h"
+
+#include <gtest/gtest.h>
+
+#include "fpm/perf/platform_info.h"
+
+namespace fpm {
+namespace {
+
+TEST(PlatformInfoTest, DetectsSomething) {
+  const PlatformInfo info = PlatformInfo::Detect();
+  EXPECT_GE(info.logical_cpus, 1);
+  EXPECT_FALSE(info.cpu_model.empty());
+  const std::string s = info.ToString();
+  EXPECT_NE(s.find("Processor type"), std::string::npos);
+  EXPECT_NE(s.find("L1 data cache"), std::string::npos);
+}
+
+TEST(CpiCounterTest, CountsWorkWhenAvailable) {
+  auto counter = CpiCounter::Create();
+  if (!counter.ok()) {
+    GTEST_SKIP() << "perf counters unavailable: " << counter.status();
+  }
+  ASSERT_TRUE(counter->Start().ok());
+  // Burn a known-nonzero amount of work.
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + static_cast<uint64_t>(i);
+  ASSERT_TRUE(counter->Stop().ok());
+  EXPECT_GT(counter->instructions(), 100000u);
+  EXPECT_GT(counter->cycles(), 0u);
+  EXPECT_GT(counter->Cpi(), 0.0);
+  EXPECT_LT(counter->Cpi(), 50.0);
+}
+
+TEST(CpiCounterTest, AvailabilityProbeConsistent) {
+  const bool available = CpiCountersAvailable();
+  auto counter = CpiCounter::Create();
+  EXPECT_EQ(available, counter.ok());
+}
+
+TEST(CpiCounterTest, MoveTransfersOwnership) {
+  auto counter = CpiCounter::Create();
+  if (!counter.ok()) GTEST_SKIP() << "perf counters unavailable";
+  CpiCounter moved = std::move(counter).value();
+  EXPECT_TRUE(moved.Start().ok());
+  EXPECT_TRUE(moved.Stop().ok());
+}
+
+TEST(CpiCounterTest, ZeroInstructionsGivesZeroCpi) {
+  auto counter = CpiCounter::Create();
+  if (!counter.ok()) GTEST_SKIP() << "perf counters unavailable";
+  // Never started: both counters are zero.
+  EXPECT_EQ(counter->Cpi(), 0.0);
+}
+
+}  // namespace
+}  // namespace fpm

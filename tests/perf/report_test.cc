@@ -1,0 +1,47 @@
+#include "fpm/perf/report.h"
+
+#include <gtest/gtest.h>
+
+namespace fpm {
+namespace {
+
+TEST(ReportTableTest, AlignsColumns) {
+  ReportTable t({"name", "time"});
+  t.AddRow({"a", "1.0s"});
+  t.AddRow({"longer-name", "2.0s"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| name        | time |"), std::string::npos) << s;
+  EXPECT_NE(s.find("| longer-name | 2.0s |"), std::string::npos) << s;
+}
+
+TEST(ReportTableTest, ShortRowsPadded) {
+  ReportTable t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.ToString().find("| x | "), std::string::npos);
+}
+
+TEST(ReportTableDeathTest, OverlongRowDies) {
+  ReportTable t({"only"});
+  EXPECT_DEATH(t.AddRow({"a", "b"}), "cells");
+}
+
+TEST(FormattersTest, Seconds) {
+  EXPECT_EQ(FormatSeconds(0.1239), "0.124s");
+  EXPECT_EQ(FormatSeconds(12.0), "12.000s");
+}
+
+TEST(FormattersTest, Speedup) {
+  EXPECT_EQ(FormatSpeedup(1.0), "1.00x");
+  EXPECT_EQ(FormatSpeedup(2.147), "2.15x");
+}
+
+TEST(FormattersTest, CountWithSeparators) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace fpm

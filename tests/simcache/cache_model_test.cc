@@ -1,0 +1,100 @@
+#include "fpm/simcache/cache_model.h"
+
+#include <gtest/gtest.h>
+
+namespace fpm {
+namespace {
+
+CacheConfig SmallCache() {
+  // 4 sets x 2 ways x 64B lines = 512B.
+  return CacheConfig{512, 2, 64};
+}
+
+TEST(CacheConfigTest, Validation) {
+  EXPECT_TRUE(SmallCache().Validate().ok());
+  EXPECT_FALSE((CacheConfig{512, 2, 63}).Validate().ok());   // non-pow2 line
+  EXPECT_FALSE((CacheConfig{500, 2, 64}).Validate().ok());   // not divisible
+  EXPECT_FALSE((CacheConfig{512, 0, 64}).Validate().ok());   // zero ways
+  EXPECT_FALSE((CacheConfig{3 * 64 * 2, 2, 64}).Validate().ok());  // 3 sets
+}
+
+TEST(CacheModelTest, ColdMissThenHit) {
+  CacheModel cache(SmallCache());
+  EXPECT_FALSE(cache.Access(0x1000));
+  EXPECT_TRUE(cache.Access(0x1000));
+  EXPECT_TRUE(cache.Access(0x1001));  // same line
+  EXPECT_EQ(cache.stats().accesses, 3u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheModelTest, SetConflictEvictsLru) {
+  CacheModel cache(SmallCache());  // 4 sets, 2 ways
+  // Three addresses mapping to set 0: line addresses 0, 4, 8.
+  const uint64_t a = 0 * 64, b = 4 * 64, c = 8 * 64;
+  cache.Access(a);  // miss
+  cache.Access(b);  // miss
+  cache.Access(a);  // hit, refreshes a's LRU
+  cache.Access(c);  // miss, evicts b (LRU)
+  EXPECT_TRUE(cache.Access(a));   // still resident
+  EXPECT_FALSE(cache.Access(b));  // was evicted
+}
+
+TEST(CacheModelTest, DistinctSetsDoNotConflict) {
+  CacheModel cache(SmallCache());
+  for (uint64_t s = 0; s < 4; ++s) cache.Access(s * 64);
+  for (uint64_t s = 0; s < 4; ++s) EXPECT_TRUE(cache.Access(s * 64));
+}
+
+TEST(CacheModelTest, WorkingSetLargerThanCacheThrashes) {
+  CacheModel cache(SmallCache());  // 512B total = 8 lines
+  // Stream over 64 lines twice: second pass must still miss everywhere.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t l = 0; l < 64; ++l) cache.Access(l * 64);
+  }
+  EXPECT_EQ(cache.stats().misses, 128u);
+}
+
+TEST(CacheModelTest, WorkingSetFittingCacheHitsOnSecondPass) {
+  CacheModel cache(SmallCache());
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t l = 0; l < 8; ++l) cache.Access(l * 64);
+  }
+  EXPECT_EQ(cache.stats().misses, 8u);
+  EXPECT_EQ(cache.stats().accesses, 16u);
+}
+
+TEST(CacheModelTest, ResetClearsState) {
+  CacheModel cache(SmallCache());
+  cache.Access(0);
+  cache.Reset();
+  EXPECT_EQ(cache.stats().accesses, 0u);
+  EXPECT_FALSE(cache.Access(0));  // cold again
+}
+
+TEST(CacheStatsTest, MissRate) {
+  CacheStats s;
+  EXPECT_EQ(s.miss_rate(), 0.0);
+  s.accesses = 10;
+  s.misses = 3;
+  EXPECT_DOUBLE_EQ(s.miss_rate(), 0.3);
+}
+
+TEST(TlbModelTest, PageGranularity) {
+  TlbModel tlb(4);
+  EXPECT_FALSE(tlb.Access(0));
+  EXPECT_TRUE(tlb.Access(4095));   // same 4K page
+  EXPECT_FALSE(tlb.Access(4096));  // next page
+}
+
+TEST(TlbModelTest, LruEviction) {
+  TlbModel tlb(2);
+  tlb.Access(0 << 12);
+  tlb.Access(1ull << 12);
+  tlb.Access(0);            // refresh page 0
+  tlb.Access(2ull << 12);   // evicts page 1
+  EXPECT_TRUE(tlb.Access(0));
+  EXPECT_FALSE(tlb.Access(1ull << 12));
+}
+
+}  // namespace
+}  // namespace fpm

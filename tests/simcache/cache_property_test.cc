@@ -1,0 +1,100 @@
+// Model-vs-model property test: CacheModel must agree, access for
+// access, with a trivially correct reference simulator (per-set vector
+// of tags with explicit LRU ordering) on random traces across
+// geometries.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "fpm/common/rng.h"
+#include "fpm/simcache/cache_model.h"
+
+namespace fpm {
+namespace {
+
+// Obviously-correct reference: one deque of line addresses per set,
+// front = most recently used.
+class ReferenceCache {
+ public:
+  explicit ReferenceCache(const CacheConfig& config)
+      : ways_(config.ways), line_bytes_(config.line_bytes) {
+    num_sets_ = static_cast<uint32_t>(
+        config.size_bytes /
+        (static_cast<size_t>(config.ways) * config.line_bytes));
+    sets_.resize(num_sets_);
+  }
+
+  bool Access(uint64_t addr) {
+    const uint64_t line = addr / line_bytes_;
+    auto& set = sets_[line % num_sets_];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (*it == line) {
+        set.erase(it);
+        set.push_front(line);
+        return true;
+      }
+    }
+    set.push_front(line);
+    if (set.size() > ways_) set.pop_back();
+    return false;
+  }
+
+ private:
+  uint32_t ways_;
+  uint32_t line_bytes_;
+  uint32_t num_sets_;
+  std::vector<std::deque<uint64_t>> sets_;
+};
+
+class CachePropertyTest : public ::testing::TestWithParam<CacheConfig> {};
+
+TEST_P(CachePropertyTest, AgreesWithReferenceOnRandomTrace) {
+  const CacheConfig config = GetParam();
+  ASSERT_TRUE(config.Validate().ok());
+  CacheModel model(config);
+  ReferenceCache reference(config);
+  Rng rng(4242);
+  // Mixed trace: mostly a small hot region (hits + conflicts), plus a
+  // cold stream.
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t addr;
+    if (rng.NextBool(0.7)) {
+      addr = rng.NextBounded(4 * config.size_bytes);
+    } else {
+      addr = rng.NextBounded(1ull << 24);
+    }
+    const bool expect = reference.Access(addr);
+    const bool actual = model.Access(addr);
+    ASSERT_EQ(expect, actual) << "access " << i << " addr " << addr;
+  }
+  EXPECT_EQ(model.stats().accesses, 50000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CachePropertyTest,
+    ::testing::Values(CacheConfig{512, 2, 64},        // tiny
+                      CacheConfig{16 * 1024, 8, 64},  // M1 L1
+                      CacheConfig{64 * 1024, 2, 64},  // M2 L1
+                      CacheConfig{4096, 1, 64},       // direct mapped
+                      CacheConfig{4096, 64, 64}),     // fully associative
+    [](const auto& info) {
+      return std::to_string(info.param.size_bytes) + "B_" +
+             std::to_string(info.param.ways) + "way";
+    });
+
+TEST(TlbPropertyTest, AgreesWithFullyAssociativeReference) {
+  // The TLB is a fully associative cache with 4K "lines".
+  CacheConfig as_cache{32 * 4096, 32, 4096};
+  ReferenceCache reference(as_cache);
+  TlbModel tlb(32, 4096);
+  Rng rng(777);
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t addr = rng.NextBounded(1ull << 28);
+    ASSERT_EQ(reference.Access(addr), tlb.Access(addr)) << "access " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,87 @@
+// Shared helpers for miner tests: small database literals, random
+// database generation, and canonical mining wrappers for equivalence
+// checks.
+
+#ifndef FPM_TESTS_TESTING_DB_TESTUTIL_H_
+#define FPM_TESTS_TESTING_DB_TESTUTIL_H_
+
+#include <initializer_list>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fpm/algo/itemset_sink.h"
+#include "fpm/algo/miner.h"
+#include "fpm/common/rng.h"
+#include "fpm/dataset/database.h"
+
+namespace fpm::testutil {
+
+inline Database MakeDb(
+    std::initializer_list<std::initializer_list<Item>> txs) {
+  DatabaseBuilder b;
+  for (const auto& tx : txs) b.AddTransaction(tx);
+  return b.Build();
+}
+
+/// Knobs for random database generation.
+struct RandomDbSpec {
+  uint32_t num_transactions = 30;
+  uint32_t num_items = 8;
+  double avg_len = 4.0;
+  uint64_t seed = 1;
+};
+
+/// Uniform random database (no structure) — the adversarial input for
+/// equivalence testing.
+inline Database RandomDb(const RandomDbSpec& spec) {
+  Rng rng(spec.seed);
+  DatabaseBuilder b;
+  std::vector<Item> tx;
+  for (uint32_t t = 0; t < spec.num_transactions; ++t) {
+    tx.clear();
+    const uint32_t len =
+        1 + rng.NextPoisson(spec.avg_len > 1 ? spec.avg_len - 1 : 0.0);
+    for (uint32_t i = 0; i < len; ++i) {
+      tx.push_back(static_cast<Item>(rng.NextBounded(spec.num_items)));
+    }
+    b.AddTransaction(tx);  // duplicates removed by the builder
+  }
+  return b.Build();
+}
+
+/// Mines and returns the canonicalized (itemset, support) list.
+inline std::vector<CollectingSink::Entry> MineCanonical(Miner& miner,
+                                                        const Database& db,
+                                                        Support min_support) {
+  CollectingSink sink;
+  const Status s = miner.Mine(db, min_support, &sink);
+  EXPECT_TRUE(s.ok()) << miner.name() << ": " << s;
+  sink.Canonicalize();
+  return sink.results();
+}
+
+/// EXPECT-level comparison with a readable diff on mismatch.
+inline void ExpectSameResults(
+    const std::vector<CollectingSink::Entry>& expected,
+    const std::vector<CollectingSink::Entry>& actual,
+    const std::string& label) {
+  EXPECT_EQ(expected.size(), actual.size()) << label << ": itemset count";
+  const size_t n = std::min(expected.size(), actual.size());
+  size_t mismatches = 0;
+  for (size_t i = 0; i < n && mismatches < 5; ++i) {
+    if (expected[i] != actual[i]) {
+      ++mismatches;
+      std::string want, got;
+      for (Item it : expected[i].first) want += std::to_string(it) + " ";
+      for (Item it : actual[i].first) got += std::to_string(it) + " ";
+      ADD_FAILURE() << label << ": entry " << i << " want {" << want << "}:"
+                    << expected[i].second << " got {" << got
+                    << "}:" << actual[i].second;
+    }
+  }
+}
+
+}  // namespace fpm::testutil
+
+#endif  // FPM_TESTS_TESTING_DB_TESTUTIL_H_

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_eclat.dir/bench_fig8_eclat.cc.o"
+  "CMakeFiles/bench_fig8_eclat.dir/bench_fig8_eclat.cc.o.d"
+  "bench_fig8_eclat"
+  "bench_fig8_eclat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_eclat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

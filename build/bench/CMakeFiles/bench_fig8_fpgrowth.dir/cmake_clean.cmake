@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_fpgrowth.dir/bench_fig8_fpgrowth.cc.o"
+  "CMakeFiles/bench_fig8_fpgrowth.dir/bench_fig8_fpgrowth.cc.o.d"
+  "bench_fig8_fpgrowth"
+  "bench_fig8_fpgrowth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_fpgrowth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

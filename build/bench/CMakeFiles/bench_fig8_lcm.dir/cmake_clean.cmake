@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_lcm.dir/bench_fig8_lcm.cc.o"
+  "CMakeFiles/bench_fig8_lcm.dir/bench_fig8_lcm.cc.o.d"
+  "bench_fig8_lcm"
+  "bench_fig8_lcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_lcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_patterns.dir/bench_micro_patterns.cc.o"
+  "CMakeFiles/bench_micro_patterns.dir/bench_micro_patterns.cc.o.d"
+  "bench_micro_patterns"
+  "bench_micro_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simcache_locality.dir/bench_simcache_locality.cc.o"
+  "CMakeFiles/bench_simcache_locality.dir/bench_simcache_locality.cc.o.d"
+  "bench_simcache_locality"
+  "bench_simcache_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simcache_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

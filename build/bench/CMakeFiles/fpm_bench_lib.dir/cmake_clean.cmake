@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpm_bench_lib.dir/fig8_runner.cc.o"
+  "CMakeFiles/fpm_bench_lib.dir/fig8_runner.cc.o.d"
+  "libfpm_bench_lib.a"
+  "libfpm_bench_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpm_bench_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

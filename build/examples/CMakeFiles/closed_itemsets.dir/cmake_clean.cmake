@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_itemsets.dir/closed_itemsets.cpp.o"
+  "CMakeFiles/closed_itemsets.dir/closed_itemsets.cpp.o.d"
+  "closed_itemsets"
+  "closed_itemsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_itemsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_dataset.dir/gen_dataset.cpp.o"
+  "CMakeFiles/gen_dataset.dir/gen_dataset.cpp.o.d"
+  "gen_dataset"
+  "gen_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_cli.dir/mine_cli.cpp.o"
+  "CMakeFiles/mine_cli.dir/mine_cli.cpp.o.d"
+  "mine_cli"
+  "mine_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_tuning.dir/pattern_tuning.cpp.o"
+  "CMakeFiles/pattern_tuning.dir/pattern_tuning.cpp.o.d"
+  "pattern_tuning"
+  "pattern_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

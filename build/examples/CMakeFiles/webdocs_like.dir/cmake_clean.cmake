@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdocs_like.dir/webdocs_like.cpp.o"
+  "CMakeFiles/webdocs_like.dir/webdocs_like.cpp.o.d"
+  "webdocs_like"
+  "webdocs_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdocs_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpm/algo/apriori.cc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/apriori.cc.o" "gcc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/apriori.cc.o.d"
+  "/root/repo/src/fpm/algo/bruteforce.cc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/bruteforce.cc.o" "gcc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/bruteforce.cc.o.d"
+  "/root/repo/src/fpm/algo/candidate_trie.cc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/candidate_trie.cc.o" "gcc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/candidate_trie.cc.o.d"
+  "/root/repo/src/fpm/algo/eclat/eclat_miner.cc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/eclat/eclat_miner.cc.o" "gcc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/eclat/eclat_miner.cc.o.d"
+  "/root/repo/src/fpm/algo/fpgrowth/fpgrowth_miner.cc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/fpgrowth/fpgrowth_miner.cc.o" "gcc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/fpgrowth/fpgrowth_miner.cc.o.d"
+  "/root/repo/src/fpm/algo/fpgrowth/fptree.cc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/fpgrowth/fptree.cc.o" "gcc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/fpgrowth/fptree.cc.o.d"
+  "/root/repo/src/fpm/algo/hmine.cc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/hmine.cc.o" "gcc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/hmine.cc.o.d"
+  "/root/repo/src/fpm/algo/lcm/closed_miner.cc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/lcm/closed_miner.cc.o" "gcc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/lcm/closed_miner.cc.o.d"
+  "/root/repo/src/fpm/algo/lcm/lcm_miner.cc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/lcm/lcm_miner.cc.o" "gcc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/lcm/lcm_miner.cc.o.d"
+  "/root/repo/src/fpm/algo/postprocess.cc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/postprocess.cc.o" "gcc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/postprocess.cc.o.d"
+  "/root/repo/src/fpm/algo/rules.cc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/rules.cc.o" "gcc" "src/CMakeFiles/fpm_algo.dir/fpm/algo/rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpm_bitvec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

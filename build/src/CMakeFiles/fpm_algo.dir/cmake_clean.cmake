@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpm_algo.dir/fpm/algo/apriori.cc.o"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/apriori.cc.o.d"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/bruteforce.cc.o"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/bruteforce.cc.o.d"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/candidate_trie.cc.o"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/candidate_trie.cc.o.d"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/eclat/eclat_miner.cc.o"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/eclat/eclat_miner.cc.o.d"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/fpgrowth/fpgrowth_miner.cc.o"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/fpgrowth/fpgrowth_miner.cc.o.d"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/fpgrowth/fptree.cc.o"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/fpgrowth/fptree.cc.o.d"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/hmine.cc.o"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/hmine.cc.o.d"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/lcm/closed_miner.cc.o"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/lcm/closed_miner.cc.o.d"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/lcm/lcm_miner.cc.o"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/lcm/lcm_miner.cc.o.d"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/postprocess.cc.o"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/postprocess.cc.o.d"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/rules.cc.o"
+  "CMakeFiles/fpm_algo.dir/fpm/algo/rules.cc.o.d"
+  "libfpm_algo.a"
+  "libfpm_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpm_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfpm_algo.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpm/bitvec/bitvector.cc" "src/CMakeFiles/fpm_bitvec.dir/fpm/bitvec/bitvector.cc.o" "gcc" "src/CMakeFiles/fpm_bitvec.dir/fpm/bitvec/bitvector.cc.o.d"
+  "/root/repo/src/fpm/bitvec/intersect.cc" "src/CMakeFiles/fpm_bitvec.dir/fpm/bitvec/intersect.cc.o" "gcc" "src/CMakeFiles/fpm_bitvec.dir/fpm/bitvec/intersect.cc.o.d"
+  "/root/repo/src/fpm/bitvec/popcount.cc" "src/CMakeFiles/fpm_bitvec.dir/fpm/bitvec/popcount.cc.o" "gcc" "src/CMakeFiles/fpm_bitvec.dir/fpm/bitvec/popcount.cc.o.d"
+  "/root/repo/src/fpm/bitvec/popcount_avx2.cc" "src/CMakeFiles/fpm_bitvec.dir/fpm/bitvec/popcount_avx2.cc.o" "gcc" "src/CMakeFiles/fpm_bitvec.dir/fpm/bitvec/popcount_avx2.cc.o.d"
+  "/root/repo/src/fpm/bitvec/tidlist.cc" "src/CMakeFiles/fpm_bitvec.dir/fpm/bitvec/tidlist.cc.o" "gcc" "src/CMakeFiles/fpm_bitvec.dir/fpm/bitvec/tidlist.cc.o.d"
+  "/root/repo/src/fpm/bitvec/vertical.cc" "src/CMakeFiles/fpm_bitvec.dir/fpm/bitvec/vertical.cc.o" "gcc" "src/CMakeFiles/fpm_bitvec.dir/fpm/bitvec/vertical.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpm_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

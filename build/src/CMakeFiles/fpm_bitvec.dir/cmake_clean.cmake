@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpm_bitvec.dir/fpm/bitvec/bitvector.cc.o"
+  "CMakeFiles/fpm_bitvec.dir/fpm/bitvec/bitvector.cc.o.d"
+  "CMakeFiles/fpm_bitvec.dir/fpm/bitvec/intersect.cc.o"
+  "CMakeFiles/fpm_bitvec.dir/fpm/bitvec/intersect.cc.o.d"
+  "CMakeFiles/fpm_bitvec.dir/fpm/bitvec/popcount.cc.o"
+  "CMakeFiles/fpm_bitvec.dir/fpm/bitvec/popcount.cc.o.d"
+  "CMakeFiles/fpm_bitvec.dir/fpm/bitvec/popcount_avx2.cc.o"
+  "CMakeFiles/fpm_bitvec.dir/fpm/bitvec/popcount_avx2.cc.o.d"
+  "CMakeFiles/fpm_bitvec.dir/fpm/bitvec/tidlist.cc.o"
+  "CMakeFiles/fpm_bitvec.dir/fpm/bitvec/tidlist.cc.o.d"
+  "CMakeFiles/fpm_bitvec.dir/fpm/bitvec/vertical.cc.o"
+  "CMakeFiles/fpm_bitvec.dir/fpm/bitvec/vertical.cc.o.d"
+  "libfpm_bitvec.a"
+  "libfpm_bitvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpm_bitvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

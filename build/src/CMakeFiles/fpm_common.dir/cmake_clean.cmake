@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpm_common.dir/fpm/common/logging.cc.o"
+  "CMakeFiles/fpm_common.dir/fpm/common/logging.cc.o.d"
+  "CMakeFiles/fpm_common.dir/fpm/common/rng.cc.o"
+  "CMakeFiles/fpm_common.dir/fpm/common/rng.cc.o.d"
+  "CMakeFiles/fpm_common.dir/fpm/common/status.cc.o"
+  "CMakeFiles/fpm_common.dir/fpm/common/status.cc.o.d"
+  "libfpm_common.a"
+  "libfpm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

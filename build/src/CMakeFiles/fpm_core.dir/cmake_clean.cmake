@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpm_core.dir/fpm/core/mine.cc.o"
+  "CMakeFiles/fpm_core.dir/fpm/core/mine.cc.o.d"
+  "CMakeFiles/fpm_core.dir/fpm/core/partition.cc.o"
+  "CMakeFiles/fpm_core.dir/fpm/core/partition.cc.o.d"
+  "CMakeFiles/fpm_core.dir/fpm/core/pattern_advisor.cc.o"
+  "CMakeFiles/fpm_core.dir/fpm/core/pattern_advisor.cc.o.d"
+  "CMakeFiles/fpm_core.dir/fpm/core/patterns.cc.o"
+  "CMakeFiles/fpm_core.dir/fpm/core/patterns.cc.o.d"
+  "libfpm_core.a"
+  "libfpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

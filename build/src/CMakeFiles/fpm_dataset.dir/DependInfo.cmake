@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpm/dataset/database.cc" "src/CMakeFiles/fpm_dataset.dir/fpm/dataset/database.cc.o" "gcc" "src/CMakeFiles/fpm_dataset.dir/fpm/dataset/database.cc.o.d"
+  "/root/repo/src/fpm/dataset/fimi_io.cc" "src/CMakeFiles/fpm_dataset.dir/fpm/dataset/fimi_io.cc.o" "gcc" "src/CMakeFiles/fpm_dataset.dir/fpm/dataset/fimi_io.cc.o.d"
+  "/root/repo/src/fpm/dataset/quest_gen.cc" "src/CMakeFiles/fpm_dataset.dir/fpm/dataset/quest_gen.cc.o" "gcc" "src/CMakeFiles/fpm_dataset.dir/fpm/dataset/quest_gen.cc.o.d"
+  "/root/repo/src/fpm/dataset/standin_gen.cc" "src/CMakeFiles/fpm_dataset.dir/fpm/dataset/standin_gen.cc.o" "gcc" "src/CMakeFiles/fpm_dataset.dir/fpm/dataset/standin_gen.cc.o.d"
+  "/root/repo/src/fpm/dataset/stats.cc" "src/CMakeFiles/fpm_dataset.dir/fpm/dataset/stats.cc.o" "gcc" "src/CMakeFiles/fpm_dataset.dir/fpm/dataset/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

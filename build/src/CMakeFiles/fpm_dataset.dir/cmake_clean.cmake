@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpm_dataset.dir/fpm/dataset/database.cc.o"
+  "CMakeFiles/fpm_dataset.dir/fpm/dataset/database.cc.o.d"
+  "CMakeFiles/fpm_dataset.dir/fpm/dataset/fimi_io.cc.o"
+  "CMakeFiles/fpm_dataset.dir/fpm/dataset/fimi_io.cc.o.d"
+  "CMakeFiles/fpm_dataset.dir/fpm/dataset/quest_gen.cc.o"
+  "CMakeFiles/fpm_dataset.dir/fpm/dataset/quest_gen.cc.o.d"
+  "CMakeFiles/fpm_dataset.dir/fpm/dataset/standin_gen.cc.o"
+  "CMakeFiles/fpm_dataset.dir/fpm/dataset/standin_gen.cc.o.d"
+  "CMakeFiles/fpm_dataset.dir/fpm/dataset/stats.cc.o"
+  "CMakeFiles/fpm_dataset.dir/fpm/dataset/stats.cc.o.d"
+  "libfpm_dataset.a"
+  "libfpm_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpm_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpm/layout/item_order.cc" "src/CMakeFiles/fpm_layout.dir/fpm/layout/item_order.cc.o" "gcc" "src/CMakeFiles/fpm_layout.dir/fpm/layout/item_order.cc.o.d"
+  "/root/repo/src/fpm/layout/lexicographic.cc" "src/CMakeFiles/fpm_layout.dir/fpm/layout/lexicographic.cc.o" "gcc" "src/CMakeFiles/fpm_layout.dir/fpm/layout/lexicographic.cc.o.d"
+  "/root/repo/src/fpm/layout/locality_metrics.cc" "src/CMakeFiles/fpm_layout.dir/fpm/layout/locality_metrics.cc.o" "gcc" "src/CMakeFiles/fpm_layout.dir/fpm/layout/locality_metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpm_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpm_layout.dir/fpm/layout/item_order.cc.o"
+  "CMakeFiles/fpm_layout.dir/fpm/layout/item_order.cc.o.d"
+  "CMakeFiles/fpm_layout.dir/fpm/layout/lexicographic.cc.o"
+  "CMakeFiles/fpm_layout.dir/fpm/layout/lexicographic.cc.o.d"
+  "CMakeFiles/fpm_layout.dir/fpm/layout/locality_metrics.cc.o"
+  "CMakeFiles/fpm_layout.dir/fpm/layout/locality_metrics.cc.o.d"
+  "libfpm_layout.a"
+  "libfpm_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpm_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpm_mem.dir/fpm/mem/prefetch_pointers.cc.o"
+  "CMakeFiles/fpm_mem.dir/fpm/mem/prefetch_pointers.cc.o.d"
+  "libfpm_mem.a"
+  "libfpm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

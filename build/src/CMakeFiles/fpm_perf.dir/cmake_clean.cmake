@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpm_perf.dir/fpm/perf/harness.cc.o"
+  "CMakeFiles/fpm_perf.dir/fpm/perf/harness.cc.o.d"
+  "CMakeFiles/fpm_perf.dir/fpm/perf/perf_counters.cc.o"
+  "CMakeFiles/fpm_perf.dir/fpm/perf/perf_counters.cc.o.d"
+  "CMakeFiles/fpm_perf.dir/fpm/perf/platform_info.cc.o"
+  "CMakeFiles/fpm_perf.dir/fpm/perf/platform_info.cc.o.d"
+  "CMakeFiles/fpm_perf.dir/fpm/perf/report.cc.o"
+  "CMakeFiles/fpm_perf.dir/fpm/perf/report.cc.o.d"
+  "libfpm_perf.a"
+  "libfpm_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpm_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

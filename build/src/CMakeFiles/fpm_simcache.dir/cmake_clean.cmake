@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpm_simcache.dir/fpm/simcache/cache_model.cc.o"
+  "CMakeFiles/fpm_simcache.dir/fpm/simcache/cache_model.cc.o.d"
+  "CMakeFiles/fpm_simcache.dir/fpm/simcache/db_trace.cc.o"
+  "CMakeFiles/fpm_simcache.dir/fpm/simcache/db_trace.cc.o.d"
+  "CMakeFiles/fpm_simcache.dir/fpm/simcache/memory_system.cc.o"
+  "CMakeFiles/fpm_simcache.dir/fpm/simcache/memory_system.cc.o.d"
+  "libfpm_simcache.a"
+  "libfpm_simcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpm_simcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

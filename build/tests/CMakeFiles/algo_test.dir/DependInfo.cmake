@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algo/apriori_test.cc" "tests/CMakeFiles/algo_test.dir/algo/apriori_test.cc.o" "gcc" "tests/CMakeFiles/algo_test.dir/algo/apriori_test.cc.o.d"
+  "/root/repo/tests/algo/bruteforce_test.cc" "tests/CMakeFiles/algo_test.dir/algo/bruteforce_test.cc.o" "gcc" "tests/CMakeFiles/algo_test.dir/algo/bruteforce_test.cc.o.d"
+  "/root/repo/tests/algo/candidate_trie_test.cc" "tests/CMakeFiles/algo_test.dir/algo/candidate_trie_test.cc.o" "gcc" "tests/CMakeFiles/algo_test.dir/algo/candidate_trie_test.cc.o.d"
+  "/root/repo/tests/algo/closed_miner_test.cc" "tests/CMakeFiles/algo_test.dir/algo/closed_miner_test.cc.o" "gcc" "tests/CMakeFiles/algo_test.dir/algo/closed_miner_test.cc.o.d"
+  "/root/repo/tests/algo/eclat_test.cc" "tests/CMakeFiles/algo_test.dir/algo/eclat_test.cc.o" "gcc" "tests/CMakeFiles/algo_test.dir/algo/eclat_test.cc.o.d"
+  "/root/repo/tests/algo/fpgrowth_test.cc" "tests/CMakeFiles/algo_test.dir/algo/fpgrowth_test.cc.o" "gcc" "tests/CMakeFiles/algo_test.dir/algo/fpgrowth_test.cc.o.d"
+  "/root/repo/tests/algo/hmine_test.cc" "tests/CMakeFiles/algo_test.dir/algo/hmine_test.cc.o" "gcc" "tests/CMakeFiles/algo_test.dir/algo/hmine_test.cc.o.d"
+  "/root/repo/tests/algo/invariants_test.cc" "tests/CMakeFiles/algo_test.dir/algo/invariants_test.cc.o" "gcc" "tests/CMakeFiles/algo_test.dir/algo/invariants_test.cc.o.d"
+  "/root/repo/tests/algo/itemset_sink_test.cc" "tests/CMakeFiles/algo_test.dir/algo/itemset_sink_test.cc.o" "gcc" "tests/CMakeFiles/algo_test.dir/algo/itemset_sink_test.cc.o.d"
+  "/root/repo/tests/algo/lcm_test.cc" "tests/CMakeFiles/algo_test.dir/algo/lcm_test.cc.o" "gcc" "tests/CMakeFiles/algo_test.dir/algo/lcm_test.cc.o.d"
+  "/root/repo/tests/algo/postprocess_test.cc" "tests/CMakeFiles/algo_test.dir/algo/postprocess_test.cc.o" "gcc" "tests/CMakeFiles/algo_test.dir/algo/postprocess_test.cc.o.d"
+  "/root/repo/tests/algo/rules_test.cc" "tests/CMakeFiles/algo_test.dir/algo/rules_test.cc.o" "gcc" "tests/CMakeFiles/algo_test.dir/algo/rules_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpm_simcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_bitvec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_test.dir/algo/apriori_test.cc.o"
+  "CMakeFiles/algo_test.dir/algo/apriori_test.cc.o.d"
+  "CMakeFiles/algo_test.dir/algo/bruteforce_test.cc.o"
+  "CMakeFiles/algo_test.dir/algo/bruteforce_test.cc.o.d"
+  "CMakeFiles/algo_test.dir/algo/candidate_trie_test.cc.o"
+  "CMakeFiles/algo_test.dir/algo/candidate_trie_test.cc.o.d"
+  "CMakeFiles/algo_test.dir/algo/closed_miner_test.cc.o"
+  "CMakeFiles/algo_test.dir/algo/closed_miner_test.cc.o.d"
+  "CMakeFiles/algo_test.dir/algo/eclat_test.cc.o"
+  "CMakeFiles/algo_test.dir/algo/eclat_test.cc.o.d"
+  "CMakeFiles/algo_test.dir/algo/fpgrowth_test.cc.o"
+  "CMakeFiles/algo_test.dir/algo/fpgrowth_test.cc.o.d"
+  "CMakeFiles/algo_test.dir/algo/hmine_test.cc.o"
+  "CMakeFiles/algo_test.dir/algo/hmine_test.cc.o.d"
+  "CMakeFiles/algo_test.dir/algo/invariants_test.cc.o"
+  "CMakeFiles/algo_test.dir/algo/invariants_test.cc.o.d"
+  "CMakeFiles/algo_test.dir/algo/itemset_sink_test.cc.o"
+  "CMakeFiles/algo_test.dir/algo/itemset_sink_test.cc.o.d"
+  "CMakeFiles/algo_test.dir/algo/lcm_test.cc.o"
+  "CMakeFiles/algo_test.dir/algo/lcm_test.cc.o.d"
+  "CMakeFiles/algo_test.dir/algo/postprocess_test.cc.o"
+  "CMakeFiles/algo_test.dir/algo/postprocess_test.cc.o.d"
+  "CMakeFiles/algo_test.dir/algo/rules_test.cc.o"
+  "CMakeFiles/algo_test.dir/algo/rules_test.cc.o.d"
+  "algo_test"
+  "algo_test.pdb"
+  "algo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitvec_test.dir/bitvec/bitvector_test.cc.o"
+  "CMakeFiles/bitvec_test.dir/bitvec/bitvector_test.cc.o.d"
+  "CMakeFiles/bitvec_test.dir/bitvec/intersect_property_test.cc.o"
+  "CMakeFiles/bitvec_test.dir/bitvec/intersect_property_test.cc.o.d"
+  "CMakeFiles/bitvec_test.dir/bitvec/intersect_test.cc.o"
+  "CMakeFiles/bitvec_test.dir/bitvec/intersect_test.cc.o.d"
+  "CMakeFiles/bitvec_test.dir/bitvec/popcount_test.cc.o"
+  "CMakeFiles/bitvec_test.dir/bitvec/popcount_test.cc.o.d"
+  "CMakeFiles/bitvec_test.dir/bitvec/tidlist_test.cc.o"
+  "CMakeFiles/bitvec_test.dir/bitvec/tidlist_test.cc.o.d"
+  "CMakeFiles/bitvec_test.dir/bitvec/vertical_test.cc.o"
+  "CMakeFiles/bitvec_test.dir/bitvec/vertical_test.cc.o.d"
+  "bitvec_test"
+  "bitvec_test.pdb"
+  "bitvec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitvec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_test.dir/dataset/database_test.cc.o"
+  "CMakeFiles/dataset_test.dir/dataset/database_test.cc.o.d"
+  "CMakeFiles/dataset_test.dir/dataset/fimi_fuzz_test.cc.o"
+  "CMakeFiles/dataset_test.dir/dataset/fimi_fuzz_test.cc.o.d"
+  "CMakeFiles/dataset_test.dir/dataset/fimi_io_test.cc.o"
+  "CMakeFiles/dataset_test.dir/dataset/fimi_io_test.cc.o.d"
+  "CMakeFiles/dataset_test.dir/dataset/quest_gen_test.cc.o"
+  "CMakeFiles/dataset_test.dir/dataset/quest_gen_test.cc.o.d"
+  "CMakeFiles/dataset_test.dir/dataset/standin_gen_test.cc.o"
+  "CMakeFiles/dataset_test.dir/dataset/standin_gen_test.cc.o.d"
+  "CMakeFiles/dataset_test.dir/dataset/stats_test.cc.o"
+  "CMakeFiles/dataset_test.dir/dataset/stats_test.cc.o.d"
+  "dataset_test"
+  "dataset_test.pdb"
+  "dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algo/equivalence_test.cc" "tests/CMakeFiles/equivalence_test.dir/algo/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/equivalence_test.dir/algo/equivalence_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpm_simcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_bitvec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

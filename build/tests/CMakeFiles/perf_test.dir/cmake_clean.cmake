@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_test.dir/perf/harness_test.cc.o"
+  "CMakeFiles/perf_test.dir/perf/harness_test.cc.o.d"
+  "CMakeFiles/perf_test.dir/perf/perf_counters_test.cc.o"
+  "CMakeFiles/perf_test.dir/perf/perf_counters_test.cc.o.d"
+  "CMakeFiles/perf_test.dir/perf/report_test.cc.o"
+  "CMakeFiles/perf_test.dir/perf/report_test.cc.o.d"
+  "perf_test"
+  "perf_test.pdb"
+  "perf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/bitvec_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/algo_test[1]_include.cmake")
+include("/root/repo/build/tests/equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_test[1]_include.cmake")
+include("/root/repo/build/tests/simcache_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")

@@ -1,0 +1,73 @@
+// Parallel scaling — first-item equivalence-class task parallelism
+// (fpm/parallel/) over the sequential kernels. Mines the two Quest
+// datasets (DS1, DS2) with Eclat, LCM and FP-Growth at 1/2/4/8 threads
+// and reports speedup over the plain sequential kernel. Deterministic
+// merging is on, so every row reproduces the sequential checksum.
+//
+// Speedup is bounded by the host's core count: on a single-core
+// machine every thread count measures ~1.0x (plus task overhead).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fpm/core/mine.h"
+#include "fpm/parallel/thread_pool.h"
+#include "fpm/perf/report.h"
+
+int main() {
+  using namespace fpm;
+  bench::PrintHeader("bench_parallel_scaling",
+                     "task-parallel scaling of the sequential kernels");
+  std::printf("hardware threads: %u\n\n", ThreadPool::HardwareThreads());
+
+  const double scale = BenchScale();
+  const int repeats = BenchRepeats();
+  std::vector<bench::BenchDataset> datasets;
+  datasets.push_back(bench::MakeDs1(scale));
+  datasets.push_back(bench::MakeDs2(scale));
+
+  for (const bench::BenchDataset& ds : datasets) {
+    std::printf("== %s (%s), support %u ==\n", ds.name.c_str(),
+                ds.description.c_str(), ds.min_support);
+    ReportTable table(
+        {"kernel", "threads", "mine time", "speedup", "itemsets"});
+    for (Algorithm algorithm :
+         {Algorithm::kEclat, Algorithm::kLcm, Algorithm::kFpGrowth}) {
+      MineOptions options;
+      options.algorithm = algorithm;
+      options.min_support = ds.min_support;
+
+      // Sequential baseline: the kernel itself, no parallel driver.
+      auto baseline = CreateMiner(options);
+      FPM_CHECK_OK(baseline.status());
+      const Measurement base =
+          MeasureMiner(**baseline, ds.db, ds.min_support, repeats);
+      table.AddRow({AlgorithmName(algorithm), "1 (seq)",
+                    FormatSeconds(base.seconds), "1.00x",
+                    FormatCount(base.num_frequent)});
+
+      for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+        options.execution.num_threads = threads;
+        auto miner = CreateMiner(options);
+        FPM_CHECK_OK(miner.status());
+        const Measurement m =
+            MeasureMiner(**miner, ds.db, ds.min_support, repeats);
+        // ComputeSpeedups also cross-checks the checksum against the
+        // sequential baseline — an exactness gate, not just a timer.
+        const auto rows = ComputeSpeedups(base, {m});
+        table.AddRow({AlgorithmName(algorithm), std::to_string(threads),
+                      FormatSeconds(m.seconds),
+                      FormatSpeedup(rows[0].speedup),
+                      FormatCount(m.num_frequent)});
+      }
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf(
+      "Reading the table: \"1 (seq)\" is the unwrapped kernel; the\n"
+      "threads=1 row isolates the decomposition overhead (projection +\n"
+      "per-class kernel restarts); higher rows add real concurrency.\n"
+      "Expect >1.5x at 4 threads on a 4-core host for DS1/DS2-sized\n"
+      "inputs; single-core hosts show ~1x across the board.\n");
+  return 0;
+}

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   LcmMiner all_miner(LcmOptions::All());
   CountingSink all_sink;
   WallTimer all_timer;
-  Status status = all_miner.Mine(db, min_support, &all_sink);
+  Status status = all_miner.Mine(db, min_support, &all_sink).status();
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   LcmClosedMiner closed_miner;
   CollectingSink closed_sink;
   WallTimer closed_timer;
-  status = closed_miner.Mine(db, min_support, &closed_sink);
+  status = closed_miner.Mine(db, min_support, &closed_sink).status();
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;

@@ -54,16 +54,15 @@ int main(int argc, char** argv) {
   options.min_support = min_support;
   options.patterns = advice.patterns;
   CollectingSink sink;
-  MineStats mine_stats;
   WallTimer timer;
-  const Status status = Mine(db, options, &sink, &mine_stats);
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  const Result<MineStats> mine_stats = Mine(db, options, &sink);
+  if (!mine_stats.ok()) {
+    std::fprintf(stderr, "%s\n", mine_stats.status().ToString().c_str());
     return 1;
   }
   std::printf("== Mining ==\n");
   std::printf("  %llu frequent itemsets at support %u in %.3fs\n",
-              static_cast<unsigned long long>(mine_stats.num_frequent),
+              static_cast<unsigned long long>(mine_stats->num_frequent),
               min_support, timer.ElapsedSeconds());
 
   sink.Canonicalize();

@@ -5,6 +5,8 @@
 //     --algorithm=lcm|eclat|fpgrowth|apriori|auto   (default lcm)
 //     --patterns=<list>|all|none|auto          (default auto: the advisor)
 //     --output=<file>                          (default: count only)
+//     --threads=N                              (default 1: sequential)
+//     --nondeterministic                       (allow any emission order)
 //     --stats                                  (print timing breakdown)
 //
 // Example:
@@ -51,7 +53,8 @@ class FileSink : public ItemsetSink {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.dat> <min_support> [--algorithm=NAME] "
-               "[--patterns=LIST|all|none|auto] [--output=FILE] [--stats]\n",
+               "[--patterns=LIST|all|none|auto] [--output=FILE] "
+               "[--threads=N] [--nondeterministic] [--stats]\n",
                argv0);
   return 2;
 }
@@ -71,6 +74,8 @@ int main(int argc, char** argv) {
   std::string pattern_spec = "auto";
   std::string output_path;
   bool show_stats = false;
+  long threads = 1;
+  bool deterministic = true;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--algorithm=", 0) == 0) {
@@ -79,6 +84,14 @@ int main(int argc, char** argv) {
       pattern_spec = arg.substr(11);
     } else if (arg.rfind("--output=", 0) == 0) {
       output_path = arg.substr(9);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atol(arg.substr(10).c_str());
+      if (threads < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--nondeterministic") {
+      deterministic = false;
     } else if (arg == "--stats") {
       show_stats = true;
     } else {
@@ -127,14 +140,16 @@ int main(int argc, char** argv) {
     }
     options.patterns = parsed.value();
   }
+  options.execution.num_threads = static_cast<uint32_t>(threads);
+  options.execution.deterministic = deterministic;
 
   MineStats stats;
   WallTimer mine_timer;
-  Status status;
+  Result<MineStats> run = Status::Internal("not run");
   uint64_t count = 0;
   if (output_path.empty()) {
     CountingSink sink;
-    status = Mine(db, options, &sink, &stats);
+    run = Mine(db, options, &sink);
     count = sink.count();
   } else {
     std::ofstream out(output_path, std::ios::trunc);
@@ -144,13 +159,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     FileSink sink(std::move(out));
-    status = Mine(db, options, &sink, &stats);
+    run = Mine(db, options, &sink);
     count = sink.count();
   }
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
     return 1;
   }
+  stats = *run;
 
   std::printf("%llu frequent itemsets (support >= %ld) in %.3fs\n",
               static_cast<unsigned long long>(count), support_arg,

@@ -79,7 +79,7 @@ int main() {
     options.min_support = 2;
     options.patterns = PatternSet::ApplicableTo(algo);
     CollectingSink sink;
-    const Status status = Mine(db, options, &sink);
+    const Status status = Mine(db, options, &sink).status();
     if (!status.ok()) {
       std::fprintf(stderr, "mining failed: %s\n", status.ToString().c_str());
       return 1;

@@ -79,13 +79,10 @@ CandidateLevel GenerateCandidates(const CandidateLevel& prev) {
 
 }  // namespace
 
-Status AprioriMiner::Mine(const Database& db, Support min_support,
-                          ItemsetSink* sink) {
-  if (min_support < 1) {
-    return Status::InvalidArgument("min_support must be >= 1");
-  }
-  if (sink == nullptr) return Status::InvalidArgument("sink is null");
-  stats_ = MineStats{};
+Result<MineStats> AprioriMiner::MineImpl(const Database& db,
+                                         Support min_support,
+                                         ItemsetSink* sink) {
+  MineStats stats;
   WallTimer timer;
 
   // L1: frequent items (raw ids; Apriori needs no re-ranking, but the
@@ -125,7 +122,7 @@ Status AprioriMiner::Mine(const Database& db, Support min_support,
     // Emit the level.
     for (size_t i = 0; i < level.size(); ++i) {
       sink->Emit(level.candidate(i), level.counts[i]);
-      ++stats_.num_frequent;
+      ++stats.num_frequent;
     }
     // Generate and count the next level.
     CandidateLevel next = GenerateCandidates(level);
@@ -152,8 +149,8 @@ Status AprioriMiner::Mine(const Database& db, Support min_support,
     level = std::move(pruned);
   }
 
-  stats_.mine_seconds = timer.ElapsedSeconds();
-  return Status::OK();
+  stats.mine_seconds = timer.ElapsedSeconds();
+  return stats;
 }
 
 }  // namespace fpm

@@ -20,10 +20,11 @@ namespace fpm {
 /// kernels; intended for small/medium inputs.
 class AprioriMiner : public Miner {
  public:
-  Status Mine(const Database& db, Support min_support,
-              ItemsetSink* sink) override;
-
   std::string name() const override { return "apriori"; }
+
+ protected:
+  Result<MineStats> MineImpl(const Database& db, Support min_support,
+                             ItemsetSink* sink) override;
 };
 
 }  // namespace fpm

@@ -44,20 +44,17 @@ void Extend(const Database& db, Support min_support, ItemsetSink* sink,
 
 }  // namespace
 
-Status BruteForceMiner::Mine(const Database& db, Support min_support,
-                             ItemsetSink* sink) {
-  if (min_support < 1) {
-    return Status::InvalidArgument("min_support must be >= 1");
-  }
-  if (sink == nullptr) return Status::InvalidArgument("sink is null");
-  stats_ = MineStats{};
+Result<MineStats> BruteForceMiner::MineImpl(const Database& db,
+                                            Support min_support,
+                                            ItemsetSink* sink) {
+  MineStats stats;
   WallTimer timer;
   std::vector<Item> prefix;
   uint64_t emitted = 0;
   Extend(db, min_support, sink, &prefix, &emitted);
-  stats_.num_frequent = emitted;
-  stats_.mine_seconds = timer.ElapsedSeconds();
-  return Status::OK();
+  stats.num_frequent = emitted;
+  stats.mine_seconds = timer.ElapsedSeconds();
+  return stats;
 }
 
 }  // namespace fpm

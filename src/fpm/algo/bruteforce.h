@@ -13,10 +13,11 @@ namespace fpm {
 /// Oracle miner for tests. Only use on small databases.
 class BruteForceMiner : public Miner {
  public:
-  Status Mine(const Database& db, Support min_support,
-              ItemsetSink* sink) override;
-
   std::string name() const override { return "bruteforce"; }
+
+ protected:
+  Result<MineStats> MineImpl(const Database& db, Support min_support,
+                             ItemsetSink* sink) override;
 };
 
 }  // namespace fpm

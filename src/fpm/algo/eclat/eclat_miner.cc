@@ -334,21 +334,18 @@ class EclatRun {
 
 EclatMiner::EclatMiner(EclatOptions options) : options_(options) {}
 
-Status EclatMiner::Mine(const Database& db, Support min_support,
-                        ItemsetSink* sink) {
-  if (min_support < 1) {
-    return Status::InvalidArgument("min_support must be >= 1");
-  }
-  if (sink == nullptr) return Status::InvalidArgument("sink is null");
+Result<MineStats> EclatMiner::MineImpl(const Database& db,
+                                       Support min_support,
+                                       ItemsetSink* sink) {
   if (!PopcountStrategyAvailable(options_.popcount)) {
     return Status::InvalidArgument(
         std::string("popcount strategy unavailable on this machine: ") +
         PopcountStrategyName(options_.popcount));
   }
-  stats_ = MineStats{};
-  EclatRun run(options_, min_support, sink, &stats_);
+  MineStats stats;
+  EclatRun run(options_, min_support, sink, &stats);
   run.Run(db);
-  return Status::OK();
+  return stats;
 }
 
 }  // namespace fpm

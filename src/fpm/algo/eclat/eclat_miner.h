@@ -66,12 +66,13 @@ class EclatMiner : public Miner {
  public:
   explicit EclatMiner(EclatOptions options = EclatOptions());
 
-  Status Mine(const Database& db, Support min_support,
-              ItemsetSink* sink) override;
-
   std::string name() const override { return "eclat" + options_.Suffix(); }
 
   const EclatOptions& options() const { return options_; }
+
+ protected:
+  Result<MineStats> MineImpl(const Database& db, Support min_support,
+                             ItemsetSink* sink) override;
 
  private:
   EclatOptions options_;

@@ -168,19 +168,16 @@ FpGrowthMiner::FpGrowthMiner(FpGrowthOptions options) : options_(options) {
   if (options_.dfs_relayout) options_.compact_nodes = true;
 }
 
-Status FpGrowthMiner::Mine(const Database& db, Support min_support,
-                           ItemsetSink* sink) {
-  if (min_support < 1) {
-    return Status::InvalidArgument("min_support must be >= 1");
-  }
-  if (sink == nullptr) return Status::InvalidArgument("sink is null");
-  stats_ = MineStats{};
+Result<MineStats> FpGrowthMiner::MineImpl(const Database& db,
+                                          Support min_support,
+                                          ItemsetSink* sink) {
+  MineStats stats;
   if (options_.compact_nodes) {
-    RunFpGrowth<CompactFpTree>(db, options_, min_support, sink, &stats_);
+    RunFpGrowth<CompactFpTree>(db, options_, min_support, sink, &stats);
   } else {
-    RunFpGrowth<PointerFpTree>(db, options_, min_support, sink, &stats_);
+    RunFpGrowth<PointerFpTree>(db, options_, min_support, sink, &stats);
   }
-  return Status::OK();
+  return stats;
 }
 
 }  // namespace fpm

@@ -52,14 +52,15 @@ class FpGrowthMiner : public Miner {
  public:
   explicit FpGrowthMiner(FpGrowthOptions options = FpGrowthOptions());
 
-  Status Mine(const Database& db, Support min_support,
-              ItemsetSink* sink) override;
-
   std::string name() const override {
     return "fpgrowth" + options_.Suffix();
   }
 
   const FpGrowthOptions& options() const { return options_; }
+
+ protected:
+  Result<MineStats> MineImpl(const Database& db, Support min_support,
+                             ItemsetSink* sink) override;
 
  private:
   FpGrowthOptions options_;

@@ -153,16 +153,13 @@ class HMineRun {
 
 }  // namespace
 
-Status HMineMiner::Mine(const Database& db, Support min_support,
-                        ItemsetSink* sink) {
-  if (min_support < 1) {
-    return Status::InvalidArgument("min_support must be >= 1");
-  }
-  if (sink == nullptr) return Status::InvalidArgument("sink is null");
-  stats_ = MineStats{};
-  HMineRun run(min_support, sink, &stats_);
+Result<MineStats> HMineMiner::MineImpl(const Database& db,
+                                       Support min_support,
+                                       ItemsetSink* sink) {
+  MineStats stats;
+  HMineRun run(min_support, sink, &stats);
   run.Run(db);
-  return Status::OK();
+  return stats;
 }
 
 }  // namespace fpm

@@ -24,10 +24,11 @@ class HMineMiner : public Miner {
  public:
   HMineMiner() = default;
 
-  Status Mine(const Database& db, Support min_support,
-              ItemsetSink* sink) override;
-
   std::string name() const override { return "hmine"; }
+
+ protected:
+  Result<MineStats> MineImpl(const Database& db, Support min_support,
+                             ItemsetSink* sink) override;
 };
 
 }  // namespace fpm

@@ -1,6 +1,15 @@
 // Output sinks for miners. Miners emit every frequent itemset exactly
 // once (in the *original* item-id space, regardless of any internal
 // re-ranking); sinks decide what to do with them.
+//
+// Concurrency contract: Emit() calls on a given sink are always
+// serialized — a sink never needs to be internally thread-safe. The
+// sequential kernels emit from the calling thread; the parallel engine
+// (fpm/parallel/) gives each mining task a private shard (see
+// ShardedSink) or serializes direct emission under a lock, and only
+// merges into the caller's sink from one thread. Sinks that aggregate
+// (CountingSink) expose an associative merge so per-shard partials
+// combine to exactly the sequential result.
 
 #ifndef FPM_ALGO_ITEMSET_SINK_H_
 #define FPM_ALGO_ITEMSET_SINK_H_
@@ -18,6 +27,9 @@ namespace fpm {
 /// Receives frequent itemsets as they are discovered. `itemset` is only
 /// valid for the duration of the call; implementations must copy if they
 /// retain it. Item order within `itemset` is unspecified.
+///
+/// Implementations need not be thread-safe: callers guarantee Emit()
+/// invocations are serialized (see the header comment).
 class ItemsetSink {
  public:
   virtual ~ItemsetSink() = default;
@@ -40,6 +52,18 @@ class CountingSink : public ItemsetSink {
            0xff51afd7ed558ccdull;
     }
     checksum_ ^= h * (support + 1);
+  }
+
+  /// Folds another CountingSink's aggregates into this one. All fields
+  /// merge associatively and commutatively (sums, max, XOR of per-set
+  /// hashes), so any partition of the itemsets across sinks — e.g. the
+  /// parallel engine's shards — merges to exactly the counters and
+  /// checksum of one sink that saw every emission.
+  void MergeFrom(const CountingSink& other) {
+    count_ += other.count_;
+    support_sum_ += other.support_sum_;
+    checksum_ ^= other.checksum_;
+    max_size_ = std::max(max_size_, other.max_size_);
   }
 
   uint64_t count() const { return count_; }
@@ -94,6 +118,44 @@ class SizeFilterSink : public ItemsetSink {
  private:
   ItemsetSink* inner_;
   size_t min_size_;
+};
+
+/// A fixed array of CollectingSink shards plus an ordered merge — the
+/// buffer behind deterministic parallel mining. Each worker/task owns
+/// one shard exclusively while mining (no locking: disjoint shards), and
+/// a single thread calls MergeInto() afterwards, replaying shard 0's
+/// itemsets, then shard 1's, ... into the target. The replay order
+/// depends only on the shard assignment, not on thread scheduling.
+class ShardedSink {
+ public:
+  explicit ShardedSink(size_t num_shards) : shards_(num_shards) {}
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Shard `i`, exclusively owned by one task at a time.
+  CollectingSink* shard(size_t i) { return &shards_[i]; }
+  const CollectingSink& shard(size_t i) const { return shards_[i]; }
+
+  /// Total itemsets buffered across all shards.
+  uint64_t total_count() const {
+    uint64_t n = 0;
+    for (const CollectingSink& s : shards_) n += s.size();
+    return n;
+  }
+
+  /// Replays every buffered itemset into `target`, in shard order (and
+  /// emission order within each shard). Single-threaded; shards must no
+  /// longer be written to.
+  void MergeInto(ItemsetSink* target) const {
+    for (const CollectingSink& s : shards_) {
+      for (const CollectingSink::Entry& e : s.results()) {
+        target->Emit(e.first, e.second);
+      }
+    }
+  }
+
+ private:
+  std::vector<CollectingSink> shards_;
 };
 
 }  // namespace fpm

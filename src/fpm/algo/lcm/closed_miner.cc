@@ -272,16 +272,13 @@ class ClosedRun {
 
 }  // namespace
 
-Status LcmClosedMiner::Mine(const Database& db, Support min_support,
-                            ItemsetSink* sink) {
-  if (min_support < 1) {
-    return Status::InvalidArgument("min_support must be >= 1");
-  }
-  if (sink == nullptr) return Status::InvalidArgument("sink is null");
-  stats_ = MineStats{};
-  ClosedRun run(min_support, sink, &stats_);
+Result<MineStats> LcmClosedMiner::MineImpl(const Database& db,
+                                           Support min_support,
+                                           ItemsetSink* sink) {
+  MineStats stats;
+  ClosedRun run(min_support, sink, &stats);
   run.Run(db);
-  return Status::OK();
+  return stats;
 }
 
 }  // namespace fpm

@@ -30,10 +30,11 @@ class LcmClosedMiner : public Miner {
  public:
   LcmClosedMiner() = default;
 
-  Status Mine(const Database& db, Support min_support,
-              ItemsetSink* sink) override;
-
   std::string name() const override { return "lcm-closed"; }
+
+ protected:
+  Result<MineStats> MineImpl(const Database& db, Support min_support,
+                             ItemsetSink* sink) override;
 };
 
 }  // namespace fpm

@@ -468,17 +468,14 @@ class LcmRun {
 
 LcmMiner::LcmMiner(LcmOptions options) : options_(options) {}
 
-Status LcmMiner::Mine(const Database& db, Support min_support,
-                      ItemsetSink* sink) {
-  if (min_support < 1) {
-    return Status::InvalidArgument("min_support must be >= 1");
-  }
-  if (sink == nullptr) return Status::InvalidArgument("sink is null");
-  stats_ = MineStats{};
+Result<MineStats> LcmMiner::MineImpl(const Database& db,
+                                     Support min_support,
+                                     ItemsetSink* sink) {
+  MineStats stats;
   phase_stats_ = LcmPhaseStats{};
-  LcmRun run(options_, min_support, sink, &phase_stats_, &stats_);
+  LcmRun run(options_, min_support, sink, &phase_stats_, &stats);
   run.Run(db);
-  return Status::OK();
+  return stats;
 }
 
 }  // namespace fpm

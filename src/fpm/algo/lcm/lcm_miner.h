@@ -80,13 +80,14 @@ class LcmMiner : public Miner {
  public:
   explicit LcmMiner(LcmOptions options = LcmOptions());
 
-  Status Mine(const Database& db, Support min_support,
-              ItemsetSink* sink) override;
-
   std::string name() const override { return "lcm" + options_.Suffix(); }
 
   const LcmOptions& options() const { return options_; }
   const LcmPhaseStats& phase_stats() const { return phase_stats_; }
+
+ protected:
+  Result<MineStats> MineImpl(const Database& db, Support min_support,
+                             ItemsetSink* sink) override;
 
  private:
   struct Impl;

@@ -1,6 +1,6 @@
 // Common miner interface. Each algorithm (LCM-style array miner, Eclat,
-// FP-Growth, Apriori, brute force) implements Mine(); pattern toggles
-// live in per-algorithm option structs, and the core front-end
+// FP-Growth, Apriori, brute force) implements MineImpl(); pattern
+// toggles live in per-algorithm option structs, and the core front-end
 // (fpm/core/mine.h) maps a PatternSet onto them.
 
 #ifndef FPM_ALGO_MINER_H_
@@ -15,7 +15,7 @@
 
 namespace fpm {
 
-/// Instrumentation filled in by Mine(). Phase timings feed the Figure 2
+/// Instrumentation returned by Mine(). Phase timings feed the Figure 2
 /// CPI bench; memory feeds the aggregation-cost discussion of §4.3.
 struct MineStats {
   uint64_t num_frequent = 0;       ///< itemsets emitted
@@ -29,6 +29,23 @@ struct MineStats {
   }
 };
 
+/// How a Mine() call executes.
+///
+/// `num_threads == 1` runs the sequential kernel unchanged. Larger
+/// values decompose the search space into independent first-item
+/// equivalence classes and mine them on a work-stealing pool
+/// (fpm/parallel/). `num_threads == 0` is rejected as InvalidArgument.
+struct ExecutionPolicy {
+  uint32_t num_threads = 1;
+  /// When true (the default), parallel runs buffer per-class results and
+  /// merge them in class order, so the emission order into the sink is
+  /// reproducible run-to-run and the canonicalized output is identical
+  /// to the sequential run's. When false, itemsets are forwarded to the
+  /// sink as classes finish (serialized, but in nondeterministic order)
+  /// — lower memory, same set of itemsets.
+  bool deterministic = true;
+};
+
 /// Abstract frequent-itemset miner.
 ///
 /// Contract: emits every itemset (size >= 1) whose weighted support is
@@ -38,18 +55,40 @@ class Miner {
  public:
   virtual ~Miner() = default;
 
-  /// Mines `db` at threshold `min_support` into `sink`.
-  virtual Status Mine(const Database& db, Support min_support,
-                      ItemsetSink* sink) = 0;
+  /// Mines `db` at threshold `min_support` into `sink`. On success
+  /// returns the statistics of this call; a Miner instance holds no
+  /// result state of its own (but is still single-caller: one Mine() at
+  /// a time per instance).
+  Result<MineStats> Mine(const Database& db, Support min_support,
+                         ItemsetSink* sink) {
+    if (min_support < 1) {
+      return Status::InvalidArgument("min_support must be >= 1");
+    }
+    if (sink == nullptr) return Status::InvalidArgument("sink is null");
+    Result<MineStats> result = MineImpl(db, min_support, sink);
+    if (result.ok()) stats_ = *result;
+    return result;
+  }
 
   /// Display name including the active pattern configuration.
   virtual std::string name() const = 0;
 
-  /// Statistics of the most recent Mine() call.
+  /// Statistics of the most recent successful Mine() call.
+  ///
+  /// Deprecated migration shim (to be removed next PR): use the
+  /// MineStats returned by Mine() instead — per-call stats have no
+  /// instance state and are safe when miners are shared across calls.
+  [[deprecated("use the MineStats returned by Mine()")]]
   const MineStats& stats() const { return stats_; }
 
  protected:
-  MineStats stats_;
+  /// Algorithm body. `min_support >= 1` and `sink != nullptr` are
+  /// already validated. Returns the stats of the run.
+  virtual Result<MineStats> MineImpl(const Database& db, Support min_support,
+                                     ItemsetSink* sink) = 0;
+
+ private:
+  MineStats stats_;  // backs the deprecated stats() shim only
 };
 
 }  // namespace fpm

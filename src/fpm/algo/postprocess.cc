@@ -116,7 +116,7 @@ Result<std::vector<CollectingSink::Entry>> MineAll(Miner& miner,
                                                    const Database& db,
                                                    Support min_support) {
   CollectingSink sink;
-  FPM_RETURN_IF_ERROR(miner.Mine(db, min_support, &sink));
+  FPM_RETURN_IF_ERROR(miner.Mine(db, min_support, &sink).status());
   sink.Canonicalize();
   return sink.results();
 }

@@ -1,11 +1,14 @@
 #include "fpm/core/mine.h"
 
+#include <utility>
+
 #include "fpm/algo/apriori.h"
 #include "fpm/algo/bruteforce.h"
 #include "fpm/algo/eclat/eclat_miner.h"
 #include "fpm/algo/fpgrowth/fpgrowth_miner.h"
 #include "fpm/algo/hmine.h"
 #include "fpm/algo/lcm/lcm_miner.h"
+#include "fpm/parallel/parallel_miner.h"
 
 namespace fpm {
 
@@ -59,13 +62,30 @@ Result<std::unique_ptr<Miner>> CreateMiner(Algorithm algorithm,
   return Status::InvalidArgument("unknown algorithm");
 }
 
-Status Mine(const Database& db, const MineOptions& options, ItemsetSink* sink,
-            MineStats* stats) {
-  FPM_ASSIGN_OR_RETURN(std::unique_ptr<Miner> miner,
+Result<std::unique_ptr<Miner>> CreateMiner(const MineOptions& options) {
+  if (options.execution.num_threads == 0) {
+    return Status::InvalidArgument("ExecutionPolicy.num_threads must be >= 1");
+  }
+  if (options.execution.num_threads == 1) {
+    return CreateMiner(options.algorithm, options.patterns);
+  }
+  // Probe the configuration once so a bad algorithm/pattern combination
+  // fails here instead of inside every worker task.
+  FPM_ASSIGN_OR_RETURN(std::unique_ptr<Miner> probe,
                        CreateMiner(options.algorithm, options.patterns));
-  FPM_RETURN_IF_ERROR(miner->Mine(db, options.min_support, sink));
-  if (stats != nullptr) *stats = miner->stats();
-  return Status::OK();
+  ParallelMinerOptions po;
+  po.execution = options.execution;
+  po.kernel_name = probe->name();
+  po.factory = [algorithm = options.algorithm, patterns = options.patterns] {
+    return CreateMiner(algorithm, patterns);
+  };
+  return std::unique_ptr<Miner>(std::make_unique<ParallelMiner>(std::move(po)));
+}
+
+Result<MineStats> Mine(const Database& db, const MineOptions& options,
+                       ItemsetSink* sink) {
+  FPM_ASSIGN_OR_RETURN(std::unique_ptr<Miner> miner, CreateMiner(options));
+  return miner->Mine(db, options.min_support, sink);
 }
 
 }  // namespace fpm

@@ -1,11 +1,19 @@
-// The library front door: pick an algorithm and a pattern set, mine.
+// The library front door: pick an algorithm, a pattern set and an
+// execution policy, mine.
 //
 //   fpm::MineOptions options;
 //   options.algorithm = fpm::Algorithm::kLcm;
 //   options.min_support = 3000;
 //   options.patterns = fpm::PatternSet::ApplicableTo(options.algorithm);
+//   options.execution.num_threads = 8;   // 1 = sequential (default)
 //   fpm::CollectingSink sink;
-//   FPM_CHECK_OK(fpm::Mine(db, options, &sink));
+//   fpm::Result<fpm::MineStats> stats = fpm::Mine(db, options, &sink);
+//   FPM_CHECK_OK(stats.status());
+//
+// Migration note (this PR): Mine() now returns Result<MineStats> — the
+// per-call statistics that used to be fetched from Miner::stats() after
+// the fact. The `MineStats*` out-parameter is gone; Miner::stats()
+// remains one more PR as a deprecated shim.
 
 #ifndef FPM_CORE_MINE_H_
 #define FPM_CORE_MINE_H_
@@ -25,20 +33,31 @@ struct MineOptions {
   /// (Table 4) are ignored; query EffectivePatterns() to see the subset
   /// that will act.
   PatternSet patterns;
+  /// num_threads == 1 runs the sequential kernel; > 1 mines first-item
+  /// equivalence classes in parallel (fpm/parallel/). With
+  /// deterministic (the default), the parallel run's canonical output
+  /// is identical to the sequential run's.
+  ExecutionPolicy execution;
 };
 
 /// Patterns of `set` that actually affect `algorithm`.
 PatternSet EffectivePatterns(Algorithm algorithm, PatternSet set);
 
-/// Instantiates a configured miner. Returns InvalidArgument for
-/// configurations that cannot run here (e.g. SIMD on a machine without
-/// AVX2 — the auto strategy falls back instead of failing).
+/// Instantiates a configured sequential miner. Returns InvalidArgument
+/// for configurations that cannot run here (e.g. SIMD on a machine
+/// without AVX2 — the auto strategy falls back instead of failing).
 Result<std::unique_ptr<Miner>> CreateMiner(Algorithm algorithm,
                                            PatternSet patterns);
 
-/// One-shot convenience: create, mine, optionally return stats.
-Status Mine(const Database& db, const MineOptions& options, ItemsetSink* sink,
-            MineStats* stats = nullptr);
+/// Instantiates a miner honoring the full options, including the
+/// execution policy: a sequential kernel for num_threads == 1, the
+/// task-parallel driver above it for num_threads > 1. InvalidArgument
+/// on num_threads == 0. (min_support is validated by Mine(), not here.)
+Result<std::unique_ptr<Miner>> CreateMiner(const MineOptions& options);
+
+/// One-shot convenience: create, mine, return the run's stats.
+Result<MineStats> Mine(const Database& db, const MineOptions& options,
+                       ItemsetSink* sink);
 
 }  // namespace fpm
 

@@ -1,11 +1,14 @@
 #include "fpm/core/partition.h"
 
 #include <algorithm>
+#include <mutex>
 #include <unordered_set>
+#include <utility>
 
 #include "fpm/algo/candidate_trie.h"
 #include "fpm/common/timer.h"
 #include "fpm/core/mine.h"
+#include "fpm/parallel/thread_pool.h"
 
 namespace fpm {
 namespace {
@@ -36,16 +39,16 @@ std::string PartitionedMiner::name() const {
          AlgorithmName(options_.inner_algorithm) + ")";
 }
 
-Status PartitionedMiner::Mine(const Database& db, Support min_support,
-                              ItemsetSink* sink) {
-  if (min_support < 1) {
-    return Status::InvalidArgument("min_support must be >= 1");
-  }
-  if (sink == nullptr) return Status::InvalidArgument("sink is null");
+Result<MineStats> PartitionedMiner::MineImpl(const Database& db,
+                                             Support min_support,
+                                             ItemsetSink* sink) {
   if (options_.num_partitions < 1) {
     return Status::InvalidArgument("num_partitions must be >= 1");
   }
-  stats_ = MineStats{};
+  if (options_.execution.num_threads == 0) {
+    return Status::InvalidArgument("ExecutionPolicy.num_threads must be >= 1");
+  }
+  MineStats stats;
   last_candidates_ = 0;
   WallTimer timer;
 
@@ -55,8 +58,14 @@ Status PartitionedMiner::Mine(const Database& db, Support min_support,
   const Support total_weight = db.total_weight();
 
   // ---- Phase 1: mine each contiguous partition at scaled support. ----
-  std::unordered_set<Itemset, ItemsetHash> candidates;
-  for (uint32_t p = 0; p < k; ++p) {
+  // Partitions are independent, so with num_threads > 1 they run
+  // concurrently on the pool; each mines into its own CollectingSink and
+  // the candidate union is formed afterwards on the calling thread.
+  std::vector<CollectingSink> locals(k);
+  std::mutex err_mu;
+  Status first_error = Status::OK();
+
+  auto mine_partition = [&](uint32_t p) {
     const size_t begin = n * p / k;
     const size_t end = n * (p + 1) / k;
     DatabaseBuilder builder;
@@ -66,7 +75,7 @@ Status PartitionedMiner::Mine(const Database& db, Support min_support,
                              db.weight(static_cast<Tid>(t)));
       part_weight += db.weight(static_cast<Tid>(t));
     }
-    if (part_weight == 0) continue;
+    if (part_weight == 0) return;
     // ceil(min_support * part_weight / total_weight), at least 1.
     const uint64_t scaled =
         (static_cast<uint64_t>(min_support) * part_weight +
@@ -75,12 +84,32 @@ Status PartitionedMiner::Mine(const Database& db, Support min_support,
     const Support local_support =
         scaled < 1 ? 1 : static_cast<Support>(scaled);
 
-    FPM_ASSIGN_OR_RETURN(
-        std::unique_ptr<Miner> inner,
-        CreateMiner(options_.inner_algorithm, options_.inner_patterns));
-    CollectingSink local;
-    FPM_RETURN_IF_ERROR(
-        inner->Mine(builder.Build(), local_support, &local));
+    Result<std::unique_ptr<Miner>> inner =
+        CreateMiner(options_.inner_algorithm, options_.inner_patterns);
+    Status status = inner.status();
+    if (status.ok()) {
+      status = (*inner)->Mine(builder.Build(), local_support, &locals[p])
+                   .status();
+    }
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lk(err_mu);
+      if (first_error.ok()) first_error = status;
+    }
+  };
+
+  if (options_.execution.num_threads > 1 && k > 1) {
+    ThreadPool pool(std::min(options_.execution.num_threads, k));
+    for (uint32_t p = 0; p < k; ++p) {
+      pool.Submit([&mine_partition, p] { mine_partition(p); });
+    }
+    pool.Wait();
+  } else {
+    for (uint32_t p = 0; p < k; ++p) mine_partition(p);
+  }
+  if (!first_error.ok()) return first_error;
+
+  std::unordered_set<Itemset, ItemsetHash> candidates;
+  for (CollectingSink& local : locals) {
     for (auto& [set, support] : local.mutable_results()) {
       candidates.insert(std::move(set));
     }
@@ -105,12 +134,12 @@ Status PartitionedMiner::Mine(const Database& db, Support min_support,
   for (size_t i = 0; i < ordered.size(); ++i) {
     if (counts[i] >= min_support) {
       sink->Emit(ordered[i], counts[i]);
-      ++stats_.num_frequent;
+      ++stats.num_frequent;
     }
   }
 
-  stats_.mine_seconds = timer.ElapsedSeconds();
-  return Status::OK();
+  stats.mine_seconds = timer.ElapsedSeconds();
+  return stats;
 }
 
 }  // namespace fpm

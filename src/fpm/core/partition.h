@@ -30,6 +30,11 @@ struct PartitionOptions {
   Algorithm inner_algorithm = Algorithm::kLcm;
   /// Patterns for the inner miner.
   PatternSet inner_patterns;
+  /// num_threads > 1 mines the phase-1 partitions concurrently on a
+  /// work-stealing pool (partitions are independent; each mines into a
+  /// private sink). Phase 2 is a single counting pass either way, so
+  /// the output never depends on the policy.
+  ExecutionPolicy execution;
 };
 
 /// Two-phase partitioned miner. Exact: output equals direct mining.
@@ -37,14 +42,15 @@ class PartitionedMiner : public Miner {
  public:
   explicit PartitionedMiner(PartitionOptions options = PartitionOptions());
 
-  Status Mine(const Database& db, Support min_support,
-              ItemsetSink* sink) override;
-
   std::string name() const override;
 
   /// Candidates produced by phase 1 in the latest run (>= the number of
   /// truly frequent itemsets; the gap measures phase-1 overshoot).
   uint64_t last_candidate_count() const { return last_candidates_; }
+
+ protected:
+  Result<MineStats> MineImpl(const Database& db, Support min_support,
+                             ItemsetSink* sink) override;
 
  private:
   PartitionOptions options_;

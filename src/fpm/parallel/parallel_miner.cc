@@ -1,0 +1,206 @@
+#include "fpm/parallel/parallel_miner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "fpm/common/timer.h"
+#include "fpm/layout/item_order.h"
+#include "fpm/parallel/thread_pool.h"
+
+namespace fpm {
+namespace {
+
+// Serializes Emit() calls from concurrent tasks onto one shared sink —
+// the non-deterministic (streaming) merge path.
+class LockedSink : public ItemsetSink {
+ public:
+  LockedSink(ItemsetSink* target, std::mutex* mu) : target_(target), mu_(mu) {}
+
+  void Emit(std::span<const Item> itemset, Support support) override {
+    std::lock_guard<std::mutex> lk(*mu_);
+    target_->Emit(itemset, support);
+  }
+
+ private:
+  ItemsetSink* target_;
+  std::mutex* mu_;
+};
+
+// Kernels emit in the item-id space of the database they were given — a
+// conditional database whose ids are frequency ranks. This adapter maps
+// ranks back to raw item ids and appends the class's owner item, turning
+// a conditional itemset S into the global itemset S ∪ {owner}.
+class ClassSink : public ItemsetSink {
+ public:
+  ClassSink(const std::vector<Item>& rank_to_item, Item owner_raw,
+            ItemsetSink* target)
+      : rank_to_item_(rank_to_item), owner_raw_(owner_raw), target_(target) {}
+
+  void Emit(std::span<const Item> itemset, Support support) override {
+    buffer_.clear();
+    buffer_.reserve(itemset.size() + 1);
+    for (Item rank : itemset) buffer_.push_back(rank_to_item_[rank]);
+    buffer_.push_back(owner_raw_);
+    target_->Emit(buffer_, support);
+    ++emitted_;
+  }
+
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  const std::vector<Item>& rank_to_item_;
+  Item owner_raw_;
+  ItemsetSink* target_;
+  std::vector<Item> buffer_;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace
+
+ParallelMiner::ParallelMiner(ParallelMinerOptions options)
+    : options_(std::move(options)) {}
+
+std::string ParallelMiner::name() const {
+  return "parallel(" + std::to_string(options_.execution.num_threads) + "x" +
+         options_.kernel_name +
+         (options_.execution.deterministic ? "" : ",nondet") + ")";
+}
+
+Result<MineStats> ParallelMiner::MineImpl(const Database& db,
+                                          Support min_support,
+                                          ItemsetSink* sink) {
+  if (options_.execution.num_threads == 0) {
+    return Status::InvalidArgument("ExecutionPolicy.num_threads must be >= 1");
+  }
+  if (!options_.factory) {
+    return Status::InvalidArgument("ParallelMiner requires a miner factory");
+  }
+  MineStats stats;
+
+  // ---- Decomposition: rank items, suffix-project each transaction. ----
+  // Transactions are stored most-frequent-item first, so the class owner
+  // (the least frequent member) sees its more-frequent co-members as its
+  // conditional transaction — the same direction the kernels extend in,
+  // and it bounds every class by the owner item's support.
+  WallTimer prep_timer;
+  const ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
+  const Database ranked = RemapItems(db, order);
+  const std::vector<Item>& rank_to_item = order.to_item();
+
+  const auto& freq = ranked.item_frequencies();
+  size_t num_frequent = 0;
+  while (num_frequent < freq.size() && freq[num_frequent] >= min_support) {
+    ++num_frequent;
+  }
+
+  std::vector<DatabaseBuilder> builders(num_frequent);
+  std::vector<uint64_t> class_entries(num_frequent, 0);
+  uint64_t projection_entries = 0;
+  for (Tid t = 0; t < ranked.num_transactions(); ++t) {
+    const auto tx = ranked.transaction(t);
+    // Ranks ascend within the transaction, so the frequent items form a
+    // prefix; infrequent items can appear in no frequent itemset.
+    size_t m = 0;
+    while (m < tx.size() && tx[m] < num_frequent) ++m;
+    const Support w = ranked.weight(t);
+    for (size_t j = 1; j < m; ++j) {
+      builders[tx[j]].AddTransaction(tx.subspan(0, j), w);
+      class_entries[tx[j]] += j;
+      projection_entries += j;
+    }
+  }
+  stats.prepare_seconds = prep_timer.ElapsedSeconds();
+  stats.peak_structure_bytes = projection_entries * sizeof(Item);
+
+  // ---- Mine every class, largest projection first. --------------------
+  WallTimer mine_timer;
+  std::vector<Item> schedule(num_frequent);
+  std::iota(schedule.begin(), schedule.end(), 0);
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [&class_entries](Item a, Item b) {
+                     return class_entries[a] > class_entries[b];
+                   });
+
+  const bool deterministic = options_.execution.deterministic;
+  ShardedSink shards(deterministic ? num_frequent : 0);
+  std::mutex sink_mu;   // serializes the streaming path
+  std::mutex merge_mu;  // guards error + aggregate state below
+  Status first_error = Status::OK();
+  std::atomic<bool> failed{false};
+  uint64_t task_emitted = 0;
+  double task_build_seconds = 0.0;
+  size_t task_peak_bytes = 0;
+
+  auto mine_class = [&](Item i) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    LockedSink locked(sink, &sink_mu);
+    ItemsetSink* target =
+        deterministic ? static_cast<ItemsetSink*>(shards.shard(i)) : &locked;
+
+    // The class's own singleton: {owner} at its global support.
+    const Item owner_raw = rank_to_item[i];
+    target->Emit(std::span<const Item>(&owner_raw, 1), freq[i]);
+    uint64_t emitted = 1;
+
+    double build_seconds = 0.0;
+    size_t peak_bytes = 0;
+    if (builders[i].size() > 0) {
+      const Database cond = builders[i].Build();
+      Result<std::unique_ptr<Miner>> kernel = options_.factory();
+      if (!kernel.ok()) {
+        if (!failed.exchange(true)) {
+          std::lock_guard<std::mutex> lk(merge_mu);
+          first_error = kernel.status();
+        }
+        return;
+      }
+      ClassSink class_sink(rank_to_item, owner_raw, target);
+      Result<MineStats> run = (*kernel)->Mine(cond, min_support, &class_sink);
+      if (!run.ok()) {
+        if (!failed.exchange(true)) {
+          std::lock_guard<std::mutex> lk(merge_mu);
+          first_error = run.status();
+        }
+        return;
+      }
+      emitted += class_sink.emitted();
+      build_seconds = run->build_seconds;
+      peak_bytes = run->peak_structure_bytes;
+    }
+    std::lock_guard<std::mutex> lk(merge_mu);
+    task_emitted += emitted;
+    task_build_seconds += build_seconds;
+    task_peak_bytes = std::max(task_peak_bytes, peak_bytes);
+  };
+
+  if (options_.execution.num_threads == 1) {
+    for (Item i : schedule) mine_class(i);
+  } else {
+    ThreadPool pool(options_.execution.num_threads);
+    for (Item i : schedule) {
+      pool.Submit([&mine_class, i] { mine_class(i); });
+    }
+    pool.Wait();
+  }
+  if (failed.load()) return first_error;
+
+  // Deterministic merge: replay class 0, class 1, ... — independent of
+  // which worker mined what, so the emission order is reproducible.
+  if (deterministic) shards.MergeInto(sink);
+
+  stats.num_frequent = task_emitted;
+  // For parallel runs, prepare/mine are wall times of the two phases;
+  // build_seconds aggregates kernel construction time across tasks (it
+  // can exceed wall time), and the footprint is the projection plus the
+  // largest single task structure.
+  stats.build_seconds = task_build_seconds;
+  stats.peak_structure_bytes += task_peak_bytes;
+  stats.mine_seconds = mine_timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace fpm

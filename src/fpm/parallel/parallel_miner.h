@@ -1,0 +1,69 @@
+// Task-parallel mining driver.
+//
+// Decomposes the search space into independent first-item equivalence
+// classes, in the spirit of the task-parallel FPM literature (Kambadur
+// et al.; Zymbler — see PAPERS.md): items are ranked by frequency, each
+// transaction is suffix-projected, and the class owned by item i (the
+// *least frequent* item of its itemsets) receives the conditional
+// database of i — the transactions containing i, restricted to items
+// more frequent than i. Classes are disjoint and jointly exhaustive, so
+// each one is mined independently by a fresh instance of the existing
+// sequential kernel (Eclat rebuilds per-class tidlists, LCM per-class
+// occurrence arrays, FP-Growth per-class conditional FP-trees — the
+// projection is handed over as a plain horizontal Database, the
+// representation every kernel accepts) on a work-stealing ThreadPool.
+//
+// Results flow through per-class CollectingSink shards (deterministic
+// mode: merged into the caller's sink in class order once all tasks
+// finish) or directly into the caller's sink under a lock
+// (non-deterministic mode: streamed as classes finish). Either way the
+// caller's sink only ever sees serialized Emit() calls — the ItemsetSink
+// concurrency contract.
+
+#ifndef FPM_PARALLEL_PARALLEL_MINER_H_
+#define FPM_PARALLEL_PARALLEL_MINER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "fpm/algo/miner.h"
+
+namespace fpm {
+
+/// Creates a fresh sequential kernel instance. Called once per mining
+/// task, possibly concurrently from several workers — must be
+/// thread-safe (stateless factories, e.g. a lambda over value-captured
+/// options, trivially are).
+using MinerFactory =
+    std::function<Result<std::unique_ptr<Miner>>()>;
+
+/// Configuration of the parallel driver.
+struct ParallelMinerOptions {
+  ExecutionPolicy execution;
+  /// Per-task kernel factory (required).
+  MinerFactory factory;
+  /// Display name of the kernel the factory produces, e.g. "eclat+lex".
+  std::string kernel_name = "kernel";
+};
+
+/// Task-parallel driver around a sequential kernel. Exact: emits the
+/// same itemsets (with the same supports) as the kernel run directly.
+/// Like the kernels, a single Mine() call at a time per instance.
+class ParallelMiner : public Miner {
+ public:
+  explicit ParallelMiner(ParallelMinerOptions options);
+
+  std::string name() const override;
+
+ protected:
+  Result<MineStats> MineImpl(const Database& db, Support min_support,
+                             ItemsetSink* sink) override;
+
+ private:
+  ParallelMinerOptions options_;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_PARALLEL_PARALLEL_MINER_H_

@@ -1,0 +1,115 @@
+#include "fpm/parallel/thread_pool.h"
+
+#include <utility>
+
+namespace fpm {
+namespace {
+
+// Identifies the pool (and worker slot) owning the current thread, so
+// nested Submit() calls can target the submitting worker's own deque.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local uint32_t tls_worker_index = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  const uint32_t n = num_threads < 1 ? 1 : num_threads;
+  queues_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lk(wait_mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+uint32_t ThreadPool::HardwareThreads() {
+  const uint32_t n = std::thread::hardware_concurrency();
+  return n < 1 ? 1 : n;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  // Nested submissions go to the submitting worker's own deque (LIFO:
+  // keeps the working set hot); external ones are spread round-robin.
+  uint32_t qi;
+  if (tls_pool == this) {
+    qi = tls_worker_index;
+  } else {
+    qi = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+         queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lk(wait_mu_);
+    ++pending_;
+    ++epoch_;
+    std::lock_guard<std::mutex> qlk(queues_[qi]->mu);
+    queues_[qi]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lk(wait_mu_);
+  done_cv_.wait(lk, [this] { return pending_ == 0; });
+}
+
+std::function<void()> ThreadPool::TakeTask(uint32_t worker_index) {
+  const size_t n = queues_.size();
+  {
+    WorkerQueue& own = *queues_[worker_index];
+    std::lock_guard<std::mutex> lk(own.mu);
+    if (!own.tasks.empty()) {
+      std::function<void()> task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return task;
+    }
+  }
+  for (size_t k = 1; k < n; ++k) {
+    WorkerQueue& victim = *queues_[(worker_index + k) % n];
+    std::lock_guard<std::mutex> lk(victim.mu);
+    if (!victim.tasks.empty()) {
+      std::function<void()> task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return task;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::WorkerLoop(uint32_t worker_index) {
+  tls_pool = this;
+  tls_worker_index = worker_index;
+  for (;;) {
+    // Record the submission epoch before scanning: a submission that
+    // races with the scan bumps the epoch, which defeats the cv wait's
+    // predicate below — no sleep, rescan. No wakeup can be missed.
+    uint64_t seen;
+    {
+      std::lock_guard<std::mutex> lk(wait_mu_);
+      seen = epoch_;
+    }
+    std::function<void()> task = TakeTask(worker_index);
+    if (task) {
+      task();
+      std::lock_guard<std::mutex> lk(wait_mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(wait_mu_);
+    if (stop_) return;
+    work_cv_.wait(lk, [this, seen] { return stop_ || epoch_ != seen; });
+  }
+}
+
+}  // namespace fpm

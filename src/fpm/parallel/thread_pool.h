@@ -1,0 +1,83 @@
+// Fixed-size work-stealing thread pool for task-parallel mining.
+//
+// Each worker owns a deque: it pushes and pops its own tasks at the back
+// (LIFO — depth-first, cache-warm) and steals from other workers at the
+// front (FIFO — steals the oldest, typically largest, task). External
+// submissions are distributed round-robin. The deques are individually
+// mutex-guarded rather than lock-free: mining tasks are coarse (a whole
+// first-item equivalence class), so queue operations are nowhere near
+// the critical path and the simple scheme is trivially correct under
+// TSan.
+
+#ifndef FPM_PARALLEL_THREAD_POOL_H_
+#define FPM_PARALLEL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fpm {
+
+/// Work-stealing pool with a fixed worker count. Submit() may be called
+/// from any thread, including from inside a running task (nested
+/// submissions land on the submitting worker's own deque). Wait() blocks
+/// until every submitted task — including ones submitted while waiting —
+/// has finished.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(uint32_t num_threads);
+
+  /// Joins all workers. Pending tasks are still executed: the destructor
+  /// drains the queues before shutting down.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks the calling thread (not a worker) until all tasks complete.
+  void Wait();
+
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// std::thread::hardware_concurrency with a >= 1 fallback.
+  static uint32_t HardwareThreads();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(uint32_t worker_index);
+  /// Pops from own back, else steals from another front. Returns an
+  /// empty function when no work is available anywhere.
+  std::function<void()> TakeTask(uint32_t worker_index);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Wake/sleep and completion accounting.
+  std::mutex wait_mu_;
+  std::condition_variable work_cv_;   // workers sleep here
+  std::condition_variable done_cv_;   // Wait() sleeps here
+  uint64_t pending_ = 0;              // submitted but not yet finished
+  uint64_t epoch_ = 0;                // bumped on every submission
+  bool stop_ = false;
+  std::atomic<uint32_t> next_queue_{0};  // round-robin external submits
+};
+
+}  // namespace fpm
+
+#endif  // FPM_PARALLEL_THREAD_POOL_H_

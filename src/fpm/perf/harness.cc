@@ -15,11 +15,12 @@ Measurement MeasureMiner(Miner& miner, const Database& db,
   for (int r = 0; r < repeats; ++r) {
     CountingSink sink;
     WallTimer timer;
-    FPM_CHECK_OK(miner.Mine(db, min_support, &sink));
+    Result<MineStats> run = miner.Mine(db, min_support, &sink);
+    FPM_CHECK_OK(run.status());
     const double seconds = timer.ElapsedSeconds();
     if (r == 0 || seconds < best.seconds) {
       best.seconds = seconds;
-      best.stats = miner.stats();
+      best.stats = *run;
     }
     if (r == 0) {
       best.num_frequent = sink.count();

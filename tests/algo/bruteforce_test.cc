@@ -68,8 +68,9 @@ TEST(BruteForceTest, StatsPopulated) {
   Database db = MakeDb({{0, 1}, {0, 1}});
   BruteForceMiner miner;
   CountingSink sink;
-  ASSERT_TRUE(miner.Mine(db, 2, &sink).ok());
-  EXPECT_EQ(miner.stats().num_frequent, 3u);
+  Result<MineStats> stats = miner.Mine(db, 2, &sink);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_frequent, 3u);
   EXPECT_EQ(sink.count(), 3u);
 }
 

@@ -73,7 +73,7 @@ TEST(EclatMinerTest, UnavailableStrategyRejectedUpFront) {
   EclatMiner miner(o);
   Database db = MakeDb({{0}});
   CollectingSink sink;
-  const Status s = miner.Mine(db, 1, &sink);
+  const Status s = miner.Mine(db, 1, &sink).status();
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
 }
@@ -82,9 +82,10 @@ TEST(EclatMinerTest, StatsPopulated) {
   Database db = MakeDb({{0, 1, 2}, {0, 1}, {2}});
   EclatMiner miner;
   CountingSink sink;
-  ASSERT_TRUE(miner.Mine(db, 1, &sink).ok());
-  EXPECT_EQ(miner.stats().num_frequent, sink.count());
-  EXPECT_GT(miner.stats().peak_structure_bytes, 0u);
+  Result<MineStats> stats = miner.Mine(db, 1, &sink);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_frequent, sink.count());
+  EXPECT_GT(stats->peak_structure_bytes, 0u);
 }
 
 TEST(EclatRepresentationTest, NamesAreStable) {
@@ -118,12 +119,18 @@ TEST(EclatRepresentationTest, AutoPicksTidListOnSparseData) {
   o.representation = EclatRepresentation::kAuto;
   EclatMiner auto_miner(o);
   EclatMiner dense_miner;  // bit vector
-  const auto a = MineCanonical(auto_miner, db, 10);
-  const auto d = MineCanonical(dense_miner, db, 10);
-  testutil::ExpectSameResults(d, a, "auto-vs-dense");
+  CollectingSink auto_sink, dense_sink;
+  Result<MineStats> auto_stats = auto_miner.Mine(db, 10, &auto_sink);
+  Result<MineStats> dense_stats = dense_miner.Mine(db, 10, &dense_sink);
+  ASSERT_TRUE(auto_stats.ok());
+  ASSERT_TRUE(dense_stats.ok());
+  auto_sink.Canonicalize();
+  dense_sink.Canonicalize();
+  testutil::ExpectSameResults(dense_sink.results(), auto_sink.results(),
+                              "auto-vs-dense");
   // Sparse build must be far smaller than the dense matrix would be.
-  EXPECT_LT(auto_miner.stats().peak_structure_bytes,
-            dense_miner.stats().peak_structure_bytes);
+  EXPECT_LT(auto_stats->peak_structure_bytes,
+            dense_stats->peak_structure_bytes);
 }
 
 TEST(EclatMinerTest, RejectsBadArguments) {

@@ -68,13 +68,15 @@ TEST(FpGrowthMinerTest, CompactTreeUsesLessMemoryThanPointerTree) {
   compact.compact_nodes = true;
   FpGrowthMiner compact_miner(compact);
   CountingSink s1, s2;
-  ASSERT_TRUE(pointer_miner.Mine(db.value(), 20, &s1).ok());
-  ASSERT_TRUE(compact_miner.Mine(db.value(), 20, &s2).ok());
+  Result<MineStats> pointer_stats = pointer_miner.Mine(db.value(), 20, &s1);
+  Result<MineStats> compact_stats = compact_miner.Mine(db.value(), 20, &s2);
+  ASSERT_TRUE(pointer_stats.ok());
+  ASSERT_TRUE(compact_stats.ok());
   EXPECT_EQ(s1.checksum(), s2.checksum());
   // §4.3: differential encoding "reduces the node size and memory
   // requirements dramatically".
-  EXPECT_LT(compact_miner.stats().peak_structure_bytes,
-            pointer_miner.stats().peak_structure_bytes / 2);
+  EXPECT_LT(compact_stats->peak_structure_bytes,
+            pointer_stats->peak_structure_bytes / 2);
 }
 
 TEST(FpGrowthMinerTest, WeightedSupports) {

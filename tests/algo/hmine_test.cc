@@ -92,9 +92,10 @@ TEST(HMineTest, StatsPopulated) {
   Database db = MakeDb({{0, 1, 2}, {0, 1}});
   HMineMiner miner;
   CountingSink sink;
-  ASSERT_TRUE(miner.Mine(db, 1, &sink).ok());
-  EXPECT_EQ(miner.stats().num_frequent, sink.count());
-  EXPECT_GT(miner.stats().peak_structure_bytes, 0u);
+  Result<MineStats> stats = miner.Mine(db, 1, &sink);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_frequent, sink.count());
+  EXPECT_GT(stats->peak_structure_bytes, 0u);
 }
 
 }  // namespace

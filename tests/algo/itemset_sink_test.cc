@@ -37,6 +37,90 @@ TEST(CountingSinkTest, ChecksumDetectsSupportChange) {
   EXPECT_NE(a.checksum(), b.checksum());
 }
 
+TEST(CountingSinkTest, MergeFromEqualsSingleSink) {
+  // Any partition of the emissions across shards must merge to exactly
+  // the counters of one sink that saw everything.
+  const Item s1[] = {1, 2};
+  const Item s2[] = {3};
+  const Item s3[] = {0, 4, 5};
+  CountingSink all;
+  all.Emit(s1, 10);
+  all.Emit(s2, 5);
+  all.Emit(s3, 2);
+
+  CountingSink left, right;
+  left.Emit(s3, 2);
+  right.Emit(s1, 10);
+  right.Emit(s2, 5);
+  left.MergeFrom(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_EQ(left.support_sum(), all.support_sum());
+  EXPECT_EQ(left.checksum(), all.checksum());
+  EXPECT_EQ(left.max_size(), all.max_size());
+}
+
+TEST(CountingSinkTest, MergeFromIsAssociative) {
+  const Item s1[] = {1};
+  const Item s2[] = {2, 3};
+  const Item s3[] = {4};
+  CountingSink a, b, c;
+  a.Emit(s1, 1);
+  b.Emit(s2, 2);
+  c.Emit(s3, 3);
+
+  // (a + b) + c
+  CountingSink ab = a;
+  ab.MergeFrom(b);
+  ab.MergeFrom(c);
+  // a + (b + c)
+  CountingSink bc = b;
+  bc.MergeFrom(c);
+  CountingSink abc = a;
+  abc.MergeFrom(bc);
+  EXPECT_EQ(ab.count(), abc.count());
+  EXPECT_EQ(ab.support_sum(), abc.support_sum());
+  EXPECT_EQ(ab.checksum(), abc.checksum());
+  EXPECT_EQ(ab.max_size(), abc.max_size());
+}
+
+TEST(CountingSinkTest, MergeFromEmptyIsIdentity) {
+  const Item s[] = {7, 8};
+  CountingSink a;
+  a.Emit(s, 3);
+  const uint64_t checksum = a.checksum();
+  CountingSink empty;
+  a.MergeFrom(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.checksum(), checksum);
+}
+
+TEST(ShardedSinkTest, MergeReplaysInShardOrder) {
+  ShardedSink sharded(3);
+  const Item s0[] = {0};
+  const Item s1[] = {1};
+  const Item s2[] = {2};
+  // Fill shards out of order — replay must still follow shard index.
+  sharded.shard(2)->Emit(s2, 3);
+  sharded.shard(0)->Emit(s0, 1);
+  sharded.shard(1)->Emit(s1, 2);
+  EXPECT_EQ(sharded.total_count(), 3u);
+
+  CollectingSink merged;
+  sharded.MergeInto(&merged);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged.results()[0], (CollectingSink::Entry{{0}, 1}));
+  EXPECT_EQ(merged.results()[1], (CollectingSink::Entry{{1}, 2}));
+  EXPECT_EQ(merged.results()[2], (CollectingSink::Entry{{2}, 3}));
+}
+
+TEST(ShardedSinkTest, EmptyShardsMergeToNothing) {
+  ShardedSink sharded(4);
+  EXPECT_EQ(sharded.total_count(), 0u);
+  CountingSink merged;
+  sharded.MergeInto(&merged);
+  EXPECT_EQ(merged.count(), 0u);
+}
+
 TEST(CollectingSinkTest, CanonicalizeSortsSetsAndItems) {
   CollectingSink sink;
   const Item s1[] = {3, 1};

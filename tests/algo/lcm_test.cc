@@ -62,10 +62,11 @@ TEST(LcmMinerTest, StatsTrackPhasesAndCount) {
   o.collect_phase_stats = true;
   LcmMiner miner(o);
   CountingSink sink;
-  ASSERT_TRUE(miner.Mine(db.value(), 10, &sink).ok());
-  EXPECT_EQ(miner.stats().num_frequent, sink.count());
+  Result<MineStats> stats = miner.Mine(db.value(), 10, &sink);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_frequent, sink.count());
   EXPECT_GT(sink.count(), 0u);
-  EXPECT_GT(miner.stats().mine_seconds, 0.0);
+  EXPECT_GT(stats->mine_seconds, 0.0);
   const LcmPhaseStats& phases = miner.phase_stats();
   EXPECT_GT(phases.calcfreq_seconds, 0.0);
   EXPECT_GT(phases.rmduptrans_seconds, 0.0);

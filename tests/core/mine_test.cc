@@ -53,22 +53,52 @@ TEST(MineTest, EndToEndAcrossAlgorithms) {
       options.min_support = 2;
       options.patterns = p;
       CollectingSink sink;
-      MineStats stats;
-      ASSERT_TRUE(Mine(db, options, &sink, &stats).ok())
-          << AlgorithmName(a) << " " << p.ToString();
+      Result<MineStats> stats = Mine(db, options, &sink);
+      ASSERT_TRUE(stats.ok()) << AlgorithmName(a) << " " << p.ToString();
       EXPECT_EQ(sink.size(), 5u) << AlgorithmName(a) << " " << p.ToString();
-      EXPECT_EQ(stats.num_frequent, 5u);
+      EXPECT_EQ(stats->num_frequent, 5u);
     }
   }
 }
 
-TEST(MineTest, StatsOptional) {
+TEST(MineTest, StatsReturnedPerCall) {
   Database db = MakeDb({{0}});
   MineOptions options;
   options.min_support = 1;
   CountingSink sink;
-  EXPECT_TRUE(Mine(db, options, &sink, nullptr).ok());
+  Result<MineStats> stats = Mine(db, options, &sink);
+  ASSERT_TRUE(stats.ok());
   EXPECT_EQ(sink.count(), 1u);
+  EXPECT_EQ(stats->num_frequent, 1u);
+}
+
+TEST(MineTest, RejectsZeroThreads) {
+  Database db = MakeDb({{0}});
+  MineOptions options;
+  options.min_support = 1;
+  options.execution.num_threads = 0;
+  CountingSink sink;
+  const Status s = Mine(db, options, &sink).status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MineTest, ParallelExecutionMatchesSequential) {
+  Database db = MakeDb({{0, 1}, {0, 2}, {0, 1, 2}, {1}});
+  MineOptions options;
+  options.min_support = 2;
+
+  CollectingSink sequential;
+  ASSERT_TRUE(Mine(db, options, &sequential).ok());
+  sequential.Canonicalize();
+
+  options.execution.num_threads = 4;
+  CollectingSink parallel;
+  Result<MineStats> stats = Mine(db, options, &parallel);
+  ASSERT_TRUE(stats.ok());
+  parallel.Canonicalize();
+  EXPECT_EQ(sequential.results(), parallel.results());
+  EXPECT_EQ(stats->num_frequent, sequential.results().size());
 }
 
 TEST(MineTest, PropagatesMinerErrors) {

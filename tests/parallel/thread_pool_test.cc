@@ -1,0 +1,110 @@
+#include "fpm/parallel/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fpm {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ClampsZeroThreadsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitCoversNestedSubmissions) {
+  // A task fans out children from inside the pool; Wait() must not
+  // return until the children (and grandchildren) are done too.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&pool, &counter] {
+      for (int j = 0; j < 10; ++j) {
+        pool.Submit([&pool, &counter] {
+          pool.Submit([&counter] { ++counter; });
+        });
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 80);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { ++counter; });
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+    // No Wait(): the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ConcurrentResultsAreComplete) {
+  // Every task writes a distinct slot: no slot may be missed or
+  // double-written regardless of which worker steals what.
+  constexpr int kTasks = 512;
+  std::vector<std::atomic<int>> slots(kTasks);
+  for (auto& s : slots) s.store(0);
+  ThreadPool pool(4);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&slots, i] { slots[i].fetch_add(1); });
+  }
+  pool.Wait();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(slots[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolTest, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace fpm

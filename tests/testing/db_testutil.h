@@ -55,7 +55,7 @@ inline std::vector<CollectingSink::Entry> MineCanonical(Miner& miner,
                                                         const Database& db,
                                                         Support min_support) {
   CollectingSink sink;
-  const Status s = miner.Mine(db, min_support, &sink);
+  const Status s = miner.Mine(db, min_support, &sink).status();
   EXPECT_TRUE(s.ok()) << miner.name() << ": " << s;
   sink.Canonicalize();
   return sink.results();

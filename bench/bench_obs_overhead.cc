@@ -1,0 +1,137 @@
+// Observability overhead — verifies the fpm/obs/ instrumentation is
+// effectively free when disabled (the default) and cheap when enabled.
+//
+// Two angles:
+//   1. Micro: ns/op of the disabled fast paths (Counter::Add,
+//      Histogram::Observe, ScopedSpan begin/end) — each must be a
+//      relaxed load + branch, single-digit nanoseconds.
+//   2. End-to-end: LCM on the DS1 workload (the bench_fig8_lcm subject)
+//      with obs disabled vs fully enabled, plus a computed upper bound
+//      on the disabled-path cost: instrumentation ops per Mine() call
+//      (counted from one enabled run) x disabled ns/op, as a fraction
+//      of the mine time. The acceptance bar is that bound < 1%.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fpm/core/mine.h"
+#include "fpm/obs/metrics.h"
+#include "fpm/obs/trace.h"
+#include "fpm/perf/report.h"
+
+namespace {
+
+// Keeps the loop body from being optimized away.
+inline void KeepAlive(const void* p) { asm volatile("" : : "g"(p) : "memory"); }
+
+double NsPerOp(uint64_t iters, double seconds) {
+  return seconds * 1e9 / static_cast<double>(iters);
+}
+
+template <typename Fn>
+double TimeLoop(uint64_t iters, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < iters; ++i) fn();
+  const std::chrono::duration<double> d =
+      std::chrono::steady_clock::now() - start;
+  return d.count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace fpm;
+  bench::PrintHeader("bench_obs_overhead",
+                     "cost of the fpm/obs/ instrumentation (disabled "
+                     "and enabled)");
+
+  // ---- 1. Disabled fast paths. --------------------------------------
+  MetricsRegistry registry(/*enabled=*/false);
+  Counter* counter = registry.GetCounter("bench.counter");
+  Histogram* hist = registry.GetHistogram("bench.hist", {1, 10, 100});
+  Tracer tracer;  // starts disabled
+
+  constexpr uint64_t kMicroIters = 1 << 26;
+  const double add_s = TimeLoop(kMicroIters, [&] {
+    counter->Increment();
+    KeepAlive(counter);
+  });
+  const double observe_s = TimeLoop(kMicroIters, [&] {
+    hist->Observe(42);
+    KeepAlive(hist);
+  });
+  const double span_s = TimeLoop(kMicroIters / 4, [&] {
+    ScopedSpan span(tracer, "bench");
+    KeepAlive(&span);
+  });
+  const double add_ns = NsPerOp(kMicroIters, add_s);
+  const double observe_ns = NsPerOp(kMicroIters, observe_s);
+  const double span_ns = NsPerOp(kMicroIters / 4, span_s);
+  std::printf("disabled fast paths (ns/op):\n");
+  std::printf("  Counter::Add        %6.2f\n", add_ns);
+  std::printf("  Histogram::Observe  %6.2f\n", observe_ns);
+  std::printf("  ScopedSpan          %6.2f\n\n", span_ns);
+
+  // Enabled write path, for contrast (still lock-free).
+  registry.set_enabled(true);
+  const double hot_add_s = TimeLoop(kMicroIters, [&] {
+    counter->Increment();
+    KeepAlive(counter);
+  });
+  std::printf("enabled Counter::Add  %6.2f ns/op\n\n",
+              NsPerOp(kMicroIters, hot_add_s));
+
+  // ---- 2. End-to-end on the bench_fig8_lcm subject. -----------------
+  const double scale = BenchScale();
+  const int repeats = BenchRepeats();
+  const bench::BenchDataset ds = bench::MakeDs1(scale);
+  MineOptions options;
+  options.algorithm = Algorithm::kLcm;
+  options.min_support = ds.min_support;
+  auto miner = CreateMiner(options);
+  FPM_CHECK_OK(miner.status());
+
+  MetricsRegistry::Default().set_enabled(false);
+  Tracer::Default().set_enabled(false);
+  const Measurement off =
+      MeasureMiner(**miner, ds.db, ds.min_support, repeats);
+
+  MetricsRegistry::Default().set_enabled(true);
+  Tracer::Default().set_enabled(true);
+  Tracer::Default().Clear();
+  const Measurement on =
+      MeasureMiner(**miner, ds.db, ds.min_support, repeats);
+
+  // Instrumentation ops of one enabled Mine() call: recorded spans
+  // (begin + end), histogram observations, and counter Add calls (from
+  // the snapshot delta of the best run). Counters bumped once per call
+  // with a batched Add(n) — fpm.mine.itemsets — count as one op, not n.
+  uint64_t ops = 2 * (Tracer::Default().CollectSpans().size() / (repeats + 1));
+  for (const CounterSample& c : on.metrics.counters) {
+    ops += c.name == "fpm.mine.itemsets" ? on.metrics.counter("fpm.mine.calls")
+                                         : c.value;
+  }
+  for (const HistogramSample& h : on.metrics.histograms) ops += h.count();
+  MetricsRegistry::Default().set_enabled(false);
+  Tracer::Default().set_enabled(false);
+  Tracer::Default().Clear();
+
+  const double worst_ns =
+      add_ns > observe_ns ? (add_ns > span_ns ? add_ns : span_ns)
+                          : (observe_ns > span_ns ? observe_ns : span_ns);
+  const double bound = static_cast<double>(ops) * worst_ns * 1e-9;
+  const double bound_pct = 100.0 * bound / off.seconds;
+  const double delta_pct = 100.0 * (on.seconds - off.seconds) / off.seconds;
+
+  std::printf("end-to-end, lcm on %s (%s), support %u:\n", ds.name.c_str(),
+              ds.description.c_str(), ds.min_support);
+  std::printf("  obs disabled  %s\n", FormatSeconds(off.seconds).c_str());
+  std::printf("  obs enabled   %s  (%+.2f%%)\n",
+              FormatSeconds(on.seconds).c_str(), delta_pct);
+  std::printf("  instrumentation ops per Mine(): %llu\n",
+              static_cast<unsigned long long>(ops));
+  std::printf("  disabled-path cost bound: %.4f%% of mine time  [%s]\n",
+              bound_pct, bound_pct < 1.0 ? "PASS < 1%" : "FAIL >= 1%");
+  return bound_pct < 1.0 ? 0 : 1;
+}

@@ -8,6 +8,8 @@
 //     --threads=N                              (default 1: sequential)
 //     --nondeterministic                       (allow any emission order)
 //     --stats                                  (print timing breakdown)
+//     --trace-out=FILE                         (chrome://tracing span JSON)
+//     --metrics-out=FILE                       (metrics snapshot JSON)
 //
 // Example:
 //   ./mine_cli retail.dat 100 --algorithm=eclat --patterns=P1,P8
@@ -24,6 +26,8 @@
 #include "fpm/core/pattern_advisor.h"
 #include "fpm/dataset/fimi_io.h"
 #include "fpm/dataset/stats.h"
+#include "fpm/obs/metrics.h"
+#include "fpm/obs/trace.h"
 
 namespace {
 
@@ -54,7 +58,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.dat> <min_support> [--algorithm=NAME] "
                "[--patterns=LIST|all|none|auto] [--output=FILE] "
-               "[--threads=N] [--nondeterministic] [--stats]\n",
+               "[--threads=N] [--nondeterministic] [--stats] "
+               "[--trace-out=FILE] [--metrics-out=FILE]\n",
                argv0);
   return 2;
 }
@@ -73,6 +78,8 @@ int main(int argc, char** argv) {
   std::string algorithm_name = "lcm";
   std::string pattern_spec = "auto";
   std::string output_path;
+  std::string trace_path;
+  std::string metrics_path;
   bool show_stats = false;
   long threads = 1;
   bool deterministic = true;
@@ -94,11 +101,20 @@ int main(int argc, char** argv) {
       deterministic = false;
     } else if (arg == "--stats") {
       show_stats = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_path = arg.substr(14);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return Usage(argv[0]);
     }
   }
+
+  // Observability is enabled before the load so the fimi/read span and
+  // parse counters land in the outputs too.
+  if (!trace_path.empty()) Tracer::Default().set_enabled(true);
+  if (!metrics_path.empty()) MetricsRegistry::Default().set_enabled(true);
 
   WallTimer load_timer;
   auto dbr = ReadFimiFile(input);
@@ -173,10 +189,38 @@ int main(int argc, char** argv) {
               mine_timer.ElapsedSeconds());
   if (show_stats) {
     std::printf("  prepare: %.3fs  build: %.3fs  mine: %.3fs\n",
-                stats.prepare_seconds, stats.build_seconds,
-                stats.mine_seconds);
+                stats.phase_seconds(PhaseId::kPrepare),
+                stats.phase_seconds(PhaseId::kBuild),
+                stats.phase_seconds(PhaseId::kMine));
     std::printf("  peak main structure: %zu bytes\n",
                 stats.peak_structure_bytes);
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    const std::vector<TraceSpan> spans = Tracer::Default().CollectSpans();
+    WriteChromeTracing(spans, out);
+    std::fprintf(stderr,
+                 "wrote %zu spans to %s (open in chrome://tracing)\n",
+                 spans.size(), trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    MetricsRegistry::Default()
+        .Snapshot(/*per_thread=*/true)
+        .WriteJson(out);
+    out << '\n';
+    std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
   }
   return 0;
 }

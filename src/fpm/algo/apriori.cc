@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "fpm/algo/candidate_trie.h"
-#include "fpm/common/timer.h"
+#include "fpm/obs/trace.h"
 
 namespace fpm {
 namespace {
@@ -83,7 +83,7 @@ Result<MineStats> AprioriMiner::MineImpl(const Database& db,
                                          Support min_support,
                                          ItemsetSink* sink) {
   MineStats stats;
-  WallTimer timer;
+  PhaseSpan mine_span(PhaseName(PhaseId::kMine));
 
   // L1: frequent items (raw ids; Apriori needs no re-ranking, but the
   // candidate machinery needs sorted transactions of frequent items).
@@ -149,7 +149,7 @@ Result<MineStats> AprioriMiner::MineImpl(const Database& db,
     level = std::move(pruned);
   }
 
-  stats.mine_seconds = timer.ElapsedSeconds();
+  stats.set_phase_seconds(PhaseId::kMine, mine_span.End());
   return stats;
 }
 

@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "fpm/common/timer.h"
+#include "fpm/obs/trace.h"
 
 namespace fpm {
 namespace {
@@ -48,12 +48,12 @@ Result<MineStats> BruteForceMiner::MineImpl(const Database& db,
                                             Support min_support,
                                             ItemsetSink* sink) {
   MineStats stats;
-  WallTimer timer;
+  PhaseSpan mine_span(PhaseName(PhaseId::kMine));
   std::vector<Item> prefix;
   uint64_t emitted = 0;
   Extend(db, min_support, sink, &prefix, &emitted);
   stats.num_frequent = emitted;
-  stats.mine_seconds = timer.ElapsedSeconds();
+  stats.set_phase_seconds(PhaseId::kMine, mine_span.End());
   return stats;
 }
 

@@ -6,8 +6,8 @@
 
 #include "fpm/bitvec/tidlist.h"
 #include "fpm/bitvec/vertical.h"
-#include "fpm/common/timer.h"
 #include "fpm/layout/lexicographic.h"
+#include "fpm/obs/trace.h"
 #include "fpm/layout/item_order.h"
 
 namespace fpm {
@@ -29,7 +29,7 @@ const char* EclatRepresentationName(EclatRepresentation r) {
 std::string EclatOptions::Suffix() const {
   std::string s;
   if (lexicographic_order) s += "+lex";
-  if (zero_escape) s += "+esc";
+  if (zero_escaping) s += "+esc";
   if (popcount != PopcountStrategy::kLut16) {
     s += "+simd:";
     s += PopcountStrategyName(ResolvePopcountStrategy(popcount));
@@ -68,7 +68,7 @@ class EclatRun {
 
   void Run(const Database& db) {
     // Preparation: frequency ranking (intrinsic) + optional P1 sort.
-    WallTimer prep_timer;
+    PhaseSpan prep_span(PhaseName(PhaseId::kPrepare));
     Database ranked;
     if (options_.lexicographic_order) {
       LexicographicResult lex = LexicographicOrder(db);
@@ -79,7 +79,7 @@ class EclatRun {
       ranked = RemapItems(db, order);
       item_map_ = order.to_item();
     }
-    stats_->prepare_seconds = prep_timer.ElapsedSeconds();
+    stats_->set_phase_seconds(PhaseId::kPrepare, prep_span.End());
 
     // Frequency ranks are descending, so the frequent items form a
     // prefix of the rank space; only those columns are materialized.
@@ -111,13 +111,13 @@ class EclatRun {
     }
 
     // Build the vertical bit matrix (frequent columns only).
-    WallTimer build_timer;
+    PhaseSpan build_span(PhaseName(PhaseId::kBuild));
     VerticalDatabase vdb = VerticalDatabase::FromDatabase(ranked,
                                                           num_frequent);
-    stats_->build_seconds = build_timer.ElapsedSeconds();
+    stats_->set_phase_seconds(PhaseId::kBuild, build_span.End());
     stats_->peak_structure_bytes = vdb.memory_bytes();
 
-    WallTimer mine_timer;
+    PhaseSpan mine_span(PhaseName(PhaseId::kMine));
     // Top-level columns: frequent items only, ascending support (the
     // classic Eclat extension order — small intermediates first).
     std::vector<Item> items;
@@ -133,11 +133,11 @@ class EclatRun {
       cols[k].data = vdb.column(i).words();
       cols[k].offset = 0;
       cols[k].range =
-          options_.zero_escape ? vdb.one_range(i) : vdb.full_range();
+          options_.zero_escaping ? vdb.one_range(i) : vdb.full_range();
     }
     std::vector<Item> prefix;
     MineClass(cols, &prefix);
-    stats_->mine_seconds = mine_timer.ElapsedSeconds();
+    stats_->set_phase_seconds(PhaseId::kMine, mine_span.End());
   }
 
  private:
@@ -154,13 +154,13 @@ class EclatRun {
   // to its prefix (dEclat).
   void RunTidList(const Database& ranked, size_t num_frequent,
                   bool diffsets) {
-    WallTimer build_timer;
+    PhaseSpan build_span(PhaseName(PhaseId::kBuild));
     TidListDatabase tdb =
         TidListDatabase::FromDatabase(ranked, num_frequent);
-    stats_->build_seconds = build_timer.ElapsedSeconds();
+    stats_->set_phase_seconds(PhaseId::kBuild, build_span.End());
     stats_->peak_structure_bytes = tdb.memory_bytes();
 
-    WallTimer mine_timer;
+    PhaseSpan mine_span(PhaseName(PhaseId::kMine));
     const auto& freq = ranked.item_frequencies();
     std::vector<Item> items(num_frequent);
     for (size_t i = 0; i < num_frequent; ++i) items[i] = static_cast<Item>(i);
@@ -180,7 +180,7 @@ class EclatRun {
     } else {
       MineClassTid(cols, tdb.weights().data(), &prefix);
     }
-    stats_->mine_seconds = mine_timer.ElapsedSeconds();
+    stats_->set_phase_seconds(PhaseId::kMine, mine_span.End());
   }
 
   void MineClassTid(const std::vector<TidColumn>& cols,
@@ -307,7 +307,7 @@ class EclatRun {
     }
     uint32_t begin = 0;
     uint32_t end = window.size();
-    if (options_.zero_escape) {
+    if (options_.zero_escaping) {
       // Tighten the conservative window (§4.2: ranges are conservative,
       // not necessarily optimal — tightening keeps them short downpath).
       while (begin < end && scratch_[begin] == 0) ++begin;

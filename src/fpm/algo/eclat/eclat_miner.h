@@ -7,7 +7,7 @@
 //
 //   P1 lexicographic_order — clusters the 1s of frequent items at the
 //      front of the vectors, which is what makes 0-escaping effective.
-//   zero_escape — per-vector conservative 1-ranges; intersection and
+//   zero_escaping — per-vector conservative 1-ranges; intersection and
 //      counting skip the all-zero prefix/suffix (§4.2's 0-escaping).
 //   P8 popcount strategy — the baseline counts via a 16-bit lookup table
 //      (indirect loads, not SIMDizable); the tuned variants count with
@@ -38,9 +38,12 @@ enum class EclatRepresentation {
 const char* EclatRepresentationName(EclatRepresentation r);
 
 /// Pattern toggles and knobs for the Eclat kernel.
+///
+/// Toggle names follow the shared noun-phrase convention (see
+/// LcmOptions / DESIGN.md "Option naming").
 struct EclatOptions {
   bool lexicographic_order = false;  ///< P1
-  bool zero_escape = false;          ///< 0-escaping via 1-ranges
+  bool zero_escaping = false;        ///< 0-escaping via 1-ranges
   /// Baseline is the original's table lookup; kAuto engages SIMD (P8).
   PopcountStrategy popcount = PopcountStrategy::kLut16;
   /// P2: vertical representation. The paper's evaluation fixes the bit
@@ -52,7 +55,7 @@ struct EclatOptions {
   static EclatOptions All() {
     EclatOptions o;
     o.lexicographic_order = true;
-    o.zero_escape = true;
+    o.zero_escaping = true;
     o.popcount = PopcountStrategy::kAuto;
     return o;
   }

@@ -4,16 +4,16 @@
 #include <vector>
 
 #include "fpm/algo/fpgrowth/fptree.h"
-#include "fpm/common/timer.h"
 #include "fpm/layout/item_order.h"
 #include "fpm/layout/lexicographic.h"
+#include "fpm/obs/trace.h"
 
 namespace fpm {
 
 std::string FpGrowthOptions::Suffix() const {
   std::string s;
   if (lexicographic_order) s += "+lex";
-  if (compact_nodes || dfs_relayout) s += "+cmp";
+  if (node_compaction || dfs_relayout) s += "+cmp";
   if (dfs_relayout) s += "+dfs";
   if (software_prefetch) s += "+pref";
   return s;
@@ -112,7 +112,7 @@ template <typename Tree>
 void RunFpGrowth(const Database& db, const FpGrowthOptions& options,
                  Support min_support, ItemsetSink* sink, MineStats* stats) {
   // Preparation: frequency ranking + optional P1 lexicographic sort.
-  WallTimer prep_timer;
+  PhaseSpan prep_span(PhaseName(PhaseId::kPrepare));
   Database ranked;
   std::vector<Item> item_map;
   if (options.lexicographic_order) {
@@ -130,10 +130,10 @@ void RunFpGrowth(const Database& db, const FpGrowthOptions& options,
   while (num_frequent < freq.size() && freq[num_frequent] >= min_support) {
     ++num_frequent;
   }
-  stats->prepare_seconds = prep_timer.ElapsedSeconds();
+  stats->set_phase_seconds(PhaseId::kPrepare, prep_span.End());
 
   // Tree construction (the "insert" phase of Figure 2's profile).
-  WallTimer build_timer;
+  PhaseSpan build_span(PhaseName(PhaseId::kBuild));
   FpTreeConfig tree_config;
   tree_config.software_prefetch = options.software_prefetch;
   tree_config.dfs_relayout = options.dfs_relayout;
@@ -152,27 +152,27 @@ void RunFpGrowth(const Database& db, const FpGrowthOptions& options,
     if (!filtered.empty()) tree.AddPath(filtered, ranked.weight(t));
   }
   tree.Finalize();
-  stats->build_seconds = build_timer.ElapsedSeconds();
+  stats->set_phase_seconds(PhaseId::kBuild, build_span.End());
   stats->peak_structure_bytes = tree.memory_bytes();
 
-  WallTimer mine_timer;
+  PhaseSpan mine_span(PhaseName(PhaseId::kMine));
   FpGrowthRun<Tree> run(tree_config, min_support, item_map, sink, stats);
   std::vector<Item> prefix;
   run.MineTree(tree, &prefix);
-  stats->mine_seconds = mine_timer.ElapsedSeconds();
+  stats->set_phase_seconds(PhaseId::kMine, mine_span.End());
 }
 
 }  // namespace
 
 FpGrowthMiner::FpGrowthMiner(FpGrowthOptions options) : options_(options) {
-  if (options_.dfs_relayout) options_.compact_nodes = true;
+  if (options_.dfs_relayout) options_.node_compaction = true;
 }
 
 Result<MineStats> FpGrowthMiner::MineImpl(const Database& db,
                                           Support min_support,
                                           ItemsetSink* sink) {
   MineStats stats;
-  if (options_.compact_nodes) {
+  if (options_.node_compaction) {
     RunFpGrowth<CompactFpTree>(db, options_, min_support, sink, &stats);
   } else {
     RunFpGrowth<PointerFpTree>(db, options_, min_support, sink, &stats);

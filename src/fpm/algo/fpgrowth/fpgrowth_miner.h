@@ -11,9 +11,9 @@
 //      insertion; consecutive transactions then share long prefixes, so
 //      insertion walks cached nodes and related nodes are allocated
 //      adjacently.
-//   P2 compact_nodes       — CompactFpTree (diff-encoded SoA nodes).
+//   P2 node_compaction       — CompactFpTree (diff-encoded SoA nodes).
 //   P3/P4 dfs_relayout     — DFS re-layout of the compact tree (path
-//      locality; implies compact_nodes).
+//      locality; implies node_compaction).
 //   P5+P7 software_prefetch — node-link jump pointers + prefetch during
 //      chain walks (plain next-link prefetch on the pointer tree).
 
@@ -27,17 +27,20 @@
 namespace fpm {
 
 /// Pattern toggles and knobs for the FP-Growth kernel.
+///
+/// Toggle names follow the shared noun-phrase convention (see
+/// LcmOptions / DESIGN.md "Option naming").
 struct FpGrowthOptions {
   bool lexicographic_order = false;  ///< P1
-  bool compact_nodes = false;        ///< P2
-  bool dfs_relayout = false;         ///< P3/P4 (implies compact_nodes)
+  bool node_compaction = false;      ///< P2
+  bool dfs_relayout = false;         ///< P3/P4 (implies node_compaction)
   bool software_prefetch = false;    ///< P5 + P7
   uint32_t jump_distance = 4;        ///< P5 chain distance
 
   static FpGrowthOptions All() {
     FpGrowthOptions o;
     o.lexicographic_order = true;
-    o.compact_nodes = true;
+    o.node_compaction = true;
     o.dfs_relayout = true;
     o.software_prefetch = true;
     return o;

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <vector>
 
-#include "fpm/common/timer.h"
 #include "fpm/layout/item_order.h"
+#include "fpm/obs/trace.h"
 
 namespace fpm {
 namespace {
@@ -24,7 +24,7 @@ class HMineRun {
       : min_support_(min_support), sink_(sink), stats_(stats) {}
 
   void Run(const Database& db) {
-    WallTimer prep_timer;
+    PhaseSpan prep_span(PhaseName(PhaseId::kPrepare));
     ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
     item_map_ = order.to_item();
     const auto& freq = db.item_frequencies();
@@ -52,13 +52,13 @@ class HMineRun {
         hs_.weight.push_back(db.weight(t));
       }
     }
-    stats_->prepare_seconds = prep_timer.ElapsedSeconds();
+    stats_->set_phase_seconds(PhaseId::kPrepare, prep_span.End());
     stats_->peak_structure_bytes =
         hs_.item.size() *
         (sizeof(Item) + sizeof(uint32_t) + sizeof(Support));
     if (num_ranks_ == 0) return;
 
-    WallTimer mine_timer;
+    PhaseSpan mine_span(PhaseName(PhaseId::kMine));
     counts_.assign(num_ranks_, 0);
 
     // Top-level queues: every cell, bucketed by item.
@@ -81,7 +81,7 @@ class HMineRun {
       queues[i].clear();
       queues[i].shrink_to_fit();
     }
-    stats_->mine_seconds = mine_timer.ElapsedSeconds();
+    stats_->set_phase_seconds(PhaseId::kMine, mine_span.End());
   }
 
  private:

@@ -4,7 +4,7 @@
 #include <cstring>
 #include <vector>
 
-#include "fpm/common/timer.h"
+#include "fpm/obs/trace.h"
 #include "fpm/layout/item_order.h"
 
 namespace fpm {
@@ -81,7 +81,7 @@ class ClosedRun {
       : min_support_(min_support), sink_(sink), stats_(stats) {}
 
   void Run(const Database& db) {
-    WallTimer prep_timer;
+    PhaseSpan prep_span(PhaseName(PhaseId::kPrepare));
     ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
     item_map_ = order.to_item();
     const auto& freq = db.item_frequencies();
@@ -109,10 +109,10 @@ class ClosedRun {
         total_weight += db.weight(t);
       }
     }
-    stats_->prepare_seconds = prep_timer.ElapsedSeconds();
+    stats_->set_phase_seconds(PhaseId::kPrepare, prep_span.End());
     if (num_ranks_ == 0) return;
 
-    WallTimer mine_timer;
+    PhaseSpan mine_span(PhaseName(PhaseId::kMine));
     // clo(∅): ranks present in every transaction (weighted).
     std::vector<Support> counts(num_ranks_, 0);
     for (uint32_t t = 0; t < root.num_tx(); ++t) {
@@ -129,7 +129,7 @@ class ClosedRun {
     Cdb stripped = Strip(root, closed);
     Recurse(MergeDuplicates(std::move(stripped)), &closed,
             /*core=*/kInvalidItem);
-    stats_->mine_seconds = mine_timer.ElapsedSeconds();
+    stats_->set_phase_seconds(PhaseId::kMine, mine_span.End());
   }
 
  private:

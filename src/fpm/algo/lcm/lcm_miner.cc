@@ -10,14 +10,15 @@
 #include "fpm/common/timer.h"
 #include "fpm/layout/item_order.h"
 #include "fpm/mem/aggregation.h"
+#include "fpm/obs/trace.h"
 
 namespace fpm {
 
 std::string LcmOptions::Suffix() const {
   std::string s;
   if (lexicographic_order) s += "+lex";
-  if (aggregate_buckets) s += "+agg";
-  if (compact_counters) s += "+cmp";
+  if (bucket_aggregation) s += "+agg";
+  if (counter_compaction) s += "+cmp";
   if (tiling) s += "+tile";
   if (wavefront_prefetch) s += "+wave";
   return s;
@@ -93,7 +94,7 @@ class LcmRun {
 
   // Builds the level-0 working database and mines it.
   void Run(const Database& db) {
-    WallTimer prep_timer;
+    PhaseSpan prep_span(PhaseName(PhaseId::kPrepare));
     ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
 
     // Global frequent ranks.
@@ -127,12 +128,12 @@ class LcmRun {
     }
 
     if (options_.lexicographic_order) SortLexicographically(&work);
-    stats_->prepare_seconds = prep_timer.ElapsedSeconds();
+    stats_->set_phase_seconds(PhaseId::kPrepare, prep_span.End());
 
-    WallTimer mine_timer;
+    PhaseSpan mine_span(PhaseName(PhaseId::kMine));
     std::vector<Item> prefix;
     MineLevel(work, item_map, &prefix, /*depth=*/0);
-    stats_->mine_seconds = mine_timer.ElapsedSeconds();
+    stats_->set_phase_seconds(PhaseId::kMine, mine_span.End());
   }
 
  private:
@@ -171,7 +172,7 @@ class LcmRun {
     WallTimer count_timer;
     std::vector<OccHeader> headers(db.num_items);
     std::vector<uint32_t> compact_counts;
-    if (options_.compact_counters) {
+    if (options_.counter_compaction) {
       // P4: counters compacted into one dense array; the counting loop
       // strides over 4-byte slots instead of 32-byte headers.
       compact_counts.assign(db.num_items, 0);
@@ -216,7 +217,7 @@ class LcmRun {
     }
     WorkDb merged;
     merged.num_items = static_cast<uint32_t>(frequent.size());
-    if (options_.aggregate_buckets) {
+    if (options_.bucket_aggregation) {
       MergeDuplicates<AggregatedList<uint32_t>>(db, new_local, &merged);
     } else {
       MergeDuplicates<LinkedList<uint32_t>>(db, new_local, &merged);

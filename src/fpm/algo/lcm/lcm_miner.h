@@ -10,9 +10,9 @@
 // Tuning patterns (each an independent toggle, all output-neutral):
 //   P1  lexicographic_order — sort the initial transactions
 //       lexicographically over the frequency-ranked alphabet.
-//   P3  aggregate_buckets   — RmDupTrans bucket chains become supernode
+//   P3  bucket_aggregation   — RmDupTrans bucket chains become supernode
 //       (cache-line) lists instead of one-node-per-link chains.
-//   P4  compact_counters    — frequency counters live in one contiguous
+//   P4  counter_compaction    — frequency counters live in one contiguous
 //       array instead of inside the 32-byte occurrence column headers.
 //   P6.1 tiling             — top-level projections process the
 //       occurrence array in L1-sized transaction tiles, batched over
@@ -31,10 +31,15 @@
 namespace fpm {
 
 /// Pattern toggles and knobs for the LCM kernel.
+///
+/// Naming convention (shared by EclatOptions/FpGrowthOptions): each
+/// boolean toggle is a noun phrase naming the optimization it enables
+/// (bucket_aggregation, counter_compaction, tiling, ...), never an
+/// imperative verb form. See DESIGN.md "Option naming".
 struct LcmOptions {
   bool lexicographic_order = false;  ///< P1
-  bool aggregate_buckets = false;    ///< P3
-  bool compact_counters = false;     ///< P4
+  bool bucket_aggregation = false;   ///< P3
+  bool counter_compaction = false;   ///< P4
   bool tiling = false;               ///< P6.1
   bool wavefront_prefetch = false;   ///< P7.1
 
@@ -46,16 +51,16 @@ struct LcmOptions {
   uint32_t prefetch_near = 4;
   uint32_t prefetch_far = 8;
 
-  /// Accumulate per-phase wall time into MineStats::phase_seconds
-  /// (adds timer overhead; off by default).
+  /// Accumulate per-phase wall time into LcmPhaseStats (adds timer
+  /// overhead; off by default).
   bool collect_phase_stats = false;
 
   /// Enables every pattern (tile/prefetch knobs keep their defaults).
   static LcmOptions All() {
     LcmOptions o;
     o.lexicographic_order = true;
-    o.aggregate_buckets = true;
-    o.compact_counters = true;
+    o.bucket_aggregation = true;
+    o.counter_compaction = true;
     o.tiling = true;
     o.wavefront_prefetch = true;
     return o;

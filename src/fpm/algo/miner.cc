@@ -1,0 +1,66 @@
+#include "fpm/algo/miner.h"
+
+#include <optional>
+
+#include "fpm/obs/metrics.h"
+#include "fpm/obs/trace.h"
+
+namespace fpm {
+namespace {
+
+// Per-call metrics. Function-local statics so registration (which takes
+// the registry mutex) happens once per process, not once per Mine() —
+// parallel per-class mining calls this from every worker.
+void RecordMineMetrics(const MineStats& stats) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  if (!registry.enabled()) return;
+  static Counter* calls = registry.GetCounter("fpm.mine.calls");
+  static Counter* itemsets = registry.GetCounter("fpm.mine.itemsets");
+  static Gauge* peak_bytes =
+      registry.GetGauge("fpm.mine.peak_structure_bytes");
+  static Histogram* itemsets_hist = registry.GetHistogram(
+      "fpm.mine.itemsets_per_call",
+      {1, 10, 100, 1000, 10000, 100000, 1000000});
+  calls->Increment();
+  itemsets->Add(stats.num_frequent);
+  peak_bytes->UpdateMax(stats.peak_structure_bytes);
+  itemsets_hist->Observe(stats.num_frequent);
+}
+
+}  // namespace
+
+std::string_view PhaseName(PhaseId phase) {
+  switch (phase) {
+    case PhaseId::kPrepare: return "prepare";
+    case PhaseId::kBuild: return "build";
+    case PhaseId::kMine: return "mine";
+  }
+  return "unknown";
+}
+
+Result<MineStats> Miner::Mine(const Database& db, Support min_support,
+                              ItemsetSink* sink) {
+  if (min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (sink == nullptr) return Status::InvalidArgument("sink is null");
+
+  // Wrap the whole call in a span named after the configured miner. The
+  // optional keeps the disabled path free of the name() string build.
+  std::optional<ScopedSpan> span;
+  if (Tracer::Default().enabled()) {
+    span.emplace(name());
+  }
+
+  Result<MineStats> result = MineImpl(db, min_support, sink);
+  if (result.ok()) {
+    if (span.has_value()) {
+      span->AddArg("itemsets", result->num_frequent);
+      span->AddArg("peak_structure_bytes", result->peak_structure_bytes);
+    }
+    RecordMineMetrics(*result);
+  }
+  return result;
+}
+
+}  // namespace fpm

@@ -6,6 +6,7 @@
 #ifndef FPM_ALGO_MINER_H_
 #define FPM_ALGO_MINER_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 
@@ -15,19 +16,70 @@
 
 namespace fpm {
 
+/// The three wall-clock phases every kernel reports. Matches the span
+/// names ("prepare"/"build"/"mine") the kernels emit to the tracer.
+enum class PhaseId {
+  kPrepare = 0,  ///< layout transforms (e.g. P1 sort)
+  kBuild = 1,    ///< data structure construction
+  kMine = 2,     ///< the recursive mining phase
+};
+
+inline constexpr int kNumPhases = 3;
+
+/// Span/metric name of a phase ("prepare", "build", "mine").
+std::string_view PhaseName(PhaseId phase);
+
 /// Instrumentation returned by Mine(). Phase timings feed the Figure 2
 /// CPI bench; memory feeds the aggregation-cost discussion of §4.3.
+///
+/// Migration note: the three `*_seconds` fields are deprecated in favor
+/// of `phase_seconds(PhaseId)` / `set_phase_seconds()` and will be
+/// removed next release (see README "MineStats phase accessors").
+// The pragma region spans the whole struct so the implicitly-generated
+// copy/move members (which touch the deprecated fields) stay quiet;
+// direct field accesses in user code still warn.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct MineStats {
   uint64_t num_frequent = 0;       ///< itemsets emitted
-  double prepare_seconds = 0.0;    ///< layout transforms (e.g. P1 sort)
-  double build_seconds = 0.0;      ///< data structure construction
-  double mine_seconds = 0.0;       ///< the recursive mining phase
+  [[deprecated("use phase_seconds(PhaseId::kPrepare)")]]
+  double prepare_seconds = 0.0;
+  [[deprecated("use phase_seconds(PhaseId::kBuild)")]]
+  double build_seconds = 0.0;
+  [[deprecated("use phase_seconds(PhaseId::kMine)")]]
+  double mine_seconds = 0.0;
   size_t peak_structure_bytes = 0; ///< main data structure footprint
+
+  // The accessors below are the stable API; they read/write the
+  // deprecated fields (still the storage during the one-release
+  // migration window, so code on either side of the rename agrees).
+  /// Wall seconds spent in `phase` during the Mine() call.
+  double phase_seconds(PhaseId phase) const {
+    switch (phase) {
+      case PhaseId::kPrepare: return prepare_seconds;
+      case PhaseId::kBuild: return build_seconds;
+      case PhaseId::kMine: return mine_seconds;
+    }
+    return 0.0;
+  }
+
+  void set_phase_seconds(PhaseId phase, double seconds) {
+    switch (phase) {
+      case PhaseId::kPrepare: prepare_seconds = seconds; return;
+      case PhaseId::kBuild: build_seconds = seconds; return;
+      case PhaseId::kMine: mine_seconds = seconds; return;
+    }
+  }
+
+  void add_phase_seconds(PhaseId phase, double seconds) {
+    set_phase_seconds(phase, phase_seconds(phase) + seconds);
+  }
 
   double total_seconds() const {
     return prepare_seconds + build_seconds + mine_seconds;
   }
 };
+#pragma GCC diagnostic pop
 
 /// How a Mine() call executes.
 ///
@@ -57,38 +109,26 @@ class Miner {
 
   /// Mines `db` at threshold `min_support` into `sink`. On success
   /// returns the statistics of this call; a Miner instance holds no
-  /// result state of its own (but is still single-caller: one Mine() at
-  /// a time per instance).
+  /// result state (but is still single-caller: one Mine() at a time per
+  /// instance).
+  ///
+  /// Observability: when the default tracer is enabled the call is
+  /// wrapped in a span named name(); kernels nest "prepare"/"build"/
+  /// "mine" phase spans inside it. When the default metrics registry is
+  /// enabled, per-call counters/gauges (fpm.mine.calls,
+  /// fpm.mine.itemsets, fpm.mine.peak_structure_bytes, ...) are
+  /// recorded. Both default to off and cost ~one branch each when off.
   Result<MineStats> Mine(const Database& db, Support min_support,
-                         ItemsetSink* sink) {
-    if (min_support < 1) {
-      return Status::InvalidArgument("min_support must be >= 1");
-    }
-    if (sink == nullptr) return Status::InvalidArgument("sink is null");
-    Result<MineStats> result = MineImpl(db, min_support, sink);
-    if (result.ok()) stats_ = *result;
-    return result;
-  }
+                         ItemsetSink* sink);
 
   /// Display name including the active pattern configuration.
   virtual std::string name() const = 0;
-
-  /// Statistics of the most recent successful Mine() call.
-  ///
-  /// Deprecated migration shim (to be removed next PR): use the
-  /// MineStats returned by Mine() instead — per-call stats have no
-  /// instance state and are safe when miners are shared across calls.
-  [[deprecated("use the MineStats returned by Mine()")]]
-  const MineStats& stats() const { return stats_; }
 
  protected:
   /// Algorithm body. `min_support >= 1` and `sink != nullptr` are
   /// already validated. Returns the stats of the run.
   virtual Result<MineStats> MineImpl(const Database& db, Support min_support,
                                      ItemsetSink* sink) = 0;
-
- private:
-  MineStats stats_;  // backs the deprecated stats() shim only
 };
 
 }  // namespace fpm

@@ -23,8 +23,8 @@ Result<std::unique_ptr<Miner>> CreateMiner(Algorithm algorithm,
     case Algorithm::kLcm: {
       LcmOptions o;
       o.lexicographic_order = p.Contains(Pattern::kLexicographicOrdering);
-      o.aggregate_buckets = p.Contains(Pattern::kAggregation);
-      o.compact_counters = p.Contains(Pattern::kCompaction);
+      o.bucket_aggregation = p.Contains(Pattern::kAggregation);
+      o.counter_compaction = p.Contains(Pattern::kCompaction);
       o.tiling = p.Contains(Pattern::kTiling);
       o.wavefront_prefetch = p.Contains(Pattern::kSoftwarePrefetch);
       return std::unique_ptr<Miner>(std::make_unique<LcmMiner>(o));
@@ -34,7 +34,7 @@ Result<std::unique_ptr<Miner>> CreateMiner(Algorithm algorithm,
       // §4.2 couples them: the lexicographic ordering is what makes the
       // 0-escaping ranges short, so P1 enables both.
       o.lexicographic_order = p.Contains(Pattern::kLexicographicOrdering);
-      o.zero_escape = o.lexicographic_order;
+      o.zero_escaping = o.lexicographic_order;
       o.popcount = p.Contains(Pattern::kSimdization)
                        ? PopcountStrategy::kAuto
                        : PopcountStrategy::kLut16;
@@ -43,7 +43,7 @@ Result<std::unique_ptr<Miner>> CreateMiner(Algorithm algorithm,
     case Algorithm::kFpGrowth: {
       FpGrowthOptions o;
       o.lexicographic_order = p.Contains(Pattern::kLexicographicOrdering);
-      o.compact_nodes = p.Contains(Pattern::kDataStructureAdaptation);
+      o.node_compaction = p.Contains(Pattern::kDataStructureAdaptation);
       // P3 and P4 both act through the DFS re-layout of the compact
       // store (see fptree.h); either enables it.
       o.dfs_relayout = p.Contains(Pattern::kAggregation) ||

@@ -6,8 +6,8 @@
 #include <utility>
 
 #include "fpm/algo/candidate_trie.h"
-#include "fpm/common/timer.h"
 #include "fpm/core/mine.h"
+#include "fpm/obs/trace.h"
 #include "fpm/parallel/thread_pool.h"
 
 namespace fpm {
@@ -50,7 +50,7 @@ Result<MineStats> PartitionedMiner::MineImpl(const Database& db,
   }
   MineStats stats;
   last_candidates_ = 0;
-  WallTimer timer;
+  PhaseSpan mine_span(PhaseName(PhaseId::kMine));
 
   const size_t n = db.num_transactions();
   const uint32_t k = static_cast<uint32_t>(
@@ -66,6 +66,8 @@ Result<MineStats> PartitionedMiner::MineImpl(const Database& db,
   Status first_error = Status::OK();
 
   auto mine_partition = [&](uint32_t p) {
+    ScopedSpan part_span("partition");
+    part_span.AddArg("partition", p);
     const size_t begin = n * p / k;
     const size_t end = n * (p + 1) / k;
     DatabaseBuilder builder;
@@ -108,6 +110,7 @@ Result<MineStats> PartitionedMiner::MineImpl(const Database& db,
   }
   if (!first_error.ok()) return first_error;
 
+  ScopedSpan count_span("count_candidates");
   std::unordered_set<Itemset, ItemsetHash> candidates;
   for (CollectingSink& local : locals) {
     for (auto& [set, support] : local.mutable_results()) {
@@ -138,7 +141,9 @@ Result<MineStats> PartitionedMiner::MineImpl(const Database& db,
     }
   }
 
-  stats.mine_seconds = timer.ElapsedSeconds();
+  count_span.AddArg("candidates", last_candidates_);
+  count_span.End();
+  stats.set_phase_seconds(PhaseId::kMine, mine_span.End());
   return stats;
 }
 

@@ -6,6 +6,9 @@
 #include <sstream>
 #include <vector>
 
+#include "fpm/obs/metrics.h"
+#include "fpm/obs/trace.h"
+
 namespace fpm {
 namespace {
 
@@ -38,6 +41,8 @@ bool ParseLine(const char* p, const char* end, std::vector<Item>* out,
 }  // namespace
 
 Result<Database> ParseFimi(const std::string& text) {
+  ScopedSpan span("fimi/parse");
+  span.AddArg("bytes", text.size());
   DatabaseBuilder builder;
   std::vector<Item> tx;
   size_t line_no = 0;
@@ -56,10 +61,20 @@ Result<Database> ParseFimi(const std::string& text) {
     if (eol == text.size()) break;
     pos = eol + 1;
   }
-  return builder.Build();
+  Database db = builder.Build();
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  if (registry.enabled()) {
+    static Counter* transactions =
+        registry.GetCounter("fpm.fimi.transactions_parsed");
+    static Counter* bytes = registry.GetCounter("fpm.fimi.bytes_parsed");
+    transactions->Add(db.num_transactions());
+    bytes->Add(text.size());
+  }
+  return db;
 }
 
 Result<Database> ReadFimiFile(const std::string& path) {
+  ScopedSpan span("fimi/read");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
   std::ostringstream buf;
@@ -87,6 +102,7 @@ std::string ToFimi(const Database& db) {
 }
 
 Status WriteFimiFile(const Database& db, const std::string& path) {
+  ScopedSpan span("fimi/write");
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open '" + path + "' for writing");
   const std::string text = ToFimi(db);

@@ -1,0 +1,30 @@
+// Small sequential per-thread ids for the observability layer.
+//
+// std::thread::id is opaque and unordered; the metrics registry and the
+// span tracer both want a compact, stable integer per thread (shard
+// labels, chrome://tracing "tid" fields). The index is assigned on a
+// thread's first call and never reused within the process.
+
+#ifndef FPM_OBS_THREAD_INDEX_H_
+#define FPM_OBS_THREAD_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace fpm {
+namespace internal {
+inline std::atomic<uint32_t> g_next_obs_thread_index{0};
+}  // namespace internal
+
+/// Process-unique small id of the calling thread, assigned in first-call
+/// order (the main thread is usually 0).
+inline uint32_t ObsThreadIndex() {
+  thread_local const uint32_t index =
+      internal::g_next_obs_thread_index.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace fpm
+
+#endif  // FPM_OBS_THREAD_INDEX_H_

@@ -1,0 +1,175 @@
+// Lightweight phase-span tracer.
+//
+// A span is a named interval on one thread (begin/end, with the nesting
+// depth at begin and optional numeric args). Completed spans land in a
+// per-thread ring buffer — the newest spans win when a ring fills — and
+// are merged on export. Two exporters are provided: JSON-lines (one span
+// object per line, grep/jq-friendly) and the Chrome trace-event format
+// ("ph":"X" complete events) loadable straight into chrome://tracing or
+// https://ui.perfetto.dev.
+//
+// Like the metrics registry, the default tracer starts disabled: a
+// ScopedSpan on a disabled tracer neither reads the clock nor allocates
+// (one relaxed load + branch). mine_cli enables it for --trace-out.
+//
+// PhaseSpan is the bridge to MineStats: kernels must report phase wall
+// times whether or not tracing is on, so PhaseSpan always times and
+// additionally records a trace span when the tracer is enabled. Its
+// End() returns the elapsed seconds to store via
+// MineStats::set_phase_seconds().
+
+#ifndef FPM_OBS_TRACE_H_
+#define FPM_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fpm {
+
+/// One completed span. Timestamps are nanoseconds since the tracer's
+/// construction (Clear() keeps the epoch, so successive exports share a
+/// time base).
+struct TraceSpan {
+  std::string name;
+  uint32_t thread_index = 0;  ///< ObsThreadIndex() of the emitting thread
+  uint32_t depth = 0;         ///< nesting level at begin (0 = top)
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  std::vector<std::pair<std::string, uint64_t>> args;
+};
+
+/// Collects spans into per-thread ring buffers.
+///
+/// Record()/ScopedSpan are safe from any thread; CollectSpans()/Clear()
+/// may run concurrently with writers (each ring is briefly locked — the
+/// lock is per-thread and uncontended on the hot path).
+class Tracer {
+ public:
+  static constexpr size_t kDefaultRingCapacity = 1 << 16;
+
+  /// The process-wide tracer the library's instrumentation records to.
+  /// Starts disabled.
+  static Tracer& Default();
+
+  /// `ring_capacity` bounds the spans retained *per thread*; when a ring
+  /// is full the oldest span is overwritten (and counted in dropped()).
+  explicit Tracer(size_t ring_capacity = kDefaultRingCapacity);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since construction (the span time base).
+  uint64_t NowNs() const;
+
+  /// Appends a completed span to the calling thread's ring. Records
+  /// unconditionally — the enabled() gate lives in ScopedSpan/PhaseSpan
+  /// so tests can inject handcrafted spans.
+  void Record(TraceSpan span);
+
+  /// Every retained span, oldest-first per ring, merged and sorted by
+  /// (start_ns, depth) so parents precede their children.
+  std::vector<TraceSpan> CollectSpans() const;
+
+  /// Spans lost to ring overwrites since construction or Clear().
+  uint64_t dropped() const;
+
+  /// Discards all retained spans (the epoch is kept).
+  void Clear();
+
+ private:
+  friend class ScopedSpan;
+  friend class PhaseSpan;
+
+  struct ThreadRing;
+  ThreadRing* RingForThisThread();
+
+  const uint64_t id_;  // process-unique, for the thread-local ring cache
+  const size_t ring_capacity_;
+  std::atomic<bool> enabled_{false};
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;  // guards rings_ (the list, not the contents)
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+};
+
+/// RAII span: begins at construction, ends (and records) at End() or
+/// destruction. On a disabled tracer the whole object is inert.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, std::string_view name);
+  /// Spans on the default tracer.
+  explicit ScopedSpan(std::string_view name)
+      : ScopedSpan(Tracer::Default(), name) {}
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// True when the tracer was enabled at construction (args will be
+  /// retained, End() will record).
+  bool active() const { return tracer_ != nullptr; }
+
+  /// Attaches a numeric arg (no-op when inactive).
+  void AddArg(std::string_view key, uint64_t value);
+
+  /// Ends and records the span; later calls (and the destructor) no-op.
+  void End();
+
+ private:
+  Tracer* tracer_ = nullptr;  // null = inactive
+  TraceSpan span_;
+};
+
+/// Always-on phase stopwatch that doubles as a trace span when the
+/// tracer is enabled. End() returns the elapsed wall seconds (kernels
+/// store it into MineStats); the destructor ends implicitly for early
+/// returns.
+class PhaseSpan {
+ public:
+  PhaseSpan(Tracer& tracer, std::string_view name);
+  explicit PhaseSpan(std::string_view name)
+      : PhaseSpan(Tracer::Default(), name) {}
+  ~PhaseSpan() { End(); }
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+  /// Stops the stopwatch, records the trace span when tracing, and
+  /// returns the elapsed seconds. Idempotent.
+  double End();
+
+ private:
+  Tracer* tracer_ = nullptr;  // null once ended; tracing gated separately
+  bool tracing_ = false;
+  double elapsed_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point start_;
+  TraceSpan span_;
+};
+
+/// Writes one JSON object per span:
+///   {"name":"mine","tid":0,"depth":1,"start_ns":12,"dur_ns":34,
+///    "args":{"itemsets":5}}
+void WriteTraceJsonLines(std::span<const TraceSpan> spans, std::ostream& os);
+
+/// Writes the Chrome trace-event JSON document ("X" complete events,
+/// microsecond timestamps) for chrome://tracing / Perfetto.
+void WriteChromeTracing(std::span<const TraceSpan> spans, std::ostream& os);
+
+}  // namespace fpm
+
+#endif  // FPM_OBS_TRACE_H_

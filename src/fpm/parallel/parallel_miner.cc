@@ -7,8 +7,9 @@
 #include <utility>
 #include <vector>
 
-#include "fpm/common/timer.h"
 #include "fpm/layout/item_order.h"
+#include "fpm/obs/metrics.h"
+#include "fpm/obs/trace.h"
 #include "fpm/parallel/thread_pool.h"
 
 namespace fpm {
@@ -86,7 +87,7 @@ Result<MineStats> ParallelMiner::MineImpl(const Database& db,
   // (the least frequent member) sees its more-frequent co-members as its
   // conditional transaction — the same direction the kernels extend in,
   // and it bounds every class by the owner item's support.
-  WallTimer prep_timer;
+  PhaseSpan prep_span(PhaseName(PhaseId::kPrepare));
   const ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
   const Database ranked = RemapItems(db, order);
   const std::vector<Item>& rank_to_item = order.to_item();
@@ -113,11 +114,25 @@ Result<MineStats> ParallelMiner::MineImpl(const Database& db,
       projection_entries += j;
     }
   }
-  stats.prepare_seconds = prep_timer.ElapsedSeconds();
+  stats.set_phase_seconds(PhaseId::kPrepare, prep_span.End());
   stats.peak_structure_bytes = projection_entries * sizeof(Item);
 
+  // Class-size distribution: how balanced the decomposition is.
+  {
+    MetricsRegistry& registry = MetricsRegistry::Default();
+    if (registry.enabled()) {
+      static Histogram* class_sizes = registry.GetHistogram(
+          "fpm.parallel.class_entries",
+          {0, 10, 100, 1000, 10000, 100000, 1000000});
+      static Counter* classes =
+          registry.GetCounter("fpm.parallel.classes");
+      for (uint64_t entries : class_entries) class_sizes->Observe(entries);
+      classes->Add(class_entries.size());
+    }
+  }
+
   // ---- Mine every class, largest projection first. --------------------
-  WallTimer mine_timer;
+  PhaseSpan mine_span(PhaseName(PhaseId::kMine));
   std::vector<Item> schedule(num_frequent);
   std::iota(schedule.begin(), schedule.end(), 0);
   std::stable_sort(schedule.begin(), schedule.end(),
@@ -137,6 +152,10 @@ Result<MineStats> ParallelMiner::MineImpl(const Database& db,
 
   auto mine_class = [&](Item i) {
     if (failed.load(std::memory_order_relaxed)) return;
+    // One span per equivalence class, on the worker that mined it.
+    ScopedSpan class_span("class");
+    class_span.AddArg("item", rank_to_item[i]);
+    class_span.AddArg("entries", class_entries[i]);
     LockedSink locked(sink, &sink_mu);
     ItemsetSink* target =
         deterministic ? static_cast<ItemsetSink*>(shards.shard(i)) : &locked;
@@ -168,9 +187,10 @@ Result<MineStats> ParallelMiner::MineImpl(const Database& db,
         return;
       }
       emitted += class_sink.emitted();
-      build_seconds = run->build_seconds;
+      build_seconds = run->phase_seconds(PhaseId::kBuild);
       peak_bytes = run->peak_structure_bytes;
     }
+    class_span.AddArg("itemsets", emitted);
     std::lock_guard<std::mutex> lk(merge_mu);
     task_emitted += emitted;
     task_build_seconds += build_seconds;
@@ -190,16 +210,19 @@ Result<MineStats> ParallelMiner::MineImpl(const Database& db,
 
   // Deterministic merge: replay class 0, class 1, ... — independent of
   // which worker mined what, so the emission order is reproducible.
-  if (deterministic) shards.MergeInto(sink);
+  if (deterministic) {
+    ScopedSpan merge_span("merge");
+    shards.MergeInto(sink);
+  }
 
   stats.num_frequent = task_emitted;
   // For parallel runs, prepare/mine are wall times of the two phases;
-  // build_seconds aggregates kernel construction time across tasks (it
+  // the build phase aggregates kernel construction time across tasks (it
   // can exceed wall time), and the footprint is the projection plus the
   // largest single task structure.
-  stats.build_seconds = task_build_seconds;
+  stats.set_phase_seconds(PhaseId::kBuild, task_build_seconds);
   stats.peak_structure_bytes += task_peak_bytes;
-  stats.mine_seconds = mine_timer.ElapsedSeconds();
+  stats.set_phase_seconds(PhaseId::kMine, mine_span.End());
   return stats;
 }
 

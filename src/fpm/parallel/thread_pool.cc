@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "fpm/obs/metrics.h"
+
 namespace fpm {
 namespace {
 
@@ -13,6 +15,10 @@ thread_local uint32_t tls_worker_index = 0;
 }  // namespace
 
 ThreadPool::ThreadPool(uint32_t num_threads) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  submits_counter_ = registry.GetCounter("fpm.pool.submits");
+  steals_counter_ = registry.GetCounter("fpm.pool.steals");
+  idle_waits_counter_ = registry.GetCounter("fpm.pool.idle_waits");
   const uint32_t n = num_threads < 1 ? 1 : num_threads;
   queues_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -40,6 +46,7 @@ uint32_t ThreadPool::HardwareThreads() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  submits_counter_->Increment();
   // Nested submissions go to the submitting worker's own deque (LIFO:
   // keeps the working set hot); external ones are spread round-robin.
   uint32_t qi;
@@ -81,6 +88,7 @@ std::function<void()> ThreadPool::TakeTask(uint32_t worker_index) {
     if (!victim.tasks.empty()) {
       std::function<void()> task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      steals_counter_->Increment();
       return task;
     }
   }
@@ -108,6 +116,7 @@ void ThreadPool::WorkerLoop(uint32_t worker_index) {
     }
     std::unique_lock<std::mutex> lk(wait_mu_);
     if (stop_) return;
+    idle_waits_counter_->Increment();
     work_cv_.wait(lk, [this, seen] { return stop_ || epoch_ != seen; });
   }
 }

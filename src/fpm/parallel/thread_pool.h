@@ -24,6 +24,8 @@
 
 namespace fpm {
 
+class Counter;
+
 /// Work-stealing pool with a fixed worker count. Submit() may be called
 /// from any thread, including from inside a running task (nested
 /// submissions land on the submitting worker's own deque). Wait() blocks
@@ -76,6 +78,13 @@ class ThreadPool {
   uint64_t epoch_ = 0;                // bumped on every submission
   bool stop_ = false;
   std::atomic<uint32_t> next_queue_{0};  // round-robin external submits
+
+  // Scheduler metrics (fpm.pool.*), resolved once at construction. The
+  // metrics registry shards per thread, so Snapshot(per_thread=true)
+  // yields per-worker submit/steal/idle-wait counts for free.
+  Counter* submits_counter_;
+  Counter* steals_counter_;
+  Counter* idle_waits_counter_;
 };
 
 }  // namespace fpm

@@ -12,8 +12,12 @@ Measurement MeasureMiner(Miner& miner, const Database& db,
   FPM_CHECK(repeats >= 1);
   Measurement best;
   best.name = miner.name();
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  const bool metrics_on = registry.enabled();
   for (int r = 0; r < repeats; ++r) {
     CountingSink sink;
+    MetricsSnapshot before;
+    if (metrics_on) before = registry.Snapshot();
     WallTimer timer;
     Result<MineStats> run = miner.Mine(db, min_support, &sink);
     FPM_CHECK_OK(run.status());
@@ -21,6 +25,7 @@ Measurement MeasureMiner(Miner& miner, const Database& db,
     if (r == 0 || seconds < best.seconds) {
       best.seconds = seconds;
       best.stats = *run;
+      if (metrics_on) best.metrics = registry.Snapshot().DeltaSince(before);
     }
     if (r == 0) {
       best.num_frequent = sink.count();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "fpm/algo/miner.h"
+#include "fpm/obs/metrics.h"
 
 namespace fpm {
 
@@ -20,6 +21,9 @@ struct Measurement {
   uint64_t num_frequent = 0; ///< itemsets found (must match across configs)
   uint64_t checksum = 0;     ///< CountingSink checksum (output validation)
   MineStats stats;           ///< stats of the best run
+  /// Counter/gauge/histogram deltas attributed to the best run. Empty
+  /// unless MetricsRegistry::Default() is enabled while measuring.
+  MetricsSnapshot metrics;
 };
 
 /// Runs `miner` `repeats` times on (db, min_support) and keeps the

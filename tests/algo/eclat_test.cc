@@ -16,7 +16,7 @@ TEST(EclatOptionsTest, SuffixReflectsToggles) {
   EclatOptions o;
   o.lexicographic_order = true;
   EXPECT_EQ(o.Suffix(), "+lex");
-  o.zero_escape = true;
+  o.zero_escaping = true;
   o.popcount = PopcountStrategy::kHardware;
   EXPECT_EQ(o.Suffix(), "+lex+esc+simd:hardware");
 }
@@ -56,7 +56,7 @@ TEST(EclatMinerTest, ZeroEscapeMatchesBaselineOnClusteredData) {
   EclatMiner base;
   EclatOptions esc;
   esc.lexicographic_order = true;
-  esc.zero_escape = true;
+  esc.zero_escaping = true;
   EclatMiner escaped(esc);
   const auto a = MineCanonical(base, db.value(), 15);
   const auto b = MineCanonical(escaped, db.value(), 15);

@@ -32,8 +32,8 @@ class LcmConfigTest : public ::testing::TestWithParam<int> {};
 LcmOptions LcmFromMask(int mask) {
   LcmOptions o;
   o.lexicographic_order = mask & 1;
-  o.aggregate_buckets = mask & 2;
-  o.compact_counters = mask & 4;
+  o.bucket_aggregation = mask & 2;
+  o.counter_compaction = mask & 4;
   o.tiling = mask & 8;
   o.wavefront_prefetch = mask & 16;
   return o;
@@ -68,7 +68,7 @@ class EclatConfigTest
 TEST_P(EclatConfigTest, MatchesOracleOnRandomDbs) {
   EclatOptions o;
   o.lexicographic_order = std::get<0>(GetParam());
-  o.zero_escape = std::get<1>(GetParam());
+  o.zero_escaping = std::get<1>(GetParam());
   o.popcount = std::get<2>(GetParam());
   o.representation = std::get<3>(GetParam());
   if (!PopcountStrategyAvailable(o.popcount)) {
@@ -110,7 +110,7 @@ TEST_P(FpGrowthConfigTest, MatchesOracleOnRandomDbs) {
   const int mask = GetParam();
   FpGrowthOptions o;
   o.lexicographic_order = mask & 1;
-  o.compact_nodes = mask & 2;
+  o.node_compaction = mask & 2;
   o.dfs_relayout = mask & 4;
   o.software_prefetch = mask & 8;
   FpGrowthMiner miner(o);

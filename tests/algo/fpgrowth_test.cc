@@ -48,7 +48,7 @@ TEST(FpGrowthMinerTest, DfsRelayoutImpliesCompactNodes) {
   FpGrowthOptions o;
   o.dfs_relayout = true;
   FpGrowthMiner miner(o);
-  EXPECT_EQ(miner.options().compact_nodes, true);
+  EXPECT_EQ(miner.options().node_compaction, true);
   Database db = MakeDb({{0, 1}, {0, 1}});
   const auto r = MineCanonical(miner, db, 2);
   EXPECT_EQ(r.size(), 3u);
@@ -65,7 +65,7 @@ TEST(FpGrowthMinerTest, CompactTreeUsesLessMemoryThanPointerTree) {
   ASSERT_TRUE(db.ok());
   FpGrowthMiner pointer_miner;
   FpGrowthOptions compact;
-  compact.compact_nodes = true;
+  compact.node_compaction = true;
   FpGrowthMiner compact_miner(compact);
   CountingSink s1, s2;
   Result<MineStats> pointer_stats = pointer_miner.Mine(db.value(), 20, &s1);

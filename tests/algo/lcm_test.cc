@@ -66,7 +66,7 @@ TEST(LcmMinerTest, StatsTrackPhasesAndCount) {
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->num_frequent, sink.count());
   EXPECT_GT(sink.count(), 0u);
-  EXPECT_GT(stats->mine_seconds, 0.0);
+  EXPECT_GT(stats->phase_seconds(PhaseId::kMine), 0.0);
   const LcmPhaseStats& phases = miner.phase_stats();
   EXPECT_GT(phases.calcfreq_seconds, 0.0);
   EXPECT_GT(phases.rmduptrans_seconds, 0.0);
@@ -80,7 +80,7 @@ TEST(LcmMinerTest, DuplicateTransactionsMergedCorrectly) {
   for (int i = 0; i < 5; ++i) b.AddTransaction({1, 2});
   Database db = b.Build();
   LcmOptions o;
-  o.aggregate_buckets = true;
+  o.bucket_aggregation = true;
   LcmMiner miner(o);
   const auto r = MineCanonical(miner, db, 30);
   // {1}:35 {2}:35 {1,2}:35 {3}:30 {1,3} {2,3} {1,2,3}:30

@@ -16,6 +16,33 @@ TEST(EffectivePatternsTest, ClampsToApplicable) {
   EXPECT_TRUE(EffectivePatterns(Algorithm::kApriori, all).empty());
 }
 
+TEST(EffectivePatternsTest, RoundTripsForEveryAlgorithm) {
+  for (Algorithm a : {Algorithm::kLcm, Algorithm::kEclat,
+                      Algorithm::kFpGrowth, Algorithm::kApriori,
+                      Algorithm::kHMine, Algorithm::kBruteForce}) {
+    const PatternSet applicable = PatternSet::ApplicableTo(a);
+    // An already-effective set passes through unchanged (idempotence).
+    EXPECT_EQ(EffectivePatterns(a, applicable), applicable)
+        << AlgorithmName(a);
+    for (const PatternInfo& info : AllPatterns()) {
+      const PatternSet single = PatternSet().With(info.pattern);
+      const PatternSet effective = EffectivePatterns(a, single);
+      // Per-pattern: applicable patterns survive, inapplicable vanish.
+      EXPECT_EQ(effective, applicable.Contains(info.pattern)
+                               ? single
+                               : PatternSet::None())
+          << AlgorithmName(a) << " " << info.id;
+      EXPECT_EQ(EffectivePatterns(a, effective), effective)
+          << AlgorithmName(a) << " " << info.id;
+    }
+    // Text round-trip: the effective set survives ToString -> Parse.
+    const Result<PatternSet> reparsed =
+        PatternSet::Parse(applicable.ToString());
+    ASSERT_TRUE(reparsed.ok()) << AlgorithmName(a);
+    EXPECT_EQ(*reparsed, applicable) << AlgorithmName(a);
+  }
+}
+
 TEST(CreateMinerTest, NamesReflectConfiguration) {
   auto base = CreateMiner(Algorithm::kLcm, PatternSet::None());
   ASSERT_TRUE(base.ok());

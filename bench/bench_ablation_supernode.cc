@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "fpm/common/arena.h"
 #include "fpm/common/rng.h"
 #include "fpm/common/timer.h"
@@ -65,6 +66,8 @@ int main() {
                      "ablation of §3.3 P3: supernode size vs cache line");
   constexpr size_t kElements = 1 << 22;  // 16 MiB of payload
   const int repeats = BenchRepeats();
+  bench::BenchReport report("ablation_supernode",
+                            "ablation of §3.3 P3: supernode size");
 
   const uint32_t line_capacity =
       AggregatedList<uint32_t>::CacheLineCapacity();
@@ -82,11 +85,21 @@ int main() {
     table.AddRow({std::to_string(capacity), std::to_string(bytes),
                   FormatSeconds(seconds), nspe, miss,
                   capacity == line_capacity ? "<- one cache line" : ""});
+    report.AddRow()
+        .Int("capacity", capacity)
+        .Int("supernode_bytes", bytes)
+        .Num("seconds", seconds)
+        .Num("ns_per_element",
+             seconds * 1e9 / static_cast<double>(kElements))
+        .Num("sim_l1_miss_per_element",
+             static_cast<double>(sim.l1.misses) / kElements)
+        .Bool("cache_line_sized", capacity == line_capacity);
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf(
       "Claim under test (§3.3): cache-line-sized supernodes are near\n"
       "optimal — larger supernodes buy little, smaller ones chase more\n"
       "pointers per element.\n");
+  report.Write();
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "fpm/algo/fpgrowth/fptree.h"
 #include "fpm/bitvec/popcount.h"
 #include "fpm/bitvec/vertical.h"
@@ -230,12 +231,19 @@ int main() {
       }});
 
   // --- Measure. ----------------------------------------------------------
-  const bool have_pmu = CpiCountersAvailable();
-  std::printf("Hardware counters: %s\n\n",
-              have_pmu ? "available (reporting true CPI)"
-                       : "unavailable in this environment (reporting "
-                         "wall-time throughput + simulated M1 miss rates; "
-                         "see DESIGN.md substitution 4)");
+  bench::BenchReport report(
+      "fig2_cpi", "Figure 2 - CPI of the most time consuming functions");
+  const Status pmu_status = PerfCountersStatus();
+  const bool have_pmu = pmu_status.ok();
+  if (have_pmu) {
+    std::printf("Hardware counters: available (reporting true CPI)\n\n");
+  } else {
+    std::printf(
+        "Hardware counters: unavailable (%s); reporting wall-time "
+        "throughput + simulated M1 miss rates — see DESIGN.md "
+        "substitution 4\n\n",
+        std::string(pmu_status.message()).c_str());
+  }
 
   ReportTable table({"Kernel", "Hot function", "Time", "ns/elem",
                      have_pmu ? "CPI" : "sim stalls/access",
@@ -246,15 +254,24 @@ int main() {
     double cpi = 0;
     uint64_t instructions = 0;
     if (have_pmu) {
-      auto counter = CpiCounter::Create();
-      FPM_CHECK_OK(counter.status());
-      FPM_CHECK_OK(counter->Start());
+      constexpr PerfEventId kCpiPair[] = {PerfEventId::kCycles,
+                                          PerfEventId::kInstructions};
+      auto group = PerfCounterGroup::Create(kCpiPair);
+      FPM_CHECK_OK(group.status());
+      FPM_CHECK_OK(group->Start());
       WallTimer timer;
       elements = fn.run();
       seconds = timer.ElapsedSeconds();
-      FPM_CHECK_OK(counter->Stop());
-      cpi = counter->Cpi();
-      instructions = counter->instructions();
+      FPM_CHECK_OK(group->Stop());
+      auto reading = group->Read();
+      FPM_CHECK_OK(reading.status());
+      const PerfEventReading* cyc = reading->Find(PerfEventId::kCycles);
+      const PerfEventReading* ins = reading->Find(PerfEventId::kInstructions);
+      instructions = ins != nullptr ? ins->value : 0;
+      cpi = (cyc != nullptr && instructions > 0)
+                ? static_cast<double>(cyc->value) /
+                      static_cast<double>(instructions)
+                : 0.0;
     } else {
       WallTimer timer;
       elements = fn.run();
@@ -265,11 +282,18 @@ int main() {
     std::snprintf(nspe, sizeof(nspe), "%.2f",
                   elements == 0 ? 0.0 : seconds * 1e9 / elements);
     std::string verdict;
+    bench::BenchRow& row = report.AddRow();
+    row.Str("kernel", fn.kernel)
+        .Str("function", fn.function)
+        .Num("seconds", seconds)
+        .Int("elements", elements)
+        .Bool("hardware_counters", have_pmu);
     if (have_pmu) {
       std::snprintf(c1, sizeof(c1), "%.2f", cpi);
       std::snprintf(c2, sizeof(c2), "%llu",
                     static_cast<unsigned long long>(instructions));
       verdict = cpi > 1.0 ? "memory bound" : "computation bound";
+      row.Num("cpi", cpi).Int("instructions", instructions);
     } else {
       MemorySystem mem(MemorySystemConfig::PentiumD());
       const auto stats = fn.trace(&mem);
@@ -277,7 +301,10 @@ int main() {
       std::snprintf(c1, sizeof(c1), "%.1f", stalls);
       std::snprintf(c2, sizeof(c2), "%.1f%%", stats.l1.miss_rate() * 100);
       verdict = stalls > 2.0 ? "memory bound" : "computation bound";
+      row.Num("sim_stalls_per_access", stalls)
+          .Num("sim_l1_miss_rate", stats.l1.miss_rate());
     }
+    row.Str("verdict", verdict);
     table.AddRow({fn.kernel, fn.function, FormatSeconds(seconds), nspe, c1,
                   c2, verdict});
   }
@@ -286,5 +313,6 @@ int main() {
       "Paper's Figure 2 message: LCM and FP-Growth hot functions run at\n"
       "high CPI (memory bound); Eclat's intersection kernel runs at low\n"
       "CPI (computation bound). The verdict column must match.\n");
+  report.Write();
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "fpm/core/mine.h"
 #include "fpm/perf/report.h"
 
@@ -20,6 +21,10 @@ int main() {
                      "Figure 8 - baseline times / no single best algorithm");
   const double scale = BenchScale();
   const int repeats = BenchRepeats();
+  bench::BenchReport report(
+      "fig8_baselines",
+      "Figure 8 - baseline times / no single best algorithm");
+  bench::ScopedPerfSampler perf_sampler;
 
   ReportTable table({"Dataset", "Winner(base)", "Winner(tuned)", "lcm",
                      "eclat", "fpgrowth", "hmine", "lcm(all)", "eclat(all)",
@@ -41,6 +46,11 @@ int main() {
         const Measurement m =
             MeasureMiner(**miner, ds.db, ds.min_support, repeats);
         cells[3 + tuned * 4 + k] = FormatSeconds(m.seconds);
+        report.AddRow()
+            .Str("dataset", ds.name)
+            .Str("kernel", AlgorithmName(kernels[k]))
+            .Bool("tuned", tuned == 1)
+            .Measurement(m);
         if (tuned == 0 && m.seconds < best_base) {
           best_base = m.seconds;
           cells[1] = AlgorithmName(kernels[k]);
@@ -59,5 +69,6 @@ int main() {
   std::printf(
       "Paper's shape: no kernel wins everywhere — Eclat takes the dense\n"
       "DS3, LCM the others, FP-Growth stays competitive.\n");
+  report.Write();
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "fpm/core/mine.h"
 #include "fpm/obs/metrics.h"
 #include "fpm/obs/trace.h"
@@ -45,6 +46,9 @@ int main() {
   bench::PrintHeader("bench_obs_overhead",
                      "cost of the fpm/obs/ instrumentation (disabled "
                      "and enabled)");
+
+  bench::BenchReport report("obs_overhead",
+                            "cost of the fpm/obs/ instrumentation");
 
   // ---- 1. Disabled fast paths. --------------------------------------
   MetricsRegistry registry(/*enabled=*/false);
@@ -133,5 +137,21 @@ int main() {
               static_cast<unsigned long long>(ops));
   std::printf("  disabled-path cost bound: %.4f%% of mine time  [%s]\n",
               bound_pct, bound_pct < 1.0 ? "PASS < 1%" : "FAIL >= 1%");
+
+  report.AddRow()
+      .Str("section", "micro_disabled_ns_per_op")
+      .Num("counter_add", add_ns)
+      .Num("histogram_observe", observe_ns)
+      .Num("scoped_span", span_ns);
+  report.AddRow()
+      .Str("section", "end_to_end")
+      .Str("dataset", ds.name)
+      .Num("seconds_disabled", off.seconds)
+      .Num("seconds_enabled", on.seconds)
+      .Num("enabled_delta_pct", delta_pct)
+      .Int("instrumentation_ops", ops)
+      .Num("disabled_bound_pct", bound_pct)
+      .Bool("pass", bound_pct < 1.0);
+  report.Write();
   return bound_pct < 1.0 ? 0 : 1;
 }

@@ -4,66 +4,26 @@
 // and reports speedup over the plain sequential kernel. Deterministic
 // merging is on, so every row reproduces the sequential checksum.
 //
-// Besides the table, the bench writes every row to BENCH_parallel.json
-// (machine-readable; override the path with FPM_BENCH_JSON). The
-// metrics registry is enabled while measuring, so each parallel row
-// carries the thread pool's submit/steal/idle-wait deltas of its best
-// run — steals > 0 is the signature of real work redistribution.
+// Besides the table, the bench writes every row to
+// BENCH_parallel_scaling.json via the shared BenchReport writer
+// (directory overridable with FPM_BENCH_JSON_DIR). The metrics registry
+// is enabled while measuring, so each parallel row carries the thread
+// pool's submit/steal/idle-wait deltas of its best run — steals > 0 is
+// the signature of real work redistribution.
 //
 // Speedup is bounded by the host's core count: on a single-core
 // machine every thread count measures ~1.0x (plus task overhead).
 
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "fpm/core/mine.h"
 #include "fpm/obs/metrics.h"
 #include "fpm/parallel/thread_pool.h"
 #include "fpm/perf/report.h"
-
-namespace {
-
-struct JsonRow {
-  std::string dataset;
-  std::string kernel;
-  uint32_t threads = 0;  // 0 = unwrapped sequential baseline
-  double seconds = 0.0;
-  double speedup = 1.0;
-  uint64_t itemsets = 0;
-  uint64_t pool_submits = 0;
-  uint64_t pool_steals = 0;
-  uint64_t pool_idle_waits = 0;
-};
-
-void WriteJson(const std::vector<JsonRow>& rows, const std::string& path,
-               double scale, int repeats) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
-  }
-  out << "{\"bench\":\"parallel_scaling\",\"hardware_threads\":"
-      << fpm::ThreadPool::HardwareThreads() << ",\"scale\":" << scale
-      << ",\"repeats\":" << repeats << ",\"results\":[";
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const JsonRow& r = rows[i];
-    if (i > 0) out << ',';
-    out << "{\"dataset\":\"" << r.dataset << "\",\"kernel\":\"" << r.kernel
-        << "\",\"threads\":" << r.threads << ",\"seconds\":" << r.seconds
-        << ",\"speedup\":" << r.speedup << ",\"itemsets\":" << r.itemsets
-        << ",\"pool_submits\":" << r.pool_submits
-        << ",\"pool_steals\":" << r.pool_steals
-        << ",\"pool_idle_waits\":" << r.pool_idle_waits << '}';
-  }
-  out << "]}\n";
-  std::printf("wrote %zu rows to %s\n", rows.size(), path.c_str());
-}
-
-}  // namespace
 
 int main() {
   using namespace fpm;
@@ -77,11 +37,14 @@ int main() {
   datasets.push_back(bench::MakeDs1(scale));
   datasets.push_back(bench::MakeDs2(scale));
 
+  bench::BenchReport report("parallel_scaling",
+                            "task-parallel scaling of the sequential kernels");
+  bench::ScopedPerfSampler perf_sampler;
+
   // Attach pool counter deltas to every Measurement (harness.cc snapshots
   // the default registry around each repeat when it is enabled).
   MetricsRegistry::Default().set_enabled(true);
 
-  std::vector<JsonRow> json_rows;
   for (const bench::BenchDataset& ds : datasets) {
     std::printf("== %s (%s), support %u ==\n", ds.name.c_str(),
                 ds.description.c_str(), ds.min_support);
@@ -101,8 +64,13 @@ int main() {
       table.AddRow({AlgorithmName(algorithm), "1 (seq)",
                     FormatSeconds(base.seconds), "1.00x", "-",
                     FormatCount(base.num_frequent)});
-      json_rows.push_back({ds.name, AlgorithmName(algorithm), 0, base.seconds,
-                           1.0, base.num_frequent, 0, 0, 0});
+      // threads = 0 marks the unwrapped sequential baseline.
+      report.AddRow()
+          .Str("dataset", ds.name)
+          .Str("kernel", AlgorithmName(algorithm))
+          .Int("threads", 0)
+          .Num("speedup", 1.0)
+          .Measurement(base);
 
       for (uint32_t threads : {1u, 2u, 4u, 8u}) {
         options.execution.num_threads = threads;
@@ -119,10 +87,15 @@ int main() {
                       FormatSpeedup(rows[0].speedup),
                       FormatCount(steals),
                       FormatCount(m.num_frequent)});
-        json_rows.push_back({ds.name, AlgorithmName(algorithm), threads,
-                             m.seconds, rows[0].speedup, m.num_frequent,
-                             m.metrics.counter("fpm.pool.submits"), steals,
-                             m.metrics.counter("fpm.pool.idle_waits")});
+        report.AddRow()
+            .Str("dataset", ds.name)
+            .Str("kernel", AlgorithmName(algorithm))
+            .Int("threads", threads)
+            .Num("speedup", rows[0].speedup)
+            .Int("pool_submits", m.metrics.counter("fpm.pool.submits"))
+            .Int("pool_steals", steals)
+            .Int("pool_idle_waits", m.metrics.counter("fpm.pool.idle_waits"))
+            .Measurement(m);
       }
     }
     std::printf("%s\n", table.ToString().c_str());
@@ -134,9 +107,6 @@ int main() {
       "Expect >1.5x at 4 threads on a 4-core host for DS1/DS2-sized\n"
       "inputs; single-core hosts show ~1x across the board.\n\n");
 
-  const char* json_path = std::getenv("FPM_BENCH_JSON");
-  WriteJson(json_rows, json_path != nullptr ? json_path
-                                            : "BENCH_parallel.json",
-            scale, repeats);
+  report.Write();
   return 0;
 }

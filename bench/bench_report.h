@@ -1,0 +1,120 @@
+// Unified machine-readable bench output.
+//
+// Every bench binary writes one schema-versioned BENCH_<name>.json next
+// to its human-readable table, so the perf trajectory can be assembled
+// from any run without scraping stdout. The schema (documented in
+// EXPERIMENTS.md) is flat and self-describing:
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "fig2_cpi",
+//     "title": "Figure 2 - ...",
+//     "host": { "cpu_model": "...", "logical_cpus": 4,
+//               "l1d_bytes": 32768, "l2_bytes": ..., "l3_bytes": ... },
+//     "perf_counters": { "available": false, "reason": "..." },
+//     "scale": 0.05,
+//     "repeats": 2,
+//     "rows": [ { ...bench-specific columns... }, ... ]
+//   }
+//
+// Rows carry whatever columns the bench reports (dataset, kernel,
+// seconds, speedup, checksum, ...); Measurement() adds the standard
+// timing/validation columns of a harness Measurement, and Phases() adds
+// the per-phase {seconds, counters, derived CPI/MPKI} object when
+// hardware counters were sampled.
+//
+// Output location: ./BENCH_<name>.json, or $FPM_BENCH_JSON_DIR/ when
+// set. Writing is best-effort — an unwritable directory prints a
+// warning and never fails the bench.
+
+#ifndef FPM_BENCH_BENCH_REPORT_H_
+#define FPM_BENCH_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fpm/algo/miner.h"
+#include "fpm/perf/harness.h"
+#include "fpm/perf/perf_sampler.h"
+
+namespace fpm::bench {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// One result row: an ordered set of key -> JSON-value pairs. Append
+/// only; keys are not deduplicated.
+class BenchRow {
+ public:
+  BenchRow& Str(std::string_view key, std::string_view value);
+  BenchRow& Num(std::string_view key, double value);
+  BenchRow& Int(std::string_view key, uint64_t value);
+  BenchRow& Bool(std::string_view key, bool value);
+
+  /// The standard columns of a harness measurement: name, seconds,
+  /// itemsets, checksum — plus Phases(measurement.stats).
+  BenchRow& Measurement(const fpm::Measurement& m);
+
+  /// Adds "phases": {"prepare": {"seconds": ..., "counters": {...},
+  /// "derived": {...}}, ...} — phases with neither time nor counters are
+  /// omitted, as is the whole object when every phase is empty.
+  BenchRow& Phases(const MineStats& stats);
+
+ private:
+  friend class BenchReport;
+  void Key(std::string_view key);
+
+  std::string json_;  // "k":v,"k":v — body of the row object
+};
+
+/// Collects rows and writes BENCH_<name>.json. Host info, scale,
+/// repeats, and perf-counter availability are captured at construction.
+class BenchReport {
+ public:
+  BenchReport(std::string_view name, std::string_view title);
+
+  /// Appends and returns a row to fill in. The reference stays valid
+  /// until the next AddRow() call writes to the vector (fill each row
+  /// before adding the next).
+  BenchRow& AddRow();
+
+  /// The complete document.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to $FPM_BENCH_JSON_DIR/BENCH_<name>.json (cwd when
+  /// unset) and prints the path. Best-effort: failure warns on stderr
+  /// and returns false, never aborts.
+  bool Write() const;
+
+ private:
+  std::string name_;
+  std::string title_;
+  std::string perf_reason_;  // empty = counters available
+  bool perf_available_ = false;
+  std::vector<BenchRow> rows_;
+};
+
+/// Installs a PerfSampler on the default tracer for the enclosing scope,
+/// so every Mine() call's phase spans latch hardware-counter deltas into
+/// MineStats (and from there into the report's "phases" objects). Prints
+/// one line saying whether counters are live or why not; on a refusing
+/// kernel the object is inert and the bench runs unsampled.
+class ScopedPerfSampler {
+ public:
+  ScopedPerfSampler();
+  ~ScopedPerfSampler();
+
+  ScopedPerfSampler(const ScopedPerfSampler&) = delete;
+  ScopedPerfSampler& operator=(const ScopedPerfSampler&) = delete;
+
+  bool active() const { return sampler_ != nullptr; }
+
+ private:
+  std::unique_ptr<PerfSampler> sampler_;
+};
+
+}  // namespace fpm::bench
+
+#endif  // FPM_BENCH_BENCH_REPORT_H_

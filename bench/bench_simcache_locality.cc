@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "fpm/common/rng.h"
 #include "fpm/dataset/stats.h"
 #include "fpm/layout/lexicographic.h"
@@ -76,9 +77,30 @@ int main() {
       "bench_simcache_locality",
       "locality mechanism of P1/P2/P3/P6 on simulated M1/M2 (Table 5)");
   const double scale = BenchScale();
+  bench::BenchReport report(
+      "simcache_locality",
+      "locality mechanism of P1/P2/P3/P6 on simulated M1/M2");
 
   const std::vector<MemorySystemConfig> machines = {
       MemorySystemConfig::PentiumD(), MemorySystemConfig::Athlon64X2()};
+
+  // One report row per (section, machine, variant) simulation result.
+  const auto add_sim_row = [&report](const char* section,
+                                     const std::string& machine,
+                                     const std::string& dataset,
+                                     const std::string& variant,
+                                     const MemorySystemStats& s,
+                                     double cycles_vs_base) {
+    report.AddRow()
+        .Str("section", section)
+        .Str("machine", machine)
+        .Str("dataset", dataset)
+        .Str("variant", variant)
+        .Num("l1_miss_rate", s.l1.miss_rate())
+        .Num("l2_miss_rate", s.l2.miss_rate())
+        .Num("tlb_miss_rate", s.tlb.miss_rate())
+        .Num("est_cycles_vs_base", cycles_vs_base);
+  };
 
   // ---------------- P1: lexicographic ordering. ----------------------
   {
@@ -98,6 +120,11 @@ int main() {
                       Pct(tuned.tlb.miss_rate()),
                       Ratio(base.EstimatedCycles(),
                             tuned.EstimatedCycles()) });
+        add_sim_row("p1_lex", mc.name, ds.name, "original", base, 1.0);
+        add_sim_row("p1_lex", mc.name, ds.name, "lex", tuned,
+                    tuned.EstimatedCycles() == 0.0
+                        ? 0.0
+                        : base.EstimatedCycles() / tuned.EstimatedCycles());
       }
     }
     std::printf("P1 lexicographic ordering - column-walk misses\n%s\n",
@@ -122,6 +149,11 @@ int main() {
                       Pct(tiled.l1.miss_rate()), Pct(tiled.l2.miss_rate()),
                       Ratio(base.EstimatedCycles(),
                             tiled.EstimatedCycles())});
+        add_sim_row("p6_tiling", mc.name, ds.name, "untiled", base, 1.0);
+        add_sim_row("p6_tiling", mc.name, ds.name, "tiled", tiled,
+                    tiled.EstimatedCycles() == 0.0
+                        ? 0.0
+                        : base.EstimatedCycles() / tiled.EstimatedCycles());
       }
     }
     std::printf("P6.1 tiling - column-walk misses (tile = L1/2)\n%s\n",
@@ -159,9 +191,20 @@ int main() {
                     Pct(relaid.l1.miss_rate()), Pct(relaid.l2.miss_rate()),
                     Ratio(base.EstimatedCycles(),
                           relaid.EstimatedCycles())});
+      add_sim_row("p2_p3_tree", mc.name, "-", "40B_insertion_order", base,
+                  1.0);
+      add_sim_row("p2_p3_tree", mc.name, "-", "13B_compact", compact,
+                  compact.EstimatedCycles() == 0.0
+                      ? 0.0
+                      : base.EstimatedCycles() / compact.EstimatedCycles());
+      add_sim_row("p2_p3_tree", mc.name, "-", "13B_compact_dfs", relaid,
+                  relaid.EstimatedCycles() == 0.0
+                      ? 0.0
+                      : base.EstimatedCycles() / relaid.EstimatedCycles());
     }
     std::printf("P2+P3 FP-tree node layout - upward-walk misses\n%s\n",
                 table.ToString().c_str());
   }
+  report.Write();
   return 0;
 }

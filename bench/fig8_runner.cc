@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "fpm/core/mine.h"
 #include "fpm/perf/report.h"
 
@@ -27,6 +28,11 @@ int RunFig8(Algorithm algorithm, const std::vector<Fig8Config>& configs,
   PrintHeader(title, paper_ref);
   const double scale = BenchScale();
   const int repeats = BenchRepeats();
+  // Report name: binary title minus the "bench_" prefix.
+  std::string report_name = title;
+  if (report_name.rfind("bench_", 0) == 0) report_name.erase(0, 6);
+  BenchReport report(report_name, paper_ref);
+  ScopedPerfSampler perf_sampler;
 
   ReportTable table({"Dataset", "Config", "Patterns", "Time", "Speedup",
                      "#frequent"});
@@ -39,6 +45,11 @@ int RunFig8(Algorithm algorithm, const std::vector<Fig8Config>& configs,
         MeasureMiner(**baseline_miner, ds.db, ds.min_support, repeats);
     table.AddRow({ds.name, "base", "none", FormatSeconds(baseline.seconds),
                   "1.00x", FormatCount(baseline.num_frequent)});
+    report.AddRow()
+        .Str("dataset", ds.name)
+        .Str("config", "base")
+        .Num("speedup", 1.0)
+        .Measurement(baseline);
 
     // Individual configurations, then all-applicable.
     std::vector<Fig8Config> run_list = configs;
@@ -57,6 +68,13 @@ int RunFig8(Algorithm algorithm, const std::vector<Fig8Config>& configs,
                     EffectivePatterns(algorithm, config.patterns).ToString(),
                     FormatSeconds(m.seconds), FormatSpeedup(speedup),
                     FormatCount(m.num_frequent)});
+      report.AddRow()
+          .Str("dataset", ds.name)
+          .Str("config", config.label)
+          .Str("patterns",
+               EffectivePatterns(algorithm, config.patterns).ToString())
+          .Num("speedup", speedup)
+          .Measurement(m);
       if (speedup > best_speedup) {
         best_speedup = speedup;
         best_label = config.label;
@@ -73,6 +91,7 @@ int RunFig8(Algorithm algorithm, const std::vector<Fig8Config>& configs,
       "Shape check vs paper: `all` should be close to `best` in most rows;\n"
       "per-pattern gains are input dependent (§4.4). Absolute times are not\n"
       "comparable to the paper's 2006 hardware.\n");
+  report.Write();
   return 0;
 }
 

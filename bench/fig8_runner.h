@@ -21,8 +21,10 @@ struct Fig8Config {
 };
 
 /// Runs the whole figure for one kernel: every dataset x every config
-/// (+ baseline + all-applicable), prints speedup tables, and returns 0
-/// on success (for main()).
+/// (+ baseline + all-applicable), prints speedup tables, writes
+/// BENCH_<title minus "bench_">.json, and returns 0 on success (for
+/// main()). Hardware counters, when grantable, are sampled per phase
+/// and land in each row's "phases" object.
 int RunFig8(Algorithm algorithm, const std::vector<Fig8Config>& configs,
             const char* title, const char* paper_ref);
 

@@ -8,6 +8,7 @@
 //     --threads=N                              (default 1: sequential)
 //     --nondeterministic                       (allow any emission order)
 //     --stats                                  (print timing breakdown)
+//     --perf                                   (per-phase CPI/MPKI table)
 //     --trace-out=FILE                         (chrome://tracing span JSON)
 //     --metrics-out=FILE                       (metrics snapshot JSON)
 //
@@ -19,7 +20,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "fpm/common/timer.h"
 #include "fpm/core/mine.h"
@@ -28,6 +31,8 @@
 #include "fpm/dataset/stats.h"
 #include "fpm/obs/metrics.h"
 #include "fpm/obs/trace.h"
+#include "fpm/perf/harness.h"
+#include "fpm/perf/perf_sampler.h"
 
 namespace {
 
@@ -58,10 +63,22 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.dat> <min_support> [--algorithm=NAME] "
                "[--patterns=LIST|all|none|auto] [--output=FILE] "
-               "[--threads=N] [--nondeterministic] [--stats] "
+               "[--threads=N] [--nondeterministic] [--stats] [--perf] "
                "[--trace-out=FILE] [--metrics-out=FILE]\n",
                argv0);
   return 2;
+}
+
+// Truncate-opens `path`, reporting a clear error on failure. All output
+// files are opened before mining so a bad path fails in milliseconds,
+// not after a long run.
+bool OpenOutput(const std::string& path, std::ofstream* out) {
+  out->open(path, std::ios::trunc);
+  if (!*out) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -81,6 +98,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   bool show_stats = false;
+  bool show_perf = false;
   long threads = 1;
   bool deterministic = true;
   for (int i = 3; i < argc; ++i) {
@@ -101,6 +119,8 @@ int main(int argc, char** argv) {
       deterministic = false;
     } else if (arg == "--stats") {
       show_stats = true;
+    } else if (arg == "--perf") {
+      show_perf = true;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_path = arg.substr(12);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -111,10 +131,45 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Every output file is opened before mining: a typo'd path should
+  // fail now, not after minutes of work.
+  std::ofstream output_file;
+  std::ofstream trace_file;
+  std::ofstream metrics_file;
+  if (!output_path.empty() && !OpenOutput(output_path, &output_file)) return 1;
+  if (!trace_path.empty() && !OpenOutput(trace_path, &trace_file)) return 1;
+  if (!metrics_path.empty() && !OpenOutput(metrics_path, &metrics_file)) {
+    return 1;
+  }
+
   // Observability is enabled before the load so the fimi/read span and
   // parse counters land in the outputs too.
   if (!trace_path.empty()) Tracer::Default().set_enabled(true);
   if (!metrics_path.empty()) MetricsRegistry::Default().set_enabled(true);
+
+  // --perf installs a hardware-counter sampler on the default tracer;
+  // phase spans then latch CPI / MPKI deltas into MineStats (and, when
+  // --metrics-out is on, into fpm.phase.* metrics). Degrades gracefully:
+  // on refusing kernels (perf_event_paranoid) the run proceeds unsampled
+  // and the reason is printed once.
+  std::unique_ptr<PerfSampler> perf_sampler;
+  if (show_perf) {
+    auto sampler = PerfSampler::Create();
+    if (sampler.ok()) {
+      perf_sampler = std::move(sampler).value();
+      Tracer::Default().set_phase_sampler(perf_sampler.get());
+      for (const auto& [event, reason] : perf_sampler->dropped()) {
+        std::fprintf(stderr, "perf: dropped %s (%s)\n",
+                     std::string(PerfEventName(event)).c_str(),
+                     reason.c_str());
+      }
+    } else {
+      std::fprintf(stderr,
+                   "perf: hardware counters unavailable, continuing "
+                   "without --perf data (%s)\n",
+                   sampler.status().message().c_str());
+    }
+  }
 
   WallTimer load_timer;
   auto dbr = ReadFimiFile(input);
@@ -168,13 +223,7 @@ int main(int argc, char** argv) {
     run = Mine(db, options, &sink);
     count = sink.count();
   } else {
-    std::ofstream out(output_path, std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s for writing\n",
-                   output_path.c_str());
-      return 1;
-    }
-    FileSink sink(std::move(out));
+    FileSink sink(std::move(output_file));
     run = Mine(db, options, &sink);
     count = sink.count();
   }
@@ -195,32 +244,28 @@ int main(int argc, char** argv) {
     std::printf("  peak main structure: %zu bytes\n",
                 stats.peak_structure_bytes);
   }
+  if (show_perf) {
+    if (stats.has_phase_counters()) {
+      std::printf("%s", FormatPhaseCounterTable(stats).c_str());
+    } else {
+      std::printf("  (no hardware counter data for this run)\n");
+    }
+  }
 
   if (!trace_path.empty()) {
-    std::ofstream out(trace_path, std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s for writing\n",
-                   trace_path.c_str());
-      return 1;
-    }
     const std::vector<TraceSpan> spans = Tracer::Default().CollectSpans();
-    WriteChromeTracing(spans, out);
+    WriteChromeTracing(spans, trace_file);
     std::fprintf(stderr,
                  "wrote %zu spans to %s (open in chrome://tracing)\n",
                  spans.size(), trace_path.c_str());
   }
   if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path, std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s for writing\n",
-                   metrics_path.c_str());
-      return 1;
-    }
     MetricsRegistry::Default()
         .Snapshot(/*per_thread=*/true)
-        .WriteJson(out);
-    out << '\n';
+        .WriteJson(metrics_file);
+    metrics_file << '\n';
     std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
   }
+  if (perf_sampler) Tracer::Default().set_phase_sampler(nullptr);
   return 0;
 }

@@ -149,7 +149,7 @@ Result<MineStats> AprioriMiner::MineImpl(const Database& db,
     level = std::move(pruned);
   }
 
-  stats.set_phase_seconds(PhaseId::kMine, mine_span.End());
+  stats.FinishPhase(PhaseId::kMine, mine_span);
   return stats;
 }
 

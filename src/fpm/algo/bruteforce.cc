@@ -53,7 +53,7 @@ Result<MineStats> BruteForceMiner::MineImpl(const Database& db,
   uint64_t emitted = 0;
   Extend(db, min_support, sink, &prefix, &emitted);
   stats.num_frequent = emitted;
-  stats.set_phase_seconds(PhaseId::kMine, mine_span.End());
+  stats.FinishPhase(PhaseId::kMine, mine_span);
   return stats;
 }
 

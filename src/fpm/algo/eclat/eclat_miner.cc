@@ -79,7 +79,7 @@ class EclatRun {
       ranked = RemapItems(db, order);
       item_map_ = order.to_item();
     }
-    stats_->set_phase_seconds(PhaseId::kPrepare, prep_span.End());
+    stats_->FinishPhase(PhaseId::kPrepare, prep_span);
 
     // Frequency ranks are descending, so the frequent items form a
     // prefix of the rank space; only those columns are materialized.
@@ -114,7 +114,7 @@ class EclatRun {
     PhaseSpan build_span(PhaseName(PhaseId::kBuild));
     VerticalDatabase vdb = VerticalDatabase::FromDatabase(ranked,
                                                           num_frequent);
-    stats_->set_phase_seconds(PhaseId::kBuild, build_span.End());
+    stats_->FinishPhase(PhaseId::kBuild, build_span);
     stats_->peak_structure_bytes = vdb.memory_bytes();
 
     PhaseSpan mine_span(PhaseName(PhaseId::kMine));
@@ -137,7 +137,7 @@ class EclatRun {
     }
     std::vector<Item> prefix;
     MineClass(cols, &prefix);
-    stats_->set_phase_seconds(PhaseId::kMine, mine_span.End());
+    stats_->FinishPhase(PhaseId::kMine, mine_span);
   }
 
  private:
@@ -157,7 +157,7 @@ class EclatRun {
     PhaseSpan build_span(PhaseName(PhaseId::kBuild));
     TidListDatabase tdb =
         TidListDatabase::FromDatabase(ranked, num_frequent);
-    stats_->set_phase_seconds(PhaseId::kBuild, build_span.End());
+    stats_->FinishPhase(PhaseId::kBuild, build_span);
     stats_->peak_structure_bytes = tdb.memory_bytes();
 
     PhaseSpan mine_span(PhaseName(PhaseId::kMine));
@@ -180,7 +180,7 @@ class EclatRun {
     } else {
       MineClassTid(cols, tdb.weights().data(), &prefix);
     }
-    stats_->set_phase_seconds(PhaseId::kMine, mine_span.End());
+    stats_->FinishPhase(PhaseId::kMine, mine_span);
   }
 
   void MineClassTid(const std::vector<TidColumn>& cols,

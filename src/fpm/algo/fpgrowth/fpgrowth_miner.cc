@@ -130,7 +130,7 @@ void RunFpGrowth(const Database& db, const FpGrowthOptions& options,
   while (num_frequent < freq.size() && freq[num_frequent] >= min_support) {
     ++num_frequent;
   }
-  stats->set_phase_seconds(PhaseId::kPrepare, prep_span.End());
+  stats->FinishPhase(PhaseId::kPrepare, prep_span);
 
   // Tree construction (the "insert" phase of Figure 2's profile).
   PhaseSpan build_span(PhaseName(PhaseId::kBuild));
@@ -152,14 +152,14 @@ void RunFpGrowth(const Database& db, const FpGrowthOptions& options,
     if (!filtered.empty()) tree.AddPath(filtered, ranked.weight(t));
   }
   tree.Finalize();
-  stats->set_phase_seconds(PhaseId::kBuild, build_span.End());
+  stats->FinishPhase(PhaseId::kBuild, build_span);
   stats->peak_structure_bytes = tree.memory_bytes();
 
   PhaseSpan mine_span(PhaseName(PhaseId::kMine));
   FpGrowthRun<Tree> run(tree_config, min_support, item_map, sink, stats);
   std::vector<Item> prefix;
   run.MineTree(tree, &prefix);
-  stats->set_phase_seconds(PhaseId::kMine, mine_span.End());
+  stats->FinishPhase(PhaseId::kMine, mine_span);
 }
 
 }  // namespace

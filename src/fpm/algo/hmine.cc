@@ -52,7 +52,7 @@ class HMineRun {
         hs_.weight.push_back(db.weight(t));
       }
     }
-    stats_->set_phase_seconds(PhaseId::kPrepare, prep_span.End());
+    stats_->FinishPhase(PhaseId::kPrepare, prep_span);
     stats_->peak_structure_bytes =
         hs_.item.size() *
         (sizeof(Item) + sizeof(uint32_t) + sizeof(Support));
@@ -81,7 +81,7 @@ class HMineRun {
       queues[i].clear();
       queues[i].shrink_to_fit();
     }
-    stats_->set_phase_seconds(PhaseId::kMine, mine_span.End());
+    stats_->FinishPhase(PhaseId::kMine, mine_span);
   }
 
  private:

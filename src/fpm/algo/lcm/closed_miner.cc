@@ -109,7 +109,7 @@ class ClosedRun {
         total_weight += db.weight(t);
       }
     }
-    stats_->set_phase_seconds(PhaseId::kPrepare, prep_span.End());
+    stats_->FinishPhase(PhaseId::kPrepare, prep_span);
     if (num_ranks_ == 0) return;
 
     PhaseSpan mine_span(PhaseName(PhaseId::kMine));
@@ -129,7 +129,7 @@ class ClosedRun {
     Cdb stripped = Strip(root, closed);
     Recurse(MergeDuplicates(std::move(stripped)), &closed,
             /*core=*/kInvalidItem);
-    stats_->set_phase_seconds(PhaseId::kMine, mine_span.End());
+    stats_->FinishPhase(PhaseId::kMine, mine_span);
   }
 
  private:

@@ -128,12 +128,12 @@ class LcmRun {
     }
 
     if (options_.lexicographic_order) SortLexicographically(&work);
-    stats_->set_phase_seconds(PhaseId::kPrepare, prep_span.End());
+    stats_->FinishPhase(PhaseId::kPrepare, prep_span);
 
     PhaseSpan mine_span(PhaseName(PhaseId::kMine));
     std::vector<Item> prefix;
     MineLevel(work, item_map, &prefix, /*depth=*/0);
-    stats_->set_phase_seconds(PhaseId::kMine, mine_span.End());
+    stats_->FinishPhase(PhaseId::kMine, mine_span);
   }
 
  private:

@@ -6,13 +6,17 @@
 #ifndef FPM_ALGO_MINER_H_
 #define FPM_ALGO_MINER_H_
 
+#include <array>
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "fpm/common/status.h"
 #include "fpm/dataset/database.h"
 #include "fpm/algo/itemset_sink.h"
+#include "fpm/obs/trace.h"
 
 namespace fpm {
 
@@ -29,57 +33,82 @@ inline constexpr int kNumPhases = 3;
 /// Span/metric name of a phase ("prepare", "build", "mine").
 std::string_view PhaseName(PhaseId phase);
 
+/// Named counter deltas attributed to one phase — hardware-counter
+/// readings ("cycles", "cache_misses", ...) latched by the installed
+/// PhaseSampler (fpm/obs/phase_sampler.h, fpm/perf/perf_sampler.h).
+/// Empty when no sampler is installed.
+using PhaseCounterDeltas = std::vector<std::pair<std::string, uint64_t>>;
+
 /// Instrumentation returned by Mine(). Phase timings feed the Figure 2
-/// CPI bench; memory feeds the aggregation-cost discussion of §4.3.
-///
-/// Migration note: the three `*_seconds` fields are deprecated in favor
-/// of `phase_seconds(PhaseId)` / `set_phase_seconds()` and will be
-/// removed next release (see README "MineStats phase accessors").
-// The pragma region spans the whole struct so the implicitly-generated
-// copy/move members (which touch the deprecated fields) stay quiet;
-// direct field accesses in user code still warn.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+/// CPI bench; memory feeds the aggregation-cost discussion of §4.3;
+/// phase counter tables feed the per-pattern architecture claims
+/// ("prefetch cuts L2 misses") when hardware counters are sampled.
 struct MineStats {
   uint64_t num_frequent = 0;       ///< itemsets emitted
-  [[deprecated("use phase_seconds(PhaseId::kPrepare)")]]
-  double prepare_seconds = 0.0;
-  [[deprecated("use phase_seconds(PhaseId::kBuild)")]]
-  double build_seconds = 0.0;
-  [[deprecated("use phase_seconds(PhaseId::kMine)")]]
-  double mine_seconds = 0.0;
   size_t peak_structure_bytes = 0; ///< main data structure footprint
 
-  // The accessors below are the stable API; they read/write the
-  // deprecated fields (still the storage during the one-release
-  // migration window, so code on either side of the rename agrees).
   /// Wall seconds spent in `phase` during the Mine() call.
   double phase_seconds(PhaseId phase) const {
-    switch (phase) {
-      case PhaseId::kPrepare: return prepare_seconds;
-      case PhaseId::kBuild: return build_seconds;
-      case PhaseId::kMine: return mine_seconds;
-    }
-    return 0.0;
+    return phase_seconds_[static_cast<int>(phase)];
   }
 
   void set_phase_seconds(PhaseId phase, double seconds) {
-    switch (phase) {
-      case PhaseId::kPrepare: prepare_seconds = seconds; return;
-      case PhaseId::kBuild: build_seconds = seconds; return;
-      case PhaseId::kMine: mine_seconds = seconds; return;
-    }
+    phase_seconds_[static_cast<int>(phase)] = seconds;
   }
 
   void add_phase_seconds(PhaseId phase, double seconds) {
-    set_phase_seconds(phase, phase_seconds(phase) + seconds);
+    phase_seconds_[static_cast<int>(phase)] += seconds;
   }
 
   double total_seconds() const {
-    return prepare_seconds + build_seconds + mine_seconds;
+    double total = 0.0;
+    for (double s : phase_seconds_) total += s;
+    return total;
   }
+
+  /// Sampler counter deltas of `phase`; empty unless a PhaseSampler was
+  /// installed while the phase ran.
+  const PhaseCounterDeltas& phase_counters(PhaseId phase) const {
+    return phase_counters_[static_cast<int>(phase)];
+  }
+
+  /// True when any phase carries counter deltas.
+  bool has_phase_counters() const {
+    for (const PhaseCounterDeltas& d : phase_counters_) {
+      if (!d.empty()) return true;
+    }
+    return false;
+  }
+
+  /// Accumulates `deltas` into the phase's table (summing by name, so a
+  /// kernel re-entering a phase aggregates instead of overwriting).
+  void MergePhaseCounters(PhaseId phase, const PhaseCounterDeltas& deltas) {
+    PhaseCounterDeltas& table = phase_counters_[static_cast<int>(phase)];
+    for (const auto& [name, value] : deltas) {
+      bool found = false;
+      for (auto& [have, sum] : table) {
+        if (have == name) {
+          sum += value;
+          found = true;
+          break;
+        }
+      }
+      if (!found) table.emplace_back(name, value);
+    }
+  }
+
+  /// Ends `span`, adds its wall seconds to `phase`, and merges the
+  /// counter deltas it latched. The one call every kernel makes when a
+  /// phase closes.
+  void FinishPhase(PhaseId phase, PhaseSpan& span) {
+    add_phase_seconds(phase, span.End());
+    MergePhaseCounters(phase, span.counter_deltas());
+  }
+
+ private:
+  std::array<double, kNumPhases> phase_seconds_{};
+  std::array<PhaseCounterDeltas, kNumPhases> phase_counters_{};
 };
-#pragma GCC diagnostic pop
 
 /// How a Mine() call executes.
 ///

@@ -143,7 +143,7 @@ Result<MineStats> PartitionedMiner::MineImpl(const Database& db,
 
   count_span.AddArg("candidates", last_candidates_);
   count_span.End();
-  stats.set_phase_seconds(PhaseId::kMine, mine_span.End());
+  stats.FinishPhase(PhaseId::kMine, mine_span);
   return stats;
 }
 

@@ -1,0 +1,59 @@
+// Sampler hook for PhaseSpan: a way to attribute *external* measurements
+// (hardware performance counters, rusage, allocator stats) to the phases
+// the kernels already delimit, without fpm/obs/ knowing what is being
+// sampled.
+//
+// A PhaseSampler is installed on a Tracer (Tracer::set_phase_sampler).
+// Every PhaseSpan on that tracer then calls OnPhaseBegin() on the span's
+// thread when the phase starts and OnPhaseEnd() when it ends; the
+// sampler returns named deltas which the span (a) exposes to the kernel
+// for MineStats, (b) attaches to the trace span as args, and (c) records
+// into the default MetricsRegistry under "fpm.phase.<phase>.<name>".
+//
+// The concrete hardware-counter implementation lives in
+// fpm/perf/perf_sampler.h (fpm_perf links against fpm_obs, not the
+// other way around). With no sampler installed a PhaseSpan pays one
+// relaxed atomic load.
+
+#ifndef FPM_OBS_PHASE_SAMPLER_H_
+#define FPM_OBS_PHASE_SAMPLER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fpm {
+
+/// What a sampler hands back for one ended phase.
+struct PhaseSampleDeltas {
+  /// Additive deltas over the phase (e.g. "cycles", "cache_misses").
+  /// Merged into MineStats' per-phase counter table and Add()ed to
+  /// "fpm.phase.<phase>.<name>" counters.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  /// Derived point-in-time values (e.g. "cpi_milli" = 1000 x CPI).
+  /// Set() on "fpm.phase.<phase>.<name>" gauges — last phase wins.
+  std::vector<std::pair<std::string, uint64_t>> gauges;
+
+  bool empty() const { return counters.empty() && gauges.empty(); }
+};
+
+/// Interface PhaseSpan drives. Begin/End are always called in pairs, in
+/// LIFO order per thread (phases nest), on the thread running the phase.
+/// Implementations must be safe to drive from many threads at once.
+class PhaseSampler {
+ public:
+  virtual ~PhaseSampler() = default;
+
+  /// The phase is starting on the calling thread.
+  virtual void OnPhaseBegin() = 0;
+
+  /// The phase named `phase` ended; append its deltas to `out` (leave it
+  /// untouched when this thread has nothing to report).
+  virtual void OnPhaseEnd(std::string_view phase, PhaseSampleDeltas* out) = 0;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_OBS_PHASE_SAMPLER_H_

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <ostream>
 
+#include "fpm/obs/metrics.h"
 #include "fpm/obs/thread_index.h"
 
 namespace fpm {
@@ -162,19 +163,59 @@ void ScopedSpan::End() {
 PhaseSpan::PhaseSpan(Tracer& tracer, std::string_view name)
     : tracer_(&tracer),
       tracing_(tracer.enabled()),
-      start_(std::chrono::steady_clock::now()) {
+      sampler_(tracer.phase_sampler()) {
+  if (tracing_ || sampler_ != nullptr) span_.name.assign(name);
   if (tracing_) {
-    span_.name.assign(name);
     span_.depth = tls_span_depth++;
     span_.start_ns = tracer.NowNs();
   }
+  // The sampler read (a syscall for hardware counters) happens before
+  // the stopwatch starts so it is not billed to the phase.
+  if (sampler_ != nullptr) sampler_->OnPhaseBegin();
+  start_ = std::chrono::steady_clock::now();
 }
+
+void PhaseSpan::AddArg(std::string_view key, uint64_t value) {
+  if (!tracing_ || tracer_ == nullptr) return;
+  span_.args.emplace_back(std::string(key), value);
+}
+
+// Records one phase's sampler deltas into the default registry:
+// counters accumulate ("fpm.phase.mine.cycles" over all mine phases),
+// gauges keep the latest phase's derived value.
+namespace {
+void RecordPhaseSampleMetrics(const std::string& phase,
+                              const PhaseSampleDeltas& deltas) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  if (!registry.enabled() || deltas.empty()) return;
+  std::string name;
+  for (const auto& [key, value] : deltas.counters) {
+    name = "fpm.phase." + phase + "." + key;
+    registry.GetCounter(name)->Add(value);
+  }
+  for (const auto& [key, value] : deltas.gauges) {
+    name = "fpm.phase." + phase + "." + key;
+    registry.GetGauge(name)->Set(value);
+  }
+}
+}  // namespace
 
 double PhaseSpan::End() {
   if (tracer_ == nullptr) return elapsed_seconds_;
   elapsed_seconds_ = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start_)
                          .count();
+  // Stopwatch is stopped; the sampler read and metric writes below are
+  // span-exit overhead, not phase time.
+  if (sampler_ != nullptr) {
+    sampler_->OnPhaseEnd(span_.name, &deltas_);
+    RecordPhaseSampleMetrics(span_.name, deltas_);
+    if (tracing_) {
+      for (const auto& [key, value] : deltas_.counters) {
+        span_.args.emplace_back(key, value);
+      }
+    }
+  }
   Tracer* tracer = tracer_;
   tracer_ = nullptr;
   if (tracing_) {

@@ -14,9 +14,16 @@
 //
 // PhaseSpan is the bridge to MineStats: kernels must report phase wall
 // times whether or not tracing is on, so PhaseSpan always times and
-// additionally records a trace span when the tracer is enabled. Its
-// End() returns the elapsed seconds to store via
-// MineStats::set_phase_seconds().
+// additionally records a trace span when the tracer is enabled. Kernels
+// close a phase with MineStats::FinishPhase(phase, span), which stores
+// the elapsed seconds of End() plus any sampler counter deltas.
+//
+// When a PhaseSampler (fpm/obs/phase_sampler.h) is installed on the
+// tracer, every PhaseSpan additionally latches the sampler's deltas —
+// e.g. hardware-counter readings — over the phase: they are exposed via
+// counter_deltas() (kernels merge them into MineStats), attached to the
+// trace span as args, and recorded into the default MetricsRegistry as
+// "fpm.phase.<phase>.<counter>" counters and gauges.
 
 #ifndef FPM_OBS_TRACE_H_
 #define FPM_OBS_TRACE_H_
@@ -32,6 +39,8 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "fpm/obs/phase_sampler.h"
 
 namespace fpm {
 
@@ -73,6 +82,17 @@ class Tracer {
   }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Installs (or, with nullptr, removes) the sampler new PhaseSpans
+  /// consult. The sampler must outlive every span begun while it was
+  /// installed; spans in flight keep driving the sampler they started
+  /// with. Independent of enabled(): sampling works without tracing.
+  void set_phase_sampler(PhaseSampler* sampler) {
+    phase_sampler_.store(sampler, std::memory_order_release);
+  }
+  PhaseSampler* phase_sampler() const {
+    return phase_sampler_.load(std::memory_order_acquire);
+  }
+
   /// Nanoseconds since construction (the span time base).
   uint64_t NowNs() const;
 
@@ -101,6 +121,7 @@ class Tracer {
   const uint64_t id_;  // process-unique, for the thread-local ring cache
   const size_t ring_capacity_;
   std::atomic<bool> enabled_{false};
+  std::atomic<PhaseSampler*> phase_sampler_{nullptr};
   const std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex mu_;  // guards rings_ (the list, not the contents)
@@ -138,7 +159,8 @@ class ScopedSpan {
 /// Always-on phase stopwatch that doubles as a trace span when the
 /// tracer is enabled. End() returns the elapsed wall seconds (kernels
 /// store it into MineStats); the destructor ends implicitly for early
-/// returns.
+/// returns. When the tracer has a PhaseSampler, the span drives it and
+/// latches its deltas (see counter_deltas()).
 class PhaseSpan {
  public:
   PhaseSpan(Tracer& tracer, std::string_view name);
@@ -149,16 +171,32 @@ class PhaseSpan {
   PhaseSpan(const PhaseSpan&) = delete;
   PhaseSpan& operator=(const PhaseSpan&) = delete;
 
-  /// Stops the stopwatch, records the trace span when tracing, and
-  /// returns the elapsed seconds. Idempotent.
+  /// Attaches a numeric arg to the trace span (no-op unless tracing).
+  void AddArg(std::string_view key, uint64_t value);
+
+  /// Stops the stopwatch, latches the sampler deltas, records the trace
+  /// span when tracing, and returns the elapsed seconds. Idempotent.
   double End();
+
+  /// Sampler counter deltas over the phase; empty before End() and when
+  /// no sampler was installed. Valid until the span is destroyed (take
+  /// ownership with TakeCounterDeltas()).
+  const std::vector<std::pair<std::string, uint64_t>>& counter_deltas()
+      const {
+    return deltas_.counters;
+  }
+  std::vector<std::pair<std::string, uint64_t>> TakeCounterDeltas() {
+    return std::move(deltas_.counters);
+  }
 
  private:
   Tracer* tracer_ = nullptr;  // null once ended; tracing gated separately
   bool tracing_ = false;
+  PhaseSampler* sampler_ = nullptr;  // latched at construction
   double elapsed_seconds_ = 0.0;
   std::chrono::steady_clock::time_point start_;
   TraceSpan span_;
+  PhaseSampleDeltas deltas_;
 };
 
 /// Writes one JSON object per span:

@@ -114,7 +114,7 @@ Result<MineStats> ParallelMiner::MineImpl(const Database& db,
       projection_entries += j;
     }
   }
-  stats.set_phase_seconds(PhaseId::kPrepare, prep_span.End());
+  stats.FinishPhase(PhaseId::kPrepare, prep_span);
   stats.peak_structure_bytes = projection_entries * sizeof(Item);
 
   // Class-size distribution: how balanced the decomposition is.
@@ -153,7 +153,11 @@ Result<MineStats> ParallelMiner::MineImpl(const Database& db,
   auto mine_class = [&](Item i) {
     if (failed.load(std::memory_order_relaxed)) return;
     // One span per equivalence class, on the worker that mined it.
-    ScopedSpan class_span("class");
+    // PhaseSpan (not ScopedSpan) so an installed PhaseSampler attributes
+    // counter deltas to each class; those deltas reach the trace args and
+    // the "fpm.phase.class.*" metrics, not MineStats (the caller-thread
+    // prepare/merge/mine spans own the MineStats counter table).
+    PhaseSpan class_span("class");
     class_span.AddArg("item", rank_to_item[i]);
     class_span.AddArg("entries", class_entries[i]);
     LockedSink locked(sink, &sink_mu);
@@ -222,7 +226,7 @@ Result<MineStats> ParallelMiner::MineImpl(const Database& db,
   // largest single task structure.
   stats.set_phase_seconds(PhaseId::kBuild, task_build_seconds);
   stats.peak_structure_bytes += task_peak_bytes;
-  stats.set_phase_seconds(PhaseId::kMine, mine_span.End());
+  stats.FinishPhase(PhaseId::kMine, mine_span);
   return stats;
 }
 

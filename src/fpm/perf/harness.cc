@@ -1,9 +1,12 @@
 #include "fpm/perf/harness.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "fpm/common/logging.h"
 #include "fpm/common/timer.h"
+#include "fpm/perf/perf_sampler.h"
 
 namespace fpm {
 
@@ -54,6 +57,70 @@ std::vector<SpeedupRow> ComputeSpeedups(
     rows.push_back(row);
   }
   return rows;
+}
+
+std::string FormatPhaseCounterTable(const MineStats& stats) {
+  if (!stats.has_phase_counters()) return "";
+  // Column set: union of counter names across phases, first-seen order,
+  // then the derived ratios.
+  std::vector<std::string> columns;
+  for (int p = 0; p < kNumPhases; ++p) {
+    for (const auto& [name, value] :
+         stats.phase_counters(static_cast<PhaseId>(p))) {
+      if (std::find(columns.begin(), columns.end(), name) == columns.end()) {
+        columns.push_back(name);
+      }
+    }
+  }
+  char buf[64];
+  std::string out = "  phase  ";
+  for (const std::string& col : columns) {
+    const int width = std::max<int>(13, static_cast<int>(col.size()) + 2);
+    std::snprintf(buf, sizeof(buf), "%*s", width, col.c_str());
+    out += buf;
+  }
+  out += "      CPI  cache-MPKI   dTLB-MPKI\n";
+  for (int p = 0; p < kNumPhases; ++p) {
+    const PhaseId phase = static_cast<PhaseId>(p);
+    const PhaseCounterDeltas& counters = stats.phase_counters(phase);
+    if (counters.empty()) continue;
+    std::snprintf(buf, sizeof(buf), "%7s  ",
+                  std::string(PhaseName(phase)).c_str());
+    out += buf;
+    for (const std::string& col : columns) {
+      const int width = std::max<int>(13, static_cast<int>(col.size()) + 2);
+      uint64_t value = 0;
+      bool present = false;
+      for (const auto& [name, v] : counters) {
+        if (name == col) { value = v; present = true; break; }
+      }
+      if (present) {
+        std::snprintf(buf, sizeof(buf), "%*llu", width,
+                      static_cast<unsigned long long>(value));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%*s", width, "-");
+      }
+      out += buf;
+    }
+    std::vector<std::pair<std::string, uint64_t>> gauges;
+    AppendDerivedPerfGauges(counters, &gauges);
+    const char* names[] = {"cpi_milli", "cache_mpki_milli", "dtlb_mpki_milli"};
+    for (const char* gauge : names) {
+      bool present = false;
+      for (const auto& [name, v] : gauges) {
+        if (name == gauge) {
+          std::snprintf(buf, sizeof(buf), "%9.2f  ",
+                        static_cast<double>(v) / 1000.0);
+          out += buf;
+          present = true;
+          break;
+        }
+      }
+      if (!present) out += "        -  ";
+    }
+    out += '\n';
+  }
+  return out;
 }
 
 double BenchScale() {

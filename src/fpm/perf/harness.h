@@ -53,6 +53,12 @@ double BenchScale();
 /// Repeat count for best-of-N: FPM_BENCH_REPEATS env var (default 2).
 int BenchRepeats();
 
+/// Renders the per-phase hardware counter table of `stats` — one row per
+/// phase with counter deltas and derived CPI / cache-MPKI / dTLB-MPKI
+/// columns — or "" when no phase carries counters (no sampler was
+/// installed). mine_cli --perf and the benches print this.
+std::string FormatPhaseCounterTable(const MineStats& stats);
+
 }  // namespace fpm
 
 #endif  // FPM_PERF_HARNESS_H_

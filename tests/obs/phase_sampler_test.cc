@@ -1,0 +1,154 @@
+// PhaseSampler bridge: a fake sampler installed on a Tracer must have
+// its deltas latched by PhaseSpan (counter_deltas(), trace span args)
+// and recorded as "fpm.phase.<phase>.<name>" in the default metrics
+// registry's JSON snapshot. No perf syscalls involved.
+
+#include "fpm/obs/phase_sampler.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fpm/algo/miner.h"
+#include "fpm/obs/metrics.h"
+#include "fpm/obs/trace.h"
+
+namespace fpm {
+namespace {
+
+// Returns fixed deltas for every phase, counting Begin/End pairing.
+class FakeSampler : public PhaseSampler {
+ public:
+  void OnPhaseBegin() override { ++begins_; }
+
+  void OnPhaseEnd(std::string_view phase, PhaseSampleDeltas* out) override {
+    ++ends_;
+    last_phase_ = std::string(phase);
+    out->counters.emplace_back("cycles", 3000u);
+    out->counters.emplace_back("instructions", 2000u);
+    out->gauges.emplace_back("cpi_milli", 1500u);
+  }
+
+  int begins_ = 0;
+  int ends_ = 0;
+  std::string last_phase_;
+};
+
+TEST(PhaseSamplerTest, PhaseSpanLatchesDeltas) {
+  Tracer tracer;  // disabled: sampling must work without tracing
+  FakeSampler sampler;
+  tracer.set_phase_sampler(&sampler);
+
+  PhaseSpan span(tracer, "mine");
+  EXPECT_EQ(sampler.begins_, 1);
+  EXPECT_TRUE(span.counter_deltas().empty());  // not ended yet
+  span.End();
+
+  EXPECT_EQ(sampler.ends_, 1);
+  EXPECT_EQ(sampler.last_phase_, "mine");
+  ASSERT_EQ(span.counter_deltas().size(), 2u);
+  EXPECT_EQ(span.counter_deltas()[0].first, "cycles");
+  EXPECT_EQ(span.counter_deltas()[0].second, 3000u);
+
+  tracer.set_phase_sampler(nullptr);
+  PhaseSpan unsampled(tracer, "mine");
+  unsampled.End();
+  EXPECT_EQ(sampler.begins_, 1);  // sampler no longer consulted
+  EXPECT_TRUE(unsampled.counter_deltas().empty());
+}
+
+TEST(PhaseSamplerTest, EndIsIdempotentWithSampler) {
+  Tracer tracer;
+  FakeSampler sampler;
+  tracer.set_phase_sampler(&sampler);
+  PhaseSpan span(tracer, "build");
+  span.End();
+  span.End();
+  tracer.set_phase_sampler(nullptr);
+  EXPECT_EQ(sampler.begins_, 1);
+  EXPECT_EQ(sampler.ends_, 1);
+  EXPECT_EQ(span.counter_deltas().size(), 2u);
+}
+
+TEST(PhaseSamplerTest, DeltasAttachToTraceSpanArgs) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  FakeSampler sampler;
+  tracer.set_phase_sampler(&sampler);
+  {
+    PhaseSpan span(tracer, "prepare");
+    span.AddArg("transactions", 7);
+  }
+  tracer.set_phase_sampler(nullptr);
+
+  const std::vector<TraceSpan> spans = tracer.CollectSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  const TraceSpan& s = spans[0];
+  EXPECT_EQ(s.name, "prepare");
+  bool saw_cycles = false;
+  bool saw_transactions = false;
+  for (const auto& [key, value] : s.args) {
+    if (key == "cycles") {
+      saw_cycles = true;
+      EXPECT_EQ(value, 3000u);
+    }
+    if (key == "transactions") saw_transactions = true;
+  }
+  EXPECT_TRUE(saw_cycles);
+  EXPECT_TRUE(saw_transactions);
+}
+
+TEST(PhaseSamplerTest, DeltasLandInDefaultMetricsJson) {
+  // RecordPhaseSampleMetrics writes to the process-wide default
+  // registry; enable it for the duration of this test only.
+  MetricsRegistry::Default().set_enabled(true);
+  FakeSampler sampler;
+  Tracer::Default().set_phase_sampler(&sampler);
+  {
+    PhaseSpan span("mine");
+  }
+  Tracer::Default().set_phase_sampler(nullptr);
+  const MetricsSnapshot snap = MetricsRegistry::Default().Snapshot();
+  MetricsRegistry::Default().set_enabled(false);
+
+  std::ostringstream json;
+  snap.WriteJson(json);
+  const std::string doc = json.str();
+  EXPECT_NE(doc.find("fpm.phase.mine.cycles"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("fpm.phase.mine.instructions"), std::string::npos);
+  EXPECT_NE(doc.find("fpm.phase.mine.cpi_milli"), std::string::npos);
+  EXPECT_EQ(snap.counter("fpm.phase.mine.instructions"), 2000u);
+}
+
+TEST(PhaseSamplerTest, FinishPhaseMergesCountersIntoMineStats) {
+  Tracer tracer;
+  FakeSampler sampler;
+  tracer.set_phase_sampler(&sampler);
+
+  MineStats stats;
+  EXPECT_FALSE(stats.has_phase_counters());
+  {
+    PhaseSpan span(tracer, "mine");
+    stats.FinishPhase(PhaseId::kMine, span);
+  }
+  {
+    // A re-entered phase sums by counter name.
+    PhaseSpan span(tracer, "mine");
+    stats.FinishPhase(PhaseId::kMine, span);
+  }
+  tracer.set_phase_sampler(nullptr);
+
+  EXPECT_TRUE(stats.has_phase_counters());
+  const PhaseCounterDeltas& mine = stats.phase_counters(PhaseId::kMine);
+  ASSERT_EQ(mine.size(), 2u);
+  EXPECT_EQ(mine[0].first, "cycles");
+  EXPECT_EQ(mine[0].second, 6000u);
+  EXPECT_EQ(mine[1].first, "instructions");
+  EXPECT_EQ(mine[1].second, 4000u);
+  EXPECT_TRUE(stats.phase_counters(PhaseId::kBuild).empty());
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json files against the bench report schema.
+
+Usage: validate_bench_json.py FILE [FILE...]
+
+Checks the schema documented in EXPERIMENTS.md ("Machine-readable
+output"): required top-level keys and types, schema_version == 1, the
+host block, the perf_counters availability block (a reason is required
+exactly when counters are unavailable), and the shape of every row's
+optional "phases" object. Exits nonzero with one line per problem.
+
+Standard library only — runs on any CI python3.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+TOP_KEYS = {
+    "schema_version": int,
+    "bench": str,
+    "title": str,
+    "host": dict,
+    "perf_counters": dict,
+    "scale": (int, float),
+    "repeats": int,
+    "rows": list,
+}
+
+HOST_KEYS = {
+    "cpu_model": str,
+    "logical_cpus": int,
+    "l1d_bytes": int,
+    "l2_bytes": int,
+    "l3_bytes": int,
+}
+
+
+def check(path):
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+
+    for key, want in TOP_KEYS.items():
+        if key not in doc:
+            err(f"missing top-level key '{key}'")
+        elif not isinstance(doc[key], want) or isinstance(doc[key], bool):
+            err(f"'{key}' has type {type(doc[key]).__name__}")
+    if errors:
+        return errors
+
+    if doc["schema_version"] != SCHEMA_VERSION:
+        err(f"schema_version {doc['schema_version']} != {SCHEMA_VERSION}")
+    if not doc["bench"]:
+        err("'bench' is empty")
+    if doc["repeats"] < 1:
+        err(f"repeats {doc['repeats']} < 1")
+    if doc["scale"] <= 0:
+        err(f"scale {doc['scale']} <= 0")
+
+    for key, want in HOST_KEYS.items():
+        if key not in doc["host"]:
+            err(f"host missing '{key}'")
+        elif not isinstance(doc["host"][key], want):
+            err(f"host '{key}' has type {type(doc['host'][key]).__name__}")
+
+    pc = doc["perf_counters"]
+    if not isinstance(pc.get("available"), bool):
+        err("perf_counters.available missing or not a bool")
+    elif not pc["available"] and not isinstance(pc.get("reason"), str):
+        err("perf_counters unavailable but no 'reason' string")
+
+    if not doc["rows"]:
+        err("'rows' is empty")
+    for i, row in enumerate(doc["rows"]):
+        if not isinstance(row, dict):
+            err(f"rows[{i}] is not an object")
+            continue
+        phases = row.get("phases")
+        if phases is None:
+            continue
+        if not isinstance(phases, dict):
+            err(f"rows[{i}].phases is not an object")
+            continue
+        for phase, data in phases.items():
+            where = f"rows[{i}].phases['{phase}']"
+            if not isinstance(data, dict):
+                err(f"{where} is not an object")
+                continue
+            if not isinstance(data.get("seconds"), (int, float)):
+                err(f"{where}.seconds missing or not a number")
+            for table in ("counters", "derived"):
+                values = data.get(table, {})
+                if not isinstance(values, dict):
+                    err(f"{where}.{table} is not an object")
+                    continue
+                for name, v in values.items():
+                    if not isinstance(v, int) or isinstance(v, bool):
+                        err(f"{where}.{table}['{name}'] is not an integer")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        errors = check(path)
+        if errors:
+            failures += 1
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            with open(path, encoding="utf-8") as f:
+                n = len(json.load(f)["rows"])
+            print(f"{path}: OK ({n} rows)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

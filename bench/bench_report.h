@@ -6,7 +6,7 @@
 // EXPERIMENTS.md) is flat and self-describing:
 //
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "bench": "fig2_cpi",
 //     "title": "Figure 2 - ...",
 //     "host": { "cpu_model": "...", "logical_cpus": 4,
@@ -42,7 +42,7 @@
 
 namespace fpm::bench {
 
-inline constexpr int kBenchSchemaVersion = 1;
+inline constexpr int kBenchSchemaVersion = 2;
 
 /// One result row: an ordered set of key -> JSON-value pairs. Append
 /// only; keys are not deduplicated.

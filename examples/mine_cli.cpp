@@ -5,7 +5,11 @@
 //     --algorithm=lcm|eclat|fpgrowth|apriori|auto   (default lcm)
 //     --patterns=<list>|all|none|auto          (default auto: the advisor)
 //     --output=<file>                          (default: count only)
-//     --threads=N                              (default 1: sequential)
+//     --threads=N                              (default 1: sequential;
+//                                               0: all hardware threads)
+//     --flat                                   (top-level task parallelism
+//                                               only; default is nested
+//                                               fork-join)
 //     --nondeterministic                       (allow any emission order)
 //     --stats                                  (print timing breakdown)
 //     --perf                                   (per-phase CPI/MPKI table)
@@ -31,6 +35,7 @@
 #include "fpm/dataset/stats.h"
 #include "fpm/obs/metrics.h"
 #include "fpm/obs/trace.h"
+#include "fpm/parallel/thread_pool.h"
 #include "fpm/perf/harness.h"
 #include "fpm/perf/perf_sampler.h"
 
@@ -63,7 +68,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.dat> <min_support> [--algorithm=NAME] "
                "[--patterns=LIST|all|none|auto] [--output=FILE] "
-               "[--threads=N] [--nondeterministic] [--stats] [--perf] "
+               "[--threads=N (0 = all hardware threads)] [--flat] "
+               "[--nondeterministic] [--stats] [--perf] "
                "[--trace-out=FILE] [--metrics-out=FILE]\n",
                argv0);
   return 2;
@@ -101,6 +107,7 @@ int main(int argc, char** argv) {
   bool show_perf = false;
   long threads = 1;
   bool deterministic = true;
+  bool nested = true;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--algorithm=", 0) == 0) {
@@ -110,11 +117,21 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--output=", 0) == 0) {
       output_path = arg.substr(9);
     } else if (arg.rfind("--threads=", 0) == 0) {
-      threads = std::atol(arg.substr(10).c_str());
-      if (threads < 1) {
-        std::fprintf(stderr, "--threads must be >= 1\n");
+      const std::string value = arg.substr(10);
+      char* end = nullptr;
+      threads = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || threads < 0) {
+        std::fprintf(stderr,
+                     "--threads must be >= 0 (0 = all hardware threads)\n");
         return 2;
       }
+      if (threads == 0) {
+        threads = static_cast<long>(ThreadPool::HardwareThreads());
+        std::fprintf(stderr, "--threads=0: using %ld hardware threads\n",
+                     threads);
+      }
+    } else if (arg == "--flat") {
+      nested = false;
     } else if (arg == "--nondeterministic") {
       deterministic = false;
     } else if (arg == "--stats") {
@@ -213,6 +230,7 @@ int main(int argc, char** argv) {
   }
   options.execution.num_threads = static_cast<uint32_t>(threads);
   options.execution.deterministic = deterministic;
+  options.execution.nested = nested;
 
   MineStats stats;
   WallTimer mine_timer;

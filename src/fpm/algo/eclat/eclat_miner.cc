@@ -1,11 +1,16 @@
 #include "fpm/algo/eclat/eclat_miner.h"
 
 #include <algorithm>
+#include <cstring>
+#include <memory>
 #include <numeric>
+#include <utility>
 #include <vector>
 
+#include "fpm/algo/subtree.h"
 #include "fpm/bitvec/tidlist.h"
 #include "fpm/bitvec/vertical.h"
+#include "fpm/common/arena.h"
 #include "fpm/layout/lexicographic.h"
 #include "fpm/obs/trace.h"
 #include "fpm/layout/item_order.h"
@@ -46,7 +51,8 @@ namespace {
 // One itemset's occurrence vector during the DFS. Top-level columns
 // borrow the VerticalDatabase's storage; derived columns own a slice
 // covering only their 1-range window (`offset` = global word index of
-// data[0]), so 0-escaping also shrinks the working set.
+// data[0]), so 0-escaping also shrinks the working set. Columns of a
+// detached subtree frame point into the task's arena instead of `owned`.
 struct Column {
   Item raw_item = 0;        // original item id of the extending item
   Support support = 0;
@@ -56,21 +62,297 @@ struct Column {
   std::vector<uint64_t> owned;
 };
 
+// One itemset's tid list during the sparse DFS (P2 representation).
+struct TidColumn {
+  Item raw_item = 0;
+  Support support = 0;
+  std::span<const Tid> tids;   // view: borrowed, into `owned`, or arena
+  std::vector<Tid> owned;
+};
+
+// Everything a recursion step needs besides its frame. Copied by value
+// into detached subtree tasks, so it must not reference the EclatRun or
+// the Miner instance (both die with the class task that spawned the
+// subtree, possibly before the subtree runs).
+struct EclatCtx {
+  EclatOptions options;
+  PopcountStrategy strategy = PopcountStrategy::kLut16;
+  Support min_support = 1;
+  // Tid/diffset paths: per-transaction weights. Points into the
+  // TidListDatabase when mining sequentially; when a spawner is present
+  // it points into `weights_keepalive`, which detached frames co-own so
+  // the array outlives the kernel run.
+  const Support* weights = nullptr;
+  std::shared_ptr<const std::vector<Support>> weights_keepalive;
+};
+
+// Self-contained frame of a detached bit-vector subtree: column data
+// lives in the task's arena, so the parent's scratch may be reused the
+// moment detach returns. Held by shared_ptr (SubtreeFn is a
+// std::function and must stay copyable).
+struct EclatFrame {
+  EclatCtx ctx;
+  std::vector<Column> cols;
+  std::vector<Item> prefix;
+};
+
+struct EclatTidFrame {
+  EclatCtx ctx;
+  std::vector<TidColumn> cols;
+  std::vector<Item> prefix;
+  bool diffsets = false;        // frame columns are diffsets
+};
+
+// child = a & b, counted with the configured strategy, windowed to the
+// operands' 1-ranges when 0-escaping is on. The AND lands in a shared
+// scratch buffer; only frequent children are materialized (trimmed to
+// their 1-range), so the common infrequent-candidate case allocates
+// nothing.
+Column Intersect(const EclatCtx& ctx, const Column& a, const Column& b,
+                 std::vector<uint64_t>* scratch) {
+  Column child;
+  child.raw_item = b.raw_item;
+  const WordRange window = IntersectRanges(a.range, b.range);
+  if (window.empty()) {
+    child.range = WordRange{window.begin, window.begin};
+    child.offset = window.begin;
+    return child;
+  }
+  if (scratch->size() < window.size()) scratch->resize(window.size());
+  child.support = static_cast<Support>(
+      AndCount(a.data + (window.begin - a.offset),
+               b.data + (window.begin - b.offset), scratch->data(),
+               window.size(), ctx.strategy));
+  if (child.support < ctx.min_support) {
+    child.range = window;  // never used: the caller discards the child
+    return child;
+  }
+  uint32_t begin = 0;
+  uint32_t end = window.size();
+  if (ctx.options.zero_escaping) {
+    // Tighten the conservative window (§4.2: ranges are conservative,
+    // not necessarily optimal — tightening keeps them short downpath).
+    const uint64_t* words = scratch->data();
+    while (begin < end && words[begin] == 0) ++begin;
+    while (end > begin && words[end - 1] == 0) --end;
+  }
+  child.offset = window.begin + begin;
+  child.range = WordRange{window.begin + begin, window.begin + end};
+  child.owned.assign(scratch->begin() + begin, scratch->begin() + end);
+  child.data = child.owned.data();
+  return child;
+}
+
+void MineClassStep(const EclatCtx& ctx, const std::vector<Column>& cols,
+                   std::vector<Item>* prefix,
+                   std::vector<uint64_t>* scratch, uint32_t depth,
+                   ItemsetSink* sink, MineStats* stats,
+                   SubtreeSpawner* spawner);
+
+// Detaches `next` (an equivalence class about to be recursed into) as a
+// self-contained subtree task: column windows are copied into the
+// task's arena, the prefix (which already includes the class item) by
+// value. Invoked synchronously by the spawner iff the offer is taken.
+SubtreeSpawner::DetachFn DetachClass(const EclatCtx& ctx,
+                                     const std::vector<Column>& next,
+                                     const std::vector<Item>& prefix,
+                                     uint32_t depth) {
+  return [&ctx, &next, &prefix, depth](Arena* arena) {
+    auto frame = std::make_shared<EclatFrame>();
+    frame->ctx = ctx;
+    frame->prefix = prefix;
+    frame->cols.resize(next.size());
+    for (size_t i = 0; i < next.size(); ++i) {
+      Column& dst = frame->cols[i];
+      const Column& src = next[i];
+      dst.raw_item = src.raw_item;
+      dst.support = src.support;
+      dst.range = src.range;
+      dst.offset = src.range.begin;
+      const size_t words = src.range.size();
+      uint64_t* copy = static_cast<uint64_t*>(
+          arena->Allocate(words * sizeof(uint64_t), alignof(uint64_t)));
+      std::memcpy(copy, src.data + (src.range.begin - src.offset),
+                  words * sizeof(uint64_t));
+      dst.data = copy;
+    }
+    return SubtreeSpawner::SubtreeFn(
+        [frame, depth](ItemsetSink* sink, SubtreeSpawner* spawner,
+                       MineStats* stats) {
+          std::vector<Item> pfx = frame->prefix;
+          std::vector<uint64_t> scratch;
+          MineClassStep(frame->ctx, frame->cols, &pfx, &scratch, depth,
+                        sink, stats, spawner);
+        });
+  };
+}
+
+// Mines one equivalence class: emits every column as an extension of
+// `prefix` and recurses on its own extensions — re-entrant step, no
+// miner state. Child classes clearing the spawner's cutoff run as tasks.
+void MineClassStep(const EclatCtx& ctx, const std::vector<Column>& cols,
+                   std::vector<Item>* prefix,
+                   std::vector<uint64_t>* scratch, uint32_t depth,
+                   ItemsetSink* sink, MineStats* stats,
+                   SubtreeSpawner* spawner) {
+  std::vector<Column> next;
+  for (size_t k = 0; k < cols.size(); ++k) {
+    const Column& a = cols[k];
+    prefix->push_back(a.raw_item);
+    sink->Emit(*prefix, a.support);
+    if (stats != nullptr) ++stats->num_frequent;
+
+    next.clear();
+    uint64_t work = 0;
+    for (size_t l = k + 1; l < cols.size(); ++l) {
+      Column child = Intersect(ctx, a, cols[l], scratch);
+      if (child.support >= ctx.min_support) {
+        work += child.support;
+        next.push_back(std::move(child));
+      }
+    }
+    if (!next.empty()) {
+      if (spawner == nullptr ||
+          !spawner->Offer(depth + 1, work,
+                          DetachClass(ctx, next, *prefix, depth + 1))) {
+        MineClassStep(ctx, next, prefix, scratch, depth + 1, sink, stats,
+                      spawner);
+      }
+    }
+    prefix->pop_back();
+  }
+}
+
+void MineClassTidStep(const EclatCtx& ctx,
+                      const std::vector<TidColumn>& cols,
+                      std::vector<Item>* prefix,
+                      std::vector<Tid>* scratch, uint32_t depth,
+                      bool diffsets, bool cols_are_tidsets,
+                      ItemsetSink* sink, MineStats* stats,
+                      SubtreeSpawner* spawner);
+
+SubtreeSpawner::DetachFn DetachTidClass(const EclatCtx& ctx,
+                                        const std::vector<TidColumn>& next,
+                                        const std::vector<Item>& prefix,
+                                        uint32_t depth, bool diffsets) {
+  return [&ctx, &next, &prefix, depth, diffsets](Arena* arena) {
+    auto frame = std::make_shared<EclatTidFrame>();
+    frame->ctx = ctx;
+    frame->prefix = prefix;
+    frame->diffsets = diffsets;
+    frame->cols.resize(next.size());
+    for (size_t i = 0; i < next.size(); ++i) {
+      TidColumn& dst = frame->cols[i];
+      const TidColumn& src = next[i];
+      dst.raw_item = src.raw_item;
+      dst.support = src.support;
+      Tid* copy = static_cast<Tid*>(
+          arena->Allocate(src.tids.size() * sizeof(Tid), alignof(Tid)));
+      std::memcpy(copy, src.tids.data(), src.tids.size() * sizeof(Tid));
+      dst.tids = std::span<const Tid>(copy, src.tids.size());
+    }
+    return SubtreeSpawner::SubtreeFn(
+        [frame, depth](ItemsetSink* sink, SubtreeSpawner* spawner,
+                       MineStats* stats) {
+          std::vector<Item> pfx = frame->prefix;
+          std::vector<Tid> scratch;
+          // Below the first diffset level, columns are always diffsets.
+          MineClassTidStep(frame->ctx, frame->cols, &pfx, &scratch, depth,
+                           frame->diffsets, /*cols_are_tidsets=*/false,
+                           sink, stats, spawner);
+        });
+  };
+}
+
+// Sparse-representation step. With `diffsets`, columns below level 1
+// carry d(P∪{x}) relative to the prefix (dEclat): combining member X
+// (the new prefix element) with a later member Y produces
+//   tidsets:  d(XY) = t(X) \ t(Y)
+//   diffsets: d(PXY) = d(PY) \ d(PX)
+// and support(·XY) = support(·X) - weight(diffset).
+void MineClassTidStep(const EclatCtx& ctx,
+                      const std::vector<TidColumn>& cols,
+                      std::vector<Item>* prefix,
+                      std::vector<Tid>* scratch, uint32_t depth,
+                      bool diffsets, bool cols_are_tidsets,
+                      ItemsetSink* sink, MineStats* stats,
+                      SubtreeSpawner* spawner) {
+  std::vector<TidColumn> next;
+  for (size_t k = 0; k < cols.size(); ++k) {
+    const TidColumn& a = cols[k];
+    prefix->push_back(a.raw_item);
+    sink->Emit(*prefix, a.support);
+    if (stats != nullptr) ++stats->num_frequent;
+
+    next.clear();
+    uint64_t work = 0;
+    for (size_t l = k + 1; l < cols.size(); ++l) {
+      const TidColumn& b = cols[l];
+      TidColumn child;
+      if (!diffsets) {
+        const size_t cap = std::min(a.tids.size(), b.tids.size());
+        if (scratch->size() < cap) scratch->resize(cap);
+        Support support = 0;
+        const size_t n = IntersectTidLists(a.tids, b.tids, ctx.weights,
+                                           scratch->data(), &support);
+        if (support < ctx.min_support) continue;
+        child.support = support;
+        child.owned.assign(scratch->begin(), scratch->begin() + n);
+      } else {
+        const std::span<const Tid> minuend =
+            cols_are_tidsets ? a.tids : b.tids;
+        const std::span<const Tid> subtrahend =
+            cols_are_tidsets ? b.tids : a.tids;
+        if (scratch->size() < minuend.size()) {
+          scratch->resize(minuend.size());
+        }
+        Support diff_weight = 0;
+        const size_t n =
+            DifferenceTidLists(minuend, subtrahend, ctx.weights,
+                               scratch->data(), &diff_weight);
+        if (static_cast<uint64_t>(a.support) <
+            static_cast<uint64_t>(ctx.min_support) + diff_weight) {
+          continue;
+        }
+        child.support = a.support - diff_weight;
+        child.owned.assign(scratch->begin(), scratch->begin() + n);
+      }
+      child.raw_item = b.raw_item;
+      child.tids = std::span<const Tid>(child.owned);
+      work += child.support;
+      next.push_back(std::move(child));
+    }
+    if (!next.empty()) {
+      if (spawner == nullptr ||
+          !spawner->Offer(depth + 1, work,
+                          DetachTidClass(ctx, next, *prefix, depth + 1,
+                                         diffsets))) {
+        MineClassTidStep(ctx, next, prefix, scratch, depth + 1, diffsets,
+                         /*cols_are_tidsets=*/false, sink, stats, spawner);
+      }
+    }
+    prefix->pop_back();
+  }
+}
+
 class EclatRun {
  public:
   EclatRun(const EclatOptions& options, Support min_support,
-           ItemsetSink* sink, MineStats* stats)
-      : options_(options),
-        strategy_(ResolvePopcountStrategy(options.popcount)),
-        min_support_(min_support),
+           ItemsetSink* sink, MineStats* stats, SubtreeSpawner* spawner)
+      : min_support_(min_support),
         sink_(sink),
-        stats_(stats) {}
+        stats_(stats),
+        spawner_(spawner) {
+    ctx_.options = options;
+    ctx_.strategy = ResolvePopcountStrategy(options.popcount);
+    ctx_.min_support = min_support;
+  }
 
   void Run(const Database& db) {
     // Preparation: frequency ranking (intrinsic) + optional P1 sort.
     PhaseSpan prep_span(PhaseName(PhaseId::kPrepare));
     Database ranked;
-    if (options_.lexicographic_order) {
+    if (ctx_.options.lexicographic_order) {
       LexicographicResult lex = LexicographicOrder(db);
       ranked = std::move(lex.database);
       item_map_ = lex.item_order.to_item();
@@ -93,7 +375,7 @@ class EclatRun {
     // P2: resolve the vertical representation. The tid list wins when
     // the frequent columns are sparse: 4 bytes per entry beats 1 bit per
     // row below a fill of ~1/32.
-    EclatRepresentation repr = options_.representation;
+    EclatRepresentation repr = ctx_.options.representation;
     if (repr == EclatRepresentation::kAuto) {
       uint64_t entries = 0;
       for (size_t i = 0; i < num_frequent; ++i) entries += freq[i];
@@ -133,22 +415,16 @@ class EclatRun {
       cols[k].data = vdb.column(i).words();
       cols[k].offset = 0;
       cols[k].range =
-          options_.zero_escaping ? vdb.one_range(i) : vdb.full_range();
+          ctx_.options.zero_escaping ? vdb.one_range(i) : vdb.full_range();
     }
     std::vector<Item> prefix;
-    MineClass(cols, &prefix);
+    std::vector<uint64_t> scratch;
+    MineClassStep(ctx_, cols, &prefix, &scratch, 0, sink_, stats_,
+                  spawner_);
     stats_->FinishPhase(PhaseId::kMine, mine_span);
   }
 
  private:
-  // One itemset's tid list during the sparse DFS (P2 representation).
-  struct TidColumn {
-    Item raw_item = 0;
-    Support support = 0;
-    std::span<const Tid> tids;   // view: either borrowed or into `owned`
-    std::vector<Tid> owned;
-  };
-
   // Sparse-representation mining path. With `diffsets`, level-1 columns
   // are tid lists and every deeper class switches to diffsets relative
   // to its prefix (dEclat).
@@ -161,6 +437,15 @@ class EclatRun {
     stats_->peak_structure_bytes = tdb.memory_bytes();
 
     PhaseSpan mine_span(PhaseName(PhaseId::kMine));
+    if (spawner_ != nullptr) {
+      // Detached subtrees may outlive this run (and `tdb` with it):
+      // give them shared ownership of the weight array.
+      ctx_.weights_keepalive =
+          std::make_shared<const std::vector<Support>>(tdb.weights());
+      ctx_.weights = ctx_.weights_keepalive->data();
+    } else {
+      ctx_.weights = tdb.weights().data();
+    }
     const auto& freq = ranked.item_frequencies();
     std::vector<Item> items(num_frequent);
     for (size_t i = 0; i < num_frequent; ++i) items[i] = static_cast<Item>(i);
@@ -174,160 +459,18 @@ class EclatRun {
       cols[k].tids = tdb.list(items[k]);
     }
     std::vector<Item> prefix;
-    if (diffsets) {
-      MineClassDiff(cols, tdb.weights().data(), &prefix,
-                    /*cols_are_tidsets=*/true);
-    } else {
-      MineClassTid(cols, tdb.weights().data(), &prefix);
-    }
+    std::vector<Tid> scratch;
+    MineClassTidStep(ctx_, cols, &prefix, &scratch, 0, diffsets,
+                     /*cols_are_tidsets=*/true, sink_, stats_, spawner_);
     stats_->FinishPhase(PhaseId::kMine, mine_span);
   }
 
-  void MineClassTid(const std::vector<TidColumn>& cols,
-                    const Support* weights, std::vector<Item>* prefix) {
-    std::vector<TidColumn> next;
-    for (size_t k = 0; k < cols.size(); ++k) {
-      const TidColumn& a = cols[k];
-      prefix->push_back(a.raw_item);
-      sink_->Emit(*prefix, a.support);
-      ++stats_->num_frequent;
-
-      next.clear();
-      for (size_t l = k + 1; l < cols.size(); ++l) {
-        const TidColumn& b = cols[l];
-        const size_t cap = std::min(a.tids.size(), b.tids.size());
-        if (tid_scratch_.size() < cap) tid_scratch_.resize(cap);
-        Support support = 0;
-        const size_t n = IntersectTidLists(a.tids, b.tids, weights,
-                                           tid_scratch_.data(), &support);
-        if (support < min_support_) continue;
-        TidColumn child;
-        child.raw_item = b.raw_item;
-        child.support = support;
-        child.owned.assign(tid_scratch_.begin(), tid_scratch_.begin() + n);
-        child.tids = std::span<const Tid>(child.owned);
-        next.push_back(std::move(child));
-      }
-      if (!next.empty()) MineClassTid(next, weights, prefix);
-      prefix->pop_back();
-    }
-  }
-
-  // dEclat recursion. When `cols_are_tidsets`, members carry t(P∪{x});
-  // otherwise they carry d(P∪{x}) relative to the current prefix P.
-  // Either way, combining member X (the new prefix element) with a
-  // later member Y produces the child's diffset
-  //   tidsets:  d(XY) = t(X) \ t(Y)
-  //   diffsets: d(PXY) = d(PY) \ d(PX)
-  // and support(·XY) = support(·X) - weight(diffset).
-  void MineClassDiff(const std::vector<TidColumn>& cols,
-                     const Support* weights, std::vector<Item>* prefix,
-                     bool cols_are_tidsets) {
-    std::vector<TidColumn> next;
-    for (size_t k = 0; k < cols.size(); ++k) {
-      const TidColumn& a = cols[k];
-      prefix->push_back(a.raw_item);
-      sink_->Emit(*prefix, a.support);
-      ++stats_->num_frequent;
-
-      next.clear();
-      for (size_t l = k + 1; l < cols.size(); ++l) {
-        const TidColumn& b = cols[l];
-        const std::span<const Tid> minuend =
-            cols_are_tidsets ? a.tids : b.tids;
-        const std::span<const Tid> subtrahend =
-            cols_are_tidsets ? b.tids : a.tids;
-        if (tid_scratch_.size() < minuend.size()) {
-          tid_scratch_.resize(minuend.size());
-        }
-        Support diff_weight = 0;
-        const size_t n =
-            DifferenceTidLists(minuend, subtrahend, weights,
-                               tid_scratch_.data(), &diff_weight);
-        if (static_cast<uint64_t>(a.support) <
-            static_cast<uint64_t>(min_support_) + diff_weight) {
-          continue;
-        }
-        TidColumn child;
-        child.raw_item = b.raw_item;
-        child.support = a.support - diff_weight;
-        child.owned.assign(tid_scratch_.begin(), tid_scratch_.begin() + n);
-        child.tids = std::span<const Tid>(child.owned);
-        next.push_back(std::move(child));
-      }
-      if (!next.empty()) {
-        MineClassDiff(next, weights, prefix, /*cols_are_tidsets=*/false);
-      }
-      prefix->pop_back();
-    }
-  }
-
-  // Mines one equivalence class: emits every column as an extension of
-  // `prefix` and recurses on its own extensions.
-  void MineClass(const std::vector<Column>& cols, std::vector<Item>* prefix) {
-    std::vector<Column> next;
-    for (size_t k = 0; k < cols.size(); ++k) {
-      const Column& a = cols[k];
-      prefix->push_back(a.raw_item);
-      sink_->Emit(*prefix, a.support);
-      ++stats_->num_frequent;
-
-      next.clear();
-      for (size_t l = k + 1; l < cols.size(); ++l) {
-        Column child = Intersect(a, cols[l]);
-        if (child.support >= min_support_) next.push_back(std::move(child));
-      }
-      if (!next.empty()) MineClass(next, prefix);
-      prefix->pop_back();
-    }
-  }
-
-  // child = a & b, counted with the configured strategy, windowed to the
-  // operands' 1-ranges when 0-escaping is on. The AND lands in a shared
-  // scratch buffer; only frequent children are materialized (trimmed to
-  // their 1-range), so the common infrequent-candidate case allocates
-  // nothing.
-  Column Intersect(const Column& a, const Column& b) {
-    Column child;
-    child.raw_item = b.raw_item;
-    const WordRange window = IntersectRanges(a.range, b.range);
-    if (window.empty()) {
-      child.range = WordRange{window.begin, window.begin};
-      child.offset = window.begin;
-      return child;
-    }
-    if (scratch_.size() < window.size()) scratch_.resize(window.size());
-    child.support = static_cast<Support>(
-        AndCount(a.data + (window.begin - a.offset),
-                 b.data + (window.begin - b.offset), scratch_.data(),
-                 window.size(), strategy_));
-    if (child.support < min_support_) {
-      child.range = window;  // never used: the caller discards the child
-      return child;
-    }
-    uint32_t begin = 0;
-    uint32_t end = window.size();
-    if (options_.zero_escaping) {
-      // Tighten the conservative window (§4.2: ranges are conservative,
-      // not necessarily optimal — tightening keeps them short downpath).
-      while (begin < end && scratch_[begin] == 0) ++begin;
-      while (end > begin && scratch_[end - 1] == 0) --end;
-    }
-    child.offset = window.begin + begin;
-    child.range = WordRange{window.begin + begin, window.begin + end};
-    child.owned.assign(scratch_.begin() + begin, scratch_.begin() + end);
-    child.data = child.owned.data();
-    return child;
-  }
-
-  const EclatOptions& options_;
-  const PopcountStrategy strategy_;
+  EclatCtx ctx_;
   const Support min_support_;
   ItemsetSink* sink_;
   MineStats* stats_;
+  SubtreeSpawner* spawner_;
   std::vector<Item> item_map_;  // rank -> raw item id
-  std::vector<uint64_t> scratch_;  // shared AND destination
-  std::vector<Tid> tid_scratch_;   // shared merge destination
 };
 
 }  // namespace
@@ -337,13 +480,20 @@ EclatMiner::EclatMiner(EclatOptions options) : options_(options) {}
 Result<MineStats> EclatMiner::MineImpl(const Database& db,
                                        Support min_support,
                                        ItemsetSink* sink) {
+  return MineNestedImpl(db, min_support, sink, nullptr);
+}
+
+Result<MineStats> EclatMiner::MineNestedImpl(const Database& db,
+                                             Support min_support,
+                                             ItemsetSink* sink,
+                                             SubtreeSpawner* spawner) {
   if (!PopcountStrategyAvailable(options_.popcount)) {
     return Status::InvalidArgument(
         std::string("popcount strategy unavailable on this machine: ") +
         PopcountStrategyName(options_.popcount));
   }
   MineStats stats;
-  EclatRun run(options_, min_support, sink, &stats);
+  EclatRun run(options_, min_support, sink, &stats, spawner);
   run.Run(db);
   return stats;
 }

@@ -1,9 +1,12 @@
 #include "fpm/algo/fpgrowth/fpgrowth_miner.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "fpm/algo/fpgrowth/fptree.h"
+#include "fpm/algo/subtree.h"
 #include "fpm/layout/item_order.h"
 #include "fpm/layout/lexicographic.h"
 #include "fpm/obs/trace.h"
@@ -21,20 +24,40 @@ std::string FpGrowthOptions::Suffix() const {
 
 namespace {
 
-// The FP-Growth recursion, shared by both tree stores.
+// A detached subtree: the conditional FP-tree is *moved* into the frame
+// (both tree stores are self-contained and movable — PointerFpTree's
+// nodes live in its embedded arena, whose heap blocks survive the
+// move), so no per-node copy is needed. Held by shared_ptr: SubtreeFn
+// is a std::function and must stay copyable.
+template <typename Tree>
+struct FpFrame {
+  FpTreeConfig config;
+  Support min_support;
+  std::shared_ptr<const std::vector<Item>> item_map;
+  Tree tree;
+  std::vector<Item> prefix;  // includes the conditional item
+};
+
+// The FP-Growth recursion, shared by both tree stores. Also the body of
+// detached subtree tasks, which construct their own run over the
+// frame's config/item_map (kept alive by the frame's shared_ptr).
 template <typename Tree>
 class FpGrowthRun {
  public:
   FpGrowthRun(const FpTreeConfig& tree_config, Support min_support,
               const std::vector<Item>& item_map, ItemsetSink* sink,
-              MineStats* stats)
+              MineStats* stats, SubtreeSpawner* spawner,
+              std::shared_ptr<const std::vector<Item>> item_map_shared)
       : tree_config_(tree_config),
         min_support_(min_support),
         item_map_(item_map),
         sink_(sink),
-        stats_(stats) {}
+        stats_(stats),
+        spawner_(spawner),
+        item_map_shared_(std::move(item_map_shared)) {}
 
-  void MineTree(const Tree& tree, std::vector<Item>* prefix) {
+  void MineTree(const Tree& tree, std::vector<Item>* prefix,
+                uint32_t depth) {
     // Single-path shortcut: enumerate all subsets directly; the support
     // of a subset is the count of its deepest element.
     std::vector<std::pair<Item, Support>> path;
@@ -52,7 +75,7 @@ class FpGrowthRun {
       const Support support = tree.ItemSupport(item);
       prefix->push_back(item_map_[item]);
       sink_->Emit(*prefix, support);
-      ++stats_->num_frequent;
+      if (stats_ != nullptr) ++stats_->num_frequent;
 
       if (item > 0) {
         // Conditional pattern base: count items over the upward paths.
@@ -80,7 +103,11 @@ class FpGrowthRun {
             if (!filtered.empty()) cond.AddPath(filtered, count);
           });
           cond.Finalize();
-          MineTree(cond, prefix);
+          if (spawner_ == nullptr ||
+              !spawner_->Offer(depth + 1, cond.num_nodes(),
+                               DetachTree(&cond, *prefix, depth + 1))) {
+            MineTree(cond, prefix, depth + 1);
+          }
         }
       }
       prefix->pop_back();
@@ -88,6 +115,28 @@ class FpGrowthRun {
   }
 
  private:
+  // Moves the finalized conditional tree into a self-contained frame.
+  // Invoked synchronously by the spawner iff the offer is taken — after
+  // a true Offer(), *cond is moved-from and must not be mined inline.
+  SubtreeSpawner::DetachFn DetachTree(Tree* cond,
+                                      const std::vector<Item>& prefix,
+                                      uint32_t depth) {
+    return [this, cond, &prefix, depth](Arena*) {
+      auto frame = std::make_shared<FpFrame<Tree>>(FpFrame<Tree>{
+          tree_config_, min_support_, item_map_shared_, std::move(*cond),
+          prefix});
+      return SubtreeSpawner::SubtreeFn(
+          [frame, depth](ItemsetSink* sink, SubtreeSpawner* spawner,
+                         MineStats* stats) {
+            FpGrowthRun<Tree> run(frame->config, frame->min_support,
+                                  *frame->item_map, sink, stats, spawner,
+                                  frame->item_map);
+            std::vector<Item> pfx = frame->prefix;
+            run.MineTree(frame->tree, &pfx, depth);
+          });
+    };
+  }
+
   // Emits every non-empty subset of path[pos..]; the last chosen element
   // is the deepest, so its count is the subset's support.
   void EnumeratePath(const std::vector<std::pair<Item, Support>>& path,
@@ -95,7 +144,7 @@ class FpGrowthRun {
     for (size_t j = pos; j < path.size(); ++j) {
       prefix->push_back(item_map_[path[j].first]);
       sink_->Emit(*prefix, path[j].second);
-      ++stats_->num_frequent;
+      if (stats_ != nullptr) ++stats_->num_frequent;
       EnumeratePath(path, j + 1, prefix);
       prefix->pop_back();
     }
@@ -106,11 +155,16 @@ class FpGrowthRun {
   const std::vector<Item>& item_map_;
   ItemsetSink* sink_;
   MineStats* stats_;
+  SubtreeSpawner* spawner_;
+  // Non-null iff a spawner is present: detached frames co-own the map
+  // so it outlives the kernel run that created it.
+  std::shared_ptr<const std::vector<Item>> item_map_shared_;
 };
 
 template <typename Tree>
 void RunFpGrowth(const Database& db, const FpGrowthOptions& options,
-                 Support min_support, ItemsetSink* sink, MineStats* stats) {
+                 Support min_support, ItemsetSink* sink, MineStats* stats,
+                 SubtreeSpawner* spawner) {
   // Preparation: frequency ranking + optional P1 lexicographic sort.
   PhaseSpan prep_span(PhaseName(PhaseId::kPrepare));
   Database ranked;
@@ -156,9 +210,17 @@ void RunFpGrowth(const Database& db, const FpGrowthOptions& options,
   stats->peak_structure_bytes = tree.memory_bytes();
 
   PhaseSpan mine_span(PhaseName(PhaseId::kMine));
-  FpGrowthRun<Tree> run(tree_config, min_support, item_map, sink, stats);
+  std::shared_ptr<const std::vector<Item>> item_map_shared;
+  if (spawner != nullptr) {
+    item_map_shared =
+        std::make_shared<const std::vector<Item>>(std::move(item_map));
+  }
+  const std::vector<Item>& map_ref =
+      item_map_shared != nullptr ? *item_map_shared : item_map;
+  FpGrowthRun<Tree> run(tree_config, min_support, map_ref, sink, stats,
+                        spawner, item_map_shared);
   std::vector<Item> prefix;
-  run.MineTree(tree, &prefix);
+  run.MineTree(tree, &prefix, /*depth=*/0);
   stats->FinishPhase(PhaseId::kMine, mine_span);
 }
 
@@ -171,11 +233,20 @@ FpGrowthMiner::FpGrowthMiner(FpGrowthOptions options) : options_(options) {
 Result<MineStats> FpGrowthMiner::MineImpl(const Database& db,
                                           Support min_support,
                                           ItemsetSink* sink) {
+  return MineNestedImpl(db, min_support, sink, nullptr);
+}
+
+Result<MineStats> FpGrowthMiner::MineNestedImpl(const Database& db,
+                                                Support min_support,
+                                                ItemsetSink* sink,
+                                                SubtreeSpawner* spawner) {
   MineStats stats;
   if (options_.node_compaction) {
-    RunFpGrowth<CompactFpTree>(db, options_, min_support, sink, &stats);
+    RunFpGrowth<CompactFpTree>(db, options_, min_support, sink, &stats,
+                               spawner);
   } else {
-    RunFpGrowth<PointerFpTree>(db, options_, min_support, sink, &stats);
+    RunFpGrowth<PointerFpTree>(db, options_, min_support, sink, &stats,
+                               spawner);
   }
   return stats;
 }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <numeric>
 
+#include "fpm/algo/subtree.h"
 #include "fpm/common/arena.h"
 #include "fpm/common/bits.h"
 #include "fpm/common/prefetch.h"
@@ -26,6 +28,21 @@ std::string LcmOptions::Suffix() const {
 
 namespace {
 
+// Read-only view of a level-local working database. MineLevel consumes
+// views, so a level can come from a WorkDb on the parent's stack or
+// from arena-backed copies inside a detached subtree frame alike.
+struct WorkView {
+  std::span<const Item> items;
+  std::span<const uint32_t> offsets;  // num_tx()+1 boundaries
+  std::span<const Support> weights;
+  uint32_t num_items = 0;
+
+  size_t num_tx() const { return weights.size(); }
+  std::span<const Item> tx(uint32_t t) const {
+    return {items.data() + offsets[t], offsets[t + 1] - offsets[t]};
+  }
+};
+
 // Level-local working database: items are dense level-local ids, sorted
 // ascending (= decreasing global frequency) within each transaction.
 struct WorkDb {
@@ -37,6 +54,11 @@ struct WorkDb {
   size_t num_tx() const { return weights.size(); }
   std::span<const Item> tx(uint32_t t) const {
     return {items.data() + offsets[t], offsets[t + 1] - offsets[t]};
+  }
+  WorkView View() const {
+    return WorkView{std::span<const Item>(items),
+                    std::span<const uint32_t>(offsets),
+                    std::span<const Support>(weights), num_items};
   }
   void Clear() {
     items.clear();
@@ -81,16 +103,39 @@ bool SpanEquals(std::span<const Item> a, std::span<const Item> b) {
 constexpr uint32_t kL1TileEntriesDefault = 4096;  // 16 KiB of items
 constexpr uint64_t kTileBatchEntryBudget = 16u << 20;  // 64 MiB of items
 
-// All mutable state of one Mine() call.
+// A detached subtree: one conditional level copied into the task's
+// arena (the spans point there; the lease's arena outlives the task),
+// plus the by-value context the re-entered recursion needs. Held by
+// shared_ptr — SubtreeFn is a std::function and must stay copyable.
+struct LcmFrame {
+  LcmOptions options;
+  Support min_support = 1;
+  std::span<const Item> items;
+  std::span<const uint32_t> offsets;
+  std::span<const Support> weights;
+  uint32_t num_items = 0;
+  std::vector<Item> item_map;  // local -> raw item id
+  std::vector<Item> prefix;    // includes the projected item
+  int depth = 0;
+
+  WorkView View() const {
+    return WorkView{items, offsets, weights, num_items};
+  }
+};
+
+// All mutable state of one Mine() call — or of one detached subtree
+// task, which constructs its own LcmRun from its frame (phases_ is null
+// there: per-function phase stats stay a sequential-run feature).
 class LcmRun {
  public:
   LcmRun(const LcmOptions& options, Support min_support, ItemsetSink* sink,
-         LcmPhaseStats* phases, MineStats* stats)
+         LcmPhaseStats* phases, MineStats* stats, SubtreeSpawner* spawner)
       : options_(options),
         min_support_(min_support),
         sink_(sink),
         phases_(phases),
-        stats_(stats) {}
+        stats_(stats),
+        spawner_(spawner) {}
 
   // Builds the level-0 working database and mines it.
   void Run(const Database& db) {
@@ -132,39 +177,15 @@ class LcmRun {
 
     PhaseSpan mine_span(PhaseName(PhaseId::kMine));
     std::vector<Item> prefix;
-    MineLevel(work, item_map, &prefix, /*depth=*/0);
+    MineLevel(work.View(), item_map, &prefix, /*depth=*/0);
     stats_->FinishPhase(PhaseId::kMine, mine_span);
-  }
-
- private:
-  // P1: sorts the level-0 transactions lexicographically in place.
-  void SortLexicographically(WorkDb* work) {
-    const size_t n = work->num_tx();
-    std::vector<uint32_t> perm(n);
-    std::iota(perm.begin(), perm.end(), 0);
-    std::sort(perm.begin(), perm.end(), [work](uint32_t a, uint32_t b) {
-      const auto ta = work->tx(a);
-      const auto tb = work->tx(b);
-      return std::lexicographical_compare(ta.begin(), ta.end(), tb.begin(),
-                                          tb.end());
-    });
-    WorkDb sorted;
-    sorted.num_items = work->num_items;
-    sorted.items.reserve(work->items.size());
-    sorted.weights.reserve(n);
-    for (uint32_t t : perm) {
-      const auto tx = work->tx(t);
-      sorted.items.insert(sorted.items.end(), tx.begin(), tx.end());
-      sorted.offsets.push_back(static_cast<uint32_t>(sorted.items.size()));
-      sorted.weights.push_back(work->weights[t]);
-    }
-    *work = std::move(sorted);
   }
 
   // One recursion level: count (CalcFreq), emit, filter+merge
   // (RmDupTrans), occurrence-deliver, and project each item's
-  // conditional database.
-  void MineLevel(const WorkDb& db, const std::vector<Item>& item_map,
+  // conditional database. Re-entrant: all state is in the arguments,
+  // so detached subtree tasks enter here from their frames.
+  void MineLevel(const WorkView& db, const std::vector<Item>& item_map,
                  std::vector<Item>* prefix, int depth) {
     if (db.num_items == 0 || db.num_tx() == 0) return;
 
@@ -190,7 +211,7 @@ class LcmRun {
         for (Item it : db.tx(t)) headers[it].count += w;
       }
     }
-    if (options_.collect_phase_stats) {
+    if (options_.collect_phase_stats && phases_ != nullptr) {
       phases_->calcfreq_seconds += count_timer.ElapsedSeconds();
     }
 
@@ -201,7 +222,7 @@ class LcmRun {
         frequent.push_back(i);
         prefix->push_back(item_map[i]);
         sink_->Emit(*prefix, headers[i].count);
-        ++stats_->num_frequent;
+        if (stats_ != nullptr) ++stats_->num_frequent;
         prefix->pop_back();
       }
     }
@@ -222,10 +243,10 @@ class LcmRun {
     } else {
       MergeDuplicates<LinkedList<uint32_t>>(db, new_local, &merged);
     }
-    if (options_.collect_phase_stats) {
+    if (options_.collect_phase_stats && phases_ != nullptr) {
       phases_->rmduptrans_seconds += merge_timer.ElapsedSeconds();
     }
-    if (depth == 0) {
+    if (depth == 0 && stats_ != nullptr) {
       stats_->peak_structure_bytes =
           std::max(stats_->peak_structure_bytes,
                    merged.memory_bytes() + headers.size() * sizeof(OccHeader));
@@ -235,7 +256,7 @@ class LcmRun {
     WallTimer occ_timer;
     std::vector<uint32_t> occ;
     BuildOccArray(merged, headers.data(), &occ);
-    if (options_.collect_phase_stats) {
+    if (options_.collect_phase_stats && phases_ != nullptr) {
       phases_->calcfreq_seconds += occ_timer.ElapsedSeconds();
     }
 
@@ -249,10 +270,94 @@ class LcmRun {
         ProjectItem(merged, headers[k], occ, k, &cond);
         if (cond.num_tx() == 0) continue;
         prefix->push_back(new_map[k]);
-        MineLevel(cond, new_map, prefix, depth + 1);
+        Recurse(cond, headers[k].cond_entries, new_map, prefix, depth);
         prefix->pop_back();
       }
     }
+  }
+
+ private:
+  // Recurses into `cond` sequentially, unless the spawner accepts the
+  // subtree (estimated cost: its conditional-entry count) as a task.
+  void Recurse(const WorkDb& cond, uint64_t work,
+               const std::vector<Item>& new_map, std::vector<Item>* prefix,
+               int depth) {
+    if (spawner_ != nullptr &&
+        spawner_->Offer(static_cast<uint32_t>(depth) + 1, work,
+                        DetachLevel(cond, new_map, *prefix, depth + 1))) {
+      return;
+    }
+    MineLevel(cond.View(), new_map, prefix, depth + 1);
+  }
+
+  // Copies `cond` (and the maps the level needs) into a self-contained
+  // frame whose array storage lives in the task's arena.
+  SubtreeSpawner::DetachFn DetachLevel(const WorkDb& cond,
+                                       const std::vector<Item>& new_map,
+                                       const std::vector<Item>& prefix,
+                                       int depth) {
+    return [this, &cond, &new_map, &prefix, depth](Arena* arena) {
+      auto frame = std::make_shared<LcmFrame>();
+      frame->options = options_;
+      frame->min_support = min_support_;
+      frame->num_items = cond.num_items;
+      frame->item_map = new_map;
+      frame->prefix = prefix;
+      frame->depth = depth;
+
+      Item* items = static_cast<Item*>(
+          arena->Allocate(cond.items.size() * sizeof(Item), alignof(Item)));
+      std::memcpy(items, cond.items.data(), cond.items.size() * sizeof(Item));
+      frame->items = std::span<const Item>(items, cond.items.size());
+
+      uint32_t* offsets = static_cast<uint32_t*>(arena->Allocate(
+          cond.offsets.size() * sizeof(uint32_t), alignof(uint32_t)));
+      std::memcpy(offsets, cond.offsets.data(),
+                  cond.offsets.size() * sizeof(uint32_t));
+      frame->offsets =
+          std::span<const uint32_t>(offsets, cond.offsets.size());
+
+      Support* weights = static_cast<Support*>(arena->Allocate(
+          cond.weights.size() * sizeof(Support), alignof(Support)));
+      std::memcpy(weights, cond.weights.data(),
+                  cond.weights.size() * sizeof(Support));
+      frame->weights =
+          std::span<const Support>(weights, cond.weights.size());
+
+      return SubtreeSpawner::SubtreeFn(
+          [frame](ItemsetSink* sink, SubtreeSpawner* spawner,
+                  MineStats* stats) {
+            LcmRun run(frame->options, frame->min_support, sink,
+                       /*phases=*/nullptr, stats, spawner);
+            std::vector<Item> pfx = frame->prefix;
+            run.MineLevel(frame->View(), frame->item_map, &pfx,
+                          frame->depth);
+          });
+    };
+  }
+
+  // P1: sorts the level-0 transactions lexicographically in place.
+  void SortLexicographically(WorkDb* work) {
+    const size_t n = work->num_tx();
+    std::vector<uint32_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::sort(perm.begin(), perm.end(), [work](uint32_t a, uint32_t b) {
+      const auto ta = work->tx(a);
+      const auto tb = work->tx(b);
+      return std::lexicographical_compare(ta.begin(), ta.end(), tb.begin(),
+                                          tb.end());
+    });
+    WorkDb sorted;
+    sorted.num_items = work->num_items;
+    sorted.items.reserve(work->items.size());
+    sorted.weights.reserve(n);
+    for (uint32_t t : perm) {
+      const auto tx = work->tx(t);
+      sorted.items.insert(sorted.items.end(), tx.begin(), tx.end());
+      sorted.offsets.push_back(static_cast<uint32_t>(sorted.items.size()));
+      sorted.weights.push_back(work->weights[t]);
+    }
+    *work = std::move(sorted);
   }
 
   // Filters each transaction to the level's frequent items (remapped to
@@ -260,7 +365,7 @@ class LcmRun {
   // detection uses bucket hashing with per-bucket chains: the linked
   // structure pattern P3 aggregates.
   template <typename Chain>
-  void MergeDuplicates(const WorkDb& db, const std::vector<Item>& new_local,
+  void MergeDuplicates(const WorkView& db, const std::vector<Item>& new_local,
                        WorkDb* merged) {
     const size_t ntx = db.num_tx();
     size_t nbuckets = 16;
@@ -364,7 +469,7 @@ class LcmRun {
         cond->weights.push_back(merged.weights[tid]);
       }
     }
-    if (options_.collect_phase_stats) {
+    if (options_.collect_phase_stats && phases_ != nullptr) {
       phases_->project_seconds += timer.ElapsedSeconds();
     }
   }
@@ -450,7 +555,8 @@ class LcmRun {
       for (uint32_t b = 0; b < batch; ++b) {
         if (conds[b].num_tx() == 0) continue;
         prefix->push_back(new_map[k + b]);
-        MineLevel(conds[b], new_map, prefix, depth + 1);
+        Recurse(conds[b], headers[k + b].cond_entries, new_map, prefix,
+                depth);
         prefix->pop_back();
         conds[b].Clear();
       }
@@ -463,6 +569,7 @@ class LcmRun {
   ItemsetSink* sink_;
   LcmPhaseStats* phases_;
   MineStats* stats_;
+  SubtreeSpawner* spawner_;
 };
 
 }  // namespace
@@ -472,9 +579,16 @@ LcmMiner::LcmMiner(LcmOptions options) : options_(options) {}
 Result<MineStats> LcmMiner::MineImpl(const Database& db,
                                      Support min_support,
                                      ItemsetSink* sink) {
+  return MineNestedImpl(db, min_support, sink, nullptr);
+}
+
+Result<MineStats> LcmMiner::MineNestedImpl(const Database& db,
+                                           Support min_support,
+                                           ItemsetSink* sink,
+                                           SubtreeSpawner* spawner) {
   MineStats stats;
   phase_stats_ = LcmPhaseStats{};
-  LcmRun run(options_, min_support, sink, &phase_stats_, &stats);
+  LcmRun run(options_, min_support, sink, &phase_stats_, &stats, spawner);
   run.Run(db);
   return stats;
 }

@@ -93,6 +93,9 @@ class LcmMiner : public Miner {
  protected:
   Result<MineStats> MineImpl(const Database& db, Support min_support,
                              ItemsetSink* sink) override;
+  Result<MineStats> MineNestedImpl(const Database& db, Support min_support,
+                                   ItemsetSink* sink,
+                                   SubtreeSpawner* spawner) override;
 
  private:
   struct Impl;

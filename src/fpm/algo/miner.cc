@@ -40,6 +40,12 @@ std::string_view PhaseName(PhaseId phase) {
 
 Result<MineStats> Miner::Mine(const Database& db, Support min_support,
                               ItemsetSink* sink) {
+  return MineNested(db, min_support, sink, nullptr);
+}
+
+Result<MineStats> Miner::MineNested(const Database& db, Support min_support,
+                                    ItemsetSink* sink,
+                                    SubtreeSpawner* spawner) {
   if (min_support < 1) {
     return Status::InvalidArgument("min_support must be >= 1");
   }
@@ -52,7 +58,7 @@ Result<MineStats> Miner::Mine(const Database& db, Support min_support,
     span.emplace(name());
   }
 
-  Result<MineStats> result = MineImpl(db, min_support, sink);
+  Result<MineStats> result = MineNestedImpl(db, min_support, sink, spawner);
   if (result.ok()) {
     if (span.has_value()) {
       span->AddArg("itemsets", result->num_frequent);

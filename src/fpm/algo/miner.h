@@ -20,6 +20,8 @@
 
 namespace fpm {
 
+class SubtreeSpawner;
+
 /// The three wall-clock phases every kernel reports. Matches the span
 /// names ("prepare"/"build"/"mine") the kernels emit to the tracer.
 enum class PhaseId {
@@ -125,6 +127,13 @@ struct ExecutionPolicy {
   /// sink as classes finish (serialized, but in nondeterministic order)
   /// — lower memory, same set of itemsets.
   bool deterministic = true;
+  /// When true (the default), parallel runs use the nested fork-join
+  /// driver (NestedParallelMiner): kernels spawn subtree tasks from
+  /// inside their recursion when estimated work clears an adaptive
+  /// cutoff, so one skewed equivalence class no longer serializes the
+  /// tail. When false, the top-level-classes-only driver
+  /// (ParallelMiner) is used.
+  bool nested = true;
 };
 
 /// Abstract frequent-itemset miner.
@@ -150,6 +159,14 @@ class Miner {
   Result<MineStats> Mine(const Database& db, Support min_support,
                          ItemsetSink* sink);
 
+  /// Like Mine(), but offers subtrees of the recursion to `spawner`
+  /// (see fpm/algo/subtree.h) so a fork-join driver can mine them as
+  /// tasks. `spawner == nullptr` is exactly Mine(). Kernels that do not
+  /// implement re-entrant recursion ignore the spawner and mine
+  /// sequentially — still correct, never parallel below the top level.
+  Result<MineStats> MineNested(const Database& db, Support min_support,
+                               ItemsetSink* sink, SubtreeSpawner* spawner);
+
   /// Display name including the active pattern configuration.
   virtual std::string name() const = 0;
 
@@ -158,6 +175,17 @@ class Miner {
   /// already validated. Returns the stats of the run.
   virtual Result<MineStats> MineImpl(const Database& db, Support min_support,
                                      ItemsetSink* sink) = 0;
+
+  /// Re-entrant algorithm body; default ignores `spawner` and runs
+  /// MineImpl(). Kernels with re-entrant recursion override this and
+  /// implement MineImpl() as MineNestedImpl(..., nullptr).
+  virtual Result<MineStats> MineNestedImpl(const Database& db,
+                                           Support min_support,
+                                           ItemsetSink* sink,
+                                           SubtreeSpawner* spawner) {
+    (void)spawner;
+    return MineImpl(db, min_support, sink);
+  }
 };
 
 }  // namespace fpm

@@ -1,0 +1,67 @@
+// Kernel-side interface for nested fork-join mining.
+//
+// The three kernels (LCM, Eclat, FP-Growth) express their recursion as a
+// re-entrant step over an explicit per-call frame. At each recursion
+// point the kernel *offers* the subtree to a SubtreeSpawner; the driver
+// (NestedParallelMiner) accepts it as an asynchronous task when the
+// estimated work clears an adaptive cutoff, and declines it otherwise —
+// in which case the kernel simply recurses sequentially, reusing its
+// scratch buffers as before. Sequential mining is the spawner == nullptr
+// degenerate case; the kernels pay nothing for the capability then.
+
+#ifndef FPM_ALGO_SUBTREE_H_
+#define FPM_ALGO_SUBTREE_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace fpm {
+
+class Arena;
+class ItemsetSink;
+struct MineStats;
+
+/// Accepts or declines subtree-mining tasks offered by a kernel.
+///
+/// Implementations must be safe to call concurrently from multiple
+/// tasks of the same mining run.
+class SubtreeSpawner {
+ public:
+  /// A detached, self-contained subtree step: mines one subtree into
+  /// `sink`, offering its own sub-subtrees to `spawner` (never null;
+  /// drivers pass themselves). `stats` is the per-task stats block the
+  /// driver aggregates after the join; it may be null.
+  using SubtreeFn =
+      std::function<void(ItemsetSink* sink, SubtreeSpawner* spawner,
+                         MineStats* stats)>;
+
+  /// Builds a SubtreeFn whose frame (conditional DB / tidset columns /
+  /// conditional FP-tree + prefix) is copied out of the kernel's scratch
+  /// buffers into `arena`-backed (or frame-owned) storage, so the kernel
+  /// may reuse those buffers the moment the call returns.
+  using DetachFn = std::function<SubtreeFn(Arena* arena)>;
+
+  virtual ~SubtreeSpawner() = default;
+
+  /// Offers the subtree rooted at the current recursion point.
+  ///
+  ///  - `depth` is the recursion depth of the subtree root (top-level
+  ///    equivalence classes are depth 0).
+  ///  - `work` is the kernel's estimate of the subtree's cost in
+  ///    conditional-database entries (LCM: occurrence-array entries,
+  ///    Eclat: sum of child supports, FP-Growth: conditional tree
+  ///    nodes). Only its magnitude matters; it is compared against the
+  ///    driver's cutoff.
+  ///  - `detach` is invoked at most once, synchronously, iff the offer
+  ///    is accepted.
+  ///
+  /// Returns true when the subtree was detached and will be mined as a
+  /// task (the kernel must NOT recurse into it), false when the kernel
+  /// should recurse sequentially.
+  virtual bool Offer(uint32_t depth, uint64_t work,
+                     const DetachFn& detach) = 0;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_ALGO_SUBTREE_H_

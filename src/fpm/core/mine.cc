@@ -8,6 +8,7 @@
 #include "fpm/algo/fpgrowth/fpgrowth_miner.h"
 #include "fpm/algo/hmine.h"
 #include "fpm/algo/lcm/lcm_miner.h"
+#include "fpm/parallel/nested_miner.h"
 #include "fpm/parallel/parallel_miner.h"
 
 namespace fpm {
@@ -73,12 +74,22 @@ Result<std::unique_ptr<Miner>> CreateMiner(const MineOptions& options) {
   // fails here instead of inside every worker task.
   FPM_ASSIGN_OR_RETURN(std::unique_ptr<Miner> probe,
                        CreateMiner(options.algorithm, options.patterns));
+  MinerFactory factory = [algorithm = options.algorithm,
+                          patterns = options.patterns] {
+    return CreateMiner(algorithm, patterns);
+  };
+  if (options.execution.nested) {
+    NestedParallelMinerOptions no;
+    no.execution = options.execution;
+    no.kernel_name = probe->name();
+    no.factory = std::move(factory);
+    return std::unique_ptr<Miner>(
+        std::make_unique<NestedParallelMiner>(std::move(no)));
+  }
   ParallelMinerOptions po;
   po.execution = options.execution;
   po.kernel_name = probe->name();
-  po.factory = [algorithm = options.algorithm, patterns = options.patterns] {
-    return CreateMiner(algorithm, patterns);
-  };
+  po.factory = std::move(factory);
   return std::unique_ptr<Miner>(std::make_unique<ParallelMiner>(std::move(po)));
 }
 

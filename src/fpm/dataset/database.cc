@@ -2,13 +2,26 @@
 
 #include <algorithm>
 
+#include "fpm/common/logging.h"
+
 namespace fpm {
+
+void DatabaseBuilder::CountAppended(size_t begin, Support weight) {
+  if (frequencies_.size() < max_item_bound_) {
+    frequencies_.resize(max_item_bound_, 0);
+  }
+  for (size_t i = begin; i < items_.size(); ++i) {
+    frequencies_[items_[i]] += weight;
+  }
+  total_weight_ += weight;
+}
 
 void DatabaseBuilder::AddTransaction(std::span<const Item> items,
                                      Support weight) {
   // De-duplicate while preserving first-occurrence order. Transactions
   // are short relative to the item universe, so sort a scratch copy to
   // detect duplicates, then emit in input order.
+  const size_t begin = items_.size();
   scratch_.assign(items.begin(), items.end());
   std::sort(scratch_.begin(), scratch_.end());
   const bool has_dup =
@@ -37,6 +50,24 @@ void DatabaseBuilder::AddTransaction(std::span<const Item> items,
   offsets_.push_back(items_.size());
   weights_.push_back(weight);
   if (weight != 1) any_weighted_ = true;
+  CountAppended(begin, weight);
+}
+
+void DatabaseBuilder::AddSortedTransaction(std::span<const Item> items,
+                                           Support weight) {
+  const size_t begin = items_.size();
+  items_.insert(items_.end(), items.begin(), items.end());
+  if (!items.empty()) {
+    FPM_DCHECK(std::is_sorted(items.begin(), items.end()) &&
+               std::adjacent_find(items.begin(), items.end()) == items.end())
+        << "AddSortedTransaction requires strictly increasing items";
+    const size_t bound = static_cast<size_t>(items.back()) + 1;
+    if (bound > max_item_bound_) max_item_bound_ = bound;
+  }
+  offsets_.push_back(items_.size());
+  weights_.push_back(weight);
+  if (weight != 1) any_weighted_ = true;
+  CountAppended(begin, weight);
 }
 
 Database DatabaseBuilder::Build() {
@@ -47,19 +78,17 @@ Database DatabaseBuilder::Build() {
   if (any_weighted_) {
     db.weights_ = std::move(weights_);
   }
-  db.frequencies_.assign(db.num_items_, 0);
-  db.total_weight_ = 0;
-  for (Tid t = 0; t < db.num_transactions(); ++t) {
-    const Support w = db.weight(t);
-    db.total_weight_ += w;
-    for (Item it : db.transaction(t)) db.frequencies_[it] += w;
-  }
+  frequencies_.resize(max_item_bound_, 0);
+  db.frequencies_ = std::move(frequencies_);
+  db.total_weight_ = total_weight_;
 
   // Reset to a clean reusable state.
   items_.clear();
   offsets_.assign(1, 0);
   weights_.clear();
+  frequencies_.clear();
   max_item_bound_ = 0;
+  total_weight_ = 0;
   any_weighted_ = false;
   return db;
 }

@@ -102,6 +102,14 @@ class DatabaseBuilder {
     AddTransaction(std::span<const Item>(items.begin(), items.size()), weight);
   }
 
+  /// Appends one transaction whose items the caller guarantees are
+  /// already strictly increasing (sorted, duplicate-free), skipping the
+  /// sort-based de-duplication of AddTransaction(). This is the hot path
+  /// of parallel class projection: conditional transactions are prefixes
+  /// of already rank-sorted unique transactions, so re-deriving the
+  /// order per class would repeat work the layout pass did once.
+  void AddSortedTransaction(std::span<const Item> items, Support weight = 1);
+
   /// Number of transactions added so far.
   size_t size() const { return offsets_.size() - 1; }
 
@@ -110,11 +118,17 @@ class DatabaseBuilder {
   Database Build();
 
  private:
+  /// Counts the items of items_[begin..end) into frequencies_ and bumps
+  /// total_weight_, so Build() never re-walks the whole database.
+  void CountAppended(size_t begin, Support weight);
+
   std::vector<Item> items_;
   std::vector<size_t> offsets_{0};
   std::vector<Support> weights_;
+  std::vector<Support> frequencies_;  // maintained incrementally
   std::vector<Item> scratch_;
   size_t max_item_bound_ = 0;
+  Support total_weight_ = 0;
   bool any_weighted_ = false;
 };
 

@@ -28,7 +28,9 @@ Database RemapItems(const Database& db, const ItemOrder& order) {
     tx.reserve(span.size());
     for (Item it : span) tx.push_back(order.RankOf(it));
     std::sort(tx.begin(), tx.end());
-    builder.AddTransaction(tx, db.weight(t));
+    // Ranks of distinct items are distinct, so the sorted transaction is
+    // strictly increasing — the builder's no-dedup fast path applies.
+    builder.AddSortedTransaction(tx, db.weight(t));
   }
   return builder.Build();
 }

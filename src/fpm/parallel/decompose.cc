@@ -1,0 +1,54 @@
+#include "fpm/parallel/decompose.h"
+
+#include "fpm/layout/item_order.h"
+#include "fpm/obs/metrics.h"
+
+namespace fpm {
+
+ClassDecomposition DecomposeClasses(const Database& db,
+                                    Support min_support) {
+  ClassDecomposition out;
+  const ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
+  const Database ranked = RemapItems(db, order);
+  out.rank_to_item = order.to_item();
+
+  const auto& freq = ranked.item_frequencies();
+  size_t num_frequent = 0;
+  while (num_frequent < freq.size() && freq[num_frequent] >= min_support) {
+    ++num_frequent;
+  }
+  out.class_supports.assign(freq.begin(), freq.begin() + num_frequent);
+
+  out.builders.resize(num_frequent);
+  out.class_entries.assign(num_frequent, 0);
+  for (Tid t = 0; t < ranked.num_transactions(); ++t) {
+    const auto tx = ranked.transaction(t);
+    // Ranks ascend within the transaction, so the frequent items form a
+    // prefix; infrequent items can appear in no frequent itemset.
+    size_t m = 0;
+    while (m < tx.size() && tx[m] < num_frequent) ++m;
+    const Support w = ranked.weight(t);
+    for (size_t j = 1; j < m; ++j) {
+      // The prefix of a rank-sorted duplicate-free transaction is
+      // itself sorted and duplicate-free: take the builder's fast path
+      // instead of re-deriving the ordering per class.
+      out.builders[tx[j]].AddSortedTransaction(tx.subspan(0, j), w);
+      out.class_entries[tx[j]] += j;
+      out.projection_entries += j;
+    }
+  }
+
+  // Class-size distribution: how balanced the decomposition is.
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  if (registry.enabled()) {
+    static Histogram* class_sizes = registry.GetHistogram(
+        "fpm.parallel.class_entries",
+        {0, 10, 100, 1000, 10000, 100000, 1000000});
+    static Counter* classes = registry.GetCounter("fpm.parallel.classes");
+    for (uint64_t entries : out.class_entries) class_sizes->Observe(entries);
+    classes->Add(out.class_entries.size());
+  }
+  return out;
+}
+
+}  // namespace fpm

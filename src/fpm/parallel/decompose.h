@@ -1,0 +1,49 @@
+// First-item equivalence-class decomposition, shared by the parallel
+// drivers (ParallelMiner, NestedParallelMiner).
+//
+// Items are ranked by frequency once, and each transaction is
+// suffix-projected: the class owned by item i (the *least frequent*
+// member of its itemsets) receives the conditional database of i — the
+// transactions containing i, restricted to items more frequent than i.
+// Classes are disjoint and jointly exhaustive.
+
+#ifndef FPM_PARALLEL_DECOMPOSE_H_
+#define FPM_PARALLEL_DECOMPOSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fpm/dataset/database.h"
+
+namespace fpm {
+
+/// Product of the one-pass decomposition. The global frequency ranking
+/// is computed exactly once here; class tasks consume it read-only
+/// (rank_to_item) instead of re-deriving it per class.
+struct ClassDecomposition {
+  /// rank -> raw item id, for mapping class-local results back.
+  std::vector<Item> rank_to_item;
+  /// Global (weighted) support of each class owner, by rank.
+  std::vector<Support> class_supports;
+  /// Per-class conditional databases, ready to Build(). Transactions
+  /// are rank-remapped and sorted; the builders were filled through the
+  /// sorted fast path, so Build() is a move, not a recount.
+  std::vector<DatabaseBuilder> builders;
+  /// Projected entries per class — the work estimate used for
+  /// largest-first scheduling and the spawn-cutoff heuristic.
+  std::vector<uint64_t> class_entries;
+  /// Sum of class_entries.
+  uint64_t projection_entries = 0;
+
+  size_t num_classes() const { return builders.size(); }
+};
+
+/// Ranks items, suffix-projects every transaction, and records the
+/// fpm.parallel.classes / fpm.parallel.class_entries metrics. Classes
+/// exist only for items with support >= min_support.
+ClassDecomposition DecomposeClasses(const Database& db,
+                                    Support min_support);
+
+}  // namespace fpm
+
+#endif  // FPM_PARALLEL_DECOMPOSE_H_

@@ -7,60 +7,12 @@
 #include <utility>
 #include <vector>
 
-#include "fpm/layout/item_order.h"
-#include "fpm/obs/metrics.h"
 #include "fpm/obs/trace.h"
+#include "fpm/parallel/decompose.h"
+#include "fpm/parallel/sink_adapters.h"
 #include "fpm/parallel/thread_pool.h"
 
 namespace fpm {
-namespace {
-
-// Serializes Emit() calls from concurrent tasks onto one shared sink —
-// the non-deterministic (streaming) merge path.
-class LockedSink : public ItemsetSink {
- public:
-  LockedSink(ItemsetSink* target, std::mutex* mu) : target_(target), mu_(mu) {}
-
-  void Emit(std::span<const Item> itemset, Support support) override {
-    std::lock_guard<std::mutex> lk(*mu_);
-    target_->Emit(itemset, support);
-  }
-
- private:
-  ItemsetSink* target_;
-  std::mutex* mu_;
-};
-
-// Kernels emit in the item-id space of the database they were given — a
-// conditional database whose ids are frequency ranks. This adapter maps
-// ranks back to raw item ids and appends the class's owner item, turning
-// a conditional itemset S into the global itemset S ∪ {owner}.
-class ClassSink : public ItemsetSink {
- public:
-  ClassSink(const std::vector<Item>& rank_to_item, Item owner_raw,
-            ItemsetSink* target)
-      : rank_to_item_(rank_to_item), owner_raw_(owner_raw), target_(target) {}
-
-  void Emit(std::span<const Item> itemset, Support support) override {
-    buffer_.clear();
-    buffer_.reserve(itemset.size() + 1);
-    for (Item rank : itemset) buffer_.push_back(rank_to_item_[rank]);
-    buffer_.push_back(owner_raw_);
-    target_->Emit(buffer_, support);
-    ++emitted_;
-  }
-
-  uint64_t emitted() const { return emitted_; }
-
- private:
-  const std::vector<Item>& rank_to_item_;
-  Item owner_raw_;
-  ItemsetSink* target_;
-  std::vector<Item> buffer_;
-  uint64_t emitted_ = 0;
-};
-
-}  // namespace
 
 ParallelMiner::ParallelMiner(ParallelMinerOptions options)
     : options_(std::move(options)) {}
@@ -82,62 +34,22 @@ Result<MineStats> ParallelMiner::MineImpl(const Database& db,
   }
   MineStats stats;
 
-  // ---- Decomposition: rank items, suffix-project each transaction. ----
-  // Transactions are stored most-frequent-item first, so the class owner
-  // (the least frequent member) sees its more-frequent co-members as its
-  // conditional transaction — the same direction the kernels extend in,
-  // and it bounds every class by the owner item's support.
+  // ---- Decomposition (shared with the nested driver): one frequency
+  // ranking pass, suffix-projection of every transaction. ---------------
   PhaseSpan prep_span(PhaseName(PhaseId::kPrepare));
-  const ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
-  const Database ranked = RemapItems(db, order);
-  const std::vector<Item>& rank_to_item = order.to_item();
-
-  const auto& freq = ranked.item_frequencies();
-  size_t num_frequent = 0;
-  while (num_frequent < freq.size() && freq[num_frequent] >= min_support) {
-    ++num_frequent;
-  }
-
-  std::vector<DatabaseBuilder> builders(num_frequent);
-  std::vector<uint64_t> class_entries(num_frequent, 0);
-  uint64_t projection_entries = 0;
-  for (Tid t = 0; t < ranked.num_transactions(); ++t) {
-    const auto tx = ranked.transaction(t);
-    // Ranks ascend within the transaction, so the frequent items form a
-    // prefix; infrequent items can appear in no frequent itemset.
-    size_t m = 0;
-    while (m < tx.size() && tx[m] < num_frequent) ++m;
-    const Support w = ranked.weight(t);
-    for (size_t j = 1; j < m; ++j) {
-      builders[tx[j]].AddTransaction(tx.subspan(0, j), w);
-      class_entries[tx[j]] += j;
-      projection_entries += j;
-    }
-  }
+  ClassDecomposition decomp = DecomposeClasses(db, min_support);
+  const std::vector<Item>& rank_to_item = decomp.rank_to_item;
+  const size_t num_frequent = decomp.num_classes();
   stats.FinishPhase(PhaseId::kPrepare, prep_span);
-  stats.peak_structure_bytes = projection_entries * sizeof(Item);
-
-  // Class-size distribution: how balanced the decomposition is.
-  {
-    MetricsRegistry& registry = MetricsRegistry::Default();
-    if (registry.enabled()) {
-      static Histogram* class_sizes = registry.GetHistogram(
-          "fpm.parallel.class_entries",
-          {0, 10, 100, 1000, 10000, 100000, 1000000});
-      static Counter* classes =
-          registry.GetCounter("fpm.parallel.classes");
-      for (uint64_t entries : class_entries) class_sizes->Observe(entries);
-      classes->Add(class_entries.size());
-    }
-  }
+  stats.peak_structure_bytes = decomp.projection_entries * sizeof(Item);
 
   // ---- Mine every class, largest projection first. --------------------
   PhaseSpan mine_span(PhaseName(PhaseId::kMine));
   std::vector<Item> schedule(num_frequent);
   std::iota(schedule.begin(), schedule.end(), 0);
   std::stable_sort(schedule.begin(), schedule.end(),
-                   [&class_entries](Item a, Item b) {
-                     return class_entries[a] > class_entries[b];
+                   [&decomp](Item a, Item b) {
+                     return decomp.class_entries[a] > decomp.class_entries[b];
                    });
 
   const bool deterministic = options_.execution.deterministic;
@@ -159,20 +71,21 @@ Result<MineStats> ParallelMiner::MineImpl(const Database& db,
     // prepare/merge/mine spans own the MineStats counter table).
     PhaseSpan class_span("class");
     class_span.AddArg("item", rank_to_item[i]);
-    class_span.AddArg("entries", class_entries[i]);
+    class_span.AddArg("entries", decomp.class_entries[i]);
     LockedSink locked(sink, &sink_mu);
     ItemsetSink* target =
         deterministic ? static_cast<ItemsetSink*>(shards.shard(i)) : &locked;
 
     // The class's own singleton: {owner} at its global support.
     const Item owner_raw = rank_to_item[i];
-    target->Emit(std::span<const Item>(&owner_raw, 1), freq[i]);
+    target->Emit(std::span<const Item>(&owner_raw, 1),
+                 decomp.class_supports[i]);
     uint64_t emitted = 1;
 
     double build_seconds = 0.0;
     size_t peak_bytes = 0;
-    if (builders[i].size() > 0) {
-      const Database cond = builders[i].Build();
+    if (decomp.builders[i].size() > 0) {
+      const Database cond = decomp.builders[i].Build();
       Result<std::unique_ptr<Miner>> kernel = options_.factory();
       if (!kernel.ok()) {
         if (!failed.exchange(true)) {

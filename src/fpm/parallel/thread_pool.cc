@@ -19,6 +19,7 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
   submits_counter_ = registry.GetCounter("fpm.pool.submits");
   steals_counter_ = registry.GetCounter("fpm.pool.steals");
   idle_waits_counter_ = registry.GetCounter("fpm.pool.idle_waits");
+  help_runs_counter_ = registry.GetCounter("fpm.pool.help_runs");
   const uint32_t n = num_threads < 1 ? 1 : num_threads;
   queues_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -69,6 +70,83 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lk(wait_mu_);
   done_cv_.wait(lk, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::HelpWhile(const std::function<bool()>& done) {
+  if (tls_pool != this) {
+    // Non-worker threads cannot help (they would oversubscribe the
+    // configured worker count); they sleep on done_cv_ — NOT work_cv_,
+    // where they could consume a Submit() notify_one meant for a worker
+    // and strand the task. NotifyGroupWaiters() signals done_cv_ too.
+    std::unique_lock<std::mutex> lk(wait_mu_);
+    done_cv_.wait(lk, [&done] { return done(); });
+    return;
+  }
+  const uint32_t worker_index = tls_worker_index;
+  for (;;) {
+    // Same missed-wakeup discipline as WorkerLoop: snapshot the epoch
+    // before scanning, and sleep only if it is unchanged. Group
+    // completion bumps the epoch too (NotifyGroupWaiters), so a join
+    // that races with the final task's completion never sleeps past it.
+    uint64_t seen;
+    {
+      std::lock_guard<std::mutex> lk(wait_mu_);
+      seen = epoch_;
+    }
+    if (done()) return;
+    std::function<void()> task = TakeTask(worker_index);
+    if (task) {
+      help_runs_counter_->Increment();
+      task();
+      std::lock_guard<std::mutex> lk(wait_mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(wait_mu_);
+    if (stop_) return;
+    idle_waits_counter_->Increment();
+    work_cv_.wait(lk, [this, seen, &done] {
+      return stop_ || epoch_ != seen || done();
+    });
+    if (done()) return;
+  }
+}
+
+void ThreadPool::NotifyGroupWaiters() {
+  {
+    // Bump the epoch so a helper that snapshotted it before the final
+    // task finished fails its sleep predicate and re-checks done().
+    std::lock_guard<std::mutex> lk(wait_mu_);
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+}
+
+void TaskGroup::Run(std::function<void()> task) {
+  pending_->fetch_add(1, std::memory_order_relaxed);
+  // The wrapper captures only the pool pointer and the shared pending
+  // count — never `this` — so the group object itself may die (or be
+  // reused) while wrappers are still in flight.
+  ThreadPool* pool = pool_;
+  pool_->Submit(
+      [pool, pending = pending_, fn = std::move(task)]() mutable {
+        fn();
+        // Destroy the task before announcing completion: a joiner may
+        // tear down state the task's captures reference (arena leases,
+        // sink shards) as soon as the count hits zero.
+        fn = nullptr;
+        if (pending->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          pool->NotifyGroupWaiters();
+        }
+      });
+}
+
+void TaskGroup::Wait() {
+  const std::atomic<uint64_t>* pending = pending_.get();
+  pool_->HelpWhile([pending] {
+    return pending->load(std::memory_order_acquire) == 0;
+  });
 }
 
 std::function<void()> ThreadPool::TakeTask(uint32_t worker_index) {

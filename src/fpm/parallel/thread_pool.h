@@ -49,6 +49,20 @@ class ThreadPool {
   /// Blocks the calling thread (not a worker) until all tasks complete.
   void Wait();
 
+  /// Runs pool tasks on the calling thread until `done()` returns true.
+  /// On a worker thread this is the continuation-safe join used by
+  /// TaskGroup::Wait(): instead of idling (which would deadlock once
+  /// every worker blocks on a nested join), the worker keeps executing
+  /// pending tasks — its own, or stolen — re-checking `done()` between
+  /// tasks. On a non-worker thread it simply blocks until `done()`.
+  /// `done()` must be monotonic (once true, stays true) and is called
+  /// with `wait_mu_` held, so it must not touch the pool.
+  void HelpWhile(const std::function<bool()>& done);
+
+  /// Wakes every thread blocked in HelpWhile so it re-checks `done()`.
+  /// Called by TaskGroup when a group's pending count hits zero.
+  void NotifyGroupWaiters();
+
   uint32_t num_workers() const {
     return static_cast<uint32_t>(workers_.size());
   }
@@ -85,6 +99,40 @@ class ThreadPool {
   Counter* submits_counter_;
   Counter* steals_counter_;
   Counter* idle_waits_counter_;
+  Counter* help_runs_counter_;
+};
+
+/// Fork-join scope over a ThreadPool: Run() forks a task, Wait() joins
+/// every task Run() has forked — including tasks those tasks forked onto
+/// the same group. Wait() is continuation-safe: called from a pool
+/// worker it executes pending tasks instead of idling, so arbitrarily
+/// nested fork-join (every worker blocked in a join somewhere up its
+/// stack) cannot deadlock the pool.
+///
+/// The group may outlive none of its tasks' completions: the completion
+/// signal lives in a shared_ptr owned jointly by the group and every
+/// in-flight task wrapper, so a task finishing after the group is
+/// destroyed touches only memory it co-owns.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool)
+      : pool_(pool),
+        pending_(std::make_shared<std::atomic<uint64_t>>(0)) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Forks one task. May be called from any thread, including from a
+  /// task of this same group (nested fork).
+  void Run(std::function<void()> task);
+
+  /// Joins: returns once every forked task has finished. Reusable —
+  /// Run() may be called again after Wait() returns.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::shared_ptr<std::atomic<uint64_t>> pending_;
 };
 
 }  // namespace fpm

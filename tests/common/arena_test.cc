@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <utility>
 #include <vector>
 
 namespace fpm {
@@ -48,16 +49,100 @@ TEST(ArenaTest, AllocateArrayValueInitializes) {
   for (int i = 0; i < 256; ++i) EXPECT_EQ(arr[i], 0u);
 }
 
-TEST(ArenaTest, ResetReleasesAccounting) {
-  Arena arena;
-  (void)arena.Allocate(1000);
+TEST(ArenaTest, ResetRetainsBlocksForReuse) {
+  Arena arena(/*initial_block_bytes=*/4096);
+  for (int i = 0; i < 5000; ++i) (void)arena.New<uint64_t>(i);
   EXPECT_GT(arena.bytes_used(), 0u);
+  const size_t reserved = arena.bytes_reserved();
   arena.Reset();
   EXPECT_EQ(arena.bytes_used(), 0u);
+  // Blocks are retained, not freed.
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  // A second fill of the same size touches the system allocator zero
+  // times: the reservation must not grow.
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t* p = arena.New<uint64_t>(i);
+    ASSERT_EQ(*p, static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaTest, ReleaseReturnsReservation) {
+  Arena arena;
+  (void)arena.Allocate(1000);
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+  arena.Release();
+  EXPECT_EQ(arena.bytes_used(), 0u);
   EXPECT_EQ(arena.bytes_reserved(), 0u);
-  // Usable again after reset.
+  // Usable again after release.
   int* p = arena.New<int>(5);
   EXPECT_EQ(*p, 5);
+}
+
+TEST(ArenaTest, AllocationLargerThanMaxBlockGetsDedicatedBlock) {
+  Arena arena(/*initial_block_bytes=*/64, /*max_block_bytes=*/4096);
+  char* big = static_cast<char*>(arena.Allocate(1 << 20));
+  std::memset(big, 0x5a, 1 << 20);  // must be fully usable
+  EXPECT_GE(arena.bytes_reserved(), static_cast<size_t>(1 << 20));
+  // The oversized block does not poison subsequent small allocations.
+  int* p = arena.New<int>(7);
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(ArenaTest, AlignmentHoldsAcrossBlockBoundary) {
+  Arena arena(/*initial_block_bytes=*/64, /*max_block_bytes=*/64);
+  // Leave the cursor misaligned right before the block fills up, so the
+  // aligned allocation must start a new block and re-align there.
+  (void)arena.Allocate(61, 1);
+  void* p = arena.Allocate(32, 32);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 32, 0u);
+  std::memset(p, 0xcd, 32);
+}
+
+TEST(ArenaTest, ResetReusesOversizedRetainedBlock) {
+  Arena arena(/*initial_block_bytes=*/4096);
+  (void)arena.Allocate(100000);
+  const size_t reserved = arena.bytes_reserved();
+  arena.Reset();
+  // The retained first block is large enough for the refill.
+  (void)arena.Allocate(100000);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaTest, MoveTransfersBlocksAndEmptiesSource) {
+  Arena a;
+  int* p = a.New<int>(42);
+  const size_t used = a.bytes_used();
+  Arena b(std::move(a));
+  EXPECT_EQ(*p, 42);  // heap blocks move with the arena
+  EXPECT_EQ(b.bytes_used(), used);
+  EXPECT_EQ(a.bytes_used(), 0u);
+  EXPECT_EQ(a.bytes_reserved(), 0u);
+}
+
+TEST(ArenaPoolTest, LeaseReturnsArenaResetButWarm) {
+  ArenaPool pool;
+  size_t reserved = 0;
+  {
+    ArenaPool::Lease lease = pool.Acquire();
+    (void)lease->Allocate(10000);
+    reserved = lease->bytes_reserved();
+    EXPECT_GT(reserved, 0u);
+  }
+  EXPECT_EQ(pool.arenas_created(), 1u);
+  ArenaPool::Lease again = pool.Acquire();
+  // Same arena, rewound but with its blocks retained.
+  EXPECT_EQ(pool.arenas_created(), 1u);
+  EXPECT_EQ(again->bytes_used(), 0u);
+  EXPECT_EQ(again->bytes_reserved(), reserved);
+}
+
+TEST(ArenaPoolTest, ConcurrentLeasesGetDistinctArenas) {
+  ArenaPool pool;
+  ArenaPool::Lease a = pool.Acquire();
+  ArenaPool::Lease b = pool.Acquire();
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(pool.arenas_created(), 2u);
 }
 
 TEST(ArenaTest, BytesUsedExcludesPadding) {

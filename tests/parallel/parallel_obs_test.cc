@@ -57,6 +57,10 @@ TEST_F(ParallelObsTest, OneClassSpanPerEquivalenceClass) {
   options.algorithm = Algorithm::kEclat;
   options.min_support = 8;
   options.execution.num_threads = 4;
+  // Pin the top-level driver: under the nested driver a class span's
+  // itemset count excludes subtrees detached to task spans, so the
+  // per-class sums below would not cover the whole result set.
+  options.execution.nested = false;
   CollectingSink sink;
   ASSERT_TRUE(Mine(db, options, &sink).ok());
 
@@ -113,6 +117,7 @@ TEST_F(ParallelObsTest, ClassCounterAndHistogramMatchSpans) {
   options.algorithm = Algorithm::kLcm;
   options.min_support = 8;
   options.execution.num_threads = 2;
+  options.execution.nested = false;
   CollectingSink sink;
   ASSERT_TRUE(Mine(db, options, &sink).ok());
 

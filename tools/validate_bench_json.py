@@ -4,10 +4,13 @@
 Usage: validate_bench_json.py FILE [FILE...]
 
 Checks the schema documented in EXPERIMENTS.md ("Machine-readable
-output"): required top-level keys and types, schema_version == 1, the
+output"): required top-level keys and types, schema_version == 2, the
 host block, the perf_counters availability block (a reason is required
 exactly when counters are unavailable), and the shape of every row's
-optional "phases" object. Exits nonzero with one line per problem.
+optional "phases" object, and — new in v2 — that every row tagged
+"driver": "nested" carries the task load-balance fields (spawn/cutoff
+counts and max/mean per-worker busy seconds). Exits nonzero with one
+line per problem.
 
 Standard library only — runs on any CI python3.
 """
@@ -15,7 +18,7 @@ Standard library only — runs on any CI python3.
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 TOP_KEYS = {
     "schema_version": int,
@@ -35,6 +38,15 @@ HOST_KEYS = {
     "l2_bytes": int,
     "l3_bytes": int,
 }
+
+# Load-balance fields every "driver": "nested" row must carry (v2).
+NESTED_ROW_KEYS = (
+    "task_spawns",
+    "task_cutoffs",
+    "task_busy_max_seconds",
+    "task_busy_mean_seconds",
+    "task_imbalance",
+)
 
 
 def check(path):
@@ -87,6 +99,19 @@ def check(path):
         if not isinstance(row, dict):
             err(f"rows[{i}] is not an object")
             continue
+        if row.get("driver") == "nested":
+            for key in NESTED_ROW_KEYS:
+                v = row.get(key)
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    err(f"rows[{i}] driver=nested but '{key}' missing "
+                        "or not a number")
+            busy_max = row.get("task_busy_max_seconds", 0)
+            busy_mean = row.get("task_busy_mean_seconds", 0)
+            if (isinstance(busy_max, (int, float))
+                    and isinstance(busy_mean, (int, float))
+                    and busy_max < busy_mean):
+                err(f"rows[{i}] task_busy_max_seconds {busy_max} < "
+                    f"task_busy_mean_seconds {busy_mean}")
         phases = row.get("phases")
         if phases is None:
             continue

@@ -1,0 +1,220 @@
+// Service-layer throughput: what the result cache buys a long-lived
+// mining service. Four measurements against one in-process
+// MiningService on the DS1 workload:
+//
+//   cold        the first query — pays the full mine
+//   warm        repeated identical queries — exact cache hits
+//   dominated   ascending-threshold queries — dominance-filtered hits
+//   concurrent  C client threads hammering the warm path — QPS and
+//               tail latency under contention
+//
+// Each row of BENCH_service_throughput.json carries clients, qps,
+// p50_ms and p99_ms (the service-row shape validate_bench_json.py
+// enforces), plus the cache-outcome counts that prove which path the
+// section actually exercised. The bench exits nonzero if the cache
+// failed to serve the warm or dominated sections — a throughput number
+// that silently re-mined would be meaningless.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_report.h"
+#include "fpm/dataset/fimi_io.h"
+#include "fpm/service/service.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ToMs(Clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+struct LatencyStats {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Percentiles over the individual latencies, QPS over the wall time.
+LatencyStats Summarize(std::vector<double> latencies_ms, double wall_s) {
+  LatencyStats out;
+  if (latencies_ms.empty()) return out;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const size_t n = latencies_ms.size();
+  out.p50_ms = latencies_ms[n / 2];
+  out.p99_ms = latencies_ms[std::min(n - 1, (n * 99) / 100)];
+  out.qps = static_cast<double>(n) / wall_s;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fpm;
+  bench::PrintHeader("bench_service_throughput",
+                     "mining service cold vs warm QPS and tail latency");
+
+  bench::BenchReport report("service_throughput",
+                            "mining service cold vs warm throughput");
+
+  const double scale = BenchScale();
+  const bench::BenchDataset ds = bench::MakeDs1(scale);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fpm_bench_service.dat")
+          .string();
+  FPM_CHECK_OK(WriteFimiFile(ds.db, path));
+
+  MiningService service(MiningService::Options{});
+  MineRequest request;
+  request.dataset_path = path;
+  request.algorithm = Algorithm::kLcm;
+  request.patterns = PatternSet::All();
+  request.min_support = ds.min_support;
+  request.count_only = true;  // measure the service, not result copying
+
+  // ---- cold: the one query that actually mines. ----------------------
+  const auto cold_start = Clock::now();
+  auto cold = service.Execute(request);
+  const double cold_ms = ToMs(Clock::now() - cold_start);
+  FPM_CHECK_OK(cold.status());
+  std::printf("cold   1 client   %8.2f ms   (%llu itemsets, cache %s)\n",
+              cold_ms, static_cast<unsigned long long>(cold->num_frequent),
+              CacheOutcomeName(cold->cache));
+  report.AddRow()
+      .Str("mode", "cold")
+      .Int("clients", 1)
+      .Int("requests", 1)
+      .Num("qps", 1000.0 / cold_ms)
+      .Num("p50_ms", cold_ms)
+      .Num("p99_ms", cold_ms)
+      .Int("num_frequent", cold->num_frequent);
+
+  // ---- warm: identical queries served from the exact-hit path. -------
+  constexpr int kWarmRequests = 400;
+  {
+    std::vector<double> latencies;
+    latencies.reserve(kWarmRequests);
+    const auto start = Clock::now();
+    for (int i = 0; i < kWarmRequests; ++i) {
+      const auto t0 = Clock::now();
+      auto r = service.Execute(request);
+      latencies.push_back(ToMs(Clock::now() - t0));
+      FPM_CHECK_OK(r.status());
+      FPM_CHECK(r->cache == CacheOutcome::kExact) << "warm query missed";
+    }
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const LatencyStats s = Summarize(std::move(latencies), wall_s);
+    std::printf("warm   1 client   %8.0f qps   p50 %.3f ms   p99 %.3f ms\n",
+                s.qps, s.p50_ms, s.p99_ms);
+    report.AddRow()
+        .Str("mode", "warm")
+        .Int("clients", 1)
+        .Int("requests", kWarmRequests)
+        .Num("qps", s.qps)
+        .Num("p50_ms", s.p50_ms)
+        .Num("p99_ms", s.p99_ms)
+        .Num("speedup_vs_cold", cold_ms / (s.p50_ms > 0.0 ? s.p50_ms : 1e-6));
+  }
+
+  // ---- dominated: each threshold asked once, filtered not mined. -----
+  constexpr int kDominatedRequests = 24;
+  {
+    std::vector<double> latencies;
+    const auto start = Clock::now();
+    for (int i = 1; i <= kDominatedRequests; ++i) {
+      MineRequest higher = request;
+      higher.min_support = ds.min_support + static_cast<Support>(i);
+      const auto t0 = Clock::now();
+      auto r = service.Execute(higher);
+      latencies.push_back(ToMs(Clock::now() - t0));
+      FPM_CHECK_OK(r.status());
+      FPM_CHECK(r->cache == CacheOutcome::kDominated)
+          << "dominated query was not answered by dominance";
+    }
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const LatencyStats s = Summarize(std::move(latencies), wall_s);
+    std::printf("domin  1 client   %8.0f qps   p50 %.3f ms   p99 %.3f ms\n",
+                s.qps, s.p50_ms, s.p99_ms);
+    report.AddRow()
+        .Str("mode", "dominated")
+        .Int("clients", 1)
+        .Int("requests", kDominatedRequests)
+        .Num("qps", s.qps)
+        .Num("p50_ms", s.p50_ms)
+        .Num("p99_ms", s.p99_ms);
+  }
+
+  // ---- concurrent: C blocking clients on the warm path. --------------
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int clients = static_cast<int>(std::min(8u, hw != 0 ? hw : 4u));
+  constexpr int kPerClient = 100;
+  {
+    std::vector<std::vector<double>> per_client(
+        static_cast<size_t>(clients));
+    const auto start = Clock::now();
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          auto& latencies = per_client[static_cast<size_t>(c)];
+          latencies.reserve(kPerClient);
+          for (int i = 0; i < kPerClient; ++i) {
+            const auto t0 = Clock::now();
+            auto r = service.Execute(request);
+            latencies.push_back(ToMs(Clock::now() - t0));
+            FPM_CHECK_OK(r.status());
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    std::vector<double> pooled;
+    for (auto& v : per_client) {
+      pooled.insert(pooled.end(), v.begin(), v.end());
+    }
+    const LatencyStats s = Summarize(std::move(pooled), wall_s);
+    std::printf("warm  %2d clients  %8.0f qps   p50 %.3f ms   p99 %.3f ms\n",
+                clients, s.qps, s.p50_ms, s.p99_ms);
+    report.AddRow()
+        .Str("mode", "warm_concurrent")
+        .Int("clients", static_cast<uint64_t>(clients))
+        .Int("requests", static_cast<uint64_t>(clients) * kPerClient)
+        .Num("qps", s.qps)
+        .Num("p50_ms", s.p50_ms)
+        .Num("p99_ms", s.p99_ms);
+  }
+
+  const ResultCacheStats cache = service.cache().stats();
+  std::printf("\ncache: %llu exact hits, %llu dominated, %llu misses\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.dominated_hits),
+              static_cast<unsigned long long>(cache.misses));
+  report.AddRow()
+      .Str("mode", "cache_totals")
+      .Int("cache_hits", cache.hits)
+      .Int("cache_dominated_hits", cache.dominated_hits)
+      .Int("cache_misses", cache.misses);
+  report.Write();
+  std::filesystem::remove(path);
+
+  // The whole point was to measure the cached paths.
+  const bool served_from_cache =
+      cache.hits > 0 && cache.dominated_hits > 0 && cache.misses == 1;
+  if (!served_from_cache) {
+    std::fprintf(stderr, "FAIL: cache did not serve the measured load\n");
+    return 1;
+  }
+  return 0;
+}

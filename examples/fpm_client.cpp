@@ -1,0 +1,181 @@
+// fpm_client — command-line client for fpmd (examples/fpmd.cpp).
+//
+//   ./fpm_client --socket=/tmp/fpmd.sock ping
+//   ./fpm_client --socket=/tmp/fpmd.sock metrics
+//   ./fpm_client --socket=/tmp/fpmd.sock shutdown
+//   ./fpm_client --socket=/tmp/fpmd.sock mine <dataset> <min_support>
+//       [--algorithm=NAME] [--patterns=all|none] [--priority=N]
+//       [--timeout=SEC] [--count-only] [--repeat=N]
+//
+// Prints one response line per request to stdout (raw protocol JSON —
+// pipe through jq for pretty output). --repeat issues the same mine
+// request N times on one connection, which is how the CI smoke test
+// drives the daemon's result cache. Exit code: 0 when every response
+// has "ok":true, 1 otherwise.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fpm/service/json.h"
+
+namespace {
+
+using fpm::JsonValue;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket=PATH ping|metrics|shutdown\n"
+               "       %s --socket=PATH mine DATASET MIN_SUPPORT "
+               "[--algorithm=NAME] [--patterns=all|none] [--priority=N] "
+               "[--timeout=SEC] [--count-only] [--repeat=N]\n",
+               argv0, argv0);
+  return 2;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one newline-terminated response into `line` (newline stripped).
+bool RecvLine(int fd, std::string* buffer, std::string* line) {
+  while (true) {
+    const size_t newline = buffer->find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer->substr(0, newline);
+      buffer->erase(0, newline + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string op;
+  std::string dataset;
+  long min_support = 0;
+  std::string algorithm;
+  std::string patterns;
+  long priority = 0;
+  double timeout_seconds = 0.0;
+  bool count_only = false;
+  long repeat = 1;
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+    } else if (arg.rfind("--algorithm=", 0) == 0) {
+      algorithm = arg.substr(12);
+    } else if (arg.rfind("--patterns=", 0) == 0) {
+      patterns = arg.substr(11);
+    } else if (arg.rfind("--priority=", 0) == 0) {
+      priority = std::atol(arg.c_str() + 11);
+    } else if (arg.rfind("--timeout=", 0) == 0) {
+      timeout_seconds = std::atof(arg.c_str() + 10);
+    } else if (arg == "--count-only") {
+      count_only = true;
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = std::atol(arg.c_str() + 9);
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage(argv[0]);
+    } else if (positional == 0) {
+      op = arg;
+      ++positional;
+    } else if (positional == 1) {
+      dataset = arg;
+      ++positional;
+    } else if (positional == 2) {
+      min_support = std::atol(arg.c_str());
+      ++positional;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (socket_path.empty() || op.empty() || repeat < 1) return Usage(argv[0]);
+  if (op == "mine" && (dataset.empty() || min_support < 1)) {
+    return Usage(argv[0]);
+  }
+  if (op != "mine" && op != "ping" && op != "metrics" && op != "shutdown") {
+    return Usage(argv[0]);
+  }
+
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue::Str(op));
+  if (op == "mine") {
+    request.Set("dataset", JsonValue::Str(dataset));
+    request.Set("min_support", JsonValue::Int(min_support));
+    if (!algorithm.empty()) {
+      request.Set("algorithm", JsonValue::Str(algorithm));
+    }
+    if (!patterns.empty()) request.Set("patterns", JsonValue::Str(patterns));
+    if (priority != 0) request.Set("priority", JsonValue::Int(priority));
+    if (timeout_seconds > 0.0) {
+      request.Set("timeout_s", JsonValue::Number(timeout_seconds));
+    }
+    if (count_only) request.Set("count_only", JsonValue::Bool(true));
+  } else {
+    repeat = 1;
+  }
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::perror("connect");
+    return 1;
+  }
+
+  const std::string line = request.Dump() + "\n";
+  std::string buffer;
+  bool all_ok = true;
+  for (long i = 0; i < repeat; ++i) {
+    if (!SendAll(fd, line)) {
+      std::fprintf(stderr, "send failed\n");
+      ::close(fd);
+      return 1;
+    }
+    std::string response;
+    if (!RecvLine(fd, &buffer, &response)) {
+      std::fprintf(stderr, "connection closed before response\n");
+      ::close(fd);
+      return 1;
+    }
+    std::printf("%s\n", response.c_str());
+    auto parsed = fpm::ParseJson(response);
+    // Control responses carry "ok"; the metrics snapshot is a raw
+    // counters object with no envelope — any parseable object counts.
+    if (!parsed.ok() || !parsed->is_object() ||
+        (!parsed.value()["ok"].is_null() &&
+         !parsed.value()["ok"].bool_value())) {
+      all_ok = false;
+    }
+  }
+  ::close(fd);
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,248 @@
+// fpmd — the mining query daemon: a MiningService behind a Unix-domain
+// stream socket speaking newline-delimited JSON (fpm/service/protocol.h).
+//
+//   ./fpmd --socket=/tmp/fpmd.sock [options]
+//     --threads=N            pool workers (default: all hardware threads)
+//     --data-budget-mb=N     dataset registry LRU budget (default 1024)
+//     --cache-budget-mb=N    result cache LRU budget (default 256)
+//     --queue-depth=N        backpressure bound (default 64)
+//     --max-itemsets=N       admission bound (default 0: off)
+//     --once                 exit after the first connection closes
+//                            (smoke tests)
+//
+// One thread per connection; requests on a connection are answered in
+// order. A client that disconnects mid-query cancels its in-flight job:
+// the connection thread polls the socket while waiting and calls
+// MineJob::Cancel() when the peer goes away, so an abandoned expensive
+// query stops burning pool workers within one kernel frame.
+//
+// Talk to it with examples/fpm_client.cpp, or by hand:
+//   printf '{"op":"ping"}\n' | nc -U /tmp/fpmd.sock
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fpm/obs/metrics.h"
+#include "fpm/service/protocol.h"
+#include "fpm/service/service.h"
+
+namespace {
+
+using namespace fpm;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket=PATH [--threads=N] [--data-budget-mb=N] "
+               "[--cache-budget-mb=N] [--queue-depth=N] [--max-itemsets=N] "
+               "[--once]\n",
+               argv0);
+  return 2;
+}
+
+bool SendLine(int fd, std::string line) {
+  line.push_back('\n');
+  size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// True when the peer has closed: a zero-byte read on a nonblocking
+/// peek. Pending request bytes (pipelined queries) read as n > 0 and
+/// keep the connection alive.
+bool PeerClosed(int fd) {
+  char byte;
+  const ssize_t n = ::recv(fd, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+  return n == 0;
+}
+
+std::string MetricsJson() {
+  std::ostringstream out;
+  MetricsRegistry::Default().Snapshot().WriteJson(out);
+  return out.str();
+}
+
+/// Runs one mine request, cancelling the job if the client disconnects
+/// while it is queued or mining.
+std::string HandleMine(MiningService& service, const MineRequest& request,
+                       int fd) {
+  Result<std::shared_ptr<MineJob>> submitted = service.Submit(request);
+  if (!submitted.ok()) return EncodeError(submitted.status());
+  const std::shared_ptr<MineJob>& job = submitted.value();
+  while (!job->WaitFor(std::chrono::milliseconds(50))) {
+    if (PeerClosed(fd)) {
+      job->Cancel();
+      job->Wait();
+      break;
+    }
+  }
+  Result<MineResponse> response = job->Take();
+  if (!response.ok()) return EncodeError(response.status());
+  return EncodeMineResponse(response.value());
+}
+
+struct ServerState {
+  std::unique_ptr<MiningService> service;
+  std::atomic<bool> shutdown{false};
+  int listen_fd = -1;
+};
+
+void ServeConnection(ServerState* state, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!state->shutdown.load(std::memory_order_relaxed)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.empty()) continue;
+
+      Result<ServiceRequest> request = DecodeRequest(line);
+      std::string reply;
+      bool shutdown_after = false;
+      if (!request.ok()) {
+        reply = EncodeError(request.status());
+      } else {
+        switch (request.value().op) {
+          case ServiceRequest::Op::kPing:
+            reply = EncodeOk();
+            break;
+          case ServiceRequest::Op::kMetrics:
+            reply = MetricsJson();
+            break;
+          case ServiceRequest::Op::kShutdown:
+            reply = EncodeOk();
+            shutdown_after = true;
+            break;
+          case ServiceRequest::Op::kMine:
+            reply = HandleMine(*state->service, request.value().mine, fd);
+            break;
+        }
+      }
+      if (!SendLine(fd, std::move(reply))) {
+        ::close(fd);
+        return;
+      }
+      if (shutdown_after) {
+        state->shutdown.store(true, std::memory_order_relaxed);
+        // Unblock the accept loop so the process can exit.
+        ::shutdown(state->listen_fd, SHUT_RDWR);
+        ::close(fd);
+        return;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  long threads = 0;
+  long data_budget_mb = 1024;
+  long cache_budget_mb = 256;
+  long queue_depth = 64;
+  double max_itemsets = 0.0;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atol(arg.c_str() + 10);
+    } else if (arg.rfind("--data-budget-mb=", 0) == 0) {
+      data_budget_mb = std::atol(arg.c_str() + 17);
+    } else if (arg.rfind("--cache-budget-mb=", 0) == 0) {
+      cache_budget_mb = std::atol(arg.c_str() + 18);
+    } else if (arg.rfind("--queue-depth=", 0) == 0) {
+      queue_depth = std::atol(arg.c_str() + 14);
+    } else if (arg.rfind("--max-itemsets=", 0) == 0) {
+      max_itemsets = std::atof(arg.c_str() + 15);
+    } else if (arg == "--once") {
+      once = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (socket_path.empty() || threads < 0 || queue_depth < 1) {
+    return Usage(argv[0]);
+  }
+  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    std::fprintf(stderr, "socket path too long\n");
+    return 2;
+  }
+
+  // The daemon always records its own metrics — the "metrics" op is the
+  // service's dashboard.
+  MetricsRegistry::Default().set_enabled(true);
+
+  ServerState state;
+  MiningService::Options options;
+  options.num_threads = static_cast<uint32_t>(threads);
+  options.dataset_budget_bytes =
+      static_cast<size_t>(data_budget_mb) * 1024 * 1024;
+  options.cache_budget_bytes =
+      static_cast<size_t>(cache_budget_mb) * 1024 * 1024;
+  options.max_queue_depth = static_cast<size_t>(queue_depth);
+  options.max_estimated_itemsets = max_itemsets;
+  state.service = std::make_unique<MiningService>(options);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  state.listen_fd = listen_fd;
+  ::unlink(socket_path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    std::perror("bind");
+    return 1;
+  }
+  if (::listen(listen_fd, 16) != 0) {
+    std::perror("listen");
+    return 1;
+  }
+  std::fprintf(stderr, "fpmd: listening on %s\n", socket_path.c_str());
+
+  std::vector<std::thread> connections;
+  while (!state.shutdown.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) break;  // listener shut down
+    if (once) {
+      ServeConnection(&state, fd);
+      break;
+    }
+    connections.emplace_back(ServeConnection, &state, fd);
+  }
+  for (std::thread& t : connections) t.join();
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+  std::fprintf(stderr, "fpmd: exiting\n");
+  return 0;
+}

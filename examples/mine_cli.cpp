@@ -7,6 +7,9 @@
 //     --output=<file>                          (default: count only)
 //     --threads=N                              (default 1: sequential;
 //                                               0: all hardware threads)
+//     --timeout=SEC                            (cancel mining after SEC
+//                                               seconds; reports patterns
+//                                               found so far, exits 3)
 //     --flat                                   (top-level task parallelism
 //                                               only; default is nested
 //                                               fork-join)
@@ -28,6 +31,7 @@
 #include <string>
 #include <utility>
 
+#include "fpm/common/cancel.h"
 #include "fpm/common/timer.h"
 #include "fpm/core/mine.h"
 #include "fpm/core/pattern_advisor.h"
@@ -68,8 +72,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.dat> <min_support> [--algorithm=NAME] "
                "[--patterns=LIST|all|none|auto] [--output=FILE] "
-               "[--threads=N (0 = all hardware threads)] [--flat] "
-               "[--nondeterministic] [--stats] [--perf] "
+               "[--threads=N (0 = all hardware threads)] [--timeout=SEC] "
+               "[--flat] [--nondeterministic] [--stats] [--perf] "
                "[--trace-out=FILE] [--metrics-out=FILE]\n",
                argv0);
   return 2;
@@ -106,6 +110,7 @@ int main(int argc, char** argv) {
   bool show_stats = false;
   bool show_perf = false;
   long threads = 1;
+  double timeout_seconds = 0.0;
   bool deterministic = true;
   bool nested = true;
   for (int i = 3; i < argc; ++i) {
@@ -129,6 +134,14 @@ int main(int argc, char** argv) {
         threads = static_cast<long>(ThreadPool::HardwareThreads());
         std::fprintf(stderr, "--threads=0: using %ld hardware threads\n",
                      threads);
+      }
+    } else if (arg.rfind("--timeout=", 0) == 0) {
+      const std::string value = arg.substr(10);
+      char* end = nullptr;
+      timeout_seconds = std::strtod(value.c_str(), &end);
+      if (value.empty() || *end != '\0' || timeout_seconds <= 0.0) {
+        std::fprintf(stderr, "--timeout must be a positive number\n");
+        return 2;
       }
     } else if (arg == "--flat") {
       nested = false;
@@ -232,6 +245,16 @@ int main(int argc, char** argv) {
   options.execution.deterministic = deterministic;
   options.execution.nested = nested;
 
+  // --timeout arms a deadline the kernels poll at frame boundaries; an
+  // expired run stops within one frame and Mine() reports
+  // DEADLINE_EXCEEDED with the partial count still in the sink.
+  CancelToken cancel;
+  if (timeout_seconds > 0.0) {
+    cancel.SetTimeout(std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::duration<double>(timeout_seconds)));
+    options.cancel = &cancel;
+  }
+
   MineStats stats;
   WallTimer mine_timer;
   Result<MineStats> run = Status::Internal("not run");
@@ -246,6 +269,16 @@ int main(int argc, char** argv) {
     count = sink.count();
   }
   if (!run.ok()) {
+    const StatusCode code = run.status().code();
+    if (code == StatusCode::kDeadlineExceeded ||
+        code == StatusCode::kCancelled) {
+      std::fprintf(stderr,
+                   "cancelled after %llu patterns (%.3fs elapsed, "
+                   "--timeout=%g)\n",
+                   static_cast<unsigned long long>(count),
+                   mine_timer.ElapsedSeconds(), timeout_seconds);
+      return 3;
+    }
     std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
     return 1;
   }

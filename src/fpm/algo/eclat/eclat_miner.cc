@@ -11,6 +11,7 @@
 #include "fpm/bitvec/tidlist.h"
 #include "fpm/bitvec/vertical.h"
 #include "fpm/common/arena.h"
+#include "fpm/common/cancel.h"
 #include "fpm/layout/lexicographic.h"
 #include "fpm/obs/trace.h"
 #include "fpm/layout/item_order.h"
@@ -84,6 +85,10 @@ struct EclatCtx {
   // the array outlives the kernel run.
   const Support* weights = nullptr;
   std::shared_ptr<const std::vector<Support>> weights_keepalive;
+
+  bool Cancelled() const {
+    return options.cancel != nullptr && options.cancel->cancelled();
+  }
 };
 
 // Self-contained frame of a detached bit-vector subtree: column data
@@ -197,6 +202,7 @@ void MineClassStep(const EclatCtx& ctx, const std::vector<Column>& cols,
                    SubtreeSpawner* spawner) {
   std::vector<Column> next;
   for (size_t k = 0; k < cols.size(); ++k) {
+    if (ctx.Cancelled()) return;
     const Column& a = cols[k];
     prefix->push_back(a.raw_item);
     sink->Emit(*prefix, a.support);
@@ -279,6 +285,7 @@ void MineClassTidStep(const EclatCtx& ctx,
                       SubtreeSpawner* spawner) {
   std::vector<TidColumn> next;
   for (size_t k = 0; k < cols.size(); ++k) {
+    if (ctx.Cancelled()) return;
     const TidColumn& a = cols[k];
     prefix->push_back(a.raw_item);
     sink->Emit(*prefix, a.support);
@@ -404,8 +411,14 @@ class EclatRun {
     // classic Eclat extension order — small intermediates first).
     std::vector<Item> items;
     for (Item i = 0; i < num_frequent; ++i) items.push_back(i);
-    std::sort(items.begin(), items.end(),
-              [&freq](Item a, Item b) { return freq[a] < freq[b]; });
+    // Support ties break by rank so the extension order — and with it
+    // the deterministic emission order — is independent of min_support:
+    // the run at a higher threshold emits exactly the support-filtered
+    // subsequence of the run at a lower one (the service's result-cache
+    // dominance reuse depends on this).
+    std::sort(items.begin(), items.end(), [&freq](Item a, Item b) {
+      return freq[a] != freq[b] ? freq[a] < freq[b] : a < b;
+    });
 
     std::vector<Column> cols(items.size());
     for (size_t k = 0; k < items.size(); ++k) {
@@ -449,8 +462,11 @@ class EclatRun {
     const auto& freq = ranked.item_frequencies();
     std::vector<Item> items(num_frequent);
     for (size_t i = 0; i < num_frequent; ++i) items[i] = static_cast<Item>(i);
-    std::sort(items.begin(), items.end(),
-              [&freq](Item a, Item b) { return freq[a] < freq[b]; });
+    // Rank tie-break as in the bit-vector path: keeps the emission order
+    // independent of min_support.
+    std::sort(items.begin(), items.end(), [&freq](Item a, Item b) {
+      return freq[a] != freq[b] ? freq[a] < freq[b] : a < b;
+    });
 
     std::vector<TidColumn> cols(items.size());
     for (size_t k = 0; k < items.size(); ++k) {
@@ -495,6 +511,9 @@ Result<MineStats> EclatMiner::MineNestedImpl(const Database& db,
   MineStats stats;
   EclatRun run(options_, min_support, sink, &stats, spawner);
   run.Run(db);
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    return options_.cancel->ToStatus();
+  }
   return stats;
 }
 

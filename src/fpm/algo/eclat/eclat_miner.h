@@ -23,6 +23,8 @@
 
 namespace fpm {
 
+class CancelToken;
+
 /// Vertical representation choice — the data structure adaptation (P2)
 /// the paper notes has been "proposed in the literature" for Eclat:
 /// dense bit vectors win on dense data, sparse tid lists on sparse data.
@@ -50,6 +52,10 @@ struct EclatOptions {
   /// vector; kAuto/kTidList are the literature-proposed adaptation.
   /// 0-escaping and the popcount strategy only apply to bit vectors.
   EclatRepresentation representation = EclatRepresentation::kBitVector;
+
+  /// Cooperative cancellation, polled at every class-step frame. See
+  /// LcmOptions::cancel for the contract. Null = never cancelled.
+  const CancelToken* cancel = nullptr;
 
   /// Enables every pattern.
   static EclatOptions All() {

@@ -7,6 +7,7 @@
 
 #include "fpm/algo/fpgrowth/fptree.h"
 #include "fpm/algo/subtree.h"
+#include "fpm/common/cancel.h"
 #include "fpm/layout/item_order.h"
 #include "fpm/layout/lexicographic.h"
 #include "fpm/obs/trace.h"
@@ -36,6 +37,7 @@ struct FpFrame {
   std::shared_ptr<const std::vector<Item>> item_map;
   Tree tree;
   std::vector<Item> prefix;  // includes the conditional item
+  const CancelToken* cancel;
 };
 
 // The FP-Growth recursion, shared by both tree stores. Also the body of
@@ -47,17 +49,20 @@ class FpGrowthRun {
   FpGrowthRun(const FpTreeConfig& tree_config, Support min_support,
               const std::vector<Item>& item_map, ItemsetSink* sink,
               MineStats* stats, SubtreeSpawner* spawner,
-              std::shared_ptr<const std::vector<Item>> item_map_shared)
+              std::shared_ptr<const std::vector<Item>> item_map_shared,
+              const CancelToken* cancel)
       : tree_config_(tree_config),
         min_support_(min_support),
         item_map_(item_map),
         sink_(sink),
         stats_(stats),
         spawner_(spawner),
-        item_map_shared_(std::move(item_map_shared)) {}
+        item_map_shared_(std::move(item_map_shared)),
+        cancel_(cancel) {}
 
   void MineTree(const Tree& tree, std::vector<Item>* prefix,
                 uint32_t depth) {
+    if (Cancelled()) return;
     // Single-path shortcut: enumerate all subsets directly; the support
     // of a subset is the count of its deepest element.
     std::vector<std::pair<Item, Support>> path;
@@ -71,6 +76,7 @@ class FpGrowthRun {
     std::vector<Support> cond_counts;
     std::vector<Item> filtered;
     for (size_t pos = items.size(); pos-- > 0;) {
+      if (Cancelled()) return;
       const Item item = items[pos];
       const Support support = tree.ItemSupport(item);
       prefix->push_back(item_map_[item]);
@@ -124,13 +130,13 @@ class FpGrowthRun {
     return [this, cond, &prefix, depth](Arena*) {
       auto frame = std::make_shared<FpFrame<Tree>>(FpFrame<Tree>{
           tree_config_, min_support_, item_map_shared_, std::move(*cond),
-          prefix});
+          prefix, cancel_});
       return SubtreeSpawner::SubtreeFn(
           [frame, depth](ItemsetSink* sink, SubtreeSpawner* spawner,
                          MineStats* stats) {
             FpGrowthRun<Tree> run(frame->config, frame->min_support,
                                   *frame->item_map, sink, stats, spawner,
-                                  frame->item_map);
+                                  frame->item_map, frame->cancel);
             std::vector<Item> pfx = frame->prefix;
             run.MineTree(frame->tree, &pfx, depth);
           });
@@ -150,6 +156,8 @@ class FpGrowthRun {
     }
   }
 
+  bool Cancelled() const { return cancel_ != nullptr && cancel_->cancelled(); }
+
   const FpTreeConfig& tree_config_;
   const Support min_support_;
   const std::vector<Item>& item_map_;
@@ -159,6 +167,7 @@ class FpGrowthRun {
   // Non-null iff a spawner is present: detached frames co-own the map
   // so it outlives the kernel run that created it.
   std::shared_ptr<const std::vector<Item>> item_map_shared_;
+  const CancelToken* cancel_;
 };
 
 template <typename Tree>
@@ -196,6 +205,12 @@ void RunFpGrowth(const Database& db, const FpGrowthOptions& options,
   Tree tree(num_frequent, tree_config);
   std::vector<Item> filtered;
   for (Tid t = 0; t < ranked.num_transactions(); ++t) {
+    // Build-phase cancellation: check once per 1024 inserted paths so a
+    // deadline can interrupt even a run that never reaches the mine phase.
+    if ((t & 1023u) == 0 && options.cancel != nullptr &&
+        options.cancel->cancelled()) {
+      return;
+    }
     filtered.clear();
     for (Item it : ranked.transaction(t)) {
       // Ranked transactions are ascending, so the first infrequent rank
@@ -218,7 +233,7 @@ void RunFpGrowth(const Database& db, const FpGrowthOptions& options,
   const std::vector<Item>& map_ref =
       item_map_shared != nullptr ? *item_map_shared : item_map;
   FpGrowthRun<Tree> run(tree_config, min_support, map_ref, sink, stats,
-                        spawner, item_map_shared);
+                        spawner, item_map_shared, options.cancel);
   std::vector<Item> prefix;
   run.MineTree(tree, &prefix, /*depth=*/0);
   stats->FinishPhase(PhaseId::kMine, mine_span);
@@ -247,6 +262,9 @@ Result<MineStats> FpGrowthMiner::MineNestedImpl(const Database& db,
   } else {
     RunFpGrowth<PointerFpTree>(db, options_, min_support, sink, &stats,
                                spawner);
+  }
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    return options_.cancel->ToStatus();
   }
   return stats;
 }

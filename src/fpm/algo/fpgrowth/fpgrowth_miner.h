@@ -26,6 +26,8 @@
 
 namespace fpm {
 
+class CancelToken;
+
 /// Pattern toggles and knobs for the FP-Growth kernel.
 ///
 /// Toggle names follow the shared noun-phrase convention (see
@@ -36,6 +38,11 @@ struct FpGrowthOptions {
   bool dfs_relayout = false;         ///< P3/P4 (implies node_compaction)
   bool software_prefetch = false;    ///< P5 + P7
   uint32_t jump_distance = 4;        ///< P5 chain distance
+
+  /// Cooperative cancellation, polled at tree-build batches and at every
+  /// conditional-tree frame. See LcmOptions::cancel for the contract.
+  /// Null = never cancelled.
+  const CancelToken* cancel = nullptr;
 
   static FpGrowthOptions All() {
     FpGrowthOptions o;

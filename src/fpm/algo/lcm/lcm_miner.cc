@@ -7,6 +7,7 @@
 
 #include "fpm/algo/subtree.h"
 #include "fpm/common/arena.h"
+#include "fpm/common/cancel.h"
 #include "fpm/common/bits.h"
 #include "fpm/common/prefetch.h"
 #include "fpm/common/timer.h"
@@ -188,6 +189,7 @@ class LcmRun {
   void MineLevel(const WorkView& db, const std::vector<Item>& item_map,
                  std::vector<Item>* prefix, int depth) {
     if (db.num_items == 0 || db.num_tx() == 0) return;
+    if (Cancelled()) return;
 
     // --- CalcFreq: weighted frequency counting. -------------------------
     WallTimer count_timer;
@@ -266,6 +268,7 @@ class LcmRun {
     } else {
       WorkDb cond;
       for (uint32_t k = 1; k < merged.num_items; ++k) {
+        if (Cancelled()) return;
         cond.Clear();
         ProjectItem(merged, headers[k], occ, k, &cond);
         if (cond.num_tx() == 0) continue;
@@ -277,6 +280,10 @@ class LcmRun {
   }
 
  private:
+  bool Cancelled() const {
+    return options_.cancel != nullptr && options_.cancel->cancelled();
+  }
+
   // Recurses into `cond` sequentially, unless the spawner accepts the
   // subtree (estimated cost: its conditional-entry count) as a task.
   void Recurse(const WorkDb& cond, uint64_t work,
@@ -553,6 +560,7 @@ class LcmRun {
       }
 
       for (uint32_t b = 0; b < batch; ++b) {
+        if (Cancelled()) return;
         if (conds[b].num_tx() == 0) continue;
         prefix->push_back(new_map[k + b]);
         Recurse(conds[b], headers[k + b].cond_entries, new_map, prefix,
@@ -590,6 +598,9 @@ Result<MineStats> LcmMiner::MineNestedImpl(const Database& db,
   phase_stats_ = LcmPhaseStats{};
   LcmRun run(options_, min_support, sink, &phase_stats_, &stats, spawner);
   run.Run(db);
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    return options_.cancel->ToStatus();
+  }
   return stats;
 }
 

@@ -30,6 +30,8 @@
 
 namespace fpm {
 
+class CancelToken;
+
 /// Pattern toggles and knobs for the LCM kernel.
 ///
 /// Naming convention (shared by EclatOptions/FpGrowthOptions): each
@@ -54,6 +56,12 @@ struct LcmOptions {
   /// Accumulate per-phase wall time into LcmPhaseStats (adds timer
   /// overhead; off by default).
   bool collect_phase_stats = false;
+
+  /// Cooperative cancellation: polled at every frame boundary (level
+  /// entry, per-item projection). A cancelled run stops descending and
+  /// Mine() returns the token's status. The token must outlive the run,
+  /// including any detached subtree tasks. Null = never cancelled.
+  const CancelToken* cancel = nullptr;
 
   /// Enables every pattern (tile/prefetch knobs keep their defaults).
   static LcmOptions All() {

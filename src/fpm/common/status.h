@@ -27,6 +27,8 @@ enum class StatusCode : int {
   kInternal = 6,
   kIOError = 7,
   kResourceExhausted = 8,
+  kCancelled = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -65,6 +67,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -8,6 +8,7 @@
 #include "fpm/algo/fpgrowth/fpgrowth_miner.h"
 #include "fpm/algo/hmine.h"
 #include "fpm/algo/lcm/lcm_miner.h"
+#include "fpm/common/cancel.h"
 #include "fpm/parallel/nested_miner.h"
 #include "fpm/parallel/parallel_miner.h"
 
@@ -18,11 +19,13 @@ PatternSet EffectivePatterns(Algorithm algorithm, PatternSet set) {
 }
 
 Result<std::unique_ptr<Miner>> CreateMiner(Algorithm algorithm,
-                                           PatternSet patterns) {
+                                           PatternSet patterns,
+                                           const CancelToken* cancel) {
   const PatternSet p = EffectivePatterns(algorithm, patterns);
   switch (algorithm) {
     case Algorithm::kLcm: {
       LcmOptions o;
+      o.cancel = cancel;
       o.lexicographic_order = p.Contains(Pattern::kLexicographicOrdering);
       o.bucket_aggregation = p.Contains(Pattern::kAggregation);
       o.counter_compaction = p.Contains(Pattern::kCompaction);
@@ -32,6 +35,7 @@ Result<std::unique_ptr<Miner>> CreateMiner(Algorithm algorithm,
     }
     case Algorithm::kEclat: {
       EclatOptions o;
+      o.cancel = cancel;
       // §4.2 couples them: the lexicographic ordering is what makes the
       // 0-escaping ranges short, so P1 enables both.
       o.lexicographic_order = p.Contains(Pattern::kLexicographicOrdering);
@@ -43,6 +47,7 @@ Result<std::unique_ptr<Miner>> CreateMiner(Algorithm algorithm,
     }
     case Algorithm::kFpGrowth: {
       FpGrowthOptions o;
+      o.cancel = cancel;
       o.lexicographic_order = p.Contains(Pattern::kLexicographicOrdering);
       o.node_compaction = p.Contains(Pattern::kDataStructureAdaptation);
       // P3 and P4 both act through the DFS re-layout of the compact
@@ -68,15 +73,16 @@ Result<std::unique_ptr<Miner>> CreateMiner(const MineOptions& options) {
     return Status::InvalidArgument("ExecutionPolicy.num_threads must be >= 1");
   }
   if (options.execution.num_threads == 1) {
-    return CreateMiner(options.algorithm, options.patterns);
+    return CreateMiner(options.algorithm, options.patterns, options.cancel);
   }
   // Probe the configuration once so a bad algorithm/pattern combination
   // fails here instead of inside every worker task.
   FPM_ASSIGN_OR_RETURN(std::unique_ptr<Miner> probe,
                        CreateMiner(options.algorithm, options.patterns));
   MinerFactory factory = [algorithm = options.algorithm,
-                          patterns = options.patterns] {
-    return CreateMiner(algorithm, patterns);
+                          patterns = options.patterns,
+                          cancel = options.cancel] {
+    return CreateMiner(algorithm, patterns, cancel);
   };
   if (options.execution.nested) {
     NestedParallelMinerOptions no;

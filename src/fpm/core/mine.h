@@ -25,6 +25,8 @@
 
 namespace fpm {
 
+class CancelToken;
+
 /// What to mine and how.
 struct MineOptions {
   Algorithm algorithm = Algorithm::kLcm;
@@ -38,6 +40,12 @@ struct MineOptions {
   /// deterministic (the default), the parallel run's canonical output
   /// is identical to the sequential run's.
   ExecutionPolicy execution;
+  /// Cooperative cancellation (fpm/common/cancel.h): honored by the
+  /// LCM/Eclat/FP-Growth kernels and, through them, the parallel
+  /// drivers; a cancelled Mine() returns CANCELLED or
+  /// DEADLINE_EXCEEDED. Ignored by the reference miners
+  /// (apriori/hmine/bruteforce). The token must outlive the call.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Patterns of `set` that actually affect `algorithm`.
@@ -46,8 +54,11 @@ PatternSet EffectivePatterns(Algorithm algorithm, PatternSet set);
 /// Instantiates a configured sequential miner. Returns InvalidArgument
 /// for configurations that cannot run here (e.g. SIMD on a machine
 /// without AVX2 — the auto strategy falls back instead of failing).
+/// A non-null `cancel` is wired into kernels that support cooperative
+/// cancellation and must outlive the miner's runs.
 Result<std::unique_ptr<Miner>> CreateMiner(Algorithm algorithm,
-                                           PatternSet patterns);
+                                           PatternSet patterns,
+                                           const CancelToken* cancel = nullptr);
 
 /// Instantiates a miner honoring the full options, including the
 /// execution policy: a sequential kernel for num_threads == 1, the

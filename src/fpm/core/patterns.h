@@ -102,6 +102,9 @@ class PatternSet {
   bool empty() const { return bits_ == 0; }
   int count() const;
 
+  /// Raw bit mask — a stable scalar for hashing / cache keys.
+  uint8_t bits() const { return bits_; }
+
   PatternSet Intersect(PatternSet other) const {
     PatternSet s;
     s.bits_ = bits_ & other.bits_;

@@ -1,5 +1,6 @@
 #include "fpm/dataset/fimi_io.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
@@ -12,26 +13,47 @@
 namespace fpm {
 namespace {
 
+// The whitespace-delimited token starting at `p`, clipped for error
+// messages — long garbage (a pasted binary blob) should not flood the
+// diagnostic.
+std::string TokenAt(const char* p, const char* end) {
+  constexpr size_t kMaxShown = 32;
+  const char* q = p;
+  while (q < end && *q != ' ' && *q != '\t' && *q != '\r') ++q;
+  const size_t len = static_cast<size_t>(q - p);
+  std::string token(p, std::min(len, kMaxShown));
+  if (len > kMaxShown) token += "...";
+  return token;
+}
+
 // Parses one line of whitespace-separated unsigned integers into `out`.
-// Returns false on malformed input.
+// Returns false on malformed input; `error` then names the offending
+// token so the caller's line number plus the token pin down the exact
+// spot in a multi-gigabyte file.
 bool ParseLine(const char* p, const char* end, std::vector<Item>* out,
                std::string* error) {
   out->clear();
   while (p < end) {
     while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
     if (p >= end) break;
-    if (!std::isdigit(static_cast<unsigned char>(*p))) {
-      *error = std::string("unexpected character '") + *p + "'";
-      return false;
-    }
+    const char* token_start = p;
     uint64_t v = 0;
     while (p < end && std::isdigit(static_cast<unsigned char>(*p))) {
       v = v * 10 + static_cast<uint64_t>(*p - '0');
       if (v > 0xffffffffULL) {
-        *error = "item id overflows 32 bits";
+        *error = "item id overflows 32 bits in token '" +
+                 TokenAt(token_start, end) + "'";
         return false;
       }
       ++p;
+    }
+    // A token must be all digits: nothing consumed means a non-digit
+    // lead ("x1 2"), stopping early means an embedded non-digit ("1a2").
+    if (p == token_start ||
+        (p < end && *p != ' ' && *p != '\t' && *p != '\r')) {
+      *error = "malformed token '" + TokenAt(token_start, end) +
+               "' (items are unsigned integers)";
+      return false;
     }
     out->push_back(static_cast<Item>(v));
   }

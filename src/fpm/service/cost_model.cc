@@ -1,0 +1,74 @@
+#include "fpm/service/cost_model.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace fpm {
+
+CostEstimate EstimateMiningCost(const Database& db, Support min_support) {
+  CostEstimate est;
+  const std::vector<Support>& freq = db.item_frequencies();
+  for (Support f : freq) {
+    if (f >= min_support) ++est.num_frequent_items;
+  }
+  if (est.num_frequent_items == 0) return est;
+
+  // Weighted histogram over per-transaction frequent-item counts n_t.
+  // hist[n] = total weight of transactions with exactly n frequent items.
+  std::vector<double> hist;
+  size_t max_n = 0;
+  for (Tid t = 0; t < db.num_transactions(); ++t) {
+    size_t n = 0;
+    for (Item it : db.transaction(t)) {
+      if (freq[it] >= min_support) ++n;
+    }
+    if (n == 0) continue;
+    if (n >= hist.size()) hist.resize(n + 1, 0.0);
+    hist[n] += static_cast<double>(db.weight(t));
+    max_n = std::max(max_n, n);
+  }
+  if (max_n == 0) return est;
+
+  // L: largest k with >= min_support transaction weight having n_t >= k.
+  // Walk the histogram from long transactions down, accumulating the
+  // suffix weight.
+  double suffix_weight = 0.0;
+  uint32_t depth_bound = 0;
+  for (size_t n = max_n; n >= 1; --n) {
+    if (n < hist.size()) suffix_weight += hist[n];
+    if (suffix_weight >= static_cast<double>(min_support)) {
+      depth_bound = static_cast<uint32_t>(n);
+      break;
+    }
+  }
+  est.max_itemset_size = depth_bound;
+  if (depth_bound == 0) return est;
+
+  // sum_{k=1..L} sum_n hist[n] * C(n, k) / min_support. Binomials are
+  // built per transaction length by the multiplicative recurrence
+  // C(n, k) = C(n, k-1) * (n-k+1)/k, saturating once the total is
+  // already unbounded — minsup 1 on a wide transaction overflows any
+  // fixed-width integer, which is exactly the query this must flag.
+  double total = 0.0;
+  for (size_t n = 1; n < hist.size(); ++n) {
+    if (hist[n] == 0.0) continue;
+    double binom = 1.0;  // C(n, 0)
+    double row_sum = 0.0;
+    const uint32_t k_max = std::min<uint32_t>(depth_bound,
+                                              static_cast<uint32_t>(n));
+    for (uint32_t k = 1; k <= k_max; ++k) {
+      binom *= static_cast<double>(n - k + 1) / static_cast<double>(k);
+      row_sum += binom;
+      if (row_sum >= CostEstimate::kUnbounded) break;
+    }
+    total += hist[n] * row_sum;
+    if (total >= CostEstimate::kUnbounded) {
+      est.max_frequent_itemsets = CostEstimate::kUnbounded;
+      return est;
+    }
+  }
+  est.max_frequent_itemsets = total / static_cast<double>(min_support);
+  return est;
+}
+
+}  // namespace fpm

@@ -1,0 +1,49 @@
+// Pre-mining cost estimation for admission control.
+//
+// Before the service queues a query it bounds how large the answer can
+// possibly be, using the combinatorial upper bound of Geerts, Goethals &
+// Van den Bussche ("Tight upper bounds on the number of candidate
+// patterns", PAPERS.md): a transaction t with n_t frequent items can
+// support at most C(n_t, k) itemsets of size k, and an itemset needs
+// min_support supporting transactions, so
+//
+//   |frequent k-itemsets| <= sum_t w_t * C(n_t, k) / min_support
+//
+// and no frequent itemset can be longer than L = the largest k such
+// that at least min_support transactions (by weight) have >= k frequent
+// items. The bound needs only the per-transaction frequent-item counts —
+// one pass over the database, no mining — which is what makes it usable
+// at admission time.
+//
+// The bound is intentionally loose (it ignores item co-occurrence); its
+// job is to reject queries that are *provably* enormous (minsup 1 on a
+// dense database), not to predict runtime.
+
+#ifndef FPM_SERVICE_COST_MODEL_H_
+#define FPM_SERVICE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "fpm/dataset/database.h"
+
+namespace fpm {
+
+/// Admission-time estimate for one (database, min_support) query.
+struct CostEstimate {
+  /// Upper bound on the number of frequent itemsets (saturates at
+  /// kUnbounded when the sum overflows double precision usefully).
+  double max_frequent_itemsets = 0.0;
+  /// Upper bound on the longest frequent itemset (the L above).
+  uint32_t max_itemset_size = 0;
+  /// Number of items frequent at this threshold.
+  uint32_t num_frequent_items = 0;
+
+  static constexpr double kUnbounded = 1e300;
+};
+
+/// Computes the bound in one pass over `db`. min_support >= 1.
+CostEstimate EstimateMiningCost(const Database& db, Support min_support);
+
+}  // namespace fpm
+
+#endif  // FPM_SERVICE_COST_MODEL_H_

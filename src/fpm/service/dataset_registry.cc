@@ -1,0 +1,142 @@
+#include "fpm/service/dataset_registry.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "fpm/dataset/fimi_io.h"
+#include "fpm/obs/metrics.h"
+
+namespace fpm {
+
+std::string ContentDigest(const std::string& bytes) {
+  uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf, 16);
+}
+
+namespace {
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed for '" + path + "'");
+  return std::move(buf).str();
+}
+
+}  // namespace
+
+DatasetRegistry::DatasetRegistry(size_t budget_bytes)
+    : budget_bytes_(budget_bytes) {
+  MetricsRegistry& m = MetricsRegistry::Default();
+  loads_counter_ = m.GetCounter("fpm.service.registry.loads");
+  hits_counter_ = m.GetCounter("fpm.service.registry.hits");
+  evictions_counter_ = m.GetCounter("fpm.service.registry.evictions");
+  bytes_gauge_ = m.GetGauge("fpm.service.registry.bytes");
+}
+
+Result<DatasetHandle> DatasetRegistry::Get(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    auto it = entries_.find(path);
+    if (it == entries_.end()) break;  // we load it
+    if (!it->second.loading) {
+      it->second.lru_seq = next_seq_++;
+      ++hits_;
+      hits_counter_->Increment();
+      DatasetHandle handle;
+      handle.database = it->second.database;
+      handle.digest = it->second.digest;
+      handle.bytes = it->second.bytes;
+      return handle;
+    }
+    // Another thread is loading this path; wait for it to publish or
+    // fail (failure erases the entry, which re-enters the load branch).
+    load_cv_.wait(lock);
+  }
+
+  entries_[path];  // inserts Entry{loading = true}
+  lock.unlock();
+
+  Result<std::string> bytes = ReadFileBytes(path);
+  Result<Database> parsed =
+      bytes.ok() ? ParseFimi(bytes.value())
+                 : Result<Database>(bytes.status());
+
+  lock.lock();
+  if (!parsed.ok()) {
+    entries_.erase(path);
+    load_cv_.notify_all();
+    return parsed.status();
+  }
+  Entry& entry = entries_[path];
+  entry.loading = false;
+  entry.database =
+      std::make_shared<const Database>(std::move(parsed).value());
+  entry.digest = ContentDigest(bytes.value());
+  entry.bytes = entry.database->memory_bytes();
+  entry.lru_seq = next_seq_++;
+  resident_bytes_ += entry.bytes;
+  ++loads_;
+  loads_counter_->Increment();
+
+  DatasetHandle handle;
+  handle.database = entry.database;
+  handle.digest = entry.digest;
+  handle.bytes = entry.bytes;
+
+  EvictLocked();
+  bytes_gauge_->Set(resident_bytes_);
+  load_cv_.notify_all();
+  return handle;
+}
+
+void DatasetRegistry::EvictLocked() {
+  if (budget_bytes_ == 0) return;
+  while (resident_bytes_ > budget_bytes_) {
+    // Least-recently-used entry that is loaded and unpinned. use_count
+    // is exact here: every other owner holds the pointer via a handle,
+    // and new handles are only minted under mu_.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.loading || it->second.database.use_count() > 1) {
+        continue;
+      }
+      if (victim == entries_.end() ||
+          it->second.lru_seq < victim->second.lru_seq) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // everything pinned
+    resident_bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++evictions_;
+    evictions_counter_->Increment();
+  }
+}
+
+DatasetRegistryStats DatasetRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DatasetRegistryStats s;
+  s.loads = loads_;
+  s.hits = hits_;
+  s.evictions = evictions_;
+  s.resident_bytes = resident_bytes_;
+  size_t n = 0;
+  for (const auto& [path, entry] : entries_) {
+    if (!entry.loading) ++n;
+  }
+  s.resident_entries = n;
+  return s;
+}
+
+}  // namespace fpm

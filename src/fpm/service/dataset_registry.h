@@ -1,0 +1,112 @@
+// Refcounted load-once dataset registry with an LRU byte budget.
+//
+// The service answers many queries against few datasets, so datasets
+// are loaded once, held immutable behind shared_ptr<const Database>,
+// and shared by every concurrent job that mines them. Entries are keyed
+// by path; each carries a content digest (FNV-1a over the raw file
+// bytes) that keys the result cache — two paths with identical bytes
+// share cached results, and a file edited in place invalidates them.
+//
+// Concurrency: the first Get() for a path parses the file while holding
+// a per-entry "loading" state (not the registry mutex), so concurrent
+// Get()s for the same path wait on a condition variable instead of
+// loading twice, and Get()s for other paths proceed unblocked.
+//
+// Eviction: when the resident bytes exceed the budget, least-recently-
+// used entries are dropped — but only entries no job currently holds
+// (use_count() == 1 under the registry mutex; jobs pin datasets by
+// holding the shared_ptr in their handle). A pinned over-budget
+// registry stays over budget until jobs release; eviction never yanks a
+// database out from under a running mine.
+
+#ifndef FPM_SERVICE_DATASET_REGISTRY_H_
+#define FPM_SERVICE_DATASET_REGISTRY_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "fpm/common/status.h"
+#include "fpm/dataset/database.h"
+
+namespace fpm {
+
+class Counter;
+class Gauge;
+
+/// A pinned dataset: holding the handle keeps the database resident.
+struct DatasetHandle {
+  std::shared_ptr<const Database> database;
+  /// FNV-1a 64 of the file bytes, as 16 lowercase hex digits.
+  std::string digest;
+  size_t bytes = 0;  ///< resident heap bytes of the database
+};
+
+/// Registry statistics (a point-in-time copy).
+struct DatasetRegistryStats {
+  uint64_t loads = 0;      ///< files read and parsed
+  uint64_t hits = 0;       ///< Get()s answered by a resident entry
+  uint64_t evictions = 0;  ///< entries dropped by the LRU budget
+  size_t resident_bytes = 0;
+  size_t resident_entries = 0;
+};
+
+class DatasetRegistry {
+ public:
+  /// `budget_bytes` bounds resident database bytes (0 = unlimited).
+  explicit DatasetRegistry(size_t budget_bytes = 0);
+
+  DatasetRegistry(const DatasetRegistry&) = delete;
+  DatasetRegistry& operator=(const DatasetRegistry&) = delete;
+
+  /// Returns the dataset at `path`, loading it on first use. Blocks if
+  /// another thread is currently loading the same path. IOError /
+  /// InvalidArgument from the reader pass through (and are not cached:
+  /// a later Get() retries).
+  Result<DatasetHandle> Get(const std::string& path);
+
+  DatasetRegistryStats stats() const;
+
+  size_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  struct Entry {
+    // Loading protocol: the loader inserts an Entry with loading=true,
+    // releases the registry mutex, loads, then re-locks and publishes.
+    bool loading = true;
+    std::shared_ptr<const Database> database;
+    std::string digest;
+    size_t bytes = 0;
+    uint64_t lru_seq = 0;
+  };
+
+  /// Drops LRU unpinned entries until under budget. Caller holds mu_.
+  void EvictLocked();
+
+  const size_t budget_bytes_;
+  mutable std::mutex mu_;
+  std::condition_variable load_cv_;
+  std::map<std::string, Entry> entries_;
+  uint64_t next_seq_ = 1;
+  size_t resident_bytes_ = 0;
+  uint64_t loads_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t evictions_ = 0;
+
+  // fpm.service.registry.* metrics (resolved once; no-ops when the
+  // default registry is disabled).
+  Counter* loads_counter_;
+  Counter* hits_counter_;
+  Counter* evictions_counter_;
+  Gauge* bytes_gauge_;
+};
+
+/// FNV-1a 64 over `bytes`, rendered as 16 lowercase hex digits.
+std::string ContentDigest(const std::string& bytes);
+
+}  // namespace fpm
+
+#endif  // FPM_SERVICE_DATASET_REGISTRY_H_

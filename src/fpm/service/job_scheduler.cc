@@ -1,0 +1,91 @@
+#include "fpm/service/job_scheduler.h"
+
+#include <utility>
+
+#include "fpm/obs/metrics.h"
+
+namespace fpm {
+
+JobScheduler::JobScheduler(JobSchedulerOptions options)
+    : options_(options) {
+  if (options_.max_concurrency == 0) {
+    options_.max_concurrency = options_.pool->num_workers();
+  }
+  MetricsRegistry& m = MetricsRegistry::Default();
+  submitted_counter_ = m.GetCounter("fpm.service.jobs.submitted");
+  rejected_counter_ = m.GetCounter("fpm.service.jobs.rejected");
+  completed_counter_ = m.GetCounter("fpm.service.jobs.completed");
+  queue_depth_gauge_ = m.GetGauge("fpm.service.jobs.queue_depth");
+}
+
+JobScheduler::~JobScheduler() { Drain(); }
+
+Status JobScheduler::Submit(int priority, std::function<void()> job) {
+  bool spawn_runner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= options_.max_queue_depth) {
+      ++rejected_;
+      rejected_counter_->Increment();
+      return Status::ResourceExhausted(
+          "job queue full (" + std::to_string(queue_.size()) + " queued)");
+    }
+    queue_.push(QueuedJob{priority, next_seq_++, std::move(job)});
+    ++submitted_;
+    submitted_counter_->Increment();
+    queue_depth_gauge_->Set(queue_.size());
+    if (active_runners_ < options_.max_concurrency) {
+      ++active_runners_;
+      spawn_runner = true;
+    }
+  }
+  if (spawn_runner) {
+    options_.pool->Submit([this] { RunnerLoop(); });
+  }
+  return Status::OK();
+}
+
+void JobScheduler::RunnerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the job is moved out via the
+    // const_cast idiom (the element is popped immediately after).
+    std::function<void()> fn =
+        std::move(const_cast<QueuedJob&>(queue_.top()).fn);
+    queue_.pop();
+    ++running_;
+    queue_depth_gauge_->Set(queue_.size());
+    lock.unlock();
+
+    fn();
+
+    lock.lock();
+    --running_;
+    ++completed_;
+    completed_counter_->Increment();
+  }
+  --active_runners_;
+  if (queue_.empty() && running_ == 0 && active_runners_ == 0) {
+    drain_cv_.notify_all();
+  }
+}
+
+void JobScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] {
+    return queue_.empty() && running_ == 0 && active_runners_ == 0;
+  });
+}
+
+JobSchedulerStats JobScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JobSchedulerStats s;
+  s.submitted = submitted_;
+  s.rejected = rejected_;
+  s.completed = completed_;
+  s.queue_depth = queue_.size();
+  s.running = running_;
+  return s;
+}
+
+}  // namespace fpm

@@ -1,0 +1,87 @@
+// Minimal JSON value: parse + serialize, just enough for the service's
+// newline-delimited protocol (fpm/service/protocol.h).
+//
+// Deliberately small rather than general: numbers are doubles (every
+// value the protocol carries — supports, counts, byte sizes — is well
+// inside the 2^53 exact-integer range), objects are ordered maps so
+// serialization is deterministic, and parsing rejects anything outside
+// the JSON grammar instead of guessing. No external dependency.
+
+#ifndef FPM_SERVICE_JSON_H_
+#define FPM_SERVICE_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fpm/common/status.h"
+
+namespace fpm {
+
+/// A JSON document node. Value semantics; copying copies the subtree.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Int(int64_t i) { return Number(static_cast<double>(i)); }
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  int64_t int_value() const { return static_cast<int64_t>(number_); }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  std::vector<JsonValue>& mutable_array() { return array_; }
+  const std::map<std::string, JsonValue>& object_items() const {
+    return object_;
+  }
+
+  /// Object member access; returns a shared null value for absent keys
+  /// (and on non-objects), so lookups chain without checks.
+  const JsonValue& operator[](const std::string& key) const;
+
+  /// Sets an object member (the value must be an object).
+  void Set(const std::string& key, JsonValue value);
+
+  /// Appends to an array (the value must be an array).
+  void Append(JsonValue value);
+
+  /// Compact single-line serialization (no spaces, keys in map order —
+  /// deterministic for a given value).
+  std::string Dump() const;
+
+  bool operator==(const JsonValue&) const = default;
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one JSON document. Trailing non-whitespace is an error —
+/// protocol messages are exactly one value per line.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace fpm
+
+#endif  // FPM_SERVICE_JSON_H_

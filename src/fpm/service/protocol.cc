@@ -1,0 +1,142 @@
+#include "fpm/service/protocol.h"
+
+#include <utility>
+
+namespace fpm {
+
+namespace {
+
+Status FieldError(const std::string& field, const std::string& what) {
+  return Status::InvalidArgument("request field '" + field + "': " + what);
+}
+
+}  // namespace
+
+Result<ServiceRequest> DecodeRequest(const std::string& line) {
+  FPM_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  const JsonValue& op = doc["op"];
+  if (!op.is_string()) return FieldError("op", "missing or not a string");
+
+  ServiceRequest request;
+  const std::string& name = op.string_value();
+  if (name == "ping") {
+    request.op = ServiceRequest::Op::kPing;
+    return request;
+  }
+  if (name == "metrics") {
+    request.op = ServiceRequest::Op::kMetrics;
+    return request;
+  }
+  if (name == "shutdown") {
+    request.op = ServiceRequest::Op::kShutdown;
+    return request;
+  }
+  if (name != "mine") {
+    return FieldError("op", "unknown op '" + name + "'");
+  }
+
+  request.op = ServiceRequest::Op::kMine;
+  MineRequest& mine = request.mine;
+
+  const JsonValue& dataset = doc["dataset"];
+  if (!dataset.is_string() || dataset.string_value().empty()) {
+    return FieldError("dataset", "missing or not a string");
+  }
+  mine.dataset_path = dataset.string_value();
+
+  const JsonValue& minsup = doc["min_support"];
+  if (!minsup.is_number() || minsup.number_value() < 1.0) {
+    return FieldError("min_support", "missing or not a number >= 1");
+  }
+  mine.min_support = static_cast<Support>(minsup.number_value());
+
+  const JsonValue& algorithm = doc["algorithm"];
+  if (!algorithm.is_null()) {
+    if (!algorithm.is_string()) {
+      return FieldError("algorithm", "not a string");
+    }
+    FPM_ASSIGN_OR_RETURN(mine.algorithm,
+                         ParseAlgorithm(algorithm.string_value()));
+  }
+
+  const JsonValue& patterns = doc["patterns"];
+  mine.patterns = PatternSet::All();
+  if (!patterns.is_null()) {
+    if (!patterns.is_string()) return FieldError("patterns", "not a string");
+    const std::string& p = patterns.string_value();
+    if (p == "all") {
+      mine.patterns = PatternSet::All();
+    } else if (p == "none") {
+      mine.patterns = PatternSet::None();
+    } else {
+      return FieldError("patterns", "expected 'all' or 'none'");
+    }
+  }
+
+  const JsonValue& priority = doc["priority"];
+  if (!priority.is_null()) {
+    if (!priority.is_number()) return FieldError("priority", "not a number");
+    mine.priority = static_cast<int>(priority.number_value());
+  }
+
+  const JsonValue& timeout = doc["timeout_s"];
+  if (!timeout.is_null()) {
+    if (!timeout.is_number() || timeout.number_value() < 0.0) {
+      return FieldError("timeout_s", "not a non-negative number");
+    }
+    mine.timeout_seconds = timeout.number_value();
+  }
+
+  const JsonValue& count_only = doc["count_only"];
+  if (!count_only.is_null()) {
+    if (!count_only.is_bool()) return FieldError("count_only", "not a bool");
+    mine.count_only = count_only.bool_value();
+  }
+
+  return request;
+}
+
+std::string EncodeMineResponse(const MineResponse& response) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ok", JsonValue::Bool(true));
+  doc.Set("num_frequent",
+          JsonValue::Int(static_cast<int64_t>(response.num_frequent)));
+  doc.Set("cache", JsonValue::Str(CacheOutcomeName(response.cache)));
+  doc.Set("digest", JsonValue::Str(response.dataset_digest));
+  doc.Set("queue_ms", JsonValue::Number(response.queue_seconds * 1000.0));
+  doc.Set("mine_ms", JsonValue::Number(response.mine_seconds * 1000.0));
+  if (!response.itemsets.empty()) {
+    JsonValue itemsets = JsonValue::Array();
+    for (const CollectingSink::Entry& e : response.itemsets) {
+      JsonValue items = JsonValue::Array();
+      for (Item it : e.first) items.Append(JsonValue::Int(it));
+      JsonValue entry = JsonValue::Object();
+      entry.Set("items", std::move(items));
+      entry.Set("support", JsonValue::Int(e.second));
+      itemsets.Append(std::move(entry));
+    }
+    doc.Set("itemsets", std::move(itemsets));
+  }
+  return doc.Dump();
+}
+
+std::string EncodeError(const Status& status) {
+  JsonValue error = JsonValue::Object();
+  error.Set("code", JsonValue::Str(StatusCodeToString(status.code())));
+  error.Set("message", JsonValue::Str(status.message()));
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ok", JsonValue::Bool(false));
+  doc.Set("error", std::move(error));
+  return doc.Dump();
+}
+
+std::string EncodeOk() {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ok", JsonValue::Bool(true));
+  return doc.Dump();
+}
+
+}  // namespace fpm

@@ -1,0 +1,61 @@
+// Wire protocol of the fpmd daemon: newline-delimited JSON over a
+// stream socket. One request object per line in, one response object
+// per line out, strictly in order.
+//
+// Requests:
+//   {"op":"ping"}
+//   {"op":"metrics"}                       -> the metrics snapshot
+//   {"op":"shutdown"}                      -> daemon exits after reply
+//   {"op":"mine","dataset":"<path>","min_support":N,
+//    "algorithm":"lcm|eclat|fpgrowth|apriori|hmine|bruteforce",
+//    "patterns":"all|none",                 (default "all")
+//    "priority":N,                          (default 0)
+//    "timeout_s":X,                         (default none)
+//    "count_only":bool}                     (default false)
+//
+// Responses always carry "ok". Success:
+//   {"ok":true,...}   mine adds: num_frequent, cache ("miss|hit|
+//                     dominated"), digest, queue_ms, mine_ms, and —
+//                     unless count_only — "itemsets":[{"items":[...],
+//                     "support":N},...] in deterministic emission order.
+// Failure:
+//   {"ok":false,"error":{"code":"CANCELLED","message":"..."}}
+//
+// The encode/decode layer lives here, separate from socket handling, so
+// tests exercise it without a daemon.
+
+#ifndef FPM_SERVICE_PROTOCOL_H_
+#define FPM_SERVICE_PROTOCOL_H_
+
+#include <string>
+
+#include "fpm/common/status.h"
+#include "fpm/service/json.h"
+#include "fpm/service/service.h"
+
+namespace fpm {
+
+/// A decoded protocol request.
+struct ServiceRequest {
+  enum class Op { kPing, kMetrics, kShutdown, kMine };
+  Op op = Op::kPing;
+  MineRequest mine;  ///< populated when op == kMine
+};
+
+/// Decodes one request line. InvalidArgument on malformed JSON, unknown
+/// op, or bad field types. Algorithm names follow ParseAlgorithm()
+/// (fpm/core/patterns.h).
+Result<ServiceRequest> DecodeRequest(const std::string& line);
+
+/// Encodes a mine success response (one line, no trailing newline).
+std::string EncodeMineResponse(const MineResponse& response);
+
+/// Encodes an error response from a non-OK status.
+std::string EncodeError(const Status& status);
+
+/// Encodes a bare {"ok":true} (ping/shutdown acknowledgements).
+std::string EncodeOk();
+
+}  // namespace fpm
+
+#endif  // FPM_SERVICE_PROTOCOL_H_

@@ -1,0 +1,133 @@
+#include "fpm/service/result_cache.h"
+
+#include <utility>
+
+#include "fpm/obs/metrics.h"
+
+namespace fpm {
+
+bool SupportsDominanceReuse(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kLcm:
+    case Algorithm::kEclat:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ResultCache::ResultCache(size_t budget_bytes) : budget_bytes_(budget_bytes) {
+  MetricsRegistry& m = MetricsRegistry::Default();
+  hits_counter_ = m.GetCounter("fpm.service.cache.hits");
+  dominated_counter_ = m.GetCounter("fpm.service.cache.dominated_hits");
+  misses_counter_ = m.GetCounter("fpm.service.cache.misses");
+  evictions_counter_ = m.GetCounter("fpm.service.cache.evictions");
+  bytes_gauge_ = m.GetGauge("fpm.service.cache.bytes");
+}
+
+size_t ResultCache::EstimateBytes(
+    const std::vector<CollectingSink::Entry>& v) {
+  size_t bytes = sizeof(CachedResult) + v.capacity() * sizeof(v[0]);
+  for (const CollectingSink::Entry& e : v) {
+    bytes += e.first.capacity() * sizeof(Item);
+  }
+  return bytes;
+}
+
+ResultCacheLookup ResultCache::Lookup(const ResultCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResultCacheLookup out;
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.lru_seq = next_seq_++;
+    out.result = it->second.result;
+    out.exact = true;
+    ++stats_.hits;
+    hits_counter_->Increment();
+    return out;
+  }
+
+  if (SupportsDominanceReuse(key.algorithm)) {
+    // Same-configuration entries sort adjacently with min_support
+    // ascending; lower_bound(key) lands just past every dominating
+    // (lower-threshold) entry, and the closest one filters cheapest —
+    // fewest surplus itemsets to discard.
+    auto lb = entries_.lower_bound(key);
+    while (lb != entries_.begin()) {
+      auto prev = std::prev(lb);
+      const ResultCacheKey& k = prev->first;
+      if (k.digest != key.digest || k.algorithm != key.algorithm ||
+          k.pattern_bits != key.pattern_bits) {
+        break;
+      }
+      // k.min_support < key.min_support by map order (exact match was
+      // already ruled out): filter the dominating result down.
+      auto derived = std::make_shared<CachedResult>();
+      for (const CollectingSink::Entry& e : prev->second.result->itemsets) {
+        if (e.second >= key.min_support) derived->itemsets.push_back(e);
+      }
+      derived->num_frequent = derived->itemsets.size();
+      derived->itemsets.shrink_to_fit();
+      derived->bytes = EstimateBytes(derived->itemsets);
+      prev->second.lru_seq = next_seq_++;
+
+      out.result = derived;
+      out.dominated = true;
+      ++stats_.dominated_hits;
+      dominated_counter_->Increment();
+      // Memoize under the queried key so repeats are exact hits.
+      InsertLocked(key, std::move(derived));
+      return out;
+    }
+  }
+
+  ++stats_.misses;
+  misses_counter_->Increment();
+  return out;
+}
+
+void ResultCache::Insert(const ResultCacheKey& key,
+                         std::shared_ptr<const CachedResult> result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(key, std::move(result));
+}
+
+void ResultCache::InsertLocked(const ResultCacheKey& key,
+                               std::shared_ptr<const CachedResult> result) {
+  Entry& entry = entries_[key];
+  if (entry.result != nullptr) resident_bytes_ -= entry.result->bytes;
+  entry.result = std::move(result);
+  entry.lru_seq = next_seq_++;
+  resident_bytes_ += entry.result->bytes;
+  ++stats_.insertions;
+  EvictLocked();
+  bytes_gauge_->Set(resident_bytes_);
+}
+
+void ResultCache::EvictLocked() {
+  if (budget_bytes_ == 0) return;
+  while (resident_bytes_ > budget_bytes_ && entries_.size() > 1) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (victim == entries_.end() ||
+          it->second.lru_seq < victim->second.lru_seq) {
+        victim = it;
+      }
+    }
+    resident_bytes_ -= victim->second.result->bytes;
+    entries_.erase(victim);
+    ++stats_.evictions;
+    evictions_counter_->Increment();
+  }
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResultCacheStats s = stats_;
+  s.resident_bytes = resident_bytes_;
+  s.resident_entries = entries_.size();
+  return s;
+}
+
+}  // namespace fpm

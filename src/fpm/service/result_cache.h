@@ -1,0 +1,144 @@
+// Mining result cache with support-dominance reuse.
+//
+// Keyed by (dataset digest, algorithm, effective pattern bits,
+// min_support). An exact hit replays the stored itemsets. Beyond exact
+// hits, the cache exploits support dominance: the frequent itemsets at
+// threshold S are precisely the itemsets of any run at threshold
+// S' <= S whose support is >= S, so a query can be answered by
+// filtering a cached lower-threshold result — no mining at all.
+//
+// Byte-identity caveat: the service promises results identical to a
+// direct deterministic Mine(), including emission order. Dominance
+// filtering preserves order only for kernels whose emission order is
+// independent of min_support. That holds for LCM (frequency ranking and
+// occurrence-deliver order never consult the threshold) and for Eclat
+// (ascending-support item order with a rank tie-break), but NOT for
+// FP-Growth: its single-path shortcut switches a subtree to subset-
+// enumeration order, and whether a conditional tree is single-path
+// depends on the threshold. SupportsDominanceReuse() encodes this;
+// non-eligible algorithms fall back to exact hits only.
+//
+// Entries are ordered so that all thresholds of one (digest, algorithm,
+// patterns) configuration are adjacent and ascending: the dominance
+// scan is one lower_bound plus a walk over the configuration's
+// neighbors. Eviction is LRU by a byte budget.
+
+#ifndef FPM_SERVICE_RESULT_CACHE_H_
+#define FPM_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fpm/algo/itemset_sink.h"
+#include "fpm/algo/miner.h"
+#include "fpm/core/patterns.h"
+
+namespace fpm {
+
+class Counter;
+class Gauge;
+
+/// Whether `algorithm`'s emission order is min_support-independent,
+/// making dominance-filtered cache answers byte-identical to a fresh
+/// run (see the header comment).
+bool SupportsDominanceReuse(Algorithm algorithm);
+
+/// Identifies one cacheable query configuration.
+struct ResultCacheKey {
+  std::string digest;       ///< dataset content digest
+  Algorithm algorithm = Algorithm::kLcm;
+  uint8_t pattern_bits = 0; ///< EffectivePatterns(...).bits()
+  Support min_support = 1;
+
+  /// Orders same-configuration entries adjacently, min_support
+  /// ascending last — the layout the dominance scan relies on.
+  bool operator<(const ResultCacheKey& other) const {
+    if (digest != other.digest) return digest < other.digest;
+    if (algorithm != other.algorithm) return algorithm < other.algorithm;
+    if (pattern_bits != other.pattern_bits) {
+      return pattern_bits < other.pattern_bits;
+    }
+    return min_support < other.min_support;
+  }
+};
+
+/// An immutable cached mining result, shared with every job replaying
+/// it. `itemsets` preserves the kernel's deterministic emission order.
+struct CachedResult {
+  std::vector<CollectingSink::Entry> itemsets;
+  uint64_t num_frequent = 0;
+  size_t bytes = 0;  ///< heap footprint, for the budget
+};
+
+struct ResultCacheLookup {
+  std::shared_ptr<const CachedResult> result;  ///< null on miss
+  bool exact = false;      ///< key matched including min_support
+  bool dominated = false;  ///< filtered from a lower-threshold entry
+};
+
+struct ResultCacheStats {
+  uint64_t hits = 0;            ///< exact hits
+  uint64_t dominated_hits = 0;  ///< answered by dominance filtering
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t resident_bytes = 0;
+  size_t resident_entries = 0;
+};
+
+class ResultCache {
+ public:
+  /// `budget_bytes` bounds resident result bytes (0 = unlimited).
+  explicit ResultCache(size_t budget_bytes = 0);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Exact lookup; when absent and the algorithm supports dominance
+  /// reuse, derives the answer from the best (highest-threshold)
+  /// dominating entry. A derived answer is inserted under `key` so the
+  /// filtering cost is paid once.
+  ResultCacheLookup Lookup(const ResultCacheKey& key);
+
+  /// Stores a freshly mined result. Overwrites an existing entry for
+  /// the key (identical by construction — deterministic mining).
+  void Insert(const ResultCacheKey& key,
+              std::shared_ptr<const CachedResult> result);
+
+  ResultCacheStats stats() const;
+
+  /// Heap bytes a result with these itemsets occupies (key + vectors).
+  static size_t EstimateBytes(const std::vector<CollectingSink::Entry>& v);
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CachedResult> result;
+    uint64_t lru_seq = 0;
+  };
+
+  void InsertLocked(const ResultCacheKey& key,
+                    std::shared_ptr<const CachedResult> result);
+  void EvictLocked();
+
+  const size_t budget_bytes_;
+  mutable std::mutex mu_;
+  std::map<ResultCacheKey, Entry> entries_;
+  uint64_t next_seq_ = 1;
+  size_t resident_bytes_ = 0;
+  ResultCacheStats stats_;
+
+  // fpm.service.cache.* metrics.
+  Counter* hits_counter_;
+  Counter* dominated_counter_;
+  Counter* misses_counter_;
+  Counter* evictions_counter_;
+  Gauge* bytes_gauge_;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_SERVICE_RESULT_CACHE_H_

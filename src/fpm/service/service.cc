@@ -1,0 +1,202 @@
+#include "fpm/service/service.h"
+
+#include <utility>
+
+#include "fpm/obs/metrics.h"
+#include "fpm/obs/trace.h"
+#include "fpm/service/cost_model.h"
+
+namespace fpm {
+
+const char* CacheOutcomeName(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kMiss:
+      return "miss";
+    case CacheOutcome::kExact:
+      return "hit";
+    case CacheOutcome::kDominated:
+      return "dominated";
+  }
+  return "unknown";
+}
+
+bool MineJob::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+bool MineJob::WaitFor(std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, timeout, [this] { return done_; });
+}
+
+void MineJob::Wait() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+}
+
+void MineJob::Cancel() { cancel_.RequestCancel(); }
+
+Result<MineResponse> MineJob::Take() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(result_);
+}
+
+uint32_t MiningService::ResolveThreads(uint32_t requested) {
+  return requested != 0 ? requested : ThreadPool::HardwareThreads();
+}
+
+MiningService::MiningService(Options options)
+    : options_(options),
+      pool_(ResolveThreads(options.num_threads)),
+      registry_(options.dataset_budget_bytes),
+      cache_(options.cache_budget_bytes),
+      scheduler_(JobSchedulerOptions{&pool_, options.max_queue_depth,
+                                     /*max_concurrency=*/0}) {
+  MetricsRegistry& m = MetricsRegistry::Default();
+  requests_counter_ = m.GetCounter("fpm.service.requests");
+  admission_rejects_counter_ =
+      m.GetCounter("fpm.service.admission_rejects");
+  cancelled_counter_ = m.GetCounter("fpm.service.jobs.cancelled");
+  deadline_counter_ = m.GetCounter("fpm.service.jobs.deadline_exceeded");
+  mine_ms_histogram_ = m.GetHistogram(
+      "fpm.service.mine_ms", {1, 2, 5, 10, 25, 50, 100, 250, 500, 1000,
+                              2500, 5000, 10000, 30000, 60000});
+}
+
+MiningService::~MiningService() { scheduler_.Drain(); }
+
+Result<std::shared_ptr<MineJob>> MiningService::Submit(
+    const MineRequest& request) {
+  requests_counter_->Increment();
+  if (request.min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (request.dataset_path.empty()) {
+    return Status::InvalidArgument("dataset_path must be set");
+  }
+
+  // Pin the dataset for the whole job lifetime (load-once; concurrent
+  // first requests for the same path coalesce inside the registry).
+  FPM_ASSIGN_OR_RETURN(DatasetHandle dataset,
+                       registry_.Get(request.dataset_path));
+
+  // Admission: bound the answer before spending any mining time. The
+  // bound costs one database pass — amortized by the registry across
+  // the dataset's queries, and small against mining an inadmissibly
+  // large one.
+  if (options_.max_estimated_itemsets > 0.0) {
+    const CostEstimate est =
+        EstimateMiningCost(*dataset.database, request.min_support);
+    if (est.max_frequent_itemsets > options_.max_estimated_itemsets) {
+      admission_rejects_counter_->Increment();
+      return Status::ResourceExhausted(
+          "query rejected by admission control: itemset bound " +
+          std::to_string(est.max_frequent_itemsets) + " exceeds " +
+          std::to_string(options_.max_estimated_itemsets));
+    }
+  }
+
+  // The handle owns the token; the job (and any kernel frames it
+  // detaches) only borrow it, and the shared_ptr captured by the
+  // closure keeps the handle alive past abandonment by the caller.
+  auto job = std::shared_ptr<MineJob>(new MineJob());
+  if (request.timeout_seconds > 0.0) {
+    job->cancel_.SetTimeout(std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(
+        std::chrono::duration<double>(request.timeout_seconds)));
+  }
+
+  const auto submit_time = std::chrono::steady_clock::now();
+  Status queued = scheduler_.Submit(
+      request.priority, [this, request, dataset, job, submit_time] {
+        const auto start_time = std::chrono::steady_clock::now();
+        Result<MineResponse> result = RunJob(request, dataset, job->cancel_);
+        if (result.ok()) {
+          result.value().queue_seconds =
+              std::chrono::duration<double>(start_time - submit_time)
+                  .count();
+          result.value().mine_seconds =
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start_time)
+                  .count();
+          mine_ms_histogram_->Observe(static_cast<uint64_t>(
+              result.value().mine_seconds * 1000.0));
+        } else if (result.status().code() == StatusCode::kCancelled) {
+          cancelled_counter_->Increment();
+        } else if (result.status().code() ==
+                   StatusCode::kDeadlineExceeded) {
+          deadline_counter_->Increment();
+        }
+        std::lock_guard<std::mutex> lock(job->mu_);
+        job->result_ = std::move(result);
+        job->done_ = true;
+        job->cv_.notify_all();
+      });
+  FPM_RETURN_IF_ERROR(queued);
+  return job;
+}
+
+Result<MineResponse> MiningService::RunJob(const MineRequest& request,
+                                           const DatasetHandle& dataset,
+                                           const CancelToken& cancel) {
+  ScopedSpan span("service.mine");
+  span.AddArg("min_support", request.min_support);
+
+  // A job that sat in the queue past its deadline never starts mining.
+  if (cancel.cancelled()) return cancel.ToStatus();
+
+  ResultCacheKey key;
+  key.digest = dataset.digest;
+  key.algorithm = request.algorithm;
+  key.pattern_bits =
+      EffectivePatterns(request.algorithm, request.patterns).bits();
+  key.min_support = request.min_support;
+
+  MineResponse response;
+  response.dataset_digest = dataset.digest;
+
+  ResultCacheLookup cached = cache_.Lookup(key);
+  std::shared_ptr<const CachedResult> result = cached.result;
+  if (result != nullptr) {
+    response.cache =
+        cached.exact ? CacheOutcome::kExact : CacheOutcome::kDominated;
+  } else {
+    // Mine with the sequential kernel: deterministic emission order is
+    // the cache's correctness contract, and cross-query parallelism
+    // already saturates the pool.
+    MineOptions mine_options;
+    mine_options.algorithm = request.algorithm;
+    mine_options.patterns = request.patterns;
+    mine_options.min_support = request.min_support;
+    mine_options.execution.num_threads = 1;
+    mine_options.cancel = &cancel;
+
+    CollectingSink sink;
+    Result<MineStats> stats =
+        Mine(*dataset.database, mine_options, &sink);
+    FPM_RETURN_IF_ERROR(stats.status());
+
+    auto fresh = std::make_shared<CachedResult>();
+    fresh->itemsets = std::move(sink.mutable_results());
+    fresh->num_frequent = stats.value().num_frequent;
+    fresh->bytes = ResultCache::EstimateBytes(fresh->itemsets);
+    cache_.Insert(key, fresh);
+    result = std::move(fresh);
+  }
+
+  response.num_frequent = result->num_frequent;
+  if (!request.count_only) response.itemsets = result->itemsets;
+  span.AddArg("num_frequent", response.num_frequent);
+  span.AddArg("cache_hit",
+              response.cache == CacheOutcome::kMiss ? 0 : 1);
+  return response;
+}
+
+Result<MineResponse> MiningService::Execute(const MineRequest& request) {
+  FPM_ASSIGN_OR_RETURN(std::shared_ptr<MineJob> job, Submit(request));
+  job->Wait();
+  return job->Take();
+}
+
+}  // namespace fpm

@@ -1,0 +1,187 @@
+// Long-lived mining query service: the embedding layer the fpmd daemon
+// (examples/fpmd.cpp) and in-process callers sit on.
+//
+// A MiningService owns a ThreadPool, a DatasetRegistry (load-once
+// refcounted datasets under an LRU byte budget), a ResultCache (exact
+// and support-dominance reuse) and a JobScheduler (priorities,
+// admission control, backpressure, deadlines). One request flows:
+//
+//   Submit(request)
+//     -> registry.Get(path)            pin the dataset (load once)
+//     -> cost model admission check    reject provably enormous answers
+//     -> scheduler.Submit              backpressure at max_queue_depth
+//   ...job runs on a pool worker...
+//     -> cache.Lookup                  exact or dominance hit: no mining
+//     -> Mine() with the job's CancelToken (deadline / explicit cancel)
+//     -> cache.Insert
+//
+// Every request carries a CancelToken. The deadline is armed at
+// submission (queue time counts against it); RequestCancel() — e.g. on
+// client disconnect — stops an in-flight mine at the next kernel frame
+// boundary. Results are deterministic and byte-identical to a direct
+// sequential Mine() with a CollectingSink: the service mines each job
+// with the sequential kernel (cross-query parallelism comes from the
+// scheduler) and caches the exact emission order.
+//
+// Instrumentation: fpm.service.* counters/gauges via the default
+// MetricsRegistry and a "service.mine" span per request via the default
+// Tracer (both off unless enabled by the embedder).
+
+#ifndef FPM_SERVICE_SERVICE_H_
+#define FPM_SERVICE_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fpm/common/cancel.h"
+#include "fpm/common/status.h"
+#include "fpm/core/mine.h"
+#include "fpm/parallel/thread_pool.h"
+#include "fpm/service/dataset_registry.h"
+#include "fpm/service/job_scheduler.h"
+#include "fpm/service/result_cache.h"
+
+namespace fpm {
+
+class Counter;
+class Histogram;
+
+/// One mining query.
+struct MineRequest {
+  std::string dataset_path;  ///< registry key; loaded on first use
+  Algorithm algorithm = Algorithm::kLcm;
+  /// Requested patterns; the effective subset (Table 4) is applied and
+  /// used for cache keying.
+  PatternSet patterns;
+  Support min_support = 1;
+  /// Higher runs first; FIFO within a priority.
+  int priority = 0;
+  /// Seconds until the job's deadline, counted from submission
+  /// (queueing included). 0 = no deadline.
+  double timeout_seconds = 0.0;
+  /// When true the response carries counts only, no itemsets — cheaper
+  /// to transport; the result is still cached in full.
+  bool count_only = false;
+};
+
+/// How a response was produced.
+enum class CacheOutcome {
+  kMiss,       ///< mined fresh
+  kExact,      ///< replayed an exact cache entry
+  kDominated,  ///< filtered from a lower-threshold cache entry
+};
+
+const char* CacheOutcomeName(CacheOutcome outcome);
+
+struct MineResponse {
+  uint64_t num_frequent = 0;
+  /// Itemsets in the kernel's deterministic emission order (items
+  /// sorted within each set). Empty when count_only was requested.
+  std::vector<CollectingSink::Entry> itemsets;
+  CacheOutcome cache = CacheOutcome::kMiss;
+  std::string dataset_digest;
+  double queue_seconds = 0.0;  ///< submission -> job start
+  double mine_seconds = 0.0;   ///< job start -> completion
+};
+
+/// Handle to a submitted job. Thread-safe; holding it keeps the result
+/// (and the job's CancelToken) alive.
+class MineJob {
+ public:
+  /// True once the job finished (any outcome).
+  bool done() const;
+
+  /// Blocks until done or `timeout` elapses; returns done().
+  bool WaitFor(std::chrono::milliseconds timeout) const;
+
+  /// Blocks until done.
+  void Wait() const;
+
+  /// Requests cooperative cancellation (client went away, operator
+  /// abort). The job finishes with CANCELLED unless it already
+  /// completed.
+  void Cancel();
+
+  /// The job's outcome. Must only be called after done(); moves the
+  /// response out on first call.
+  Result<MineResponse> Take();
+
+ private:
+  friend class MiningService;
+  MineJob() = default;
+
+  CancelToken cancel_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  Result<MineResponse> result_{Status::Internal("job not finished")};
+};
+
+class MiningService {
+ public:
+  struct Options {
+    /// Pool worker count; 0 = hardware concurrency.
+    uint32_t num_threads = 0;
+    /// DatasetRegistry byte budget (0 = unlimited).
+    size_t dataset_budget_bytes = 0;
+    /// ResultCache byte budget (0 = unlimited).
+    size_t cache_budget_bytes = 0;
+    /// JobScheduler backpressure bound.
+    size_t max_queue_depth = 64;
+    /// Admission bound: reject queries whose Geerts-style itemset upper
+    /// bound (fpm/service/cost_model.h) exceeds this. 0 = no admission
+    /// check.
+    double max_estimated_itemsets = 0.0;
+  };
+
+  explicit MiningService(Options options);
+
+  /// Drains in-flight jobs.
+  ~MiningService();
+
+  MiningService(const MiningService&) = delete;
+  MiningService& operator=(const MiningService&) = delete;
+
+  /// Validates, pins the dataset, checks admission, and queues the job.
+  /// Errors surfaced here (NotFound/IOError dataset, InvalidArgument,
+  /// ResourceExhausted from admission or backpressure) mean the job was
+  /// never queued.
+  Result<std::shared_ptr<MineJob>> Submit(const MineRequest& request);
+
+  /// Blocking convenience: Submit + Wait + Take.
+  Result<MineResponse> Execute(const MineRequest& request);
+
+  const DatasetRegistry& registry() const { return registry_; }
+  const ResultCache& cache() const { return cache_; }
+  const JobScheduler& scheduler() const { return scheduler_; }
+
+ private:
+  /// The job body: cache lookup, mine, cache fill.
+  Result<MineResponse> RunJob(const MineRequest& request,
+                              const DatasetHandle& dataset,
+                              const CancelToken& cancel);
+
+  static uint32_t ResolveThreads(uint32_t requested);
+
+  Options options_;
+  ThreadPool pool_;
+  DatasetRegistry registry_;
+  ResultCache cache_;
+  JobScheduler scheduler_;
+
+  // fpm.service.* request metrics.
+  Counter* requests_counter_;
+  Counter* admission_rejects_counter_;
+  Counter* cancelled_counter_;
+  Counter* deadline_counter_;
+  Histogram* mine_ms_histogram_;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_SERVICE_SERVICE_H_

@@ -41,14 +41,39 @@ TEST(FimiParseTest, RejectsGarbage) {
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+  // The diagnostic names the offending token, not just its first byte.
+  EXPECT_NE(r.status().message().find("'x'"), std::string::npos);
+}
+
+TEST(FimiParseTest, ErrorNamesFullOffendingToken) {
+  auto r = ParseFimi("1 2 3\n4 5\n6 12ab34 8\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(r.status().message().find("'12ab34'"), std::string::npos);
+}
+
+TEST(FimiParseTest, ErrorClipsVeryLongTokens) {
+  const std::string long_token(100, 'z');
+  auto r = ParseFimi("1\n" + long_token + "\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(r.status().message().find(std::string(32, 'z') + "..."),
+            std::string::npos);
+  EXPECT_EQ(r.status().message().find(std::string(33, 'z')),
+            std::string::npos);
 }
 
 TEST(FimiParseTest, RejectsNegativeNumbers) {
-  EXPECT_FALSE(ParseFimi("-1 2\n").ok());
+  auto r = ParseFimi("-1 2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("'-1'"), std::string::npos);
 }
 
 TEST(FimiParseTest, RejectsOverflowingItem) {
-  EXPECT_FALSE(ParseFimi("99999999999\n").ok());
+  auto r = ParseFimi("99999999999\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("overflows"), std::string::npos);
+  EXPECT_NE(r.status().message().find("'99999999999'"), std::string::npos);
 }
 
 TEST(FimiParseTest, EmptyInputYieldsEmptyDatabase) {

@@ -1,0 +1,122 @@
+// Cooperative cancellation through the mining kernels: a pre-cancelled
+// token stops every cancellation-aware kernel (and the parallel
+// drivers above them), a deadline converts to DEADLINE_EXCEEDED within
+// a frame or two, and the reference miners simply ignore the token.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "fpm/algo/itemset_sink.h"
+#include "fpm/common/cancel.h"
+#include "fpm/core/mine.h"
+#include "fpm/dataset/fimi_io.h"
+#include "service/service_test_util.h"
+
+namespace fpm {
+namespace {
+
+class CancelKernelTest : public testing::TestWithParam<Algorithm> {};
+
+TEST_P(CancelKernelTest, PreCancelledTokenStopsTheRun) {
+  auto db = ParseFimi(test::DenseFimiText(/*rows=*/200));
+  ASSERT_TRUE(db.ok());
+  CancelToken cancel;
+  cancel.RequestCancel();
+  MineOptions options;
+  options.algorithm = GetParam();
+  options.min_support = 2;
+  options.cancel = &cancel;
+  CollectingSink sink;
+  auto stats = Mine(*db, options, &sink);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kCancelled);
+}
+
+TEST_P(CancelKernelTest, DeadlineConvertsToDeadlineExceeded) {
+  // Dense data at minsup 2: the pattern space is astronomically larger
+  // than anything a 30 ms budget can enumerate, so the deadline must
+  // fire — and the run must wind down well within the 250 ms bound the
+  // service promises.
+  auto db = ParseFimi(test::DenseFimiText());
+  ASSERT_TRUE(db.ok());
+  CancelToken cancel;
+  cancel.SetTimeout(std::chrono::milliseconds(30));
+  MineOptions options;
+  options.algorithm = GetParam();
+  options.min_support = 2;
+  options.cancel = &cancel;
+  CountingSink sink;
+  const auto start = std::chrono::steady_clock::now();
+  auto stats = Mine(*db, options, &sink);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(cancel.deadline_exceeded());
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            30 + 250);
+}
+
+TEST_P(CancelKernelTest, NestedParallelDriverPropagatesCancellation) {
+  auto db = ParseFimi(test::DenseFimiText());
+  ASSERT_TRUE(db.ok());
+  CancelToken cancel;
+  cancel.SetTimeout(std::chrono::milliseconds(30));
+  MineOptions options;
+  options.algorithm = GetParam();
+  options.min_support = 2;
+  options.cancel = &cancel;
+  options.execution.num_threads = 4;
+  options.execution.nested = true;
+  CountingSink sink;
+  const auto start = std::chrono::steady_clock::now();
+  auto stats = Mine(*db, options, &sink);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            30 + 250);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, CancelKernelTest,
+                         testing::Values(Algorithm::kLcm, Algorithm::kEclat,
+                                         Algorithm::kFpGrowth),
+                         [](const auto& info) {
+                           return std::string(AlgorithmName(info.param));
+                         });
+
+TEST(CancelReferenceMinerTest, AprioriIgnoresTheToken) {
+  auto db = ParseFimi(test::SmallFimiText());
+  ASSERT_TRUE(db.ok());
+  CancelToken cancel;
+  cancel.RequestCancel();
+  MineOptions options;
+  options.algorithm = Algorithm::kApriori;
+  options.min_support = 2;
+  options.cancel = &cancel;
+  CollectingSink sink;
+  auto stats = Mine(*db, options, &sink);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(sink.size(), 0u);
+}
+
+TEST(CancelTokenMineTest, UncancelledTokenChangesNothing) {
+  auto db = ParseFimi(test::SmallFimiText());
+  ASSERT_TRUE(db.ok());
+  MineOptions plain;
+  plain.min_support = 2;
+  CollectingSink baseline;
+  ASSERT_TRUE(Mine(*db, plain, &baseline).ok());
+
+  CancelToken cancel;
+  MineOptions with_token = plain;
+  with_token.cancel = &cancel;
+  CollectingSink observed;
+  ASSERT_TRUE(Mine(*db, with_token, &observed).ok());
+  EXPECT_EQ(observed.results(), baseline.results());
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,82 @@
+#include "fpm/service/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fpm/algo/itemset_sink.h"
+#include "fpm/core/mine.h"
+#include "fpm/dataset/database.h"
+
+namespace fpm {
+namespace {
+
+Database MakeDb(const std::vector<std::vector<Item>>& rows) {
+  DatabaseBuilder b;
+  for (const auto& row : rows) b.AddTransaction(row);
+  return b.Build();
+}
+
+TEST(CostModelTest, EmptyDatabaseIsFree) {
+  const Database db = MakeDb({});
+  const CostEstimate est = EstimateMiningCost(db, 1);
+  EXPECT_EQ(est.max_frequent_itemsets, 0.0);
+  EXPECT_EQ(est.max_itemset_size, 0u);
+  EXPECT_EQ(est.num_frequent_items, 0u);
+}
+
+TEST(CostModelTest, HandComputedBound) {
+  // Transactions {1,2}, {1,2}, {3}; minsup 2: items 1 and 2 are
+  // frequent, item 3 is not. Per-transaction frequent-item counts are
+  // 2, 2, 0, so L = 2 and the Geerts bound is
+  //   k=1: (C(2,1)+C(2,1))/2 = 2,  k=2: (C(2,2)+C(2,2))/2 = 1.
+  const Database db = MakeDb({{1, 2}, {1, 2}, {3}});
+  const CostEstimate est = EstimateMiningCost(db, 2);
+  EXPECT_EQ(est.num_frequent_items, 2u);
+  EXPECT_EQ(est.max_itemset_size, 2u);
+  EXPECT_DOUBLE_EQ(est.max_frequent_itemsets, 3.0);
+}
+
+TEST(CostModelTest, BoundDominatesActualCount) {
+  const Database db = MakeDb(
+      {{1, 2, 3}, {1, 2}, {2, 3, 4}, {1, 3, 4}, {1, 2, 3, 4}, {2, 4}});
+  for (Support minsup : {1u, 2u, 3u, 4u}) {
+    const CostEstimate est = EstimateMiningCost(db, minsup);
+    MineOptions options;
+    options.min_support = minsup;
+    CollectingSink sink;
+    ASSERT_TRUE(Mine(db, options, &sink).ok());
+    EXPECT_GE(est.max_frequent_itemsets, static_cast<double>(sink.size()))
+        << "minsup=" << minsup;
+    for (const auto& entry : sink.results()) {
+      EXPECT_LE(entry.first.size(), est.max_itemset_size)
+          << "minsup=" << minsup;
+    }
+  }
+}
+
+TEST(CostModelTest, LengthBoundTracksThreshold) {
+  // Only one transaction has 4 items, so at minsup 2 no 4-itemset can
+  // be frequent even though one exists at minsup 1.
+  const Database db = MakeDb({{1, 2, 3, 4}, {1, 2, 3}, {1, 2, 3}});
+  EXPECT_EQ(EstimateMiningCost(db, 1).max_itemset_size, 4u);
+  EXPECT_EQ(EstimateMiningCost(db, 2).max_itemset_size, 3u);
+  EXPECT_EQ(EstimateMiningCost(db, 3).max_itemset_size, 3u);
+  EXPECT_EQ(EstimateMiningCost(db, 4).max_itemset_size, 0u);
+}
+
+TEST(CostModelTest, SaturatesInsteadOfOverflowing) {
+  // One transaction with 1100 distinct items at minsup 1: the bound is
+  // 2^1100 - 1, far beyond double range — it must saturate, not become
+  // inf/nan.
+  std::vector<Item> wide(1100);
+  for (size_t i = 0; i < wide.size(); ++i) wide[i] = static_cast<Item>(i);
+  DatabaseBuilder b;
+  b.AddTransaction(wide);
+  const CostEstimate est = EstimateMiningCost(b.Build(), 1);
+  EXPECT_EQ(est.max_frequent_itemsets, CostEstimate::kUnbounded);
+  EXPECT_EQ(est.max_itemset_size, 1100u);
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,97 @@
+#include "fpm/service/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fpm {
+namespace {
+
+TEST(JsonValueTest, DumpScalars) {
+  EXPECT_EQ(JsonValue::Null().Dump(), "null");
+  EXPECT_EQ(JsonValue::Bool(true).Dump(), "true");
+  EXPECT_EQ(JsonValue::Bool(false).Dump(), "false");
+  EXPECT_EQ(JsonValue::Int(42).Dump(), "42");
+  EXPECT_EQ(JsonValue::Int(-7).Dump(), "-7");
+  EXPECT_EQ(JsonValue::Str("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonValueTest, DumpEscapesStrings) {
+  const std::string dumped =
+      JsonValue::Str("a\"b\\c\n\t").Dump();
+  EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\n\\t\"");
+}
+
+TEST(JsonValueTest, ObjectsSerializeDeterministically) {
+  JsonValue o = JsonValue::Object();
+  o.Set("zeta", JsonValue::Int(1));
+  o.Set("alpha", JsonValue::Int(2));
+  // Map-ordered keys: insertion order does not matter.
+  EXPECT_EQ(o.Dump(), "{\"alpha\":2,\"zeta\":1}");
+}
+
+TEST(JsonValueTest, ArraysKeepOrder) {
+  JsonValue a = JsonValue::Array();
+  a.Append(JsonValue::Int(3));
+  a.Append(JsonValue::Int(1));
+  a.Append(JsonValue::Str("x"));
+  EXPECT_EQ(a.Dump(), "[3,1,\"x\"]");
+}
+
+TEST(JsonValueTest, AbsentKeyIsNull) {
+  JsonValue o = JsonValue::Object();
+  EXPECT_TRUE(o["nope"].is_null());
+  EXPECT_TRUE(o["nope"]["deeper"].is_null());
+}
+
+TEST(JsonParseTest, RoundTripsNestedDocument) {
+  const std::string text =
+      "{\"a\":[1,2,{\"b\":true}],\"c\":\"s\",\"d\":null,\"e\":-2.5}";
+  auto parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Dump(), text);
+}
+
+TEST(JsonParseTest, ParsesWhitespaceAndEscapes) {
+  auto parsed = ParseJson("  { \"k\" : \"a\\u0041\\n\" }  ");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value()["k"].string_value(), "aA\n");
+}
+
+TEST(JsonParseTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseJson("{\"a\":1} extra").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("truthy").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(ParseJson(deep).ok());
+  // A comfortably shallow document is fine.
+  EXPECT_TRUE(ParseJson("[[[[[[[[1]]]]]]]]").ok());
+}
+
+TEST(JsonParseTest, NumbersSurviveRoundTrip) {
+  auto parsed = ParseJson("[0,-1,3.25,1e3]");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const auto& items = parsed->array_items();
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_EQ(items[0].number_value(), 0.0);
+  EXPECT_EQ(items[1].number_value(), -1.0);
+  EXPECT_EQ(items[2].number_value(), 3.25);
+  EXPECT_EQ(items[3].number_value(), 1000.0);
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,133 @@
+#include "fpm/service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fpm {
+namespace {
+
+TEST(DecodeRequestTest, DecodesControlOps) {
+  auto ping = DecodeRequest("{\"op\":\"ping\"}");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->op, ServiceRequest::Op::kPing);
+
+  auto metrics = DecodeRequest("{\"op\":\"metrics\"}");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->op, ServiceRequest::Op::kMetrics);
+
+  auto shutdown = DecodeRequest("{\"op\":\"shutdown\"}");
+  ASSERT_TRUE(shutdown.ok());
+  EXPECT_EQ(shutdown->op, ServiceRequest::Op::kShutdown);
+}
+
+TEST(DecodeRequestTest, DecodesFullMineRequest) {
+  auto r = DecodeRequest(
+      "{\"op\":\"mine\",\"dataset\":\"/tmp/x.dat\",\"min_support\":7,"
+      "\"algorithm\":\"eclat\",\"patterns\":\"none\",\"priority\":3,"
+      "\"timeout_s\":1.5,\"count_only\":true}");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->op, ServiceRequest::Op::kMine);
+  const MineRequest& mine = r->mine;
+  EXPECT_EQ(mine.dataset_path, "/tmp/x.dat");
+  EXPECT_EQ(mine.min_support, 7u);
+  EXPECT_EQ(mine.algorithm, Algorithm::kEclat);
+  EXPECT_TRUE(mine.patterns.empty());
+  EXPECT_EQ(mine.priority, 3);
+  EXPECT_DOUBLE_EQ(mine.timeout_seconds, 1.5);
+  EXPECT_TRUE(mine.count_only);
+}
+
+TEST(DecodeRequestTest, MineDefaults) {
+  auto r = DecodeRequest(
+      "{\"op\":\"mine\",\"dataset\":\"d.dat\",\"min_support\":2}");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->mine.algorithm, Algorithm::kLcm);
+  EXPECT_EQ(r->mine.patterns, PatternSet::All());
+  EXPECT_EQ(r->mine.priority, 0);
+  EXPECT_DOUBLE_EQ(r->mine.timeout_seconds, 0.0);
+  EXPECT_FALSE(r->mine.count_only);
+}
+
+TEST(DecodeRequestTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(DecodeRequest("not json").ok());
+  EXPECT_FALSE(DecodeRequest("[]").ok());
+  EXPECT_FALSE(DecodeRequest("{\"op\":\"explode\"}").ok());
+  EXPECT_FALSE(DecodeRequest("{\"op\":42}").ok());
+  // mine without its required fields, or with bad values.
+  EXPECT_FALSE(DecodeRequest("{\"op\":\"mine\"}").ok());
+  EXPECT_FALSE(
+      DecodeRequest("{\"op\":\"mine\",\"dataset\":\"d\"}").ok());
+  EXPECT_FALSE(DecodeRequest(
+                   "{\"op\":\"mine\",\"dataset\":\"d\",\"min_support\":0}")
+                   .ok());
+  EXPECT_FALSE(
+      DecodeRequest("{\"op\":\"mine\",\"dataset\":\"d\",\"min_support\":2,"
+                    "\"algorithm\":\"nope\"}")
+          .ok());
+  EXPECT_FALSE(
+      DecodeRequest("{\"op\":\"mine\",\"dataset\":\"d\",\"min_support\":2,"
+                    "\"patterns\":\"P1\"}")
+          .ok());
+  EXPECT_FALSE(
+      DecodeRequest("{\"op\":\"mine\",\"dataset\":\"d\",\"min_support\":2,"
+                    "\"timeout_s\":-1}")
+          .ok());
+  EXPECT_FALSE(
+      DecodeRequest("{\"op\":\"mine\",\"dataset\":\"d\",\"min_support\":2,"
+                    "\"count_only\":\"yes\"}")
+          .ok());
+}
+
+TEST(EncodeTest, MineResponseGolden) {
+  MineResponse response;
+  response.num_frequent = 2;
+  response.itemsets = {{{1, 2}, 4}, {{3}, 2}};
+  response.cache = CacheOutcome::kDominated;
+  response.dataset_digest = "cafe";
+  response.queue_seconds = 0.5;   // exact in binary: stable golden text
+  response.mine_seconds = 0.25;
+  EXPECT_EQ(EncodeMineResponse(response),
+            "{\"cache\":\"dominated\",\"digest\":\"cafe\","
+            "\"itemsets\":[{\"items\":[1,2],\"support\":4},"
+            "{\"items\":[3],\"support\":2}],\"mine_ms\":250,"
+            "\"num_frequent\":2,\"ok\":true,\"queue_ms\":500}");
+}
+
+TEST(EncodeTest, CountOnlyResponseOmitsItemsets) {
+  MineResponse response;
+  response.num_frequent = 9;
+  const std::string line = EncodeMineResponse(response);
+  EXPECT_EQ(line.find("itemsets"), std::string::npos);
+  EXPECT_NE(line.find("\"num_frequent\":9"), std::string::npos);
+  EXPECT_NE(line.find("\"cache\":\"miss\""), std::string::npos);
+}
+
+TEST(EncodeTest, ErrorCarriesCodeAndMessage) {
+  const std::string line =
+      EncodeError(Status::DeadlineExceeded("mining deadline exceeded"));
+  auto doc = ParseJson(line);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(doc.value()["ok"].bool_value());
+  EXPECT_EQ(doc.value()["error"]["code"].string_value(), "DEADLINE_EXCEEDED");
+  EXPECT_EQ(doc.value()["error"]["message"].string_value(),
+            "mining deadline exceeded");
+}
+
+TEST(EncodeTest, OkIsMinimal) {
+  EXPECT_EQ(EncodeOk(), "{\"ok\":true}");
+}
+
+TEST(EncodeTest, ResponsesRoundTripThroughTheParser) {
+  MineResponse response;
+  response.num_frequent = 1;
+  response.itemsets = {{{5}, 3}};
+  auto doc = ParseJson(EncodeMineResponse(response));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc.value()["ok"].bool_value());
+  EXPECT_EQ(doc.value()["itemsets"].array_items()[0]["support"].int_value(),
+            3);
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,141 @@
+#include "fpm/service/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace fpm {
+namespace {
+
+ResultCacheKey Key(const std::string& digest, Support minsup,
+                   Algorithm algorithm = Algorithm::kLcm) {
+  ResultCacheKey key;
+  key.digest = digest;
+  key.algorithm = algorithm;
+  key.pattern_bits = 0;
+  key.min_support = minsup;
+  return key;
+}
+
+std::shared_ptr<const CachedResult> MakeResult(
+    std::vector<CollectingSink::Entry> itemsets) {
+  auto result = std::make_shared<CachedResult>();
+  result->num_frequent = itemsets.size();
+  result->bytes = ResultCache::EstimateBytes(itemsets);
+  result->itemsets = std::move(itemsets);
+  return result;
+}
+
+TEST(SupportsDominanceReuseTest, OnlyOrderStableKernelsQualify) {
+  EXPECT_TRUE(SupportsDominanceReuse(Algorithm::kLcm));
+  EXPECT_TRUE(SupportsDominanceReuse(Algorithm::kEclat));
+  // FP-Growth's single-path shortcut makes emission order depend on the
+  // threshold; the reference miners were never audited for it.
+  EXPECT_FALSE(SupportsDominanceReuse(Algorithm::kFpGrowth));
+  EXPECT_FALSE(SupportsDominanceReuse(Algorithm::kApriori));
+  EXPECT_FALSE(SupportsDominanceReuse(Algorithm::kHMine));
+  EXPECT_FALSE(SupportsDominanceReuse(Algorithm::kBruteForce));
+}
+
+TEST(ResultCacheTest, ExactHitReturnsTheStoredResult) {
+  ResultCache cache;
+  auto stored = MakeResult({{{1}, 5}, {{2}, 4}, {{1, 2}, 3}});
+  cache.Insert(Key("d", 3), stored);
+
+  ResultCacheLookup hit = cache.Lookup(Key("d", 3));
+  ASSERT_NE(hit.result, nullptr);
+  EXPECT_TRUE(hit.exact);
+  EXPECT_FALSE(hit.dominated);
+  EXPECT_EQ(hit.result.get(), stored.get());
+
+  EXPECT_EQ(cache.Lookup(Key("other", 3)).result, nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCacheTest, DominanceFilterPreservesOrder) {
+  ResultCache cache;
+  // Emission order deliberately not sorted by support: the filtered
+  // answer must keep relative order, only dropping entries below the
+  // queried threshold.
+  cache.Insert(Key("d", 2),
+               MakeResult({{{1}, 5}, {{1, 2}, 2}, {{2}, 4}, {{3}, 3}}));
+
+  ResultCacheLookup hit = cache.Lookup(Key("d", 3));
+  ASSERT_NE(hit.result, nullptr);
+  EXPECT_FALSE(hit.exact);
+  EXPECT_TRUE(hit.dominated);
+  const std::vector<CollectingSink::Entry> expected = {
+      {{1}, 5}, {{2}, 4}, {{3}, 3}};
+  EXPECT_EQ(hit.result->itemsets, expected);
+  EXPECT_EQ(hit.result->num_frequent, 3u);
+  EXPECT_EQ(cache.stats().dominated_hits, 1u);
+
+  // The derived answer is memoized: the same query now hits exactly.
+  ResultCacheLookup second = cache.Lookup(Key("d", 3));
+  EXPECT_TRUE(second.exact);
+  EXPECT_EQ(second.result->itemsets, expected);
+}
+
+TEST(ResultCacheTest, DominanceRequiresSameConfiguration) {
+  ResultCache cache;
+  cache.Insert(Key("d", 2, Algorithm::kLcm), MakeResult({{{1}, 5}}));
+  // Different algorithm, different digest, or *lower* threshold than
+  // the cached run: no dominance answer.
+  EXPECT_EQ(cache.Lookup(Key("d", 3, Algorithm::kEclat)).result, nullptr);
+  EXPECT_EQ(cache.Lookup(Key("e", 3, Algorithm::kLcm)).result, nullptr);
+  EXPECT_EQ(cache.Lookup(Key("d", 1, Algorithm::kLcm)).result, nullptr);
+}
+
+TEST(ResultCacheTest, NonEligibleAlgorithmsGetExactHitsOnly) {
+  ResultCache cache;
+  cache.Insert(Key("d", 2, Algorithm::kFpGrowth), MakeResult({{{1}, 5}}));
+  EXPECT_EQ(cache.Lookup(Key("d", 3, Algorithm::kFpGrowth)).result, nullptr);
+  ResultCacheLookup exact = cache.Lookup(Key("d", 2, Algorithm::kFpGrowth));
+  ASSERT_NE(exact.result, nullptr);
+  EXPECT_TRUE(exact.exact);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedFirst) {
+  // Three equally sized entries; budget fits roughly two. Touch A so B
+  // becomes the LRU victim when D arrives.
+  auto a = MakeResult({{{1, 2, 3}, 5}});
+  const size_t entry_bytes = a->bytes;
+  ResultCache cache(/*budget_bytes=*/2 * entry_bytes + entry_bytes / 2);
+  cache.Insert(Key("a", 2), a);
+  cache.Insert(Key("b", 2), MakeResult({{{4, 5, 6}, 5}}));
+  EXPECT_EQ(cache.stats().resident_entries, 2u);
+
+  ASSERT_TRUE(cache.Lookup(Key("a", 2)).exact);  // refresh A
+  cache.Insert(Key("d", 2), MakeResult({{{7, 8, 9}, 5}}));
+
+  EXPECT_TRUE(cache.Lookup(Key("a", 2)).exact);
+  EXPECT_TRUE(cache.Lookup(Key("d", 2)).exact);
+  EXPECT_EQ(cache.Lookup(Key("b", 2)).result, nullptr);  // evicted
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, KeepsAtLeastOneEntryUnderTinyBudget) {
+  ResultCache cache(/*budget_bytes=*/1);
+  cache.Insert(Key("a", 2), MakeResult({{{1}, 3}}));
+  EXPECT_EQ(cache.stats().resident_entries, 1u);
+  EXPECT_TRUE(cache.Lookup(Key("a", 2)).exact);
+  cache.Insert(Key("b", 2), MakeResult({{{2}, 3}}));
+  // The newcomer displaced the old entry but itself stays resident.
+  EXPECT_EQ(cache.stats().resident_entries, 1u);
+  EXPECT_TRUE(cache.Lookup(Key("b", 2)).exact);
+}
+
+TEST(ResultCacheTest, BytesTrackInsertionsAndEvictions) {
+  auto a = MakeResult({{{1, 2}, 4}});
+  auto b = MakeResult({{{3, 4}, 4}});
+  ResultCache cache;
+  cache.Insert(Key("a", 2), a);
+  cache.Insert(Key("b", 2), b);
+  EXPECT_EQ(cache.stats().resident_bytes, a->bytes + b->bytes);
+  EXPECT_EQ(cache.stats().insertions, 2u);
+}
+
+}  // namespace
+}  // namespace fpm

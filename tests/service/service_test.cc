@@ -1,0 +1,228 @@
+// End-to-end MiningService tests: cache correctness (exact and
+// support-dominance answers must be byte-identical to a direct
+// sequential Mine()), admission control, deadlines and cancellation.
+
+#include "fpm/service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "fpm/algo/itemset_sink.h"
+#include "fpm/dataset/fimi_io.h"
+#include "service/service_test_util.h"
+
+namespace fpm {
+namespace {
+
+/// A direct sequential mine of `path` — the byte-identity baseline.
+std::vector<CollectingSink::Entry> DirectMine(const std::string& path,
+                                              Algorithm algorithm,
+                                              Support min_support) {
+  auto db = ReadFimiFile(path);
+  EXPECT_TRUE(db.ok()) << db.status();
+  MineOptions options;
+  options.algorithm = algorithm;
+  options.min_support = min_support;
+  options.patterns = PatternSet::All();
+  CollectingSink sink;
+  EXPECT_TRUE(Mine(*db, options, &sink).ok());
+  return sink.results();
+}
+
+MineRequest Request(const std::string& path, Algorithm algorithm,
+                    Support min_support) {
+  MineRequest request;
+  request.dataset_path = path;
+  request.algorithm = algorithm;
+  request.patterns = PatternSet::All();
+  request.min_support = min_support;
+  return request;
+}
+
+TEST(MiningServiceTest, FreshQueryMatchesDirectMine) {
+  const std::string path =
+      test::WriteTempFimi("service_fresh.dat", test::SmallFimiText());
+  MiningService service(MiningService::Options{.num_threads = 2});
+  auto response = service.Execute(Request(path, Algorithm::kLcm, 2));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->cache, CacheOutcome::kMiss);
+  EXPECT_EQ(response->itemsets, DirectMine(path, Algorithm::kLcm, 2));
+  EXPECT_EQ(response->num_frequent, response->itemsets.size());
+  EXPECT_EQ(response->dataset_digest.size(), 16u);
+}
+
+TEST(MiningServiceTest, RepeatedQueryIsAnExactHitWithIdenticalBytes) {
+  const std::string path =
+      test::WriteTempFimi("service_repeat.dat", test::SmallFimiText());
+  MiningService service(MiningService::Options{.num_threads = 2});
+  const MineRequest request = Request(path, Algorithm::kLcm, 2);
+  auto first = service.Execute(request);
+  auto second = service.Execute(request);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->cache, CacheOutcome::kMiss);
+  EXPECT_EQ(second->cache, CacheOutcome::kExact);
+  EXPECT_EQ(second->itemsets, first->itemsets);
+  EXPECT_EQ(service.cache().stats().hits, 1u);
+  EXPECT_EQ(service.registry().stats().loads, 1u);
+}
+
+class DominanceTest : public testing::TestWithParam<Algorithm> {};
+
+TEST_P(DominanceTest, DominatedQueryIsByteIdenticalToAFreshMine) {
+  const std::string path = test::WriteTempFimi(
+      std::string("service_dom_") + AlgorithmName(GetParam()) + ".dat",
+      test::DenseFimiText(/*rows=*/60, /*universe=*/12, /*k=*/6));
+  MiningService service(MiningService::Options{.num_threads = 2});
+  // Low threshold first: the cached superset every higher-threshold
+  // query filters from.
+  auto low = service.Execute(Request(path, GetParam(), 4));
+  ASSERT_TRUE(low.ok()) << low.status();
+  EXPECT_EQ(low->cache, CacheOutcome::kMiss);
+
+  for (Support minsup : {8u, 16u}) {
+    auto dominated = service.Execute(Request(path, GetParam(), minsup));
+    ASSERT_TRUE(dominated.ok()) << dominated.status();
+    EXPECT_EQ(dominated->cache, CacheOutcome::kDominated)
+        << "minsup=" << minsup;
+    // The contract: identical to mining fresh, including emission order.
+    EXPECT_EQ(dominated->itemsets, DirectMine(path, GetParam(), minsup))
+        << "minsup=" << minsup;
+    // Memoized: asking again is an exact hit, same bytes.
+    auto again = service.Execute(Request(path, GetParam(), minsup));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->cache, CacheOutcome::kExact);
+    EXPECT_EQ(again->itemsets, dominated->itemsets);
+  }
+  EXPECT_EQ(service.cache().stats().dominated_hits, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(OrderStableKernels, DominanceTest,
+                         testing::Values(Algorithm::kLcm, Algorithm::kEclat),
+                         [](const auto& info) {
+                           return std::string(AlgorithmName(info.param));
+                         });
+
+TEST(MiningServiceTest, FpGrowthNeverAnswersByDominance) {
+  const std::string path = test::WriteTempFimi(
+      "service_fpg.dat",
+      test::DenseFimiText(/*rows=*/60, /*universe=*/12, /*k=*/6));
+  MiningService service(MiningService::Options{.num_threads = 2});
+  auto low = service.Execute(Request(path, Algorithm::kFpGrowth, 4));
+  ASSERT_TRUE(low.ok()) << low.status();
+  auto high = service.Execute(Request(path, Algorithm::kFpGrowth, 8));
+  ASSERT_TRUE(high.ok()) << high.status();
+  // Emission order is threshold-dependent for FP-Growth, so the higher
+  // threshold mines fresh rather than filtering the cached run.
+  EXPECT_EQ(high->cache, CacheOutcome::kMiss);
+  EXPECT_EQ(high->itemsets, DirectMine(path, Algorithm::kFpGrowth, 8));
+  EXPECT_EQ(service.cache().stats().dominated_hits, 0u);
+}
+
+TEST(MiningServiceTest, CountOnlyOmitsItemsetsButCachesInFull) {
+  const std::string path =
+      test::WriteTempFimi("service_count.dat", test::SmallFimiText());
+  MiningService service(MiningService::Options{.num_threads = 2});
+  MineRequest counting = Request(path, Algorithm::kLcm, 2);
+  counting.count_only = true;
+  auto counted = service.Execute(counting);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_TRUE(counted->itemsets.empty());
+  EXPECT_GT(counted->num_frequent, 0u);
+
+  // The cache stored the full result: the same query without
+  // count_only replays it instead of mining again.
+  auto full = service.Execute(Request(path, Algorithm::kLcm, 2));
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->cache, CacheOutcome::kExact);
+  EXPECT_EQ(full->itemsets, DirectMine(path, Algorithm::kLcm, 2));
+  EXPECT_EQ(full->num_frequent, counted->num_frequent);
+}
+
+TEST(MiningServiceTest, QueriesAreValidatedBeforeQueueing) {
+  MiningService service(MiningService::Options{.num_threads = 1});
+  MineRequest no_support = Request("whatever.dat", Algorithm::kLcm, 1);
+  no_support.min_support = 0;
+  EXPECT_EQ(service.Submit(no_support).status().code(),
+            StatusCode::kInvalidArgument);
+
+  MineRequest no_path = Request("", Algorithm::kLcm, 2);
+  EXPECT_EQ(service.Submit(no_path).status().code(),
+            StatusCode::kInvalidArgument);
+
+  MineRequest missing =
+      Request("/nonexistent/service_nope.dat", Algorithm::kLcm, 2);
+  EXPECT_FALSE(service.Submit(missing).ok());
+}
+
+TEST(MiningServiceTest, AdmissionControlRejectsProvablyHugeQueries) {
+  const std::string path = test::WriteTempFimi(
+      "service_admission.dat",
+      test::DenseFimiText(/*rows=*/100, /*universe=*/30, /*k=*/15));
+  MiningService::Options options;
+  options.num_threads = 1;
+  options.max_estimated_itemsets = 1000.0;
+  MiningService service(options);
+  auto rejected = service.Submit(Request(path, Algorithm::kLcm, 2));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  // A sane threshold on the same dataset is admitted and completes.
+  auto admitted = service.Execute(Request(path, Algorithm::kLcm, 90));
+  EXPECT_TRUE(admitted.ok()) << admitted.status();
+}
+
+TEST(MiningServiceTest, DeadlineCancelledJobReturnsPromptly) {
+  const std::string path =
+      test::WriteTempFimi("service_deadline.dat", test::DenseFimiText());
+  MiningService service(MiningService::Options{.num_threads = 2});
+  MineRequest request = Request(path, Algorithm::kLcm, 2);
+  request.timeout_seconds = 0.05;
+
+  const auto start = std::chrono::steady_clock::now();
+  auto submitted = service.Submit(request);
+  ASSERT_TRUE(submitted.ok()) << submitted.status();
+  submitted.value()->Wait();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  auto result = submitted.value()->Take();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // The acceptance bound: back within 250 ms of the deadline.
+  EXPECT_LT(elapsed_ms, 50.0 + 250.0);
+}
+
+TEST(MiningServiceTest, ExplicitCancelStopsAnInFlightJob) {
+  const std::string path =
+      test::WriteTempFimi("service_cancel.dat", test::DenseFimiText());
+  MiningService service(MiningService::Options{.num_threads = 2});
+  auto submitted = service.Submit(Request(path, Algorithm::kEclat, 2));
+  ASSERT_TRUE(submitted.ok()) << submitted.status();
+  std::shared_ptr<MineJob> job = submitted.value();
+  // Let it start mining, then pull the plug.
+  job->WaitFor(std::chrono::milliseconds(20));
+  job->Cancel();
+  job->Wait();
+  auto result = job->Take();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(MiningServiceTest, TakeMovesTheResultOut) {
+  const std::string path =
+      test::WriteTempFimi("service_take.dat", test::SmallFimiText());
+  MiningService service(MiningService::Options{.num_threads = 1});
+  auto submitted = service.Submit(Request(path, Algorithm::kLcm, 2));
+  ASSERT_TRUE(submitted.ok());
+  submitted.value()->Wait();
+  EXPECT_TRUE(submitted.value()->done());
+  auto first = submitted.value()->Take();
+  EXPECT_TRUE(first.ok());
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the fpmd daemon and its result cache.
+
+Usage: service_smoke.py FPMD_BINARY FPM_CLIENT_BINARY
+
+Starts fpmd on a temp Unix socket with a tiny generated dataset, then
+drives it with fpm_client the way a real deployment would:
+
+  1. the same mine query three times  -> 1 miss + 2 exact cache hits
+  2. the query at a higher threshold  -> a support-dominance hit
+  3. "metrics"                        -> the daemon's own counters
+  4. "shutdown"                       -> clean exit
+
+and asserts, from the responses AND the daemon's metrics, that the
+repeated and dominated queries were served from the cache without
+re-mining: fpm.service.cache.hits and .dominated_hits must be nonzero
+and .misses must be exactly 1. Exits nonzero on any failure.
+
+Standard library only — runs on any CI python3.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_client(client, socket_path, *args):
+    cmd = [client, f"--socket={socket_path}", *args]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=60)
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    return [json.loads(line) for line in proc.stdout.splitlines() if line]
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    fpmd, client = argv[1], argv[2]
+
+    tmp = tempfile.mkdtemp(prefix="fpm_service_smoke_")
+    dataset = os.path.join(tmp, "smoke.dat")
+    # Dense enough that thresholds 2 and 3 give different answers.
+    with open(dataset, "w", encoding="utf-8") as f:
+        for row in ["1 2 3", "1 2", "1 3", "2 3", "1 2 3 4", "2 3 4"]:
+            f.write(row + "\n")
+    socket_path = os.path.join(tmp, "fpmd.sock")
+
+    daemon = subprocess.Popen(
+        [fpmd, f"--socket={socket_path}", "--threads=2"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        for _ in range(100):
+            if os.path.exists(socket_path):
+                break
+            if daemon.poll() is not None:
+                fail(f"fpmd exited early:\n{daemon.stderr.read()}")
+            time.sleep(0.05)
+        else:
+            fail("fpmd never created its socket")
+
+        ping = run_client(client, socket_path, "ping")
+        if ping != [{"ok": True}]:
+            fail(f"ping got {ping}")
+
+        # 1. Repeated identical query: miss, then exact hits.
+        repeated = run_client(client, socket_path, "mine", dataset, "2",
+                              "--repeat=3")
+        outcomes = [r.get("cache") for r in repeated]
+        if outcomes != ["miss", "hit", "hit"]:
+            fail(f"repeated query outcomes {outcomes}, "
+                 "want ['miss', 'hit', 'hit']")
+        if len({json.dumps(r.get("itemsets")) for r in repeated}) != 1:
+            fail("repeated responses returned different itemsets")
+
+        # 2. Higher threshold: answered by dominance, not re-mined.
+        dominated = run_client(client, socket_path, "mine", dataset, "3")
+        if dominated[0].get("cache") != "dominated":
+            fail(f"higher-threshold query got cache="
+                 f"{dominated[0].get('cache')}, want 'dominated'")
+        if dominated[0]["num_frequent"] >= repeated[0]["num_frequent"]:
+            fail("raising the threshold did not shrink the answer")
+
+        # 3. The daemon's own counters agree.
+        metrics = run_client(client, socket_path, "metrics")[0]
+        counters = metrics.get("counters", {})
+        checks = {
+            "fpm.service.cache.hits": lambda v: v >= 2,
+            "fpm.service.cache.dominated_hits": lambda v: v >= 1,
+            "fpm.service.cache.misses": lambda v: v == 1,
+            "fpm.service.registry.loads": lambda v: v == 1,
+        }
+        for name, ok in checks.items():
+            value = counters.get(name)
+            if value is None or not ok(value):
+                fail(f"counter {name} = {value} fails its check "
+                     f"(counters: { {k: v for k, v in counters.items() if k.startswith('fpm.service')} })")
+
+        # 4. Clean shutdown.
+        run_client(client, socket_path, "shutdown")
+        if daemon.wait(timeout=30) != 0:
+            fail(f"fpmd exited {daemon.returncode} after shutdown")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+    print("service smoke: OK (miss -> 2 hits, 1 dominated, clean shutdown)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

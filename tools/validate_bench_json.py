@@ -9,8 +9,10 @@ host block, the perf_counters availability block (a reason is required
 exactly when counters are unavailable), and the shape of every row's
 optional "phases" object, and — new in v2 — that every row tagged
 "driver": "nested" carries the task load-balance fields (spawn/cutoff
-counts and max/mean per-worker busy seconds). Exits nonzero with one
-line per problem.
+counts and max/mean per-worker busy seconds). Service-throughput rows
+(any row carrying "qps", as written by bench_service_throughput) must
+also carry clients, p50_ms and p99_ms, with qps > 0, clients >= 1 and
+p99_ms >= p50_ms. Exits nonzero with one line per problem.
 
 Standard library only — runs on any CI python3.
 """
@@ -47,6 +49,34 @@ NESTED_ROW_KEYS = (
     "task_busy_mean_seconds",
     "task_imbalance",
 )
+
+# Latency fields every service-throughput row (tagged by "qps") must
+# carry alongside it.
+SERVICE_ROW_KEYS = ("clients", "p50_ms", "p99_ms")
+
+
+def check_service_row(row, i, err):
+    """A row with "qps" is a service-throughput measurement: it needs
+    the client count and latency percentiles, and they must be
+    internally consistent."""
+    ok = True
+    for key in SERVICE_ROW_KEYS:
+        v = row.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            err(f"rows[{i}] has 'qps' but '{key}' missing or not a number")
+            ok = False
+    qps = row["qps"]
+    if not isinstance(qps, (int, float)) or isinstance(qps, bool):
+        err(f"rows[{i}] 'qps' is not a number")
+        return
+    if qps <= 0:
+        err(f"rows[{i}] qps {qps} <= 0")
+    if not ok:
+        return
+    if row["clients"] < 1:
+        err(f"rows[{i}] clients {row['clients']} < 1")
+    if row["p99_ms"] < row["p50_ms"]:
+        err(f"rows[{i}] p99_ms {row['p99_ms']} < p50_ms {row['p50_ms']}")
 
 
 def check(path):
@@ -99,6 +129,8 @@ def check(path):
         if not isinstance(row, dict):
             err(f"rows[{i}] is not an object")
             continue
+        if "qps" in row:
+            check_service_row(row, i, err)
         if row.get("driver") == "nested":
             for key in NESTED_ROW_KEYS:
                 v = row.get(key)

@@ -5,15 +5,18 @@
 //   cold        the first query — pays the full mine
 //   warm        repeated identical queries — exact cache hits
 //   dominated   ascending-threshold queries — dominance-filtered hits
+//   mixed       closed/maximal/top-k/rules queries derived cross-task
+//               from the cached frequent run, then re-asked warm
 //   concurrent  C client threads hammering the warm path — QPS and
 //               tail latency under contention
 //
 // Each row of BENCH_service_throughput.json carries clients, qps,
 // p50_ms and p99_ms (the service-row shape validate_bench_json.py
-// enforces), plus the cache-outcome counts that prove which path the
-// section actually exercised. The bench exits nonzero if the cache
-// failed to serve the warm or dominated sections — a throughput number
-// that silently re-mined would be meaningless.
+// enforces) plus a "task" tag (schema v2 mixed-task rows), and the
+// cache-outcome counts that prove which path the section actually
+// exercised. The bench exits nonzero if the cache failed to serve the
+// warm, dominated or mixed sections — a throughput number that
+// silently re-mined would be meaningless.
 
 #include <algorithm>
 #include <chrono>
@@ -76,7 +79,7 @@ int main() {
   request.dataset_path = path;
   request.algorithm = Algorithm::kLcm;
   request.patterns = PatternSet::All();
-  request.min_support = ds.min_support;
+  request.query = MiningQuery::Frequent(ds.min_support);
   request.count_only = true;  // measure the service, not result copying
 
   // ---- cold: the one query that actually mines. ----------------------
@@ -89,6 +92,7 @@ int main() {
               CacheOutcomeName(cold->cache));
   report.AddRow()
       .Str("mode", "cold")
+      .Str("task", "frequent")
       .Int("clients", 1)
       .Int("requests", 1)
       .Num("qps", 1000.0 / cold_ms)
@@ -116,6 +120,7 @@ int main() {
                 s.qps, s.p50_ms, s.p99_ms);
     report.AddRow()
         .Str("mode", "warm")
+        .Str("task", "frequent")
         .Int("clients", 1)
         .Int("requests", kWarmRequests)
         .Num("qps", s.qps)
@@ -131,7 +136,7 @@ int main() {
     const auto start = Clock::now();
     for (int i = 1; i <= kDominatedRequests; ++i) {
       MineRequest higher = request;
-      higher.min_support = ds.min_support + static_cast<Support>(i);
+      higher.query.min_support = ds.min_support + static_cast<Support>(i);
       const auto t0 = Clock::now();
       auto r = service.Execute(higher);
       latencies.push_back(ToMs(Clock::now() - t0));
@@ -146,11 +151,72 @@ int main() {
                 s.qps, s.p50_ms, s.p99_ms);
     report.AddRow()
         .Str("mode", "dominated")
+        .Str("task", "frequent")
         .Int("clients", 1)
         .Int("requests", kDominatedRequests)
         .Num("qps", s.qps)
         .Num("p50_ms", s.p50_ms)
         .Num("p99_ms", s.p99_ms);
+  }
+
+  // ---- mixed tasks: the task family answered from the same cache. ----
+  // Each task's first ask derives cross-task from the cached frequent
+  // run (closed/maximal/top-k filter it; rules ride the memoized closed
+  // listing); re-asks are exact hits on the memoized derivation.
+  constexpr int kMixedWarmRequests = 50;
+  {
+    // The task queries ask at a higher threshold than the cached
+    // frequent run: dominance still applies (cached support floor is
+    // lower), and the derivation filters the big listing down before
+    // the closure/rule post-passes, keeping derive_ms about the filter
+    // rather than about post-processing a few hundred thousand entries.
+    const Support mixed_support = ds.min_support * 4;
+    const MiningQuery mixed_queries[] = {
+        MiningQuery::Closed(mixed_support),
+        MiningQuery::Maximal(mixed_support),
+        MiningQuery::TopK(/*k=*/50, /*floor=*/mixed_support),
+        MiningQuery::Rules(mixed_support, /*confidence=*/0.25),
+    };
+    for (const MiningQuery& query : mixed_queries) {
+      MineRequest mixed = request;
+      mixed.query = query;
+      const auto d0 = Clock::now();
+      auto derived = service.Execute(mixed);
+      const double derive_ms = ToMs(Clock::now() - d0);
+      FPM_CHECK_OK(derived.status());
+      FPM_CHECK(derived->cache == CacheOutcome::kCrossTask)
+          << TaskName(query.task) << " was not derived from the cache";
+
+      std::vector<double> latencies;
+      latencies.reserve(kMixedWarmRequests);
+      const auto start = Clock::now();
+      for (int i = 0; i < kMixedWarmRequests; ++i) {
+        const auto t0 = Clock::now();
+        auto r = service.Execute(mixed);
+        latencies.push_back(ToMs(Clock::now() - t0));
+        FPM_CHECK_OK(r.status());
+        FPM_CHECK(r->cache == CacheOutcome::kExact)
+            << TaskName(query.task) << " warm re-ask missed";
+      }
+      const double wall_s =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      const LatencyStats s = Summarize(std::move(latencies), wall_s);
+      std::printf(
+          "mixed  %-8s  %8.0f qps   p50 %.3f ms   p99 %.3f ms   "
+          "(derive %.3f ms, %llu results)\n",
+          TaskName(query.task), s.qps, s.p50_ms, s.p99_ms, derive_ms,
+          static_cast<unsigned long long>(derived->num_frequent));
+      report.AddRow()
+          .Str("mode", "mixed")
+          .Str("task", TaskName(query.task))
+          .Int("clients", 1)
+          .Int("requests", kMixedWarmRequests)
+          .Num("qps", s.qps)
+          .Num("p50_ms", s.p50_ms)
+          .Num("p99_ms", s.p99_ms)
+          .Num("derive_ms", derive_ms)
+          .Int("num_results", derived->num_frequent);
+    }
   }
 
   // ---- concurrent: C blocking clients on the warm path. --------------
@@ -189,6 +255,7 @@ int main() {
                 clients, s.qps, s.p50_ms, s.p99_ms);
     report.AddRow()
         .Str("mode", "warm_concurrent")
+        .Str("task", "frequent")
         .Int("clients", static_cast<uint64_t>(clients))
         .Int("requests", static_cast<uint64_t>(clients) * kPerClient)
         .Num("qps", s.qps)
@@ -197,21 +264,26 @@ int main() {
   }
 
   const ResultCacheStats cache = service.cache().stats();
-  std::printf("\ncache: %llu exact hits, %llu dominated, %llu misses\n",
-              static_cast<unsigned long long>(cache.hits),
-              static_cast<unsigned long long>(cache.dominated_hits),
-              static_cast<unsigned long long>(cache.misses));
+  std::printf(
+      "\ncache: %llu exact hits, %llu dominated, %llu cross-task, "
+      "%llu misses\n",
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.dominated_hits),
+      static_cast<unsigned long long>(cache.cross_task_hits),
+      static_cast<unsigned long long>(cache.misses));
   report.AddRow()
       .Str("mode", "cache_totals")
       .Int("cache_hits", cache.hits)
       .Int("cache_dominated_hits", cache.dominated_hits)
+      .Int("cache_cross_task_hits", cache.cross_task_hits)
       .Int("cache_misses", cache.misses);
   report.Write();
   std::filesystem::remove(path);
 
   // The whole point was to measure the cached paths.
   const bool served_from_cache =
-      cache.hits > 0 && cache.dominated_hits > 0 && cache.misses == 1;
+      cache.hits > 0 && cache.dominated_hits > 0 &&
+      cache.cross_task_hits == 4 && cache.misses == 1;
   if (!served_from_cache) {
     std::fprintf(stderr, "FAIL: cache did not serve the measured load\n");
     return 1;

@@ -6,12 +6,21 @@
 //   ./fpm_client --socket=/tmp/fpmd.sock mine <dataset> <min_support>
 //       [--algorithm=NAME] [--patterns=all|none] [--priority=N]
 //       [--timeout=SEC] [--count-only] [--repeat=N]
+//   ./fpm_client --socket=/tmp/fpmd.sock query <dataset> <min_support>
+//       [--task=frequent|closed|maximal|top_k|rules] [--top-k=N]
+//       [--min-confidence=X] [--min-lift=X] [--max-consequent=N]
+//       [plus every mine option]
+//   ./fpm_client --socket=/tmp/fpmd.sock batch <file>
+//       <file> holds one JSON query object per line (the "query" op's
+//       fields); they are sent as one {"op":"batch"} request and the
+//       tagged response lines print in the daemon's completion order.
 //
+// "mine" speaks protocol v1 (frozen); "query"/"batch" speak v2 (tasks).
 // Prints one response line per request to stdout (raw protocol JSON —
-// pipe through jq for pretty output). --repeat issues the same mine
-// request N times on one connection, which is how the CI smoke test
-// drives the daemon's result cache. Exit code: 0 when every response
-// has "ok":true, 1 otherwise.
+// pipe through jq for pretty output). --repeat issues the same request
+// N times on one connection, which is how the CI smoke test drives the
+// daemon's result cache. Exit code: 0 when every response has
+// "ok":true, 1 otherwise.
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -20,7 +29,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "fpm/service/json.h"
 
@@ -33,8 +44,12 @@ int Usage(const char* argv0) {
                "usage: %s --socket=PATH ping|metrics|shutdown\n"
                "       %s --socket=PATH mine DATASET MIN_SUPPORT "
                "[--algorithm=NAME] [--patterns=all|none] [--priority=N] "
-               "[--timeout=SEC] [--count-only] [--repeat=N]\n",
-               argv0, argv0);
+               "[--timeout=SEC] [--count-only] [--repeat=N]\n"
+               "       %s --socket=PATH query DATASET MIN_SUPPORT "
+               "[--task=NAME] [--top-k=N] [--min-confidence=X] "
+               "[--min-lift=X] [--max-consequent=N] [mine options]\n"
+               "       %s --socket=PATH batch FILE\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -65,13 +80,28 @@ bool RecvLine(int fd, std::string* buffer, std::string* line) {
   }
 }
 
+/// Prints a response line; returns its "ok" verdict (metrics snapshots
+/// have no envelope — any parseable object counts).
+bool PrintAndCheck(const std::string& response) {
+  std::printf("%s\n", response.c_str());
+  auto parsed = fpm::ParseJson(response);
+  return parsed.ok() && parsed->is_object() &&
+         (parsed.value()["ok"].is_null() ||
+          parsed.value()["ok"].bool_value());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path;
   std::string op;
-  std::string dataset;
+  std::string dataset;  // batch: the query file path
   long min_support = 0;
+  std::string task;
+  long top_k = 0;
+  double min_confidence = -1.0;
+  double min_lift = -1.0;
+  long max_consequent = 0;
   std::string algorithm;
   std::string patterns;
   long priority = 0;
@@ -84,6 +114,16 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--socket=", 0) == 0) {
       socket_path = arg.substr(9);
+    } else if (arg.rfind("--task=", 0) == 0) {
+      task = arg.substr(7);
+    } else if (arg.rfind("--top-k=", 0) == 0) {
+      top_k = std::atol(arg.c_str() + 8);
+    } else if (arg.rfind("--min-confidence=", 0) == 0) {
+      min_confidence = std::atof(arg.c_str() + 17);
+    } else if (arg.rfind("--min-lift=", 0) == 0) {
+      min_lift = std::atof(arg.c_str() + 11);
+    } else if (arg.rfind("--max-consequent=", 0) == 0) {
+      max_consequent = std::atol(arg.c_str() + 17);
     } else if (arg.rfind("--algorithm=", 0) == 0) {
       algorithm = arg.substr(12);
     } else if (arg.rfind("--patterns=", 0) == 0) {
@@ -112,18 +152,35 @@ int main(int argc, char** argv) {
     }
   }
   if (socket_path.empty() || op.empty() || repeat < 1) return Usage(argv[0]);
-  if (op == "mine" && (dataset.empty() || min_support < 1)) {
+  const bool is_mine = op == "mine" || op == "query";
+  if (is_mine && (dataset.empty() || min_support < 1)) {
     return Usage(argv[0]);
   }
-  if (op != "mine" && op != "ping" && op != "metrics" && op != "shutdown") {
+  if (op == "batch" && dataset.empty()) return Usage(argv[0]);
+  if (!is_mine && op != "batch" && op != "ping" && op != "metrics" &&
+      op != "shutdown") {
     return Usage(argv[0]);
   }
 
+  size_t expected_responses = 1;
   JsonValue request = JsonValue::Object();
   request.Set("op", JsonValue::Str(op));
-  if (op == "mine") {
+  if (is_mine) {
     request.Set("dataset", JsonValue::Str(dataset));
     request.Set("min_support", JsonValue::Int(min_support));
+    if (op == "query") {
+      if (!task.empty()) request.Set("task", JsonValue::Str(task));
+      if (top_k > 0) request.Set("k", JsonValue::Int(top_k));
+      if (min_confidence >= 0.0) {
+        request.Set("min_confidence", JsonValue::Number(min_confidence));
+      }
+      if (min_lift >= 0.0) {
+        request.Set("min_lift", JsonValue::Number(min_lift));
+      }
+      if (max_consequent > 0) {
+        request.Set("max_consequent", JsonValue::Int(max_consequent));
+      }
+    }
     if (!algorithm.empty()) {
       request.Set("algorithm", JsonValue::Str(algorithm));
     }
@@ -133,6 +190,35 @@ int main(int argc, char** argv) {
       request.Set("timeout_s", JsonValue::Number(timeout_seconds));
     }
     if (count_only) request.Set("count_only", JsonValue::Bool(true));
+  } else if (op == "batch") {
+    // One JSON query object per file line; the daemon answers with
+    // exactly one tagged line per entry.
+    std::ifstream file(dataset);
+    if (!file) {
+      std::fprintf(stderr, "cannot read %s\n", dataset.c_str());
+      return 1;
+    }
+    JsonValue queries = JsonValue::Array();
+    std::string file_line;
+    size_t count = 0;
+    while (std::getline(file, file_line)) {
+      if (file_line.empty()) continue;
+      auto parsed = fpm::ParseJson(file_line);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s: bad query line: %s\n", dataset.c_str(),
+                     parsed.status().message().c_str());
+        return 1;
+      }
+      queries.Append(std::move(parsed.value()));
+      ++count;
+    }
+    if (count == 0) {
+      std::fprintf(stderr, "%s: no queries\n", dataset.c_str());
+      return 1;
+    }
+    request.Set("queries", std::move(queries));
+    expected_responses = count;
+    repeat = 1;
   } else {
     repeat = 1;
   }
@@ -160,20 +246,14 @@ int main(int argc, char** argv) {
       ::close(fd);
       return 1;
     }
-    std::string response;
-    if (!RecvLine(fd, &buffer, &response)) {
-      std::fprintf(stderr, "connection closed before response\n");
-      ::close(fd);
-      return 1;
-    }
-    std::printf("%s\n", response.c_str());
-    auto parsed = fpm::ParseJson(response);
-    // Control responses carry "ok"; the metrics snapshot is a raw
-    // counters object with no envelope — any parseable object counts.
-    if (!parsed.ok() || !parsed->is_object() ||
-        (!parsed.value()["ok"].is_null() &&
-         !parsed.value()["ok"].bool_value())) {
-      all_ok = false;
+    for (size_t r = 0; r < expected_responses; ++r) {
+      std::string response;
+      if (!RecvLine(fd, &buffer, &response)) {
+        std::fprintf(stderr, "connection closed before response\n");
+        ::close(fd);
+        return 1;
+      }
+      if (!PrintAndCheck(response)) all_ok = false;
     }
   }
   ::close(fd);

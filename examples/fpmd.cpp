@@ -79,10 +79,11 @@ std::string MetricsJson() {
   return out.str();
 }
 
-/// Runs one mine request, cancelling the job if the client disconnects
-/// while it is queued or mining.
+/// Runs one mine/query request, cancelling the job if the client
+/// disconnects while it is queued or mining. `version` selects the
+/// response encoding (1 = the frozen v1 "mine" shape, 2 = "query").
 std::string HandleMine(MiningService& service, const MineRequest& request,
-                       int fd) {
+                       int fd, int version) {
   Result<std::shared_ptr<MineJob>> submitted = service.Submit(request);
   if (!submitted.ok()) return EncodeError(submitted.status());
   const std::shared_ptr<MineJob>& job = submitted.value();
@@ -95,7 +96,74 @@ std::string HandleMine(MiningService& service, const MineRequest& request,
   }
   Result<MineResponse> response = job->Take();
   if (!response.ok()) return EncodeError(response.status());
-  return EncodeMineResponse(response.value());
+  return version == 1 ? EncodeMineResponse(response.value())
+                      : EncodeQueryResponse(response.value());
+}
+
+/// Runs a batch: every decodable entry becomes its own scheduler job,
+/// and each response line streams back as soon as its job completes —
+/// a slow query never blocks the others (no head-of-line blocking).
+/// Lines carry "id" = the entry's index; malformed or rejected entries
+/// get an immediate error line for their id only. Returns false when
+/// the peer went away (connection is done).
+bool HandleBatch(MiningService& service,
+                 const std::vector<ServiceRequest::BatchEntry>& batch,
+                 int fd) {
+  struct Pending {
+    uint64_t id;
+    std::shared_ptr<MineJob> job;
+  };
+  std::vector<Pending> pending;
+  const auto cancel_all = [&pending] {
+    for (Pending& p : pending) p.job->Cancel();
+    for (Pending& p : pending) p.job->Wait();
+  };
+  for (uint64_t i = 0; i < batch.size(); ++i) {
+    const ServiceRequest::BatchEntry& entry = batch[i];
+    if (!entry.status.ok()) {
+      if (!SendLine(fd, EncodeErrorWithId(i, entry.status))) {
+        cancel_all();
+        return false;
+      }
+      continue;
+    }
+    Result<std::shared_ptr<MineJob>> submitted =
+        service.Submit(entry.request);
+    if (!submitted.ok()) {
+      if (!SendLine(fd, EncodeErrorWithId(i, submitted.status()))) {
+        cancel_all();
+        return false;
+      }
+      continue;
+    }
+    pending.push_back(Pending{i, submitted.value()});
+  }
+  while (!pending.empty()) {
+    bool progressed = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->job->WaitFor(std::chrono::milliseconds(5))) {
+        Result<MineResponse> response = it->job->Take();
+        std::string line =
+            response.ok()
+                ? EncodeQueryResponseWithId(it->id, response.value())
+                : EncodeErrorWithId(it->id, response.status());
+        if (!SendLine(fd, std::move(line))) {
+          it = pending.erase(it);
+          cancel_all();
+          return false;
+        }
+        it = pending.erase(it);
+        progressed = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!progressed && PeerClosed(fd)) {
+      cancel_all();
+      return false;
+    }
+  }
+  return true;
 }
 
 struct ServerState {
@@ -135,8 +203,18 @@ void ServeConnection(ServerState* state, int fd) {
             shutdown_after = true;
             break;
           case ServiceRequest::Op::kMine:
-            reply = HandleMine(*state->service, request.value().mine, fd);
+          case ServiceRequest::Op::kQuery:
+            reply = HandleMine(*state->service, request.value().mine, fd,
+                               request.value().version);
             break;
+          case ServiceRequest::Op::kBatch:
+            // Batch replies stream from inside the handler, one tagged
+            // line per query in completion order.
+            if (!HandleBatch(*state->service, request.value().batch, fd)) {
+              ::close(fd);
+              return;
+            }
+            continue;
         }
       }
       if (!SendLine(fd, std::move(reply))) {

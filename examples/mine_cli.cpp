@@ -4,6 +4,10 @@
 //   ./mine_cli <input.dat> <min_support> [options]
 //     --algorithm=lcm|eclat|fpgrowth|apriori|auto   (default lcm)
 //     --patterns=<list>|all|none|auto          (default auto: the advisor)
+//     --task=frequent|closed|maximal|top_k|rules    (default frequent)
+//     --top-k=N                                (top_k: how many itemsets)
+//     --min-confidence=X                       (rules; default 0.5)
+//     --min-lift=X                             (rules; default 0)
 //     --output=<file>                          (default: count only)
 //     --threads=N                              (default 1: sequential;
 //                                               0: all hardware threads)
@@ -71,7 +75,9 @@ class FileSink : public ItemsetSink {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.dat> <min_support> [--algorithm=NAME] "
-               "[--patterns=LIST|all|none|auto] [--output=FILE] "
+               "[--patterns=LIST|all|none|auto] "
+               "[--task=frequent|closed|maximal|top_k|rules] [--top-k=N] "
+               "[--min-confidence=X] [--min-lift=X] [--output=FILE] "
                "[--threads=N (0 = all hardware threads)] [--timeout=SEC] "
                "[--flat] [--nondeterministic] [--stats] [--perf] "
                "[--trace-out=FILE] [--metrics-out=FILE]\n",
@@ -104,6 +110,10 @@ int main(int argc, char** argv) {
 
   std::string algorithm_name = "lcm";
   std::string pattern_spec = "auto";
+  std::string task_name = "frequent";
+  long top_k = 0;
+  double min_confidence = -1.0;
+  double min_lift = -1.0;
   std::string output_path;
   std::string trace_path;
   std::string metrics_path;
@@ -119,6 +129,18 @@ int main(int argc, char** argv) {
       algorithm_name = arg.substr(12);
     } else if (arg.rfind("--patterns=", 0) == 0) {
       pattern_spec = arg.substr(11);
+    } else if (arg.rfind("--task=", 0) == 0) {
+      task_name = arg.substr(7);
+    } else if (arg.rfind("--top-k=", 0) == 0) {
+      top_k = std::atol(arg.c_str() + 8);
+      if (top_k < 1) {
+        std::fprintf(stderr, "--top-k must be >= 1\n");
+        return 2;
+      }
+    } else if (arg.rfind("--min-confidence=", 0) == 0) {
+      min_confidence = std::atof(arg.c_str() + 17);
+    } else if (arg.rfind("--min-lift=", 0) == 0) {
+      min_lift = std::atof(arg.c_str() + 11);
     } else if (arg.rfind("--output=", 0) == 0) {
       output_path = arg.substr(9);
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -245,6 +267,26 @@ int main(int argc, char** argv) {
   options.execution.deterministic = deterministic;
   options.execution.nested = nested;
 
+  // The task family (closed/maximal/top-k/rules) rides the same miner
+  // through the MiningQuery dispatch; "frequent" keeps the classic
+  // FIMI-style path below.
+  MiningQuery query = MiningQuery::Frequent(options.min_support);
+  {
+    auto task = ParseTask(task_name);
+    if (!task.ok()) {
+      std::fprintf(stderr, "%s\n", task.status().ToString().c_str());
+      return 2;
+    }
+    query.task = task.value();
+  }
+  if (top_k > 0) query.k = static_cast<uint64_t>(top_k);
+  if (min_confidence >= 0.0) query.min_confidence = min_confidence;
+  if (min_lift >= 0.0) query.min_lift = min_lift;
+  if (Status valid = query.Validate(); !valid.ok()) {
+    std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    return 2;
+  }
+
   // --timeout arms a deadline the kernels poll at frame boundaries; an
   // expired run stops within one frame and Mine() reports
   // DEADLINE_EXCEEDED with the partial count still in the sink.
@@ -259,14 +301,51 @@ int main(int argc, char** argv) {
   WallTimer mine_timer;
   Result<MineStats> run = Status::Internal("not run");
   uint64_t count = 0;
-  if (output_path.empty()) {
-    CountingSink sink;
-    run = Mine(db, options, &sink);
-    count = sink.count();
+  if (query.task == MiningTask::kFrequent) {
+    if (output_path.empty()) {
+      CountingSink sink;
+      run = Mine(db, options, &sink);
+      count = sink.count();
+    } else {
+      FileSink sink(std::move(output_file));
+      run = Mine(db, options, &sink);
+      count = sink.count();
+    }
   } else {
-    FileSink sink(std::move(output_file));
-    run = Mine(db, options, &sink);
-    count = sink.count();
+    auto miner = CreateMiner(options);
+    if (!miner.ok()) {
+      std::fprintf(stderr, "%s\n", miner.status().ToString().c_str());
+      return 2;
+    }
+    if (query.task == MiningTask::kRules) {
+      std::vector<AssociationRule> rules;
+      run = miner.value()->MineRules(db, query, &rules);
+      count = rules.size();
+      if (run.ok() && !output_path.empty()) {
+        for (const AssociationRule& r : rules) {
+          for (size_t i = 0; i < r.antecedent.size(); ++i) {
+            if (i > 0) output_file << ' ';
+            output_file << r.antecedent[i];
+          }
+          output_file << " =>";
+          for (Item it : r.consequent) output_file << ' ' << it;
+          char metrics_buf[64];
+          std::snprintf(metrics_buf, sizeof(metrics_buf),
+                        " (support=%llu conf=%.4f lift=%.4f)\n",
+                        static_cast<unsigned long long>(r.itemset_support),
+                        r.confidence, r.lift);
+          output_file << metrics_buf;
+        }
+      }
+    } else if (output_path.empty()) {
+      CountingSink sink;
+      run = miner.value()->Mine(db, query, &sink);
+      count = sink.count();
+    } else {
+      FileSink sink(std::move(output_file));
+      run = miner.value()->Mine(db, query, &sink);
+      count = sink.count();
+    }
   }
   if (!run.ok()) {
     const StatusCode code = run.status().code();
@@ -284,9 +363,28 @@ int main(int argc, char** argv) {
   }
   stats = *run;
 
-  std::printf("%llu frequent itemsets (support >= %ld) in %.3fs\n",
-              static_cast<unsigned long long>(count), support_arg,
-              mine_timer.ElapsedSeconds());
+  switch (query.task) {
+    case MiningTask::kTopK:
+      std::printf("%llu of top-%llu itemsets by support (floor >= %ld) "
+                  "in %.3fs\n",
+                  static_cast<unsigned long long>(count),
+                  static_cast<unsigned long long>(query.k), support_arg,
+                  mine_timer.ElapsedSeconds());
+      break;
+    case MiningTask::kRules:
+      std::printf("%llu association rules (support >= %ld, "
+                  "confidence >= %g, lift >= %g) in %.3fs\n",
+                  static_cast<unsigned long long>(count), support_arg,
+                  query.min_confidence, query.min_lift,
+                  mine_timer.ElapsedSeconds());
+      break;
+    default:
+      std::printf("%llu %s itemsets (support >= %ld) in %.3fs\n",
+                  static_cast<unsigned long long>(count),
+                  TaskName(query.task), support_arg,
+                  mine_timer.ElapsedSeconds());
+      break;
+  }
   if (show_stats) {
     std::printf("  prepare: %.3fs  build: %.3fs  mine: %.3fs\n",
                 stats.phase_seconds(PhaseId::kPrepare),

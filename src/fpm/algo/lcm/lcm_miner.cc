@@ -5,6 +5,7 @@
 #include <memory>
 #include <numeric>
 
+#include "fpm/algo/lcm/closed_miner.h"
 #include "fpm/algo/subtree.h"
 #include "fpm/common/arena.h"
 #include "fpm/common/cancel.h"
@@ -583,6 +584,10 @@ class LcmRun {
 }  // namespace
 
 LcmMiner::LcmMiner(LcmOptions options) : options_(options) {}
+
+std::unique_ptr<Miner> LcmMiner::NativeClosedMiner() const {
+  return std::make_unique<LcmClosedMiner>();
+}
 
 Result<MineStats> LcmMiner::MineImpl(const Database& db,
                                      Support min_support,

@@ -95,6 +95,10 @@ class LcmMiner : public Miner {
 
   std::string name() const override { return "lcm" + options_.Suffix(); }
 
+  /// LCM's closed execution path is the ppc-extension kernel
+  /// (fpm/algo/lcm/closed_miner.h), not frequent-listing filtering.
+  std::unique_ptr<Miner> NativeClosedMiner() const override;
+
   const LcmOptions& options() const { return options_; }
   const LcmPhaseStats& phase_stats() const { return phase_stats_; }
 

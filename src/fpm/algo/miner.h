@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -16,6 +17,8 @@
 #include "fpm/common/status.h"
 #include "fpm/dataset/database.h"
 #include "fpm/algo/itemset_sink.h"
+#include "fpm/algo/query.h"
+#include "fpm/algo/rules.h"
 #include "fpm/obs/trace.h"
 
 namespace fpm {
@@ -136,19 +139,39 @@ struct ExecutionPolicy {
   bool nested = true;
 };
 
-/// Abstract frequent-itemset miner.
+/// Abstract pattern miner. The base enumeration contract is frequent
+/// itemsets; the MiningQuery front-end dispatches the whole task family
+/// (closed/maximal/top-k/rules) onto execution paths built from it.
 ///
-/// Contract: emits every itemset (size >= 1) whose weighted support is
-/// >= min_support, exactly once, with its exact support, in original
-/// item ids. min_support must be >= 1.
+/// Contract (kFrequent): emits every itemset (size >= 1) whose weighted
+/// support is >= min_support, exactly once, with its exact support, in
+/// original item ids. min_support must be >= 1.
 class Miner {
  public:
   virtual ~Miner() = default;
 
-  /// Mines `db` at threshold `min_support` into `sink`. On success
-  /// returns the statistics of this call; a Miner instance holds no
-  /// result state (but is still single-caller: one Mine() at a time per
-  /// instance).
+  /// Executes `query` against `db`, emitting the task's answer into
+  /// `sink`. Per-task execution path and emission order:
+  ///
+  ///   kFrequent  the kernel itself; deterministic kernel emission order
+  ///   kClosed    NativeClosedMiner() when the algorithm has one (LCM's
+  ///              ppc-extension kernel), else the full frequent listing
+  ///              filtered by FilterClosed; canonical order either way
+  ///   kMaximal   the closed listing filtered by
+  ///              FilterMaximalFromClosed; canonical order
+  ///   kTopK      iterative threshold-tightening driver over the
+  ///              frequent kernel (fpm/algo/topk.h); support descending,
+  ///              canonical itemset ascending on ties
+  ///   kRules     rejected — rules are not itemsets; call MineRules()
+  ///
+  /// MineStats::num_frequent is the number of entries emitted for the
+  /// task (e.g. the closed-set count for kClosed).
+  Result<MineStats> Mine(const Database& db, const MiningQuery& query,
+                         ItemsetSink* sink);
+
+  /// Pre-MiningQuery surface: mines all frequent itemsets at threshold
+  /// `min_support`. Thin shim over the query overload; prefer
+  /// Mine(db, MiningQuery::Frequent(s), sink) in new code.
   ///
   /// Observability: when the default tracer is enabled the call is
   /// wrapped in a span named name(); kernels nest "prepare"/"build"/
@@ -157,7 +180,16 @@ class Miner {
   /// fpm.mine.itemsets, fpm.mine.peak_structure_bytes, ...) are
   /// recorded. Both default to off and cost ~one branch each when off.
   Result<MineStats> Mine(const Database& db, Support min_support,
-                         ItemsetSink* sink);
+                         ItemsetSink* sink) {
+    return Mine(db, MiningQuery::Frequent(min_support), sink);
+  }
+
+  /// Executes a kRules query: a closed-set run at query.min_support,
+  /// then GenerateRulesFromClosed with the query's confidence/lift
+  /// thresholds. `*rules` receives the rules in the deterministic
+  /// RuleOutranks order; MineStats::num_frequent is the rule count.
+  Result<MineStats> MineRules(const Database& db, const MiningQuery& query,
+                              std::vector<AssociationRule>* rules);
 
   /// Like Mine(), but offers subtrees of the recursion to `spawner`
   /// (see fpm/algo/subtree.h) so a fork-join driver can mine them as
@@ -169,6 +201,15 @@ class Miner {
 
   /// Display name including the active pattern configuration.
   virtual std::string name() const = 0;
+
+  /// A dedicated closed-itemset kernel for this algorithm, or null when
+  /// there is none and kClosed/kMaximal/kRules queries fall back to
+  /// filtering the full frequent listing. LCM overrides this with the
+  /// ppc-extension closed miner, which never materializes the frequent
+  /// listing.
+  virtual std::unique_ptr<Miner> NativeClosedMiner() const {
+    return nullptr;
+  }
 
  protected:
   /// Algorithm body. `min_support >= 1` and `sink != nullptr` are

@@ -1,0 +1,61 @@
+#include "fpm/algo/query.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace fpm {
+
+const char* TaskName(MiningTask task) {
+  switch (task) {
+    case MiningTask::kFrequent: return "frequent";
+    case MiningTask::kClosed: return "closed";
+    case MiningTask::kMaximal: return "maximal";
+    case MiningTask::kTopK: return "top_k";
+    case MiningTask::kRules: return "rules";
+  }
+  return "unknown";
+}
+
+Result<MiningTask> ParseTask(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return c == '-' ? '_' : static_cast<char>(std::tolower(c));
+  });
+  if (lower == "frequent") return MiningTask::kFrequent;
+  if (lower == "closed") return MiningTask::kClosed;
+  if (lower == "maximal") return MiningTask::kMaximal;
+  if (lower == "top_k" || lower == "topk") return MiningTask::kTopK;
+  if (lower == "rules") return MiningTask::kRules;
+  return Status::InvalidArgument(
+      "unknown task '" + name +
+      "' (want frequent|closed|maximal|top_k|rules)");
+}
+
+Status MiningQuery::Validate() const {
+  if (min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  switch (task) {
+    case MiningTask::kFrequent:
+    case MiningTask::kClosed:
+    case MiningTask::kMaximal:
+      return Status::OK();
+    case MiningTask::kTopK:
+      if (k < 1) return Status::InvalidArgument("top_k query needs k >= 1");
+      return Status::OK();
+    case MiningTask::kRules:
+      if (min_confidence < 0.0 || min_confidence > 1.0) {
+        return Status::InvalidArgument("min_confidence must be in [0, 1]");
+      }
+      if (min_lift < 0.0) {
+        return Status::InvalidArgument("min_lift must be >= 0");
+      }
+      if (max_consequent < 1) {
+        return Status::InvalidArgument("max_consequent must be >= 1");
+      }
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown mining task");
+}
+
+}  // namespace fpm

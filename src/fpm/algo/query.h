@@ -1,0 +1,124 @@
+// The unified mining query model: one value type naming the task —
+// frequent, closed, maximal, top-k or association rules — plus its
+// per-task parameters. A MiningQuery flows unchanged through every
+// layer: the Miner front-end dispatches it onto an execution path
+// (fpm/algo/miner.h), the service keys its result cache with it
+// (fpm/service/result_cache.h), and protocol v2 carries it on the wire
+// (fpm/service/protocol.h).
+//
+// The paper frames its optimization patterns around the whole problem
+// family ("frequent/closed/maximal itemsets", §1); this header makes
+// the family first-class instead of leaving closed/maximal as example
+// post-processing.
+
+#ifndef FPM_ALGO_QUERY_H_
+#define FPM_ALGO_QUERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "fpm/common/status.h"
+#include "fpm/dataset/types.h"
+
+namespace fpm {
+
+/// The mining tasks the query surface speaks. Values are stable (they
+/// participate in cache keys); append only.
+enum class MiningTask : uint8_t {
+  kFrequent = 0,  ///< every itemset with support >= min_support
+  kClosed = 1,    ///< closed frequent itemsets (no superset, same support)
+  kMaximal = 2,   ///< maximal frequent itemsets (no frequent superset)
+  kTopK = 3,      ///< the k most frequent itemsets (floor = min_support)
+  kRules = 4,     ///< association rules from a closed-set run
+};
+
+inline constexpr int kNumMiningTasks = 5;
+
+/// Stable lowercase wire name ("frequent", "closed", "maximal",
+/// "top_k", "rules").
+const char* TaskName(MiningTask task);
+
+/// Parses a task name (case-insensitive; accepts "top_k" and "top-k").
+Result<MiningTask> ParseTask(const std::string& name);
+
+/// One mining query: the task plus every parameter that defines its
+/// answer. Parameters irrelevant to the task are ignored by execution
+/// and zeroed in cache keys.
+///
+/// Result-order contract per task (what "byte-identical" means):
+///   kFrequent  kernel emission order (deterministic per kernel)
+///   kClosed    canonical order (items sorted in sets, sets
+///              lexicographic) — identical across kernels
+///   kMaximal   canonical order
+///   kTopK      support descending, canonical itemset ascending within
+///              equal support; ties at the k boundary resolved the same
+///              way
+///   kRules     lift desc, confidence desc, antecedent, consequent
+struct MiningQuery {
+  MiningTask task = MiningTask::kFrequent;
+
+  /// Support threshold. For kTopK this is the *floor*: itemsets below
+  /// it never qualify even when fewer than k results exist (default 1
+  /// = unrestricted).
+  Support min_support = 1;
+
+  /// kTopK: number of itemsets wanted. Must be >= 1 for kTopK.
+  uint64_t k = 0;
+
+  /// kRules: minimum confidence in [0, 1].
+  double min_confidence = 0.5;
+
+  /// kRules: minimum lift (>= 0; 0 filters nothing).
+  double min_lift = 0.0;
+
+  /// kRules: maximum consequent size (>= 1).
+  uint32_t max_consequent = 1;
+
+  /// kTopK performance hint, NOT part of the query's meaning (excluded
+  /// from cache keys): a seed threshold for the iterative driver,
+  /// typically the Geerts–Goethals–Van den Bussche bound inversion
+  /// (fpm/service/cost_model.h, TopKSeedThreshold). 0 = the driver
+  /// seeds itself from the item-frequency table.
+  Support topk_seed_support = 0;
+
+  static MiningQuery Frequent(Support min_support) {
+    MiningQuery q;
+    q.min_support = min_support;
+    return q;
+  }
+  static MiningQuery Closed(Support min_support) {
+    MiningQuery q;
+    q.task = MiningTask::kClosed;
+    q.min_support = min_support;
+    return q;
+  }
+  static MiningQuery Maximal(Support min_support) {
+    MiningQuery q;
+    q.task = MiningTask::kMaximal;
+    q.min_support = min_support;
+    return q;
+  }
+  static MiningQuery TopK(uint64_t k, Support floor = 1) {
+    MiningQuery q;
+    q.task = MiningTask::kTopK;
+    q.k = k;
+    q.min_support = floor;
+    return q;
+  }
+  static MiningQuery Rules(Support min_support, double min_confidence = 0.5,
+                           double min_lift = 0.0) {
+    MiningQuery q;
+    q.task = MiningTask::kRules;
+    q.min_support = min_support;
+    q.min_confidence = min_confidence;
+    q.min_lift = min_lift;
+    return q;
+  }
+
+  /// InvalidArgument when a parameter is out of range for the task.
+  Status Validate() const;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_ALGO_QUERY_H_

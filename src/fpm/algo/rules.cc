@@ -1,6 +1,7 @@
 #include "fpm/algo/rules.h"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_map>
 
 namespace fpm {
@@ -56,28 +57,34 @@ class ConsequentEnumerator {
   Itemset consequent_;
 };
 
-}  // namespace
-
-Result<std::vector<AssociationRule>> GenerateRules(
-    const std::vector<CollectingSink::Entry>& frequent, Support total_weight,
-    const RuleOptions& options) {
+Status ValidateOptions(const RuleOptions& options, Support total_weight,
+                       bool empty_listing) {
   if (options.min_confidence < 0.0 || options.min_confidence > 1.0) {
     return Status::InvalidArgument("min_confidence must be in [0, 1]");
+  }
+  if (options.min_lift < 0.0) {
+    return Status::InvalidArgument("min_lift must be >= 0");
   }
   if (options.max_consequent < 1) {
     return Status::InvalidArgument("max_consequent must be >= 1");
   }
-  if (total_weight == 0 && !frequent.empty()) {
+  if (total_weight == 0 && !empty_listing) {
     return Status::InvalidArgument("total_weight must be positive");
   }
+  return Status::OK();
+}
 
-  SupportIndex index;
-  index.reserve(frequent.size() * 2);
-  for (const auto& [set, support] : frequent) index.emplace(set, support);
-
+// The shared generation loop: walk every listing entry of size >= 2,
+// enumerate consequents, and resolve the antecedent/consequent supports
+// through `support_of` (exact-index lookup for the full listing,
+// closure-based recovery for a closed listing).
+Result<std::vector<AssociationRule>> Generate(
+    const std::vector<CollectingSink::Entry>& listing, Support total_weight,
+    const RuleOptions& options,
+    const std::function<Result<Support>(const Itemset&)>& support_of) {
   std::vector<AssociationRule> rules;
   Itemset antecedent;
-  for (const auto& [set, support] : frequent) {
+  for (const auto& [set, support] : listing) {
     if (set.size() < 2) continue;
     ConsequentEnumerator consequents(set, options.max_consequent);
     const Support set_support = support;
@@ -87,16 +94,17 @@ Result<std::vector<AssociationRule>> GenerateRules(
           std::set_difference(set.begin(), set.end(), consequent.begin(),
                               consequent.end(),
                               std::back_inserter(antecedent));
-          const auto ante = index.find(antecedent);
-          const auto cons = index.find(consequent);
-          if (ante == index.end() || cons == index.end()) {
-            return Status::InvalidArgument(
-                "frequent listing is incomplete: missing a subset "
-                "required for rule generation");
-          }
+          FPM_ASSIGN_OR_RETURN(const Support ante_support,
+                               support_of(antecedent));
+          FPM_ASSIGN_OR_RETURN(const Support cons_support,
+                               support_of(consequent));
           const double confidence =
-              static_cast<double>(set_support) / ante->second;
+              static_cast<double>(set_support) / ante_support;
           if (confidence < options.min_confidence) return Status::OK();
+          const double lift = confidence *
+                              static_cast<double>(total_weight) /
+                              static_cast<double>(cons_support);
+          if (lift < options.min_lift) return Status::OK();
           AssociationRule rule;
           rule.antecedent = antecedent;
           rule.consequent = consequent;
@@ -104,26 +112,91 @@ Result<std::vector<AssociationRule>> GenerateRules(
           rule.support =
               static_cast<double>(set_support) / total_weight;
           rule.confidence = confidence;
-          rule.lift = confidence * static_cast<double>(total_weight) /
-                      static_cast<double>(cons->second);
+          rule.lift = lift;
           rules.push_back(std::move(rule));
           return Status::OK();
         });
     FPM_RETURN_IF_ERROR(status);
   }
-
-  std::sort(rules.begin(), rules.end(),
-            [](const AssociationRule& a, const AssociationRule& b) {
-              if (a.lift != b.lift) return a.lift > b.lift;
-              if (a.confidence != b.confidence) {
-                return a.confidence > b.confidence;
-              }
-              if (a.antecedent != b.antecedent) {
-                return a.antecedent < b.antecedent;
-              }
-              return a.consequent < b.consequent;
-            });
+  std::sort(rules.begin(), rules.end(), RuleOutranks);
   return rules;
+}
+
+}  // namespace
+
+bool RuleOutranks(const AssociationRule& a, const AssociationRule& b) {
+  if (a.lift != b.lift) return a.lift > b.lift;
+  if (a.confidence != b.confidence) return a.confidence > b.confidence;
+  if (a.antecedent != b.antecedent) return a.antecedent < b.antecedent;
+  return a.consequent < b.consequent;
+}
+
+Result<std::vector<AssociationRule>> GenerateRules(
+    const std::vector<CollectingSink::Entry>& frequent, Support total_weight,
+    const RuleOptions& options) {
+  FPM_RETURN_IF_ERROR(
+      ValidateOptions(options, total_weight, frequent.empty()));
+
+  SupportIndex index;
+  index.reserve(frequent.size() * 2);
+  for (const auto& [set, support] : frequent) index.emplace(set, support);
+
+  return Generate(frequent, total_weight, options,
+                  [&index](const Itemset& set) -> Result<Support> {
+                    const auto it = index.find(set);
+                    if (it == index.end()) {
+                      return Status::InvalidArgument(
+                          "frequent listing is incomplete: missing a subset "
+                          "required for rule generation");
+                    }
+                    return it->second;
+                  });
+}
+
+Result<std::vector<AssociationRule>> GenerateRulesFromClosed(
+    const std::vector<CollectingSink::Entry>& closed, Support total_weight,
+    const RuleOptions& options) {
+  FPM_RETURN_IF_ERROR(ValidateOptions(options, total_weight, closed.empty()));
+
+  // Inverted index item -> closed sets containing it; a subset's support
+  // is the max over the closed supersets found on its rarest item's
+  // posting list (supp(X) = supp(clo(X)), and clo(X) is listed).
+  std::unordered_map<Item, std::vector<uint32_t>> postings;
+  for (uint32_t i = 0; i < closed.size(); ++i) {
+    for (Item it : closed[i].first) postings[it].push_back(i);
+  }
+  auto support_of = [&](const Itemset& set) -> Result<Support> {
+    const std::vector<uint32_t>* shortest = nullptr;
+    for (Item it : set) {
+      const auto found = postings.find(it);
+      if (found == postings.end()) {
+        return Status::InvalidArgument(
+            "closed listing is incomplete: no closed superset of a "
+            "required subset");
+      }
+      if (shortest == nullptr || found->second.size() < shortest->size()) {
+        shortest = &found->second;
+      }
+    }
+    Support best = 0;
+    bool any = false;
+    for (uint32_t i : *shortest) {
+      const Itemset& candidate = closed[i].first;
+      if (std::includes(candidate.begin(), candidate.end(), set.begin(),
+                        set.end())) {
+        best = std::max(best, closed[i].second);
+        any = true;
+      }
+    }
+    if (!any) {
+      return Status::InvalidArgument(
+          "closed listing is incomplete: no closed superset of a "
+          "required subset");
+    }
+    return best;
+  };
+
+  return Generate(closed, total_weight, options, support_of);
 }
 
 }  // namespace fpm

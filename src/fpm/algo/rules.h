@@ -29,10 +29,17 @@ struct AssociationRule {
 /// Generation thresholds and limits.
 struct RuleOptions {
   double min_confidence = 0.5;
+  /// Minimum lift; 0 (the default) filters nothing.
+  double min_lift = 0.0;
   /// Maximum consequent size; 1 reproduces the classic single-item
   /// consequent setting and keeps generation linear in itemset size.
   size_t max_consequent = 1;
 };
+
+/// The deterministic output ordering both generators sort by: lift
+/// descending, confidence descending, then antecedent and consequent
+/// lexicographic.
+bool RuleOutranks(const AssociationRule& a, const AssociationRule& b);
 
 /// Generates rules from a *complete, canonical* frequent listing (a
 /// Canonicalize()d CollectingSink result: every frequent itemset
@@ -44,6 +51,23 @@ struct RuleOptions {
 /// Rules are ordered by descending lift, ties by descending confidence.
 Result<std::vector<AssociationRule>> GenerateRules(
     const std::vector<CollectingSink::Entry>& frequent, Support total_weight,
+    const RuleOptions& options = RuleOptions());
+
+/// Generates rules from a *complete closed-set* listing (e.g. an
+/// LcmClosedMiner run, or FilterClosed over a full frequent listing) —
+/// the execution path behind MiningTask::kRules. Every rule's combined
+/// itemset (antecedent ∪ consequent) is a closed set; subset supports
+/// are recovered through the closure (supp(X) = max support over
+/// closed supersets of X), so the full — possibly exponentially larger
+/// — frequent listing is never materialized. The result is the
+/// standard non-redundant rule basis over closed itemsets: rules whose
+/// combined itemset is non-closed are omitted, as each is implied by
+/// the rule of its closure with identical support and confidence.
+///
+/// Same ordering and thresholds as GenerateRules; InvalidArgument when
+/// the listing is not closed under the subset supports it needs.
+Result<std::vector<AssociationRule>> GenerateRulesFromClosed(
+    const std::vector<CollectingSink::Entry>& closed, Support total_weight,
     const RuleOptions& options = RuleOptions());
 
 }  // namespace fpm

@@ -1,0 +1,92 @@
+#include "fpm/algo/topk.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fpm/algo/miner.h"
+
+namespace fpm {
+namespace {
+
+// Strict "a outranks b" ordering of the final answer: support
+// descending, canonical itemset ascending on ties. Doubles as the heap
+// comparator ("a < b" = a outranks b), putting the weakest retained
+// entry at the heap top.
+bool Outranks(const CollectingSink::Entry& a, const CollectingSink::Entry& b) {
+  if (a.second != b.second) return a.second > b.second;
+  return a.first < b.first;
+}
+
+}  // namespace
+
+void TopKSink::Emit(std::span<const Item> itemset, Support support) {
+  ++total_emitted_;
+  if (k_ == 0) return;
+  Itemset set(itemset.begin(), itemset.end());
+  std::sort(set.begin(), set.end());
+  CollectingSink::Entry entry(std::move(set), support);
+  if (heap_.size() < k_) {
+    heap_.push_back(std::move(entry));
+    std::push_heap(heap_.begin(), heap_.end(), Outranks);
+    return;
+  }
+  if (Outranks(entry, heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), Outranks);
+    heap_.back() = std::move(entry);
+    std::push_heap(heap_.begin(), heap_.end(), Outranks);
+  }
+}
+
+std::vector<CollectingSink::Entry> TopKSink::TakeSorted() {
+  std::sort(heap_.begin(), heap_.end(), Outranks);
+  return std::move(heap_);
+}
+
+Result<MineStats> MineTopK(Miner& miner, const Database& db,
+                           const MiningQuery& query,
+                           std::vector<CollectingSink::Entry>* out) {
+  if (query.task != MiningTask::kTopK) {
+    return Status::InvalidArgument("MineTopK requires a top_k query");
+  }
+  FPM_RETURN_IF_ERROR(query.Validate());
+  const Support floor = query.min_support;
+
+  // Seed threshold (see the header comment): k-th largest item
+  // frequency when the item table alone guarantees >= k answers,
+  // otherwise the planted cost-model hint, otherwise the floor.
+  Support seed = floor;
+  std::vector<Support> frequent_items;
+  for (Support f : db.item_frequencies()) {
+    if (f >= floor) frequent_items.push_back(f);
+  }
+  if (frequent_items.size() >= query.k) {
+    auto kth = frequent_items.begin() + static_cast<size_t>(query.k) - 1;
+    std::nth_element(frequent_items.begin(), kth, frequent_items.end(),
+                     [](Support a, Support b) { return a > b; });
+    seed = *kth;
+  } else if (query.topk_seed_support > floor) {
+    seed = query.topk_seed_support;
+  }
+
+  MineStats total;
+  Support threshold = std::max(floor, seed);
+  while (true) {
+    TopKSink sink(query.k);
+    FPM_ASSIGN_OR_RETURN(MineStats pass, miner.Mine(db, threshold, &sink));
+    for (int p = 0; p < kNumPhases; ++p) {
+      const PhaseId phase = static_cast<PhaseId>(p);
+      total.add_phase_seconds(phase, pass.phase_seconds(phase));
+      total.MergePhaseCounters(phase, pass.phase_counters(phase));
+    }
+    total.peak_structure_bytes =
+        std::max(total.peak_structure_bytes, pass.peak_structure_bytes);
+    if (sink.total_emitted() >= query.k || threshold == floor) {
+      *out = sink.TakeSorted();
+      total.num_frequent = out->size();
+      return total;
+    }
+    threshold = std::max(floor, threshold / 2);
+  }
+}
+
+}  // namespace fpm

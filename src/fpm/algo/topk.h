@@ -1,0 +1,75 @@
+// Top-k frequent itemset mining: the k highest-support itemsets (floor
+// at MiningQuery::min_support), found without the caller guessing a
+// threshold.
+//
+// The driver runs the underlying frequent kernel at a *seed* threshold
+// and keeps the k best in a bounded support min-heap; when fewer than k
+// itemsets survive the seed, the threshold halves (down to the floor)
+// and the mine repeats. The seed comes from, in order of preference:
+//
+//   1. the single-item frequency table — when >= k items are frequent
+//      at the floor, the k-th largest item frequency guarantees >= k
+//      answers in one pass (every frequent item is itself an itemset);
+//   2. MiningQuery::topk_seed_support — the service plants the inverted
+//      Geerts–Goethals–Van den Bussche candidate bound here
+//      (fpm/service/cost_model.h, TopKSeedThreshold);
+//   3. the floor itself.
+//
+// Correctness does not depend on the seed: whenever the mine at
+// threshold t yields >= k itemsets, those are a superset of the global
+// top k (every itemset it missed has support < t <= the k-th best), so
+// the heap holds the exact answer.
+
+#ifndef FPM_ALGO_TOPK_H_
+#define FPM_ALGO_TOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fpm/algo/itemset_sink.h"
+#include "fpm/algo/query.h"
+#include "fpm/common/status.h"
+#include "fpm/dataset/database.h"
+
+namespace fpm {
+
+class Miner;
+struct MineStats;
+
+/// Bounded sink keeping the k best (support desc, canonical itemset asc
+/// within equal support) of everything emitted — a support priority
+/// queue with a deterministic tie-break, O(k) memory however many
+/// itemsets the kernel enumerates.
+class TopKSink : public ItemsetSink {
+ public:
+  explicit TopKSink(uint64_t k) : k_(k) {}
+
+  void Emit(std::span<const Item> itemset, Support support) override;
+
+  /// Itemsets emitted into the sink (before the k bound).
+  uint64_t total_emitted() const { return total_emitted_; }
+
+  /// The retained entries in final order: support descending, canonical
+  /// itemset ascending within equal support. Destroys the heap.
+  std::vector<CollectingSink::Entry> TakeSorted();
+
+ private:
+  uint64_t k_;
+  uint64_t total_emitted_ = 0;
+  // Min-heap on (support asc, itemset desc): top() is the weakest
+  // retained entry, evicted when a stronger one arrives.
+  std::vector<CollectingSink::Entry> heap_;
+};
+
+/// Mines the top-k answer for `query` (task must be kTopK and
+/// validated) with `miner`'s frequent enumeration, writing the sorted
+/// entries to `*out`. MineStats::num_frequent is the answer size
+/// (min(k, itemsets frequent at the floor)); phase timings accumulate
+/// over every refinement pass.
+Result<MineStats> MineTopK(Miner& miner, const Database& db,
+                           const MiningQuery& query,
+                           std::vector<CollectingSink::Entry>* out);
+
+}  // namespace fpm
+
+#endif  // FPM_ALGO_TOPK_H_

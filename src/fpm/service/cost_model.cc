@@ -4,19 +4,15 @@
 #include <vector>
 
 namespace fpm {
+namespace {
 
-CostEstimate EstimateMiningCost(const Database& db, Support min_support) {
-  CostEstimate est;
+/// Weighted histogram over per-transaction frequent-item counts n_t at
+/// `min_support`: hist[n] = total weight of transactions with exactly
+/// n frequent items. One full database pass.
+std::vector<double> FrequentLengthHistogram(const Database& db,
+                                            Support min_support) {
   const std::vector<Support>& freq = db.item_frequencies();
-  for (Support f : freq) {
-    if (f >= min_support) ++est.num_frequent_items;
-  }
-  if (est.num_frequent_items == 0) return est;
-
-  // Weighted histogram over per-transaction frequent-item counts n_t.
-  // hist[n] = total weight of transactions with exactly n frequent items.
   std::vector<double> hist;
-  size_t max_n = 0;
   for (Tid t = 0; t < db.num_transactions(); ++t) {
     size_t n = 0;
     for (Item it : db.transaction(t)) {
@@ -25,30 +21,34 @@ CostEstimate EstimateMiningCost(const Database& db, Support min_support) {
     if (n == 0) continue;
     if (n >= hist.size()) hist.resize(n + 1, 0.0);
     hist[n] += static_cast<double>(db.weight(t));
-    max_n = std::max(max_n, n);
   }
-  if (max_n == 0) return est;
+  return hist;
+}
 
-  // L: largest k with >= min_support transaction weight having n_t >= k.
-  // Walk the histogram from long transactions down, accumulating the
-  // suffix weight.
+/// L: largest k with >= min_support transaction weight having n_t >= k.
+/// Walk the histogram from long transactions down, accumulating the
+/// suffix weight.
+uint32_t DepthBound(const std::vector<double>& hist, Support min_support) {
+  if (hist.empty()) return 0;
   double suffix_weight = 0.0;
-  uint32_t depth_bound = 0;
-  for (size_t n = max_n; n >= 1; --n) {
-    if (n < hist.size()) suffix_weight += hist[n];
+  for (size_t n = hist.size() - 1; n >= 1; --n) {
+    suffix_weight += hist[n];
     if (suffix_weight >= static_cast<double>(min_support)) {
-      depth_bound = static_cast<uint32_t>(n);
-      break;
+      return static_cast<uint32_t>(n);
     }
   }
-  est.max_itemset_size = depth_bound;
-  if (depth_bound == 0) return est;
+  return 0;
+}
 
-  // sum_{k=1..L} sum_n hist[n] * C(n, k) / min_support. Binomials are
-  // built per transaction length by the multiplicative recurrence
-  // C(n, k) = C(n, k-1) * (n-k+1)/k, saturating once the total is
-  // already unbounded — minsup 1 on a wide transaction overflows any
-  // fixed-width integer, which is exactly the query this must flag.
+/// sum_{k=1..L} sum_n hist[n] * C(n, k) / min_support. Binomials are
+/// built per transaction length by the multiplicative recurrence
+/// C(n, k) = C(n, k-1) * (n-k+1)/k, saturating once the total is
+/// already unbounded — minsup 1 on a wide transaction overflows any
+/// fixed-width integer, which is exactly the query this must flag.
+double ItemsetCountBound(const std::vector<double>& hist,
+                         Support min_support) {
+  const uint32_t depth_bound = DepthBound(hist, min_support);
+  if (depth_bound == 0) return 0.0;
   double total = 0.0;
   for (size_t n = 1; n < hist.size(); ++n) {
     if (hist[n] == 0.0) continue;
@@ -62,13 +62,55 @@ CostEstimate EstimateMiningCost(const Database& db, Support min_support) {
       if (row_sum >= CostEstimate::kUnbounded) break;
     }
     total += hist[n] * row_sum;
-    if (total >= CostEstimate::kUnbounded) {
-      est.max_frequent_itemsets = CostEstimate::kUnbounded;
-      return est;
+    if (total >= CostEstimate::kUnbounded) return CostEstimate::kUnbounded;
+  }
+  return total / static_cast<double>(min_support);
+}
+
+}  // namespace
+
+CostEstimate EstimateMiningCost(const Database& db, Support min_support) {
+  CostEstimate est;
+  const std::vector<Support>& freq = db.item_frequencies();
+  for (Support f : freq) {
+    if (f >= min_support) ++est.num_frequent_items;
+  }
+  if (est.num_frequent_items == 0) return est;
+
+  const std::vector<double> hist = FrequentLengthHistogram(db, min_support);
+  est.max_itemset_size = DepthBound(hist, min_support);
+  if (est.max_itemset_size == 0) return est;
+  est.max_frequent_itemsets = ItemsetCountBound(hist, min_support);
+  return est;
+}
+
+Support TopKSeedThreshold(const Database& db, uint64_t k, Support floor) {
+  if (floor < 1) floor = 1;
+  const double want = static_cast<double>(k);
+  // The histogram is built once, at the floor. Probing a threshold
+  // t > floor against it over-counts (items frequent at the floor but
+  // not at t stay in), so the probe is a looser-but-still-valid upper
+  // bound, monotone non-increasing in t — the binary search stays
+  // correct and the seed errs high, which the top-k driver repairs by
+  // halving. One database pass instead of one per probe.
+  const std::vector<double> hist = FrequentLengthHistogram(db, floor);
+  if (ItemsetCountBound(hist, floor) < want) {
+    return floor;
+  }
+  // The bound is monotone non-increasing in the threshold: binary
+  // search for the largest t whose bound still reaches k. total_weight
+  // caps any useful threshold (no itemset's support exceeds it).
+  Support lo = floor;                 // bound(lo) >= k, invariant
+  Support hi = db.total_weight() + 1; // bound(hi) == 0 < k
+  while (hi - lo > 1) {
+    const Support mid = lo + (hi - lo) / 2;
+    if (ItemsetCountBound(hist, mid) >= want) {
+      lo = mid;
+    } else {
+      hi = mid;
     }
   }
-  est.max_frequent_itemsets = total / static_cast<double>(min_support);
-  return est;
+  return lo;
 }
 
 }  // namespace fpm

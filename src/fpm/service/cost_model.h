@@ -44,6 +44,15 @@ struct CostEstimate {
 /// Computes the bound in one pass over `db`. min_support >= 1.
 CostEstimate EstimateMiningCost(const Database& db, Support min_support);
 
+/// Seed threshold for a top-k query: the largest threshold t >= `floor`
+/// whose itemset upper bound still admits `k` answers, found by binary
+/// search over EstimateMiningCost. Because the bound overestimates, the
+/// true answer count at the seed may fall short of k and the top-k
+/// driver (fpm/algo/topk.h) then tightens further — the seed's job is
+/// to keep the *first* pass from enumerating the whole lattice at the
+/// floor. Returns `floor` when even the floor's bound is below k.
+Support TopKSeedThreshold(const Database& db, uint64_t k, Support floor);
+
 }  // namespace fpm
 
 #endif  // FPM_SERVICE_COST_MODEL_H_

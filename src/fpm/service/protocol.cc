@@ -6,8 +6,197 @@ namespace fpm {
 
 namespace {
 
-Status FieldError(const std::string& field, const std::string& what) {
-  return Status::InvalidArgument("request field '" + field + "': " + what);
+Status FieldError(const std::string& where, const std::string& field,
+                  const std::string& what) {
+  return Status::InvalidArgument(where + ": field '" + field + "': " + what);
+}
+
+// Decodes the shared mine/query request body from `doc`. `where` labels
+// errors ("op 'query'", "op 'batch': queries[3]", ...); `with_tasks`
+// enables the v2 task-family fields, which the frozen v1 "mine" op does
+// not know.
+Status DecodeMineBody(const JsonValue& doc, const std::string& where,
+                      bool with_tasks, MineRequest* out) {
+  const JsonValue& dataset = doc["dataset"];
+  if (!dataset.is_string() || dataset.string_value().empty()) {
+    return FieldError(where, "dataset", "missing or not a string");
+  }
+  out->dataset_path = dataset.string_value();
+
+  const JsonValue& minsup = doc["min_support"];
+  if (!minsup.is_number() || minsup.number_value() < 1.0) {
+    return FieldError(where, "min_support",
+                      "missing or not a number >= 1");
+  }
+  out->query.min_support = static_cast<Support>(minsup.number_value());
+
+  if (with_tasks) {
+    const JsonValue& task = doc["task"];
+    if (!task.is_null()) {
+      if (!task.is_string()) {
+        return FieldError(where, "task", "not a string");
+      }
+      Result<MiningTask> parsed = ParseTask(task.string_value());
+      if (!parsed.ok()) {
+        return FieldError(where, "task", parsed.status().message());
+      }
+      out->query.task = parsed.value();
+    }
+
+    const JsonValue& k = doc["k"];
+    if (!k.is_null()) {
+      if (!k.is_number() || k.number_value() < 1.0) {
+        return FieldError(where, "k", "not a number >= 1");
+      }
+      out->query.k = static_cast<uint64_t>(k.number_value());
+    }
+
+    const JsonValue& confidence = doc["min_confidence"];
+    if (!confidence.is_null()) {
+      if (!confidence.is_number() || confidence.number_value() < 0.0 ||
+          confidence.number_value() > 1.0) {
+        return FieldError(where, "min_confidence",
+                          "not a number in [0, 1]");
+      }
+      out->query.min_confidence = confidence.number_value();
+    }
+
+    const JsonValue& lift = doc["min_lift"];
+    if (!lift.is_null()) {
+      if (!lift.is_number() || lift.number_value() < 0.0) {
+        return FieldError(where, "min_lift",
+                          "not a non-negative number");
+      }
+      out->query.min_lift = lift.number_value();
+    }
+
+    const JsonValue& max_consequent = doc["max_consequent"];
+    if (!max_consequent.is_null()) {
+      if (!max_consequent.is_number() ||
+          max_consequent.number_value() < 1.0) {
+        return FieldError(where, "max_consequent", "not a number >= 1");
+      }
+      out->query.max_consequent =
+          static_cast<uint32_t>(max_consequent.number_value());
+    }
+
+    const Status valid = out->query.Validate();
+    if (!valid.ok()) {
+      return Status::InvalidArgument(where + ": " + valid.message());
+    }
+  }
+
+  const JsonValue& algorithm = doc["algorithm"];
+  if (!algorithm.is_null()) {
+    if (!algorithm.is_string()) {
+      return FieldError(where, "algorithm", "not a string");
+    }
+    Result<Algorithm> parsed = ParseAlgorithm(algorithm.string_value());
+    if (!parsed.ok()) {
+      return FieldError(where, "algorithm", parsed.status().message());
+    }
+    out->algorithm = parsed.value();
+  }
+
+  const JsonValue& patterns = doc["patterns"];
+  out->patterns = PatternSet::All();
+  if (!patterns.is_null()) {
+    if (!patterns.is_string()) {
+      return FieldError(where, "patterns", "not a string");
+    }
+    const std::string& p = patterns.string_value();
+    if (p == "all") {
+      out->patterns = PatternSet::All();
+    } else if (p == "none") {
+      out->patterns = PatternSet::None();
+    } else {
+      return FieldError(where, "patterns", "expected 'all' or 'none'");
+    }
+  }
+
+  const JsonValue& priority = doc["priority"];
+  if (!priority.is_null()) {
+    if (!priority.is_number()) {
+      return FieldError(where, "priority", "not a number");
+    }
+    out->priority = static_cast<int>(priority.number_value());
+  }
+
+  const JsonValue& timeout = doc["timeout_s"];
+  if (!timeout.is_null()) {
+    if (!timeout.is_number() || timeout.number_value() < 0.0) {
+      return FieldError(where, "timeout_s", "not a non-negative number");
+    }
+    out->timeout_seconds = timeout.number_value();
+  }
+
+  const JsonValue& count_only = doc["count_only"];
+  if (!count_only.is_null()) {
+    if (!count_only.is_bool()) {
+      return FieldError(where, "count_only", "not a bool");
+    }
+    out->count_only = count_only.bool_value();
+  }
+
+  return Status::OK();
+}
+
+JsonValue EncodeItemsets(const std::vector<CollectingSink::Entry>& itemsets) {
+  JsonValue array = JsonValue::Array();
+  for (const CollectingSink::Entry& e : itemsets) {
+    JsonValue items = JsonValue::Array();
+    for (Item it : e.first) items.Append(JsonValue::Int(it));
+    JsonValue entry = JsonValue::Object();
+    entry.Set("items", std::move(items));
+    entry.Set("support", JsonValue::Int(e.second));
+    array.Append(std::move(entry));
+  }
+  return array;
+}
+
+JsonValue EncodeItemArray(const Itemset& set) {
+  JsonValue array = JsonValue::Array();
+  for (Item it : set) array.Append(JsonValue::Int(it));
+  return array;
+}
+
+JsonValue BuildQueryResponse(const MineResponse& response) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ok", JsonValue::Bool(true));
+  doc.Set("task", JsonValue::Str(TaskName(response.task)));
+  doc.Set("num_results",
+          JsonValue::Int(static_cast<int64_t>(response.num_frequent)));
+  doc.Set("cache", JsonValue::Str(CacheOutcomeName(response.cache)));
+  doc.Set("digest", JsonValue::Str(response.dataset_digest));
+  doc.Set("queue_ms", JsonValue::Number(response.queue_seconds * 1000.0));
+  doc.Set("mine_ms", JsonValue::Number(response.mine_seconds * 1000.0));
+  if (!response.itemsets.empty()) {
+    doc.Set("itemsets", EncodeItemsets(response.itemsets));
+  }
+  if (!response.rules.empty()) {
+    JsonValue rules = JsonValue::Array();
+    for (const AssociationRule& r : response.rules) {
+      JsonValue rule = JsonValue::Object();
+      rule.Set("antecedent", EncodeItemArray(r.antecedent));
+      rule.Set("consequent", EncodeItemArray(r.consequent));
+      rule.Set("support", JsonValue::Int(r.itemset_support));
+      rule.Set("confidence", JsonValue::Number(r.confidence));
+      rule.Set("lift", JsonValue::Number(r.lift));
+      rules.Append(std::move(rule));
+    }
+    doc.Set("rules", std::move(rules));
+  }
+  return doc;
+}
+
+JsonValue BuildError(const Status& status) {
+  JsonValue error = JsonValue::Object();
+  error.Set("code", JsonValue::Str(StatusCodeToString(status.code())));
+  error.Set("message", JsonValue::Str(status.message()));
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ok", JsonValue::Bool(false));
+  doc.Set("error", std::move(error));
+  return doc;
 }
 
 }  // namespace
@@ -18,10 +207,13 @@ Result<ServiceRequest> DecodeRequest(const std::string& line) {
     return Status::InvalidArgument("request must be a JSON object");
   }
   const JsonValue& op = doc["op"];
-  if (!op.is_string()) return FieldError("op", "missing or not a string");
+  if (!op.is_string()) {
+    return FieldError("request", "op", "missing or not a string");
+  }
 
   ServiceRequest request;
   const std::string& name = op.string_value();
+  const std::string where = "op '" + name + "'";
   if (name == "ping") {
     request.op = ServiceRequest::Op::kPing;
     return request;
@@ -34,69 +226,49 @@ Result<ServiceRequest> DecodeRequest(const std::string& line) {
     request.op = ServiceRequest::Op::kShutdown;
     return request;
   }
-  if (name != "mine") {
-    return FieldError("op", "unknown op '" + name + "'");
+  if (name == "mine") {
+    // v1 compat shim: the frozen field set, always task "frequent".
+    request.op = ServiceRequest::Op::kMine;
+    request.version = 1;
+    FPM_RETURN_IF_ERROR(DecodeMineBody(doc, where, /*with_tasks=*/false,
+                                       &request.mine));
+    return request;
   }
-
-  request.op = ServiceRequest::Op::kMine;
-  MineRequest& mine = request.mine;
-
-  const JsonValue& dataset = doc["dataset"];
-  if (!dataset.is_string() || dataset.string_value().empty()) {
-    return FieldError("dataset", "missing or not a string");
+  if (name == "query") {
+    request.op = ServiceRequest::Op::kQuery;
+    request.version = 2;
+    FPM_RETURN_IF_ERROR(DecodeMineBody(doc, where, /*with_tasks=*/true,
+                                       &request.mine));
+    return request;
   }
-  mine.dataset_path = dataset.string_value();
-
-  const JsonValue& minsup = doc["min_support"];
-  if (!minsup.is_number() || minsup.number_value() < 1.0) {
-    return FieldError("min_support", "missing or not a number >= 1");
-  }
-  mine.min_support = static_cast<Support>(minsup.number_value());
-
-  const JsonValue& algorithm = doc["algorithm"];
-  if (!algorithm.is_null()) {
-    if (!algorithm.is_string()) {
-      return FieldError("algorithm", "not a string");
+  if (name == "batch") {
+    request.op = ServiceRequest::Op::kBatch;
+    request.version = 2;
+    const JsonValue& queries = doc["queries"];
+    if (!queries.is_array()) {
+      return FieldError(where, "queries", "missing or not an array");
     }
-    FPM_ASSIGN_OR_RETURN(mine.algorithm,
-                         ParseAlgorithm(algorithm.string_value()));
-  }
-
-  const JsonValue& patterns = doc["patterns"];
-  mine.patterns = PatternSet::All();
-  if (!patterns.is_null()) {
-    if (!patterns.is_string()) return FieldError("patterns", "not a string");
-    const std::string& p = patterns.string_value();
-    if (p == "all") {
-      mine.patterns = PatternSet::All();
-    } else if (p == "none") {
-      mine.patterns = PatternSet::None();
-    } else {
-      return FieldError("patterns", "expected 'all' or 'none'");
+    const std::vector<JsonValue>& items = queries.array_items();
+    if (items.empty()) {
+      return FieldError(where, "queries", "must not be empty");
     }
-  }
-
-  const JsonValue& priority = doc["priority"];
-  if (!priority.is_null()) {
-    if (!priority.is_number()) return FieldError("priority", "not a number");
-    mine.priority = static_cast<int>(priority.number_value());
-  }
-
-  const JsonValue& timeout = doc["timeout_s"];
-  if (!timeout.is_null()) {
-    if (!timeout.is_number() || timeout.number_value() < 0.0) {
-      return FieldError("timeout_s", "not a non-negative number");
+    for (size_t i = 0; i < items.size(); ++i) {
+      ServiceRequest::BatchEntry entry;
+      const JsonValue& q = items[i];
+      const std::string entry_where =
+          where + ": queries[" + std::to_string(i) + "]";
+      if (!q.is_object()) {
+        entry.status =
+            Status::InvalidArgument(entry_where + ": not an object");
+      } else {
+        entry.status = DecodeMineBody(q, entry_where, /*with_tasks=*/true,
+                                      &entry.request);
+      }
+      request.batch.push_back(std::move(entry));
     }
-    mine.timeout_seconds = timeout.number_value();
+    return request;
   }
-
-  const JsonValue& count_only = doc["count_only"];
-  if (!count_only.is_null()) {
-    if (!count_only.is_bool()) return FieldError("count_only", "not a bool");
-    mine.count_only = count_only.bool_value();
-  }
-
-  return request;
+  return FieldError("request", "op", "unknown op '" + name + "'");
 }
 
 std::string EncodeMineResponse(const MineResponse& response) {
@@ -109,27 +281,29 @@ std::string EncodeMineResponse(const MineResponse& response) {
   doc.Set("queue_ms", JsonValue::Number(response.queue_seconds * 1000.0));
   doc.Set("mine_ms", JsonValue::Number(response.mine_seconds * 1000.0));
   if (!response.itemsets.empty()) {
-    JsonValue itemsets = JsonValue::Array();
-    for (const CollectingSink::Entry& e : response.itemsets) {
-      JsonValue items = JsonValue::Array();
-      for (Item it : e.first) items.Append(JsonValue::Int(it));
-      JsonValue entry = JsonValue::Object();
-      entry.Set("items", std::move(items));
-      entry.Set("support", JsonValue::Int(e.second));
-      itemsets.Append(std::move(entry));
-    }
-    doc.Set("itemsets", std::move(itemsets));
+    doc.Set("itemsets", EncodeItemsets(response.itemsets));
   }
   return doc.Dump();
 }
 
+std::string EncodeQueryResponse(const MineResponse& response) {
+  return BuildQueryResponse(response).Dump();
+}
+
+std::string EncodeQueryResponseWithId(uint64_t id,
+                                      const MineResponse& response) {
+  JsonValue doc = BuildQueryResponse(response);
+  doc.Set("id", JsonValue::Int(static_cast<int64_t>(id)));
+  return doc.Dump();
+}
+
 std::string EncodeError(const Status& status) {
-  JsonValue error = JsonValue::Object();
-  error.Set("code", JsonValue::Str(StatusCodeToString(status.code())));
-  error.Set("message", JsonValue::Str(status.message()));
-  JsonValue doc = JsonValue::Object();
-  doc.Set("ok", JsonValue::Bool(false));
-  doc.Set("error", std::move(error));
+  return BuildError(status).Dump();
+}
+
+std::string EncodeErrorWithId(uint64_t id, const Status& status) {
+  JsonValue doc = BuildError(status);
+  doc.Set("id", JsonValue::Int(static_cast<int64_t>(id)));
   return doc.Dump();
 }
 

@@ -1,25 +1,54 @@
 // Wire protocol of the fpmd daemon: newline-delimited JSON over a
-// stream socket. One request object per line in, one response object
-// per line out, strictly in order.
+// stream socket. One request object per line in; responses are one
+// object per line, in request order — except "batch", which streams one
+// tagged line per query in completion order.
 //
-// Requests:
+// Protocol v2 requests:
 //   {"op":"ping"}
 //   {"op":"metrics"}                       -> the metrics snapshot
 //   {"op":"shutdown"}                      -> daemon exits after reply
-//   {"op":"mine","dataset":"<path>","min_support":N,
+//   {"op":"query","dataset":"<path>","min_support":N,
+//    "task":"frequent|closed|maximal|top_k|rules",  (default "frequent")
+//    "k":N,                                 (top_k: required >= 1)
+//    "min_confidence":X,                    (rules; default 0.5)
+//    "min_lift":X,                          (rules; default 0)
+//    "max_consequent":N,                    (rules; default 1)
 //    "algorithm":"lcm|eclat|fpgrowth|apriori|hmine|bruteforce",
 //    "patterns":"all|none",                 (default "all")
 //    "priority":N,                          (default 0)
 //    "timeout_s":X,                         (default none)
 //    "count_only":bool}                     (default false)
+//   {"op":"batch","queries":[{<query fields>},...]}
+//       multiplexes N queries on one connection; each runs as its own
+//       scheduler job and its response line streams back as soon as it
+//       completes (no head-of-line blocking), tagged with "id" = the
+//       query's index in the array. A malformed or rejected entry
+//       yields an error line for that id only — the rest of the batch
+//       proceeds (per-query error isolation). Exactly one line per
+//       query, in completion order; the client counts lines.
+//
+// v1 compatibility: {"op":"mine",...} (every field of "query" except
+// the task family) still decodes, runs as task "frequent", and its
+// response is byte-identical to protocol v1 — same keys, no "task".
 //
 // Responses always carry "ok". Success:
-//   {"ok":true,...}   mine adds: num_frequent, cache ("miss|hit|
+//   {"ok":true,...}   v1 mine adds: num_frequent, cache ("miss|hit|
 //                     dominated"), digest, queue_ms, mine_ms, and —
 //                     unless count_only — "itemsets":[{"items":[...],
 //                     "support":N},...] in deterministic emission order.
+//                     v2 query adds: task, num_results, cache (also
+//                     "cross_task"), digest, queue_ms, mine_ms, and
+//                     "itemsets" as above or — for task "rules" —
+//                     "rules":[{"antecedent":[...],"consequent":[...],
+//                     "support":N,"confidence":X,"lift":X},...].
+//                     Batch lines additionally carry "id".
 // Failure:
 //   {"ok":false,"error":{"code":"CANCELLED","message":"..."}}
+//       (plus "id" inside a batch)
+//
+// Decode errors name the op and field being parsed, e.g.
+//   op 'query': field 'min_support': missing or not a number >= 1
+//   op 'batch': queries[2]: field 'dataset': missing or not a string
 //
 // The encode/decode layer lives here, separate from socket handling, so
 // tests exercise it without a daemon.
@@ -28,6 +57,7 @@
 #define FPM_SERVICE_PROTOCOL_H_
 
 #include <string>
+#include <vector>
 
 #include "fpm/common/status.h"
 #include "fpm/service/json.h"
@@ -37,21 +67,47 @@ namespace fpm {
 
 /// A decoded protocol request.
 struct ServiceRequest {
-  enum class Op { kPing, kMetrics, kShutdown, kMine };
+  enum class Op { kPing, kMetrics, kShutdown, kMine, kQuery, kBatch };
+
+  /// One entry of a batch. Entries that fail to decode carry the error
+  /// in `status` and are answered with a per-id error line; the rest of
+  /// the batch is unaffected.
+  struct BatchEntry {
+    Status status;
+    MineRequest request;
+  };
+
   Op op = Op::kPing;
-  MineRequest mine;  ///< populated when op == kMine
+  /// 1 for the "mine" compat shim, 2 for "query"/"batch" — selects the
+  /// response encoding.
+  int version = 1;
+  MineRequest mine;               ///< populated for kMine and kQuery
+  std::vector<BatchEntry> batch;  ///< populated for kBatch
 };
 
 /// Decodes one request line. InvalidArgument on malformed JSON, unknown
-/// op, or bad field types. Algorithm names follow ParseAlgorithm()
-/// (fpm/core/patterns.h).
+/// op, or bad field types; errors name the op and field. Algorithm
+/// names follow ParseAlgorithm() (fpm/core/patterns.h), task names
+/// ParseTask() (fpm/algo/query.h).
 Result<ServiceRequest> DecodeRequest(const std::string& line);
 
-/// Encodes a mine success response (one line, no trailing newline).
+/// Encodes a v1 mine success response (one line, no trailing newline).
+/// Byte-identical to protocol v1 output for any v1-reachable response.
 std::string EncodeMineResponse(const MineResponse& response);
+
+/// Encodes a v2 query success response ("task", "num_results", and
+/// "rules" for rules tasks).
+std::string EncodeQueryResponse(const MineResponse& response);
+
+/// v2 query response tagged with a batch query id.
+std::string EncodeQueryResponseWithId(uint64_t id,
+                                      const MineResponse& response);
 
 /// Encodes an error response from a non-OK status.
 std::string EncodeError(const Status& status);
+
+/// Error response tagged with a batch query id.
+std::string EncodeErrorWithId(uint64_t id, const Status& status);
 
 /// Encodes a bare {"ok":true} (ping/shutdown acknowledgements).
 std::string EncodeOk();

@@ -1,10 +1,42 @@
 #include "fpm/service/result_cache.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "fpm/algo/postprocess.h"
+#include "fpm/algo/rules.h"
 #include "fpm/obs/metrics.h"
 
 namespace fpm {
+namespace {
+
+// Entries of `source` with support >= min_support, order preserved.
+std::vector<CollectingSink::Entry> FilterBySupport(
+    const std::vector<CollectingSink::Entry>& source, Support min_support) {
+  std::vector<CollectingSink::Entry> kept;
+  for (const CollectingSink::Entry& e : source) {
+    if (e.second >= min_support) kept.push_back(e);
+  }
+  return kept;
+}
+
+// The kTopK answer ordering (matches topk.cc): support descending,
+// canonical itemset ascending within equal support.
+bool TopKOutranks(const CollectingSink::Entry& a,
+                  const CollectingSink::Entry& b) {
+  if (a.second != b.second) return a.second > b.second;
+  return a.first < b.first;
+}
+
+// A FREQUENT listing is kernel emission order; the closed/maximal
+// post-filters need canonical order.
+std::vector<CollectingSink::Entry> Canonicalized(
+    std::vector<CollectingSink::Entry> entries) {
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+}  // namespace
 
 bool SupportsDominanceReuse(Algorithm algorithm) {
   switch (algorithm) {
@@ -16,10 +48,30 @@ bool SupportsDominanceReuse(Algorithm algorithm) {
   }
 }
 
+ResultCacheKey ResultCacheKey::ForQuery(std::string digest,
+                                        Algorithm algorithm,
+                                        uint8_t pattern_bits,
+                                        const MiningQuery& query) {
+  ResultCacheKey key;
+  key.digest = std::move(digest);
+  key.algorithm = algorithm;
+  key.pattern_bits = pattern_bits;
+  key.task = query.task;
+  key.min_support = query.min_support;
+  if (query.task == MiningTask::kTopK) key.k = query.k;
+  if (query.task == MiningTask::kRules) {
+    key.max_consequent = query.max_consequent;
+    key.min_confidence = query.min_confidence;
+    key.min_lift = query.min_lift;
+  }
+  return key;
+}
+
 ResultCache::ResultCache(size_t budget_bytes) : budget_bytes_(budget_bytes) {
   MetricsRegistry& m = MetricsRegistry::Default();
   hits_counter_ = m.GetCounter("fpm.service.cache.hits");
   dominated_counter_ = m.GetCounter("fpm.service.cache.dominated_hits");
+  cross_task_counter_ = m.GetCounter("fpm.service.cache.cross_task_hits");
   misses_counter_ = m.GetCounter("fpm.service.cache.misses");
   evictions_counter_ = m.GetCounter("fpm.service.cache.evictions");
   bytes_gauge_ = m.GetGauge("fpm.service.cache.bytes");
@@ -32,6 +84,190 @@ size_t ResultCache::EstimateBytes(
     bytes += e.first.capacity() * sizeof(Item);
   }
   return bytes;
+}
+
+size_t ResultCache::EstimateResultBytes(const CachedResult& result) {
+  size_t bytes = EstimateBytes(result.itemsets);
+  bytes += result.rules.capacity() * sizeof(AssociationRule);
+  for (const AssociationRule& r : result.rules) {
+    bytes += (r.antecedent.capacity() + r.consequent.capacity()) *
+             sizeof(Item);
+  }
+  return bytes;
+}
+
+ResultCache::EntryMap::iterator ResultCache::FindBestAtOrBelowLocked(
+    const ResultCacheKey& probe) {
+  // Same-configuration entries sort adjacently with min_support
+  // ascending last, so the entry just before upper_bound(probe) is the
+  // highest threshold <= probe's — the closest dominating source, with
+  // the fewest surplus entries to filter.
+  auto ub = entries_.upper_bound(probe);
+  if (ub == entries_.begin()) return entries_.end();
+  auto prev = std::prev(ub);
+  if (!prev->first.SameConfig(probe)) return entries_.end();
+  return prev;
+}
+
+std::shared_ptr<CachedResult> ResultCache::DeriveLocked(
+    const ResultCacheKey& key, MiningTask* source_task) {
+  // Probe key for a potential source entry of task `t` in the same
+  // (digest, algorithm, patterns) configuration, with the parameters
+  // that task ignores zeroed — mirroring ForQuery.
+  const auto probe = [&key](MiningTask t) {
+    ResultCacheKey p = key;
+    p.task = t;
+    if (t != MiningTask::kTopK) p.k = 0;
+    if (t != MiningTask::kRules) {
+      p.max_consequent = 0;
+      p.min_confidence = 0.0;
+      p.min_lift = 0.0;
+    }
+    return p;
+  };
+  const auto touch = [this](EntryMap::iterator it) {
+    it->second.lru_seq = next_seq_++;
+    return it->second.result;
+  };
+  const Support m = key.min_support;
+
+  auto derived = std::make_shared<CachedResult>();
+  switch (key.task) {
+    case MiningTask::kFrequent: {
+      // Emission order must survive the filter — algorithm-gated.
+      if (!SupportsDominanceReuse(key.algorithm)) return nullptr;
+      auto it = FindBestAtOrBelowLocked(key);
+      if (it == entries_.end()) return nullptr;
+      auto source = touch(it);
+      derived->itemsets = FilterBySupport(source->itemsets, m);
+      derived->total_weight = source->total_weight;
+      *source_task = MiningTask::kFrequent;
+      break;
+    }
+    case MiningTask::kClosed: {
+      // Closedness is threshold-independent: closed@s filtered to
+      // support >= m is exactly closed@m, still canonical.
+      if (auto it = FindBestAtOrBelowLocked(probe(MiningTask::kClosed));
+          it != entries_.end()) {
+        auto source = touch(it);
+        derived->itemsets = FilterBySupport(source->itemsets, m);
+        derived->total_weight = source->total_weight;
+        *source_task = MiningTask::kClosed;
+        break;
+      }
+      auto it = FindBestAtOrBelowLocked(probe(MiningTask::kFrequent));
+      if (it == entries_.end()) return nullptr;
+      auto source = touch(it);
+      derived->itemsets =
+          FilterClosed(Canonicalized(FilterBySupport(source->itemsets, m)));
+      derived->total_weight = source->total_weight;
+      *source_task = MiningTask::kFrequent;
+      break;
+    }
+    case MiningTask::kMaximal: {
+      // Never maximal <- maximal: maximality depends on the threshold.
+      if (auto it = FindBestAtOrBelowLocked(probe(MiningTask::kClosed));
+          it != entries_.end()) {
+        auto source = touch(it);
+        derived->itemsets = FilterMaximalFromClosed(
+            FilterBySupport(source->itemsets, m));
+        derived->total_weight = source->total_weight;
+        *source_task = MiningTask::kClosed;
+        break;
+      }
+      auto it = FindBestAtOrBelowLocked(probe(MiningTask::kFrequent));
+      if (it == entries_.end()) return nullptr;
+      auto source = touch(it);
+      derived->itemsets =
+          FilterMaximal(Canonicalized(FilterBySupport(source->itemsets, m)));
+      derived->total_weight = source->total_weight;
+      *source_task = MiningTask::kFrequent;
+      break;
+    }
+    case MiningTask::kTopK: {
+      // Any FREQUENT listing at s <= floor answers (complete at the
+      // floor after filtering). One at s > floor also does when it
+      // holds >= k entries: everything it misses has support < s <= the
+      // k-th best. Walk the frequent configuration ascending and keep
+      // the highest valid threshold — the smallest listing to rank.
+      const ResultCacheKey freq = probe(MiningTask::kFrequent);
+      ResultCacheKey range_start = freq;
+      range_start.min_support = 0;
+      EntryMap::iterator best = entries_.end();
+      for (auto it = entries_.lower_bound(range_start);
+           it != entries_.end() && it->first.SameConfig(freq); ++it) {
+        if (it->first.min_support <= m ||
+            it->second.result->itemsets.size() >= key.k) {
+          best = it;
+        }
+      }
+      if (best == entries_.end()) return nullptr;
+      auto source = touch(best);
+      derived->itemsets = FilterBySupport(source->itemsets, m);
+      std::sort(derived->itemsets.begin(), derived->itemsets.end(),
+                TopKOutranks);
+      if (derived->itemsets.size() > key.k) {
+        derived->itemsets.resize(static_cast<size_t>(key.k));
+      }
+      derived->total_weight = source->total_weight;
+      *source_task = MiningTask::kFrequent;
+      break;
+    }
+    case MiningTask::kRules: {
+      // Subset supports never depend on the threshold, so rules@m is
+      // exactly rules@s restricted to itemset_support >= m.
+      if (auto it = FindBestAtOrBelowLocked(key); it != entries_.end()) {
+        auto source = touch(it);
+        for (const AssociationRule& r : source->rules) {
+          if (r.itemset_support >= m) derived->rules.push_back(r);
+        }
+        derived->total_weight = source->total_weight;
+        *source_task = MiningTask::kRules;
+        break;
+      }
+      RuleOptions options;
+      options.min_confidence = key.min_confidence;
+      options.min_lift = key.min_lift;
+      options.max_consequent = key.max_consequent;
+      std::vector<CollectingSink::Entry> closed;
+      Support total_weight = 0;
+      MiningTask from = MiningTask::kClosed;
+      if (auto it = FindBestAtOrBelowLocked(probe(MiningTask::kClosed));
+          it != entries_.end()) {
+        auto source = touch(it);
+        closed = FilterBySupport(source->itemsets, m);
+        total_weight = source->total_weight;
+        from = MiningTask::kClosed;
+      } else if (auto fit =
+                     FindBestAtOrBelowLocked(probe(MiningTask::kFrequent));
+                 fit != entries_.end()) {
+        auto source = touch(fit);
+        closed = FilterClosed(
+            Canonicalized(FilterBySupport(source->itemsets, m)));
+        total_weight = source->total_weight;
+        from = MiningTask::kFrequent;
+      } else {
+        return nullptr;
+      }
+      Result<std::vector<AssociationRule>> rules =
+          GenerateRulesFromClosed(closed, total_weight, options);
+      // A derivation failure (defensive: the filtered listing should
+      // always be complete) falls back to a fresh mine.
+      if (!rules.ok()) return nullptr;
+      derived->rules = std::move(rules.value());
+      derived->total_weight = total_weight;
+      *source_task = from;
+      break;
+    }
+  }
+
+  derived->num_results = key.task == MiningTask::kRules
+                             ? derived->rules.size()
+                             : derived->itemsets.size();
+  derived->itemsets.shrink_to_fit();
+  derived->rules.shrink_to_fit();
+  derived->bytes = EstimateResultBytes(*derived);
+  return derived;
 }
 
 ResultCacheLookup ResultCache::Lookup(const ResultCacheKey& key) {
@@ -48,38 +284,22 @@ ResultCacheLookup ResultCache::Lookup(const ResultCacheKey& key) {
     return out;
   }
 
-  if (SupportsDominanceReuse(key.algorithm)) {
-    // Same-configuration entries sort adjacently with min_support
-    // ascending; lower_bound(key) lands just past every dominating
-    // (lower-threshold) entry, and the closest one filters cheapest —
-    // fewest surplus itemsets to discard.
-    auto lb = entries_.lower_bound(key);
-    while (lb != entries_.begin()) {
-      auto prev = std::prev(lb);
-      const ResultCacheKey& k = prev->first;
-      if (k.digest != key.digest || k.algorithm != key.algorithm ||
-          k.pattern_bits != key.pattern_bits) {
-        break;
-      }
-      // k.min_support < key.min_support by map order (exact match was
-      // already ruled out): filter the dominating result down.
-      auto derived = std::make_shared<CachedResult>();
-      for (const CollectingSink::Entry& e : prev->second.result->itemsets) {
-        if (e.second >= key.min_support) derived->itemsets.push_back(e);
-      }
-      derived->num_frequent = derived->itemsets.size();
-      derived->itemsets.shrink_to_fit();
-      derived->bytes = EstimateBytes(derived->itemsets);
-      prev->second.lru_seq = next_seq_++;
-
-      out.result = derived;
+  MiningTask source_task = key.task;
+  std::shared_ptr<CachedResult> derived = DeriveLocked(key, &source_task);
+  if (derived != nullptr) {
+    out.result = derived;
+    if (source_task == key.task) {
       out.dominated = true;
       ++stats_.dominated_hits;
       dominated_counter_->Increment();
-      // Memoize under the queried key so repeats are exact hits.
-      InsertLocked(key, std::move(derived));
-      return out;
+    } else {
+      out.cross_task = true;
+      ++stats_.cross_task_hits;
+      cross_task_counter_->Increment();
     }
+    // Memoize under the queried key so repeats are exact hits.
+    InsertLocked(key, std::move(derived));
+    return out;
   }
 
   ++stats_.misses;

@@ -1,27 +1,54 @@
-// Mining result cache with support-dominance reuse.
+// Mining result cache with support-dominance reuse across the whole
+// MiningQuery task family.
 //
-// Keyed by (dataset digest, algorithm, effective pattern bits,
-// min_support). An exact hit replays the stored itemsets. Beyond exact
-// hits, the cache exploits support dominance: the frequent itemsets at
-// threshold S are precisely the itemsets of any run at threshold
-// S' <= S whose support is >= S, so a query can be answered by
-// filtering a cached lower-threshold result — no mining at all.
+// Keyed by (dataset digest, algorithm, effective pattern bits, task,
+// per-task params, min_support). An exact hit replays the stored
+// result. Beyond exact hits, the cache exploits support dominance: the
+// frequent itemsets at threshold S are precisely the itemsets of any
+// run at threshold S' <= S whose support is >= S, so a query can be
+// answered by filtering a cached lower-threshold result — no mining at
+// all. With tasks in the key, dominance also crosses tasks: a cached
+// FREQUENT (or CLOSED) listing at S' <= S answers CLOSED, MAXIMAL,
+// TOP_K and RULES queries at S by filtering plus the task's own
+// post-pass. The full derivation matrix (query task <- source task):
 //
-// Byte-identity caveat: the service promises results identical to a
-// direct deterministic Mine(), including emission order. Dominance
-// filtering preserves order only for kernels whose emission order is
-// independent of min_support. That holds for LCM (frequency ranking and
-// occurrence-deliver order never consult the threshold) and for Eclat
-// (ascending-support item order with a rank tie-break), but NOT for
-// FP-Growth: its single-path shortcut switches a subtree to subset-
-// enumeration order, and whether a conditional tree is single-path
-// depends on the threshold. SupportsDominanceReuse() encodes this;
-// non-eligible algorithms fall back to exact hits only.
+//   FREQUENT <- FREQUENT   filter; gated by SupportsDominanceReuse
+//                          (emission order must be S-independent)
+//   CLOSED   <- CLOSED     filter (closedness is S-independent)
+//            <- FREQUENT   filter + canonicalize + FilterClosed
+//   MAXIMAL  <- CLOSED     filter + FilterMaximalFromClosed
+//            <- FREQUENT   filter + canonicalize + FilterMaximal
+//            (never MAXIMAL <- MAXIMAL: maximality is S-dependent)
+//   TOP_K    <- FREQUENT   S' <= floor: filter + rank-sort + truncate;
+//                          S' > floor also valid when the cached
+//                          listing holds >= k entries (they then
+//                          contain the global top k)
+//   RULES    <- RULES      filter on itemset_support (subset supports
+//                          are threshold-independent)
+//            <- CLOSED     filter + GenerateRulesFromClosed
+//            <- FREQUENT   filter + FilterClosed + rules
+//
+// Every derived result except FREQUENT's is in a canonical/sorted
+// order, so no algorithm gate applies to the cross-task rows — only
+// the FREQUENT emission-order contract needs SupportsDominanceReuse
+// (holds for LCM and Eclat, not FP-Growth; see below).
+//
+// Byte-identity caveat (FREQUENT): the service promises results
+// identical to a direct deterministic Mine(), including emission order.
+// Dominance filtering preserves order only for kernels whose emission
+// order is independent of min_support. That holds for LCM (frequency
+// ranking and occurrence-deliver order never consult the threshold) and
+// for Eclat (ascending-support item order with a rank tie-break), but
+// NOT for FP-Growth: its single-path shortcut switches a subtree to
+// subset-enumeration order, and whether a conditional tree is
+// single-path depends on the threshold. SupportsDominanceReuse()
+// encodes this; non-eligible algorithms fall back to exact hits only.
 //
 // Entries are ordered so that all thresholds of one (digest, algorithm,
-// patterns) configuration are adjacent and ascending: the dominance
-// scan is one lower_bound plus a walk over the configuration's
-// neighbors. Eviction is LRU by a byte budget.
+// patterns, task, params) configuration are adjacent and ascending: a
+// dominance scan is one bound probe plus a walk over the
+// configuration's neighbors, and a cross-task scan re-probes with the
+// source task substituted. Eviction is LRU by a byte budget.
 
 #ifndef FPM_SERVICE_RESULT_CACHE_H_
 #define FPM_SERVICE_RESULT_CACHE_H_
@@ -43,16 +70,38 @@ class Counter;
 class Gauge;
 
 /// Whether `algorithm`'s emission order is min_support-independent,
-/// making dominance-filtered cache answers byte-identical to a fresh
-/// run (see the header comment).
+/// making dominance-filtered FREQUENT cache answers byte-identical to a
+/// fresh run (see the header comment).
 bool SupportsDominanceReuse(Algorithm algorithm);
 
-/// Identifies one cacheable query configuration.
+/// Identifies one cacheable query configuration. Query parameters
+/// irrelevant to the task are zeroed (ForQuery does this) so equivalent
+/// queries share an entry.
 struct ResultCacheKey {
   std::string digest;       ///< dataset content digest
   Algorithm algorithm = Algorithm::kLcm;
   uint8_t pattern_bits = 0; ///< EffectivePatterns(...).bits()
+  MiningTask task = MiningTask::kFrequent;
+  uint64_t k = 0;                ///< kTopK only
+  uint32_t max_consequent = 0;   ///< kRules only
+  double min_confidence = 0.0;   ///< kRules only
+  double min_lift = 0.0;         ///< kRules only
   Support min_support = 1;
+
+  /// Builds the key for `query`, zeroing parameters the task ignores.
+  static ResultCacheKey ForQuery(std::string digest, Algorithm algorithm,
+                                 uint8_t pattern_bits,
+                                 const MiningQuery& query);
+
+  /// Same configuration = every field but min_support equal — the
+  /// entries a dominance walk may draw from.
+  bool SameConfig(const ResultCacheKey& other) const {
+    return digest == other.digest && algorithm == other.algorithm &&
+           pattern_bits == other.pattern_bits && task == other.task &&
+           k == other.k && max_consequent == other.max_consequent &&
+           min_confidence == other.min_confidence &&
+           min_lift == other.min_lift;
+  }
 
   /// Orders same-configuration entries adjacently, min_support
   /// ascending last — the layout the dominance scan relies on.
@@ -62,27 +111,44 @@ struct ResultCacheKey {
     if (pattern_bits != other.pattern_bits) {
       return pattern_bits < other.pattern_bits;
     }
+    if (task != other.task) return task < other.task;
+    if (k != other.k) return k < other.k;
+    if (max_consequent != other.max_consequent) {
+      return max_consequent < other.max_consequent;
+    }
+    if (min_confidence != other.min_confidence) {
+      return min_confidence < other.min_confidence;
+    }
+    if (min_lift != other.min_lift) return min_lift < other.min_lift;
     return min_support < other.min_support;
   }
 };
 
-/// An immutable cached mining result, shared with every job replaying
-/// it. `itemsets` preserves the kernel's deterministic emission order.
+/// An immutable cached result, shared with every job replaying it.
+/// Itemset tasks fill `itemsets` (FREQUENT preserves the kernel's
+/// deterministic emission order; the other tasks their sorted orders);
+/// kRules fills `rules`. `num_results` counts whichever is filled.
 struct CachedResult {
   std::vector<CollectingSink::Entry> itemsets;
-  uint64_t num_frequent = 0;
+  std::vector<AssociationRule> rules;
+  uint64_t num_results = 0;
+  /// Database::total_weight() of the source dataset — what rule
+  /// derivation from a cached CLOSED/FREQUENT listing needs.
+  Support total_weight = 0;
   size_t bytes = 0;  ///< heap footprint, for the budget
 };
 
 struct ResultCacheLookup {
   std::shared_ptr<const CachedResult> result;  ///< null on miss
-  bool exact = false;      ///< key matched including min_support
-  bool dominated = false;  ///< filtered from a lower-threshold entry
+  bool exact = false;       ///< key matched including min_support
+  bool dominated = false;   ///< derived from a same-task entry
+  bool cross_task = false;  ///< derived from another task's entry
 };
 
 struct ResultCacheStats {
-  uint64_t hits = 0;            ///< exact hits
-  uint64_t dominated_hits = 0;  ///< answered by dominance filtering
+  uint64_t hits = 0;             ///< exact hits
+  uint64_t dominated_hits = 0;   ///< same-task dominance derivations
+  uint64_t cross_task_hits = 0;  ///< cross-task derivations
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
@@ -98,9 +164,9 @@ class ResultCache {
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
-  /// Exact lookup; when absent and the algorithm supports dominance
-  /// reuse, derives the answer from the best (highest-threshold)
-  /// dominating entry. A derived answer is inserted under `key` so the
+  /// Exact lookup; when absent, walks the derivation matrix above for
+  /// the best dominating entry (same task first, then cross-task
+  /// sources). A derived answer is inserted under `key` so the
   /// filtering cost is paid once.
   ResultCacheLookup Lookup(const ResultCacheKey& key);
 
@@ -114,11 +180,25 @@ class ResultCache {
   /// Heap bytes a result with these itemsets occupies (key + vectors).
   static size_t EstimateBytes(const std::vector<CollectingSink::Entry>& v);
 
+  /// Heap bytes of a full result, rules included.
+  static size_t EstimateResultBytes(const CachedResult& result);
+
  private:
   struct Entry {
     std::shared_ptr<const CachedResult> result;
     uint64_t lru_seq = 0;
   };
+  using EntryMap = std::map<ResultCacheKey, Entry>;
+
+  /// Best same-config entry with min_support <= probe's (the closest
+  /// threshold, so the fewest surplus entries to filter), or nullptr.
+  EntryMap::iterator FindBestAtOrBelowLocked(const ResultCacheKey& probe);
+
+  /// Task-specific derivation attempts; each returns the derived result
+  /// (null when no usable source entry exists) and touches the source's
+  /// LRU slot. `source_task` reports where the answer came from.
+  std::shared_ptr<CachedResult> DeriveLocked(const ResultCacheKey& key,
+                                             MiningTask* source_task);
 
   void InsertLocked(const ResultCacheKey& key,
                     std::shared_ptr<const CachedResult> result);
@@ -126,7 +206,7 @@ class ResultCache {
 
   const size_t budget_bytes_;
   mutable std::mutex mu_;
-  std::map<ResultCacheKey, Entry> entries_;
+  EntryMap entries_;
   uint64_t next_seq_ = 1;
   size_t resident_bytes_ = 0;
   ResultCacheStats stats_;
@@ -134,6 +214,7 @@ class ResultCache {
   // fpm.service.cache.* metrics.
   Counter* hits_counter_;
   Counter* dominated_counter_;
+  Counter* cross_task_counter_;
   Counter* misses_counter_;
   Counter* evictions_counter_;
   Gauge* bytes_gauge_;

@@ -16,6 +16,8 @@ const char* CacheOutcomeName(CacheOutcome outcome) {
       return "hit";
     case CacheOutcome::kDominated:
       return "dominated";
+    case CacheOutcome::kCrossTask:
+      return "cross_task";
   }
   return "unknown";
 }
@@ -62,6 +64,11 @@ MiningService::MiningService(Options options)
   mine_ms_histogram_ = m.GetHistogram(
       "fpm.service.mine_ms", {1, 2, 5, 10, 25, 50, 100, 250, 500, 1000,
                               2500, 5000, 10000, 30000, 60000});
+  for (int t = 0; t < kNumMiningTasks; ++t) {
+    task_counters_[t] = m.GetCounter(
+        std::string("fpm.service.tasks.") +
+        TaskName(static_cast<MiningTask>(t)));
+  }
 }
 
 MiningService::~MiningService() { scheduler_.Drain(); }
@@ -69,25 +76,41 @@ MiningService::~MiningService() { scheduler_.Drain(); }
 Result<std::shared_ptr<MineJob>> MiningService::Submit(
     const MineRequest& request) {
   requests_counter_->Increment();
-  if (request.min_support < 1) {
-    return Status::InvalidArgument("min_support must be >= 1");
-  }
+  FPM_RETURN_IF_ERROR(request.query.Validate());
   if (request.dataset_path.empty()) {
     return Status::InvalidArgument("dataset_path must be set");
   }
+  task_counters_[static_cast<int>(request.query.task)]->Increment();
 
   // Pin the dataset for the whole job lifetime (load-once; concurrent
   // first requests for the same path coalesce inside the registry).
   FPM_ASSIGN_OR_RETURN(DatasetHandle dataset,
                        registry_.Get(request.dataset_path));
 
+  // The job runs with a copy of the request: top-k queries get the
+  // cost-model seed threshold planted here, where the bound pass is
+  // already amortized by the registry.
+  MineRequest queued = request;
+
   // Admission: bound the answer before spending any mining time. The
   // bound costs one database pass — amortized by the registry across
   // the dataset's queries, and small against mining an inadmissibly
-  // large one.
-  if (options_.max_estimated_itemsets > 0.0) {
+  // large one. A top-k answer is at most k entries, so k is its own
+  // bound; the threshold bound would wrongly reject a bounded query
+  // over a dense dataset.
+  if (request.query.task == MiningTask::kTopK) {
+    if (options_.max_estimated_itemsets > 0.0 &&
+        static_cast<double>(request.query.k) >
+            options_.max_estimated_itemsets) {
+      admission_rejects_counter_->Increment();
+      return Status::ResourceExhausted(
+          "query rejected by admission control: k " +
+          std::to_string(request.query.k) + " exceeds " +
+          std::to_string(options_.max_estimated_itemsets));
+    }
+  } else if (options_.max_estimated_itemsets > 0.0) {
     const CostEstimate est =
-        EstimateMiningCost(*dataset.database, request.min_support);
+        EstimateMiningCost(*dataset.database, request.query.min_support);
     if (est.max_frequent_itemsets > options_.max_estimated_itemsets) {
       admission_rejects_counter_->Increment();
       return Status::ResourceExhausted(
@@ -108,8 +131,9 @@ Result<std::shared_ptr<MineJob>> MiningService::Submit(
   }
 
   const auto submit_time = std::chrono::steady_clock::now();
-  Status queued = scheduler_.Submit(
-      request.priority, [this, request, dataset, job, submit_time] {
+  Status enqueue_status = scheduler_.Submit(
+      request.priority,
+      [this, request = std::move(queued), dataset, job, submit_time] {
         const auto start_time = std::chrono::steady_clock::now();
         Result<MineResponse> result = RunJob(request, dataset, job->cancel_);
         if (result.ok()) {
@@ -133,7 +157,7 @@ Result<std::shared_ptr<MineJob>> MiningService::Submit(
         job->done_ = true;
         job->cv_.notify_all();
       });
-  FPM_RETURN_IF_ERROR(queued);
+  FPM_RETURN_IF_ERROR(enqueue_status);
   return job;
 }
 
@@ -141,53 +165,69 @@ Result<MineResponse> MiningService::RunJob(const MineRequest& request,
                                            const DatasetHandle& dataset,
                                            const CancelToken& cancel) {
   ScopedSpan span("service.mine");
-  span.AddArg("min_support", request.min_support);
+  span.AddArg("task", static_cast<uint64_t>(request.query.task));
+  span.AddArg("min_support", request.query.min_support);
 
   // A job that sat in the queue past its deadline never starts mining.
   if (cancel.cancelled()) return cancel.ToStatus();
 
-  ResultCacheKey key;
-  key.digest = dataset.digest;
-  key.algorithm = request.algorithm;
-  key.pattern_bits =
-      EffectivePatterns(request.algorithm, request.patterns).bits();
-  key.min_support = request.min_support;
+  const ResultCacheKey key = ResultCacheKey::ForQuery(
+      dataset.digest, request.algorithm,
+      EffectivePatterns(request.algorithm, request.patterns).bits(),
+      request.query);
 
   MineResponse response;
+  response.task = request.query.task;
   response.dataset_digest = dataset.digest;
 
   ResultCacheLookup cached = cache_.Lookup(key);
   std::shared_ptr<const CachedResult> result = cached.result;
   if (result != nullptr) {
-    response.cache =
-        cached.exact ? CacheOutcome::kExact : CacheOutcome::kDominated;
+    response.cache = cached.exact        ? CacheOutcome::kExact
+                     : cached.cross_task ? CacheOutcome::kCrossTask
+                                         : CacheOutcome::kDominated;
   } else {
-    // Mine with the sequential kernel: deterministic emission order is
-    // the cache's correctness contract, and cross-query parallelism
-    // already saturates the pool.
-    MineOptions mine_options;
-    mine_options.algorithm = request.algorithm;
-    mine_options.patterns = request.patterns;
-    mine_options.min_support = request.min_support;
-    mine_options.execution.num_threads = 1;
-    mine_options.cancel = &cancel;
+    // Mine with the sequential kernel: deterministic emission/output
+    // order is the cache's correctness contract, and cross-query
+    // parallelism already saturates the pool.
+    FPM_ASSIGN_OR_RETURN(
+        std::unique_ptr<Miner> miner,
+        CreateMiner(request.algorithm, request.patterns, &cancel));
 
-    CollectingSink sink;
-    Result<MineStats> stats =
-        Mine(*dataset.database, mine_options, &sink);
-    FPM_RETURN_IF_ERROR(stats.status());
+    // The seed threshold is planted here, not at Submit: it costs a
+    // database pass, and a query the cache can answer never needs it.
+    MiningQuery query = request.query;
+    if (query.task == MiningTask::kTopK && query.topk_seed_support == 0) {
+      query.topk_seed_support =
+          TopKSeedThreshold(*dataset.database, query.k, query.min_support);
+    }
 
     auto fresh = std::make_shared<CachedResult>();
-    fresh->itemsets = std::move(sink.mutable_results());
-    fresh->num_frequent = stats.value().num_frequent;
-    fresh->bytes = ResultCache::EstimateBytes(fresh->itemsets);
+    if (query.task == MiningTask::kRules) {
+      FPM_ASSIGN_OR_RETURN(
+          const MineStats stats,
+          miner->MineRules(*dataset.database, query, &fresh->rules));
+      fresh->num_results = stats.num_frequent;
+    } else {
+      CollectingSink sink;
+      FPM_ASSIGN_OR_RETURN(
+          const MineStats stats,
+          miner->Mine(*dataset.database, query, &sink));
+      fresh->itemsets = std::move(sink.mutable_results());
+      fresh->num_results = stats.num_frequent;
+    }
+    fresh->total_weight = dataset.database->total_weight();
+    fresh->bytes = ResultCache::EstimateResultBytes(*fresh);
     cache_.Insert(key, fresh);
     result = std::move(fresh);
   }
 
-  response.num_frequent = result->num_frequent;
-  if (!request.count_only) response.itemsets = result->itemsets;
-  span.AddArg("num_frequent", response.num_frequent);
+  response.num_frequent = result->num_results;
+  if (!request.count_only) {
+    response.itemsets = result->itemsets;
+    response.rules = result->rules;
+  }
+  span.AddArg("num_results", response.num_frequent);
   span.AddArg("cache_hit",
               response.cache == CacheOutcome::kMiss ? 0 : 1);
   return response;

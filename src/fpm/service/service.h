@@ -51,21 +51,23 @@ namespace fpm {
 class Counter;
 class Histogram;
 
-/// One mining query.
+/// One mining request: the MiningQuery (task + thresholds) plus the
+/// service-level envelope (dataset, algorithm, scheduling).
 struct MineRequest {
   std::string dataset_path;  ///< registry key; loaded on first use
   Algorithm algorithm = Algorithm::kLcm;
   /// Requested patterns; the effective subset (Table 4) is applied and
   /// used for cache keying.
   PatternSet patterns;
-  Support min_support = 1;
+  /// What to mine: task, min_support and per-task parameters.
+  MiningQuery query;
   /// Higher runs first; FIFO within a priority.
   int priority = 0;
   /// Seconds until the job's deadline, counted from submission
   /// (queueing included). 0 = no deadline.
   double timeout_seconds = 0.0;
-  /// When true the response carries counts only, no itemsets — cheaper
-  /// to transport; the result is still cached in full.
+  /// When true the response carries counts only, no itemsets/rules —
+  /// cheaper to transport; the result is still cached in full.
   bool count_only = false;
 };
 
@@ -73,16 +75,24 @@ struct MineRequest {
 enum class CacheOutcome {
   kMiss,       ///< mined fresh
   kExact,      ///< replayed an exact cache entry
-  kDominated,  ///< filtered from a lower-threshold cache entry
+  kDominated,  ///< derived from a same-task lower-threshold entry
+  kCrossTask,  ///< derived from another task's cache entry
 };
 
 const char* CacheOutcomeName(CacheOutcome outcome);
 
 struct MineResponse {
+  MiningTask task = MiningTask::kFrequent;
+  /// Number of result entries: itemsets for the itemset tasks, rules
+  /// for kRules. (The name predates the task family; wire compat keeps
+  /// it.)
   uint64_t num_frequent = 0;
-  /// Itemsets in the kernel's deterministic emission order (items
-  /// sorted within each set). Empty when count_only was requested.
+  /// Itemset-task results, in the task's deterministic order (kFrequent:
+  /// kernel emission order; kClosed/kMaximal: canonical; kTopK: support
+  /// descending). Empty when count_only was requested or task == kRules.
   std::vector<CollectingSink::Entry> itemsets;
+  /// kRules results in RuleOutranks order; empty when count_only.
+  std::vector<AssociationRule> rules;
   CacheOutcome cache = CacheOutcome::kMiss;
   std::string dataset_digest;
   double queue_seconds = 0.0;  ///< submission -> job start
@@ -180,6 +190,8 @@ class MiningService {
   Counter* cancelled_counter_;
   Counter* deadline_counter_;
   Histogram* mine_ms_histogram_;
+  // fpm.service.tasks.<task>, indexed by MiningTask.
+  Counter* task_counters_[kNumMiningTasks];
 };
 
 }  // namespace fpm

@@ -1,0 +1,130 @@
+// Top-k mining: the bounded-sink driver must return exactly the k
+// highest-support itemsets in the canonical rank order (support
+// descending, itemset ascending on ties), independent of the seed
+// threshold it starts from — determinism is checked against an
+// exhaustive mine-everything-and-sort reference.
+
+#include "fpm/algo/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "fpm/algo/eclat/eclat_miner.h"
+#include "fpm/algo/lcm/lcm_miner.h"
+#include "fpm/algo/query.h"
+#include "testing/db_testutil.h"
+
+namespace fpm {
+namespace {
+
+using testutil::ExpectSameResults;
+using testutil::MakeDb;
+using testutil::RandomDb;
+using testutil::RandomDbSpec;
+using Entry = CollectingSink::Entry;
+
+/// The exhaustive reference: every itemset frequent at `floor`, ranked.
+std::vector<Entry> Reference(const Database& db, uint64_t k,
+                             Support floor) {
+  LcmMiner miner;
+  CollectingSink sink;
+  EXPECT_TRUE(miner.Mine(db, floor, &sink).ok());
+  sink.Canonicalize();
+  std::vector<Entry> all = sink.results();
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.second != b.second) return a.second > b.second;
+                     return a.first < b.first;
+                   });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<Entry> TopK(Miner& miner, const Database& db,
+                        const MiningQuery& query) {
+  CollectingSink sink;
+  auto stats = miner.Mine(db, query, &sink);
+  EXPECT_TRUE(stats.ok()) << stats.status();
+  if (stats.ok()) {
+    EXPECT_EQ(stats->num_frequent, sink.results().size());
+  }
+  return sink.results();
+}
+
+TEST(TopKTest, MatchesTheExhaustiveReference) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const Database db =
+        RandomDb(RandomDbSpec{.num_transactions = 40, .seed = seed});
+    for (uint64_t k : {1u, 5u, 20u}) {
+      LcmMiner miner;
+      ExpectSameResults(Reference(db, k, 2),
+                        TopK(miner, db, MiningQuery::TopK(k, 2)),
+                        "seed " + std::to_string(seed) + " k " +
+                            std::to_string(k));
+    }
+  }
+}
+
+TEST(TopKTest, KLargerThanTheListingReturnsEverythingRanked) {
+  const Database db = MakeDb({{0, 1}, {0, 1}, {0, 2}});
+  LcmMiner miner;
+  const auto got = TopK(miner, db, MiningQuery::TopK(1000, 1));
+  ExpectSameResults(Reference(db, 1000, 1), got, "k > |listing|");
+  EXPECT_LT(got.size(), 1000u);
+}
+
+TEST(TopKTest, TiesBreakLexicographically) {
+  // Four singletons, all support 2: rank order is pure item order.
+  const Database db = MakeDb({{0, 1, 2, 3}, {0, 1, 2, 3}});
+  LcmMiner miner;
+  const auto got = TopK(miner, db, MiningQuery::TopK(3, 2));
+  ASSERT_EQ(got.size(), 3u);
+  // Every itemset has support 2; the smallest three lexicographically
+  // are {0}, {0,1}, {0,1,2}.
+  const std::vector<Entry> expected = {
+      {{0}, 2}, {{0, 1}, 2}, {{0, 1, 2}, 2}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(TopKTest, SeedThresholdHintNeverChangesTheAnswer) {
+  const Database db =
+      RandomDb(RandomDbSpec{.num_transactions = 50, .seed = 7});
+  const auto want = Reference(db, 8, 2);
+  // A wildly wrong hint only costs extra passes, never correctness:
+  // the driver halves toward the floor until k results accumulate.
+  for (Support hint : {0u, 3u, 1000u}) {
+    MiningQuery query = MiningQuery::TopK(8, 2);
+    query.topk_seed_support = hint;
+    LcmMiner miner;
+    ExpectSameResults(want, TopK(miner, db, query),
+                      "hint " + std::to_string(hint));
+  }
+}
+
+TEST(TopKTest, AlgorithmChoiceDoesNotAffectTheRanking) {
+  const Database db =
+      RandomDb(RandomDbSpec{.num_transactions = 40, .seed = 13});
+  LcmMiner lcm;
+  EclatMiner eclat;
+  const MiningQuery query = MiningQuery::TopK(10, 2);
+  ExpectSameResults(TopK(lcm, db, query), TopK(eclat, db, query),
+                    "lcm vs eclat");
+}
+
+TEST(TopKSinkTest, KeepsTheBestKUnderOverflow) {
+  TopKSink sink(2);
+  const Itemset a = {3};
+  const Itemset b = {1};
+  const Itemset c = {2};
+  sink.Emit(a, 5);
+  sink.Emit(b, 9);
+  sink.Emit(c, 7);  // evicts {3}:5
+  EXPECT_EQ(sink.total_emitted(), 3u);
+  const std::vector<Entry> expected = {{{1}, 9}, {{2}, 7}};
+  EXPECT_EQ(sink.TakeSorted(), expected);
+}
+
+}  // namespace
+}  // namespace fpm

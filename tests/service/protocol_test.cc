@@ -30,7 +30,8 @@ TEST(DecodeRequestTest, DecodesFullMineRequest) {
   EXPECT_EQ(r->op, ServiceRequest::Op::kMine);
   const MineRequest& mine = r->mine;
   EXPECT_EQ(mine.dataset_path, "/tmp/x.dat");
-  EXPECT_EQ(mine.min_support, 7u);
+  EXPECT_EQ(mine.query.min_support, 7u);
+  EXPECT_EQ(mine.query.task, MiningTask::kFrequent);
   EXPECT_EQ(mine.algorithm, Algorithm::kEclat);
   EXPECT_TRUE(mine.patterns.empty());
   EXPECT_EQ(mine.priority, 3);
@@ -79,6 +80,107 @@ TEST(DecodeRequestTest, RejectsMalformedRequests) {
           .ok());
 }
 
+TEST(DecodeRequestTest, DecodesQueryRequestWithTaskFamily) {
+  auto r = DecodeRequest(
+      "{\"op\":\"query\",\"dataset\":\"d.dat\",\"min_support\":3,"
+      "\"task\":\"top_k\",\"k\":25}");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->op, ServiceRequest::Op::kQuery);
+  EXPECT_EQ(r->version, 2);
+  EXPECT_EQ(r->mine.query.task, MiningTask::kTopK);
+  EXPECT_EQ(r->mine.query.k, 25u);
+  EXPECT_EQ(r->mine.query.min_support, 3u);
+
+  auto rules = DecodeRequest(
+      "{\"op\":\"query\",\"dataset\":\"d.dat\",\"min_support\":3,"
+      "\"task\":\"rules\",\"min_confidence\":0.7,\"min_lift\":1.1,"
+      "\"max_consequent\":2}");
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  EXPECT_EQ(rules->mine.query.task, MiningTask::kRules);
+  EXPECT_DOUBLE_EQ(rules->mine.query.min_confidence, 0.7);
+  EXPECT_DOUBLE_EQ(rules->mine.query.min_lift, 1.1);
+  EXPECT_EQ(rules->mine.query.max_consequent, 2u);
+
+  // Task omitted: a plain frequent query on the v2 encoding.
+  auto plain = DecodeRequest(
+      "{\"op\":\"query\",\"dataset\":\"d.dat\",\"min_support\":3}");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->mine.query.task, MiningTask::kFrequent);
+}
+
+TEST(DecodeRequestTest, MineOpStaysOnTheFrozenV1FieldSet) {
+  // "task" is not part of protocol v1: the mine op ignores it and always
+  // runs frequent, so old clients keep byte-identical behavior.
+  auto r = DecodeRequest(
+      "{\"op\":\"mine\",\"dataset\":\"d.dat\",\"min_support\":2,"
+      "\"task\":\"closed\"}");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->version, 1);
+  EXPECT_EQ(r->mine.query.task, MiningTask::kFrequent);
+}
+
+TEST(DecodeRequestTest, ErrorsNameTheOpAndField) {
+  EXPECT_EQ(DecodeRequest("{\"op\":\"query\",\"min_support\":2}")
+                .status()
+                .message(),
+            "op 'query': field 'dataset': missing or not a string");
+  EXPECT_EQ(DecodeRequest("{\"op\":\"query\",\"dataset\":\"d\","
+                          "\"min_support\":2,\"task\":\"bogus\"}")
+                .status()
+                .message(),
+            "op 'query': field 'task': unknown task 'bogus' "
+            "(want frequent|closed|maximal|top_k|rules)");
+  EXPECT_EQ(DecodeRequest("{\"op\":\"query\",\"dataset\":\"d\","
+                          "\"min_support\":2,\"task\":\"top_k\"}")
+                .status()
+                .message(),
+            "op 'query': top_k query needs k >= 1");
+  EXPECT_EQ(DecodeRequest("{\"op\":\"explode\"}").status().message(),
+            "request: field 'op': unknown op 'explode'");
+  EXPECT_EQ(DecodeRequest("{\"op\":\"mine\",\"dataset\":\"d\","
+                          "\"min_support\":0}")
+                .status()
+                .message(),
+            "op 'mine': field 'min_support': missing or not a number >= 1");
+}
+
+TEST(DecodeRequestTest, BatchDecodesAndIsolatesEntryErrors) {
+  auto r = DecodeRequest(
+      "{\"op\":\"batch\",\"queries\":["
+      "{\"dataset\":\"a.dat\",\"min_support\":2,\"task\":\"closed\"},"
+      "{\"dataset\":\"b.dat\"},"
+      "{\"dataset\":\"c.dat\",\"min_support\":5}]}");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->op, ServiceRequest::Op::kBatch);
+  EXPECT_EQ(r->version, 2);
+  ASSERT_EQ(r->batch.size(), 3u);
+  // Entry 0 and 2 decode; entry 1's error names its position and field
+  // and does not poison its neighbors.
+  EXPECT_TRUE(r->batch[0].status.ok());
+  EXPECT_EQ(r->batch[0].request.query.task, MiningTask::kClosed);
+  EXPECT_FALSE(r->batch[1].status.ok());
+  EXPECT_EQ(r->batch[1].status.message(),
+            "op 'batch': queries[1]: field 'min_support': "
+            "missing or not a number >= 1");
+  EXPECT_TRUE(r->batch[2].status.ok());
+  EXPECT_EQ(r->batch[2].request.query.min_support, 5u);
+
+  // A non-object entry is also an entry-level error, not a batch error.
+  auto mixed = DecodeRequest("{\"op\":\"batch\",\"queries\":[42]}");
+  ASSERT_TRUE(mixed.ok());
+  ASSERT_EQ(mixed->batch.size(), 1u);
+  EXPECT_EQ(mixed->batch[0].status.message(),
+            "op 'batch': queries[0]: not an object");
+}
+
+TEST(DecodeRequestTest, BatchRejectsMissingOrEmptyQueries) {
+  EXPECT_EQ(DecodeRequest("{\"op\":\"batch\"}").status().message(),
+            "op 'batch': field 'queries': missing or not an array");
+  EXPECT_EQ(
+      DecodeRequest("{\"op\":\"batch\",\"queries\":[]}").status().message(),
+      "op 'batch': field 'queries': must not be empty");
+}
+
 TEST(EncodeTest, MineResponseGolden) {
   MineResponse response;
   response.num_frequent = 2;
@@ -92,6 +194,60 @@ TEST(EncodeTest, MineResponseGolden) {
             "\"itemsets\":[{\"items\":[1,2],\"support\":4},"
             "{\"items\":[3],\"support\":2}],\"mine_ms\":250,"
             "\"num_frequent\":2,\"ok\":true,\"queue_ms\":500}");
+}
+
+TEST(EncodeTest, QueryResponseGolden) {
+  MineResponse response;
+  response.task = MiningTask::kClosed;
+  response.num_frequent = 2;
+  response.itemsets = {{{1, 2}, 4}, {{3}, 2}};
+  response.cache = CacheOutcome::kCrossTask;
+  response.dataset_digest = "cafe";
+  response.queue_seconds = 0.5;
+  response.mine_seconds = 0.25;
+  EXPECT_EQ(EncodeQueryResponse(response),
+            "{\"cache\":\"cross_task\",\"digest\":\"cafe\","
+            "\"itemsets\":[{\"items\":[1,2],\"support\":4},"
+            "{\"items\":[3],\"support\":2}],\"mine_ms\":250,"
+            "\"num_results\":2,\"ok\":true,\"queue_ms\":500,"
+            "\"task\":\"closed\"}");
+}
+
+TEST(EncodeTest, RulesResponseCarriesTheRuleTable) {
+  MineResponse response;
+  response.task = MiningTask::kRules;
+  response.num_frequent = 1;
+  AssociationRule rule;
+  rule.antecedent = {1};
+  rule.consequent = {2};
+  rule.itemset_support = 4;
+  rule.confidence = 0.5;
+  rule.lift = 2.0;
+  response.rules = {rule};
+  response.dataset_digest = "d";
+  EXPECT_EQ(EncodeQueryResponse(response),
+            "{\"cache\":\"miss\",\"digest\":\"d\",\"mine_ms\":0,"
+            "\"num_results\":1,\"ok\":true,\"queue_ms\":0,"
+            "\"rules\":[{\"antecedent\":[1],\"confidence\":0.5,"
+            "\"consequent\":[2],\"lift\":2,\"support\":4}],"
+            "\"task\":\"rules\"}");
+}
+
+TEST(EncodeTest, BatchLinesCarryTheQueryId) {
+  MineResponse response;
+  response.num_frequent = 0;
+  const std::string tagged = EncodeQueryResponseWithId(3, response);
+  auto doc = ParseJson(tagged);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()["id"].int_value(), 3);
+  EXPECT_TRUE(doc.value()["ok"].bool_value());
+
+  const std::string error =
+      EncodeErrorWithId(7, Status::InvalidArgument("nope"));
+  auto err = ParseJson(error);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err.value()["id"].int_value(), 7);
+  EXPECT_FALSE(err.value()["ok"].bool_value());
 }
 
 TEST(EncodeTest, CountOnlyResponseOmitsItemsets) {

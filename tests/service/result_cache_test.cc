@@ -21,7 +21,7 @@ ResultCacheKey Key(const std::string& digest, Support minsup,
 std::shared_ptr<const CachedResult> MakeResult(
     std::vector<CollectingSink::Entry> itemsets) {
   auto result = std::make_shared<CachedResult>();
-  result->num_frequent = itemsets.size();
+  result->num_results = itemsets.size();
   result->bytes = ResultCache::EstimateBytes(itemsets);
   result->itemsets = std::move(itemsets);
   return result;
@@ -69,7 +69,7 @@ TEST(ResultCacheTest, DominanceFilterPreservesOrder) {
   const std::vector<CollectingSink::Entry> expected = {
       {{1}, 5}, {{2}, 4}, {{3}, 3}};
   EXPECT_EQ(hit.result->itemsets, expected);
-  EXPECT_EQ(hit.result->num_frequent, 3u);
+  EXPECT_EQ(hit.result->num_results, 3u);
   EXPECT_EQ(cache.stats().dominated_hits, 1u);
 
   // The derived answer is memoized: the same query now hits exactly.
@@ -135,6 +135,172 @@ TEST(ResultCacheTest, BytesTrackInsertionsAndEvictions) {
   cache.Insert(Key("b", 2), b);
   EXPECT_EQ(cache.stats().resident_bytes, a->bytes + b->bytes);
   EXPECT_EQ(cache.stats().insertions, 2u);
+}
+
+// ---- cross-task dominance ------------------------------------------------
+
+ResultCacheKey TaskKey(const std::string& digest, const MiningQuery& query,
+                       Algorithm algorithm = Algorithm::kLcm) {
+  return ResultCacheKey::ForQuery(digest, algorithm, /*pattern_bits=*/0,
+                                  query);
+}
+
+/// The shared fixture listing: a frequent run at threshold 2. {2} has a
+/// superset of equal support ({1,2}), so it is frequent but not closed.
+std::shared_ptr<const CachedResult> FrequentFixture() {
+  return MakeResult({{{1}, 5}, {{1, 2}, 4}, {{2}, 4}, {{3}, 2}});
+}
+
+TEST(ResultCacheCrossTaskTest, ClosedDerivesFromCachedFrequent) {
+  ResultCache cache;
+  cache.Insert(Key("d", 2), FrequentFixture());
+
+  ResultCacheLookup hit =
+      cache.Lookup(TaskKey("d", MiningQuery::Closed(3)));
+  ASSERT_NE(hit.result, nullptr);
+  EXPECT_TRUE(hit.cross_task);
+  EXPECT_FALSE(hit.exact);
+  const std::vector<CollectingSink::Entry> expected = {{{1}, 5},
+                                                       {{1, 2}, 4}};
+  EXPECT_EQ(hit.result->itemsets, expected);
+  EXPECT_EQ(cache.stats().cross_task_hits, 1u);
+
+  // Memoized under the closed key: asking again is an exact hit.
+  ResultCacheLookup again =
+      cache.Lookup(TaskKey("d", MiningQuery::Closed(3)));
+  EXPECT_TRUE(again.exact);
+  EXPECT_EQ(again.result->itemsets, expected);
+}
+
+TEST(ResultCacheCrossTaskTest, MaximalDerivesFromCachedFrequent) {
+  ResultCache cache;
+  cache.Insert(Key("d", 2), FrequentFixture());
+  ResultCacheLookup hit =
+      cache.Lookup(TaskKey("d", MiningQuery::Maximal(3)));
+  ASSERT_NE(hit.result, nullptr);
+  EXPECT_TRUE(hit.cross_task);
+  const std::vector<CollectingSink::Entry> expected = {{{1, 2}, 4}};
+  EXPECT_EQ(hit.result->itemsets, expected);
+}
+
+TEST(ResultCacheCrossTaskTest, MaximalNeverDerivesFromMaximal) {
+  ResultCache cache;
+  // A maximal listing at threshold 2 — itemsets maximal there need not
+  // be maximal at 3, so the cache must not filter it.
+  cache.Insert(TaskKey("d", MiningQuery::Maximal(2)),
+               MakeResult({{{1, 2}, 4}, {{3}, 2}}));
+  EXPECT_EQ(cache.Lookup(TaskKey("d", MiningQuery::Maximal(3))).result,
+            nullptr);
+}
+
+TEST(ResultCacheCrossTaskTest, TopKDerivesFromFrequentAtOrBelowFloor) {
+  ResultCache cache;
+  cache.Insert(Key("d", 2), FrequentFixture());
+  ResultCacheLookup hit =
+      cache.Lookup(TaskKey("d", MiningQuery::TopK(2, /*floor=*/2)));
+  ASSERT_NE(hit.result, nullptr);
+  EXPECT_TRUE(hit.cross_task);
+  // Rank order: support descending, itemset ascending on ties —
+  // {1,2} precedes {2} at support 4.
+  const std::vector<CollectingSink::Entry> expected = {{{1}, 5},
+                                                       {{1, 2}, 4}};
+  EXPECT_EQ(hit.result->itemsets, expected);
+}
+
+TEST(ResultCacheCrossTaskTest, TopKAboveFloorNeedsKCachedEntries) {
+  ResultCache cache;
+  // Cached above the queried floor: valid only because the listing
+  // already holds >= k entries (anything it misses supports < 3).
+  cache.Insert(Key("d", 3), MakeResult({{{1}, 5}, {{1, 2}, 4}, {{2}, 4}}));
+  ResultCacheLookup hit =
+      cache.Lookup(TaskKey("d", MiningQuery::TopK(2, /*floor=*/1)));
+  ASSERT_NE(hit.result, nullptr);
+  EXPECT_TRUE(hit.cross_task);
+  const std::vector<CollectingSink::Entry> expected = {{{1}, 5},
+                                                       {{1, 2}, 4}};
+  EXPECT_EQ(hit.result->itemsets, expected);
+
+  // k larger than the cached listing: the tail below the cached
+  // threshold is unknown, so the cache must decline.
+  EXPECT_EQ(cache.Lookup(TaskKey("d", MiningQuery::TopK(4, /*floor=*/1)))
+                .result,
+            nullptr);
+}
+
+TEST(ResultCacheCrossTaskTest, RulesFilterByDominanceWithinRules) {
+  ResultCache cache;
+  auto stored = std::make_shared<CachedResult>();
+  AssociationRule strong;
+  strong.antecedent = {1};
+  strong.consequent = {2};
+  strong.itemset_support = 5;
+  AssociationRule weak;
+  weak.antecedent = {2};
+  weak.consequent = {3};
+  weak.itemset_support = 3;
+  stored->rules = {strong, weak};
+  stored->num_results = 2;
+  stored->bytes = ResultCache::EstimateResultBytes(*stored);
+  cache.Insert(TaskKey("d", MiningQuery::Rules(2, 0.5)), stored);
+
+  ResultCacheLookup hit =
+      cache.Lookup(TaskKey("d", MiningQuery::Rules(4, 0.5)));
+  ASSERT_NE(hit.result, nullptr);
+  EXPECT_TRUE(hit.dominated);
+  ASSERT_EQ(hit.result->rules.size(), 1u);
+  EXPECT_EQ(hit.result->rules[0].itemset_support, 5u);
+
+  // A different confidence is a different configuration — no reuse
+  // within rules (it would change which rules exist).
+  EXPECT_EQ(cache.Lookup(TaskKey("d", MiningQuery::Rules(4, 0.9))).result,
+            nullptr);
+}
+
+TEST(ResultCacheCrossTaskTest, RulesDeriveFromCachedClosedListing) {
+  ResultCache cache;
+  auto closed = std::make_shared<CachedResult>();
+  closed->itemsets = {{{1}, 4}, {{1, 2}, 2}, {{2}, 3}};
+  closed->num_results = 3;
+  closed->total_weight = 6;  // rule derivation needs the base weight
+  closed->bytes = ResultCache::EstimateResultBytes(*closed);
+  cache.Insert(TaskKey("d", MiningQuery::Closed(2)), closed);
+
+  ResultCacheLookup hit =
+      cache.Lookup(TaskKey("d", MiningQuery::Rules(2, 0.5)));
+  ASSERT_NE(hit.result, nullptr);
+  EXPECT_TRUE(hit.cross_task);
+  // {1,2} yields 1=>2 (conf 0.5) and 2=>1 (conf 2/3); both lift 1.
+  ASSERT_EQ(hit.result->rules.size(), 2u);
+  EXPECT_EQ(hit.result->rules[0].antecedent, Itemset{2});
+  EXPECT_EQ(hit.result->rules[1].antecedent, Itemset{1});
+}
+
+TEST(ResultCacheCrossTaskTest, CrossTaskIgnoresTheFrequentOrderGate) {
+  // FP-Growth frequent results cannot answer FREQUENT dominance queries
+  // (emission order shifts with the threshold) but CAN answer CLOSED:
+  // the derived listing is canonicalized, so order does not matter.
+  ResultCache cache;
+  cache.Insert(Key("d", 2, Algorithm::kFpGrowth), FrequentFixture());
+  ResultCacheLookup hit = cache.Lookup(
+      TaskKey("d", MiningQuery::Closed(3), Algorithm::kFpGrowth));
+  ASSERT_NE(hit.result, nullptr);
+  EXPECT_TRUE(hit.cross_task);
+}
+
+TEST(ResultCacheKeyTest, ForQueryZeroesIrrelevantParameters) {
+  MiningQuery frequent = MiningQuery::Frequent(3);
+  frequent.k = 99;              // noise a caller might leave behind
+  frequent.min_confidence = 0.9;
+  const ResultCacheKey key = TaskKey("d", frequent);
+  EXPECT_EQ(key.k, 0u);
+  EXPECT_EQ(key.min_confidence, 0.0);
+  EXPECT_EQ(key.max_consequent, 0u);
+
+  MiningQuery topk = MiningQuery::TopK(7, 2);
+  topk.min_confidence = 0.9;
+  const ResultCacheKey tk = TaskKey("d", topk);
+  EXPECT_EQ(tk.k, 7u);
+  EXPECT_EQ(tk.min_confidence, 0.0);
 }
 
 }  // namespace

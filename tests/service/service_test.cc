@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 #include <vector>
@@ -38,7 +39,7 @@ MineRequest Request(const std::string& path, Algorithm algorithm,
   request.dataset_path = path;
   request.algorithm = algorithm;
   request.patterns = PatternSet::All();
-  request.min_support = min_support;
+  request.query.min_support = min_support;
   return request;
 }
 
@@ -144,7 +145,7 @@ TEST(MiningServiceTest, CountOnlyOmitsItemsetsButCachesInFull) {
 TEST(MiningServiceTest, QueriesAreValidatedBeforeQueueing) {
   MiningService service(MiningService::Options{.num_threads = 1});
   MineRequest no_support = Request("whatever.dat", Algorithm::kLcm, 1);
-  no_support.min_support = 0;
+  no_support.query.min_support = 0;
   EXPECT_EQ(service.Submit(no_support).status().code(),
             StatusCode::kInvalidArgument);
 
@@ -210,6 +211,151 @@ TEST(MiningServiceTest, ExplicitCancelStopsAnInFlightJob) {
   auto result = job->Take();
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+// ---- the MiningQuery task family ----------------------------------------
+
+/// Direct dispatch through a fresh sequential miner — the baseline the
+/// service's task answers must match byte-for-byte.
+std::vector<CollectingSink::Entry> DirectTask(const std::string& path,
+                                              Algorithm algorithm,
+                                              const MiningQuery& query) {
+  auto db = ReadFimiFile(path);
+  EXPECT_TRUE(db.ok()) << db.status();
+  auto miner = CreateMiner(algorithm, PatternSet::All());
+  EXPECT_TRUE(miner.ok()) << miner.status();
+  CollectingSink sink;
+  auto stats = miner.value()->Mine(*db, query, &sink);
+  EXPECT_TRUE(stats.ok()) << stats.status();
+  return sink.results();
+}
+
+MineRequest TaskRequest(const std::string& path, Algorithm algorithm,
+                        const MiningQuery& query) {
+  MineRequest request = Request(path, algorithm, query.min_support);
+  request.query = query;
+  return request;
+}
+
+TEST(MiningServiceTaskTest, ClosedAndMaximalMatchDirectDispatch) {
+  const std::string path = test::WriteTempFimi(
+      "service_tasks.dat",
+      test::DenseFimiText(/*rows=*/60, /*universe=*/12, /*k=*/6));
+  MiningService service(MiningService::Options{.num_threads = 2});
+  for (const MiningQuery& query :
+       {MiningQuery::Closed(6), MiningQuery::Maximal(6)}) {
+    auto response = service.Execute(TaskRequest(path, Algorithm::kLcm, query));
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->task, query.task);
+    EXPECT_EQ(response->itemsets,
+              DirectTask(path, Algorithm::kLcm, query))
+        << TaskName(query.task);
+    EXPECT_EQ(response->num_frequent, response->itemsets.size());
+  }
+}
+
+TEST(MiningServiceTaskTest, TopKMatchesExhaustiveReference) {
+  const std::string path = test::WriteTempFimi(
+      "service_topk.dat",
+      test::DenseFimiText(/*rows=*/60, /*universe=*/12, /*k=*/6));
+  MiningService service(MiningService::Options{.num_threads = 2});
+  const MiningQuery query = MiningQuery::TopK(/*k=*/10, /*min_support=*/2);
+  auto response = service.Execute(TaskRequest(path, Algorithm::kLcm, query));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->itemsets, DirectTask(path, Algorithm::kLcm, query));
+  EXPECT_EQ(response->itemsets.size(), 10u);
+  // The reference ranking: every frequent itemset, sorted by support
+  // descending with the lexicographic tie-break, truncated to k.
+  std::vector<CollectingSink::Entry> all =
+      DirectMine(path, Algorithm::kLcm, 2);
+  for (auto& entry : all) std::sort(entry.first.begin(), entry.first.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  all.resize(10);
+  EXPECT_EQ(response->itemsets, all);
+}
+
+TEST(MiningServiceTaskTest, RulesMatchDirectDispatch) {
+  const std::string path = test::WriteTempFimi(
+      "service_rules.dat",
+      test::DenseFimiText(/*rows=*/60, /*universe=*/12, /*k=*/6));
+  MiningService service(MiningService::Options{.num_threads = 2});
+  const MiningQuery query = MiningQuery::Rules(/*min_support=*/6, 0.6);
+
+  auto db = ReadFimiFile(path);
+  ASSERT_TRUE(db.ok());
+  auto miner = CreateMiner(Algorithm::kLcm, PatternSet::All());
+  ASSERT_TRUE(miner.ok());
+  std::vector<AssociationRule> direct;
+  ASSERT_TRUE(miner.value()->MineRules(*db, query, &direct).ok());
+  ASSERT_FALSE(direct.empty());
+
+  auto response = service.Execute(TaskRequest(path, Algorithm::kLcm, query));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->itemsets.empty());
+  EXPECT_EQ(response->rules, direct);
+  EXPECT_EQ(response->num_frequent, direct.size());
+}
+
+TEST(MiningServiceTaskTest, TaskQueriesDeriveFromTheFrequentCache) {
+  const std::string path = test::WriteTempFimi(
+      "service_cross.dat",
+      test::DenseFimiText(/*rows=*/60, /*universe=*/12, /*k=*/6));
+  MiningService service(MiningService::Options{.num_threads = 2});
+  // Warm the cache with the frequent run every task can be derived from.
+  auto warm = service.Execute(Request(path, Algorithm::kLcm, 6));
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  ASSERT_EQ(warm->cache, CacheOutcome::kMiss);
+
+  for (const MiningQuery& query :
+       {MiningQuery::Closed(6), MiningQuery::Maximal(6),
+        MiningQuery::TopK(/*k=*/5, /*min_support=*/6),
+        MiningQuery::Rules(/*min_support=*/6, 0.6)}) {
+    auto derived =
+        service.Execute(TaskRequest(path, Algorithm::kLcm, query));
+    ASSERT_TRUE(derived.ok()) << derived.status();
+    EXPECT_EQ(derived->cache, CacheOutcome::kCrossTask)
+        << TaskName(query.task);
+    // Derived answers are byte-identical to mining the task fresh.
+    if (query.task == MiningTask::kRules) {
+      std::vector<AssociationRule> direct;
+      auto db = ReadFimiFile(path);
+      ASSERT_TRUE(db.ok());
+      auto miner = CreateMiner(Algorithm::kLcm, PatternSet::All());
+      ASSERT_TRUE(miner.ok());
+      ASSERT_TRUE(miner.value()->MineRules(*db, query, &direct).ok());
+      EXPECT_EQ(derived->rules, direct);
+    } else {
+      EXPECT_EQ(derived->itemsets,
+                DirectTask(path, Algorithm::kLcm, query))
+          << TaskName(query.task);
+    }
+    // And memoized: the re-ask is an exact hit.
+    auto again =
+        service.Execute(TaskRequest(path, Algorithm::kLcm, query));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->cache, CacheOutcome::kExact) << TaskName(query.task);
+  }
+  EXPECT_EQ(service.cache().stats().cross_task_hits, 4u);
+  EXPECT_EQ(service.cache().stats().misses, 1u);
+}
+
+TEST(MiningServiceTaskTest, TaskSpecificValidationRunsAtSubmit) {
+  MiningService service(MiningService::Options{.num_threads = 1});
+  // top_k without k.
+  MineRequest topk = TaskRequest("d.dat", Algorithm::kLcm,
+                                 MiningQuery::TopK(/*k=*/1, 2));
+  topk.query.k = 0;
+  EXPECT_EQ(service.Submit(topk).status().code(),
+            StatusCode::kInvalidArgument);
+  // rules with an out-of-range confidence.
+  MineRequest rules = TaskRequest("d.dat", Algorithm::kLcm,
+                                  MiningQuery::Rules(2, 0.5));
+  rules.query.min_confidence = 1.5;
+  EXPECT_EQ(service.Submit(rules).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(MiningServiceTest, TakeMovesTheResultOut) {

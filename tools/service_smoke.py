@@ -8,13 +8,20 @@ drives it with fpm_client the way a real deployment would:
 
   1. the same mine query three times  -> 1 miss + 2 exact cache hits
   2. the query at a higher threshold  -> a support-dominance hit
-  3. "metrics"                        -> the daemon's own counters
-  4. "shutdown"                       -> clean exit
+  3. a mixed-task batch (closed, maximal, top-k, one bad dataset)
+     -> one tagged line per entry, the bad one ok:false, the rest
+        derived cross-task from the cached frequent run
+  4. a rules query via the v2 "query" op
+  5. "metrics"                        -> the daemon's own counters
+  6. "shutdown"                       -> clean exit
 
 and asserts, from the responses AND the daemon's metrics, that the
 repeated and dominated queries were served from the cache without
-re-mining: fpm.service.cache.hits and .dominated_hits must be nonzero
-and .misses must be exactly 1. Exits nonzero on any failure.
+re-mining (fpm.service.cache.hits / .dominated_hits nonzero, .misses
+exactly 1), that every task family was exercised
+(fpm.service.tasks.* >= 1), and that the task queries derived from
+the frequent cache (.cross_task_hits >= 1). Exits nonzero on any
+failure.
 
 Standard library only — runs on any CI python3.
 """
@@ -32,10 +39,10 @@ def fail(msg):
     sys.exit(1)
 
 
-def run_client(client, socket_path, *args):
+def run_client(client, socket_path, *args, allow_fail=False):
     cmd = [client, f"--socket={socket_path}", *args]
     proc = subprocess.run(cmd, capture_output=True, text=True, timeout=60)
-    if proc.returncode != 0:
+    if proc.returncode != 0 and not allow_fail:
         fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
     return [json.loads(line) for line in proc.stdout.splitlines() if line]
 
@@ -89,14 +96,67 @@ def main(argv):
         if dominated[0]["num_frequent"] >= repeated[0]["num_frequent"]:
             fail("raising the threshold did not shrink the answer")
 
-        # 3. The daemon's own counters agree.
+        # 3. A mixed-task batch: one tagged response line per entry,
+        # errors isolated per query. The task queries ask at the same
+        # threshold the frequent run already cached, so each first ask
+        # is a cross-task derivation, not a re-mine.
+        batch_file = os.path.join(tmp, "queries.jsonl")
+        entries = [
+            {"dataset": dataset, "min_support": 2, "task": "closed"},
+            {"dataset": dataset, "min_support": 2, "task": "maximal"},
+            {"dataset": dataset, "min_support": 2, "task": "top_k",
+             "k": 3},
+            {"dataset": os.path.join(tmp, "no_such.dat"),
+             "min_support": 2},
+        ]
+        with open(batch_file, "w", encoding="utf-8") as f:
+            for entry in entries:
+                f.write(json.dumps(entry) + "\n")
+        # The client exits nonzero because one entry fails — expected.
+        batch = run_client(client, socket_path, "batch", batch_file,
+                           allow_fail=True)
+        if len(batch) != len(entries):
+            fail(f"batch returned {len(batch)} lines, "
+                 f"want {len(entries)}")
+        by_id = {r.get("id"): r for r in batch}
+        if sorted(by_id) != list(range(len(entries))):
+            fail(f"batch ids {sorted(by_id)}, "
+                 f"want {list(range(len(entries)))}")
+        for i, task in [(0, "closed"), (1, "maximal"), (2, "top_k")]:
+            r = by_id[i]
+            if not r.get("ok") or r.get("task") != task:
+                fail(f"batch entry {i} = {r}, want ok {task}")
+            if r.get("cache") != "cross_task":
+                fail(f"batch {task} got cache={r.get('cache')}, "
+                     "want 'cross_task' (derived from the frequent run)")
+        if by_id[3].get("ok") is not False or "error" not in by_id[3]:
+            fail(f"bad-dataset entry = {by_id[3]}, want ok:false + error")
+        if by_id[2].get("num_results") != 3:
+            fail(f"top-k returned {by_id[2].get('num_results')} results, "
+                 "want exactly k=3")
+
+        # 4. Rules as a first-class verb over the v2 query op.
+        rules = run_client(client, socket_path, "query", dataset, "2",
+                           "--task=rules", "--min-confidence=0.5")[0]
+        if not rules.get("ok") or rules.get("task") != "rules":
+            fail(f"rules query = {rules}")
+        if not rules.get("rules"):
+            fail("rules query returned no rules")
+
+        # 5. The daemon's own counters agree.
         metrics = run_client(client, socket_path, "metrics")[0]
         counters = metrics.get("counters", {})
         checks = {
             "fpm.service.cache.hits": lambda v: v >= 2,
             "fpm.service.cache.dominated_hits": lambda v: v >= 1,
+            "fpm.service.cache.cross_task_hits": lambda v: v >= 1,
             "fpm.service.cache.misses": lambda v: v == 1,
             "fpm.service.registry.loads": lambda v: v == 1,
+            "fpm.service.tasks.frequent": lambda v: v >= 1,
+            "fpm.service.tasks.closed": lambda v: v >= 1,
+            "fpm.service.tasks.maximal": lambda v: v >= 1,
+            "fpm.service.tasks.top_k": lambda v: v >= 1,
+            "fpm.service.tasks.rules": lambda v: v >= 1,
         }
         for name, ok in checks.items():
             value = counters.get(name)
@@ -104,7 +164,7 @@ def main(argv):
                 fail(f"counter {name} = {value} fails its check "
                      f"(counters: { {k: v for k, v in counters.items() if k.startswith('fpm.service')} })")
 
-        # 4. Clean shutdown.
+        # 6. Clean shutdown.
         run_client(client, socket_path, "shutdown")
         if daemon.wait(timeout=30) != 0:
             fail(f"fpmd exited {daemon.returncode} after shutdown")
@@ -113,7 +173,8 @@ def main(argv):
             daemon.kill()
             daemon.wait()
 
-    print("service smoke: OK (miss -> 2 hits, 1 dominated, clean shutdown)")
+    print("service smoke: OK (miss -> 2 hits, 1 dominated, "
+          "mixed batch derived cross-task, clean shutdown)")
     return 0
 
 

@@ -12,7 +12,9 @@ optional "phases" object, and — new in v2 — that every row tagged
 counts and max/mean per-worker busy seconds). Service-throughput rows
 (any row carrying "qps", as written by bench_service_throughput) must
 also carry clients, p50_ms and p99_ms, with qps > 0, clients >= 1 and
-p99_ms >= p50_ms. Exits nonzero with one line per problem.
+p99_ms >= p50_ms. Rows tagged with "task" (the mixed-task service
+sections) must name one of the five mining tasks. Exits nonzero with
+one line per problem.
 
 Standard library only — runs on any CI python3.
 """
@@ -53,6 +55,9 @@ NESTED_ROW_KEYS = (
 # Latency fields every service-throughput row (tagged by "qps") must
 # carry alongside it.
 SERVICE_ROW_KEYS = ("clients", "p50_ms", "p99_ms")
+
+# Legal values of a row's "task" tag (the MiningQuery task family).
+MINING_TASKS = ("frequent", "closed", "maximal", "top_k", "rules")
 
 
 def check_service_row(row, i, err):
@@ -131,6 +136,9 @@ def check(path):
             continue
         if "qps" in row:
             check_service_row(row, i, err)
+        if "task" in row and row["task"] not in MINING_TASKS:
+            err(f"rows[{i}] 'task' {row['task']!r} not one of "
+                f"{'|'.join(MINING_TASKS)}")
         if row.get("driver") == "nested":
             for key in NESTED_ROW_KEYS:
                 v = row.get(key)

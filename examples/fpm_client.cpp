@@ -14,8 +14,24 @@
 //       <file> holds one JSON query object per line (the "query" op's
 //       fields); they are sent as one {"op":"batch"} request and the
 //       tagged response lines print in the daemon's completion order.
+//   ./fpm_client --socket=/tmp/fpmd.sock open <dataset>
+//       loads (or hits) the dataset and prints its handle: the "ds-N"
+//       id that addresses it in the streaming ops below.
+//   ./fpm_client --socket=/tmp/fpmd.sock append <ds-id> <fimi-file>
+//       appends the file's transactions (FIMI: space-separated items,
+//       one transaction per line) as a new dataset version.
+//   ./fpm_client --socket=/tmp/fpmd.sock expire <ds-id> <count>
+//       expires the count oldest live transactions as a new version.
+//   ./fpm_client --socket=/tmp/fpmd.sock window <ds-id>
+//       [--last-n=N] [--last-seconds=X]
+//       installs a sliding-window policy (overflow expires immediately).
+//   ./fpm_client --socket=/tmp/fpmd.sock dataset-info <ds-id>
+//       prints the id, window policy and full version chain.
 //
-// "mine" speaks protocol v1 (frozen); "query"/"batch" speak v2 (tasks).
+// "query" also accepts a "ds-N" handle id in place of the dataset path
+// (add --version=N to pin an older version; default is latest).
+//
+// "mine" speaks protocol v1 (frozen); everything else speaks v2.
 // Prints one response line per request to stdout (raw protocol JSON —
 // pipe through jq for pretty output). --repeat issues the same request
 // N times on one connection, which is how the CI smoke test drives the
@@ -45,12 +61,69 @@ int Usage(const char* argv0) {
                "       %s --socket=PATH mine DATASET MIN_SUPPORT "
                "[--algorithm=NAME] [--patterns=all|none] [--priority=N] "
                "[--timeout=SEC] [--count-only] [--repeat=N]\n"
-               "       %s --socket=PATH query DATASET MIN_SUPPORT "
+               "       %s --socket=PATH query DATASET|DS-ID MIN_SUPPORT "
                "[--task=NAME] [--top-k=N] [--min-confidence=X] "
-               "[--min-lift=X] [--max-consequent=N] [mine options]\n"
-               "       %s --socket=PATH batch FILE\n",
-               argv0, argv0, argv0, argv0);
+               "[--min-lift=X] [--max-consequent=N] [--version=N] "
+               "[mine options]\n"
+               "       %s --socket=PATH batch FILE\n"
+               "       %s --socket=PATH open DATASET\n"
+               "       %s --socket=PATH append DS-ID FIMI_FILE\n"
+               "       %s --socket=PATH expire DS-ID COUNT\n"
+               "       %s --socket=PATH window DS-ID [--last-n=N] "
+               "[--last-seconds=X]\n"
+               "       %s --socket=PATH dataset-info DS-ID\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+               argv0);
   return 2;
+}
+
+/// True for a registry handle id ("ds-" + digits) — how "query" decides
+/// between path and id addressing.
+bool IsHandleRef(const std::string& s) {
+  if (s.rfind("ds-", 0) != 0 || s.size() == 3) return false;
+  for (size_t i = 3; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+  }
+  return true;
+}
+
+/// Parses a FIMI transaction file into a JSON array of item arrays.
+/// Returns false (with a message on stderr) on unreadable file, a
+/// non-numeric token, or zero transactions.
+bool ReadFimiTransactions(const std::string& path, JsonValue* out) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  *out = JsonValue::Array();
+  std::string line;
+  size_t count = 0;
+  while (std::getline(file, line)) {
+    JsonValue txn = JsonValue::Array();
+    const char* p = line.c_str();
+    while (*p != '\0') {
+      while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
+      if (*p == '\0') break;
+      char* end = nullptr;
+      const long item = std::strtol(p, &end, 10);
+      if (end == p || item < 0) {
+        std::fprintf(stderr, "%s: bad item token in '%s'\n", path.c_str(),
+                     line.c_str());
+        return false;
+      }
+      txn.Append(JsonValue::Int(item));
+      p = end;
+    }
+    if (txn.array_items().empty()) continue;
+    out->Append(std::move(txn));
+    ++count;
+  }
+  if (count == 0) {
+    std::fprintf(stderr, "%s: no transactions\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 bool SendAll(int fd, const std::string& data) {
@@ -95,7 +168,8 @@ bool PrintAndCheck(const std::string& response) {
 int main(int argc, char** argv) {
   std::string socket_path;
   std::string op;
-  std::string dataset;  // batch: the query file path
+  std::string dataset;  // batch: query file; append/expire/...: ds id
+  std::string arg2;     // third positional, interpreted per op
   long min_support = 0;
   std::string task;
   long top_k = 0;
@@ -108,6 +182,9 @@ int main(int argc, char** argv) {
   double timeout_seconds = 0.0;
   bool count_only = false;
   long repeat = 1;
+  long version = 0;
+  long last_n = -1;
+  double last_seconds = -1.0;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -136,6 +213,12 @@ int main(int argc, char** argv) {
       count_only = true;
     } else if (arg.rfind("--repeat=", 0) == 0) {
       repeat = std::atol(arg.c_str() + 9);
+    } else if (arg.rfind("--version=", 0) == 0) {
+      version = std::atol(arg.c_str() + 10);
+    } else if (arg.rfind("--last-n=", 0) == 0) {
+      last_n = std::atol(arg.c_str() + 9);
+    } else if (arg.rfind("--last-seconds=", 0) == 0) {
+      last_seconds = std::atof(arg.c_str() + 15);
     } else if (arg.rfind("--", 0) == 0) {
       return Usage(argv[0]);
     } else if (positional == 0) {
@@ -145,6 +228,7 @@ int main(int argc, char** argv) {
       dataset = arg;
       ++positional;
     } else if (positional == 2) {
+      arg2 = arg;
       min_support = std::atol(arg.c_str());
       ++positional;
     } else {
@@ -157,16 +241,30 @@ int main(int argc, char** argv) {
     return Usage(argv[0]);
   }
   if (op == "batch" && dataset.empty()) return Usage(argv[0]);
-  if (!is_mine && op != "batch" && op != "ping" && op != "metrics" &&
-      op != "shutdown") {
+  const bool is_dataset_op = op == "open" || op == "append" ||
+                             op == "expire" || op == "window" ||
+                             op == "dataset-info";
+  if (is_dataset_op && dataset.empty()) return Usage(argv[0]);
+  if ((op == "append" || op == "expire") && arg2.empty()) {
+    return Usage(argv[0]);
+  }
+  if (!is_mine && !is_dataset_op && op != "batch" && op != "ping" &&
+      op != "metrics" && op != "shutdown") {
     return Usage(argv[0]);
   }
 
   size_t expected_responses = 1;
   JsonValue request = JsonValue::Object();
-  request.Set("op", JsonValue::Str(op));
+  // The wire op name: "dataset-info" (CLI spelling) -> "dataset_info".
+  request.Set("op",
+              JsonValue::Str(op == "dataset-info" ? "dataset_info" : op));
   if (is_mine) {
-    request.Set("dataset", JsonValue::Str(dataset));
+    if (op == "query" && IsHandleRef(dataset)) {
+      request.Set("id", JsonValue::Str(dataset));
+      if (version > 0) request.Set("version", JsonValue::Int(version));
+    } else {
+      request.Set("dataset", JsonValue::Str(dataset));
+    }
     request.Set("min_support", JsonValue::Int(min_support));
     if (op == "query") {
       if (!task.empty()) request.Set("task", JsonValue::Str(task));
@@ -218,6 +316,35 @@ int main(int argc, char** argv) {
     }
     request.Set("queries", std::move(queries));
     expected_responses = count;
+    repeat = 1;
+  } else if (is_dataset_op) {
+    if (op == "open") {
+      request.Set("dataset", JsonValue::Str(dataset));
+    } else {
+      request.Set("id", JsonValue::Str(dataset));
+    }
+    if (op == "append") {
+      JsonValue transactions;
+      if (!ReadFimiTransactions(arg2, &transactions)) return 1;
+      request.Set("transactions", std::move(transactions));
+    } else if (op == "expire") {
+      const long count = std::atol(arg2.c_str());
+      if (count < 1) {
+        std::fprintf(stderr, "expire: COUNT must be >= 1\n");
+        return Usage(argv[0]);
+      }
+      request.Set("count", JsonValue::Int(count));
+    } else if (op == "window") {
+      if (last_n < 0 && last_seconds < 0.0) {
+        std::fprintf(stderr,
+                     "window: need --last-n=N and/or --last-seconds=X\n");
+        return Usage(argv[0]);
+      }
+      if (last_n >= 0) request.Set("last_n", JsonValue::Int(last_n));
+      if (last_seconds >= 0.0) {
+        request.Set("last_seconds", JsonValue::Number(last_seconds));
+      }
+    }
     repeat = 1;
   } else {
     repeat = 1;

@@ -100,6 +100,45 @@ std::string HandleMine(MiningService& service, const MineRequest& request,
                       : EncodeQueryResponse(response.value());
 }
 
+/// Runs a dataset op (open/append/expire/window/dataset_info) against
+/// the service's registry. These are fast registry mutations, not
+/// scheduler jobs — they run inline on the connection thread.
+std::string HandleDatasetOp(MiningService& service,
+                            const ServiceRequest& request) {
+  DatasetRegistry& registry = service.registry();
+  const DatasetOpRequest& op = request.dataset_op;
+  switch (request.op) {
+    case ServiceRequest::Op::kOpen: {
+      Result<DatasetHandle> handle = registry.Open(op.path);
+      if (!handle.ok()) return EncodeError(handle.status());
+      return EncodeHandleResponse(handle.value());
+    }
+    case ServiceRequest::Op::kAppend: {
+      Result<DatasetHandle> handle =
+          registry.Append(op.id, op.transactions, op.timestamps);
+      if (!handle.ok()) return EncodeError(handle.status());
+      return EncodeHandleResponse(handle.value());
+    }
+    case ServiceRequest::Op::kExpire: {
+      Result<DatasetHandle> handle = registry.Expire(op.id, op.count);
+      if (!handle.ok()) return EncodeError(handle.status());
+      return EncodeHandleResponse(handle.value());
+    }
+    case ServiceRequest::Op::kWindow: {
+      Result<DatasetHandle> handle = registry.SetWindow(op.id, op.window);
+      if (!handle.ok()) return EncodeError(handle.status());
+      return EncodeHandleResponse(handle.value());
+    }
+    case ServiceRequest::Op::kDatasetInfo: {
+      Result<DatasetInfo> info = registry.Info(op.id);
+      if (!info.ok()) return EncodeError(info.status());
+      return EncodeDatasetInfoResponse(info.value());
+    }
+    default:
+      return EncodeError(Status::Internal("not a dataset op"));
+  }
+}
+
 /// Runs a batch: every decodable entry becomes its own scheduler job,
 /// and each response line streams back as soon as its job completes —
 /// a slow query never blocks the others (no head-of-line blocking).
@@ -206,6 +245,13 @@ void ServeConnection(ServerState* state, int fd) {
           case ServiceRequest::Op::kQuery:
             reply = HandleMine(*state->service, request.value().mine, fd,
                                request.value().version);
+            break;
+          case ServiceRequest::Op::kOpen:
+          case ServiceRequest::Op::kAppend:
+          case ServiceRequest::Op::kExpire:
+          case ServiceRequest::Op::kWindow:
+          case ServiceRequest::Op::kDatasetInfo:
+            reply = HandleDatasetOp(*state->service, request.value());
             break;
           case ServiceRequest::Op::kBatch:
             // Batch replies stream from inside the handler, one tagged

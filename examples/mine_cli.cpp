@@ -22,6 +22,13 @@
 //     --perf                                   (per-phase CPI/MPKI table)
 //     --trace-out=FILE                         (chrome://tracing span JSON)
 //     --metrics-out=FILE                       (metrics snapshot JSON)
+//     --append=FILE                            (repeatable: append FILE's
+//                                               transactions as a new
+//                                               dataset version before
+//                                               mining; mines the latest)
+//     --window=N                               (sliding window: keep only
+//                                               the last N transactions,
+//                                               older ones expire)
 //
 // Example:
 //   ./mine_cli retail.dat 100 --algorithm=eclat --patterns=P1,P8
@@ -34,6 +41,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "fpm/common/cancel.h"
 #include "fpm/common/timer.h"
@@ -41,6 +49,7 @@
 #include "fpm/core/pattern_advisor.h"
 #include "fpm/dataset/fimi_io.h"
 #include "fpm/dataset/stats.h"
+#include "fpm/dataset/versioned.h"
 #include "fpm/obs/metrics.h"
 #include "fpm/obs/trace.h"
 #include "fpm/parallel/thread_pool.h"
@@ -80,7 +89,8 @@ int Usage(const char* argv0) {
                "[--min-confidence=X] [--min-lift=X] [--output=FILE] "
                "[--threads=N (0 = all hardware threads)] [--timeout=SEC] "
                "[--flat] [--nondeterministic] [--stats] [--perf] "
-               "[--trace-out=FILE] [--metrics-out=FILE]\n",
+               "[--trace-out=FILE] [--metrics-out=FILE] "
+               "[--append=FILE ...] [--window=N]\n",
                argv0);
   return 2;
 }
@@ -123,6 +133,8 @@ int main(int argc, char** argv) {
   double timeout_seconds = 0.0;
   bool deterministic = true;
   bool nested = true;
+  std::vector<std::string> append_paths;
+  long window_n = 0;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--algorithm=", 0) == 0) {
@@ -177,6 +189,14 @@ int main(int argc, char** argv) {
       trace_path = arg.substr(12);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_path = arg.substr(14);
+    } else if (arg.rfind("--append=", 0) == 0) {
+      append_paths.push_back(arg.substr(9));
+    } else if (arg.rfind("--window=", 0) == 0) {
+      window_n = std::atol(arg.c_str() + 9);
+      if (window_n < 1) {
+        std::fprintf(stderr, "--window must be >= 1\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return Usage(argv[0]);
@@ -229,10 +249,52 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", dbr.status().ToString().c_str());
     return 1;
   }
-  const Database& db = dbr.value();
   std::fprintf(stderr, "loaded %zu transactions, %zu items in %.3fs\n",
-               db.num_transactions(), db.num_items(),
+               dbr.value().num_transactions(), dbr.value().num_items(),
                load_timer.ElapsedSeconds());
+
+  // --append/--window route the load through a VersionedDataset: each
+  // append file becomes one immutable version, the window policy
+  // expires overflow, and mining runs on the latest version's database.
+  std::unique_ptr<VersionedDataset> versioned;
+  if (!append_paths.empty() || window_n > 0) {
+    versioned = std::make_unique<VersionedDataset>(std::move(dbr).value(),
+                                                   /*digest=*/"cli-base");
+    if (window_n > 0) {
+      WindowPolicy policy;
+      policy.last_n = static_cast<uint64_t>(window_n);
+      versioned->SetPolicy(policy);
+    }
+    for (const std::string& path : append_paths) {
+      auto appended = ReadFimiFile(path);
+      if (!appended.ok()) {
+        std::fprintf(stderr, "%s\n", appended.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<Itemset> txns;
+      txns.reserve(appended.value().num_transactions());
+      for (Tid t = 0; t < appended.value().num_transactions(); ++t) {
+        const auto span = appended.value().transaction(t);
+        txns.emplace_back(span.begin(), span.end());
+      }
+      auto result = versioned->Append(txns);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      const DatasetVersion& v = *result.value();
+      std::fprintf(stderr,
+                   "appended %zu transactions from %s -> version %llu "
+                   "(digest %s, %llu live)\n",
+                   txns.size(), path.c_str(),
+                   static_cast<unsigned long long>(v.number),
+                   v.digest.c_str(),
+                   static_cast<unsigned long long>(
+                       versioned->live_transactions()));
+    }
+  }
+  const Database& db =
+      versioned ? *versioned->latest().database : dbr.value();
 
   MineOptions options;
   options.min_support = static_cast<Support>(support_arg);

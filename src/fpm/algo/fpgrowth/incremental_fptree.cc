@@ -1,0 +1,233 @@
+#include "fpm/algo/fpgrowth/incremental_fptree.h"
+
+#include <cmath>
+#include <utility>
+
+#include "fpm/common/logging.h"
+#include "fpm/layout/item_order.h"
+
+namespace fpm {
+
+// ---------------------------- StreamFpTree ---------------------------
+
+StreamFpTree::StreamFpTree(uint32_t item_bound, const FpTreeConfig& config)
+    : config_(config),
+      link_head_(item_bound, nullptr),
+      link_tail_(item_bound, nullptr),
+      root_child_(item_bound, nullptr),
+      item_support_(item_bound, 0) {
+  nodes_.push_back(Node{nullptr, nullptr, nullptr, nullptr, kInvalidItem, 0});
+}
+
+StreamFpTree::Node* StreamFpTree::NewNode(Node* parent, Item item) {
+  nodes_.push_back(Node{parent, nullptr, nullptr, nullptr, item, 0});
+  return &nodes_.back();
+}
+
+void StreamFpTree::AddPath(std::span<const Item> items, Support count) {
+  Node* root = &nodes_.front();
+  Node* cur = root;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const Item item = items[i];
+    FPM_DCHECK(item < link_head_.size());
+    Node* child = nullptr;
+    if (cur == root) {
+      child = root_child_[item];
+    } else {
+      for (Node* c = cur->first_child; c != nullptr; c = c->next_sibling) {
+        if (c->item == item) {
+          child = c;
+          break;
+        }
+      }
+    }
+    bool created = false;
+    if (child == nullptr) {
+      child = NewNode(cur, item);
+      created = true;
+      child->next_sibling = cur->first_child;
+      cur->first_child = child;
+      if (cur == root) root_child_[item] = child;
+      if (link_tail_[item] == nullptr) {
+        link_head_[item] = link_tail_[item] = child;
+      } else {
+        link_tail_[item]->node_link = child;
+        link_tail_[item] = child;
+      }
+    }
+    if (!created && child->count == 0) --num_dead_;  // revived
+    child->count += count;
+    item_support_[item] += count;
+    cur = child;
+  }
+}
+
+void StreamFpTree::RemovePath(std::span<const Item> items, Support count) {
+  Node* root = &nodes_.front();
+  Node* cur = root;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const Item item = items[i];
+    Node* child = nullptr;
+    if (cur == root) {
+      child = root_child_[item];
+    } else {
+      for (Node* c = cur->first_child; c != nullptr; c = c->next_sibling) {
+        if (c->item == item) {
+          child = c;
+          break;
+        }
+      }
+    }
+    FPM_DCHECK(child != nullptr && child->count >= count)
+        << "RemovePath of a path never added";
+    if (child == nullptr || child->count < count) return;  // defensive
+    child->count -= count;
+    if (child->count == 0) ++num_dead_;
+    item_support_[item] -= count;
+    cur = child;
+  }
+}
+
+void StreamFpTree::Finalize() {
+  present_items_.clear();
+  for (Item i = 0; i < item_support_.size(); ++i) {
+    if (item_support_[i] > 0) present_items_.push_back(i);
+  }
+}
+
+const StreamFpTree::Node* StreamFpTree::NextLiveChild(const Node* c) {
+  while (c != nullptr && c->count == 0) c = c->next_sibling;
+  return c;
+}
+
+bool StreamFpTree::SinglePath(
+    std::vector<std::pair<Item, Support>>* path) const {
+  path->clear();
+  const Node* n = NextLiveChild(nodes_.front().first_child);
+  while (n != nullptr) {
+    if (NextLiveChild(n->next_sibling) != nullptr) return false;
+    path->emplace_back(n->item, n->count);
+    n = NextLiveChild(n->first_child);
+  }
+  return true;
+}
+
+// -------------------------- IncrementalFpTree ------------------------
+
+IncrementalFpTree::IncrementalFpTree(const Database& db, Support min_support,
+                                     const Options& options)
+    : options_(options),
+      min_support_(min_support),
+      tree_(0, options.tree) {
+  Rebuild(db);
+  // The initial build is not counted as a maintenance rebuild.
+  rebuilds_ = 0;
+}
+
+IncrementalFpTree::IncrementalFpTree(const Database& db, Support min_support)
+    : IncrementalFpTree(db, min_support, Options()) {}
+
+void IncrementalFpTree::Rebuild(const Database& db) {
+  ItemOrder order = ItemOrder::ByDecreasingFrequency(db);
+  item_map_ = order.to_item();
+  to_rank_ = order.to_rank();
+  const auto& freq = db.item_frequencies();
+  num_frequent_ = 0;
+  // Ranked frequencies are non-increasing over ranks.
+  while (num_frequent_ < item_map_.size() &&
+         freq[item_map_[num_frequent_]] >= min_support_) {
+    ++num_frequent_;
+  }
+  tree_ = StreamFpTree(num_frequent_, options_.tree);
+  std::vector<Item> path;
+  for (Tid t = 0; t < db.num_transactions(); ++t) {
+    auto txn = db.transaction(t);
+    path.clear();
+    for (Item it : txn) {
+      const Item rank = to_rank_[it];
+      if (rank < num_frequent_) path.push_back(rank);
+    }
+    std::sort(path.begin(), path.end());
+    if (!path.empty()) tree_.AddPath(path, db.weight(t));
+  }
+  tree_.Finalize();
+  ++rebuilds_;
+  drift_ = 0.0;
+}
+
+void IncrementalFpTree::RankPath(const Itemset& raw,
+                                 std::vector<Item>* path) const {
+  path->clear();
+  for (Item it : raw) {
+    if (static_cast<size_t>(it) >= to_rank_.size()) continue;
+    const Item rank = to_rank_[it];
+    if (rank < num_frequent_) path->push_back(rank);
+  }
+  std::sort(path->begin(), path->end());
+}
+
+void IncrementalFpTree::Advance(const Database& db,
+                                const VersionDelta& delta) {
+  // Decide: does the ranking a from-scratch build would pick still match
+  // the one the tree was built under?
+  ItemOrder fresh = ItemOrder::ByDecreasingFrequency(db);
+  const auto& freq = db.item_frequencies();
+  uint32_t fresh_frequent = 0;
+  while (fresh_frequent < fresh.size() &&
+         freq[fresh.ItemAt(fresh_frequent)] >= min_support_) {
+    ++fresh_frequent;
+  }
+  bool prefix_changed = fresh_frequent != num_frequent_;
+  if (!prefix_changed) {
+    for (uint32_t r = 0; r < num_frequent_; ++r) {
+      if (fresh.ItemAt(r) != item_map_[r]) {
+        prefix_changed = true;
+        break;
+      }
+    }
+  }
+
+  // Drift: frequency-weighted rank displacement of the (fresh) frequent
+  // items relative to the tree's ranking, normalized by the worst case
+  // (every unit of weight displaced across the whole prefix).
+  double displaced = 0.0;
+  double weight = 0.0;
+  for (uint32_t r = 0; r < fresh_frequent; ++r) {
+    const Item raw = fresh.ItemAt(r);
+    const double f = static_cast<double>(freq[raw]);
+    const double old_rank =
+        static_cast<size_t>(raw) < to_rank_.size()
+            ? static_cast<double>(to_rank_[raw])
+            : static_cast<double>(item_map_.size());
+    displaced += f * std::abs(old_rank - static_cast<double>(r));
+    weight += f;
+  }
+  const double span = fresh_frequent > 1
+                          ? static_cast<double>(fresh_frequent - 1)
+                          : 1.0;
+  drift_ = weight > 0.0 ? displaced / (weight * span) : 0.0;
+
+  if (prefix_changed || drift_ >= options_.rebuild_drift_threshold) {
+    Rebuild(db);
+    return;
+  }
+
+  std::vector<Item> path;
+  for (size_t t = 0; t < delta.appended.size(); ++t) {
+    RankPath(delta.appended[t], &path);
+    if (!path.empty()) {
+      tree_.AddPath(path, delta.appended_weights[t]);
+      ++maintained_paths_;
+    }
+  }
+  for (size_t t = 0; t < delta.expired.size(); ++t) {
+    RankPath(delta.expired[t], &path);
+    if (!path.empty()) {
+      tree_.RemovePath(path, delta.expired_weights[t]);
+      ++maintained_paths_;
+    }
+  }
+  tree_.Finalize();
+}
+
+}  // namespace fpm

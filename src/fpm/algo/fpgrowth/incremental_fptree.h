@@ -1,0 +1,191 @@
+// Delta-maintained FP-tree (streaming ingestion, DESIGN.md §16).
+//
+// StreamFpTree is a third FP-tree store alongside PointerFpTree and
+// CompactFpTree: same mining interface (AddPath / Finalize / items /
+// ItemSupport / ForEachPath / SinglePath), plus RemovePath. Nodes live
+// in a std::deque so addresses stay stable across growth and the tree
+// stays movable; counts are decremented in place on removal and nodes
+// whose count reaches zero are skipped by every read path. Because
+// counts are non-increasing from root to leaf (a node's count is the
+// summed weight of the window transactions whose frequent prefix passes
+// through it), a zero-count node can never shadow a live descendant —
+// dead subtrees are always fringes.
+//
+// IncrementalFpTree wraps a StreamFpTree with the frequency ranking it
+// was built under and decides, per version delta, between cheap per-path
+// maintenance and a full rebuild:
+//
+//   - rebuild is MANDATORY whenever the frequent-prefix rank sequence
+//     changes (different item set, count, or order): byte-identical
+//     mining requires the maintained tree to use exactly the ranking a
+//     from-scratch build would choose;
+//   - rebuild is taken EAGERLY when the frequency-weighted rank drift of
+//     the frequent items crosses `rebuild_drift_threshold`, even though
+//     the prefix still matches: large drift means the tree's path shapes
+//     no longer match the data and per-path maintenance is losing the
+//     prefix-sharing that makes FP-trees compact.
+//
+// Mining a maintained tree (MineIncrementalFpTree) emits byte-for-byte
+// what a fresh FpGrowthMiner run over the same window database emits:
+// FP-Growth's output depends only on the ranking and the aggregated
+// (path -> count) multiset, never on node insertion order.
+
+#ifndef FPM_ALGO_FPGROWTH_INCREMENTAL_FPTREE_H_
+#define FPM_ALGO_FPGROWTH_INCREMENTAL_FPTREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "fpm/algo/fpgrowth/fptree.h"
+#include "fpm/algo/miner.h"
+#include "fpm/dataset/versioned.h"
+
+namespace fpm {
+
+class CancelToken;
+
+/// Mutable FP-tree store: PointerFpTree's interface + RemovePath.
+class StreamFpTree {
+ public:
+  struct Node {
+    Node* parent;
+    Node* first_child;
+    Node* next_sibling;
+    Node* node_link;
+    Item item;
+    Support count;
+  };
+
+  StreamFpTree(uint32_t item_bound, const FpTreeConfig& config);
+
+  /// Inserts one path (items strictly ascending), adding `count` to
+  /// every node on it. Callable after Finalize(); re-Finalize before
+  /// mining again.
+  void AddPath(std::span<const Item> items, Support count);
+
+  /// Subtracts `count` along an existing path. The path must have been
+  /// added before with at least this much aggregate count (checked in
+  /// debug builds); zeroed nodes stay allocated and are skipped.
+  void RemovePath(std::span<const Item> items, Support count);
+
+  /// Recomputes the present-item list. Callable repeatedly; call after
+  /// the last AddPath/RemovePath of a maintenance round.
+  void Finalize();
+
+  /// Items with nonzero support, ascending.
+  const std::vector<Item>& items() const { return present_items_; }
+
+  /// Summed count over `item`'s nodes, maintained O(1).
+  Support ItemSupport(Item item) const { return item_support_[item]; }
+
+  /// Invokes fn(path_items_ascending, count) for every live node on
+  /// `item`'s link chain; span valid only during the call.
+  template <typename Fn>
+  void ForEachPath(Item item, Fn&& fn) const {
+    for (const Node* n = link_head_[item]; n != nullptr; n = n->node_link) {
+      if (n->count == 0) continue;
+      path_scratch_.clear();
+      for (const Node* a = n->parent; a->parent != nullptr; a = a->parent) {
+        path_scratch_.push_back(a->item);
+      }
+      std::reverse(path_scratch_.begin(), path_scratch_.end());
+      fn(std::span<const Item>(path_scratch_), n->count);
+    }
+  }
+
+  /// True when the live nodes form a single chain; fills (item, count)
+  /// root->leaf.
+  bool SinglePath(std::vector<std::pair<Item, Support>>* path) const;
+
+  /// Allocated nodes, including zeroed ones.
+  size_t num_nodes() const { return nodes_.size() - 1; }
+
+  /// Nodes whose count has been maintained down to zero (rebuild would
+  /// reclaim them).
+  size_t num_dead_nodes() const { return num_dead_; }
+
+  size_t memory_bytes() const {
+    return nodes_.size() * sizeof(Node) +
+           link_head_.size() * 2 * sizeof(Node*) +
+           item_support_.size() * sizeof(Support);
+  }
+
+ private:
+  Node* NewNode(Node* parent, Item item);
+  /// First child of `n` with nonzero count starting at `c`.
+  static const Node* NextLiveChild(const Node* c);
+
+  FpTreeConfig config_;
+  std::deque<Node> nodes_;  // element 0 is the root
+  std::vector<Node*> link_head_;
+  std::vector<Node*> link_tail_;
+  std::vector<Node*> root_child_;
+  std::vector<Support> item_support_;
+  std::vector<Item> present_items_;
+  size_t num_dead_ = 0;
+  mutable std::vector<Item> path_scratch_;
+};
+
+/// Maintains a StreamFpTree across dataset versions.
+class IncrementalFpTree {
+ public:
+  struct Options {
+    FpTreeConfig tree;
+    /// Frequency-weighted rank drift (in [0,1]) at which a still-valid
+    /// ranking triggers an eager rebuild.
+    double rebuild_drift_threshold = 0.25;
+  };
+
+  /// Builds the initial tree over `db` (version 1 of a chain).
+  IncrementalFpTree(const Database& db, Support min_support,
+                    const Options& options);
+  IncrementalFpTree(const Database& db, Support min_support);
+
+  /// Advances to the next version: `db` is the new window database and
+  /// `delta` the transactions that changed. Either maintains the tree
+  /// per path or rebuilds it from `db`, per the rules above.
+  void Advance(const Database& db, const VersionDelta& delta);
+
+  const StreamFpTree& tree() const { return tree_; }
+  const FpTreeConfig& tree_config() const { return options_.tree; }
+  Support min_support() const { return min_support_; }
+  /// Rank -> raw item map of the current ranking.
+  const std::vector<Item>& item_map() const { return item_map_; }
+  uint32_t num_frequent() const { return num_frequent_; }
+
+  /// Drift statistic of the last Advance() (0 when it rebuilt).
+  double drift() const { return drift_; }
+  /// Full rebuilds performed by Advance() so far.
+  uint64_t rebuilds() const { return rebuilds_; }
+  /// Paths maintained in place (added + removed) so far.
+  uint64_t maintained_paths() const { return maintained_paths_; }
+
+ private:
+  void Rebuild(const Database& db);
+  /// Maps a raw transaction to its ascending frequent-rank path under
+  /// the current ranking; empty when no item is frequent.
+  void RankPath(const Itemset& raw, std::vector<Item>* path) const;
+
+  Options options_;
+  Support min_support_;
+  StreamFpTree tree_;
+  std::vector<Item> item_map_;   // rank -> raw item
+  std::vector<Item> to_rank_;    // raw item -> rank
+  uint32_t num_frequent_ = 0;
+  double drift_ = 0.0;
+  uint64_t rebuilds_ = 0;
+  uint64_t maintained_paths_ = 0;
+};
+
+/// Mines the maintained tree; emits byte-for-byte what a fresh
+/// FpGrowthMiner (default options) over the same window database emits.
+MineStats MineIncrementalFpTree(const IncrementalFpTree& inc,
+                                ItemsetSink* sink,
+                                const CancelToken* cancel = nullptr);
+
+}  // namespace fpm
+
+#endif  // FPM_ALGO_FPGROWTH_INCREMENTAL_FPTREE_H_

@@ -1,0 +1,102 @@
+#include "fpm/bitvec/incremental_vertical.h"
+
+#include "fpm/common/logging.h"
+
+namespace fpm {
+
+IncrementalVertical::IncrementalVertical(const Database& db)
+    : columns_(db.num_items()) {
+  num_rows_ = static_cast<size_t>(db.total_weight());
+  words_per_column_ = (num_rows_ + 63) / 64;
+  zero_words_.assign(words_per_column_, 0);
+  size_t row = 0;
+  for (Tid t = 0; t < db.num_transactions(); ++t) {
+    const Support w = db.weight(t);
+    for (Item it : db.transaction(t)) {
+      SetBitRange(it, row, w);
+    }
+    row += static_cast<size_t>(w);
+  }
+}
+
+void IncrementalVertical::EnsureItem(Item item) {
+  if (static_cast<size_t>(item) >= columns_.size()) {
+    columns_.resize(static_cast<size_t>(item) + 1);
+  }
+}
+
+void IncrementalVertical::SetBitRange(Item item, size_t row,
+                                      Support weight) {
+  EnsureItem(item);
+  std::vector<uint64_t>& col = columns_[item];
+  const size_t need = (row + static_cast<size_t>(weight) + 63) / 64;
+  if (col.size() < need) col.resize(need, 0);
+  for (size_t r = row; r < row + static_cast<size_t>(weight); ++r) {
+    col[r >> 6] |= 1ull << (r & 63);
+  }
+}
+
+void IncrementalVertical::ClearBitRange(Item item, size_t row,
+                                        Support weight) {
+  FPM_DCHECK(static_cast<size_t>(item) < columns_.size());
+  std::vector<uint64_t>& col = columns_[item];
+  for (size_t r = row; r < row + static_cast<size_t>(weight); ++r) {
+    if ((r >> 6) < col.size()) col[r >> 6] &= ~(1ull << (r & 63));
+  }
+}
+
+void IncrementalVertical::Append(const std::vector<Itemset>& transactions,
+                                 const std::vector<Support>& weights) {
+  for (size_t t = 0; t < transactions.size(); ++t) {
+    const Support w = weights[t];
+    for (Item it : transactions[t]) {
+      SetBitRange(it, num_rows_, w);
+    }
+    num_rows_ += static_cast<size_t>(w);
+  }
+  words_per_column_ = (num_rows_ + 63) / 64;
+  for (std::vector<uint64_t>& col : columns_) {
+    if (!col.empty() && col.size() < words_per_column_) {
+      col.resize(words_per_column_, 0);
+    }
+  }
+  if (zero_words_.size() < words_per_column_) {
+    zero_words_.assign(words_per_column_, 0);
+  }
+}
+
+void IncrementalVertical::Expire(const std::vector<Itemset>& transactions,
+                                 const std::vector<Support>& weights) {
+  for (size_t t = 0; t < transactions.size(); ++t) {
+    const Support w = weights[t];
+    for (Item it : transactions[t]) {
+      ClearBitRange(it, start_row_, w);
+    }
+    start_row_ += static_cast<size_t>(w);
+  }
+  FPM_DCHECK(start_row_ <= num_rows_);
+}
+
+void IncrementalVertical::Advance(const VersionDelta& delta) {
+  Append(delta.appended, delta.appended_weights);
+  Expire(delta.expired, delta.expired_weights);
+}
+
+WordRange IncrementalVertical::one_range(Item item) const {
+  const uint64_t* words = column_words(item);
+  uint32_t begin = 0;
+  uint32_t end = static_cast<uint32_t>(words_per_column_);
+  while (begin < end && words[begin] == 0) ++begin;
+  while (end > begin && words[end - 1] == 0) --end;
+  return WordRange{begin, end};
+}
+
+size_t IncrementalVertical::memory_bytes() const {
+  size_t bytes = zero_words_.size() * sizeof(uint64_t);
+  for (const std::vector<uint64_t>& col : columns_) {
+    bytes += col.size() * sizeof(uint64_t) + sizeof(col);
+  }
+  return bytes;
+}
+
+}  // namespace fpm

@@ -1,0 +1,101 @@
+// Delta-maintained vertical bit matrix (streaming ingestion, DESIGN.md
+// §16).
+//
+// VerticalDatabase is immutable and rank-indexed: every query rebuilds
+// it from scratch. IncrementalVertical is its maintainable sibling,
+// indexed by RAW item id (the raw universe is append-only, unlike the
+// frequency ranking, which reshuffles with every delta): one growable
+// bit column per item over the expanded transaction-row axis (a
+// weight-w transaction occupies w consecutive rows, exactly as
+// VerticalDatabase expands it, so popcounts equal weighted supports).
+//
+//   Append — new transactions claim fresh rows at the top end; only the
+//   columns of items present in the delta are touched (plus a bounds
+//   resize of the rest).
+//
+//   Expire — the expired transactions' rows have their bits cleared in
+//   place and `start_row` advances past them: the dead prefix reads as
+//   zero words forever. Supports are preserved exactly, which is all
+//   Eclat's emission depends on — row *positions* only shift popcount
+//   windows, never counts — so mining the masked matrix is
+//   byte-identical to rebuilding a fresh one over the window database.
+//
+// The matrix is mined by MineIncrementalVertical (eclat_miner.h), which
+// ranks the current window database and borrows these columns as the
+// top-level equivalence class.
+
+#ifndef FPM_BITVEC_INCREMENTAL_VERTICAL_H_
+#define FPM_BITVEC_INCREMENTAL_VERTICAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fpm/bitvec/bitvector.h"
+#include "fpm/dataset/versioned.h"
+
+namespace fpm {
+
+/// Mutable raw-item-indexed bit matrix with an expired-row prefix mask.
+class IncrementalVertical {
+ public:
+  /// Builds the matrix over `db` (version 1 of a chain).
+  explicit IncrementalVertical(const Database& db);
+
+  /// Appends transactions (normalized item lists) with weights.
+  void Append(const std::vector<Itemset>& transactions,
+              const std::vector<Support>& weights);
+
+  /// Clears the rows of the `transactions.size()` oldest live
+  /// transactions, which must equal (item-for-item) the expired half of
+  /// the version delta being applied.
+  void Expire(const std::vector<Itemset>& transactions,
+              const std::vector<Support>& weights);
+
+  /// Applies one version delta: append, then expire.
+  void Advance(const VersionDelta& delta);
+
+  /// Raw item universe bound (columns exist for ids below this).
+  size_t num_items() const { return columns_.size(); }
+  /// First live row (rows below are masked-out expired history).
+  size_t start_row() const { return start_row_; }
+  /// One past the last row (== expired weight + live weight).
+  size_t num_rows() const { return num_rows_; }
+  size_t words_per_column() const { return words_per_column_; }
+
+  /// Column words of `item`; all columns are words_per_column() long.
+  /// Null for an item that has never occurred (its column is all-zero
+  /// and never allocated).
+  const uint64_t* column_words(Item item) const {
+    return static_cast<size_t>(item) < columns_.size() &&
+                   !columns_[item].empty()
+               ? columns_[item].data()
+               : zero_words_.data();
+  }
+
+  /// Tight 1-range of `item`'s column (empty when all-zero). O(words).
+  WordRange one_range(Item item) const;
+
+  WordRange full_range() const {
+    return WordRange{0, static_cast<uint32_t>(words_per_column_)};
+  }
+
+  size_t memory_bytes() const;
+
+ private:
+  void EnsureItem(Item item);
+  void SetBitRange(Item item, size_t row, Support weight);
+  void ClearBitRange(Item item, size_t row, Support weight);
+
+  // Jagged during a batch; every column is padded to words_per_column_
+  // before the batch returns. Unoccurring items stay empty and alias
+  // zero_words_.
+  std::vector<std::vector<uint64_t>> columns_;
+  std::vector<uint64_t> zero_words_;  // shared all-zero column backing
+  size_t start_row_ = 0;
+  size_t num_rows_ = 0;
+  size_t words_per_column_ = 0;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_BITVEC_INCREMENTAL_VERTICAL_H_

@@ -70,6 +70,27 @@ void DatabaseBuilder::AddSortedTransaction(std::span<const Item> items,
   CountAppended(begin, weight);
 }
 
+void DatabaseBuilder::AddDatabase(const Database& db) {
+  items_.insert(items_.end(), db.items_.begin(), db.items_.end());
+  const size_t base = offsets_.back();
+  offsets_.reserve(offsets_.size() + db.num_transactions());
+  for (size_t t = 1; t < db.offsets_.size(); ++t) {
+    offsets_.push_back(base + db.offsets_[t]);
+  }
+  for (Tid t = 0; t < db.num_transactions(); ++t) {
+    weights_.push_back(db.weight(t));
+  }
+  if (db.has_weights()) any_weighted_ = true;
+  if (db.num_items_ > max_item_bound_) max_item_bound_ = db.num_items_;
+  if (frequencies_.size() < max_item_bound_) {
+    frequencies_.resize(max_item_bound_, 0);
+  }
+  for (size_t i = 0; i < db.frequencies_.size(); ++i) {
+    frequencies_[i] += db.frequencies_[i];
+  }
+  total_weight_ += db.total_weight_;
+}
+
 Database DatabaseBuilder::Build() {
   Database db;
   db.items_ = std::move(items_);

@@ -110,6 +110,14 @@ class DatabaseBuilder {
   /// order per class would repeat work the layout pass did once.
   void AddSortedTransaction(std::span<const Item> items, Support weight = 1);
 
+  /// Appends every transaction of `db`, preserving stored item order and
+  /// weights, as one bulk array copy. The result is identical to calling
+  /// AddTransaction() per transaction (stored transactions are already
+  /// de-duplicated), which is what makes the streaming layer's
+  /// append-only delta materialization byte-identical to a from-scratch
+  /// rebuild while costing O(entries) instead of O(entries log len).
+  void AddDatabase(const Database& db);
+
   /// Number of transactions added so far.
   size_t size() const { return offsets_.size() - 1; }
 

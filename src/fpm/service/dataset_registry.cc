@@ -40,11 +40,47 @@ DatasetRegistry::DatasetRegistry(size_t budget_bytes)
   MetricsRegistry& m = MetricsRegistry::Default();
   loads_counter_ = m.GetCounter("fpm.service.registry.loads");
   hits_counter_ = m.GetCounter("fpm.service.registry.hits");
+  appends_counter_ = m.GetCounter("fpm.service.registry.appends");
   evictions_counter_ = m.GetCounter("fpm.service.registry.evictions");
   bytes_gauge_ = m.GetGauge("fpm.service.registry.bytes");
 }
 
-Result<DatasetHandle> DatasetRegistry::Get(const std::string& path) {
+DatasetHandle DatasetRegistry::MakeHandleLocked(
+    const Entry& entry, const DatasetVersion& version) const {
+  DatasetHandle handle;
+  handle.id = entry.id;
+  handle.version = version.number;
+  handle.latest_version = entry.dataset->latest().number;
+  handle.database = version.database;
+  handle.digest = version.digest;
+  handle.parent_digest = version.parent_digest;
+  handle.delta = version.delta;
+  handle.bytes = version.database->memory_bytes();
+  return handle;
+}
+
+void DatasetRegistry::UpdateBytesLocked(Entry& entry) {
+  const size_t now = entry.dataset->memory_bytes();
+  resident_bytes_ += now - entry.bytes;
+  entry.bytes = now;
+  bytes_gauge_->Set(resident_bytes_);
+}
+
+DatasetRegistry::Entry* DatasetRegistry::FindByIdLocked(
+    const std::string& id) {
+  auto it = id_to_path_.find(id);
+  if (it == id_to_path_.end()) return nullptr;
+  auto entry = entries_.find(it->second);
+  if (entry == entries_.end() || entry->second.loading) return nullptr;
+  return &entry->second;
+}
+
+const DatasetRegistry::Entry* DatasetRegistry::FindByIdLocked(
+    const std::string& id) const {
+  return const_cast<DatasetRegistry*>(this)->FindByIdLocked(id);
+}
+
+Result<DatasetHandle> DatasetRegistry::Open(const std::string& path) {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     auto it = entries_.find(path);
@@ -53,11 +89,7 @@ Result<DatasetHandle> DatasetRegistry::Get(const std::string& path) {
       it->second.lru_seq = next_seq_++;
       ++hits_;
       hits_counter_->Increment();
-      DatasetHandle handle;
-      handle.database = it->second.database;
-      handle.digest = it->second.digest;
-      handle.bytes = it->second.bytes;
-      return handle;
+      return MakeHandleLocked(it->second, it->second.dataset->latest());
     }
     // Another thread is loading this path; wait for it to publish or
     // fail (failure erases the entry, which re-enters the load branch).
@@ -80,19 +112,17 @@ Result<DatasetHandle> DatasetRegistry::Get(const std::string& path) {
   }
   Entry& entry = entries_[path];
   entry.loading = false;
-  entry.database =
-      std::make_shared<const Database>(std::move(parsed).value());
-  entry.digest = ContentDigest(bytes.value());
-  entry.bytes = entry.database->memory_bytes();
+  entry.id = "ds-" + std::to_string(next_id_++);
+  entry.dataset = std::make_unique<VersionedDataset>(
+      std::move(parsed).value(), ContentDigest(bytes.value()));
+  entry.bytes = entry.dataset->memory_bytes();
   entry.lru_seq = next_seq_++;
+  id_to_path_[entry.id] = path;
   resident_bytes_ += entry.bytes;
   ++loads_;
   loads_counter_->Increment();
 
-  DatasetHandle handle;
-  handle.database = entry.database;
-  handle.digest = entry.digest;
-  handle.bytes = entry.bytes;
+  DatasetHandle handle = MakeHandleLocked(entry, entry.dataset->latest());
 
   EvictLocked();
   bytes_gauge_->Set(resident_bytes_);
@@ -100,24 +130,133 @@ Result<DatasetHandle> DatasetRegistry::Get(const std::string& path) {
   return handle;
 }
 
+Result<DatasetHandle> DatasetRegistry::Resolve(const std::string& id,
+                                               uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = FindByIdLocked(id);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown dataset id '" + id + "'");
+  }
+  const DatasetVersion* v = version == 0
+                                ? &entry->dataset->latest()
+                                : entry->dataset->version(version);
+  if (v == nullptr) {
+    return Status::NotFound(
+        "dataset '" + id + "' has no version " + std::to_string(version) +
+        " (latest is " +
+        std::to_string(entry->dataset->latest().number) + ")");
+  }
+  entry->lru_seq = next_seq_++;
+  ++hits_;
+  hits_counter_->Increment();
+  return MakeHandleLocked(*entry, *v);
+}
+
+Result<DatasetHandle> DatasetRegistry::Append(
+    const std::string& id, const std::vector<Itemset>& transactions,
+    const std::vector<double>& timestamps) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = FindByIdLocked(id);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown dataset id '" + id + "'");
+  }
+  FPM_ASSIGN_OR_RETURN(const DatasetVersion* v,
+                       entry->dataset->Append(transactions, timestamps));
+  entry->mutated = true;
+  entry->lru_seq = next_seq_++;
+  ++appends_;
+  appends_counter_->Increment();
+  UpdateBytesLocked(*entry);
+  return MakeHandleLocked(*entry, *v);
+}
+
+Result<DatasetHandle> DatasetRegistry::Expire(const std::string& id,
+                                              uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = FindByIdLocked(id);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown dataset id '" + id + "'");
+  }
+  FPM_ASSIGN_OR_RETURN(const DatasetVersion* v,
+                       entry->dataset->Expire(count));
+  entry->mutated = true;
+  entry->lru_seq = next_seq_++;
+  ++appends_;
+  appends_counter_->Increment();
+  UpdateBytesLocked(*entry);
+  return MakeHandleLocked(*entry, *v);
+}
+
+Result<DatasetHandle> DatasetRegistry::SetWindow(const std::string& id,
+                                                 const WindowPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = FindByIdLocked(id);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown dataset id '" + id + "'");
+  }
+  const uint64_t before = entry->dataset->latest().number;
+  const DatasetVersion* v = entry->dataset->SetPolicy(policy);
+  entry->mutated = true;
+  entry->lru_seq = next_seq_++;
+  if (v->number != before) {
+    ++appends_;
+    appends_counter_->Increment();
+  }
+  UpdateBytesLocked(*entry);
+  return MakeHandleLocked(*entry, *v);
+}
+
+Result<DatasetInfo> DatasetRegistry::Info(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* entry = FindByIdLocked(id);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown dataset id '" + id + "'");
+  }
+  DatasetInfo info;
+  info.id = entry->id;
+  info.path = id_to_path_.at(entry->id);
+  info.window = entry->dataset->policy();
+  info.live_transactions = entry->dataset->live_transactions();
+  for (const DatasetVersion& v : entry->dataset->versions()) {
+    DatasetInfo::Version out;
+    out.number = v.number;
+    out.digest = v.digest;
+    out.num_transactions = v.num_transactions;
+    out.appended_weight = v.appended_weight;
+    out.expired_weight = v.expired_weight;
+    info.versions.push_back(std::move(out));
+  }
+  return info;
+}
+
 void DatasetRegistry::EvictLocked() {
   if (budget_bytes_ == 0) return;
   while (resident_bytes_ > budget_bytes_) {
-    // Least-recently-used entry that is loaded and unpinned. use_count
-    // is exact here: every other owner holds the pointer via a handle,
-    // and new handles are only minted under mu_.
+    // Least-recently-used entry that is loaded, unpinned and pristine.
+    // use_count is exact here: every other owner holds version
+    // databases via handles, and new handles are only minted under mu_.
+    // Mutated entries are never victims — their chain state exists
+    // nowhere on disk.
     auto victim = entries_.end();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->second.loading || it->second.database.use_count() > 1) {
-        continue;
+      const Entry& e = it->second;
+      if (e.loading || e.mutated) continue;
+      bool pinned = false;
+      for (const DatasetVersion& v : e.dataset->versions()) {
+        if (v.database.use_count() > 1) {
+          pinned = true;
+          break;
+        }
       }
+      if (pinned) continue;
       if (victim == entries_.end() ||
-          it->second.lru_seq < victim->second.lru_seq) {
+          e.lru_seq < victim->second.lru_seq) {
         victim = it;
       }
     }
     if (victim == entries_.end()) return;  // everything pinned
     resident_bytes_ -= victim->second.bytes;
+    id_to_path_.erase(victim->second.id);
     entries_.erase(victim);
     ++evictions_;
     evictions_counter_->Increment();
@@ -129,6 +268,7 @@ DatasetRegistryStats DatasetRegistry::stats() const {
   DatasetRegistryStats s;
   s.loads = loads_;
   s.hits = hits_;
+  s.appends = appends_;
   s.evictions = evictions_;
   s.resident_bytes = resident_bytes_;
   size_t n = 0;

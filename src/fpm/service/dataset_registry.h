@@ -1,23 +1,35 @@
-// Refcounted load-once dataset registry with an LRU byte budget.
+// Refcounted load-once dataset registry with an LRU byte budget,
+// versioned datasets and opaque handles.
 //
 // The service answers many queries against few datasets, so datasets
-// are loaded once, held immutable behind shared_ptr<const Database>,
-// and shared by every concurrent job that mines them. Entries are keyed
-// by path; each carries a content digest (FNV-1a over the raw file
-// bytes) that keys the result cache — two paths with identical bytes
-// share cached results, and a file edited in place invalidates them.
+// are loaded once, wrapped in a VersionedDataset chain, and shared by
+// every concurrent job that mines them. Every lookup mints an opaque
+// DatasetHandle{id, version}: the id ("ds-<n>") is stable for the
+// registry's lifetime, the version pins one immutable snapshot. Jobs
+// address data only through handles — a job holding version v is
+// untouched by appends that advance the chain to v+1 (the snapshot's
+// shared_ptr keeps it resident).
 //
-// Concurrency: the first Get() for a path parses the file while holding
-// a per-entry "loading" state (not the registry mutex), so concurrent
-// Get()s for the same path wait on a condition variable instead of
-// loading twice, and Get()s for other paths proceed unblocked.
+// Addressing:
+//   Open(path)        — load-or-hit by path; returns the latest handle.
+//   Resolve(id, ver)  — by id; ver 0 = latest, else explicit pin
+//                       (reproducible replays).
+//   Get(path)         — the legacy path shim: identical to Open. v1
+//                       wire responses and goldens depend on its digest
+//                       being the FNV-1a of the raw file bytes; chained
+//                       versions extend that digest space (versioned.h).
+//
+// Mutations (Append / Expire / SetWindow) are serialized under the
+// registry mutex: ingestion batches are rare next to queries, and
+// readers never wait on them for data — they hold snapshots.
 //
 // Eviction: when the resident bytes exceed the budget, least-recently-
-// used entries are dropped — but only entries no job currently holds
-// (use_count() == 1 under the registry mutex; jobs pin datasets by
-// holding the shared_ptr in their handle). A pinned over-budget
-// registry stays over budget until jobs release; eviction never yanks a
-// database out from under a running mine.
+// used entries are dropped — but only entries no job currently pins
+// (use_count() == 1 for every version under the registry mutex) and
+// only entries never mutated: an appended dataset's state exists
+// nowhere else, so dropping it would lose data, while a pristine one
+// reloads from its file. Evicting an entry retires its id — a later
+// Open() of the path mints a fresh id, and stale ids resolve NotFound.
 
 #ifndef FPM_SERVICE_DATASET_REGISTRY_H_
 #define FPM_SERVICE_DATASET_REGISTRY_H_
@@ -28,27 +40,59 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "fpm/common/status.h"
 #include "fpm/dataset/database.h"
+#include "fpm/dataset/versioned.h"
 
 namespace fpm {
 
 class Counter;
 class Gauge;
 
-/// A pinned dataset: holding the handle keeps the database resident.
+/// A pinned dataset version: holding the handle keeps the snapshot
+/// resident.
 struct DatasetHandle {
+  /// Opaque registry-scoped dataset id ("ds-<n>").
+  std::string id;
+  /// The pinned version (1-based).
+  uint64_t version = 1;
+  /// The chain head at mint time (== version when latest was asked).
+  uint64_t latest_version = 1;
   std::shared_ptr<const Database> database;
-  /// FNV-1a 64 of the file bytes, as 16 lowercase hex digits.
+  /// Version digest: FNV-1a of the file bytes for version 1, chained
+  /// delta digest beyond (keys the result cache).
   std::string digest;
-  size_t bytes = 0;  ///< resident heap bytes of the database
+  /// Parent version's digest; empty for version 1.
+  std::string parent_digest;
+  /// Delta against the parent (null for version 1) — what incremental
+  /// maintenance and cache reseeding consume.
+  std::shared_ptr<const VersionDelta> delta;
+  size_t bytes = 0;  ///< resident heap bytes of this version's database
+};
+
+/// Point-in-time description of one dataset chain (dataset_info op).
+struct DatasetInfo {
+  std::string id;
+  std::string path;
+  WindowPolicy window;
+  uint64_t live_transactions = 0;
+  struct Version {
+    uint64_t number = 1;
+    std::string digest;
+    uint64_t num_transactions = 0;
+    Support appended_weight = 0;
+    Support expired_weight = 0;
+  };
+  std::vector<Version> versions;
 };
 
 /// Registry statistics (a point-in-time copy).
 struct DatasetRegistryStats {
   uint64_t loads = 0;      ///< files read and parsed
-  uint64_t hits = 0;       ///< Get()s answered by a resident entry
+  uint64_t hits = 0;       ///< lookups answered by a resident entry
+  uint64_t appends = 0;    ///< mutation ops applied (append/expire/window)
   uint64_t evictions = 0;  ///< entries dropped by the LRU budget
   size_t resident_bytes = 0;
   size_t resident_entries = 0;
@@ -62,11 +106,39 @@ class DatasetRegistry {
   DatasetRegistry(const DatasetRegistry&) = delete;
   DatasetRegistry& operator=(const DatasetRegistry&) = delete;
 
-  /// Returns the dataset at `path`, loading it on first use. Blocks if
-  /// another thread is currently loading the same path. IOError /
-  /// InvalidArgument from the reader pass through (and are not cached:
-  /// a later Get() retries).
-  Result<DatasetHandle> Get(const std::string& path);
+  /// Opens the dataset at `path`, loading it on first use, and returns
+  /// a handle to the latest version. Blocks if another thread is
+  /// currently loading the same path. IOError / InvalidArgument from
+  /// the reader pass through (and are not cached: a later call
+  /// retries).
+  Result<DatasetHandle> Open(const std::string& path);
+
+  /// Legacy path-addressed lookup — identical to Open().
+  Result<DatasetHandle> Get(const std::string& path) { return Open(path); }
+
+  /// Resolves a handle by id. `version` 0 pins the latest version; any
+  /// other value pins that exact version (NotFound when the id is
+  /// unknown or the version out of range).
+  Result<DatasetHandle> Resolve(const std::string& id,
+                                uint64_t version = 0);
+
+  /// Appends transactions to the chain (see VersionedDataset::Append);
+  /// returns the new latest handle.
+  Result<DatasetHandle> Append(const std::string& id,
+                               const std::vector<Itemset>& transactions,
+                               const std::vector<double>& timestamps = {});
+
+  /// Expires the `count` oldest live transactions; returns the new
+  /// latest handle.
+  Result<DatasetHandle> Expire(const std::string& id, uint64_t count);
+
+  /// Installs a sliding-window policy (applies immediately if the live
+  /// window already overflows it); returns the latest handle.
+  Result<DatasetHandle> SetWindow(const std::string& id,
+                                  const WindowPolicy& policy);
+
+  /// Describes the chain: versions, window policy, per-version counts.
+  Result<DatasetInfo> Info(const std::string& id) const;
 
   DatasetRegistryStats stats() const;
 
@@ -77,29 +149,46 @@ class DatasetRegistry {
     // Loading protocol: the loader inserts an Entry with loading=true,
     // releases the registry mutex, loads, then re-locks and publishes.
     bool loading = true;
-    std::shared_ptr<const Database> database;
-    std::string digest;
-    size_t bytes = 0;
+    std::string id;
+    std::unique_ptr<VersionedDataset> dataset;
+    bool mutated = false;  ///< ever appended/expired — eviction-exempt
+    size_t bytes = 0;      ///< dataset->memory_bytes() at last update
     uint64_t lru_seq = 0;
   };
 
-  /// Drops LRU unpinned entries until under budget. Caller holds mu_.
+  /// Mints a handle for `version` of `entry`'s chain. Caller holds mu_.
+  DatasetHandle MakeHandleLocked(const Entry& entry,
+                                 const DatasetVersion& version) const;
+
+  /// Re-accounts `entry`'s bytes after a mutation. Caller holds mu_.
+  void UpdateBytesLocked(Entry& entry);
+
+  /// Finds the entry owning `id`, or null. Caller holds mu_.
+  Entry* FindByIdLocked(const std::string& id);
+  const Entry* FindByIdLocked(const std::string& id) const;
+
+  /// Drops LRU unpinned, unmutated entries until under budget. Caller
+  /// holds mu_.
   void EvictLocked();
 
   const size_t budget_bytes_;
   mutable std::mutex mu_;
   std::condition_variable load_cv_;
-  std::map<std::string, Entry> entries_;
+  std::map<std::string, Entry> entries_;      // by path
+  std::map<std::string, std::string> id_to_path_;
+  uint64_t next_id_ = 1;
   uint64_t next_seq_ = 1;
   size_t resident_bytes_ = 0;
   uint64_t loads_ = 0;
   uint64_t hits_ = 0;
+  uint64_t appends_ = 0;
   uint64_t evictions_ = 0;
 
   // fpm.service.registry.* metrics (resolved once; no-ops when the
   // default registry is disabled).
   Counter* loads_counter_;
   Counter* hits_counter_;
+  Counter* appends_counter_;
   Counter* evictions_counter_;
   Gauge* bytes_gauge_;
 };

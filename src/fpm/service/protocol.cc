@@ -18,10 +18,36 @@ Status FieldError(const std::string& where, const std::string& field,
 Status DecodeMineBody(const JsonValue& doc, const std::string& where,
                       bool with_tasks, MineRequest* out) {
   const JsonValue& dataset = doc["dataset"];
-  if (!dataset.is_string() || dataset.string_value().empty()) {
-    return FieldError(where, "dataset", "missing or not a string");
+  const JsonValue& id = doc["id"];
+  if (with_tasks && !id.is_null()) {
+    // v2 handle addressing: "id" (+ optional "version") instead of a
+    // path. Mutually exclusive with "dataset".
+    if (!id.is_string() || id.string_value().empty()) {
+      return FieldError(where, "id", "not a non-empty string");
+    }
+    if (!dataset.is_null()) {
+      return FieldError(where, "dataset",
+                        "mutually exclusive with 'id'");
+    }
+    out->dataset_id = id.string_value();
+    const JsonValue& version = doc["version"];
+    if (!version.is_null()) {
+      if (version.is_string() && version.string_value() == "latest") {
+        out->dataset_version = 0;
+      } else if (version.is_number() && version.number_value() >= 1.0) {
+        out->dataset_version =
+            static_cast<uint64_t>(version.number_value());
+      } else {
+        return FieldError(where, "version",
+                          "not a number >= 1 or 'latest'");
+      }
+    }
+  } else {
+    if (!dataset.is_string() || dataset.string_value().empty()) {
+      return FieldError(where, "dataset", "missing or not a string");
+    }
+    out->dataset_path = dataset.string_value();
   }
-  out->dataset_path = dataset.string_value();
 
   const JsonValue& minsup = doc["min_support"];
   if (!minsup.is_number() || minsup.number_value() < 1.0) {
@@ -141,6 +167,94 @@ Status DecodeMineBody(const JsonValue& doc, const std::string& where,
   return Status::OK();
 }
 
+// Decodes the required "id" field of a dataset op.
+Status DecodeDatasetId(const JsonValue& doc, const std::string& where,
+                       DatasetOpRequest* out) {
+  const JsonValue& id = doc["id"];
+  if (!id.is_string() || id.string_value().empty()) {
+    return FieldError(where, "id", "missing or not a string");
+  }
+  out->id = id.string_value();
+  return Status::OK();
+}
+
+Status DecodeAppendBody(const JsonValue& doc, const std::string& where,
+                        DatasetOpRequest* out) {
+  FPM_RETURN_IF_ERROR(DecodeDatasetId(doc, where, out));
+  const JsonValue& txns = doc["transactions"];
+  if (!txns.is_array() || txns.array_items().empty()) {
+    return FieldError(where, "transactions",
+                      "missing or not a non-empty array");
+  }
+  const std::vector<JsonValue>& rows = txns.array_items();
+  out->transactions.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const std::string label = "transactions[" + std::to_string(i) + "]";
+    if (!rows[i].is_array() || rows[i].array_items().empty()) {
+      return FieldError(where, label, "not a non-empty array");
+    }
+    Itemset txn;
+    txn.reserve(rows[i].array_items().size());
+    for (const JsonValue& item : rows[i].array_items()) {
+      if (!item.is_number() || item.number_value() < 0.0) {
+        return FieldError(where, label, "items must be numbers >= 0");
+      }
+      txn.push_back(static_cast<Item>(item.number_value()));
+    }
+    out->transactions.push_back(std::move(txn));
+  }
+  const JsonValue& timestamps = doc["timestamps"];
+  if (!timestamps.is_null()) {
+    if (!timestamps.is_array()) {
+      return FieldError(where, "timestamps", "not an array");
+    }
+    const std::vector<JsonValue>& ts = timestamps.array_items();
+    if (ts.size() != rows.size()) {
+      return FieldError(where, "timestamps",
+                        "length must match 'transactions'");
+    }
+    out->timestamps.reserve(ts.size());
+    for (const JsonValue& t : ts) {
+      if (!t.is_number()) {
+        return FieldError(where, "timestamps", "entries must be numbers");
+      }
+      out->timestamps.push_back(t.number_value());
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeExpireBody(const JsonValue& doc, const std::string& where,
+                        DatasetOpRequest* out) {
+  FPM_RETURN_IF_ERROR(DecodeDatasetId(doc, where, out));
+  const JsonValue& count = doc["count"];
+  if (!count.is_number() || count.number_value() < 1.0) {
+    return FieldError(where, "count", "missing or not a number >= 1");
+  }
+  out->count = static_cast<uint64_t>(count.number_value());
+  return Status::OK();
+}
+
+Status DecodeWindowBody(const JsonValue& doc, const std::string& where,
+                        DatasetOpRequest* out) {
+  FPM_RETURN_IF_ERROR(DecodeDatasetId(doc, where, out));
+  const JsonValue& last_n = doc["last_n"];
+  if (!last_n.is_null()) {
+    if (!last_n.is_number() || last_n.number_value() < 0.0) {
+      return FieldError(where, "last_n", "not a number >= 0");
+    }
+    out->window.last_n = static_cast<uint64_t>(last_n.number_value());
+  }
+  const JsonValue& last_seconds = doc["last_seconds"];
+  if (!last_seconds.is_null()) {
+    if (!last_seconds.is_number() || last_seconds.number_value() < 0.0) {
+      return FieldError(where, "last_seconds", "not a number >= 0");
+    }
+    out->window.last_seconds = last_seconds.number_value();
+  }
+  return Status::OK();
+}
+
 JsonValue EncodeItemsets(const std::vector<CollectingSink::Entry>& itemsets) {
   JsonValue array = JsonValue::Array();
   for (const CollectingSink::Entry& e : itemsets) {
@@ -241,6 +355,40 @@ Result<ServiceRequest> DecodeRequest(const std::string& line) {
                                        &request.mine));
     return request;
   }
+  if (name == "open") {
+    request.op = ServiceRequest::Op::kOpen;
+    request.version = 2;
+    const JsonValue& dataset = doc["dataset"];
+    if (!dataset.is_string() || dataset.string_value().empty()) {
+      return FieldError(where, "dataset", "missing or not a string");
+    }
+    request.dataset_op.path = dataset.string_value();
+    return request;
+  }
+  if (name == "append") {
+    request.op = ServiceRequest::Op::kAppend;
+    request.version = 2;
+    FPM_RETURN_IF_ERROR(DecodeAppendBody(doc, where, &request.dataset_op));
+    return request;
+  }
+  if (name == "expire") {
+    request.op = ServiceRequest::Op::kExpire;
+    request.version = 2;
+    FPM_RETURN_IF_ERROR(DecodeExpireBody(doc, where, &request.dataset_op));
+    return request;
+  }
+  if (name == "window") {
+    request.op = ServiceRequest::Op::kWindow;
+    request.version = 2;
+    FPM_RETURN_IF_ERROR(DecodeWindowBody(doc, where, &request.dataset_op));
+    return request;
+  }
+  if (name == "dataset_info") {
+    request.op = ServiceRequest::Op::kDatasetInfo;
+    request.version = 2;
+    FPM_RETURN_IF_ERROR(DecodeDatasetId(doc, where, &request.dataset_op));
+    return request;
+  }
   if (name == "batch") {
     request.op = ServiceRequest::Op::kBatch;
     request.version = 2;
@@ -294,6 +442,55 @@ std::string EncodeQueryResponseWithId(uint64_t id,
                                       const MineResponse& response) {
   JsonValue doc = BuildQueryResponse(response);
   doc.Set("id", JsonValue::Int(static_cast<int64_t>(id)));
+  return doc.Dump();
+}
+
+std::string EncodeHandleResponse(const DatasetHandle& handle) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ok", JsonValue::Bool(true));
+  doc.Set("id", JsonValue::Str(handle.id));
+  doc.Set("version", JsonValue::Int(static_cast<int64_t>(handle.version)));
+  doc.Set("latest_version",
+          JsonValue::Int(static_cast<int64_t>(handle.latest_version)));
+  doc.Set("digest", JsonValue::Str(handle.digest));
+  if (!handle.parent_digest.empty()) {
+    doc.Set("parent_digest", JsonValue::Str(handle.parent_digest));
+  }
+  doc.Set("num_transactions",
+          JsonValue::Int(static_cast<int64_t>(
+              handle.database->num_transactions())));
+  doc.Set("total_weight",
+          JsonValue::Int(static_cast<int64_t>(
+              handle.database->total_weight())));
+  return doc.Dump();
+}
+
+std::string EncodeDatasetInfoResponse(const DatasetInfo& info) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ok", JsonValue::Bool(true));
+  doc.Set("id", JsonValue::Str(info.id));
+  doc.Set("path", JsonValue::Str(info.path));
+  doc.Set("live_transactions",
+          JsonValue::Int(static_cast<int64_t>(info.live_transactions)));
+  JsonValue window = JsonValue::Object();
+  window.Set("last_n",
+             JsonValue::Int(static_cast<int64_t>(info.window.last_n)));
+  window.Set("last_seconds", JsonValue::Number(info.window.last_seconds));
+  doc.Set("window", std::move(window));
+  JsonValue versions = JsonValue::Array();
+  for (const DatasetInfo::Version& v : info.versions) {
+    JsonValue out = JsonValue::Object();
+    out.Set("version", JsonValue::Int(static_cast<int64_t>(v.number)));
+    out.Set("digest", JsonValue::Str(v.digest));
+    out.Set("num_transactions",
+            JsonValue::Int(static_cast<int64_t>(v.num_transactions)));
+    out.Set("appended_weight",
+            JsonValue::Int(static_cast<int64_t>(v.appended_weight)));
+    out.Set("expired_weight",
+            JsonValue::Int(static_cast<int64_t>(v.expired_weight)));
+    versions.Append(std::move(out));
+  }
+  doc.Set("versions", std::move(versions));
   return doc.Dump();
 }
 

@@ -7,7 +7,30 @@
 //   {"op":"ping"}
 //   {"op":"metrics"}                       -> the metrics snapshot
 //   {"op":"shutdown"}                      -> daemon exits after reply
+//   {"op":"open","dataset":"<path>"}       -> load (or hit) and return a
+//       dataset handle: {"ok":true,"id":"ds-1","version":1,
+//       "latest_version":1,"digest":"...","num_transactions":N,
+//       "total_weight":N}. The id addresses the dataset in every other
+//       op; reopening the same path returns the same id.
+//   {"op":"append","id":"ds-1",
+//    "transactions":[[1,2,5],...],         (required, non-empty)
+//    "timestamps":[t0,...]}                (optional; len == transactions)
+//       appends transactions as a new immutable dataset version (window
+//       policy overflow expires in the same version) -> handle response
+//       for the new version.
+//   {"op":"expire","id":"ds-1","count":N}  -> expire the N oldest live
+//       transactions as a new version; handle response.
+//   {"op":"window","id":"ds-1",
+//    "last_n":N,"last_seconds":X}          (>=1 of the two, 0 = unbounded)
+//       installs a sliding-window policy; overflow expires immediately.
+//       Handle response for the resulting latest version.
+//   {"op":"dataset_info","id":"ds-1"}      -> {"ok":true,"id":...,
+//       "path":...,"live_transactions":N,"window":{...},
+//       "versions":[{"version":N,"digest":...,"num_transactions":N,
+//       "appended_weight":N,"expired_weight":N},...]}
 //   {"op":"query","dataset":"<path>","min_support":N,
+//    "id":"ds-1",                           (alternative to "dataset")
+//    "version":N,                           (with "id"; default latest)
 //    "task":"frequent|closed|maximal|top_k|rules",  (default "frequent")
 //    "k":N,                                 (top_k: required >= 1)
 //    "min_confidence":X,                    (rules; default 0.5)
@@ -56,18 +79,43 @@
 #ifndef FPM_SERVICE_PROTOCOL_H_
 #define FPM_SERVICE_PROTOCOL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "fpm/common/status.h"
+#include "fpm/dataset/versioned.h"
 #include "fpm/service/json.h"
 #include "fpm/service/service.h"
 
 namespace fpm {
 
+/// The decoded payload of a dataset op (open/append/expire/window/
+/// dataset_info). Only the fields the op uses are populated.
+struct DatasetOpRequest {
+  std::string path;                     ///< open
+  std::string id;                       ///< every op but open
+  std::vector<Itemset> transactions;    ///< append
+  std::vector<double> timestamps;       ///< append (optional)
+  uint64_t count = 0;                   ///< expire
+  WindowPolicy window;                  ///< window
+};
+
 /// A decoded protocol request.
 struct ServiceRequest {
-  enum class Op { kPing, kMetrics, kShutdown, kMine, kQuery, kBatch };
+  enum class Op {
+    kPing,
+    kMetrics,
+    kShutdown,
+    kMine,
+    kQuery,
+    kBatch,
+    kOpen,
+    kAppend,
+    kExpire,
+    kWindow,
+    kDatasetInfo,
+  };
 
   /// One entry of a batch. Entries that fail to decode carry the error
   /// in `status` and are answered with a per-id error line; the rest of
@@ -83,6 +131,7 @@ struct ServiceRequest {
   int version = 1;
   MineRequest mine;               ///< populated for kMine and kQuery
   std::vector<BatchEntry> batch;  ///< populated for kBatch
+  DatasetOpRequest dataset_op;    ///< populated for the dataset ops
 };
 
 /// Decodes one request line. InvalidArgument on malformed JSON, unknown
@@ -102,6 +151,16 @@ std::string EncodeQueryResponse(const MineResponse& response);
 /// v2 query response tagged with a batch query id.
 std::string EncodeQueryResponseWithId(uint64_t id,
                                       const MineResponse& response);
+
+/// Encodes a dataset handle response (open/append/expire/window):
+/// id, version, latest_version, digest, parent_digest (non-base
+/// versions only), num_transactions and total_weight of the version's
+/// materialized database.
+std::string EncodeHandleResponse(const DatasetHandle& handle);
+
+/// Encodes a dataset_info response: id, path, live_transactions, the
+/// window policy and the full version chain.
+std::string EncodeDatasetInfoResponse(const DatasetInfo& info);
 
 /// Encodes an error response from a non-OK status.
 std::string EncodeError(const Status& status);

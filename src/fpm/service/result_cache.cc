@@ -307,6 +307,22 @@ ResultCacheLookup ResultCache::Lookup(const ResultCacheKey& key) {
   return out;
 }
 
+ReseedSource ResultCache::FindSeed(const ResultCacheKey& key,
+                                   const std::string& parent_digest,
+                                   Support max_source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReseedSource out;
+  ResultCacheKey probe = key;
+  probe.digest = parent_digest;
+  probe.min_support = max_source;
+  auto it = FindBestAtOrBelowLocked(probe);
+  if (it == entries_.end()) return out;
+  it->second.lru_seq = next_seq_++;
+  out.result = it->second.result;
+  out.min_support = it->first.min_support;
+  return out;
+}
+
 void ResultCache::Insert(const ResultCacheKey& key,
                          std::shared_ptr<const CachedResult> result) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -145,6 +145,14 @@ struct ResultCacheLookup {
   bool cross_task = false;  ///< derived from another task's entry
 };
 
+/// A reseeding source: a FREQUENT listing cached for a *parent dataset
+/// version*, usable as a complete candidate border when mining the
+/// child version (service.cc's reseed path).
+struct ReseedSource {
+  std::shared_ptr<const CachedResult> result;  ///< null when none found
+  Support min_support = 0;  ///< threshold the source was mined at
+};
+
 struct ResultCacheStats {
   uint64_t hits = 0;             ///< exact hits
   uint64_t dominated_hits = 0;   ///< same-task dominance derivations
@@ -174,6 +182,19 @@ class ResultCache {
   /// the key (identical by construction — deterministic mining).
   void Insert(const ResultCacheKey& key,
               std::shared_ptr<const CachedResult> result);
+
+  /// Finds a FREQUENT listing cached under `parent_digest` for the same
+  /// (algorithm, patterns) configuration as `key`, at a threshold <=
+  /// `max_source` — the candidate border for reseeding a child-version
+  /// mine. `key` must be a FREQUENT key. Unlike Lookup()'s dominance
+  /// rows, no SupportsDominanceReuse gate applies: the reseed path
+  /// recounts every candidate's support over the delta and
+  /// canonicalizes, so only candidate-set *completeness* matters, which
+  /// any FREQUENT listing at or below max_source provides regardless of
+  /// its emission order.
+  ReseedSource FindSeed(const ResultCacheKey& key,
+                        const std::string& parent_digest,
+                        Support max_source);
 
   ResultCacheStats stats() const;
 

@@ -1,5 +1,6 @@
 #include "fpm/service/service.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "fpm/obs/metrics.h"
@@ -18,6 +19,8 @@ const char* CacheOutcomeName(CacheOutcome outcome) {
       return "dominated";
     case CacheOutcome::kCrossTask:
       return "cross_task";
+    case CacheOutcome::kReseeded:
+      return "reseeded";
   }
   return "unknown";
 }
@@ -64,6 +67,11 @@ MiningService::MiningService(Options options)
   mine_ms_histogram_ = m.GetHistogram(
       "fpm.service.mine_ms", {1, 2, 5, 10, 25, 50, 100, 250, 500, 1000,
                               2500, 5000, 10000, 30000, 60000});
+  reseeds_counter_ = m.GetCounter("fpm.service.cache.reseeds");
+  reseed_candidates_counter_ =
+      m.GetCounter("fpm.service.cache.reseed_candidates");
+  reseed_recounted_counter_ =
+      m.GetCounter("fpm.service.cache.reseed_recounted");
   for (int t = 0; t < kNumMiningTasks; ++t) {
     task_counters_[t] = m.GetCounter(
         std::string("fpm.service.tasks.") +
@@ -77,15 +85,23 @@ Result<std::shared_ptr<MineJob>> MiningService::Submit(
     const MineRequest& request) {
   requests_counter_->Increment();
   FPM_RETURN_IF_ERROR(request.query.Validate());
-  if (request.dataset_path.empty()) {
+  if (request.dataset_path.empty() && request.dataset_id.empty()) {
     return Status::InvalidArgument("dataset_path must be set");
   }
   task_counters_[static_cast<int>(request.query.task)]->Increment();
 
-  // Pin the dataset for the whole job lifetime (load-once; concurrent
-  // first requests for the same path coalesce inside the registry).
-  FPM_ASSIGN_OR_RETURN(DatasetHandle dataset,
-                       registry_.Get(request.dataset_path));
+  // Pin the dataset version for the whole job lifetime. Handle
+  // addressing resolves "latest" here, at submission; path addressing
+  // is the legacy shim (load-once; concurrent first requests for the
+  // same path coalesce inside the registry).
+  DatasetHandle dataset;
+  if (!request.dataset_id.empty()) {
+    FPM_ASSIGN_OR_RETURN(
+        dataset,
+        registry_.Resolve(request.dataset_id, request.dataset_version));
+  } else {
+    FPM_ASSIGN_OR_RETURN(dataset, registry_.Get(request.dataset_path));
+  }
 
   // The job runs with a copy of the request: top-k queries get the
   // cost-model seed threshold planted here, where the bound pass is
@@ -161,6 +177,98 @@ Result<std::shared_ptr<MineJob>> MiningService::Submit(
   return job;
 }
 
+std::shared_ptr<CachedResult> MiningService::TryReseed(
+    const ResultCacheKey& frequent_key, const DatasetHandle& dataset) {
+  const VersionDelta& delta = *dataset.delta;
+  const Support threshold = frequent_key.min_support;
+  // Soundness bound: s_child(X) <= s_parent(X) + appended_weight, so
+  // every child-frequent X at S has s_parent(X) >= S - appended_weight.
+  // A parent FREQUENT listing at S_p <= S - appended_weight therefore
+  // contains every child-frequent itemset — a complete candidate
+  // border. S <= appended_weight admits itemsets made of brand-new
+  // items the parent never saw; no seed can cover those.
+  if (threshold <= delta.appended_weight) return nullptr;
+  if (dataset.parent_digest.empty()) return nullptr;
+  const Support max_source = threshold - delta.appended_weight;
+  ReseedSource seed =
+      cache_.FindSeed(frequent_key, dataset.parent_digest, max_source);
+  if (seed.result == nullptr) return nullptr;
+
+  // Pre-sort the delta transactions so candidate containment is one
+  // std::includes per (candidate, delta transaction) pair; cached
+  // itemsets are already sorted (CollectingSink::Emit sorts on emit).
+  const auto sorted_txns = [](const std::vector<Itemset>& txns) {
+    std::vector<Itemset> out = txns;
+    for (Itemset& t : out) std::sort(t.begin(), t.end());
+    return out;
+  };
+  const std::vector<Itemset> appended = sorted_txns(delta.appended);
+  const std::vector<Itemset> expired = sorted_txns(delta.expired);
+
+  // Candidates entirely outside the delta item universe keep their
+  // parent support verbatim — only delta-touched ones are recounted.
+  Item universe_bound = 0;
+  for (const Itemset& t : appended) {
+    for (Item it : t) universe_bound = std::max(universe_bound, it);
+  }
+  for (const Itemset& t : expired) {
+    for (Item it : t) universe_bound = std::max(universe_bound, it);
+  }
+  std::vector<bool> in_universe(static_cast<size_t>(universe_bound) + 1,
+                                false);
+  for (const Itemset& t : appended) {
+    for (Item it : t) in_universe[it] = true;
+  }
+  for (const Itemset& t : expired) {
+    for (Item it : t) in_universe[it] = true;
+  }
+
+  auto reseeded = std::make_shared<CachedResult>();
+  uint64_t recounted = 0;
+  for (const CollectingSink::Entry& entry : seed.result->itemsets) {
+    const Itemset& candidate = entry.first;
+    Support support = entry.second;
+    bool touched = true;
+    for (Item it : candidate) {
+      if (static_cast<size_t>(it) >= in_universe.size() ||
+          !in_universe[it]) {
+        touched = false;
+        break;
+      }
+    }
+    if (touched) {
+      ++recounted;
+      for (size_t t = 0; t < appended.size(); ++t) {
+        if (std::includes(appended[t].begin(), appended[t].end(),
+                          candidate.begin(), candidate.end())) {
+          support += delta.appended_weights[t];
+        }
+      }
+      for (size_t t = 0; t < expired.size(); ++t) {
+        if (std::includes(expired[t].begin(), expired[t].end(),
+                          candidate.begin(), candidate.end())) {
+          support -= delta.expired_weights[t];
+        }
+      }
+    }
+    if (support >= threshold) {
+      reseeded->itemsets.emplace_back(candidate, support);
+    }
+  }
+  reseed_candidates_counter_->Add(seed.result->itemsets.size());
+  reseed_recounted_counter_->Add(recounted);
+
+  // Canonical order: supports shifted across versions, so the parent's
+  // kernel emission order is meaningless here. Reseeded FREQUENT
+  // listings (and everything derived from them) are canonically sorted
+  // — the one documented deviation from raw kernel order (DESIGN §16).
+  std::sort(reseeded->itemsets.begin(), reseeded->itemsets.end());
+  reseeded->num_results = reseeded->itemsets.size();
+  reseeded->total_weight = dataset.database->total_weight();
+  reseeded->bytes = ResultCache::EstimateResultBytes(*reseeded);
+  return reseeded;
+}
+
 Result<MineResponse> MiningService::RunJob(const MineRequest& request,
                                            const DatasetHandle& dataset,
                                            const CancelToken& cancel) {
@@ -186,7 +294,37 @@ Result<MineResponse> MiningService::RunJob(const MineRequest& request,
     response.cache = cached.exact        ? CacheOutcome::kExact
                      : cached.cross_task ? CacheOutcome::kCrossTask
                                          : CacheOutcome::kDominated;
-  } else {
+  }
+
+  // Incremental warm path: this version was produced by append/expire
+  // and the parent version's FREQUENT listing is cached — recount it
+  // over the delta instead of mining the whole window. The reseeded
+  // listing lands in the cache under this version's FREQUENT key; a
+  // non-FREQUENT query then derives its answer from it cross-task.
+  if (result == nullptr && dataset.delta != nullptr) {
+    ResultCacheKey frequent_key = key;
+    frequent_key.task = MiningTask::kFrequent;
+    frequent_key.k = 0;
+    frequent_key.max_consequent = 0;
+    frequent_key.min_confidence = 0.0;
+    frequent_key.min_lift = 0.0;
+    std::shared_ptr<CachedResult> reseeded =
+        TryReseed(frequent_key, dataset);
+    if (reseeded != nullptr) {
+      cache_.Insert(frequent_key, reseeded);
+      if (request.query.task == MiningTask::kFrequent) {
+        result = std::move(reseeded);
+      } else {
+        result = cache_.Lookup(key).result;  // derive from the reseed
+      }
+      if (result != nullptr) {
+        response.cache = CacheOutcome::kReseeded;
+        reseeds_counter_->Increment();
+      }
+    }
+  }
+
+  if (result == nullptr) {
     // Mine with the sequential kernel: deterministic emission/output
     // order is the cache's correctness contract, and cross-query
     // parallelism already saturates the pool.

@@ -55,6 +55,12 @@ class Histogram;
 /// service-level envelope (dataset, algorithm, scheduling).
 struct MineRequest {
   std::string dataset_path;  ///< registry key; loaded on first use
+  /// Handle addressing (preferred): when set, the dataset is resolved
+  /// by registry id instead of path. `dataset_version` 0 = latest at
+  /// submission; nonzero pins an exact version for reproducible
+  /// replays.
+  std::string dataset_id;
+  uint64_t dataset_version = 0;
   Algorithm algorithm = Algorithm::kLcm;
   /// Requested patterns; the effective subset (Table 4) is applied and
   /// used for cache keying.
@@ -77,6 +83,7 @@ enum class CacheOutcome {
   kExact,      ///< replayed an exact cache entry
   kDominated,  ///< derived from a same-task lower-threshold entry
   kCrossTask,  ///< derived from another task's cache entry
+  kReseeded,   ///< recounted a parent version's listing over the delta
 };
 
 const char* CacheOutcomeName(CacheOutcome outcome);
@@ -167,6 +174,9 @@ class MiningService {
   Result<MineResponse> Execute(const MineRequest& request);
 
   const DatasetRegistry& registry() const { return registry_; }
+  /// Mutable registry access for the dataset ops (open / append /
+  /// expire / window / dataset_info) the daemon forwards.
+  DatasetRegistry& registry() { return registry_; }
   const ResultCache& cache() const { return cache_; }
   const JobScheduler& scheduler() const { return scheduler_; }
 
@@ -175,6 +185,15 @@ class MiningService {
   Result<MineResponse> RunJob(const MineRequest& request,
                               const DatasetHandle& dataset,
                               const CancelToken& cancel);
+
+  /// The incremental warm path for a non-base dataset version: finds a
+  /// FREQUENT listing cached for the parent version at a threshold
+  /// <= S - appended_weight (a complete candidate border for the child
+  /// at S), recounts only delta-touched candidates, filters to S and
+  /// canonicalizes. Returns null when no eligible seed exists. The
+  /// result is inserted under the child's FREQUENT key by the caller.
+  std::shared_ptr<CachedResult> TryReseed(const ResultCacheKey& frequent_key,
+                                          const DatasetHandle& dataset);
 
   static uint32_t ResolveThreads(uint32_t requested);
 
@@ -190,6 +209,10 @@ class MiningService {
   Counter* cancelled_counter_;
   Counter* deadline_counter_;
   Histogram* mine_ms_histogram_;
+  // fpm.service.cache.reseed* — the incremental warm path.
+  Counter* reseeds_counter_;
+  Counter* reseed_candidates_counter_;
+  Counter* reseed_recounted_counter_;
   // fpm.service.tasks.<task>, indexed by MiningTask.
   Counter* task_counters_[kNumMiningTasks];
 };

@@ -1,0 +1,261 @@
+#include "fpm/algo/fpgrowth/incremental_fptree.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fpm/algo/fpgrowth/fpgrowth_miner.h"
+#include "fpm/algo/itemset_sink.h"
+#include "fpm/dataset/versioned.h"
+#include "testing/db_testutil.h"
+
+namespace fpm {
+namespace {
+
+using testutil::MakeDb;
+using testutil::RandomDb;
+using testutil::RandomDbSpec;
+
+/// Fresh sequential FP-Growth run on `db` — the byte-identity oracle
+/// for the maintained tree (raw emission order, no canonicalization).
+std::vector<CollectingSink::Entry> FreshFpGrowth(const Database& db,
+                                                 Support min_support) {
+  FpGrowthMiner miner;
+  CollectingSink sink;
+  const Status s = miner.Mine(db, min_support, &sink).status();
+  EXPECT_TRUE(s.ok()) << s;
+  return sink.results();
+}
+
+std::vector<CollectingSink::Entry> MineMaintained(
+    const IncrementalFpTree& inc) {
+  CollectingSink sink;
+  MineIncrementalFpTree(inc, &sink, nullptr);
+  return sink.results();
+}
+
+/// Exact comparison including order — the incremental contract is
+/// byte-identity with a from-scratch run, not set equality.
+void ExpectIdentical(const std::vector<CollectingSink::Entry>& expected,
+                     const std::vector<CollectingSink::Entry>& actual,
+                     const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i], actual[i]) << label << " entry " << i;
+  }
+}
+
+TEST(StreamFpTreeTest, AddAndRemovePathsTrackSupportAndDeadNodes) {
+  StreamFpTree tree(3, FpTreeConfig());
+  const std::vector<Item> path01 = {0, 1};
+  const std::vector<Item> path012 = {0, 1, 2};
+  tree.AddPath(path01, 2);
+  tree.AddPath(path012, 1);
+  tree.Finalize();
+  EXPECT_EQ(tree.ItemSupport(0), 3u);
+  EXPECT_EQ(tree.ItemSupport(1), 3u);
+  EXPECT_EQ(tree.ItemSupport(2), 1u);
+  EXPECT_EQ(tree.num_nodes(), 3u);
+  EXPECT_EQ(tree.num_dead_nodes(), 0u);
+
+  tree.RemovePath(path012, 1);
+  tree.Finalize();
+  EXPECT_EQ(tree.ItemSupport(2), 0u);
+  EXPECT_EQ(tree.num_dead_nodes(), 1u);
+
+  // Read paths skip the dead fringe: item 2's only node is zeroed, and
+  // item 1's surviving node still reports its {0} prefix.
+  size_t dead_paths = 0;
+  tree.ForEachPath(2, [&](std::span<const Item>, Support) { ++dead_paths; });
+  EXPECT_EQ(dead_paths, 0u);
+  size_t live_paths = 0;
+  tree.ForEachPath(1, [&](std::span<const Item> prefix, Support count) {
+    ++live_paths;
+    ASSERT_EQ(prefix.size(), 1u);
+    EXPECT_EQ(prefix[0], 0u);
+    EXPECT_EQ(count, 2u);
+  });
+  EXPECT_EQ(live_paths, 1u);
+
+  // Re-adding the path revives the dead node in place.
+  tree.AddPath(path012, 4);
+  tree.Finalize();
+  EXPECT_EQ(tree.num_dead_nodes(), 0u);
+  EXPECT_EQ(tree.num_nodes(), 3u);
+  EXPECT_EQ(tree.ItemSupport(2), 4u);
+}
+
+TEST(StreamFpTreeTest, SinglePathDetectionSkipsDeadBranches) {
+  StreamFpTree tree(3, FpTreeConfig());
+  const std::vector<Item> a = {0, 1};
+  const std::vector<Item> b = {0, 2};
+  tree.AddPath(a, 2);
+  tree.AddPath(b, 1);
+  tree.Finalize();
+  std::vector<std::pair<Item, Support>> path;
+  EXPECT_FALSE(tree.SinglePath(&path));
+
+  // Killing the {0,2} branch leaves one live path.
+  tree.RemovePath(b, 1);
+  tree.Finalize();
+  path.clear();
+  EXPECT_TRUE(tree.SinglePath(&path));
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], (std::pair<Item, Support>{0, 2}));
+  EXPECT_EQ(path[1], (std::pair<Item, Support>{1, 2}));
+}
+
+TEST(IncrementalFpTreeTest, FreshBuildMatchesFromScratchMine) {
+  const Database db = MakeDb({{1, 2, 3}, {1, 2}, {1, 3}, {2, 3}, {1, 2, 3}});
+  IncrementalFpTree inc(db, 2);
+  ExpectIdentical(FreshFpGrowth(db, 2), MineMaintained(inc), "fresh");
+  EXPECT_EQ(inc.rebuilds(), 0u);
+}
+
+// Drives a VersionedDataset and an IncrementalFpTree side by side,
+// asserting byte-identity against a from-scratch mine at every version.
+class TrackedStream {
+ public:
+  TrackedStream(Database base, Support min_support,
+                const IncrementalFpTree::Options& options)
+      : dataset_(std::move(base), "t"),
+        inc_(*dataset_.latest().database, min_support, options),
+        min_support_(min_support) {}
+
+  void Append(const std::vector<Itemset>& txns, const std::string& label) {
+    auto v = dataset_.Append(txns);
+    ASSERT_TRUE(v.ok()) << v.status();
+    Advance(*v.value(), label);
+  }
+
+  void Expire(uint64_t count, const std::string& label) {
+    auto v = dataset_.Expire(count);
+    ASSERT_TRUE(v.ok()) << v.status();
+    Advance(*v.value(), label);
+  }
+
+  IncrementalFpTree& inc() { return inc_; }
+
+ private:
+  void Advance(const DatasetVersion& v, const std::string& label) {
+    inc_.Advance(*v.database, *v.delta);
+    ExpectIdentical(FreshFpGrowth(*v.database, min_support_),
+                    MineMaintained(inc_), label);
+  }
+
+  VersionedDataset dataset_;
+  IncrementalFpTree inc_;
+  Support min_support_;
+};
+
+TEST(IncrementalFpTreeTest, AppendOnlyStreamStaysByteIdentical) {
+  // High drift threshold: appends that preserve the frequency ranking
+  // must ride the per-path maintenance path, not a rebuild.
+  IncrementalFpTree::Options options;
+  options.rebuild_drift_threshold = 1.0;
+  TrackedStream stream(
+      MakeDb({{1, 2, 3}, {1, 2, 3}, {1, 2}, {1, 2}, {1, 3}, {2, 3}, {1}}),
+      2, options);
+  stream.Append({{1, 2, 3}}, "append 1");
+  stream.Append({{1, 2}, {1, 3}}, "append 2");
+  EXPECT_EQ(stream.inc().rebuilds(), 0u);
+  EXPECT_GE(stream.inc().maintained_paths(), 3u);
+}
+
+TEST(IncrementalFpTreeTest, ExpireOnlyStreamStaysByteIdentical) {
+  IncrementalFpTree::Options options;
+  options.rebuild_drift_threshold = 1.0;
+  TrackedStream stream(
+      MakeDb({{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2}, {1, 2}, {1, 3},
+              {2, 3}, {1, 2}}),
+      2, options);
+  stream.Expire(1, "expire 1");
+  stream.Expire(2, "expire 2");
+}
+
+TEST(IncrementalFpTreeTest, InterleavedStreamStaysByteIdentical) {
+  TrackedStream stream(
+      MakeDb({{1, 2, 3}, {1, 2, 3}, {1, 2}, {2, 3}, {1, 3}, {1, 2, 3}}),
+      2, IncrementalFpTree::Options());
+  stream.Append({{1, 2}, {3, 4}}, "step 1");
+  stream.Expire(2, "step 2");
+  stream.Append({{4, 1}, {4, 2, 1}}, "step 3");
+  stream.Expire(1, "step 4");
+}
+
+TEST(IncrementalFpTreeTest, RankingChangeForcesRebuild) {
+  // Base ranking: 1 (4) > 2 (3) > 3 (2). Appending four {3} rows lifts
+  // item 3 to the top: the frequent-prefix rank sequence changes, which
+  // mandates a rebuild regardless of the drift threshold.
+  IncrementalFpTree::Options options;
+  options.rebuild_drift_threshold = 1.0;
+  TrackedStream stream(MakeDb({{1, 2, 3}, {1, 2, 3}, {1, 2}, {1}}), 2,
+                       options);
+  stream.Append({{3}, {3}, {3}, {3}}, "rank flip");
+  EXPECT_EQ(stream.inc().rebuilds(), 1u);
+}
+
+TEST(IncrementalFpTreeTest, ExpiryDroppingItemBelowSupportForcesRebuild) {
+  // Expiring the two leading {4, ...} rows drops item 4 below
+  // min_support: num_frequent changes, so the tree must rebuild.
+  IncrementalFpTree::Options options;
+  options.rebuild_drift_threshold = 1.0;
+  TrackedStream stream(
+      MakeDb({{4, 1}, {4, 2}, {1, 2, 3}, {1, 2, 3}, {1, 2}, {1, 3}, {2, 3}}),
+      2, options);
+  stream.Expire(2, "drop item 4");
+  EXPECT_EQ(stream.inc().rebuilds(), 1u);
+}
+
+TEST(IncrementalFpTreeTest, ZeroDriftThresholdRebuildsEagerly) {
+  // Threshold 0 with any measurable drift: every advance that moves a
+  // rank rebuilds even though the frequent prefix is unchanged.
+  IncrementalFpTree::Options options;
+  options.rebuild_drift_threshold = 0.0;
+  TrackedStream stream(
+      MakeDb({{1, 2, 3}, {1, 2, 3}, {1, 2}, {1, 2}, {1, 3}, {2, 3}}), 2,
+      options);
+  stream.Append({{2, 3}, {2, 3}, {2}}, "drift");
+  EXPECT_GE(stream.inc().rebuilds(), 1u);
+}
+
+TEST(IncrementalFpTreeTest, RandomStreamsMatchFromScratch) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    RandomDbSpec spec;
+    spec.seed = seed;
+    spec.num_transactions = 40;
+    spec.num_items = 9;
+    VersionedDataset dataset(RandomDb(spec), "r");
+    IncrementalFpTree inc(*dataset.latest().database, 3);
+    Rng rng(seed * 977);
+    for (int step = 0; step < 8; ++step) {
+      if (rng.NextBounded(2) == 0 && dataset.live_transactions() > 6) {
+        auto v = dataset.Expire(1 + rng.NextBounded(3));
+        ASSERT_TRUE(v.ok());
+        inc.Advance(*v.value()->database, *v.value()->delta);
+      } else {
+        std::vector<Itemset> txns;
+        const size_t n = 1 + rng.NextBounded(4);
+        for (size_t t = 0; t < n; ++t) {
+          Itemset txn;
+          const size_t len = 1 + rng.NextBounded(5);
+          for (size_t i = 0; i < len; ++i) {
+            txn.push_back(static_cast<Item>(rng.NextBounded(9)));
+          }
+          txns.push_back(std::move(txn));
+        }
+        auto v = dataset.Append(txns);
+        ASSERT_TRUE(v.ok());
+        inc.Advance(*v.value()->database, *v.value()->delta);
+      }
+      ExpectIdentical(FreshFpGrowth(*dataset.latest().database, 3),
+                      MineMaintained(inc),
+                      "seed " + std::to_string(seed) + " step " +
+                          std::to_string(step));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,130 @@
+// Streaming byte-identity suite: a version database materialized by the
+// append/expire chain must be indistinguishable from a database built
+// from scratch over the same live window — for every kernel and every
+// task verb, down to emission order. This is the contract that lets the
+// service reuse version-digest cache keys across clients.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fpm/algo/eclat/eclat_miner.h"
+#include "fpm/algo/fpgrowth/fpgrowth_miner.h"
+#include "fpm/algo/itemset_sink.h"
+#include "fpm/algo/lcm/lcm_miner.h"
+#include "fpm/algo/rules.h"
+#include "fpm/dataset/versioned.h"
+#include "testing/db_testutil.h"
+
+namespace fpm {
+namespace {
+
+using testutil::ExpectSameResults;
+
+Database BuildDb(const std::vector<Itemset>& txns) {
+  DatabaseBuilder b;
+  for (const Itemset& t : txns) b.AddTransaction(t);
+  return b.Build();
+}
+
+std::vector<std::unique_ptr<Miner>> AllKernels() {
+  std::vector<std::unique_ptr<Miner>> kernels;
+  kernels.push_back(std::make_unique<LcmMiner>());
+  kernels.push_back(std::make_unique<EclatMiner>());
+  kernels.push_back(std::make_unique<FpGrowthMiner>());
+  return kernels;
+}
+
+std::vector<CollectingSink::Entry> MineTask(Miner& miner, const Database& db,
+                                            const MiningQuery& query) {
+  CollectingSink sink;
+  const Status s = miner.Mine(db, query, &sink).status();
+  EXPECT_TRUE(s.ok()) << miner.name() << ": " << s;
+  return sink.results();
+}
+
+/// Asserts the streamed and scratch databases are indistinguishable to
+/// every kernel under every task verb, including emission order.
+void ExpectMiningIdentical(const Database& streamed, const Database& scratch,
+                           const std::string& label) {
+  const std::vector<MiningQuery> queries = {
+      MiningQuery::Frequent(2), MiningQuery::Closed(2),
+      MiningQuery::Maximal(2), MiningQuery::TopK(/*k=*/5, /*floor=*/2)};
+  for (const auto& kernel : AllKernels()) {
+    for (const MiningQuery& query : queries) {
+      const auto expected = MineTask(*kernel, scratch, query);
+      const auto actual = MineTask(*kernel, streamed, query);
+      ExpectSameResults(expected, actual,
+                        label + " " + kernel->name() + " task " +
+                            std::string(TaskName(query.task)));
+    }
+    // Rules carry confidence/lift metrics on top of the itemsets.
+    std::vector<AssociationRule> want, got;
+    ASSERT_TRUE(
+        kernel->MineRules(scratch, MiningQuery::Rules(2, 0.5), &want).ok());
+    ASSERT_TRUE(
+        kernel->MineRules(streamed, MiningQuery::Rules(2, 0.5), &got).ok());
+    ASSERT_EQ(want.size(), got.size()) << label << " " << kernel->name();
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i].antecedent, got[i].antecedent) << label << " " << i;
+      EXPECT_EQ(want[i].consequent, got[i].consequent) << label << " " << i;
+      EXPECT_EQ(want[i].itemset_support, got[i].itemset_support)
+          << label << " " << i;
+      EXPECT_EQ(want[i].confidence, got[i].confidence) << label << " " << i;
+    }
+  }
+}
+
+TEST(StreamingIdentityTest, AppendOnlyChain) {
+  std::vector<Itemset> live = {{1, 2, 3}, {1, 2}, {2, 3}, {1, 3}, {1, 2, 3}};
+  VersionedDataset dataset(BuildDb(live), "s");
+  const std::vector<std::vector<Itemset>> steps = {
+      {{1, 2}, {3, 4}}, {{2, 3, 4}}, {{1, 4}, {1, 2, 4}, {4}}};
+  for (size_t s = 0; s < steps.size(); ++s) {
+    auto v = dataset.Append(steps[s]);
+    ASSERT_TRUE(v.ok()) << v.status();
+    for (const Itemset& t : steps[s]) live.push_back(t);
+    ExpectMiningIdentical(*v.value()->database, BuildDb(live),
+                          "append step " + std::to_string(s));
+  }
+}
+
+TEST(StreamingIdentityTest, ExpireOnlyChain) {
+  std::vector<Itemset> live = {{1, 2, 3}, {1, 2, 3}, {1, 2}, {2, 3},
+                               {1, 3},    {1, 2, 3}, {2, 3}, {1, 2}};
+  VersionedDataset dataset(BuildDb(live), "s");
+  for (int step = 0; step < 3; ++step) {
+    auto v = dataset.Expire(2);
+    ASSERT_TRUE(v.ok()) << v.status();
+    live.erase(live.begin(), live.begin() + 2);
+    ExpectMiningIdentical(*v.value()->database, BuildDb(live),
+                          "expire step " + std::to_string(step));
+  }
+}
+
+TEST(StreamingIdentityTest, InterleavedChainWithWindow) {
+  std::vector<Itemset> live = {{1, 2, 3}, {1, 2}, {2, 3}, {1, 3}};
+  VersionedDataset dataset(BuildDb(live), "s");
+  WindowPolicy policy;
+  policy.last_n = 6;
+  dataset.SetPolicy(policy);
+
+  const std::vector<std::vector<Itemset>> steps = {
+      {{1, 2, 4}, {2, 3, 4}, {1, 4}},  // overflows the window by one
+      {{1, 2, 3}, {2, 4}},
+      {{3, 4}, {1, 2, 3, 4}, {2, 3}}};
+  for (size_t s = 0; s < steps.size(); ++s) {
+    auto v = dataset.Append(steps[s]);
+    ASSERT_TRUE(v.ok()) << v.status();
+    for (const Itemset& t : steps[s]) live.push_back(t);
+    while (live.size() > 6) live.erase(live.begin());
+    ASSERT_EQ(dataset.live_transactions(), live.size());
+    ExpectMiningIdentical(*v.value()->database, BuildDb(live),
+                          "windowed step " + std::to_string(s));
+  }
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,175 @@
+#include "fpm/bitvec/incremental_vertical.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fpm/algo/eclat/eclat_miner.h"
+#include "fpm/algo/itemset_sink.h"
+#include "fpm/bitvec/popcount.h"
+#include "fpm/common/rng.h"
+#include "fpm/dataset/versioned.h"
+
+namespace fpm {
+namespace {
+
+Database BuildDb(const std::vector<Itemset>& txns) {
+  DatabaseBuilder b;
+  for (const Itemset& t : txns) b.AddTransaction(t);
+  return b.Build();
+}
+
+Support ColumnPopcount(const IncrementalVertical& inc, Item item) {
+  Support total = 0;
+  const uint64_t* words = inc.column_words(item);
+  for (size_t w = 0; w < inc.words_per_column(); ++w) {
+    total += static_cast<Support>(__builtin_popcountll(words[w]));
+  }
+  return total;
+}
+
+/// Fresh bit-vector Eclat run on `db` — the byte-identity oracle.
+std::vector<CollectingSink::Entry> FreshEclat(const Database& db,
+                                              Support min_support) {
+  EclatOptions options;
+  options.representation = EclatRepresentation::kBitVector;
+  EclatMiner miner(options);
+  CollectingSink sink;
+  const Status s = miner.Mine(db, min_support, &sink).status();
+  EXPECT_TRUE(s.ok()) << s;
+  return sink.results();
+}
+
+std::vector<CollectingSink::Entry> MineMaintained(
+    const IncrementalVertical& inc, const Database& db,
+    Support min_support) {
+  CollectingSink sink;
+  EclatOptions options;
+  auto stats = MineIncrementalVertical(inc, db, options, min_support, &sink);
+  EXPECT_TRUE(stats.ok()) << stats.status();
+  return sink.results();
+}
+
+void ExpectIdentical(const std::vector<CollectingSink::Entry>& expected,
+                     const std::vector<CollectingSink::Entry>& actual,
+                     const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i], actual[i]) << label << " entry " << i;
+  }
+}
+
+TEST(IncrementalVerticalTest, InitialColumnsMatchFrequencies) {
+  const Database db = BuildDb({{1, 2}, {2, 3}, {1, 2, 3}});
+  IncrementalVertical inc(db);
+  EXPECT_EQ(inc.num_rows(), 3u);
+  EXPECT_EQ(inc.start_row(), 0u);
+  EXPECT_EQ(ColumnPopcount(inc, 1), 2u);
+  EXPECT_EQ(ColumnPopcount(inc, 2), 3u);
+  EXPECT_EQ(ColumnPopcount(inc, 3), 2u);
+  EXPECT_EQ(ColumnPopcount(inc, 0), 0u);  // never occurred: zero column
+}
+
+TEST(IncrementalVerticalTest, AppendAddsRowsAtTheTop) {
+  IncrementalVertical inc(BuildDb({{1, 2}}));
+  inc.Append({{2, 3}, {3}}, {1, 1});
+  EXPECT_EQ(inc.num_rows(), 3u);
+  EXPECT_EQ(ColumnPopcount(inc, 1), 1u);
+  EXPECT_EQ(ColumnPopcount(inc, 2), 2u);
+  EXPECT_EQ(ColumnPopcount(inc, 3), 2u);
+  // New item 3's column is padded to the shared word width.
+  EXPECT_EQ(inc.words_per_column(), 1u);
+}
+
+TEST(IncrementalVerticalTest, WeightedTransactionsExpandToRows) {
+  IncrementalVertical inc(BuildDb({{1}}));
+  inc.Append({{1, 2}}, {70});  // spans a word boundary: rows 1..70
+  EXPECT_EQ(inc.num_rows(), 71u);
+  EXPECT_EQ(inc.words_per_column(), 2u);
+  EXPECT_EQ(ColumnPopcount(inc, 1), 71u);
+  EXPECT_EQ(ColumnPopcount(inc, 2), 70u);
+}
+
+TEST(IncrementalVerticalTest, ExpireMasksPrefixRowsInPlace) {
+  IncrementalVertical inc(BuildDb({{1, 2}, {2, 3}, {1, 3}}));
+  inc.Expire({{1, 2}}, {1});
+  EXPECT_EQ(inc.start_row(), 1u);
+  EXPECT_EQ(inc.num_rows(), 3u);  // rows are masked, not compacted
+  EXPECT_EQ(ColumnPopcount(inc, 1), 1u);
+  EXPECT_EQ(ColumnPopcount(inc, 2), 1u);
+  EXPECT_EQ(ColumnPopcount(inc, 3), 2u);
+  // The tight range of a partially-expired column skips nothing here
+  // (both live rows are in word 0), but an all-expired column is empty.
+  inc.Expire({{2, 3}}, {1});
+  EXPECT_EQ(ColumnPopcount(inc, 2), 0u);
+  const WordRange r = inc.one_range(2);
+  EXPECT_EQ(r.begin, r.end);
+}
+
+TEST(IncrementalVerticalTest, MiningMatchesFreshEclatAcrossVersions) {
+  VersionedDataset dataset(
+      BuildDb({{1, 2, 3}, {1, 2}, {1, 3}, {2, 3}, {1, 2, 3}}), "d");
+  IncrementalVertical inc(*dataset.latest().database);
+  ExpectIdentical(FreshEclat(*dataset.latest().database, 2),
+                  MineMaintained(inc, *dataset.latest().database, 2), "v1");
+
+  auto v2 = dataset.Append({{2, 3, 4}, {4, 1}});
+  ASSERT_TRUE(v2.ok());
+  inc.Advance(*v2.value()->delta);
+  ExpectIdentical(FreshEclat(*v2.value()->database, 2),
+                  MineMaintained(inc, *v2.value()->database, 2), "v2");
+
+  auto v3 = dataset.Expire(3);
+  ASSERT_TRUE(v3.ok());
+  inc.Advance(*v3.value()->delta);
+  ExpectIdentical(FreshEclat(*v3.value()->database, 2),
+                  MineMaintained(inc, *v3.value()->database, 2), "v3");
+}
+
+TEST(IncrementalVerticalTest, RandomStreamsMatchFreshEclat) {
+  for (uint64_t seed = 21; seed <= 24; ++seed) {
+    Rng rng(seed);
+    std::vector<Itemset> base;
+    for (int t = 0; t < 30; ++t) {
+      Itemset txn;
+      const size_t len = 1 + rng.NextBounded(5);
+      for (size_t i = 0; i < len; ++i) {
+        txn.push_back(static_cast<Item>(rng.NextBounded(8)));
+      }
+      base.push_back(std::move(txn));
+    }
+    VersionedDataset dataset(BuildDb(base), "r");
+    IncrementalVertical inc(*dataset.latest().database);
+    for (int step = 0; step < 8; ++step) {
+      const DatasetVersion* v = nullptr;
+      if (rng.NextBounded(2) == 0 && dataset.live_transactions() > 5) {
+        auto r = dataset.Expire(1 + rng.NextBounded(3));
+        ASSERT_TRUE(r.ok());
+        v = r.value();
+      } else {
+        std::vector<Itemset> txns;
+        const size_t n = 1 + rng.NextBounded(4);
+        for (size_t t = 0; t < n; ++t) {
+          Itemset txn;
+          const size_t len = 1 + rng.NextBounded(5);
+          for (size_t i = 0; i < len; ++i) {
+            txn.push_back(static_cast<Item>(rng.NextBounded(8)));
+          }
+          txns.push_back(std::move(txn));
+        }
+        auto r = dataset.Append(txns);
+        ASSERT_TRUE(r.ok());
+        v = r.value();
+      }
+      inc.Advance(*v->delta);
+      ExpectIdentical(FreshEclat(*v->database, 3),
+                      MineMaintained(inc, *v->database, 3),
+                      "seed " + std::to_string(seed) + " step " +
+                          std::to_string(step));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,230 @@
+// DatasetHandle / version-chain behavior of the registry: open/resolve
+// round-trips, append/expire/window mutations, eviction rules for
+// mutated chains, and reader isolation under concurrent churn.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fpm/service/dataset_registry.h"
+#include "service/service_test_util.h"
+
+namespace fpm {
+namespace {
+
+TEST(VersionedRegistryTest, OpenResolveRoundtrip) {
+  const std::string path =
+      test::WriteTempFimi("vreg_roundtrip.dat", test::SmallFimiText());
+  DatasetRegistry registry;
+  auto opened = registry.Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ(opened->version, 1u);
+  EXPECT_EQ(opened->latest_version, 1u);
+  EXPECT_TRUE(opened->parent_digest.empty());
+  ASSERT_FALSE(opened->id.empty());
+
+  auto resolved = registry.Resolve(opened->id);
+  ASSERT_TRUE(resolved.ok()) << resolved.status();
+  EXPECT_EQ(resolved->database.get(), opened->database.get());
+  EXPECT_EQ(resolved->digest, opened->digest);
+
+  // Reopening the same path returns the same id (one chain per path).
+  auto reopened = registry.Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->id, opened->id);
+}
+
+TEST(VersionedRegistryTest, ResolveErrors) {
+  const std::string path =
+      test::WriteTempFimi("vreg_errors.dat", test::SmallFimiText());
+  DatasetRegistry registry;
+  auto opened = registry.Open(path);
+  ASSERT_TRUE(opened.ok());
+
+  auto unknown = registry.Resolve("ds-999");
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("unknown dataset id"),
+            std::string::npos);
+
+  auto bad_version = registry.Resolve(opened->id, 7);
+  EXPECT_FALSE(bad_version.ok());
+  EXPECT_NE(bad_version.status().message().find("has no version 7"),
+            std::string::npos);
+}
+
+TEST(VersionedRegistryTest, AppendCreatesResolvableVersions) {
+  const std::string path =
+      test::WriteTempFimi("vreg_append.dat", test::SmallFimiText());
+  DatasetRegistry registry;
+  auto v1 = registry.Open(path);
+  ASSERT_TRUE(v1.ok());
+
+  auto v2 = registry.Append(v1->id, {{7, 8}, {8, 9}});
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  EXPECT_EQ(v2->version, 2u);
+  EXPECT_EQ(v2->parent_digest, v1->digest);
+  ASSERT_NE(v2->delta, nullptr);
+  EXPECT_EQ(v2->delta->appended_weight, 2u);
+  EXPECT_EQ(v2->database->num_transactions(), 7u);
+
+  // Explicit version pins resolve to their own immutable snapshots.
+  auto pin1 = registry.Resolve(v1->id, 1);
+  auto pin2 = registry.Resolve(v1->id, 2);
+  ASSERT_TRUE(pin1.ok() && pin2.ok());
+  EXPECT_EQ(pin1->database->num_transactions(), 5u);
+  EXPECT_EQ(pin2->database->num_transactions(), 7u);
+  // Resolve with no version follows the chain head.
+  auto latest = registry.Resolve(v1->id);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->version, 2u);
+
+  EXPECT_EQ(registry.stats().appends, 1u);
+}
+
+TEST(VersionedRegistryTest, ExpireAndInfo) {
+  const std::string path =
+      test::WriteTempFimi("vreg_expire.dat", test::SmallFimiText());
+  DatasetRegistry registry;
+  auto v1 = registry.Open(path);
+  ASSERT_TRUE(v1.ok());
+  auto v2 = registry.Expire(v1->id, 2);
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  EXPECT_EQ(v2->database->num_transactions(), 3u);
+
+  auto info = registry.Info(v1->id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->id, v1->id);
+  EXPECT_EQ(info->path, path);
+  EXPECT_EQ(info->live_transactions, 3u);
+  ASSERT_EQ(info->versions.size(), 2u);
+  EXPECT_EQ(info->versions[0].number, 1u);
+  EXPECT_EQ(info->versions[1].number, 2u);
+  EXPECT_EQ(info->versions[1].expired_weight, 2u);
+  EXPECT_EQ(info->versions[1].digest, v2->digest);
+}
+
+TEST(VersionedRegistryTest, WindowPolicyExpiresOnInstallAndAppend) {
+  const std::string path =
+      test::WriteTempFimi("vreg_window.dat", test::SmallFimiText());
+  DatasetRegistry registry;
+  auto v1 = registry.Open(path);
+  ASSERT_TRUE(v1.ok());
+
+  WindowPolicy policy;
+  policy.last_n = 3;
+  auto windowed = registry.SetWindow(v1->id, policy);
+  ASSERT_TRUE(windowed.ok()) << windowed.status();
+  EXPECT_EQ(windowed->version, 2u);  // 5 > 3: immediate expiry version
+  EXPECT_EQ(windowed->database->num_transactions(), 3u);
+
+  auto appended = registry.Append(v1->id, {{1, 2}, {2, 3}});
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(appended->database->num_transactions(), 3u);  // window held
+  ASSERT_NE(appended->delta, nullptr);
+  EXPECT_EQ(appended->delta->appended_weight, 2u);
+  EXPECT_EQ(appended->delta->expired_weight, 2u);
+
+  auto info = registry.Info(v1->id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->window.last_n, 3u);
+}
+
+TEST(VersionedRegistryTest, MutatedChainsAreNeverEvicted) {
+  // Budget of one dataset: opening a second evicts the first — unless
+  // the first has chain state that exists nowhere on disk.
+  const std::string a =
+      test::WriteTempFimi("vreg_evict_a.dat", test::SmallFimiText());
+  const std::string b =
+      test::WriteTempFimi("vreg_evict_b.dat", test::DenseFimiText(50, 20, 8));
+
+  {
+    DatasetRegistry registry(/*budget_bytes=*/1);
+    auto ha = registry.Open(a);
+    ASSERT_TRUE(ha.ok());
+    const std::string id_a = ha->id;
+    ha = Status::Internal("drop handle");  // unpin
+    auto hb = registry.Open(b);
+    ASSERT_TRUE(hb.ok());
+    hb = Status::Internal("drop handle");
+    // Pristine LRU entry: evicted, id retired.
+    EXPECT_FALSE(registry.Resolve(id_a).ok());
+    EXPECT_GE(registry.stats().evictions, 1u);
+  }
+  {
+    DatasetRegistry registry(/*budget_bytes=*/1);
+    auto ha = registry.Open(a);
+    ASSERT_TRUE(ha.ok());
+    const std::string id_a = ha->id;
+    ASSERT_TRUE(registry.Append(id_a, {{1, 2}}).ok());
+    ha = Status::Internal("drop handle");
+    auto hb = registry.Open(b);
+    ASSERT_TRUE(hb.ok());
+    hb = Status::Internal("drop handle");
+    // Mutated chain survives the same pressure.
+    auto resolved = registry.Resolve(id_a);
+    ASSERT_TRUE(resolved.ok()) << resolved.status();
+    EXPECT_EQ(resolved->version, 2u);
+  }
+}
+
+TEST(VersionedRegistryTest, ConcurrentAppendsAndReadersStaySane) {
+  const std::string path =
+      test::WriteTempFimi("vreg_churn.dat", test::SmallFimiText());
+  DatasetRegistry registry;
+  auto base = registry.Open(path);
+  ASSERT_TRUE(base.ok());
+  const std::string id = base->id;
+  constexpr uint64_t kAppends = 40;
+  constexpr int kReaders = 4;
+
+  std::atomic<uint64_t> published{1};
+  std::atomic<int> failures{0};
+  std::thread writer([&] {
+    for (uint64_t i = 0; i < kAppends; ++i) {
+      auto h = registry.Append(
+          id, {{static_cast<Item>(i % 7), static_cast<Item>(i % 5 + 7)}});
+      if (!h.ok() || h->version != i + 2) {
+        ++failures;
+        return;
+      }
+      published.store(h->version, std::memory_order_release);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t sum = 0;
+      for (int iter = 0; iter < 200; ++iter) {
+        const uint64_t upper = published.load(std::memory_order_acquire);
+        const uint64_t version = 1 + (static_cast<uint64_t>(r) + iter) % upper;
+        auto h = registry.Resolve(id, version);
+        if (!h.ok()) {
+          ++failures;
+          return;
+        }
+        // Version v holds the 5 base transactions plus v-1 appends;
+        // immutable snapshots must never show torn sizes.
+        if (h->database->num_transactions() != 5 + (version - 1)) {
+          ++failures;
+          return;
+        }
+        sum += h->database->total_weight();
+      }
+      // Keep the loop's reads observable.
+      if (sum == 0) ++failures;
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto latest = registry.Resolve(id);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->version, kAppends + 1);
+}
+
+}  // namespace
+}  // namespace fpm

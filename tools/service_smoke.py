@@ -13,15 +13,20 @@ drives it with fpm_client the way a real deployment would:
         derived cross-task from the cached frequent run
   4. a rules query via the v2 "query" op
   5. "metrics"                        -> the daemon's own counters
-  6. "shutdown"                       -> clean exit
+  6. live ingestion: "open" a handle, "append" a delta, re-query by
+     id                               -> the parent version's cached
+        frequent run reseeds the child (cache: "reseeded"), and
+        "dataset_info" shows the two-version chain
+  7. "shutdown"                       -> clean exit
 
 and asserts, from the responses AND the daemon's metrics, that the
 repeated and dominated queries were served from the cache without
 re-mining (fpm.service.cache.hits / .dominated_hits nonzero, .misses
 exactly 1), that every task family was exercised
-(fpm.service.tasks.* >= 1), and that the task queries derived from
-the frequent cache (.cross_task_hits >= 1). Exits nonzero on any
-failure.
+(fpm.service.tasks.* >= 1), that the task queries derived from
+the frequent cache (.cross_task_hits >= 1), and that the post-append
+query was answered by delta recounting (.reseeds >= 1). Exits nonzero
+on any failure.
 
 Standard library only — runs on any CI python3.
 """
@@ -164,7 +169,53 @@ def main(argv):
                 fail(f"counter {name} = {value} fails its check "
                      f"(counters: { {k: v for k, v in counters.items() if k.startswith('fpm.service')} })")
 
-        # 6. Clean shutdown.
+        # 6. Live ingestion: open a handle on the already-cached
+        # dataset, stream one appended transaction, and re-query the
+        # new version by id at a higher threshold. The margin rule
+        # holds (threshold 3 > appended weight 1, and the frequent run
+        # was cached at 2 <= 3 - 1), so the service must answer by
+        # recounting the parent's listing over the delta — never
+        # re-mining.
+        opened = run_client(client, socket_path, "open", dataset)[0]
+        if not opened.get("ok") or not opened.get("id"):
+            fail(f"open = {opened}")
+        if opened.get("version") != 1:
+            fail(f"open returned version {opened.get('version')}, want 1")
+        ds_id = opened["id"]
+
+        delta_file = os.path.join(tmp, "delta.dat")
+        with open(delta_file, "w", encoding="utf-8") as f:
+            f.write("1 2 3\n")
+        appended = run_client(client, socket_path, "append", ds_id,
+                              delta_file)[0]
+        if not appended.get("ok") or appended.get("version") != 2:
+            fail(f"append = {appended}")
+        if appended.get("parent_digest") != opened.get("digest"):
+            fail("append's parent_digest does not chain to the opened "
+                 f"version: {appended}")
+
+        reseeded = run_client(client, socket_path, "query", ds_id, "3")[0]
+        if reseeded.get("cache") != "reseeded":
+            fail(f"post-append query got cache={reseeded.get('cache')}, "
+                 "want 'reseeded' (recounted from the parent listing)")
+        if reseeded.get("digest") != appended.get("digest"):
+            fail("post-append query answered for the wrong version")
+
+        info = run_client(client, socket_path, "dataset-info", ds_id)[0]
+        if info.get("live_transactions") != 7:
+            fail(f"dataset_info live_transactions = "
+                 f"{info.get('live_transactions')}, want 7")
+        if len(info.get("versions", [])) != 2:
+            fail(f"dataset_info versions = {info.get('versions')}, "
+                 "want the two-version chain")
+
+        metrics = run_client(client, socket_path, "metrics")[0]
+        counters = metrics.get("counters", {})
+        reseeds = counters.get("fpm.service.cache.reseeds")
+        if reseeds is None or reseeds < 1:
+            fail(f"counter fpm.service.cache.reseeds = {reseeds}, want >= 1")
+
+        # 7. Clean shutdown.
         run_client(client, socket_path, "shutdown")
         if daemon.wait(timeout=30) != 0:
             fail(f"fpmd exited {daemon.returncode} after shutdown")
@@ -174,7 +225,8 @@ def main(argv):
             daemon.wait()
 
     print("service smoke: OK (miss -> 2 hits, 1 dominated, "
-          "mixed batch derived cross-task, clean shutdown)")
+          "mixed batch derived cross-task, append reseeded, "
+          "clean shutdown)")
     return 0
 
 

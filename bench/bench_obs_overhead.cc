@@ -18,6 +18,7 @@
 #include "bench_report.h"
 #include "fpm/core/mine.h"
 #include "fpm/obs/metrics.h"
+#include "fpm/obs/query_log.h"
 #include "fpm/obs/trace.h"
 #include "fpm/perf/report.h"
 
@@ -69,13 +70,32 @@ int main() {
     ScopedSpan span(tracer, "bench");
     KeepAlive(&span);
   });
+  // Disabled QueryLog::Write — the per-request hook on the service
+  // path. The entry stays fully populated so the disabled branch is
+  // measured against a realistic record, not an empty struct.
+  QueryLog query_log;  // starts disabled
+  QueryLogEntry entry;
+  entry.query_id = 1;
+  entry.op = "query";
+  entry.task = "frequent";
+  entry.dataset = "bench.dat";
+  entry.min_support = 2;
+  entry.mine_ms = 1.5;
+  entry.cache = "miss";
+  entry.status = "ok";
+  const double log_s = TimeLoop(kMicroIters / 4, [&] {
+    query_log.Write(entry);
+    KeepAlive(&query_log);
+  });
   const double add_ns = NsPerOp(kMicroIters, add_s);
   const double observe_ns = NsPerOp(kMicroIters, observe_s);
   const double span_ns = NsPerOp(kMicroIters / 4, span_s);
+  const double log_ns = NsPerOp(kMicroIters / 4, log_s);
   std::printf("disabled fast paths (ns/op):\n");
   std::printf("  Counter::Add        %6.2f\n", add_ns);
   std::printf("  Histogram::Observe  %6.2f\n", observe_ns);
-  std::printf("  ScopedSpan          %6.2f\n\n", span_ns);
+  std::printf("  ScopedSpan          %6.2f\n", span_ns);
+  std::printf("  QueryLog::Write     %6.2f\n\n", log_ns);
 
   // Enabled write path, for contrast (still lock-free).
   registry.set_enabled(true);
@@ -142,7 +162,8 @@ int main() {
       .Str("section", "micro_disabled_ns_per_op")
       .Num("counter_add", add_ns)
       .Num("histogram_observe", observe_ns)
-      .Num("scoped_span", span_ns);
+      .Num("scoped_span", span_ns)
+      .Num("query_log_write", log_ns);
   report.AddRow()
       .Str("section", "end_to_end")
       .Str("dataset", ds.name)

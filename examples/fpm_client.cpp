@@ -2,6 +2,13 @@
 //
 //   ./fpm_client --socket=/tmp/fpmd.sock ping
 //   ./fpm_client --socket=/tmp/fpmd.sock metrics
+//   ./fpm_client --socket=/tmp/fpmd.sock stats
+//       live service state: registry datasets, cache, scheduler queue
+//       and in-flight jobs, rolling latency windows, watchdog counters.
+//   ./fpm_client --socket=/tmp/fpmd.sock metrics-text
+//       prints the metrics snapshot in Prometheus text exposition
+//       format (the decoded "text" field; --json keeps the raw JSON
+//       envelope). Pipe to a node_exporter textfile collector.
 //   ./fpm_client --socket=/tmp/fpmd.sock shutdown
 //   ./fpm_client --socket=/tmp/fpmd.sock mine <dataset> <min_support>
 //       [--algorithm=NAME] [--patterns=all|none] [--priority=N]
@@ -31,6 +38,9 @@
 // "query" also accepts a "ds-N" handle id in place of the dataset path
 // (add --version=N to pin an older version; default is latest).
 //
+// "query" accepts --trace-id=STR, an opaque tag echoed in the response
+// and the daemon's query log — thread your own request id through.
+//
 // "mine" speaks protocol v1 (frozen); everything else speaks v2.
 // Prints one response line per request to stdout (raw protocol JSON —
 // pipe through jq for pretty output). --repeat issues the same request
@@ -57,14 +67,15 @@ using fpm::JsonValue;
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --socket=PATH ping|metrics|shutdown\n"
+               "usage: %s --socket=PATH "
+               "ping|metrics|stats|metrics-text|shutdown [--json]\n"
                "       %s --socket=PATH mine DATASET MIN_SUPPORT "
                "[--algorithm=NAME] [--patterns=all|none] [--priority=N] "
                "[--timeout=SEC] [--count-only] [--repeat=N]\n"
                "       %s --socket=PATH query DATASET|DS-ID MIN_SUPPORT "
                "[--task=NAME] [--top-k=N] [--min-confidence=X] "
                "[--min-lift=X] [--max-consequent=N] [--version=N] "
-               "[mine options]\n"
+               "[--trace-id=STR] [mine options]\n"
                "       %s --socket=PATH batch FILE\n"
                "       %s --socket=PATH open DATASET\n"
                "       %s --socket=PATH append DS-ID FIMI_FILE\n"
@@ -185,6 +196,8 @@ int main(int argc, char** argv) {
   long version = 0;
   long last_n = -1;
   double last_seconds = -1.0;
+  std::string trace_id;
+  bool json_output = false;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -219,6 +232,10 @@ int main(int argc, char** argv) {
       last_n = std::atol(arg.c_str() + 9);
     } else if (arg.rfind("--last-seconds=", 0) == 0) {
       last_seconds = std::atof(arg.c_str() + 15);
+    } else if (arg.rfind("--trace-id=", 0) == 0) {
+      trace_id = arg.substr(11);
+    } else if (arg == "--json") {
+      json_output = true;
     } else if (arg.rfind("--", 0) == 0) {
       return Usage(argv[0]);
     } else if (positional == 0) {
@@ -249,15 +266,19 @@ int main(int argc, char** argv) {
     return Usage(argv[0]);
   }
   if (!is_mine && !is_dataset_op && op != "batch" && op != "ping" &&
-      op != "metrics" && op != "shutdown") {
+      op != "metrics" && op != "stats" && op != "metrics-text" &&
+      op != "shutdown") {
     return Usage(argv[0]);
   }
 
   size_t expected_responses = 1;
   JsonValue request = JsonValue::Object();
-  // The wire op name: "dataset-info" (CLI spelling) -> "dataset_info".
-  request.Set("op",
-              JsonValue::Str(op == "dataset-info" ? "dataset_info" : op));
+  // The wire op names: "dataset-info" -> "dataset_info",
+  // "metrics-text" -> "metrics_text" (CLI spelling uses dashes).
+  std::string wire_op = op;
+  if (op == "dataset-info") wire_op = "dataset_info";
+  if (op == "metrics-text") wire_op = "metrics_text";
+  request.Set("op", JsonValue::Str(wire_op));
   if (is_mine) {
     if (op == "query" && IsHandleRef(dataset)) {
       request.Set("id", JsonValue::Str(dataset));
@@ -288,6 +309,9 @@ int main(int argc, char** argv) {
       request.Set("timeout_s", JsonValue::Number(timeout_seconds));
     }
     if (count_only) request.Set("count_only", JsonValue::Bool(true));
+    if (op == "query" && !trace_id.empty()) {
+      request.Set("trace_id", JsonValue::Str(trace_id));
+    }
   } else if (op == "batch") {
     // One JSON query object per file line; the daemon answers with
     // exactly one tagged line per entry.
@@ -380,7 +404,20 @@ int main(int argc, char** argv) {
         ::close(fd);
         return 1;
       }
-      if (!PrintAndCheck(response)) all_ok = false;
+      if (op == "metrics-text" && !json_output) {
+        // Unwrap the exposition text so the output pipes straight into
+        // a Prometheus textfile collector.
+        auto parsed = fpm::ParseJson(response);
+        if (parsed.ok() && parsed->is_object() &&
+            parsed.value()["ok"].bool_value() &&
+            parsed.value()["text"].is_string()) {
+          std::fputs(parsed.value()["text"].string_value().c_str(), stdout);
+        } else {
+          if (!PrintAndCheck(response)) all_ok = false;
+        }
+      } else if (!PrintAndCheck(response)) {
+        all_ok = false;
+      }
     }
   }
   ::close(fd);

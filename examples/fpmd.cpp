@@ -7,6 +7,10 @@
 //     --cache-budget-mb=N    result cache LRU budget (default 256)
 //     --queue-depth=N        backpressure bound (default 64)
 //     --max-itemsets=N       admission bound (default 0: off)
+//     --query-log=FILE       append one JSON line per query (see
+//                            fpm/obs/query_log.h for the schema)
+//     --slow-query-ms=N      also mirror queries slower than N ms to
+//                            stderr (requires --query-log)
 //     --once                 exit after the first connection closes
 //                            (smoke tests)
 //
@@ -36,6 +40,8 @@
 #include <vector>
 
 #include "fpm/obs/metrics.h"
+#include "fpm/obs/prometheus.h"
+#include "fpm/obs/query_log.h"
 #include "fpm/service/protocol.h"
 #include "fpm/service/service.h"
 
@@ -47,7 +53,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket=PATH [--threads=N] [--data-budget-mb=N] "
                "[--cache-budget-mb=N] [--queue-depth=N] [--max-itemsets=N] "
-               "[--once]\n",
+               "[--query-log=FILE] [--slow-query-ms=N] [--once]\n",
                argv0);
   return 2;
 }
@@ -76,6 +82,12 @@ bool PeerClosed(int fd) {
 std::string MetricsJson() {
   std::ostringstream out;
   MetricsRegistry::Default().Snapshot().WriteJson(out);
+  return out.str();
+}
+
+std::string MetricsText() {
+  std::ostringstream out;
+  WritePrometheusText(MetricsRegistry::Default().Snapshot(), out);
   return out.str();
 }
 
@@ -237,6 +249,12 @@ void ServeConnection(ServerState* state, int fd) {
           case ServiceRequest::Op::kMetrics:
             reply = MetricsJson();
             break;
+          case ServiceRequest::Op::kMetricsText:
+            reply = EncodeMetricsTextResponse(MetricsText());
+            break;
+          case ServiceRequest::Op::kStats:
+            reply = EncodeStatsResponse(state->service->Stats());
+            break;
           case ServiceRequest::Op::kShutdown:
             reply = EncodeOk();
             shutdown_after = true;
@@ -288,6 +306,8 @@ int main(int argc, char** argv) {
   long cache_budget_mb = 256;
   long queue_depth = 64;
   double max_itemsets = 0.0;
+  std::string query_log_path;
+  double slow_query_ms = 0.0;
   bool once = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -303,6 +323,10 @@ int main(int argc, char** argv) {
       queue_depth = std::atol(arg.c_str() + 14);
     } else if (arg.rfind("--max-itemsets=", 0) == 0) {
       max_itemsets = std::atof(arg.c_str() + 15);
+    } else if (arg.rfind("--query-log=", 0) == 0) {
+      query_log_path = arg.substr(12);
+    } else if (arg.rfind("--slow-query-ms=", 0) == 0) {
+      slow_query_ms = std::atof(arg.c_str() + 16);
     } else if (arg == "--once") {
       once = true;
     } else {
@@ -321,6 +345,19 @@ int main(int argc, char** argv) {
   // service's dashboard.
   MetricsRegistry::Default().set_enabled(true);
 
+  // The query log must outlive the service: in-flight jobs write their
+  // completion lines from pool threads during service teardown.
+  QueryLog query_log;
+  if (!query_log_path.empty()) {
+    const Status opened = query_log.OpenFile(query_log_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "fpmd: --query-log: %s\n",
+                   opened.message().c_str());
+      return 1;
+    }
+    query_log.set_slow_threshold_ms(slow_query_ms);
+  }
+
   ServerState state;
   MiningService::Options options;
   options.num_threads = static_cast<uint32_t>(threads);
@@ -330,6 +367,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(cache_budget_mb) * 1024 * 1024;
   options.max_queue_depth = static_cast<size_t>(queue_depth);
   options.max_estimated_itemsets = max_itemsets;
+  if (query_log.enabled()) options.query_log = &query_log;
   state.service = std::make_unique<MiningService>(options);
 
   const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);

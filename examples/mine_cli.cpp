@@ -22,6 +22,9 @@
 //     --perf                                   (per-phase CPI/MPKI table)
 //     --trace-out=FILE                         (chrome://tracing span JSON)
 //     --metrics-out=FILE                       (metrics snapshot JSON)
+//     --query-log=FILE                         (append one JSON line for
+//                                               this run, same schema as
+//                                               fpmd's --query-log)
 //     --append=FILE                            (repeatable: append FILE's
 //                                               transactions as a new
 //                                               dataset version before
@@ -51,6 +54,7 @@
 #include "fpm/dataset/stats.h"
 #include "fpm/dataset/versioned.h"
 #include "fpm/obs/metrics.h"
+#include "fpm/obs/query_log.h"
 #include "fpm/obs/trace.h"
 #include "fpm/parallel/thread_pool.h"
 #include "fpm/perf/harness.h"
@@ -89,7 +93,7 @@ int Usage(const char* argv0) {
                "[--min-confidence=X] [--min-lift=X] [--output=FILE] "
                "[--threads=N (0 = all hardware threads)] [--timeout=SEC] "
                "[--flat] [--nondeterministic] [--stats] [--perf] "
-               "[--trace-out=FILE] [--metrics-out=FILE] "
+               "[--trace-out=FILE] [--metrics-out=FILE] [--query-log=FILE] "
                "[--append=FILE ...] [--window=N]\n",
                argv0);
   return 2;
@@ -127,6 +131,7 @@ int main(int argc, char** argv) {
   std::string output_path;
   std::string trace_path;
   std::string metrics_path;
+  std::string query_log_path;
   bool show_stats = false;
   bool show_perf = false;
   long threads = 1;
@@ -189,6 +194,8 @@ int main(int argc, char** argv) {
       trace_path = arg.substr(12);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_path = arg.substr(14);
+    } else if (arg.rfind("--query-log=", 0) == 0) {
+      query_log_path = arg.substr(12);
     } else if (arg.rfind("--append=", 0) == 0) {
       append_paths.push_back(arg.substr(9));
     } else if (arg.rfind("--window=", 0) == 0) {
@@ -212,6 +219,15 @@ int main(int argc, char** argv) {
   if (!trace_path.empty() && !OpenOutput(trace_path, &trace_file)) return 1;
   if (!metrics_path.empty() && !OpenOutput(metrics_path, &metrics_file)) {
     return 1;
+  }
+  QueryLog query_log;
+  if (!query_log_path.empty()) {
+    if (const Status opened = query_log.OpenFile(query_log_path);
+        !opened.ok()) {
+      std::fprintf(stderr, "error: --query-log: %s\n",
+                   opened.message().c_str());
+      return 1;
+    }
   }
 
   // Observability is enabled before the load so the fimi/read span and
@@ -409,6 +425,33 @@ int main(int argc, char** argv) {
       count = sink.count();
     }
   }
+  // One query-log line per run, same schema as the daemon's, so offline
+  // and service runs share one analysis pipeline.
+  if (query_log.enabled()) {
+    QueryLogEntry entry;
+    entry.query_id = 1;
+    entry.op = "cli";
+    entry.task = TaskName(query.task);
+    entry.dataset = input;
+    entry.algorithm = AlgorithmName(options.algorithm);
+    entry.min_support = static_cast<uint64_t>(support_arg);
+    if (query.task == MiningTask::kTopK) entry.k = query.k;
+    entry.mine_ms = mine_timer.ElapsedSeconds() * 1000.0;
+    entry.cache = "miss";
+    entry.num_results = count;
+    if (run.ok()) {
+      entry.peak_bytes = run->peak_structure_bytes;
+      entry.status = "ok";
+    } else {
+      const StatusCode code = run.status().code();
+      entry.status = code == StatusCode::kDeadlineExceeded ? "deadline"
+                     : code == StatusCode::kCancelled      ? "cancelled"
+                                                           : "error";
+      entry.reason = run.status().message();
+    }
+    query_log.Write(entry);
+  }
+
   if (!run.ok()) {
     const StatusCode code = run.status().code();
     if (code == StatusCode::kDeadlineExceeded ||

@@ -1,0 +1,56 @@
+#include "fpm/obs/prometheus.h"
+
+#include <ostream>
+
+#include "fpm/obs/metrics.h"
+
+namespace fpm {
+namespace {
+
+bool LegalNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    out += LegalNameChar(c, out.empty()) ? c : '_';
+  }
+  return out;
+}
+
+void WritePrometheusText(const MetricsSnapshot& snapshot, std::ostream& os) {
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string name = PrometheusName(c.name);
+    os << "# TYPE " << name << " counter\n";
+    os << name << ' ' << c.value << '\n';
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string name = PrometheusName(g.name);
+    os << "# TYPE " << name << " gauge\n";
+    os << name << ' ' << g.value << '\n';
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string name = PrometheusName(h.name);
+    os << "# TYPE " << name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.counts.size() ? h.counts[i] : 0;
+      os << name << "_bucket{le=\"" << h.bounds[i] << "\"} " << cumulative
+         << '\n';
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+    os << name << "_sum " << h.sum << '\n';
+    os << name << "_count " << h.count() << '\n';
+  }
+}
+
+}  // namespace fpm

@@ -1,0 +1,34 @@
+// Prometheus text-exposition rendering of a MetricsSnapshot, so
+// standard scrapers (prometheus, the node_exporter textfile collector,
+// vmagent) can consume fpmd's metrics without a bespoke integration.
+//
+// Metric names are sanitized to the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): the registry's dots become underscores,
+// so "fpm.service.cache.hits" exports as "fpm_service_cache_hits".
+// Counters and gauges emit a `# TYPE` line plus one sample; histograms
+// emit cumulative `_bucket{le="..."}` samples (including `+Inf`), plus
+// `_sum` and `_count`, matching Prometheus histogram conventions.
+
+#ifndef FPM_OBS_PROMETHEUS_H_
+#define FPM_OBS_PROMETHEUS_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace fpm {
+
+struct MetricsSnapshot;
+
+/// A valid Prometheus metric name derived from `name` (dots and any
+/// other illegal characters become '_', including a leading digit).
+std::string PrometheusName(std::string_view name);
+
+/// Writes the snapshot in Prometheus text exposition format (version
+/// 0.0.4): `# TYPE` comments, one sample line per metric/bucket, and a
+/// trailing newline after every line.
+void WritePrometheusText(const MetricsSnapshot& snapshot, std::ostream& os);
+
+}  // namespace fpm
+
+#endif  // FPM_OBS_PROMETHEUS_H_

@@ -24,6 +24,15 @@ thread_local TlsRingCache tls_ring_cache;
 // (spans just nest across tracers too).
 thread_local uint32_t tls_span_depth = 0;
 
+// Per-thread request context (see Tracer::SetThreadQueryId). Global
+// across tracers for the same reason as the depth.
+thread_local uint64_t tls_query_id = 0;
+
+// Appends the thread's query-id context to a span about to be recorded.
+void AttachSpanContext(TraceSpan& span) {
+  if (tls_query_id != 0) span.args.emplace_back("query_id", tls_query_id);
+}
+
 void WriteJsonString(std::ostream& os, std::string_view s) {
   os << '"';
   for (char c : s) {
@@ -46,6 +55,8 @@ struct Tracer::ThreadRing {
 Tracer::Tracer(size_t ring_capacity)
     : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
       ring_capacity_(ring_capacity < 1 ? 1 : ring_capacity),
+      spans_dropped_counter_(
+          MetricsRegistry::Default().GetCounter("fpm.obs.spans_dropped")),
       epoch_(std::chrono::steady_clock::now()) {}
 
 Tracer::~Tracer() = default;
@@ -54,6 +65,12 @@ Tracer& Tracer::Default() {
   static Tracer* tracer = new Tracer();
   return *tracer;
 }
+
+void Tracer::SetThreadQueryId(uint64_t query_id) {
+  tls_query_id = query_id;
+}
+
+uint64_t Tracer::ThreadQueryId() { return tls_query_id; }
 
 uint64_t Tracer::NowNs() const {
   return static_cast<uint64_t>(
@@ -90,6 +107,7 @@ void Tracer::Record(TraceSpan span) {
     ring->slots[ring->next] = std::move(span);
     ring->next = (ring->next + 1) % ring_capacity_;
     ++ring->overwritten;
+    spans_dropped_counter_->Increment();
   }
 }
 
@@ -157,6 +175,7 @@ void ScopedSpan::End() {
   --tls_span_depth;
   Tracer* tracer = tracer_;
   tracer_ = nullptr;
+  AttachSpanContext(span_);
   tracer->Record(std::move(span_));
 }
 
@@ -221,6 +240,7 @@ double PhaseSpan::End() {
   if (tracing_) {
     span_.duration_ns = tracer->NowNs() - span_.start_ns;
     --tls_span_depth;
+    AttachSpanContext(span_);
     tracer->Record(std::move(span_));
   }
   return elapsed_seconds_;

@@ -44,6 +44,8 @@
 
 namespace fpm {
 
+class Counter;
+
 /// One completed span. Timestamps are nanoseconds since the tracer's
 /// construction (Clear() keeps the epoch, so successive exports share a
 /// time base).
@@ -93,6 +95,15 @@ class Tracer {
     return phase_sampler_.load(std::memory_order_acquire);
   }
 
+  /// Request-scoped span context. A nonzero query id set on a thread is
+  /// attached as a "query_id" arg to every ScopedSpan/PhaseSpan the
+  /// thread records (all tracers — the context is per thread, like the
+  /// nesting depth), so kernel and task spans can be joined back to the
+  /// service request that caused them. Prefer SpanContextScope over
+  /// calling these directly.
+  static void SetThreadQueryId(uint64_t query_id);
+  static uint64_t ThreadQueryId();
+
   /// Nanoseconds since construction (the span time base).
   uint64_t NowNs() const;
 
@@ -120,12 +131,33 @@ class Tracer {
 
   const uint64_t id_;  // process-unique, for the thread-local ring cache
   const size_t ring_capacity_;
+  Counter* spans_dropped_counter_;  // fpm.obs.spans_dropped
   std::atomic<bool> enabled_{false};
   std::atomic<PhaseSampler*> phase_sampler_{nullptr};
   const std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex mu_;  // guards rings_ (the list, not the contents)
   std::vector<std::unique_ptr<ThreadRing>> rings_;
+};
+
+/// RAII query-id span context: installs `query_id` as the calling
+/// thread's context for its lifetime and restores the previous value on
+/// destruction (nesting is well-formed). Spawning code that ships work
+/// to another thread must capture Tracer::ThreadQueryId() at submit time
+/// and open a new scope inside the task body.
+class SpanContextScope {
+ public:
+  explicit SpanContextScope(uint64_t query_id)
+      : previous_(Tracer::ThreadQueryId()) {
+    Tracer::SetThreadQueryId(query_id);
+  }
+  ~SpanContextScope() { Tracer::SetThreadQueryId(previous_); }
+
+  SpanContextScope(const SpanContextScope&) = delete;
+  SpanContextScope& operator=(const SpanContextScope&) = delete;
+
+ private:
+  uint64_t previous_;
 };
 
 /// RAII span: begins at construction, ends (and records) at End() or

@@ -1,0 +1,83 @@
+#include "fpm/obs/windowed.h"
+
+#include <algorithm>
+
+namespace fpm {
+
+WindowedHistogram::WindowedHistogram(size_t ring_seconds)
+    : epoch_(std::chrono::steady_clock::now()),
+      ring_(ring_seconds < 2 ? 2 : ring_seconds) {}
+
+uint64_t WindowedHistogram::NowSecond() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+WindowedHistogram::Bucket& WindowedHistogram::BucketFor(uint64_t second) {
+  Bucket& b = ring_[second % ring_.size()];
+  if (b.second != second) b = Bucket{second, 0, 0.0, 0.0, {}};
+  return b;
+}
+
+void WindowedHistogram::RecordAt(uint64_t second, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& b = BucketFor(second);
+  ++b.count;
+  b.sum += ms;
+  b.max = std::max(b.max, ms);
+  size_t i = 0;
+  while (i < kBoundsMs.size() && ms > kBoundsMs[i]) ++i;
+  ++b.hist[i];
+}
+
+WindowedHistogram::Stats WindowedHistogram::QueryAt(
+    uint64_t window_seconds, uint64_t now_second) const {
+  Stats out;
+  if (window_seconds == 0) return out;
+  // The window is the last `window_seconds` whole seconds ending at the
+  // in-progress one (inclusive), so fresh traffic shows up immediately.
+  const uint64_t end = now_second;
+  const uint64_t begin =
+      end + 1 >= window_seconds ? end + 1 - window_seconds : 0;
+
+  std::array<uint64_t, kBoundsMs.size() + 1> merged{};
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Bucket& b : ring_) {
+    if (b.count == 0 || b.second < begin || b.second > end) continue;
+    out.count += b.count;
+    out.max_ms = std::max(out.max_ms, b.max);
+    for (size_t i = 0; i < merged.size(); ++i) merged[i] += b.hist[i];
+  }
+  out.qps = static_cast<double>(out.count) /
+            static_cast<double>(window_seconds);
+  if (out.count == 0) return out;
+
+  // Linear interpolation inside the bucket containing the quantile's
+  // rank; the overflow bucket reports the observed max.
+  auto quantile = [&](double q) {
+    const double rank = q * static_cast<double>(out.count);
+    uint64_t cum = 0;
+    for (size_t i = 0; i < merged.size(); ++i) {
+      if (merged[i] == 0) continue;
+      const uint64_t next = cum + merged[i];
+      if (static_cast<double>(next) >= rank) {
+        if (i == kBoundsMs.size()) return out.max_ms;
+        const double lo = i == 0 ? 0.0 : kBoundsMs[i - 1];
+        const double hi = std::min(kBoundsMs[i], out.max_ms);
+        const double frac =
+            (rank - static_cast<double>(cum)) /
+            static_cast<double>(merged[i]);
+        return lo + (std::max(hi, lo) - lo) * frac;
+      }
+      cum = next;
+    }
+    return out.max_ms;
+  };
+  out.p50_ms = quantile(0.50);
+  out.p99_ms = quantile(0.99);
+  return out;
+}
+
+}  // namespace fpm

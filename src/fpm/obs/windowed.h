@@ -1,0 +1,82 @@
+// Sliding-window latency/QPS aggregation for live introspection.
+//
+// A WindowedHistogram keeps one bucket per wall-clock second in a
+// fixed-size ring (128 seconds by default — enough for the 1s/10s/60s
+// windows the stats op reports, with slack for clock skew at the
+// window edge). Each bucket holds a count, sum, max, and a fixed
+// log-spaced latency histogram; Stats(window) merges the buckets whose
+// second falls inside the window and interpolates p50/p99 from the
+// merged histogram. Record() is a short mutex-guarded update (the
+// stats path is nowhere near the kernel hot loops), and the
+// *At(second) overloads take an explicit clock so tests are
+// deterministic.
+
+#ifndef FPM_OBS_WINDOWED_H_
+#define FPM_OBS_WINDOWED_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace fpm {
+
+class WindowedHistogram {
+ public:
+  /// Upper bounds (milliseconds) of the latency buckets, log-spaced
+  /// from 100us to 2 minutes; one implicit overflow bucket follows.
+  static constexpr std::array<double, 20> kBoundsMs = {
+      0.1,    0.2,    0.5,    1.0,    2.0,     5.0,     10.0,
+      20.0,   50.0,   100.0,  200.0,  500.0,   1000.0,  2000.0,
+      5000.0, 10000.0, 20000.0, 30000.0, 60000.0, 120000.0};
+
+  struct Stats {
+    uint64_t count = 0;   ///< observations inside the window
+    double qps = 0.0;     ///< count / window_seconds
+    double p50_ms = 0.0;  ///< interpolated; 0 when count == 0
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+  };
+
+  explicit WindowedHistogram(size_t ring_seconds = 128);
+
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  /// Records one observation at the current second.
+  void Record(double ms) { RecordAt(NowSecond(), ms); }
+  /// Records at an explicit second (monotone, seconds since an
+  /// arbitrary epoch). Deterministic-test entry point.
+  void RecordAt(uint64_t second, double ms);
+
+  /// Aggregates the last `window_seconds` full seconds ending at the
+  /// current second (exclusive of the in-progress second when
+  /// possible, so 1s windows are not systematically short).
+  Stats Query(uint64_t window_seconds) const {
+    return QueryAt(window_seconds, NowSecond());
+  }
+  Stats QueryAt(uint64_t window_seconds, uint64_t now_second) const;
+
+  /// Seconds since construction (the clock Record()/Query() use).
+  uint64_t NowSecond() const;
+
+ private:
+  struct Bucket {
+    uint64_t second = ~uint64_t{0};  ///< which second this bucket holds
+    uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+    std::array<uint32_t, kBoundsMs.size() + 1> hist{};  ///< last = overflow
+  };
+
+  Bucket& BucketFor(uint64_t second);
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Bucket> ring_;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_OBS_WINDOWED_H_

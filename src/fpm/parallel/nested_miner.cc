@@ -210,8 +210,13 @@ bool TaskSpawner::Offer(uint32_t depth, uint64_t work,
   SubtreeSpawner::SubtreeFn fn = detach(lease->get());
   run->telemetry.RecordSpawn(depth);
   const Item owner = owner_raw_;
-  run->group->Run([run, child, owner, depth, fn = std::move(fn),
+  // Detached tasks run on arbitrary pool threads: carry the offering
+  // thread's query-id span context so task spans stay attributable to
+  // the owning request.
+  const uint64_t query_id = Tracer::ThreadQueryId();
+  run->group->Run([run, child, owner, depth, query_id, fn = std::move(fn),
                    lease = std::move(lease)]() mutable {
+    SpanContextScope span_context(query_id);
     run->RunSubtree(child, owner, depth, fn);
     // The frame's storage lives in the leased arena: destroy the frame
     // before the lease returns (and Reset()s) the arena.
@@ -294,10 +299,12 @@ Result<MineStats> NestedParallelMiner::MineImpl(const Database& db,
                        return decomp.class_entries[a] >
                               decomp.class_entries[b];
                      });
+    const uint64_t query_id = Tracer::ThreadQueryId();
     for (Item i : schedule) {
       TreeShard* shard = deterministic ? &class_shards[i] : nullptr;
       DatabaseBuilder* builder = &decomp.builders[i];
-      group.Run([&run, i, shard, builder] {
+      group.Run([&run, i, shard, builder, query_id] {
+        SpanContextScope span_context(query_id);
         run.RunClass(i, shard, builder, /*spawn=*/true);
       });
     }

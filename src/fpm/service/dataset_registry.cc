@@ -271,11 +271,20 @@ DatasetRegistryStats DatasetRegistry::stats() const {
   s.appends = appends_;
   s.evictions = evictions_;
   s.resident_bytes = resident_bytes_;
-  size_t n = 0;
   for (const auto& [path, entry] : entries_) {
-    if (!entry.loading) ++n;
+    if (entry.loading) continue;
+    DatasetRegistryStats::Dataset d;
+    d.id = entry.id;
+    d.path = path;
+    d.versions = entry.dataset->versions().size();
+    d.live_transactions = entry.dataset->live_transactions();
+    d.bytes = entry.bytes;
+    for (const DatasetVersion& v : entry.dataset->versions()) {
+      if (v.database.use_count() > 1) ++d.pinned_versions;
+    }
+    s.datasets.push_back(std::move(d));
   }
-  s.resident_entries = n;
+  s.resident_entries = s.datasets.size();
   return s;
 }
 

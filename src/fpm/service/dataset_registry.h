@@ -96,6 +96,18 @@ struct DatasetRegistryStats {
   uint64_t evictions = 0;  ///< entries dropped by the LRU budget
   size_t resident_bytes = 0;
   size_t resident_entries = 0;
+  /// One row per resident dataset (the stats op's registry listing).
+  struct Dataset {
+    std::string id;
+    std::string path;
+    uint64_t versions = 0;
+    uint64_t live_transactions = 0;
+    size_t bytes = 0;
+    /// Versions some job currently holds a handle to (their snapshot
+    /// shared_ptr has owners beyond the registry).
+    uint64_t pinned_versions = 0;
+  };
+  std::vector<Dataset> datasets;
 };
 
 class DatasetRegistry {

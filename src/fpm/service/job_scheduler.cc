@@ -1,5 +1,6 @@
 #include "fpm/service/job_scheduler.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "fpm/obs/metrics.h"
@@ -20,7 +21,8 @@ JobScheduler::JobScheduler(JobSchedulerOptions options)
 
 JobScheduler::~JobScheduler() { Drain(); }
 
-Status JobScheduler::Submit(int priority, std::function<void()> job) {
+Status JobScheduler::Submit(int priority, uint64_t query_id,
+                            std::function<void()> job) {
   bool spawn_runner = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -30,7 +32,7 @@ Status JobScheduler::Submit(int priority, std::function<void()> job) {
       return Status::ResourceExhausted(
           "job queue full (" + std::to_string(queue_.size()) + " queued)");
     }
-    queue_.push(QueuedJob{priority, next_seq_++, std::move(job)});
+    queue_.push(QueuedJob{priority, next_seq_++, query_id, std::move(job)});
     ++submitted_;
     submitted_counter_->Increment();
     queue_depth_gauge_->Set(queue_.size());
@@ -52,8 +54,12 @@ void JobScheduler::RunnerLoop() {
     // const_cast idiom (the element is popped immediately after).
     std::function<void()> fn =
         std::move(const_cast<QueuedJob&>(queue_.top()).fn);
+    const uint64_t seq = queue_.top().seq;
+    const uint64_t query_id = queue_.top().query_id;
     queue_.pop();
     ++running_;
+    running_jobs_.push_back(
+        RunningJob{seq, query_id, std::chrono::steady_clock::now()});
     queue_depth_gauge_->Set(queue_.size());
     lock.unlock();
 
@@ -61,6 +67,9 @@ void JobScheduler::RunnerLoop() {
 
     lock.lock();
     --running_;
+    running_jobs_.erase(
+        std::find_if(running_jobs_.begin(), running_jobs_.end(),
+                     [seq](const RunningJob& r) { return r.seq == seq; }));
     ++completed_;
     completed_counter_->Increment();
   }
@@ -85,6 +94,13 @@ JobSchedulerStats JobScheduler::stats() const {
   s.completed = completed_;
   s.queue_depth = queue_.size();
   s.running = running_;
+  const auto now = std::chrono::steady_clock::now();
+  s.in_flight.reserve(running_jobs_.size());
+  for (const RunningJob& r : running_jobs_) {
+    s.in_flight.push_back(InFlightJob{
+        r.query_id,
+        std::chrono::duration<double>(now - r.start).count()});
+  }
   return s;
 }
 

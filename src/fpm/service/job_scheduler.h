@@ -17,6 +17,7 @@
 #ifndef FPM_SERVICE_JOB_SCHEDULER_H_
 #define FPM_SERVICE_JOB_SCHEDULER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -38,12 +39,19 @@ struct JobSchedulerOptions {
   uint32_t max_concurrency = 0;   ///< 0 = pool worker count
 };
 
+/// One job currently executing on a pool worker (stats() view).
+struct InFlightJob {
+  uint64_t query_id = 0;     ///< 0 for jobs submitted without an id
+  double age_seconds = 0.0;  ///< since the job started running
+};
+
 struct JobSchedulerStats {
   uint64_t submitted = 0;
   uint64_t rejected = 0;   ///< backpressure rejections
   uint64_t completed = 0;
   size_t queue_depth = 0;  ///< queued, not yet running
   size_t running = 0;
+  std::vector<InFlightJob> in_flight;  ///< the `running` jobs, with ages
 };
 
 class JobScheduler {
@@ -59,7 +67,11 @@ class JobScheduler {
   /// Enqueues `job` at `priority` (higher runs first; FIFO within a
   /// priority). ResourceExhausted when the queue is full. The job runs
   /// on a pool worker; it must not block on other scheduler jobs.
-  Status Submit(int priority, std::function<void()> job);
+  /// `query_id` labels the job in stats().in_flight (0 = unlabelled).
+  Status Submit(int priority, uint64_t query_id, std::function<void()> job);
+  Status Submit(int priority, std::function<void()> job) {
+    return Submit(priority, /*query_id=*/0, std::move(job));
+  }
 
   /// Blocks until the queue is empty and no job is running.
   void Drain();
@@ -69,8 +81,14 @@ class JobScheduler {
  private:
   struct QueuedJob {
     int priority = 0;
-    uint64_t seq = 0;  ///< FIFO tie-break
+    uint64_t seq = 0;       ///< FIFO tie-break
+    uint64_t query_id = 0;  ///< stats()/watchdog label
     std::function<void()> fn;
+  };
+  struct RunningJob {
+    uint64_t seq = 0;  ///< identifies the slot across start/finish
+    uint64_t query_id = 0;
+    std::chrono::steady_clock::time_point start;
   };
   struct JobOrder {
     bool operator()(const QueuedJob& a, const QueuedJob& b) const {
@@ -89,6 +107,7 @@ class JobScheduler {
   uint64_t next_seq_ = 0;
   uint32_t active_runners_ = 0;
   size_t running_ = 0;
+  std::vector<RunningJob> running_jobs_;
   uint64_t submitted_ = 0;
   uint64_t rejected_ = 0;
   uint64_t completed_ = 0;

@@ -164,6 +164,16 @@ Status DecodeMineBody(const JsonValue& doc, const std::string& where,
     out->count_only = count_only.bool_value();
   }
 
+  if (with_tasks) {
+    const JsonValue& trace_id = doc["trace_id"];
+    if (!trace_id.is_null()) {
+      if (!trace_id.is_string()) {
+        return FieldError(where, "trace_id", "not a string");
+      }
+      out->trace_id = trace_id.string_value();
+    }
+  }
+
   return Status::OK();
 }
 
@@ -284,6 +294,11 @@ JsonValue BuildQueryResponse(const MineResponse& response) {
   doc.Set("digest", JsonValue::Str(response.dataset_digest));
   doc.Set("queue_ms", JsonValue::Number(response.queue_seconds * 1000.0));
   doc.Set("mine_ms", JsonValue::Number(response.mine_seconds * 1000.0));
+  doc.Set("query_id",
+          JsonValue::Int(static_cast<int64_t>(response.query_id)));
+  if (!response.trace_id.empty()) {
+    doc.Set("trace_id", JsonValue::Str(response.trace_id));
+  }
   if (!response.itemsets.empty()) {
     doc.Set("itemsets", EncodeItemsets(response.itemsets));
   }
@@ -334,6 +349,16 @@ Result<ServiceRequest> DecodeRequest(const std::string& line) {
   }
   if (name == "metrics") {
     request.op = ServiceRequest::Op::kMetrics;
+    return request;
+  }
+  if (name == "metrics_text") {
+    request.op = ServiceRequest::Op::kMetricsText;
+    request.version = 2;
+    return request;
+  }
+  if (name == "stats") {
+    request.op = ServiceRequest::Op::kStats;
+    request.version = 2;
     return request;
   }
   if (name == "shutdown") {
@@ -491,6 +516,114 @@ std::string EncodeDatasetInfoResponse(const DatasetInfo& info) {
     versions.Append(std::move(out));
   }
   doc.Set("versions", std::move(versions));
+  return doc.Dump();
+}
+
+std::string EncodeStatsResponse(const ServiceStats& stats) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ok", JsonValue::Bool(true));
+  doc.Set("uptime_seconds", JsonValue::Number(stats.uptime_seconds));
+
+  JsonValue registry = JsonValue::Object();
+  registry.Set("loads",
+               JsonValue::Int(static_cast<int64_t>(stats.registry.loads)));
+  registry.Set("hits",
+               JsonValue::Int(static_cast<int64_t>(stats.registry.hits)));
+  registry.Set("appends",
+               JsonValue::Int(static_cast<int64_t>(stats.registry.appends)));
+  registry.Set("evictions",
+               JsonValue::Int(static_cast<int64_t>(stats.registry.evictions)));
+  registry.Set("resident_bytes",
+               JsonValue::Int(
+                   static_cast<int64_t>(stats.registry.resident_bytes)));
+  JsonValue datasets = JsonValue::Array();
+  for (const DatasetRegistryStats::Dataset& d : stats.registry.datasets) {
+    JsonValue row = JsonValue::Object();
+    row.Set("id", JsonValue::Str(d.id));
+    row.Set("path", JsonValue::Str(d.path));
+    row.Set("versions", JsonValue::Int(static_cast<int64_t>(d.versions)));
+    row.Set("live_transactions",
+            JsonValue::Int(static_cast<int64_t>(d.live_transactions)));
+    row.Set("bytes", JsonValue::Int(static_cast<int64_t>(d.bytes)));
+    row.Set("pinned_versions",
+            JsonValue::Int(static_cast<int64_t>(d.pinned_versions)));
+    datasets.Append(std::move(row));
+  }
+  registry.Set("datasets", std::move(datasets));
+  doc.Set("registry", std::move(registry));
+
+  JsonValue cache = JsonValue::Object();
+  cache.Set("hits", JsonValue::Int(static_cast<int64_t>(stats.cache.hits)));
+  cache.Set("dominated_hits",
+            JsonValue::Int(static_cast<int64_t>(stats.cache.dominated_hits)));
+  cache.Set("cross_task_hits",
+            JsonValue::Int(
+                static_cast<int64_t>(stats.cache.cross_task_hits)));
+  cache.Set("misses",
+            JsonValue::Int(static_cast<int64_t>(stats.cache.misses)));
+  cache.Set("insertions",
+            JsonValue::Int(static_cast<int64_t>(stats.cache.insertions)));
+  cache.Set("evictions",
+            JsonValue::Int(static_cast<int64_t>(stats.cache.evictions)));
+  cache.Set("resident_bytes",
+            JsonValue::Int(static_cast<int64_t>(stats.cache.resident_bytes)));
+  cache.Set("resident_entries",
+            JsonValue::Int(
+                static_cast<int64_t>(stats.cache.resident_entries)));
+  doc.Set("cache", std::move(cache));
+
+  JsonValue scheduler = JsonValue::Object();
+  scheduler.Set("submitted",
+                JsonValue::Int(
+                    static_cast<int64_t>(stats.scheduler.submitted)));
+  scheduler.Set("rejected",
+                JsonValue::Int(static_cast<int64_t>(stats.scheduler.rejected)));
+  scheduler.Set("completed",
+                JsonValue::Int(
+                    static_cast<int64_t>(stats.scheduler.completed)));
+  scheduler.Set("queue_depth",
+                JsonValue::Int(
+                    static_cast<int64_t>(stats.scheduler.queue_depth)));
+  scheduler.Set("running",
+                JsonValue::Int(static_cast<int64_t>(stats.scheduler.running)));
+  JsonValue in_flight = JsonValue::Array();
+  for (const InFlightJob& job : stats.scheduler.in_flight) {
+    JsonValue row = JsonValue::Object();
+    row.Set("query_id", JsonValue::Int(static_cast<int64_t>(job.query_id)));
+    row.Set("age_seconds", JsonValue::Number(job.age_seconds));
+    in_flight.Append(std::move(row));
+  }
+  scheduler.Set("in_flight", std::move(in_flight));
+  doc.Set("scheduler", std::move(scheduler));
+
+  JsonValue windows = JsonValue::Array();
+  for (const ServiceWindowStats& w : stats.windows) {
+    JsonValue row = JsonValue::Object();
+    row.Set("window_s", JsonValue::Int(static_cast<int64_t>(w.window_seconds)));
+    row.Set("count", JsonValue::Int(static_cast<int64_t>(w.count)));
+    row.Set("qps", JsonValue::Number(w.qps));
+    row.Set("p50_ms", JsonValue::Number(w.p50_ms));
+    row.Set("p99_ms", JsonValue::Number(w.p99_ms));
+    row.Set("max_ms", JsonValue::Number(w.max_ms));
+    windows.Append(std::move(row));
+  }
+  doc.Set("windows", std::move(windows));
+
+  JsonValue watchdog = JsonValue::Object();
+  watchdog.Set("sweeps",
+               JsonValue::Int(static_cast<int64_t>(stats.watchdog.sweeps)));
+  watchdog.Set("flagged",
+               JsonValue::Int(static_cast<int64_t>(stats.watchdog.flagged)));
+  watchdog.Set("stuck_now",
+               JsonValue::Int(static_cast<int64_t>(stats.watchdog.stuck_now)));
+  doc.Set("watchdog", std::move(watchdog));
+  return doc.Dump();
+}
+
+std::string EncodeMetricsTextResponse(const std::string& text) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ok", JsonValue::Bool(true));
+  doc.Set("text", JsonValue::Str(text));
   return doc.Dump();
 }
 

@@ -6,6 +6,14 @@
 // Protocol v2 requests:
 //   {"op":"ping"}
 //   {"op":"metrics"}                       -> the metrics snapshot
+//   {"op":"metrics_text"}                  -> {"ok":true,"text":"..."}:
+//       the metrics snapshot rendered in Prometheus text exposition
+//       format (scrape via `fpm_client metrics-text`)
+//   {"op":"stats"}                         -> live service state:
+//       {"ok":true,"uptime_seconds":X,"registry":{...,"datasets":[...]},
+//       "cache":{...},"scheduler":{...,"in_flight":[{"query_id":N,
+//       "age_seconds":X},...]},"windows":[{"window_s":1,...},...],
+//       "watchdog":{...}}
 //   {"op":"shutdown"}                      -> daemon exits after reply
 //   {"op":"open","dataset":"<path>"}       -> load (or hit) and return a
 //       dataset handle: {"ok":true,"id":"ds-1","version":1,
@@ -40,7 +48,10 @@
 //    "patterns":"all|none",                 (default "all")
 //    "priority":N,                          (default 0)
 //    "timeout_s":X,                         (default none)
-//    "count_only":bool}                     (default false)
+//    "count_only":bool,                     (default false)
+//    "trace_id":"..."}                      (optional passthrough,
+//                                            echoed in the response and
+//                                            the query log)
 //   {"op":"batch","queries":[{<query fields>},...]}
 //       multiplexes N queries on one connection; each runs as its own
 //       scheduler job and its response line streams back as soon as it
@@ -60,7 +71,10 @@
 //                     unless count_only — "itemsets":[{"items":[...],
 //                     "support":N},...] in deterministic emission order.
 //                     v2 query adds: task, num_results, cache (also
-//                     "cross_task"), digest, queue_ms, mine_ms, and
+//                     "cross_task"), digest, queue_ms, mine_ms,
+//                     query_id (the service-assigned request id, also
+//                     on the query-log line and the service.mine span),
+//                     trace_id (echoed when the request sent one), and
 //                     "itemsets" as above or — for task "rules" —
 //                     "rules":[{"antecedent":[...],"consequent":[...],
 //                     "support":N,"confidence":X,"lift":X},...].
@@ -106,6 +120,8 @@ struct ServiceRequest {
   enum class Op {
     kPing,
     kMetrics,
+    kMetricsText,
+    kStats,
     kShutdown,
     kMine,
     kQuery,
@@ -161,6 +177,15 @@ std::string EncodeHandleResponse(const DatasetHandle& handle);
 /// Encodes a dataset_info response: id, path, live_transactions, the
 /// window policy and the full version chain.
 std::string EncodeDatasetInfoResponse(const DatasetInfo& info);
+
+/// Encodes the "stats" response: uptime, registry (with per-dataset
+/// rows), cache, scheduler (with in-flight jobs), the 1s/10s/60s
+/// latency windows and the watchdog counters.
+std::string EncodeStatsResponse(const ServiceStats& stats);
+
+/// Encodes the "metrics_text" response: the Prometheus exposition text
+/// as a JSON string field ({"ok":true,"text":"..."}).
+std::string EncodeMetricsTextResponse(const std::string& text);
 
 /// Encodes an error response from a non-OK status.
 std::string EncodeError(const Status& status);

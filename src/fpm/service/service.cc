@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "fpm/obs/metrics.h"
+#include "fpm/obs/query_log.h"
 #include "fpm/obs/trace.h"
 #include "fpm/service/cost_model.h"
 
@@ -57,7 +58,14 @@ MiningService::MiningService(Options options)
       registry_(options.dataset_budget_bytes),
       cache_(options.cache_budget_bytes),
       scheduler_(JobSchedulerOptions{&pool_, options.max_queue_depth,
-                                     /*max_concurrency=*/0}) {
+                                     /*max_concurrency=*/0}),
+      watchdog_(WatchdogOptions{options.watchdog_deadline_factor,
+                                options.watchdog_absolute_seconds,
+                                options.watchdog_interval_seconds,
+                                options.query_log}),
+      query_log_(options.query_log),
+      start_time_(std::chrono::steady_clock::now()) {
+  watchdog_.Start();
   MetricsRegistry& m = MetricsRegistry::Default();
   requests_counter_ = m.GetCounter("fpm.service.requests");
   admission_rejects_counter_ =
@@ -84,9 +92,24 @@ MiningService::~MiningService() { scheduler_.Drain(); }
 Result<std::shared_ptr<MineJob>> MiningService::Submit(
     const MineRequest& request) {
   requests_counter_->Increment();
-  FPM_RETURN_IF_ERROR(request.query.Validate());
+
+  // Every request — including one rejected below — runs under a unique
+  // id so its query-log line is attributable. The daemon pre-allocates
+  // (request.query_id != 0) to tag its own error responses.
+  MineRequest queued = request;
+  if (queued.query_id == 0) queued.query_id = AllocateQueryId();
+
+  // Rejection helper: log the submit-path failure and pass it through.
+  const auto reject = [this, &queued](Status status) -> Status {
+    LogQuery(queued, /*dataset=*/nullptr, status, /*queue_seconds=*/0.0,
+             /*mine_seconds=*/0.0);
+    return status;
+  };
+
+  Status valid = request.query.Validate();
+  if (!valid.ok()) return reject(std::move(valid));
   if (request.dataset_path.empty() && request.dataset_id.empty()) {
-    return Status::InvalidArgument("dataset_path must be set");
+    return reject(Status::InvalidArgument("dataset_path must be set"));
   }
   task_counters_[static_cast<int>(request.query.task)]->Increment();
 
@@ -95,18 +118,14 @@ Result<std::shared_ptr<MineJob>> MiningService::Submit(
   // is the legacy shim (load-once; concurrent first requests for the
   // same path coalesce inside the registry).
   DatasetHandle dataset;
-  if (!request.dataset_id.empty()) {
-    FPM_ASSIGN_OR_RETURN(
-        dataset,
-        registry_.Resolve(request.dataset_id, request.dataset_version));
-  } else {
-    FPM_ASSIGN_OR_RETURN(dataset, registry_.Get(request.dataset_path));
+  {
+    Result<DatasetHandle> resolved =
+        !request.dataset_id.empty()
+            ? registry_.Resolve(request.dataset_id, request.dataset_version)
+            : registry_.Get(request.dataset_path);
+    if (!resolved.ok()) return reject(resolved.status());
+    dataset = std::move(resolved).value();
   }
-
-  // The job runs with a copy of the request: top-k queries get the
-  // cost-model seed threshold planted here, where the bound pass is
-  // already amortized by the registry.
-  MineRequest queued = request;
 
   // Admission: bound the answer before spending any mining time. The
   // bound costs one database pass — amortized by the registry across
@@ -119,20 +138,20 @@ Result<std::shared_ptr<MineJob>> MiningService::Submit(
         static_cast<double>(request.query.k) >
             options_.max_estimated_itemsets) {
       admission_rejects_counter_->Increment();
-      return Status::ResourceExhausted(
+      return reject(Status::ResourceExhausted(
           "query rejected by admission control: k " +
           std::to_string(request.query.k) + " exceeds " +
-          std::to_string(options_.max_estimated_itemsets));
+          std::to_string(options_.max_estimated_itemsets)));
     }
   } else if (options_.max_estimated_itemsets > 0.0) {
     const CostEstimate est =
         EstimateMiningCost(*dataset.database, request.query.min_support);
     if (est.max_frequent_itemsets > options_.max_estimated_itemsets) {
       admission_rejects_counter_->Increment();
-      return Status::ResourceExhausted(
+      return reject(Status::ResourceExhausted(
           "query rejected by admission control: itemset bound " +
           std::to_string(est.max_frequent_itemsets) + " exceeds " +
-          std::to_string(options_.max_estimated_itemsets));
+          std::to_string(options_.max_estimated_itemsets)));
     }
   }
 
@@ -140,41 +159,122 @@ Result<std::shared_ptr<MineJob>> MiningService::Submit(
   // detaches) only borrow it, and the shared_ptr captured by the
   // closure keeps the handle alive past abandonment by the caller.
   auto job = std::shared_ptr<MineJob>(new MineJob());
+  job->query_id_ = queued.query_id;
   if (request.timeout_seconds > 0.0) {
     job->cancel_.SetTimeout(std::chrono::duration_cast<
                             std::chrono::nanoseconds>(
         std::chrono::duration<double>(request.timeout_seconds)));
   }
 
+  // The watchdog tracks the job from submission: queue time counts
+  // against the deadline exactly as CancelToken arms it.
+  watchdog_.Register(queued.query_id, TaskName(request.query.task),
+                     request.timeout_seconds);
+
   const auto submit_time = std::chrono::steady_clock::now();
   Status enqueue_status = scheduler_.Submit(
-      request.priority,
+      request.priority, queued.query_id,
       [this, request = std::move(queued), dataset, job, submit_time] {
         const auto start_time = std::chrono::steady_clock::now();
         Result<MineResponse> result = RunJob(request, dataset, job->cancel_);
+        const double queue_seconds =
+            std::chrono::duration<double>(start_time - submit_time).count();
+        const double mine_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_time)
+                .count();
         if (result.ok()) {
-          result.value().queue_seconds =
-              std::chrono::duration<double>(start_time - submit_time)
-                  .count();
-          result.value().mine_seconds =
-              std::chrono::duration<double>(
-                  std::chrono::steady_clock::now() - start_time)
-                  .count();
-          mine_ms_histogram_->Observe(static_cast<uint64_t>(
-              result.value().mine_seconds * 1000.0));
+          result.value().query_id = request.query_id;
+          result.value().trace_id = request.trace_id;
+          result.value().queue_seconds = queue_seconds;
+          result.value().mine_seconds = mine_seconds;
+          mine_ms_histogram_->Observe(
+              static_cast<uint64_t>(mine_seconds * 1000.0));
         } else if (result.status().code() == StatusCode::kCancelled) {
           cancelled_counter_->Increment();
         } else if (result.status().code() ==
                    StatusCode::kDeadlineExceeded) {
           deadline_counter_->Increment();
         }
+        latency_window_.Record((queue_seconds + mine_seconds) * 1000.0);
+        watchdog_.Unregister(request.query_id);
+        LogQuery(request, &dataset, result, queue_seconds, mine_seconds);
         std::lock_guard<std::mutex> lock(job->mu_);
         job->result_ = std::move(result);
         job->done_ = true;
         job->cv_.notify_all();
       });
-  FPM_RETURN_IF_ERROR(enqueue_status);
+  if (!enqueue_status.ok()) {
+    watchdog_.Unregister(job->query_id_);
+    return reject(std::move(enqueue_status));
+  }
   return job;
+}
+
+void MiningService::LogQuery(const MineRequest& request,
+                             const DatasetHandle* dataset,
+                             const Result<MineResponse>& result,
+                             double queue_seconds, double mine_seconds) {
+  if (query_log_ == nullptr || !query_log_->enabled()) return;
+  QueryLogEntry entry;
+  entry.query_id = request.query_id;
+  entry.trace_id = request.trace_id;
+  entry.op = request.op;
+  entry.task = TaskName(request.query.task);
+  entry.dataset = request.dataset_path;
+  entry.min_support = request.query.min_support;
+  entry.k = request.query.task == MiningTask::kTopK ? request.query.k : 0;
+  entry.algorithm = AlgorithmName(request.algorithm);
+  if (dataset != nullptr) {
+    entry.dataset_id = dataset->id;
+    entry.dataset_version = dataset->version;
+    entry.digest = dataset->digest;
+  } else {
+    entry.dataset_id = request.dataset_id;
+    entry.dataset_version = request.dataset_version;
+  }
+  entry.queue_ms = queue_seconds * 1000.0;
+  entry.mine_ms = mine_seconds * 1000.0;
+  if (result.ok()) {
+    const MineResponse& response = result.value();
+    entry.derive_ms = response.derive_seconds * 1000.0;
+    entry.cache = CacheOutcomeName(response.cache);
+    entry.num_results = response.num_frequent;
+    entry.peak_bytes = response.peak_bytes;
+    entry.status = "ok";
+  } else {
+    switch (result.status().code()) {
+      case StatusCode::kCancelled:
+        entry.status = "cancelled";
+        break;
+      case StatusCode::kDeadlineExceeded:
+        entry.status = "deadline";
+        break;
+      default:
+        // Submit-path failures (validation, resolve, admission,
+        // backpressure) never started a job.
+        entry.status = dataset == nullptr ? "rejected" : "error";
+    }
+    entry.reason = result.status().message();
+  }
+  query_log_->Write(entry);
+}
+
+ServiceStats MiningService::Stats() const {
+  ServiceStats s;
+  s.uptime_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_time_)
+                         .count();
+  s.registry = registry_.stats();
+  s.cache = cache_.stats();
+  s.scheduler = scheduler_.stats();
+  for (uint64_t window : {uint64_t{1}, uint64_t{10}, uint64_t{60}}) {
+    const WindowedHistogram::Stats w = latency_window_.Query(window);
+    s.windows.push_back(ServiceWindowStats{window, w.count, w.qps, w.p50_ms,
+                                           w.p99_ms, w.max_ms});
+  }
+  s.watchdog = watchdog_.stats();
+  return s;
 }
 
 std::shared_ptr<CachedResult> MiningService::TryReseed(
@@ -272,6 +372,10 @@ std::shared_ptr<CachedResult> MiningService::TryReseed(
 Result<MineResponse> MiningService::RunJob(const MineRequest& request,
                                            const DatasetHandle& dataset,
                                            const CancelToken& cancel) {
+  // The span context tags every span this thread records while the job
+  // runs — the service.mine span below and all nested kernel/task
+  // spans — with the owning request's query_id.
+  SpanContextScope span_context(request.query_id);
   ScopedSpan span("service.mine");
   span.AddArg("task", static_cast<uint64_t>(request.query.task));
   span.AddArg("min_support", request.query.min_support);
@@ -279,6 +383,9 @@ Result<MineResponse> MiningService::RunJob(const MineRequest& request,
   // A job that sat in the queue past its deadline never starts mining.
   if (cancel.cancelled()) return cancel.ToStatus();
 
+  if (mine_hook_for_test_) mine_hook_for_test_();
+
+  const auto derive_start = std::chrono::steady_clock::now();
   const ResultCacheKey key = ResultCacheKey::ForQuery(
       dataset.digest, request.algorithm,
       EffectivePatterns(request.algorithm, request.patterns).bits(),
@@ -324,7 +431,13 @@ Result<MineResponse> MiningService::RunJob(const MineRequest& request,
     }
   }
 
-  if (result == nullptr) {
+  if (result != nullptr) {
+    // Served without mining: the elapsed time is cache derivation.
+    response.derive_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      derive_start)
+            .count();
+  } else {
     // Mine with the sequential kernel: deterministic emission/output
     // order is the cache's correctness contract, and cross-query
     // parallelism already saturates the pool.
@@ -346,6 +459,7 @@ Result<MineResponse> MiningService::RunJob(const MineRequest& request,
           const MineStats stats,
           miner->MineRules(*dataset.database, query, &fresh->rules));
       fresh->num_results = stats.num_frequent;
+      response.peak_bytes = stats.peak_structure_bytes;
     } else {
       CollectingSink sink;
       FPM_ASSIGN_OR_RETURN(
@@ -353,6 +467,7 @@ Result<MineResponse> MiningService::RunJob(const MineRequest& request,
           miner->Mine(*dataset.database, query, &sink));
       fresh->itemsets = std::move(sink.mutable_results());
       fresh->num_results = stats.num_frequent;
+      response.peak_bytes = stats.peak_structure_bytes;
     }
     fresh->total_weight = dataset.database->total_weight();
     fresh->bytes = ResultCache::EstimateResultBytes(*fresh);

@@ -30,9 +30,11 @@
 #ifndef FPM_SERVICE_SERVICE_H_
 #define FPM_SERVICE_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -41,15 +43,18 @@
 #include "fpm/common/cancel.h"
 #include "fpm/common/status.h"
 #include "fpm/core/mine.h"
+#include "fpm/obs/windowed.h"
 #include "fpm/parallel/thread_pool.h"
 #include "fpm/service/dataset_registry.h"
 #include "fpm/service/job_scheduler.h"
 #include "fpm/service/result_cache.h"
+#include "fpm/service/watchdog.h"
 
 namespace fpm {
 
 class Counter;
 class Histogram;
+class QueryLog;
 
 /// One mining request: the MiningQuery (task + thresholds) plus the
 /// service-level envelope (dataset, algorithm, scheduling).
@@ -75,6 +80,15 @@ struct MineRequest {
   /// When true the response carries counts only, no itemsets/rules —
   /// cheaper to transport; the result is still cached in full.
   bool count_only = false;
+  /// Request-scoped observability. `query_id` 0 (the norm) lets Submit
+  /// assign the next monotonic id; the daemon pre-allocates via
+  /// AllocateQueryId() so even rejected requests are logged under a
+  /// unique id. `trace_id` is an opaque client-supplied passthrough for
+  /// cross-system correlation; `op` labels the protocol verb in the
+  /// query log ("mine" | "query" | "batch" | ...).
+  uint64_t query_id = 0;
+  std::string trace_id;
+  std::string op;
 };
 
 /// How a response was produced.
@@ -102,8 +116,12 @@ struct MineResponse {
   std::vector<AssociationRule> rules;
   CacheOutcome cache = CacheOutcome::kMiss;
   std::string dataset_digest;
-  double queue_seconds = 0.0;  ///< submission -> job start
-  double mine_seconds = 0.0;   ///< job start -> completion
+  double queue_seconds = 0.0;   ///< submission -> job start
+  double mine_seconds = 0.0;    ///< job start -> completion
+  double derive_seconds = 0.0;  ///< cache lookup/derivation/reseed time
+  uint64_t peak_bytes = 0;      ///< kernel peak structure bytes (miss only)
+  uint64_t query_id = 0;        ///< the request's service-assigned id
+  std::string trace_id;         ///< echoed client passthrough
 };
 
 /// Handle to a submitted job. Thread-safe; holding it keeps the result
@@ -128,15 +146,40 @@ class MineJob {
   /// response out on first call.
   Result<MineResponse> Take();
 
+  /// The service-assigned query id (also in the response and the query
+  /// log).
+  uint64_t query_id() const { return query_id_; }
+
  private:
   friend class MiningService;
   MineJob() = default;
 
+  uint64_t query_id_ = 0;
   CancelToken cancel_;
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   bool done_ = false;
   Result<MineResponse> result_{Status::Internal("job not finished")};
+};
+
+/// One sliding window's latency/QPS aggregate (stats op).
+struct ServiceWindowStats {
+  uint64_t window_seconds = 0;
+  uint64_t count = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Point-in-time view of the whole service (the "stats" protocol op).
+struct ServiceStats {
+  double uptime_seconds = 0.0;
+  DatasetRegistryStats registry;
+  ResultCacheStats cache;
+  JobSchedulerStats scheduler;
+  std::vector<ServiceWindowStats> windows;  ///< 1s / 10s / 60s
+  WatchdogStats watchdog;
 };
 
 class MiningService {
@@ -154,6 +197,15 @@ class MiningService {
     /// bound (fpm/service/cost_model.h) exceeds this. 0 = no admission
     /// check.
     double max_estimated_itemsets = 0.0;
+    /// Structured query log sink (optional, not owned; must outlive the
+    /// service). Completion, rejection and watchdog entries land here.
+    QueryLog* query_log = nullptr;
+    /// Stuck-job watchdog tuning (see fpm/service/watchdog.h). The
+    /// monitor thread starts with the service; interval <= 0 disables
+    /// it (stats()/Sweep() still work).
+    double watchdog_deadline_factor = 3.0;
+    double watchdog_absolute_seconds = 0.0;
+    double watchdog_interval_seconds = 1.0;
   };
 
   explicit MiningService(Options options);
@@ -173,18 +225,44 @@ class MiningService {
   /// Blocking convenience: Submit + Wait + Take.
   Result<MineResponse> Execute(const MineRequest& request);
 
+  /// Reserves the next monotonic query id. Submit() calls this when the
+  /// request carries none; the daemon pre-allocates so error responses
+  /// and log lines share the id.
+  uint64_t AllocateQueryId() {
+    return next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Everything the "stats" protocol op reports: uptime, registry,
+  /// cache, scheduler (with in-flight jobs), 1s/10s/60s latency
+  /// windows, watchdog.
+  ServiceStats Stats() const;
+
+  /// Test hook: runs inside every job, after the watchdog considers it
+  /// running and before any mining — a blocking hook simulates a stuck
+  /// job (the "slow sink" failure the watchdog exists for).
+  void set_mine_hook_for_test(std::function<void()> hook) {
+    mine_hook_for_test_ = std::move(hook);
+  }
+
   const DatasetRegistry& registry() const { return registry_; }
   /// Mutable registry access for the dataset ops (open / append /
   /// expire / window / dataset_info) the daemon forwards.
   DatasetRegistry& registry() { return registry_; }
   const ResultCache& cache() const { return cache_; }
   const JobScheduler& scheduler() const { return scheduler_; }
+  const StuckJobWatchdog& watchdog() const { return watchdog_; }
+  StuckJobWatchdog& watchdog() { return watchdog_; }
 
  private:
   /// The job body: cache lookup, mine, cache fill.
   Result<MineResponse> RunJob(const MineRequest& request,
                               const DatasetHandle& dataset,
                               const CancelToken& cancel);
+
+  /// Appends the request's query-log line (completion or rejection).
+  void LogQuery(const MineRequest& request, const DatasetHandle* dataset,
+                const Result<MineResponse>& result, double queue_seconds,
+                double mine_seconds);
 
   /// The incremental warm path for a non-base dataset version: finds a
   /// FREQUENT listing cached for the parent version at a threshold
@@ -202,6 +280,12 @@ class MiningService {
   DatasetRegistry registry_;
   ResultCache cache_;
   JobScheduler scheduler_;
+  StuckJobWatchdog watchdog_;
+  QueryLog* query_log_;  // may be null
+  WindowedHistogram latency_window_;
+  std::atomic<uint64_t> next_query_id_{1};
+  const std::chrono::steady_clock::time_point start_time_;
+  std::function<void()> mine_hook_for_test_;
 
   // fpm.service.* request metrics.
   Counter* requests_counter_;

@@ -1,0 +1,136 @@
+#include "fpm/service/watchdog.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "fpm/obs/metrics.h"
+#include "fpm/obs/query_log.h"
+
+namespace fpm {
+
+StuckJobWatchdog::StuckJobWatchdog(WatchdogOptions options)
+    : options_(options) {
+  MetricsRegistry& m = MetricsRegistry::Default();
+  checks_counter_ = m.GetCounter("fpm.service.watchdog.checks");
+  flagged_counter_ = m.GetCounter("fpm.service.watchdog.flagged");
+  stuck_gauge_ = m.GetGauge("fpm.service.watchdog.stuck");
+}
+
+StuckJobWatchdog::~StuckJobWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+}
+
+void StuckJobWatchdog::Start() {
+  if (options_.interval_seconds <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (monitor_.joinable()) return;
+  monitor_ = std::thread([this] { MonitorLoop(); });
+}
+
+void StuckJobWatchdog::MonitorLoop() {
+  const auto interval = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(options_.interval_seconds));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_cv_.wait_for(lock, interval, [this] { return stop_; })) {
+    lock.unlock();
+    Sweep();
+    lock.lock();
+  }
+}
+
+void StuckJobWatchdog::Register(uint64_t query_id, const std::string& task,
+                                double deadline_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_[query_id] =
+      ActiveJob{task, std::chrono::steady_clock::now(), deadline_seconds,
+                /*flagged=*/false};
+}
+
+void StuckJobWatchdog::Unregister(uint64_t query_id) {
+  size_t stuck = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.erase(query_id);
+    for (const auto& [id, job] : active_) {
+      if (job.flagged) ++stuck;
+    }
+  }
+  stuck_gauge_->Set(stuck);
+}
+
+size_t StuckJobWatchdog::Sweep() {
+  struct Stuck {
+    uint64_t query_id;
+    std::string task;
+    double age_seconds;
+    double deadline_seconds;
+  };
+  std::vector<Stuck> newly_flagged;
+  size_t stuck = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++sweeps_;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [query_id, job] : active_) {
+      if (job.flagged) {
+        ++stuck;
+        continue;
+      }
+      const double age =
+          std::chrono::duration<double>(now - job.start).count();
+      const bool past_deadline = options_.deadline_factor > 0.0 &&
+                                 job.deadline_seconds > 0.0 &&
+                                 age > options_.deadline_factor *
+                                           job.deadline_seconds;
+      const bool past_absolute = options_.absolute_seconds > 0.0 &&
+                                 age > options_.absolute_seconds;
+      if (!past_deadline && !past_absolute) continue;
+      job.flagged = true;
+      ++flagged_;
+      ++stuck;
+      newly_flagged.push_back(
+          Stuck{query_id, job.task, age, job.deadline_seconds});
+    }
+  }
+  checks_counter_->Increment();
+  flagged_counter_->Add(newly_flagged.size());
+  stuck_gauge_->Set(stuck);
+  for (const Stuck& s : newly_flagged) {
+    char reason[160];
+    std::snprintf(reason, sizeof(reason),
+                  "running %.3fs, deadline %.3fs, bound %s", s.age_seconds,
+                  s.deadline_seconds,
+                  options_.absolute_seconds > 0.0 &&
+                          s.age_seconds > options_.absolute_seconds
+                      ? "absolute"
+                      : "deadline_factor");
+    if (options_.query_log != nullptr) {
+      QueryLogEntry entry;
+      entry.event = "watchdog_stuck";
+      entry.query_id = s.query_id;
+      entry.task = s.task;
+      entry.status = "stuck";
+      entry.reason = reason;
+      options_.query_log->Write(entry);
+    }
+  }
+  return newly_flagged.size();
+}
+
+WatchdogStats StuckJobWatchdog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WatchdogStats s;
+  s.sweeps = sweeps_;
+  s.flagged = flagged_;
+  for (const auto& [id, job] : active_) {
+    if (job.flagged) ++s.stuck_now;
+  }
+  return s;
+}
+
+}  // namespace fpm

@@ -1,0 +1,109 @@
+// Stuck-job watchdog: a monitor that proves cooperative cancellation is
+// actually draining.
+//
+// Every kernel checks its CancelToken at frame boundaries, so a
+// deadline-armed job should finish (with DEADLINE_EXCEEDED) shortly
+// after its deadline. A job still alive at `deadline_factor` times its
+// deadline — or past the absolute bound, whichever applies — means the
+// cooperative machinery is wedged (a kernel frame that never yields, a
+// sink blocking on a dead client). The watchdog flags such jobs: once
+// per job it writes an "event":"watchdog_stuck" line to the query log,
+// bumps fpm.service.watchdog.flagged, and keeps the job counted in the
+// fpm.service.watchdog.stuck gauge until it finally exits.
+//
+// The MiningService registers each job at submission (queue time counts
+// against the deadline, exactly as CancelToken arms it) and unregisters
+// it at completion. Sweeps run on a dedicated monitor thread started by
+// Start(); Sweep() is public so tests can drive the clockless path
+// deterministically.
+
+#ifndef FPM_SERVICE_WATCHDOG_H_
+#define FPM_SERVICE_WATCHDOG_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace fpm {
+
+class Counter;
+class Gauge;
+class QueryLog;
+
+struct WatchdogOptions {
+  /// Flag a deadline-armed job once it has run `deadline_factor` times
+  /// its deadline. <= 0 disables the relative bound.
+  double deadline_factor = 3.0;
+  /// Flag any job older than this many seconds, deadline or not.
+  /// 0 disables the absolute bound.
+  double absolute_seconds = 0.0;
+  /// Monitor thread sweep period. <= 0 means Start() is a no-op (tests
+  /// call Sweep() directly).
+  double interval_seconds = 1.0;
+  /// Stuck events are appended here (optional, not owned).
+  QueryLog* query_log = nullptr;
+};
+
+struct WatchdogStats {
+  uint64_t sweeps = 0;
+  uint64_t flagged = 0;  ///< jobs ever flagged stuck
+  size_t stuck_now = 0;  ///< flagged jobs still running
+};
+
+class StuckJobWatchdog {
+ public:
+  explicit StuckJobWatchdog(WatchdogOptions options);
+  /// Stops the monitor thread (if started) and joins it.
+  ~StuckJobWatchdog();
+
+  StuckJobWatchdog(const StuckJobWatchdog&) = delete;
+  StuckJobWatchdog& operator=(const StuckJobWatchdog&) = delete;
+
+  /// Starts the monitor thread. Idempotent; a no-op when
+  /// interval_seconds <= 0.
+  void Start();
+
+  /// Tracks a job from submission. `deadline_seconds` 0 = no deadline
+  /// (only the absolute bound applies).
+  void Register(uint64_t query_id, const std::string& task,
+                double deadline_seconds);
+  void Unregister(uint64_t query_id);
+
+  /// One monitor pass over the active jobs; returns how many jobs were
+  /// newly flagged. Called by the monitor thread and by tests.
+  size_t Sweep();
+
+  WatchdogStats stats() const;
+
+ private:
+  struct ActiveJob {
+    std::string task;
+    std::chrono::steady_clock::time_point start;
+    double deadline_seconds = 0.0;
+    bool flagged = false;
+  };
+
+  void MonitorLoop();
+
+  const WatchdogOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread monitor_;
+  std::map<uint64_t, ActiveJob> active_;  // by query_id
+  uint64_t sweeps_ = 0;
+  uint64_t flagged_ = 0;
+
+  // fpm.service.watchdog.* metrics.
+  Counter* checks_counter_;
+  Counter* flagged_counter_;
+  Gauge* stuck_gauge_;
+};
+
+}  // namespace fpm
+
+#endif  // FPM_SERVICE_WATCHDOG_H_

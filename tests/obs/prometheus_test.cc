@@ -1,0 +1,177 @@
+#include "fpm/obs/prometheus.h"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fpm/obs/metrics.h"
+
+namespace fpm {
+namespace {
+
+bool IsLegalName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+/// A minimal Prometheus text-format (0.0.4) parser: every line must be
+/// a `# TYPE name counter|gauge|histogram` comment or a
+/// `name[{le="..."}] value` sample whose base name was declared, with
+/// histogram buckets cumulative and closed by an `+Inf` bucket that
+/// matches `_count`. Returns a failure message, empty on success.
+std::string ValidateExposition(const std::string& text) {
+  std::map<std::string, std::string> types;  // name -> type
+  std::map<std::string, uint64_t> last_bucket;
+  std::map<std::string, uint64_t> inf_bucket;
+  std::map<std::string, uint64_t> sample_count;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) return "blank line";
+    if (line[0] == '#') {
+      std::istringstream fields(line);
+      std::string hash, keyword, name, type;
+      fields >> hash >> keyword >> name >> type;
+      if (keyword != "TYPE") return "unknown comment: " + line;
+      if (!IsLegalName(name)) return "illegal name: " + name;
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return "unknown type: " + line;
+      }
+      if (!types.emplace(name, type).second) {
+        return "duplicate TYPE for " + name;
+      }
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) return "no value: " + line;
+    std::string key = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || parsed < 0.0) {
+      return "bad value: " + line;
+    }
+
+    // Strip the {le="..."} label and the _bucket/_sum/_count suffix to
+    // find the declared histogram name.
+    std::string le;
+    const size_t brace = key.find('{');
+    if (brace != std::string::npos) {
+      if (key.back() != '}') return "unclosed label: " + line;
+      const std::string label = key.substr(brace + 1,
+                                           key.size() - brace - 2);
+      if (label.rfind("le=\"", 0) != 0 || label.back() != '"') {
+        return "bad label: " + line;
+      }
+      le = label.substr(4, label.size() - 5);
+      key = key.substr(0, brace);
+    }
+    std::string base = key;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s = suffix;
+      if (base.size() > s.size() &&
+          base.compare(base.size() - s.size(), s.size(), s) == 0 &&
+          types.count(base.substr(0, base.size() - s.size()))) {
+        base = base.substr(0, base.size() - s.size());
+        break;
+      }
+    }
+    if (!IsLegalName(key)) return "illegal name: " + key;
+    const auto type = types.find(base);
+    if (type == types.end()) return "sample without TYPE: " + line;
+    ++sample_count[base];
+    if (type->second == "histogram" && key == base + "_bucket") {
+      const auto bucket = static_cast<uint64_t>(parsed);
+      if (bucket < last_bucket[base]) {
+        return "non-cumulative buckets: " + line;
+      }
+      last_bucket[base] = bucket;
+      if (le == "+Inf") inf_bucket[base] = bucket;
+    }
+    if (type->second == "histogram" && key == base + "_count") {
+      if (inf_bucket.find(base) == inf_bucket.end()) {
+        return "histogram missing +Inf bucket: " + base;
+      }
+      if (inf_bucket[base] != static_cast<uint64_t>(parsed)) {
+        return "+Inf bucket != count: " + base;
+      }
+    }
+  }
+  for (const auto& [name, type] : types) {
+    if (sample_count[name] == 0) return "TYPE without samples: " + name;
+  }
+  return "";
+}
+
+TEST(PrometheusNameTest, SanitizesToTheGrammar) {
+  EXPECT_EQ(PrometheusName("fpm.service.cache.hits"),
+            "fpm_service_cache_hits");
+  EXPECT_EQ(PrometheusName("already_legal:name"), "already_legal:name");
+  EXPECT_EQ(PrometheusName("9starts-with.digit"), "_starts_with_digit");
+  EXPECT_EQ(PrometheusName(""), "_");
+}
+
+TEST(PrometheusTextTest, RendersCountersGaugesAndHistograms) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"fpm.service.queries", 7, {}});
+  snapshot.gauges.push_back({"fpm.service.watchdog.stuck", 2});
+  HistogramSample h;
+  h.name = "fpm.service.mine.seconds";
+  h.bounds = {1, 10, 100};
+  h.counts = {3, 2, 1, 1};  // last = overflow
+  h.sum = 42;
+  snapshot.histograms.push_back(h);
+
+  std::ostringstream out;
+  WritePrometheusText(snapshot, out);
+  EXPECT_EQ(out.str(),
+            "# TYPE fpm_service_queries counter\n"
+            "fpm_service_queries 7\n"
+            "# TYPE fpm_service_watchdog_stuck gauge\n"
+            "fpm_service_watchdog_stuck 2\n"
+            "# TYPE fpm_service_mine_seconds histogram\n"
+            "fpm_service_mine_seconds_bucket{le=\"1\"} 3\n"
+            "fpm_service_mine_seconds_bucket{le=\"10\"} 5\n"
+            "fpm_service_mine_seconds_bucket{le=\"100\"} 6\n"
+            "fpm_service_mine_seconds_bucket{le=\"+Inf\"} 7\n"
+            "fpm_service_mine_seconds_sum 42\n"
+            "fpm_service_mine_seconds_count 7\n");
+  EXPECT_EQ(ValidateExposition(out.str()), "");
+}
+
+TEST(PrometheusTextTest, LiveRegistrySnapshotPassesTheParser) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.GetCounter("fpm.test.queries")->Add(3);
+  registry.GetGauge("fpm.test.depth")->Set(5);
+  auto* histogram = registry.GetHistogram(
+      "fpm.test.latency", {1, 2, 5, 10});
+  histogram->Observe(1);
+  histogram->Observe(7);
+  histogram->Observe(100);
+
+  std::ostringstream out;
+  WritePrometheusText(registry.Snapshot(), out);
+  EXPECT_EQ(ValidateExposition(out.str()), "") << out.str();
+  EXPECT_NE(out.str().find("fpm_test_latency_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+}
+
+TEST(PrometheusTextTest, ParserRejectsMalformedText) {
+  EXPECT_NE(ValidateExposition("fpm_orphan 1\n"), "");
+  EXPECT_NE(ValidateExposition("# TYPE fpm_x widget\nfpm_x 1\n"), "");
+  EXPECT_NE(ValidateExposition("# TYPE fpm_x counter\nfpm_x\n"), "");
+}
+
+}  // namespace
+}  // namespace fpm

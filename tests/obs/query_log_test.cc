@@ -1,0 +1,153 @@
+#include "fpm/obs/query_log.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fpm {
+namespace {
+
+QueryLogEntry FullEntry() {
+  QueryLogEntry entry;
+  entry.query_id = 7;
+  entry.trace_id = "req-1";
+  entry.op = "query";
+  entry.task = "closed";
+  entry.dataset = "/tmp/x.dat";
+  entry.dataset_id = "ds-1";
+  entry.dataset_version = 3;
+  entry.digest = "cafe";
+  entry.algorithm = "lcm";
+  entry.min_support = 4;
+  entry.queue_ms = 1.5;
+  entry.mine_ms = 20.25;
+  entry.derive_ms = 0.125;
+  entry.cache = "miss";
+  entry.num_results = 12;
+  entry.peak_bytes = 4096;
+  entry.status = "ok";
+  return entry;
+}
+
+TEST(QueryLogEntryTest, ToJsonGolden) {
+  EXPECT_EQ(FullEntry().ToJson(/*ts_ms=*/1000),
+            "{\"event\":\"query\",\"ts_ms\":1000,\"query_id\":7,"
+            "\"trace_id\":\"req-1\",\"op\":\"query\",\"task\":\"closed\","
+            "\"dataset\":\"/tmp/x.dat\",\"dataset_id\":\"ds-1\","
+            "\"version\":3,\"digest\":\"cafe\",\"algorithm\":\"lcm\","
+            "\"min_support\":4,\"queue_ms\":1.500,\"mine_ms\":20.250,"
+            "\"derive_ms\":0.125,\"cache\":\"miss\",\"num_results\":12,"
+            "\"peak_bytes\":4096,\"status\":\"ok\"}");
+}
+
+TEST(QueryLogEntryTest, DefaultFieldsAreOmitted) {
+  QueryLogEntry entry;
+  entry.query_id = 1;
+  entry.status = "rejected";
+  entry.reason = "no such dataset";
+  EXPECT_EQ(entry.ToJson(/*ts_ms=*/5),
+            "{\"event\":\"query\",\"ts_ms\":5,\"query_id\":1,"
+            "\"status\":\"rejected\",\"reason\":\"no such dataset\"}");
+}
+
+TEST(QueryLogEntryTest, StringsAreJsonEscaped) {
+  QueryLogEntry entry;
+  entry.status = "error";
+  entry.reason = "path \"a\\b\"\n\ttab";
+  entry.dataset = std::string("nul\x01", 4);
+  EXPECT_EQ(entry.ToJson(0),
+            "{\"event\":\"query\",\"ts_ms\":0,\"query_id\":0,"
+            "\"dataset\":\"nul\\u0001\",\"status\":\"error\","
+            "\"reason\":\"path \\\"a\\\\b\\\"\\n\\ttab\"}");
+}
+
+TEST(QueryLogTest, DisabledLogWritesNothing) {
+  QueryLog log;
+  EXPECT_FALSE(log.enabled());
+  log.Write(FullEntry());
+  EXPECT_EQ(log.lines_written(), 0u);
+}
+
+TEST(QueryLogTest, WritesOneLinePerEntryToTheStream) {
+  std::ostringstream out;
+  QueryLog log;
+  log.SetStream(&out);
+  ASSERT_TRUE(log.enabled());
+  log.Write(FullEntry());
+  log.Write(FullEntry());
+  EXPECT_EQ(log.lines_written(), 2u);
+
+  std::vector<std::string> lines;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& l : lines) {
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+    EXPECT_NE(l.find("\"query_id\":7"), std::string::npos);
+    EXPECT_NE(l.find("\"ts_ms\":"), std::string::npos);
+  }
+}
+
+TEST(QueryLogTest, SlowQueriesMirrorToStderr) {
+  std::ostringstream out;
+  QueryLog log;
+  log.SetStream(&out);
+  log.set_slow_threshold_ms(10.0);
+
+  QueryLogEntry fast = FullEntry();
+  fast.queue_ms = 1.0;
+  fast.mine_ms = 2.0;
+  fast.derive_ms = 0.0;
+
+  QueryLogEntry slow = FullEntry();
+  slow.queue_ms = 4.0;
+  slow.mine_ms = 8.0;
+
+  testing::internal::CaptureStderr();
+  log.Write(fast);
+  log.Write(slow);
+  const std::string err = testing::internal::GetCapturedStderr();
+  // Only the slow entry (queue + mine + derive >= 10ms) is mirrored.
+  EXPECT_NE(err.find("fpm slow query"), std::string::npos);
+  EXPECT_NE(err.find("\"mine_ms\":8.000"), std::string::npos);
+  EXPECT_EQ(err.find("\"mine_ms\":2.000"), std::string::npos);
+  EXPECT_EQ(log.lines_written(), 2u);
+}
+
+TEST(QueryLogTest, OpenFileAppends) {
+  const std::string path =
+      testing::TempDir() + "/query_log_test_append.jsonl";
+  std::remove(path.c_str());
+  {
+    QueryLog log;
+    ASSERT_TRUE(log.OpenFile(path).ok());
+    log.Write(FullEntry());
+  }
+  {
+    QueryLog log;
+    ASSERT_TRUE(log.OpenFile(path).ok());
+    log.Write(FullEntry());
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t count = 0;
+  while (std::getline(in, line)) ++count;
+  EXPECT_EQ(count, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(QueryLogTest, OpenFileReportsBadPaths) {
+  QueryLog log;
+  EXPECT_FALSE(log.OpenFile("/nonexistent-dir/q.jsonl").ok());
+  EXPECT_FALSE(log.enabled());
+}
+
+}  // namespace
+}  // namespace fpm

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "fpm/obs/metrics.h"
+
 namespace fpm {
 namespace {
 
@@ -90,16 +92,68 @@ TEST(TracerTest, PhaseSpanRecordsWhenEnabled) {
 }
 
 TEST(TracerTest, RingOverwritesOldestAndCountsDropped) {
+  // Overflow is also surfaced as the fpm.obs.spans_dropped counter, so
+  // an operator sees lost spans without comparing ring contents.
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  const uint64_t dropped_before =
+      registry.Snapshot().counter("fpm.obs.spans_dropped");
+
   Tracer tracer(/*ring_capacity=*/4);
   for (uint64_t i = 0; i < 6; ++i) {
     tracer.Record(MakeSpan("s" + std::to_string(i), 0, 0, /*start_ns=*/i, 1));
   }
   EXPECT_EQ(tracer.dropped(), 2u);
+  EXPECT_EQ(registry.Snapshot().counter("fpm.obs.spans_dropped"),
+            dropped_before + 2);
+  registry.set_enabled(was_enabled);
+
   const std::vector<TraceSpan> spans = tracer.CollectSpans();
   ASSERT_EQ(spans.size(), 4u);
   // Oldest two (s0, s1) were evicted; survivors come out oldest-first.
   EXPECT_EQ(spans[0].name, "s2");
   EXPECT_EQ(spans[3].name, "s5");
+}
+
+TEST(TracerTest, SpanContextScopeTagsSpansWithTheQueryId) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    SpanContextScope context(42);
+    EXPECT_EQ(Tracer::ThreadQueryId(), 42u);
+    {
+      // Nested scopes shadow and restore the outer id.
+      SpanContextScope inner(43);
+      ScopedSpan span(tracer, "inner");
+    }
+    ScopedSpan span(tracer, "outer");
+  }
+  // Outside any scope, spans carry no query_id arg.
+  { ScopedSpan span(tracer, "untagged"); }
+  EXPECT_EQ(Tracer::ThreadQueryId(), 0u);
+
+  const std::vector<TraceSpan> spans = tracer.CollectSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  const auto query_id_arg =
+      [](const TraceSpan& span) -> const uint64_t* {
+    for (const auto& [key, value] : span.args) {
+      if (key == "query_id") return &value;
+    }
+    return nullptr;
+  };
+  for (const TraceSpan& span : spans) {
+    const uint64_t* id = query_id_arg(span);
+    if (span.name == "inner") {
+      ASSERT_NE(id, nullptr);
+      EXPECT_EQ(*id, 43u);
+    } else if (span.name == "outer") {
+      ASSERT_NE(id, nullptr);
+      EXPECT_EQ(*id, 42u);
+    } else {
+      EXPECT_EQ(id, nullptr) << span.name;
+    }
+  }
 }
 
 TEST(TracerTest, ClearDiscardsSpansButKeepsEpoch) {

@@ -1,0 +1,93 @@
+#include "fpm/obs/windowed.h"
+
+#include <gtest/gtest.h>
+
+namespace fpm {
+namespace {
+
+TEST(WindowedHistogramTest, EmptyWindowIsAllZero) {
+  WindowedHistogram h;
+  const auto stats = h.QueryAt(/*window_seconds=*/10, /*now_second=*/100);
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.qps, 0.0);
+  EXPECT_EQ(stats.p50_ms, 0.0);
+  EXPECT_EQ(stats.p99_ms, 0.0);
+  EXPECT_EQ(stats.max_ms, 0.0);
+}
+
+TEST(WindowedHistogramTest, CountsAndQpsOverTheWindow) {
+  WindowedHistogram h;
+  // 3 observations per second over seconds 10..19.
+  for (uint64_t s = 10; s < 20; ++s) {
+    for (int i = 0; i < 3; ++i) h.RecordAt(s, 1.0);
+  }
+  const auto w10 = h.QueryAt(10, /*now_second=*/19);
+  EXPECT_EQ(w10.count, 30u);
+  EXPECT_DOUBLE_EQ(w10.qps, 3.0);
+
+  // A 1s window at second 19 sees only that second's 3 observations.
+  const auto w1 = h.QueryAt(1, 19);
+  EXPECT_EQ(w1.count, 3u);
+  EXPECT_DOUBLE_EQ(w1.qps, 3.0);
+}
+
+TEST(WindowedHistogramTest, OldSecondsFallOutOfTheWindow) {
+  WindowedHistogram h;
+  h.RecordAt(5, 1.0);
+  h.RecordAt(50, 1.0);
+  // At second 50, a 10s window covers [41, 50]: the second-5 sample is
+  // out of range.
+  EXPECT_EQ(h.QueryAt(10, 50).count, 1u);
+  EXPECT_EQ(h.QueryAt(60, 50).count, 2u);
+}
+
+TEST(WindowedHistogramTest, RingReusesStaleSlots) {
+  WindowedHistogram h(/*ring_seconds=*/8);
+  h.RecordAt(1, 1.0);
+  // Second 9 maps onto the same ring slot as second 1 (9 % 8); the
+  // stale bucket must reset rather than merge.
+  h.RecordAt(9, 2.0);
+  const auto stats = h.QueryAt(1, 9);
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_DOUBLE_EQ(stats.max_ms, 2.0);
+  // The overwritten second is simply gone.
+  EXPECT_EQ(h.QueryAt(8, 8).count, 0u);
+}
+
+TEST(WindowedHistogramTest, QuantilesInterpolateAndTrackMax) {
+  WindowedHistogram h;
+  // 90 fast (~1ms bucket) + 10 slow (~100ms bucket) observations.
+  for (int i = 0; i < 90; ++i) h.RecordAt(10, 0.8);
+  for (int i = 0; i < 10; ++i) h.RecordAt(10, 80.0);
+  const auto stats = h.QueryAt(1, 10);
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_DOUBLE_EQ(stats.max_ms, 80.0);
+  // p50 lands in the (0.5, 1] bucket, p99 in the (50, 100] bucket.
+  EXPECT_GT(stats.p50_ms, 0.5);
+  EXPECT_LE(stats.p50_ms, 1.0);
+  EXPECT_GT(stats.p99_ms, 50.0);
+  EXPECT_LE(stats.p99_ms, 100.0);
+}
+
+TEST(WindowedHistogramTest, OverflowBucketReportsTheMax) {
+  WindowedHistogram h;
+  h.RecordAt(3, 500000.0);  // beyond the last 120s bound
+  const auto stats = h.QueryAt(1, 3);
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_DOUBLE_EQ(stats.p99_ms, 500000.0);
+  EXPECT_DOUBLE_EQ(stats.max_ms, 500000.0);
+}
+
+TEST(WindowedHistogramTest, WallClockPathRecordsNow) {
+  WindowedHistogram h;
+  h.Record(1.0);
+  h.Record(2.0);
+  // The in-progress second is included in the window, so both
+  // observations are visible immediately.
+  const auto stats = h.Query(2);
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_DOUBLE_EQ(stats.max_ms, 2.0);
+}
+
+}  // namespace
+}  // namespace fpm

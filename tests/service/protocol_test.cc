@@ -205,12 +205,15 @@ TEST(EncodeTest, QueryResponseGolden) {
   response.dataset_digest = "cafe";
   response.queue_seconds = 0.5;
   response.mine_seconds = 0.25;
+  response.query_id = 17;
+  response.trace_id = "req-9";
   EXPECT_EQ(EncodeQueryResponse(response),
             "{\"cache\":\"cross_task\",\"digest\":\"cafe\","
             "\"itemsets\":[{\"items\":[1,2],\"support\":4},"
             "{\"items\":[3],\"support\":2}],\"mine_ms\":250,"
-            "\"num_results\":2,\"ok\":true,\"queue_ms\":500,"
-            "\"task\":\"closed\"}");
+            "\"num_results\":2,\"ok\":true,\"query_id\":17,"
+            "\"queue_ms\":500,\"task\":\"closed\","
+            "\"trace_id\":\"req-9\"}");
 }
 
 TEST(EncodeTest, RulesResponseCarriesTheRuleTable) {
@@ -227,7 +230,8 @@ TEST(EncodeTest, RulesResponseCarriesTheRuleTable) {
   response.dataset_digest = "d";
   EXPECT_EQ(EncodeQueryResponse(response),
             "{\"cache\":\"miss\",\"digest\":\"d\",\"mine_ms\":0,"
-            "\"num_results\":1,\"ok\":true,\"queue_ms\":0,"
+            "\"num_results\":1,\"ok\":true,\"query_id\":0,"
+            "\"queue_ms\":0,"
             "\"rules\":[{\"antecedent\":[1],\"confidence\":0.5,"
             "\"consequent\":[2],\"lift\":2,\"support\":4}],"
             "\"task\":\"rules\"}");
@@ -236,10 +240,14 @@ TEST(EncodeTest, RulesResponseCarriesTheRuleTable) {
 TEST(EncodeTest, BatchLinesCarryTheQueryId) {
   MineResponse response;
   response.num_frequent = 0;
+  response.query_id = 21;
   const std::string tagged = EncodeQueryResponseWithId(3, response);
   auto doc = ParseJson(tagged);
   ASSERT_TRUE(doc.ok());
   EXPECT_EQ(doc.value()["id"].int_value(), 3);
+  // Batch lines carry both ids: "id" is the entry's index within the
+  // batch, "query_id" the service-wide request id.
+  EXPECT_EQ(doc.value()["query_id"].int_value(), 21);
   EXPECT_TRUE(doc.value()["ok"].bool_value());
 
   const std::string error =
@@ -283,6 +291,97 @@ TEST(EncodeTest, ResponsesRoundTripThroughTheParser) {
   EXPECT_TRUE(doc.value()["ok"].bool_value());
   EXPECT_EQ(doc.value()["itemsets"].array_items()[0]["support"].int_value(),
             3);
+}
+
+TEST(DecodeRequestTest, DecodesStatsAndMetricsTextOps) {
+  auto stats = DecodeRequest("{\"op\":\"stats\"}");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->op, ServiceRequest::Op::kStats);
+  EXPECT_EQ(stats->version, 2);
+
+  auto text = DecodeRequest("{\"op\":\"metrics_text\"}");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->op, ServiceRequest::Op::kMetricsText);
+  EXPECT_EQ(text->version, 2);
+}
+
+TEST(DecodeRequestTest, QueryAcceptsTraceIdMineIgnoresIt) {
+  auto query = DecodeRequest(
+      "{\"op\":\"query\",\"dataset\":\"d.dat\",\"min_support\":2,"
+      "\"trace_id\":\"req-42\"}");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->mine.trace_id, "req-42");
+
+  EXPECT_EQ(DecodeRequest("{\"op\":\"query\",\"dataset\":\"d.dat\","
+                          "\"min_support\":2,\"trace_id\":7}")
+                .status()
+                .message(),
+            "op 'query': field 'trace_id': not a string");
+
+  // trace_id is v2-only: the frozen v1 mine op does not pick it up, so
+  // its responses stay byte-identical.
+  auto mine = DecodeRequest(
+      "{\"op\":\"mine\",\"dataset\":\"d.dat\",\"min_support\":2,"
+      "\"trace_id\":\"req-42\"}");
+  ASSERT_TRUE(mine.ok()) << mine.status();
+  EXPECT_TRUE(mine->mine.trace_id.empty());
+}
+
+TEST(EncodeTest, StatsResponseGolden) {
+  ServiceStats stats;
+  stats.uptime_seconds = 1.5;
+  stats.registry.loads = 2;
+  stats.registry.hits = 3;
+  stats.registry.resident_bytes = 64;
+  DatasetRegistryStats::Dataset row;
+  row.id = "ds-1";
+  row.path = "/tmp/x.dat";
+  row.versions = 2;
+  row.live_transactions = 9;
+  row.bytes = 64;
+  row.pinned_versions = 1;
+  stats.registry.datasets.push_back(row);
+  stats.cache.hits = 4;
+  stats.cache.misses = 5;
+  stats.scheduler.submitted = 6;
+  stats.scheduler.running = 1;
+  stats.scheduler.in_flight.push_back(InFlightJob{11, 0.25});
+  ServiceWindowStats window;
+  window.window_seconds = 10;
+  window.count = 6;
+  window.qps = 0.5;
+  window.p50_ms = 1.5;
+  window.p99_ms = 3.5;
+  window.max_ms = 4.5;
+  stats.windows.push_back(window);
+  stats.watchdog.sweeps = 7;
+  stats.watchdog.flagged = 1;
+  stats.watchdog.stuck_now = 1;
+  EXPECT_EQ(
+      EncodeStatsResponse(stats),
+      "{\"cache\":{\"cross_task_hits\":0,\"dominated_hits\":0,"
+      "\"evictions\":0,\"hits\":4,\"insertions\":0,\"misses\":5,"
+      "\"resident_bytes\":0,\"resident_entries\":0},\"ok\":true,"
+      "\"registry\":{\"appends\":0,\"datasets\":[{\"bytes\":64,"
+      "\"id\":\"ds-1\",\"live_transactions\":9,\"path\":\"/tmp/x.dat\","
+      "\"pinned_versions\":1,\"versions\":2}],\"evictions\":0,"
+      "\"hits\":3,\"loads\":2,\"resident_bytes\":64},"
+      "\"scheduler\":{\"completed\":0,\"in_flight\":[{\"age_seconds\":0.25,"
+      "\"query_id\":11}],\"queue_depth\":0,\"rejected\":0,\"running\":1,"
+      "\"submitted\":6},\"uptime_seconds\":1.5,"
+      "\"watchdog\":{\"flagged\":1,\"stuck_now\":1,\"sweeps\":7},"
+      "\"windows\":[{\"count\":6,\"max_ms\":4.5,\"p50_ms\":1.5,"
+      "\"p99_ms\":3.5,\"qps\":0.5,\"window_s\":10}]}");
+}
+
+TEST(EncodeTest, MetricsTextResponseWrapsTheExposition) {
+  const std::string line =
+      EncodeMetricsTextResponse("# TYPE fpm_x counter\nfpm_x 1\n");
+  auto doc = ParseJson(line);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc.value()["ok"].bool_value());
+  EXPECT_EQ(doc.value()["text"].string_value(),
+            "# TYPE fpm_x counter\nfpm_x 1\n");
 }
 
 }  // namespace

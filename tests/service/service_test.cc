@@ -8,11 +8,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
+#include <thread>
 #include <string>
 #include <vector>
 
 #include "fpm/algo/itemset_sink.h"
 #include "fpm/dataset/fimi_io.h"
+#include "fpm/obs/query_log.h"
+#include "fpm/obs/trace.h"
 #include "service/service_test_util.h"
 
 namespace fpm {
@@ -368,6 +372,149 @@ TEST(MiningServiceTest, TakeMovesTheResultOut) {
   EXPECT_TRUE(submitted.value()->done());
   auto first = submitted.value()->Take();
   EXPECT_TRUE(first.ok());
+}
+
+TEST(MiningServiceTest, ResponsesCarryUniqueQueryIdsAndEchoTraceId) {
+  const std::string path =
+      test::WriteTempFimi("service_qid.dat", test::SmallFimiText());
+  MiningService service(MiningService::Options{.num_threads = 1});
+  MineRequest request = Request(path, Algorithm::kLcm, 2);
+  request.trace_id = "client-tag";
+  auto first = service.Execute(request);
+  auto second = service.Execute(request);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_NE(first->query_id, 0u);
+  EXPECT_GT(second->query_id, first->query_id);
+  EXPECT_EQ(first->trace_id, "client-tag");
+  EXPECT_EQ(second->trace_id, "client-tag");
+}
+
+TEST(MiningServiceTest, QueryIdTagsTheServiceSpanAndNestedKernelSpans) {
+  const std::string path =
+      test::WriteTempFimi("service_qid_spans.dat", test::SmallFimiText());
+  MiningService service(MiningService::Options{.num_threads = 1});
+  Tracer& tracer = Tracer::Default();
+  tracer.CollectSpans();  // drain anything earlier tests left behind
+  tracer.set_enabled(true);
+  auto response = service.Execute(Request(path, Algorithm::kLcm, 2));
+  tracer.set_enabled(false);
+  ASSERT_TRUE(response.ok()) << response.status();
+
+  const auto query_id_arg =
+      [](const TraceSpan& span) -> const uint64_t* {
+    for (const auto& [key, value] : span.args) {
+      if (key == "query_id") return &value;
+    }
+    return nullptr;
+  };
+  bool service_span_tagged = false;
+  size_t nested_tagged = 0;
+  for (const TraceSpan& span : tracer.CollectSpans()) {
+    const uint64_t* id = query_id_arg(span);
+    if (id == nullptr || *id != response->query_id) continue;
+    if (span.name == "service.mine") {
+      service_span_tagged = true;
+    } else {
+      ++nested_tagged;  // kernel phase spans inside the job
+    }
+  }
+  // The one query_id threads from the response through the service
+  // span down into the kernel's own spans.
+  EXPECT_TRUE(service_span_tagged);
+  EXPECT_GE(nested_tagged, 1u);
+}
+
+TEST(MiningServiceTest, StatsReportsRegistryCacheSchedulerAndWindows) {
+  const std::string path =
+      test::WriteTempFimi("service_stats.dat", test::SmallFimiText());
+  MiningService service(MiningService::Options{.num_threads = 1});
+  ASSERT_TRUE(service.Execute(Request(path, Algorithm::kLcm, 2)).ok());
+  ASSERT_TRUE(service.Execute(Request(path, Algorithm::kLcm, 2)).ok());
+
+  // A job signals its waiter from inside the running job, so the
+  // scheduler's completed/in-flight bookkeeping trails Execute() by a
+  // moment — poll for the settled state.
+  ServiceStats stats = service.Stats();
+  const auto settle_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while ((stats.scheduler.completed < 2 ||
+          !stats.scheduler.in_flight.empty()) &&
+         std::chrono::steady_clock::now() < settle_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stats = service.Stats();
+  }
+  EXPECT_GE(stats.uptime_seconds, 0.0);
+  ASSERT_EQ(stats.registry.datasets.size(), 1u);
+  EXPECT_EQ(stats.registry.datasets[0].path, path);
+  EXPECT_EQ(stats.registry.datasets[0].versions, 1u);
+  EXPECT_GT(stats.registry.datasets[0].bytes, 0u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.scheduler.submitted, 2u);
+  EXPECT_EQ(stats.scheduler.completed, 2u);
+  EXPECT_EQ(stats.scheduler.queue_depth, 0u);
+  EXPECT_TRUE(stats.scheduler.in_flight.empty());
+  ASSERT_EQ(stats.windows.size(), 3u);
+  EXPECT_EQ(stats.windows[0].window_seconds, 1u);
+  EXPECT_EQ(stats.windows[1].window_seconds, 10u);
+  EXPECT_EQ(stats.windows[2].window_seconds, 60u);
+  // Both queries just ran, so the 60s window has seen them.
+  EXPECT_EQ(stats.windows[2].count, 2u);
+  EXPECT_GT(stats.windows[2].qps, 0.0);
+}
+
+TEST(MiningServiceTest, RejectedRequestsStillGetLoggedQueryIds) {
+  std::ostringstream log_out;
+  QueryLog log;
+  log.SetStream(&log_out);
+  MiningService::Options options;
+  options.num_threads = 1;
+  options.query_log = &log;
+  MiningService service(options);
+
+  MineRequest request = Request("/nonexistent/x.dat", Algorithm::kLcm, 2);
+  EXPECT_FALSE(service.Execute(request).ok());
+  EXPECT_EQ(log.lines_written(), 1u);
+  const std::string line = log_out.str();
+  EXPECT_NE(line.find("\"status\":\"rejected\""), std::string::npos);
+  EXPECT_NE(line.find("\"query_id\":"), std::string::npos);
+  EXPECT_EQ(line.find("\"query_id\":0"), std::string::npos);
+}
+
+TEST(MiningServiceTest, QueryLogRecordsCompletionsWithCacheOutcome) {
+  const std::string path =
+      test::WriteTempFimi("service_qlog.dat", test::SmallFimiText());
+  std::ostringstream log_out;
+  QueryLog log;
+  log.SetStream(&log_out);
+  MiningService::Options options;
+  options.num_threads = 1;
+  options.query_log = &log;
+  MiningService service(options);
+
+  MineRequest request = Request(path, Algorithm::kLcm, 2);
+  request.trace_id = "t-1";
+  auto miss = service.Execute(request);
+  auto hit = service.Execute(request);
+  ASSERT_TRUE(miss.ok() && hit.ok());
+  ASSERT_EQ(log.lines_written(), 2u);
+
+  std::istringstream lines(log_out.str());
+  std::string miss_line, hit_line;
+  ASSERT_TRUE(std::getline(lines, miss_line));
+  ASSERT_TRUE(std::getline(lines, hit_line));
+  EXPECT_NE(
+      miss_line.find("\"query_id\":" + std::to_string(miss->query_id)),
+      std::string::npos);
+  EXPECT_NE(miss_line.find("\"cache\":\"miss\""), std::string::npos);
+  EXPECT_NE(miss_line.find("\"mine_ms\":"), std::string::npos);
+  EXPECT_NE(miss_line.find("\"trace_id\":\"t-1\""), std::string::npos);
+  EXPECT_NE(miss_line.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(miss_line.find("\"peak_bytes\":"), std::string::npos);
+  EXPECT_NE(
+      hit_line.find("\"query_id\":" + std::to_string(hit->query_id)),
+      std::string::npos);
+  EXPECT_NE(hit_line.find("\"cache\":\"hit\""), std::string::npos);
 }
 
 }  // namespace

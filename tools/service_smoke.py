@@ -17,7 +17,12 @@ drives it with fpm_client the way a real deployment would:
      id                               -> the parent version's cached
         frequent run reseeds the child (cache: "reseeded"), and
         "dataset_info" shows the two-version chain
-  7. "shutdown"                       -> clean exit
+  7. observability: "stats" shows an empty queue after the drain,
+     "metrics-text" renders a Prometheus exposition, fpm_top.py --once
+     renders a dashboard against the live daemon, and the daemon's
+     --query-log file holds one schema-valid line per query with the
+     query_ids the v2 responses echoed
+  8. "shutdown"                       -> clean exit
 
 and asserts, from the responses AND the daemon's metrics, that the
 repeated and dominated queries were served from the cache without
@@ -65,9 +70,11 @@ def main(argv):
         for row in ["1 2 3", "1 2", "1 3", "2 3", "1 2 3 4", "2 3 4"]:
             f.write(row + "\n")
     socket_path = os.path.join(tmp, "fpmd.sock")
+    query_log = os.path.join(tmp, "query.log")
 
     daemon = subprocess.Popen(
-        [fpmd, f"--socket={socket_path}", "--threads=2"],
+        [fpmd, f"--socket={socket_path}", "--threads=2",
+         f"--query-log={query_log}"],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
     try:
         for _ in range(100):
@@ -215,7 +222,93 @@ def main(argv):
         if reseeds is None or reseeds < 1:
             fail(f"counter fpm.service.cache.reseeds = {reseeds}, want >= 1")
 
-        # 7. Clean shutdown.
+        # 7. Observability. Every successful v2 response carried a
+        # unique non-zero query_id; collect them to cross-check against
+        # the query log. (Error lines carry the batch id, not a
+        # query_id — the rejection still lands in the log below.)
+        echoed = {}  # query_id -> cache outcome from the response
+        for r in batch + [rules, reseeded]:
+            if r.get("ok") is not True:
+                continue
+            qid = r.get("query_id")
+            if not qid:
+                fail(f"v2 response missing query_id: {r}")
+            if qid in echoed:
+                fail(f"duplicate query_id {qid} across responses")
+            echoed[qid] = r.get("cache")
+
+        # The queue has fully drained: stats shows nothing in flight,
+        # the latency windows saw our queries, no job got stuck.
+        stats = run_client(client, socket_path, "stats")[0]
+        sched = stats.get("scheduler", {})
+        if sched.get("queue_depth") != 0 or sched.get("running") != 0:
+            fail(f"scheduler not drained: {sched}")
+        if sched.get("in_flight") != []:
+            fail(f"in_flight jobs after drain: {sched.get('in_flight')}")
+        if sched.get("completed", 0) < 9:
+            fail(f"scheduler completed = {sched.get('completed')}, "
+                 "want >= 9")
+        windows = {w.get("window_s") for w in stats.get("windows", [])}
+        if not {1, 10, 60} <= windows:
+            fail(f"stats windows = {windows}, want 1s/10s/60s")
+        if max(w.get("count", 0) for w in stats.get("windows", [])) < 1:
+            fail("no latency window saw any queries")
+        if stats.get("watchdog", {}).get("stuck_now") != 0:
+            fail(f"watchdog reports stuck jobs: {stats.get('watchdog')}")
+        if not stats.get("uptime_seconds", 0) > 0:
+            fail("stats reports no uptime")
+
+        # Prometheus exposition through the same socket.
+        exposition = run_client(client, socket_path, "metrics-text",
+                                "--json")[0]
+        text = exposition.get("text", "")
+        if "# TYPE fpm_service_cache_hits counter" not in text:
+            fail(f"metrics-text missing cache-hits counter:\n{text[:400]}")
+
+        # The live dashboard renders against the running daemon.
+        tools_dir = os.path.dirname(os.path.abspath(__file__))
+        top = subprocess.run(
+            [sys.executable, os.path.join(tools_dir, "fpm_top.py"),
+             f"--socket={socket_path}", "--once"],
+            capture_output=True, text=True, timeout=60)
+        if top.returncode != 0 or "fpmd up" not in top.stdout:
+            fail(f"fpm_top.py --once failed ({top.returncode}):\n"
+                 f"{top.stdout}{top.stderr}")
+
+        # The query log: schema-valid, one line per query (3 repeats,
+        # 1 dominated, 4 batch entries, rules, reseeded = 10), with the
+        # echoed query_ids and cache outcomes, and real kernel time on
+        # the one true miss.
+        check = subprocess.run(
+            [sys.executable,
+             os.path.join(tools_dir, "validate_query_log.py"),
+             query_log, "--min-lines=10"],
+            capture_output=True, text=True, timeout=60)
+        if check.returncode != 0:
+            fail(f"validate_query_log.py failed:\n{check.stderr}")
+        with open(query_log, "r", encoding="utf-8") as f:
+            logged = [json.loads(line) for line in f if line.strip()]
+        if len(logged) != 10:
+            fail(f"query log holds {len(logged)} lines, want 10")
+        by_qid = {e["query_id"]: e for e in logged}
+        if len(by_qid) != len(logged):
+            fail("query log reused a query_id")
+        for qid, cache in echoed.items():
+            entry = by_qid.get(qid)
+            if entry is None:
+                fail(f"echoed query_id {qid} never reached the log")
+            if cache is not None and entry.get("cache") != cache:
+                fail(f"log cache for query {qid} = {entry.get('cache')}, "
+                     f"response said {cache}")
+        misses = [e for e in logged if e.get("cache") == "miss"]
+        if len(misses) != 1:
+            fail(f"{len(misses)} miss lines in the log, want exactly 1")
+        if not misses[0].get("mine_ms", 0) > 0:
+            fail(f"the miss line has no kernel time: {misses[0]}")
+        if len([e for e in logged if e.get("status") == "rejected"]) != 1:
+            fail("the bad-dataset batch entry was not logged as rejected")
+
+        # 8. Clean shutdown.
         run_client(client, socket_path, "shutdown")
         if daemon.wait(timeout=30) != 0:
             fail(f"fpmd exited {daemon.returncode} after shutdown")
@@ -226,7 +319,7 @@ def main(argv):
 
     print("service smoke: OK (miss -> 2 hits, 1 dominated, "
           "mixed batch derived cross-task, append reseeded, "
-          "clean shutdown)")
+          "stats drained, query log validated, clean shutdown)")
     return 0
 
 

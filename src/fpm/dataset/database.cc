@@ -1,10 +1,75 @@
 #include "fpm/dataset/database.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "fpm/common/logging.h"
 
 namespace fpm {
+
+namespace {
+
+// Heap-vector backend: owns the CSR arrays a DatabaseBuilder produced.
+class OwnedStorage final : public DatabaseStorage {
+ public:
+  OwnedStorage(std::vector<Item> items, std::vector<size_t> offsets,
+               std::vector<Support> weights, std::vector<Support> frequencies)
+      : items_(std::move(items)),
+        offsets_(std::move(offsets)),
+        weights_(std::move(weights)),
+        frequencies_(std::move(frequencies)) {}
+
+  StorageKind kind() const override { return StorageKind::kMemory; }
+
+  size_t resident_bytes() const override {
+    return items_.capacity() * sizeof(Item) +
+           offsets_.capacity() * sizeof(size_t) +
+           weights_.capacity() * sizeof(Support) +
+           frequencies_.capacity() * sizeof(Support);
+  }
+
+  size_t mapped_bytes() const override { return 0; }
+
+  std::span<const Item> items() const { return items_; }
+  std::span<const size_t> offsets() const { return offsets_; }
+  std::span<const Support> weights() const { return weights_; }
+  std::span<const Support> frequencies() const { return frequencies_; }
+
+ private:
+  std::vector<Item> items_;
+  std::vector<size_t> offsets_;
+  std::vector<Support> weights_;
+  std::vector<Support> frequencies_;
+};
+
+}  // namespace
+
+const char* StorageKindName(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kMemory:
+      return "memory";
+    case StorageKind::kPacked:
+      return "packed";
+  }
+  return "unknown";
+}
+
+Database Database::FromStorage(std::shared_ptr<const DatabaseStorage> storage,
+                               std::span<const Item> items,
+                               std::span<const size_t> offsets,
+                               std::span<const Support> weights,
+                               std::span<const Support> frequencies,
+                               size_t num_items, Support total_weight) {
+  Database db;
+  db.items_ = items;
+  db.offsets_ = offsets;
+  db.weights_ = weights;
+  db.frequencies_ = frequencies;
+  db.num_items_ = num_items;
+  db.total_weight_ = total_weight;
+  db.storage_ = std::move(storage);
+  return db;
+}
 
 void DatabaseBuilder::CountAppended(size_t begin, Support weight) {
   if (frequencies_.size() < max_item_bound_) {
@@ -71,39 +136,40 @@ void DatabaseBuilder::AddSortedTransaction(std::span<const Item> items,
 }
 
 void DatabaseBuilder::AddDatabase(const Database& db) {
-  items_.insert(items_.end(), db.items_.begin(), db.items_.end());
+  const std::span<const Item> src_items = db.items();
+  const std::span<const size_t> src_offsets = db.offsets();
+  items_.insert(items_.end(), src_items.begin(), src_items.end());
   const size_t base = offsets_.back();
   offsets_.reserve(offsets_.size() + db.num_transactions());
-  for (size_t t = 1; t < db.offsets_.size(); ++t) {
-    offsets_.push_back(base + db.offsets_[t]);
+  for (size_t t = 1; t < src_offsets.size(); ++t) {
+    offsets_.push_back(base + src_offsets[t]);
   }
   for (Tid t = 0; t < db.num_transactions(); ++t) {
     weights_.push_back(db.weight(t));
   }
   if (db.has_weights()) any_weighted_ = true;
-  if (db.num_items_ > max_item_bound_) max_item_bound_ = db.num_items_;
+  if (db.num_items() > max_item_bound_) max_item_bound_ = db.num_items();
   if (frequencies_.size() < max_item_bound_) {
     frequencies_.resize(max_item_bound_, 0);
   }
-  for (size_t i = 0; i < db.frequencies_.size(); ++i) {
-    frequencies_[i] += db.frequencies_[i];
+  const std::span<const Support> src_freq = db.item_frequencies();
+  for (size_t i = 0; i < src_freq.size(); ++i) {
+    frequencies_[i] += src_freq[i];
   }
-  total_weight_ += db.total_weight_;
+  total_weight_ += db.total_weight();
 }
 
 Database DatabaseBuilder::Build() {
-  Database db;
-  db.items_ = std::move(items_);
-  db.offsets_ = std::move(offsets_);
-  db.num_items_ = max_item_bound_;
-  if (any_weighted_) {
-    db.weights_ = std::move(weights_);
-  }
+  const size_t num_items = max_item_bound_;
+  const Support total_weight = total_weight_;
   frequencies_.resize(max_item_bound_, 0);
-  db.frequencies_ = std::move(frequencies_);
-  db.total_weight_ = total_weight_;
+  if (!any_weighted_) weights_.clear();
 
-  // Reset to a clean reusable state.
+  auto storage = std::make_shared<OwnedStorage>(
+      std::move(items_), std::move(offsets_), std::move(weights_),
+      std::move(frequencies_));
+
+  // Reset to a clean reusable state (members are moved-from).
   items_.clear();
   offsets_.assign(1, 0);
   weights_.clear();
@@ -111,7 +177,11 @@ Database DatabaseBuilder::Build() {
   max_item_bound_ = 0;
   total_weight_ = 0;
   any_weighted_ = false;
-  return db;
+
+  const OwnedStorage& s = *storage;
+  return Database::FromStorage(std::move(storage), s.items(), s.offsets(),
+                               s.weights(), s.frequencies(), num_items,
+                               total_weight);
 }
 
 }  // namespace fpm

@@ -1,15 +1,28 @@
-// Horizontal in-memory transaction database.
+// Horizontal transaction database as a *view* over a storage backend.
 //
 // Layout: CSR (compressed sparse row) — one flat `items` array plus an
 // `offsets` array with one entry per transaction boundary. This is the
 // "sparse, transaction-major" representation of the paper's §3.3
 // (Feature 1 horizontal / Feature 2 sparse); it keeps each transaction's
 // items in consecutive memory, the property pattern P1 builds on.
+//
+// Storage backends: a Database no longer owns heap vectors — it holds
+// std::span views into a refcounted DatabaseStorage. Two backends
+// exist:
+//   - owned vectors (DatabaseBuilder::Build, the classic in-memory
+//     path),
+//   - a memory-mapped packed file (fpm/dataset/packed.h, OpenMapped),
+//     whose CSR arrays live in the page cache, not on the heap.
+// Every consumer — kernels, layout, bitvector construction, parallel
+// drivers — reads through the span accessors, so it cannot tell the
+// backends apart; the byte-identical-mining contract rests on that.
+// Copying a Database copies four spans and bumps one refcount.
 
 #ifndef FPM_DATASET_DATABASE_H_
 #define FPM_DATASET_DATABASE_H_
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -19,13 +32,42 @@
 
 namespace fpm {
 
-/// Immutable transaction database. Build with DatabaseBuilder.
+/// Where a Database's arrays live.
+enum class StorageKind {
+  kMemory,  ///< heap vectors owned by the storage
+  kPacked,  ///< a memory-mapped packed file (fpm/dataset/packed.h)
+};
+
+/// Stable lowercase label ("memory" | "packed") for stats and logs.
+const char* StorageKindName(StorageKind kind);
+
+/// The backing store a Database views. Immutable once published;
+/// shared by every Database copy and destroyed with the last one.
+class DatabaseStorage {
+ public:
+  virtual ~DatabaseStorage() = default;
+
+  virtual StorageKind kind() const = 0;
+
+  /// Heap (malloc'd) bytes this storage holds resident. What registry
+  /// eviction budgets account.
+  virtual size_t resident_bytes() const = 0;
+
+  /// Bytes backed by a file mapping (page cache, evictable by the OS,
+  /// not malloc'd). 0 for owned-vector storage.
+  virtual size_t mapped_bytes() const = 0;
+};
+
+/// Immutable transaction database. Build with DatabaseBuilder or map a
+/// packed file with OpenMapped (fpm/dataset/packed.h).
 class Database {
  public:
   Database() = default;
 
   /// Number of transactions.
-  size_t num_transactions() const { return offsets_.size() - 1; }
+  size_t num_transactions() const {
+    return offsets_.size() <= 1 ? 0 : offsets_.size() - 1;
+  }
 
   /// Size of the item universe: all item ids are < num_items().
   /// (Items with zero occurrences may exist below this bound.)
@@ -45,19 +87,21 @@ class Database {
   /// True when duplicate transactions were merged and carry weights.
   bool has_weights() const { return !weights_.empty(); }
 
-  /// Per-item frequency: number of transactions (weighted) containing it.
-  /// Size num_items().
-  const std::vector<Support>& item_frequencies() const {
-    return frequencies_;
-  }
+  /// Per-item frequency: number of transactions (weighted) containing
+  /// it. Size num_items().
+  std::span<const Support> item_frequencies() const { return frequencies_; }
 
   /// Sum of weights over all transactions (== num_transactions() when
   /// unweighted).
   Support total_weight() const { return total_weight_; }
 
-  /// Direct access to the flat CSR arrays (used by the miners).
-  const std::vector<Item>& items() const { return items_; }
-  const std::vector<size_t>& offsets() const { return offsets_; }
+  /// Direct access to the flat CSR arrays (used by the miners). Views
+  /// into the storage backend — valid for the Database's lifetime.
+  std::span<const Item> items() const { return items_; }
+  std::span<const size_t> offsets() const { return offsets_; }
+
+  /// Per-transaction weights; empty when unweighted (all 1).
+  std::span<const Support> weights() const { return weights_; }
 
   /// Average transaction length.
   double average_length() const {
@@ -66,22 +110,48 @@ class Database {
                : static_cast<double>(items_.size()) / num_transactions();
   }
 
-  /// Bytes of heap memory held by the database arrays.
-  size_t memory_bytes() const {
-    return items_.size() * sizeof(Item) + offsets_.size() * sizeof(size_t) +
-           weights_.size() * sizeof(Support) +
-           frequencies_.size() * sizeof(Support);
+  /// Which backend holds the arrays.
+  StorageKind storage_kind() const {
+    return storage_ ? storage_->kind() : StorageKind::kMemory;
   }
 
- private:
-  friend class DatabaseBuilder;
+  /// Heap bytes held by the database arrays. For a mapped database this
+  /// is ~0: the arrays live in the page cache, not on the heap. This is
+  /// the number registry eviction budgets against.
+  size_t resident_bytes() const {
+    return storage_ ? storage_->resident_bytes() : 0;
+  }
 
-  std::vector<Item> items_;
-  std::vector<size_t> offsets_{0};
-  std::vector<Support> weights_;  // empty => all 1
-  std::vector<Support> frequencies_;
+  /// File-mapping bytes viewed by this database (0 when memory-backed).
+  size_t mapped_bytes() const {
+    return storage_ ? storage_->mapped_bytes() : 0;
+  }
+
+  /// Total footprint: resident heap bytes plus mapped file bytes. Use
+  /// resident_bytes() when budgeting heap (mapped pages are reclaimable
+  /// by the OS and must not count against a malloc budget).
+  size_t memory_bytes() const { return resident_bytes() + mapped_bytes(); }
+
+  /// Assembles a database viewing `storage`. Internal factory for the
+  /// storage backends (DatabaseBuilder::Build, OpenMapped); the spans
+  /// must point into `storage` and satisfy the CSR invariants
+  /// (offsets.front() == 0, offsets.back() == items.size(), weights
+  /// empty or one per transaction, frequencies sized num_items).
+  static Database FromStorage(std::shared_ptr<const DatabaseStorage> storage,
+                              std::span<const Item> items,
+                              std::span<const size_t> offsets,
+                              std::span<const Support> weights,
+                              std::span<const Support> frequencies,
+                              size_t num_items, Support total_weight);
+
+ private:
+  std::span<const Item> items_;
+  std::span<const size_t> offsets_;
+  std::span<const Support> weights_;  // empty => all 1
+  std::span<const Support> frequencies_;
   size_t num_items_ = 0;
   Support total_weight_ = 0;
+  std::shared_ptr<const DatabaseStorage> storage_;
 };
 
 /// Accumulates transactions and produces an immutable Database.
@@ -121,8 +191,8 @@ class DatabaseBuilder {
   /// Number of transactions added so far.
   size_t size() const { return offsets_.size() - 1; }
 
-  /// Finalizes: computes item frequencies and moves the data out.
-  /// The builder is left empty and reusable.
+  /// Finalizes: computes item frequencies and moves the data into an
+  /// owned storage backend. The builder is left empty and reusable.
   Database Build();
 
  private:

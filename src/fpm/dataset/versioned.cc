@@ -73,7 +73,19 @@ std::string ChainDigest(const std::string& parent_digest,
 }
 
 VersionedDataset::VersionedDataset(Database base, std::string digest) {
+  DatasetVersion v1;
+  v1.number = 1;
+  v1.digest = std::move(digest);
+  v1.num_transactions = base.num_transactions();
+  v1.database = std::make_shared<const Database>(std::move(base));
+  versions_.push_back(std::move(v1));
+}
+
+void VersionedDataset::EnsureSeeded() {
+  if (seeded_) return;
+  seeded_ = true;
   // Seed the log from the base so later expiry can rebuild any window.
+  const Database& base = *versions_.front().database;
   log_.reserve(base.num_transactions());
   for (Tid t = 0; t < base.num_transactions(); ++t) {
     auto txn = base.transaction(t);
@@ -82,12 +94,6 @@ VersionedDataset::VersionedDataset(Database base, std::string digest) {
     e.weight = base.weight(t);
     log_.push_back(std::move(e));
   }
-  DatasetVersion v1;
-  v1.number = 1;
-  v1.digest = std::move(digest);
-  v1.num_transactions = base.num_transactions();
-  v1.database = std::make_shared<const Database>(std::move(base));
-  versions_.push_back(std::move(v1));
 }
 
 size_t VersionedDataset::PolicyOverflow() const {
@@ -148,6 +154,8 @@ const DatasetVersion* VersionedDataset::Commit(
 }
 
 const DatasetVersion* VersionedDataset::SetPolicy(const WindowPolicy& policy) {
+  // An unbounded policy can never overflow; don't seed the log for it.
+  if (policy.bounded()) EnsureSeeded();
   policy_ = policy;
   const size_t overflow = PolicyOverflow();
   if (overflow == 0) return &versions_.back();
@@ -160,6 +168,7 @@ Result<const DatasetVersion*> VersionedDataset::Append(
   if (transactions.empty()) {
     return Status::InvalidArgument("append requires at least one transaction");
   }
+  EnsureSeeded();
   if (!timestamps.empty() && timestamps.size() != transactions.size()) {
     return Status::InvalidArgument(
         "timestamps must be absent or one per transaction");
@@ -195,6 +204,7 @@ Result<const DatasetVersion*> VersionedDataset::Append(
 }
 
 Result<const DatasetVersion*> VersionedDataset::Expire(uint64_t count) {
+  EnsureSeeded();
   const size_t live = log_.size() - window_start_;
   if (count < 1 || count > live) {
     return Status::OutOfRange("expire count must be in [1, " +
@@ -211,13 +221,21 @@ Result<const DatasetVersion*> VersionedDataset::Expire(uint64_t count) {
   return Commit(window_start_ + static_cast<size_t>(count), std::move(delta));
 }
 
-size_t VersionedDataset::memory_bytes() const {
+size_t VersionedDataset::resident_bytes() const {
   size_t bytes = 0;
   for (const DatasetVersion& v : versions_) {
-    if (v.database) bytes += v.database->memory_bytes();
+    if (v.database) bytes += v.database->resident_bytes();
   }
   for (const LogEntry& e : log_) {
     bytes += e.items.size() * sizeof(Item) + sizeof(LogEntry);
+  }
+  return bytes;
+}
+
+size_t VersionedDataset::mapped_bytes() const {
+  size_t bytes = 0;
+  for (const DatasetVersion& v : versions_) {
+    if (v.database) bytes += v.database->mapped_bytes();
   }
   return bytes;
 }

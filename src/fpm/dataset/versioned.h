@@ -128,11 +128,26 @@ class VersionedDataset {
 
   /// Live transactions in the latest version.
   uint64_t live_transactions() const {
-    return static_cast<uint64_t>(log_.size() - window_start_);
+    return seeded_ ? static_cast<uint64_t>(log_.size() - window_start_)
+                   : versions_.back().num_transactions;
   }
 
-  /// Heap bytes of the retained version databases plus the log.
-  size_t memory_bytes() const;
+  /// Heap bytes of the retained version databases plus the log. For a
+  /// mapped (packed) base that was never mutated this stays small — the
+  /// CSR arrays live in the page cache, not here.
+  size_t resident_bytes() const;
+
+  /// File-mapping bytes viewed by the retained version databases (0 for
+  /// heap-built chains).
+  size_t mapped_bytes() const;
+
+  /// Total footprint: resident + mapped.
+  size_t memory_bytes() const { return resident_bytes() + mapped_bytes(); }
+
+  /// Storage backend of the base (version 1) database.
+  StorageKind storage_kind() const {
+    return versions_.front().database->storage_kind();
+  }
 
  private:
   struct LogEntry {
@@ -140,6 +155,11 @@ class VersionedDataset {
     Support weight = 1;
     double timestamp = 0.0;
   };
+
+  /// Copies the base database's transactions into the log. Deferred to
+  /// the first mutation so a mapped base stays out-of-core: seeding a
+  /// multi-GB packed dataset eagerly would heap-copy the whole file.
+  void EnsureSeeded();
 
   /// Number of leading live transactions the policy expires, given the
   /// window [window_start_, log_.size()).
@@ -151,6 +171,7 @@ class VersionedDataset {
                                std::shared_ptr<VersionDelta> delta);
 
   std::vector<LogEntry> log_;
+  bool seeded_ = false;
   size_t window_start_ = 0;
   double max_timestamp_ = 0.0;
   WindowPolicy policy_;

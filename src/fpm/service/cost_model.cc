@@ -1,6 +1,7 @@
 #include "fpm/service/cost_model.h"
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 namespace fpm {
@@ -11,7 +12,7 @@ namespace {
 /// n frequent items. One full database pass.
 std::vector<double> FrequentLengthHistogram(const Database& db,
                                             Support min_support) {
-  const std::vector<Support>& freq = db.item_frequencies();
+  const std::span<const Support> freq = db.item_frequencies();
   std::vector<double> hist;
   for (Tid t = 0; t < db.num_transactions(); ++t) {
     size_t n = 0;
@@ -71,7 +72,7 @@ double ItemsetCountBound(const std::vector<double>& hist,
 
 CostEstimate EstimateMiningCost(const Database& db, Support min_support) {
   CostEstimate est;
-  const std::vector<Support>& freq = db.item_frequencies();
+  const std::span<const Support> freq = db.item_frequencies();
   for (Support f : freq) {
     if (f >= min_support) ++est.num_frequent_items;
   }

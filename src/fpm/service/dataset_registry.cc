@@ -6,21 +6,10 @@
 #include <utility>
 
 #include "fpm/dataset/fimi_io.h"
+#include "fpm/dataset/packed.h"
 #include "fpm/obs/metrics.h"
 
 namespace fpm {
-
-std::string ContentDigest(const std::string& bytes) {
-  uint64_t h = 14695981039346656037ull;  // FNV offset basis
-  for (char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;  // FNV prime
-  }
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(h));
-  return std::string(buf, 16);
-}
 
 namespace {
 
@@ -60,9 +49,12 @@ DatasetHandle DatasetRegistry::MakeHandleLocked(
 }
 
 void DatasetRegistry::UpdateBytesLocked(Entry& entry) {
-  const size_t now = entry.dataset->memory_bytes();
+  const size_t now = entry.dataset->resident_bytes();
   resident_bytes_ += now - entry.bytes;
   entry.bytes = now;
+  const size_t mapped_now = entry.dataset->mapped_bytes();
+  mapped_bytes_ += mapped_now - entry.mapped;
+  entry.mapped = mapped_now;
   bytes_gauge_->Set(resident_bytes_);
 }
 
@@ -99,26 +91,35 @@ Result<DatasetHandle> DatasetRegistry::Open(const std::string& path) {
   entries_[path];  // inserts Entry{loading = true}
   lock.unlock();
 
-  Result<std::string> bytes = ReadFileBytes(path);
-  Result<Database> parsed =
-      bytes.ok() ? ParseFimi(bytes.value())
-                 : Result<Database>(bytes.status());
+  // Packed files are mapped, everything else is parsed as FIMI. Either
+  // way the digest is the content digest of the original FIMI bytes
+  // (the packed header records it), so caches key storage-agnostically.
+  std::string digest;
+  Result<Database> loaded = [&]() -> Result<Database> {
+    if (IsPackedFile(path)) return OpenMapped(path, &digest);
+    Result<std::string> bytes = ReadFileBytes(path);
+    if (!bytes.ok()) return bytes.status();
+    digest = ContentDigest(bytes.value());
+    return ParseFimi(bytes.value());
+  }();
 
   lock.lock();
-  if (!parsed.ok()) {
+  if (!loaded.ok()) {
     entries_.erase(path);
     load_cv_.notify_all();
-    return parsed.status();
+    return loaded.status();
   }
   Entry& entry = entries_[path];
   entry.loading = false;
   entry.id = "ds-" + std::to_string(next_id_++);
-  entry.dataset = std::make_unique<VersionedDataset>(
-      std::move(parsed).value(), ContentDigest(bytes.value()));
-  entry.bytes = entry.dataset->memory_bytes();
+  entry.dataset = std::make_unique<VersionedDataset>(std::move(loaded).value(),
+                                                     std::move(digest));
+  entry.bytes = entry.dataset->resident_bytes();
+  entry.mapped = entry.dataset->mapped_bytes();
   entry.lru_seq = next_seq_++;
   id_to_path_[entry.id] = path;
   resident_bytes_ += entry.bytes;
+  mapped_bytes_ += entry.mapped;
   ++loads_;
   loads_counter_->Increment();
 
@@ -215,6 +216,7 @@ Result<DatasetInfo> DatasetRegistry::Info(const std::string& id) const {
   DatasetInfo info;
   info.id = entry->id;
   info.path = id_to_path_.at(entry->id);
+  info.storage = StorageKindName(entry->dataset->storage_kind());
   info.window = entry->dataset->policy();
   info.live_transactions = entry->dataset->live_transactions();
   for (const DatasetVersion& v : entry->dataset->versions()) {
@@ -256,6 +258,7 @@ void DatasetRegistry::EvictLocked() {
     }
     if (victim == entries_.end()) return;  // everything pinned
     resident_bytes_ -= victim->second.bytes;
+    mapped_bytes_ -= victim->second.mapped;
     id_to_path_.erase(victim->second.id);
     entries_.erase(victim);
     ++evictions_;
@@ -271,14 +274,17 @@ DatasetRegistryStats DatasetRegistry::stats() const {
   s.appends = appends_;
   s.evictions = evictions_;
   s.resident_bytes = resident_bytes_;
+  s.mapped_bytes = mapped_bytes_;
   for (const auto& [path, entry] : entries_) {
     if (entry.loading) continue;
     DatasetRegistryStats::Dataset d;
     d.id = entry.id;
     d.path = path;
+    d.storage = StorageKindName(entry.dataset->storage_kind());
     d.versions = entry.dataset->versions().size();
     d.live_transactions = entry.dataset->live_transactions();
     d.bytes = entry.bytes;
+    d.mapped_bytes = entry.mapped;
     for (const DatasetVersion& v : entry.dataset->versions()) {
       if (v.database.use_count() > 1) ++d.pinned_versions;
     }

@@ -30,6 +30,15 @@
 // nowhere else, so dropping it would lose data, while a pristine one
 // reloads from its file. Evicting an entry retires its id — a later
 // Open() of the path mints a fresh id, and stale ids resolve NotFound.
+//
+// Storage backends: Open() sniffs the file magic — packed files
+// (fpm/dataset/packed.h) are memory-mapped instead of parsed, with the
+// content digest taken from the packed header (identical to the FIMI
+// digest the file was packed from, so caches are storage-agnostic).
+// Only resident (malloc'd) bytes count against the eviction budget;
+// mapped bytes are page-cache pages the OS already reclaims under
+// pressure, so a pinned mapped dataset far larger than the budget is
+// legal and never forces other entries out.
 
 #ifndef FPM_SERVICE_DATASET_REGISTRY_H_
 #define FPM_SERVICE_DATASET_REGISTRY_H_
@@ -69,13 +78,16 @@ struct DatasetHandle {
   /// Delta against the parent (null for version 1) — what incremental
   /// maintenance and cache reseeding consume.
   std::shared_ptr<const VersionDelta> delta;
-  size_t bytes = 0;  ///< resident heap bytes of this version's database
+  /// Total footprint (resident + mapped) of this version's database.
+  size_t bytes = 0;
 };
 
 /// Point-in-time description of one dataset chain (dataset_info op).
 struct DatasetInfo {
   std::string id;
   std::string path;
+  /// Backend of the base database: "memory" | "packed".
+  std::string storage = "memory";
   WindowPolicy window;
   uint64_t live_transactions = 0;
   struct Version {
@@ -95,14 +107,20 @@ struct DatasetRegistryStats {
   uint64_t appends = 0;    ///< mutation ops applied (append/expire/window)
   uint64_t evictions = 0;  ///< entries dropped by the LRU budget
   size_t resident_bytes = 0;
+  /// File-mapping bytes across mapped (packed) entries; never counted
+  /// against the eviction budget.
+  size_t mapped_bytes = 0;
   size_t resident_entries = 0;
   /// One row per resident dataset (the stats op's registry listing).
   struct Dataset {
     std::string id;
     std::string path;
+    /// Backend of the base database: "memory" | "packed".
+    std::string storage = "memory";
     uint64_t versions = 0;
     uint64_t live_transactions = 0;
-    size_t bytes = 0;
+    size_t bytes = 0;        ///< resident heap bytes
+    size_t mapped_bytes = 0; ///< file-mapping bytes (0 for heap entries)
     /// Versions some job currently holds a handle to (their snapshot
     /// shared_ptr has owners beyond the registry).
     uint64_t pinned_versions = 0;
@@ -164,7 +182,8 @@ class DatasetRegistry {
     std::string id;
     std::unique_ptr<VersionedDataset> dataset;
     bool mutated = false;  ///< ever appended/expired — eviction-exempt
-    size_t bytes = 0;      ///< dataset->memory_bytes() at last update
+    size_t bytes = 0;   ///< dataset->resident_bytes() at last update
+    size_t mapped = 0;  ///< dataset->mapped_bytes() at last update
     uint64_t lru_seq = 0;
   };
 
@@ -191,6 +210,7 @@ class DatasetRegistry {
   uint64_t next_id_ = 1;
   uint64_t next_seq_ = 1;
   size_t resident_bytes_ = 0;
+  size_t mapped_bytes_ = 0;
   uint64_t loads_ = 0;
   uint64_t hits_ = 0;
   uint64_t appends_ = 0;
@@ -204,9 +224,6 @@ class DatasetRegistry {
   Counter* evictions_counter_;
   Gauge* bytes_gauge_;
 };
-
-/// FNV-1a 64 over `bytes`, rendered as 16 lowercase hex digits.
-std::string ContentDigest(const std::string& bytes);
 
 }  // namespace fpm
 

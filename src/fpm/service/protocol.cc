@@ -495,6 +495,7 @@ std::string EncodeDatasetInfoResponse(const DatasetInfo& info) {
   doc.Set("ok", JsonValue::Bool(true));
   doc.Set("id", JsonValue::Str(info.id));
   doc.Set("path", JsonValue::Str(info.path));
+  doc.Set("storage", JsonValue::Str(info.storage));
   doc.Set("live_transactions",
           JsonValue::Int(static_cast<int64_t>(info.live_transactions)));
   JsonValue window = JsonValue::Object();
@@ -536,15 +537,21 @@ std::string EncodeStatsResponse(const ServiceStats& stats) {
   registry.Set("resident_bytes",
                JsonValue::Int(
                    static_cast<int64_t>(stats.registry.resident_bytes)));
+  registry.Set("mapped_bytes",
+               JsonValue::Int(
+                   static_cast<int64_t>(stats.registry.mapped_bytes)));
   JsonValue datasets = JsonValue::Array();
   for (const DatasetRegistryStats::Dataset& d : stats.registry.datasets) {
     JsonValue row = JsonValue::Object();
     row.Set("id", JsonValue::Str(d.id));
     row.Set("path", JsonValue::Str(d.path));
+    row.Set("storage", JsonValue::Str(d.storage));
     row.Set("versions", JsonValue::Int(static_cast<int64_t>(d.versions)));
     row.Set("live_transactions",
             JsonValue::Int(static_cast<int64_t>(d.live_transactions)));
     row.Set("bytes", JsonValue::Int(static_cast<int64_t>(d.bytes)));
+    row.Set("mapped_bytes",
+            JsonValue::Int(static_cast<int64_t>(d.mapped_bytes)));
     row.Set("pinned_versions",
             JsonValue::Int(static_cast<int64_t>(d.pinned_versions)));
     datasets.Append(std::move(row));

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,7 +32,9 @@ void ExpectSameDatabase(const Database& expected, const Database& actual,
     }
     EXPECT_EQ(expected.weight(t), actual.weight(t)) << label << " txn " << t;
   }
-  EXPECT_EQ(expected.item_frequencies(), actual.item_frequencies()) << label;
+  EXPECT_TRUE(std::ranges::equal(expected.item_frequencies(),
+                                 actual.item_frequencies()))
+      << label;
 }
 
 TEST(VersionedDatasetTest, BaseIsVersionOne) {

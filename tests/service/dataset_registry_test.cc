@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "fpm/dataset/fimi_io.h"
+#include "fpm/dataset/packed.h"
 #include "service/service_test_util.h"
 
 namespace fpm {
@@ -132,6 +134,75 @@ TEST(DatasetRegistryTest, PinnedEntriesSurviveTheBudget) {
   auto ha2 = registry.Get(a);
   ASSERT_TRUE(ha2.ok());
   EXPECT_EQ(registry.stats().loads, 4u);
+}
+
+TEST(DatasetRegistryTest, PackedOpenIsMappedAndSharesTheFimiDigest) {
+  const std::string fimi =
+      test::WriteTempFimi("registry_packed.dat", test::SmallFimiText());
+  const std::string packed = testing::TempDir() + "/registry_packed.fpk";
+  auto parsed = ReadFimiFile(fimi);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  // Pack with the digest of the raw FIMI bytes — what fpm_pack records.
+  ASSERT_TRUE(
+      WritePacked(parsed.value(), packed, ContentDigest(test::SmallFimiText()))
+          .ok());
+
+  DatasetRegistry registry;
+  auto from_fimi = registry.Open(fimi);
+  auto from_packed = registry.Open(packed);
+  ASSERT_TRUE(from_fimi.ok()) << from_fimi.status();
+  ASSERT_TRUE(from_packed.ok()) << from_packed.status();
+  // Same digest either way: the ResultCache keys storage-agnostically.
+  EXPECT_EQ(from_fimi->digest, from_packed->digest);
+  EXPECT_EQ(from_packed->database->storage_kind(), StorageKind::kPacked);
+  EXPECT_EQ(from_packed->database->num_transactions(), 5u);
+
+  auto info = registry.Info(from_packed->id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->storage, "packed");
+  auto fimi_info = registry.Info(from_fimi->id);
+  ASSERT_TRUE(fimi_info.ok());
+  EXPECT_EQ(fimi_info->storage, "memory");
+
+  const DatasetRegistryStats stats = registry.stats();
+  EXPECT_GT(stats.mapped_bytes, 0u);
+  bool found = false;
+  for (const auto& d : stats.datasets) {
+    if (d.path != packed) continue;
+    found = true;
+    EXPECT_EQ(d.storage, "packed");
+    EXPECT_GT(d.mapped_bytes, 0u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DatasetRegistryTest, MappedDatasetPinsBeyondTheByteBudget) {
+  const std::string fimi =
+      test::WriteTempFimi("registry_overbudget.dat", test::SmallFimiText());
+  const std::string packed = testing::TempDir() + "/registry_overbudget.fpk";
+  auto parsed = ReadFimiFile(fimi);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(WritePacked(parsed.value(), packed).ok());
+
+  // The packed file is hundreds of bytes; the budget is one. A heap
+  // entry this size would be evicted immediately — the mapped entry is
+  // legal because only resident (malloc'd) bytes count.
+  DatasetRegistry registry(/*budget_bytes=*/1);
+  auto handle = registry.Open(packed);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  EXPECT_GT(handle->database->mapped_bytes(), registry.budget_bytes());
+
+  const DatasetRegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.resident_entries, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_LE(stats.resident_bytes, registry.budget_bytes());
+  EXPECT_GT(stats.mapped_bytes, registry.budget_bytes());
+
+  // Still resident on re-open — not reloaded, not evicted.
+  auto again = registry.Open(packed);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->database.get(), handle->database.get());
+  EXPECT_EQ(registry.stats().loads, 1u);
 }
 
 TEST(DatasetRegistryTest, ConcurrentChurnUnderTinyBudget) {

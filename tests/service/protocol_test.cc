@@ -333,12 +333,15 @@ TEST(EncodeTest, StatsResponseGolden) {
   stats.registry.loads = 2;
   stats.registry.hits = 3;
   stats.registry.resident_bytes = 64;
+  stats.registry.mapped_bytes = 128;
   DatasetRegistryStats::Dataset row;
   row.id = "ds-1";
   row.path = "/tmp/x.dat";
+  row.storage = "packed";
   row.versions = 2;
   row.live_transactions = 9;
   row.bytes = 64;
+  row.mapped_bytes = 128;
   row.pinned_versions = 1;
   stats.registry.datasets.push_back(row);
   stats.cache.hits = 4;
@@ -363,9 +366,11 @@ TEST(EncodeTest, StatsResponseGolden) {
       "\"evictions\":0,\"hits\":4,\"insertions\":0,\"misses\":5,"
       "\"resident_bytes\":0,\"resident_entries\":0},\"ok\":true,"
       "\"registry\":{\"appends\":0,\"datasets\":[{\"bytes\":64,"
-      "\"id\":\"ds-1\",\"live_transactions\":9,\"path\":\"/tmp/x.dat\","
-      "\"pinned_versions\":1,\"versions\":2}],\"evictions\":0,"
-      "\"hits\":3,\"loads\":2,\"resident_bytes\":64},"
+      "\"id\":\"ds-1\",\"live_transactions\":9,\"mapped_bytes\":128,"
+      "\"path\":\"/tmp/x.dat\",\"pinned_versions\":1,"
+      "\"storage\":\"packed\",\"versions\":2}],\"evictions\":0,"
+      "\"hits\":3,\"loads\":2,\"mapped_bytes\":128,"
+      "\"resident_bytes\":64},"
       "\"scheduler\":{\"completed\":0,\"in_flight\":[{\"age_seconds\":0.25,"
       "\"query_id\":11}],\"queue_depth\":0,\"rejected\":0,\"running\":1,"
       "\"submitted\":6},\"uptime_seconds\":1.5,"

@@ -15,6 +15,7 @@
 
 #include "fpm/algo/itemset_sink.h"
 #include "fpm/dataset/fimi_io.h"
+#include "fpm/dataset/packed.h"
 #include "fpm/obs/query_log.h"
 #include "fpm/obs/trace.h"
 #include "service/service_test_util.h"
@@ -72,6 +73,35 @@ TEST(MiningServiceTest, RepeatedQueryIsAnExactHitWithIdenticalBytes) {
   EXPECT_EQ(second->itemsets, first->itemsets);
   EXPECT_EQ(service.cache().stats().hits, 1u);
   EXPECT_EQ(service.registry().stats().loads, 1u);
+}
+
+TEST(MiningServiceTest, PackedAndFimiPathsShareTheResultCache) {
+  // The packed file carries the digest of the FIMI bytes it was
+  // converted from, so the same query against either path is one cache
+  // entry: storage backend is invisible to the ResultCache key.
+  const std::string fimi =
+      test::WriteTempFimi("service_packed.dat", test::SmallFimiText());
+  const std::string packed = testing::TempDir() + "/service_packed.fpk";
+  auto db = ReadFimiFile(fimi);
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_TRUE(
+      WritePacked(db.value(), packed, ContentDigest(test::SmallFimiText()))
+          .ok());
+
+  MiningService service(MiningService::Options{.num_threads = 2});
+  auto from_fimi = service.Execute(Request(fimi, Algorithm::kLcm, 2));
+  ASSERT_TRUE(from_fimi.ok()) << from_fimi.status();
+  EXPECT_EQ(from_fimi->cache, CacheOutcome::kMiss);
+
+  auto from_packed = service.Execute(Request(packed, Algorithm::kLcm, 2));
+  ASSERT_TRUE(from_packed.ok()) << from_packed.status();
+  EXPECT_EQ(from_packed->cache, CacheOutcome::kExact);
+  EXPECT_EQ(from_packed->dataset_digest, from_fimi->dataset_digest);
+  EXPECT_EQ(from_packed->itemsets, from_fimi->itemsets);
+  EXPECT_EQ(service.cache().stats().hits, 1u);
+  // Two registry entries (keyed by path), one cache entry (keyed by
+  // digest).
+  EXPECT_EQ(service.registry().stats().loads, 2u);
 }
 
 class DominanceTest : public testing::TestWithParam<Algorithm> {};

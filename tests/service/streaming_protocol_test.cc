@@ -197,6 +197,7 @@ TEST(StreamingEncodeTest, DatasetInfoResponseGolden) {
   DatasetInfo info;
   info.id = "ds-1";
   info.path = "/tmp/t10.dat";
+  info.storage = "packed";
   info.live_transactions = 4;
   info.window.last_n = 6;
   info.versions.push_back({1, "cafe", 5, 0, 0});
@@ -204,7 +205,7 @@ TEST(StreamingEncodeTest, DatasetInfoResponseGolden) {
   EXPECT_EQ(
       EncodeDatasetInfoResponse(info),
       "{\"id\":\"ds-1\",\"live_transactions\":4,\"ok\":true,"
-      "\"path\":\"/tmp/t10.dat\",\"versions\":["
+      "\"path\":\"/tmp/t10.dat\",\"storage\":\"packed\",\"versions\":["
       "{\"appended_weight\":0,\"digest\":\"cafe\",\"expired_weight\":0,"
       "\"num_transactions\":5,\"version\":1},"
       "{\"appended_weight\":1,\"digest\":\"beef\",\"expired_weight\":2,"

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """End-to-end smoke test of the fpmd daemon and its result cache.
 
-Usage: service_smoke.py FPMD_BINARY FPM_CLIENT_BINARY
+Usage: service_smoke.py FPMD_BINARY FPM_CLIENT_BINARY FPM_PACK_BINARY
 
 Starts fpmd on a temp Unix socket with a tiny generated dataset, then
 drives it with fpm_client the way a real deployment would:
@@ -17,12 +17,17 @@ drives it with fpm_client the way a real deployment would:
      id                               -> the parent version's cached
         frequent run reseeds the child (cache: "reseeded"), and
         "dataset_info" shows the two-version chain
-  7. observability: "stats" shows an empty queue after the drain,
+  7. out-of-core: fpm_pack converts the dataset to the mmap-backed
+     packed format, the daemon opens it by magic sniff, "dataset_info"
+     reports storage "packed", and the first query against it is a
+     cache hit — the packed header carries the digest of the FIMI
+     bytes, so both storage backends share one cache entry
+  8. observability: "stats" shows an empty queue after the drain,
      "metrics-text" renders a Prometheus exposition, fpm_top.py --once
      renders a dashboard against the live daemon, and the daemon's
      --query-log file holds one schema-valid line per query with the
      query_ids the v2 responses echoed
-  8. "shutdown"                       -> clean exit
+  9. "shutdown"                       -> clean exit
 
 and asserts, from the responses AND the daemon's metrics, that the
 repeated and dominated queries were served from the cache without
@@ -58,10 +63,10 @@ def run_client(client, socket_path, *args, allow_fail=False):
 
 
 def main(argv):
-    if len(argv) != 3:
+    if len(argv) != 4:
         print(__doc__.strip().splitlines()[2], file=sys.stderr)
         return 2
-    fpmd, client = argv[1], argv[2]
+    fpmd, client, fpm_pack = argv[1], argv[2], argv[3]
 
     tmp = tempfile.mkdtemp(prefix="fpm_service_smoke_")
     dataset = os.path.join(tmp, "smoke.dat")
@@ -222,12 +227,43 @@ def main(argv):
         if reseeds is None or reseeds < 1:
             fail(f"counter fpm.service.cache.reseeds = {reseeds}, want >= 1")
 
-        # 7. Observability. Every successful v2 response carried a
+        # 7. Out-of-core: pack the same FIMI bytes and open the result
+        # through the daemon (format detected by magic sniff, no flag).
+        # The converter stores the digest of the raw FIMI bytes in the
+        # packed header, so the very first query against the packed
+        # file is answered from the cache entry step 1 populated — the
+        # storage backend is invisible to the result cache.
+        packed_path = os.path.join(tmp, "smoke.fpk")
+        pack = subprocess.run([fpm_pack, dataset, packed_path],
+                              capture_output=True, text=True, timeout=60)
+        if pack.returncode != 0:
+            fail(f"fpm_pack exited {pack.returncode}:\n{pack.stderr}")
+        packed_open = run_client(client, socket_path, "open",
+                                 packed_path)[0]
+        if not packed_open.get("ok") or not packed_open.get("id"):
+            fail(f"open (packed) = {packed_open}")
+        if packed_open.get("digest") != opened.get("digest"):
+            fail(f"packed open digest {packed_open.get('digest')} != "
+                 f"FIMI open digest {opened.get('digest')}")
+
+        packed_info = run_client(client, socket_path, "dataset-info",
+                                 packed_open["id"])[0]
+        if packed_info.get("storage") != "packed":
+            fail(f"dataset_info storage = {packed_info.get('storage')}, "
+                 "want 'packed'")
+
+        packed_hit = run_client(client, socket_path, "query",
+                                packed_open["id"], "2")[0]
+        if packed_hit.get("cache") != "hit":
+            fail(f"packed-path query got cache={packed_hit.get('cache')}, "
+                 "want 'hit' (shared digest with the FIMI-backed entry)")
+
+        # 8. Observability. Every successful v2 response carried a
         # unique non-zero query_id; collect them to cross-check against
         # the query log. (Error lines carry the batch id, not a
         # query_id — the rejection still lands in the log below.)
         echoed = {}  # query_id -> cache outcome from the response
-        for r in batch + [rules, reseeded]:
+        for r in batch + [rules, reseeded, packed_hit]:
             if r.get("ok") is not True:
                 continue
             qid = r.get("query_id")
@@ -245,9 +281,14 @@ def main(argv):
             fail(f"scheduler not drained: {sched}")
         if sched.get("in_flight") != []:
             fail(f"in_flight jobs after drain: {sched.get('in_flight')}")
-        if sched.get("completed", 0) < 9:
+        if sched.get("completed", 0) < 10:
             fail(f"scheduler completed = {sched.get('completed')}, "
-                 "want >= 9")
+                 "want >= 10")
+        storages = {d.get("storage")
+                    for d in stats.get("registry", {}).get("datasets", [])}
+        if "packed" not in storages:
+            fail(f"stats registry storages = {storages}, want 'packed' "
+                 "among them")
         windows = {w.get("window_s") for w in stats.get("windows", [])}
         if not {1, 10, 60} <= windows:
             fail(f"stats windows = {windows}, want 1s/10s/60s")
@@ -276,20 +317,20 @@ def main(argv):
                  f"{top.stdout}{top.stderr}")
 
         # The query log: schema-valid, one line per query (3 repeats,
-        # 1 dominated, 4 batch entries, rules, reseeded = 10), with the
-        # echoed query_ids and cache outcomes, and real kernel time on
-        # the one true miss.
+        # 1 dominated, 4 batch entries, rules, reseeded, packed = 11),
+        # with the echoed query_ids and cache outcomes, and real kernel
+        # time on the one true miss.
         check = subprocess.run(
             [sys.executable,
              os.path.join(tools_dir, "validate_query_log.py"),
-             query_log, "--min-lines=10"],
+             query_log, "--min-lines=11"],
             capture_output=True, text=True, timeout=60)
         if check.returncode != 0:
             fail(f"validate_query_log.py failed:\n{check.stderr}")
         with open(query_log, "r", encoding="utf-8") as f:
             logged = [json.loads(line) for line in f if line.strip()]
-        if len(logged) != 10:
-            fail(f"query log holds {len(logged)} lines, want 10")
+        if len(logged) != 11:
+            fail(f"query log holds {len(logged)} lines, want 11")
         by_qid = {e["query_id"]: e for e in logged}
         if len(by_qid) != len(logged):
             fail("query log reused a query_id")
@@ -308,7 +349,7 @@ def main(argv):
         if len([e for e in logged if e.get("status") == "rejected"]) != 1:
             fail("the bad-dataset batch entry was not logged as rejected")
 
-        # 8. Clean shutdown.
+        # 9. Clean shutdown.
         run_client(client, socket_path, "shutdown")
         if daemon.wait(timeout=30) != 0:
             fail(f"fpmd exited {daemon.returncode} after shutdown")
@@ -319,7 +360,8 @@ def main(argv):
 
     print("service smoke: OK (miss -> 2 hits, 1 dominated, "
           "mixed batch derived cross-task, append reseeded, "
-          "stats drained, query log validated, clean shutdown)")
+          "packed open hit the shared cache, stats drained, "
+          "query log validated, clean shutdown)")
     return 0
 
 

@@ -16,7 +16,10 @@ p99_ms >= p50_ms. Rows tagged with "task" (the mixed-task service
 sections) must name one of the five mining tasks. Incremental-ingest
 rows (any row carrying "delta_frac", as written by
 bench_incremental_ingest) must carry a boolean "rebuild" flag plus
-incremental_ms/rebuild_ms/ratio, with delta_frac in (0, 1]. Exits
+incremental_ms/rebuild_ms/ratio, with delta_frac in (0, 1].
+Out-of-core rows (any row carrying "storage", as written by
+bench_out_of_core) must tag storage as packed|memory and stage as
+cold|warm, with non-negative load_ms/mine_ms/total_ms. Exits
 nonzero with one line per problem.
 
 Standard library only — runs on any CI python3.
@@ -63,6 +66,13 @@ SERVICE_ROW_KEYS = ("clients", "p50_ms", "p99_ms")
 # must carry alongside it.
 INGEST_ROW_KEYS = ("incremental_ms", "rebuild_ms", "ratio")
 
+# Timing fields every out-of-core row (tagged by "storage") must carry.
+OUT_OF_CORE_ROW_KEYS = ("load_ms", "mine_ms", "total_ms")
+
+# Legal values of the out-of-core row tags.
+STORAGE_KINDS = ("packed", "memory")
+STORAGE_STAGES = ("cold", "warm")
+
 # Legal values of a row's "task" tag (the MiningQuery task family).
 MINING_TASKS = ("frequent", "closed", "maximal", "top_k", "rules")
 
@@ -107,6 +117,24 @@ def check_ingest_row(row, i, err):
         v = row.get(key)
         if not isinstance(v, (int, float)) or isinstance(v, bool):
             err(f"rows[{i}] has 'delta_frac' but '{key}' missing or "
+                "not a number")
+        elif v < 0:
+            err(f"rows[{i}] {key} {v} < 0")
+
+
+def check_out_of_core_row(row, i, err):
+    """A row with "storage" is an out-of-core measurement: the backend
+    and stage tags must be legal and the timing columns present."""
+    if row["storage"] not in STORAGE_KINDS:
+        err(f"rows[{i}] 'storage' {row['storage']!r} not one of "
+            f"{'|'.join(STORAGE_KINDS)}")
+    if row.get("stage") not in STORAGE_STAGES:
+        err(f"rows[{i}] has 'storage' but 'stage' not one of "
+            f"{'|'.join(STORAGE_STAGES)}")
+    for key in OUT_OF_CORE_ROW_KEYS:
+        v = row.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            err(f"rows[{i}] has 'storage' but '{key}' missing or "
                 "not a number")
         elif v < 0:
             err(f"rows[{i}] {key} {v} < 0")
@@ -166,6 +194,8 @@ def check(path):
             check_service_row(row, i, err)
         if "delta_frac" in row:
             check_ingest_row(row, i, err)
+        if "storage" in row:
+            check_out_of_core_row(row, i, err)
         if "task" in row and row["task"] not in MINING_TASKS:
             err(f"rows[{i}] 'task' {row['task']!r} not one of "
                 f"{'|'.join(MINING_TASKS)}")

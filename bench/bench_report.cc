@@ -176,8 +176,19 @@ bool BenchReport::Write() const {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return false;
   }
-  std::printf("wrote %zu row%s to %s\n", rows_.size(),
-              rows_.size() == 1 ? "" : "s", path.c_str());
+  // The host's parallelism is part of the result, not a footnote:
+  // consumers comparing thread-scaling rows across runs need to see it
+  // without opening the JSON (validate_bench_json.py warns when
+  // threads > 1 rows were recorded on a 1-logical-CPU host).
+  const int logical_cpus = PlatformInfo::Detect().logical_cpus;
+  std::printf("wrote %zu row%s to %s (host: %d logical CPU%s)\n",
+              rows_.size(), rows_.size() == 1 ? "" : "s", path.c_str(),
+              logical_cpus, logical_cpus == 1 ? "" : "s");
+  if (logical_cpus == 1) {
+    std::printf(
+        "NOTE: 1 logical CPU — any thread-scaling rows in this report "
+        "measure overhead, not speedup\n");
+  }
   return true;
 }
 

@@ -34,6 +34,20 @@
 //       installs a sliding-window policy (overflow expires immediately).
 //   ./fpm_client --socket=/tmp/fpmd.sock dataset-info <ds-id>
 //       prints the id, window policy and full version chain.
+//   ./fpm_client --endpoint=HOST:PORT cluster-info [dataset]
+//       prints the daemon's cluster view: peers, health, ping
+//       latencies, coordinator counters; with a dataset argument, also
+//       the dataset's placement (digest + replica owners).
+//
+// --endpoint=SPEC addresses the daemon by TCP host:port or by Unix
+// socket path (anything containing '/'); it shares the dialer with the
+// cluster PeerClient, so the address grammar and error messages are
+// identical to the --cluster flag's. --socket=PATH remains as the
+// Unix-only spelling.
+//
+// "query" accepts --scatter: ask a cluster node to fan the query out
+// across all owner replicas (SON partition math) instead of forwarding
+// it whole. Results come back in canonical order.
 //
 // "query" also accepts a "ds-N" handle id in place of the dataset path
 // (add --version=N to pin an older version; default is latest).
@@ -49,7 +63,6 @@
 // "ok":true, 1 otherwise.
 
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -59,6 +72,7 @@
 #include <string>
 #include <vector>
 
+#include "fpm/cluster/endpoint.h"
 #include "fpm/service/json.h"
 
 namespace {
@@ -67,24 +81,27 @@ using fpm::JsonValue;
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --socket=PATH "
+               "usage: %s --endpoint=HOST:PORT|PATH "
                "ping|metrics|stats|metrics-text|shutdown [--json]\n"
-               "       %s --socket=PATH mine DATASET MIN_SUPPORT "
+               "       %s --endpoint=SPEC mine DATASET MIN_SUPPORT "
                "[--algorithm=NAME] [--patterns=all|none] [--priority=N] "
                "[--timeout=SEC] [--count-only] [--repeat=N]\n"
-               "       %s --socket=PATH query DATASET|DS-ID MIN_SUPPORT "
+               "       %s --endpoint=SPEC query DATASET|DS-ID MIN_SUPPORT "
                "[--task=NAME] [--top-k=N] [--min-confidence=X] "
                "[--min-lift=X] [--max-consequent=N] [--version=N] "
-               "[--trace-id=STR] [mine options]\n"
-               "       %s --socket=PATH batch FILE\n"
-               "       %s --socket=PATH open DATASET\n"
-               "       %s --socket=PATH append DS-ID FIMI_FILE\n"
-               "       %s --socket=PATH expire DS-ID COUNT\n"
-               "       %s --socket=PATH window DS-ID [--last-n=N] "
+               "[--trace-id=STR] [--scatter] [mine options]\n"
+               "       %s --endpoint=SPEC batch FILE\n"
+               "       %s --endpoint=SPEC open DATASET\n"
+               "       %s --endpoint=SPEC append DS-ID FIMI_FILE\n"
+               "       %s --endpoint=SPEC expire DS-ID COUNT\n"
+               "       %s --endpoint=SPEC window DS-ID [--last-n=N] "
                "[--last-seconds=X]\n"
-               "       %s --socket=PATH dataset-info DS-ID\n",
+               "       %s --endpoint=SPEC dataset-info DS-ID\n"
+               "       %s --endpoint=SPEC cluster-info [DATASET]\n"
+               "--socket=PATH is an alias for --endpoint with a Unix "
+               "socket path.\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0);
+               argv0, argv0);
   return 2;
 }
 
@@ -177,7 +194,7 @@ bool PrintAndCheck(const std::string& response) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socket_path;
+  std::string endpoint_spec;
   std::string op;
   std::string dataset;  // batch: query file; append/expire/...: ds id
   std::string arg2;     // third positional, interpreted per op
@@ -198,12 +215,15 @@ int main(int argc, char** argv) {
   double last_seconds = -1.0;
   std::string trace_id;
   bool json_output = false;
+  bool scatter = false;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--socket=", 0) == 0) {
-      socket_path = arg.substr(9);
+      endpoint_spec = arg.substr(9);
+    } else if (arg.rfind("--endpoint=", 0) == 0) {
+      endpoint_spec = arg.substr(11);
     } else if (arg.rfind("--task=", 0) == 0) {
       task = arg.substr(7);
     } else if (arg.rfind("--top-k=", 0) == 0) {
@@ -236,6 +256,8 @@ int main(int argc, char** argv) {
       trace_id = arg.substr(11);
     } else if (arg == "--json") {
       json_output = true;
+    } else if (arg == "--scatter") {
+      scatter = true;
     } else if (arg.rfind("--", 0) == 0) {
       return Usage(argv[0]);
     } else if (positional == 0) {
@@ -252,7 +274,9 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (socket_path.empty() || op.empty() || repeat < 1) return Usage(argv[0]);
+  if (endpoint_spec.empty() || op.empty() || repeat < 1) {
+    return Usage(argv[0]);
+  }
   const bool is_mine = op == "mine" || op == "query";
   if (is_mine && (dataset.empty() || min_support < 1)) {
     return Usage(argv[0]);
@@ -267,7 +291,7 @@ int main(int argc, char** argv) {
   }
   if (!is_mine && !is_dataset_op && op != "batch" && op != "ping" &&
       op != "metrics" && op != "stats" && op != "metrics-text" &&
-      op != "shutdown") {
+      op != "shutdown" && op != "cluster-info") {
     return Usage(argv[0]);
   }
 
@@ -278,6 +302,7 @@ int main(int argc, char** argv) {
   std::string wire_op = op;
   if (op == "dataset-info") wire_op = "dataset_info";
   if (op == "metrics-text") wire_op = "metrics_text";
+  if (op == "cluster-info") wire_op = "cluster_info";
   request.Set("op", JsonValue::Str(wire_op));
   if (is_mine) {
     if (op == "query" && IsHandleRef(dataset)) {
@@ -312,6 +337,12 @@ int main(int argc, char** argv) {
     if (op == "query" && !trace_id.empty()) {
       request.Set("trace_id", JsonValue::Str(trace_id));
     }
+    if (op == "query" && scatter) {
+      request.Set("scatter", JsonValue::Bool(true));
+    }
+  } else if (op == "cluster-info") {
+    if (!dataset.empty()) request.Set("dataset", JsonValue::Str(dataset));
+    repeat = 1;
   } else if (op == "batch") {
     // One JSON query object per file line; the daemon answers with
     // exactly one tagged line per entry.
@@ -374,19 +405,19 @@ int main(int argc, char** argv) {
     repeat = 1;
   }
 
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("socket");
+  // One dialer for Unix paths and TCP host:port — the same helper the
+  // cluster's PeerClient uses, so error messages match the daemon's.
+  auto endpoint = fpm::ParseEndpoint(endpoint_spec);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "%s\n", endpoint.status().message().c_str());
     return 1;
   }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    std::perror("connect");
+  auto dialed = fpm::DialEndpoint(endpoint.value(), /*timeout_seconds=*/5.0);
+  if (!dialed.ok()) {
+    std::fprintf(stderr, "%s\n", dialed.status().message().c_str());
     return 1;
   }
+  const int fd = dialed.value();
 
   const std::string line = request.Dump() + "\n";
   std::string buffer;

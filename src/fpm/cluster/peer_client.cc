@@ -1,0 +1,114 @@
+#include "fpm/cluster/peer_client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace fpm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsUntil(Clock::time_point deadline) {
+  return std::chrono::duration<double>(deadline - Clock::now()).count();
+}
+
+Status PeerError(const Endpoint& endpoint, const std::string& what) {
+  return Status::Unavailable("peer " + endpoint.ToString() + ": " + what);
+}
+
+}  // namespace
+
+Result<std::string> PeerClient::Call(const Endpoint& endpoint,
+                                     const std::string& line,
+                                     double deadline_seconds,
+                                     const AbortFn& abort) {
+  const bool bounded = deadline_seconds > 0.0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             bounded ? deadline_seconds : 0.0));
+  const auto expired = [&] { return bounded && SecondsUntil(deadline) <= 0; };
+  const auto deadline_status = [&] {
+    return Status::DeadlineExceeded("peer " + endpoint.ToString() +
+                                    ": deadline exceeded");
+  };
+  const auto cancelled_status = [&] {
+    return Status::Cancelled("peer " + endpoint.ToString() +
+                             ": call aborted");
+  };
+
+  if (abort && abort()) return cancelled_status();
+  // The connect gets the remaining budget, capped so the abort hook
+  // stays responsive even while a TCP connect is pending.
+  double connect_budget = bounded ? SecondsUntil(deadline) : 5.0;
+  if (connect_budget <= 0.0) return deadline_status();
+  FPM_ASSIGN_OR_RETURN(const int fd, DialEndpoint(endpoint, connect_budget));
+
+  std::string request = line;
+  request.push_back('\n');
+  size_t sent = 0;
+  while (sent < request.size()) {
+    if (expired()) {
+      ::close(fd);
+      return deadline_status();
+    }
+    if (abort && abort()) {
+      ::close(fd);
+      return cancelled_status();
+    }
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      const int err = errno;
+      ::close(fd);
+      return PeerError(endpoint, std::string("send: ") + std::strerror(err));
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      ::close(fd);
+      buffer.resize(newline);
+      return buffer;
+    }
+    if (expired()) {
+      ::close(fd);
+      return deadline_status();
+    }
+    if (abort && abort()) {
+      ::close(fd);
+      return cancelled_status();
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready < 0) {
+      const int err = errno;
+      ::close(fd);
+      return PeerError(endpoint, std::string("poll: ") + std::strerror(err));
+    }
+    if (ready == 0) continue;  // tick: re-check abort/deadline
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      ::close(fd);
+      return PeerError(endpoint, "connection closed before response");
+    }
+    if (n < 0) {
+      const int err = errno;
+      ::close(fd);
+      return PeerError(endpoint, std::string("recv: ") + std::strerror(err));
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace fpm

@@ -1,0 +1,143 @@
+#include "fpm/cluster/shard_exec.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "fpm/algo/candidate_trie.h"
+#include "fpm/core/mine.h"
+
+namespace fpm {
+
+namespace {
+
+uint64_t HashItemset(const Itemset& set) {
+  uint64_t h = 1469598103934665603ull;
+  for (Item it : set) {
+    h ^= it;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct ItemsetHash {
+  size_t operator()(const Itemset& set) const {
+    return static_cast<size_t>(HashItemset(set));
+  }
+};
+
+Status ValidateSlice(ShardSlice slice) {
+  if (slice.count < 1 || slice.index >= slice.count) {
+    return Status::InvalidArgument(
+        "shard slice index " + std::to_string(slice.index) +
+        " out of range for count " + std::to_string(slice.count));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Database BuildShardPartition(const Database& db, ShardSlice slice,
+                             Support* part_weight) {
+  // The same contiguous split as PartitionedMiner: [n*p/k, n*(p+1)/k).
+  const size_t n = db.num_transactions();
+  const size_t begin = n * slice.index / slice.count;
+  const size_t end = n * (slice.index + 1) / slice.count;
+  DatabaseBuilder builder;
+  Support weight = 0;
+  for (size_t t = begin; t < end; ++t) {
+    builder.AddTransaction(db.transaction(static_cast<Tid>(t)),
+                           db.weight(static_cast<Tid>(t)));
+    weight += db.weight(static_cast<Tid>(t));
+  }
+  if (part_weight != nullptr) *part_weight = weight;
+  return builder.Build();
+}
+
+Result<std::vector<CollectingSink::Entry>> MineShardPartition(
+    const Database& db, ShardSlice slice, Support min_support,
+    Algorithm algorithm, PatternSet patterns) {
+  FPM_RETURN_IF_ERROR(ValidateSlice(slice));
+  if (min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  Support part_weight = 0;
+  Database part = BuildShardPartition(db, slice, &part_weight);
+  if (part_weight == 0) return std::vector<CollectingSink::Entry>{};
+
+  // ceil(min_support * part_weight / total_weight), at least 1 — the
+  // SON local threshold; completeness of the candidate union depends
+  // on this exact rounding.
+  const Support total_weight = db.total_weight();
+  const uint64_t scaled =
+      (static_cast<uint64_t>(min_support) * part_weight + total_weight - 1) /
+      total_weight;
+  const Support local_support = scaled < 1 ? 1 : static_cast<Support>(scaled);
+
+  FPM_ASSIGN_OR_RETURN(std::unique_ptr<Miner> miner,
+                       CreateMiner(algorithm, patterns));
+  CollectingSink sink;
+  FPM_RETURN_IF_ERROR(miner->Mine(part, local_support, &sink).status());
+  return std::move(sink.mutable_results());
+}
+
+Result<std::vector<Support>> CountShardPartition(
+    const Database& db, ShardSlice slice,
+    const std::vector<Itemset>& candidates) {
+  FPM_RETURN_IF_ERROR(ValidateSlice(slice));
+  std::vector<Support> counts(candidates.size(), 0);
+  if (candidates.empty()) return counts;
+
+  CandidateTrie trie;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].empty()) {
+      return Status::InvalidArgument("candidate " + std::to_string(i) +
+                                     " is empty");
+    }
+    Itemset sorted = candidates[i];
+    std::sort(sorted.begin(), sorted.end());
+    trie.Insert(sorted, static_cast<uint32_t>(i));
+  }
+
+  const size_t n = db.num_transactions();
+  const size_t begin = n * slice.index / slice.count;
+  const size_t end = n * (slice.index + 1) / slice.count;
+  std::vector<Item> sorted_tx;
+  for (size_t t = begin; t < end; ++t) {
+    const auto tx = db.transaction(static_cast<Tid>(t));
+    sorted_tx.assign(tx.begin(), tx.end());
+    std::sort(sorted_tx.begin(), sorted_tx.end());
+    trie.CountTransaction(sorted_tx, db.weight(static_cast<Tid>(t)), &counts);
+  }
+  return counts;
+}
+
+std::vector<Itemset> MergeShardCandidates(
+    std::vector<std::vector<CollectingSink::Entry>> locals) {
+  std::unordered_set<Itemset, ItemsetHash> unioned;
+  for (std::vector<CollectingSink::Entry>& local : locals) {
+    for (CollectingSink::Entry& entry : local) {
+      unioned.insert(std::move(entry.first));
+    }
+  }
+  std::vector<Itemset> ordered(unioned.begin(), unioned.end());
+  std::sort(ordered.begin(), ordered.end());
+  return ordered;
+}
+
+std::vector<CollectingSink::Entry> MergeShardCounts(
+    const std::vector<Itemset>& candidates,
+    const std::vector<std::vector<Support>>& per_shard,
+    Support min_support) {
+  std::vector<CollectingSink::Entry> out;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    Support total = 0;
+    for (const std::vector<Support>& counts : per_shard) {
+      if (i < counts.size()) total += counts[i];
+    }
+    if (total >= min_support) out.emplace_back(candidates[i], total);
+  }
+  return out;
+}
+
+}  // namespace fpm

@@ -1,0 +1,91 @@
+// Shard-local execution + coordinator-side merge of a distributed
+// two-phase (SON / Savasere) mine — PartitionedMiner's math split at a
+// network boundary.
+//
+// The single-process PartitionedMiner proves the merge: mine each of k
+// contiguous partitions at a proportionally scaled local threshold
+// (any globally frequent itemset is locally frequent somewhere, so the
+// union of local results is a complete candidate set), then count the
+// candidates exactly over the full database. Distributed, the same
+// shape becomes:
+//
+//   phase 1  each owner p mines partition [n*p/k, n*(p+1)/k) of the
+//            shared dataset at ceil(S * w_p / W)      (shard_query
+//            mode "mine"; MineShardPartition here)
+//   merge    the coordinator unions + canonically sorts the local
+//            results into the candidate list            (MergeShardCandidates)
+//   phase 2  each owner counts the candidates over its own partition
+//            (shard_query mode "count"; CountShardPartition) — the
+//            partitions tile the database, so summing per-shard counts
+//            gives exact global supports
+//   filter   the coordinator keeps candidates with total >= S
+//            (MergeShardCounts), emitting canonical order.
+//
+// Output-order contract: the merged result is the canonical (sorted)
+// itemset order, not a kernel's emission order — the same documented
+// deviation as the cache reseed path (DESIGN.md §16); the itemset/
+// support *set* is exactly equal to a direct mine. The default
+// cluster path (route-to-owner) keeps byte-identical emission order;
+// scatter is the opt-in throughput trade.
+//
+// Every function here is pure over a Database, so the equivalence
+// tests (tests/cluster/shard_exec_test.cc) and the in-process
+// bench_cluster_fanout exercise the exact code the daemon runs for
+// shard_query, without sockets.
+
+#ifndef FPM_CLUSTER_SHARD_EXEC_H_
+#define FPM_CLUSTER_SHARD_EXEC_H_
+
+#include <vector>
+
+#include "fpm/algo/itemset_sink.h"
+#include "fpm/common/status.h"
+#include "fpm/core/patterns.h"
+#include "fpm/dataset/database.h"
+
+namespace fpm {
+
+/// Which contiguous slice of the database a shard operation covers.
+struct ShardSlice {
+  uint32_t index = 0;  ///< partition number, < count
+  uint32_t count = 1;  ///< total partitions (the fan-out width)
+};
+
+/// Materializes the slice's transactions as their own Database.
+/// `part_weight` (optional) receives the slice's total weight.
+Database BuildShardPartition(const Database& db, ShardSlice slice,
+                             Support* part_weight = nullptr);
+
+/// Phase 1 for one shard: mines the slice at the ceil-scaled local
+/// threshold max(1, ceil(min_support * part_weight / total_weight)) —
+/// identical to PartitionedMiner's per-partition mine. Returns the
+/// local frequent itemsets (candidate contributions). An empty slice
+/// returns an empty list.
+Result<std::vector<CollectingSink::Entry>> MineShardPartition(
+    const Database& db, ShardSlice slice, Support min_support,
+    Algorithm algorithm, PatternSet patterns);
+
+/// Phase 2 for one shard: exact supports of `candidates` over the
+/// slice, in candidate order. Candidate itemsets need not be
+/// internally sorted (wire input); they are normalized before the trie
+/// walk.
+Result<std::vector<Support>> CountShardPartition(
+    const Database& db, ShardSlice slice,
+    const std::vector<Itemset>& candidates);
+
+/// Coordinator-side: unions per-shard phase-1 results into the
+/// deduplicated, canonically sorted candidate list.
+std::vector<Itemset> MergeShardCandidates(
+    std::vector<std::vector<CollectingSink::Entry>> locals);
+
+/// Coordinator-side: sums per-shard counts (one vector per shard, each
+/// candidate-order aligned) and keeps candidates meeting the global
+/// threshold, canonical order.
+std::vector<CollectingSink::Entry> MergeShardCounts(
+    const std::vector<Itemset>& candidates,
+    const std::vector<std::vector<Support>>& per_shard,
+    Support min_support);
+
+}  // namespace fpm
+
+#endif  // FPM_CLUSTER_SHARD_EXEC_H_

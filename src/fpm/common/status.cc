@@ -28,6 +28,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
   }
   return "UNKNOWN";
 }

@@ -29,6 +29,8 @@ enum class StatusCode : int {
   kResourceExhausted = 8,
   kCancelled = 9,
   kDeadlineExceeded = 10,
+  kUnavailable = 11,
+  kFailedPrecondition = 12,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -73,6 +75,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -285,6 +285,9 @@ DatasetRegistryStats DatasetRegistry::stats() const {
     d.live_transactions = entry.dataset->live_transactions();
     d.bytes = entry.bytes;
     d.mapped_bytes = entry.mapped;
+    if (!entry.dataset->versions().empty()) {
+      d.digest = entry.dataset->versions().front().digest;
+    }
     for (const DatasetVersion& v : entry.dataset->versions()) {
       if (v.database.use_count() > 1) ++d.pinned_versions;
     }

@@ -124,6 +124,9 @@ struct DatasetRegistryStats {
     /// Versions some job currently holds a handle to (their snapshot
     /// shared_ptr has owners beyond the registry).
     uint64_t pinned_versions = 0;
+    /// Content digest of the base version — what the cluster hash ring
+    /// keys placement on.
+    std::string digest;
   };
   std::vector<Dataset> datasets;
 };

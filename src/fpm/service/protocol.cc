@@ -14,39 +14,42 @@ Status FieldError(const std::string& where, const std::string& field,
 // Decodes the shared mine/query request body from `doc`. `where` labels
 // errors ("op 'query'", "op 'batch': queries[3]", ...); `with_tasks`
 // enables the v2 task-family fields, which the frozen v1 "mine" op does
-// not know.
+// not know. `with_dataset` is false only for "cache_probe", whose query
+// is addressed by content digest rather than a dataset.
 Status DecodeMineBody(const JsonValue& doc, const std::string& where,
-                      bool with_tasks, MineRequest* out) {
-  const JsonValue& dataset = doc["dataset"];
-  const JsonValue& id = doc["id"];
-  if (with_tasks && !id.is_null()) {
-    // v2 handle addressing: "id" (+ optional "version") instead of a
-    // path. Mutually exclusive with "dataset".
-    if (!id.is_string() || id.string_value().empty()) {
-      return FieldError(where, "id", "not a non-empty string");
-    }
-    if (!dataset.is_null()) {
-      return FieldError(where, "dataset",
-                        "mutually exclusive with 'id'");
-    }
-    out->dataset_id = id.string_value();
-    const JsonValue& version = doc["version"];
-    if (!version.is_null()) {
-      if (version.is_string() && version.string_value() == "latest") {
-        out->dataset_version = 0;
-      } else if (version.is_number() && version.number_value() >= 1.0) {
-        out->dataset_version =
-            static_cast<uint64_t>(version.number_value());
-      } else {
-        return FieldError(where, "version",
-                          "not a number >= 1 or 'latest'");
+                      bool with_tasks, bool with_dataset, MineRequest* out) {
+  if (with_dataset) {
+    const JsonValue& dataset = doc["dataset"];
+    const JsonValue& id = doc["id"];
+    if (with_tasks && !id.is_null()) {
+      // v2 handle addressing: "id" (+ optional "version") instead of a
+      // path. Mutually exclusive with "dataset".
+      if (!id.is_string() || id.string_value().empty()) {
+        return FieldError(where, "id", "not a non-empty string");
       }
+      if (!dataset.is_null()) {
+        return FieldError(where, "dataset",
+                          "mutually exclusive with 'id'");
+      }
+      out->dataset_id = id.string_value();
+      const JsonValue& version = doc["version"];
+      if (!version.is_null()) {
+        if (version.is_string() && version.string_value() == "latest") {
+          out->dataset_version = 0;
+        } else if (version.is_number() && version.number_value() >= 1.0) {
+          out->dataset_version =
+              static_cast<uint64_t>(version.number_value());
+        } else {
+          return FieldError(where, "version",
+                            "not a number >= 1 or 'latest'");
+        }
+      }
+    } else {
+      if (!dataset.is_string() || dataset.string_value().empty()) {
+        return FieldError(where, "dataset", "missing or not a string");
+      }
+      out->dataset_path = dataset.string_value();
     }
-  } else {
-    if (!dataset.is_string() || dataset.string_value().empty()) {
-      return FieldError(where, "dataset", "missing or not a string");
-    }
-    out->dataset_path = dataset.string_value();
   }
 
   const JsonValue& minsup = doc["min_support"];
@@ -172,8 +175,43 @@ Status DecodeMineBody(const JsonValue& doc, const std::string& where,
       }
       out->trace_id = trace_id.string_value();
     }
+
+    const JsonValue& scatter = doc["scatter"];
+    if (!scatter.is_null()) {
+      if (!scatter.is_bool()) {
+        return FieldError(where, "scatter", "not a bool");
+      }
+      out->scatter = scatter.bool_value();
+    }
   }
 
+  return Status::OK();
+}
+
+// Decodes a "candidates" array ([[items...],...]) for shard_query count.
+Status DecodeCandidates(const JsonValue& doc, const std::string& where,
+                        std::vector<Itemset>* out) {
+  const JsonValue& candidates = doc["candidates"];
+  if (!candidates.is_array()) {
+    return FieldError(where, "candidates", "missing or not an array");
+  }
+  const std::vector<JsonValue>& rows = candidates.array_items();
+  out->reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const std::string label = "candidates[" + std::to_string(i) + "]";
+    if (!rows[i].is_array() || rows[i].array_items().empty()) {
+      return FieldError(where, label, "not a non-empty array");
+    }
+    Itemset set;
+    set.reserve(rows[i].array_items().size());
+    for (const JsonValue& item : rows[i].array_items()) {
+      if (!item.is_number() || item.number_value() < 0.0) {
+        return FieldError(where, label, "items must be numbers >= 0");
+      }
+      set.push_back(static_cast<Item>(item.number_value()));
+    }
+    out->push_back(std::move(set));
+  }
   return Status::OK();
 }
 
@@ -299,6 +337,13 @@ JsonValue BuildQueryResponse(const MineResponse& response) {
   if (!response.trace_id.empty()) {
     doc.Set("trace_id", JsonValue::Str(response.trace_id));
   }
+  if (!response.served_by.empty()) {
+    doc.Set("peer", JsonValue::Str(response.served_by));
+  }
+  if (response.shard_count > 0) {
+    doc.Set("shards",
+            JsonValue::Int(static_cast<int64_t>(response.shard_count)));
+  }
   if (!response.itemsets.empty()) {
     doc.Set("itemsets", EncodeItemsets(response.itemsets));
   }
@@ -370,6 +415,7 @@ Result<ServiceRequest> DecodeRequest(const std::string& line) {
     request.op = ServiceRequest::Op::kMine;
     request.version = 1;
     FPM_RETURN_IF_ERROR(DecodeMineBody(doc, where, /*with_tasks=*/false,
+                                       /*with_dataset=*/true,
                                        &request.mine));
     return request;
   }
@@ -377,6 +423,7 @@ Result<ServiceRequest> DecodeRequest(const std::string& line) {
     request.op = ServiceRequest::Op::kQuery;
     request.version = 2;
     FPM_RETURN_IF_ERROR(DecodeMineBody(doc, where, /*with_tasks=*/true,
+                                       /*with_dataset=*/true,
                                        &request.mine));
     return request;
   }
@@ -435,9 +482,86 @@ Result<ServiceRequest> DecodeRequest(const std::string& line) {
             Status::InvalidArgument(entry_where + ": not an object");
       } else {
         entry.status = DecodeMineBody(q, entry_where, /*with_tasks=*/true,
-                                      &entry.request);
+                                      /*with_dataset=*/true, &entry.request);
       }
       request.batch.push_back(std::move(entry));
+    }
+    return request;
+  }
+  if (name == "cluster_info") {
+    request.op = ServiceRequest::Op::kClusterInfo;
+    request.version = 2;
+    const JsonValue& dataset = doc["dataset"];
+    if (!dataset.is_null()) {
+      if (!dataset.is_string() || dataset.string_value().empty()) {
+        return FieldError(where, "dataset", "not a non-empty string");
+      }
+      request.cluster.path = dataset.string_value();
+    }
+    return request;
+  }
+  if (name == "cache_probe") {
+    request.op = ServiceRequest::Op::kCacheProbe;
+    request.version = 2;
+    const JsonValue& digest = doc["digest"];
+    if (!digest.is_string() || digest.string_value().empty()) {
+      return FieldError(where, "digest", "missing or not a string");
+    }
+    request.cluster.digest = digest.string_value();
+    FPM_RETURN_IF_ERROR(DecodeMineBody(doc, where, /*with_tasks=*/true,
+                                       /*with_dataset=*/false,
+                                       &request.mine));
+    return request;
+  }
+  if (name == "shard_query") {
+    request.op = ServiceRequest::Op::kShardQuery;
+    request.version = 2;
+    const JsonValue& mode = doc["mode"];
+    if (!mode.is_string()) {
+      return FieldError(where, "mode", "missing or not a string");
+    }
+    const std::string& mode_name = mode.string_value();
+    if (mode_name == "execute") {
+      request.cluster.shard_mode = ClusterOpRequest::ShardMode::kExecute;
+    } else if (mode_name == "mine") {
+      request.cluster.shard_mode = ClusterOpRequest::ShardMode::kMine;
+    } else if (mode_name == "count") {
+      request.cluster.shard_mode = ClusterOpRequest::ShardMode::kCount;
+    } else {
+      return FieldError(where, "mode",
+                        "expected 'execute', 'mine' or 'count'");
+    }
+    FPM_RETURN_IF_ERROR(DecodeMineBody(doc, where, /*with_tasks=*/true,
+                                       /*with_dataset=*/true,
+                                       &request.mine));
+    if (request.cluster.shard_mode != ClusterOpRequest::ShardMode::kExecute) {
+      const JsonValue& partition = doc["partition"];
+      if (!partition.is_object()) {
+        return FieldError(where, "partition", "missing or not an object");
+      }
+      const JsonValue& index = partition["index"];
+      const JsonValue& count = partition["count"];
+      if (!index.is_number() || index.number_value() < 0.0) {
+        return FieldError(where, "partition.index",
+                          "missing or not a number >= 0");
+      }
+      if (!count.is_number() || count.number_value() < 1.0) {
+        return FieldError(where, "partition.count",
+                          "missing or not a number >= 1");
+      }
+      request.cluster.partition_index =
+          static_cast<uint32_t>(index.number_value());
+      request.cluster.partition_count =
+          static_cast<uint32_t>(count.number_value());
+      if (request.cluster.partition_index >=
+          request.cluster.partition_count) {
+        return FieldError(where, "partition.index",
+                          "must be < partition.count");
+      }
+    }
+    if (request.cluster.shard_mode == ClusterOpRequest::ShardMode::kCount) {
+      FPM_RETURN_IF_ERROR(
+          DecodeCandidates(doc, where, &request.cluster.candidates));
     }
     return request;
   }
@@ -521,6 +645,11 @@ std::string EncodeDatasetInfoResponse(const DatasetInfo& info) {
 }
 
 std::string EncodeStatsResponse(const ServiceStats& stats) {
+  return EncodeStatsResponse(stats, nullptr);
+}
+
+std::string EncodeStatsResponse(const ServiceStats& stats,
+                                const JsonValue* cluster) {
   JsonValue doc = JsonValue::Object();
   doc.Set("ok", JsonValue::Bool(true));
   doc.Set("uptime_seconds", JsonValue::Number(stats.uptime_seconds));
@@ -554,6 +683,9 @@ std::string EncodeStatsResponse(const ServiceStats& stats) {
             JsonValue::Int(static_cast<int64_t>(d.mapped_bytes)));
     row.Set("pinned_versions",
             JsonValue::Int(static_cast<int64_t>(d.pinned_versions)));
+    if (!d.digest.empty()) {
+      row.Set("digest", JsonValue::Str(d.digest));
+    }
     datasets.Append(std::move(row));
   }
   registry.Set("datasets", std::move(datasets));
@@ -624,6 +756,9 @@ std::string EncodeStatsResponse(const ServiceStats& stats) {
   watchdog.Set("stuck_now",
                JsonValue::Int(static_cast<int64_t>(stats.watchdog.stuck_now)));
   doc.Set("watchdog", std::move(watchdog));
+  if (cluster != nullptr) {
+    doc.Set("cluster", *cluster);
+  }
   return doc.Dump();
 }
 
@@ -648,6 +783,355 @@ std::string EncodeOk() {
   JsonValue doc = JsonValue::Object();
   doc.Set("ok", JsonValue::Bool(true));
   return doc.Dump();
+}
+
+namespace {
+
+// Reverse of StatusCodeToString, for rehydrating a peer's error
+// envelope. Unknown names map to kInternal.
+StatusCode ParseStatusCode(const std::string& name) {
+  static const std::pair<const char*, StatusCode> kCodes[] = {
+      {"OK", StatusCode::kOk},
+      {"INVALID_ARGUMENT", StatusCode::kInvalidArgument},
+      {"NOT_FOUND", StatusCode::kNotFound},
+      {"ALREADY_EXISTS", StatusCode::kAlreadyExists},
+      {"OUT_OF_RANGE", StatusCode::kOutOfRange},
+      {"UNIMPLEMENTED", StatusCode::kUnimplemented},
+      {"INTERNAL", StatusCode::kInternal},
+      {"IO_ERROR", StatusCode::kIOError},
+      {"RESOURCE_EXHAUSTED", StatusCode::kResourceExhausted},
+      {"CANCELLED", StatusCode::kCancelled},
+      {"DEADLINE_EXCEEDED", StatusCode::kDeadlineExceeded},
+      {"UNAVAILABLE", StatusCode::kUnavailable},
+      {"FAILED_PRECONDITION", StatusCode::kFailedPrecondition},
+  };
+  for (const auto& entry : kCodes) {
+    if (name == entry.first) return entry.second;
+  }
+  return StatusCode::kInternal;
+}
+
+// The shared query-body fields of an outbound cache_probe/shard_query
+// request, mirroring what DecodeMineBody accepts.
+void EncodeMineBodyFields(const MineRequest& request, bool with_dataset,
+                          JsonValue* doc) {
+  if (with_dataset) {
+    if (!request.dataset_id.empty()) {
+      doc->Set("id", JsonValue::Str(request.dataset_id));
+      if (request.dataset_version != 0) {
+        doc->Set("version",
+                 JsonValue::Int(
+                     static_cast<int64_t>(request.dataset_version)));
+      }
+    } else {
+      doc->Set("dataset", JsonValue::Str(request.dataset_path));
+    }
+  }
+  doc->Set("min_support",
+           JsonValue::Int(static_cast<int64_t>(request.query.min_support)));
+  doc->Set("task", JsonValue::Str(TaskName(request.query.task)));
+  if (request.query.task == MiningTask::kTopK) {
+    doc->Set("k", JsonValue::Int(static_cast<int64_t>(request.query.k)));
+  }
+  if (request.query.task == MiningTask::kRules) {
+    doc->Set("min_confidence",
+             JsonValue::Number(request.query.min_confidence));
+    doc->Set("min_lift", JsonValue::Number(request.query.min_lift));
+    doc->Set("max_consequent",
+             JsonValue::Int(
+                 static_cast<int64_t>(request.query.max_consequent)));
+  }
+  doc->Set("algorithm", JsonValue::Str(AlgorithmName(request.algorithm)));
+  doc->Set("patterns",
+           JsonValue::Str(request.patterns.bits() == PatternSet::All().bits()
+                              ? "all"
+                              : "none"));
+  if (request.priority != 0) {
+    doc->Set("priority", JsonValue::Int(request.priority));
+  }
+  if (request.timeout_seconds > 0.0) {
+    doc->Set("timeout_s", JsonValue::Number(request.timeout_seconds));
+  }
+  if (request.count_only) {
+    doc->Set("count_only", JsonValue::Bool(true));
+  }
+  if (!request.trace_id.empty()) {
+    doc->Set("trace_id", JsonValue::Str(request.trace_id));
+  }
+}
+
+// Parses an "itemsets"/"candidates" array of {"items":[...],
+// "support":N} objects.
+Status DecodeItemsetEntries(const JsonValue& array, const std::string& what,
+                            std::vector<CollectingSink::Entry>* out) {
+  if (!array.is_array()) {
+    return Status::InvalidArgument("peer response: '" + what +
+                                   "' is not an array");
+  }
+  out->reserve(array.array_items().size());
+  for (const JsonValue& row : array.array_items()) {
+    const JsonValue& items = row["items"];
+    const JsonValue& support = row["support"];
+    if (!row.is_object() || !items.is_array() || !support.is_number()) {
+      return Status::InvalidArgument("peer response: malformed '" + what +
+                                     "' entry");
+    }
+    Itemset set;
+    set.reserve(items.array_items().size());
+    for (const JsonValue& item : items.array_items()) {
+      if (!item.is_number()) {
+        return Status::InvalidArgument("peer response: non-numeric item in '" +
+                                       what + "'");
+      }
+      set.push_back(static_cast<Item>(item.number_value()));
+    }
+    out->emplace_back(std::move(set),
+                      static_cast<Support>(support.number_value()));
+  }
+  return Status::OK();
+}
+
+// Checks the "ok" envelope of a peer response; {"ok":false,...} becomes
+// the carried status.
+Status CheckOkEnvelope(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("peer response is not a JSON object");
+  }
+  const JsonValue& ok = doc["ok"];
+  if (!ok.is_bool()) {
+    return Status::InvalidArgument("peer response: missing 'ok'");
+  }
+  if (ok.bool_value()) return Status::OK();
+  const JsonValue& error = doc["error"];
+  std::string code = "INTERNAL";
+  std::string message = "peer reported an error without detail";
+  if (error.is_object()) {
+    if (error["code"].is_string()) code = error["code"].string_value();
+    if (error["message"].is_string()) {
+      message = error["message"].string_value();
+    }
+  }
+  return Status(ParseStatusCode(code), message);
+}
+
+// Fills a MineResponse from a v2 query response document (the envelope
+// must already be ok).
+Status ParseQueryResponseDoc(const JsonValue& doc, MineResponse* out) {
+  const JsonValue& task = doc["task"];
+  if (task.is_string()) {
+    FPM_ASSIGN_OR_RETURN(out->task, ParseTask(task.string_value()));
+  }
+  const JsonValue& num = doc["num_results"];
+  const JsonValue& num_v1 = doc["num_frequent"];
+  if (num.is_number()) {
+    out->num_frequent = static_cast<uint64_t>(num.number_value());
+  } else if (num_v1.is_number()) {
+    out->num_frequent = static_cast<uint64_t>(num_v1.number_value());
+  }
+  const JsonValue& cache = doc["cache"];
+  if (cache.is_string()) {
+    FPM_ASSIGN_OR_RETURN(out->cache, ParseCacheOutcome(cache.string_value()));
+  }
+  if (doc["digest"].is_string()) {
+    out->dataset_digest = doc["digest"].string_value();
+  }
+  if (doc["queue_ms"].is_number()) {
+    out->queue_seconds = doc["queue_ms"].number_value() / 1000.0;
+  }
+  if (doc["mine_ms"].is_number()) {
+    out->mine_seconds = doc["mine_ms"].number_value() / 1000.0;
+  }
+  if (doc["query_id"].is_number()) {
+    out->query_id = static_cast<uint64_t>(doc["query_id"].number_value());
+  }
+  if (doc["trace_id"].is_string()) {
+    out->trace_id = doc["trace_id"].string_value();
+  }
+  if (doc["peer"].is_string()) {
+    out->served_by = doc["peer"].string_value();
+  }
+  if (doc["shards"].is_number()) {
+    out->shard_count = static_cast<uint32_t>(doc["shards"].number_value());
+  }
+  const JsonValue& itemsets = doc["itemsets"];
+  if (!itemsets.is_null()) {
+    FPM_RETURN_IF_ERROR(
+        DecodeItemsetEntries(itemsets, "itemsets", &out->itemsets));
+  }
+  const JsonValue& rules = doc["rules"];
+  if (!rules.is_null()) {
+    if (!rules.is_array()) {
+      return Status::InvalidArgument("peer response: 'rules' is not an array");
+    }
+    out->rules.reserve(rules.array_items().size());
+    for (const JsonValue& row : rules.array_items()) {
+      const JsonValue& antecedent = row["antecedent"];
+      const JsonValue& consequent = row["consequent"];
+      const JsonValue& support = row["support"];
+      const JsonValue& confidence = row["confidence"];
+      const JsonValue& lift = row["lift"];
+      if (!row.is_object() || !antecedent.is_array() ||
+          !consequent.is_array() || !support.is_number() ||
+          !confidence.is_number() || !lift.is_number()) {
+        return Status::InvalidArgument(
+            "peer response: malformed 'rules' entry");
+      }
+      AssociationRule rule;
+      for (const JsonValue& item : antecedent.array_items()) {
+        if (!item.is_number()) {
+          return Status::InvalidArgument(
+              "peer response: non-numeric item in 'rules'");
+        }
+        rule.antecedent.push_back(static_cast<Item>(item.number_value()));
+      }
+      for (const JsonValue& item : consequent.array_items()) {
+        if (!item.is_number()) {
+          return Status::InvalidArgument(
+              "peer response: non-numeric item in 'rules'");
+        }
+        rule.consequent.push_back(static_cast<Item>(item.number_value()));
+      }
+      rule.itemset_support = static_cast<Support>(support.number_value());
+      rule.confidence = confidence.number_value();
+      rule.lift = lift.number_value();
+      out->rules.push_back(std::move(rule));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeCacheProbeRequest(const std::string& digest,
+                                    const MineRequest& request) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("op", JsonValue::Str("cache_probe"));
+  doc.Set("digest", JsonValue::Str(digest));
+  EncodeMineBodyFields(request, /*with_dataset=*/false, &doc);
+  return doc.Dump();
+}
+
+std::string EncodeShardQueryRequest(const MineRequest& request,
+                                    ClusterOpRequest::ShardMode mode,
+                                    uint32_t partition_index,
+                                    uint32_t partition_count,
+                                    const std::vector<Itemset>& candidates) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("op", JsonValue::Str("shard_query"));
+  switch (mode) {
+    case ClusterOpRequest::ShardMode::kExecute:
+      doc.Set("mode", JsonValue::Str("execute"));
+      break;
+    case ClusterOpRequest::ShardMode::kMine:
+      doc.Set("mode", JsonValue::Str("mine"));
+      break;
+    case ClusterOpRequest::ShardMode::kCount:
+      doc.Set("mode", JsonValue::Str("count"));
+      break;
+  }
+  EncodeMineBodyFields(request, /*with_dataset=*/true, &doc);
+  if (mode != ClusterOpRequest::ShardMode::kExecute) {
+    JsonValue partition = JsonValue::Object();
+    partition.Set("index",
+                  JsonValue::Int(static_cast<int64_t>(partition_index)));
+    partition.Set("count",
+                  JsonValue::Int(static_cast<int64_t>(partition_count)));
+    doc.Set("partition", std::move(partition));
+  }
+  if (mode == ClusterOpRequest::ShardMode::kCount) {
+    JsonValue array = JsonValue::Array();
+    for (const Itemset& set : candidates) {
+      array.Append(EncodeItemArray(set));
+    }
+    doc.Set("candidates", std::move(array));
+  }
+  return doc.Dump();
+}
+
+std::string EncodeCacheProbeResponse(bool hit, const MineResponse& response) {
+  if (!hit) {
+    JsonValue doc = JsonValue::Object();
+    doc.Set("ok", JsonValue::Bool(true));
+    doc.Set("hit", JsonValue::Bool(false));
+    return doc.Dump();
+  }
+  JsonValue doc = BuildQueryResponse(response);
+  doc.Set("hit", JsonValue::Bool(true));
+  return doc.Dump();
+}
+
+std::string EncodeShardMineResponse(
+    const std::vector<CollectingSink::Entry>& entries) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ok", JsonValue::Bool(true));
+  doc.Set("phase", JsonValue::Str("mine"));
+  doc.Set("candidates", EncodeItemsets(entries));
+  return doc.Dump();
+}
+
+std::string EncodeShardCountResponse(const std::vector<Support>& counts) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ok", JsonValue::Bool(true));
+  doc.Set("phase", JsonValue::Str("count"));
+  JsonValue array = JsonValue::Array();
+  for (Support count : counts) {
+    array.Append(JsonValue::Int(static_cast<int64_t>(count)));
+  }
+  doc.Set("counts", std::move(array));
+  return doc.Dump();
+}
+
+Result<MineResponse> DecodeQueryResponse(const std::string& line) {
+  FPM_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
+  FPM_RETURN_IF_ERROR(CheckOkEnvelope(doc));
+  MineResponse response;
+  FPM_RETURN_IF_ERROR(ParseQueryResponseDoc(doc, &response));
+  return response;
+}
+
+Result<CacheProbeReply> DecodeCacheProbeResponse(const std::string& line) {
+  FPM_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
+  FPM_RETURN_IF_ERROR(CheckOkEnvelope(doc));
+  const JsonValue& hit = doc["hit"];
+  if (!hit.is_bool()) {
+    return Status::InvalidArgument("peer response: missing 'hit'");
+  }
+  CacheProbeReply reply;
+  reply.hit = hit.bool_value();
+  if (reply.hit) {
+    FPM_RETURN_IF_ERROR(ParseQueryResponseDoc(doc, &reply.response));
+  }
+  return reply;
+}
+
+Result<std::vector<CollectingSink::Entry>> DecodeShardMineResponse(
+    const std::string& line) {
+  FPM_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
+  FPM_RETURN_IF_ERROR(CheckOkEnvelope(doc));
+  std::vector<CollectingSink::Entry> entries;
+  FPM_RETURN_IF_ERROR(
+      DecodeItemsetEntries(doc["candidates"], "candidates", &entries));
+  return entries;
+}
+
+Result<std::vector<Support>> DecodeShardCountResponse(
+    const std::string& line) {
+  FPM_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
+  FPM_RETURN_IF_ERROR(CheckOkEnvelope(doc));
+  const JsonValue& counts = doc["counts"];
+  if (!counts.is_array()) {
+    return Status::InvalidArgument("peer response: 'counts' is not an array");
+  }
+  std::vector<Support> out;
+  out.reserve(counts.array_items().size());
+  for (const JsonValue& count : counts.array_items()) {
+    if (!count.is_number() || count.number_value() < 0.0) {
+      return Status::InvalidArgument(
+          "peer response: 'counts' entries must be numbers >= 0");
+    }
+    out.push_back(static_cast<Support>(count.number_value()));
+  }
+  return out;
 }
 
 }  // namespace fpm

@@ -61,6 +61,35 @@
 //       proceeds (per-query error isolation). Exactly one line per
 //       query, in completion order; the client counts lines.
 //
+// Cluster ops (fpmd --cluster; see DESIGN.md §19):
+//   {"op":"query",...,"scatter":true}       opts the query into the
+//       partitioned (SON) fan-out across replica owners instead of
+//       route-to-owner; results come back canonically sorted. Ignored
+//       by a non-clustered daemon.
+//   {"op":"cluster_info","dataset":"<path>"} ("dataset" optional) ->
+//       {"ok":true,"cluster":{"enabled":true,"self":...,"replicas":N,
+//       "virtual_nodes":N,"peers":[{"endpoint":...,"healthy":...,
+//       "self":...,"failures":N,"rtt_last_ms":X,"rtt_p50_ms":X,
+//       "rtt_p99_ms":X,"datasets_owned":N},...],"counters":{...},
+//       "placement":{"digest":...,"owners":[...]}}}; placement present
+//       only when "dataset" was given. A non-clustered daemon answers
+//       {"cluster":{"enabled":false},"ok":true}.
+//   {"op":"cache_probe","digest":"...",<query fields minus dataset>}
+//       asks whether this node's ResultCache can answer the query for
+//       the given content digest without mining. Reply: miss ->
+//       {"hit":false,"ok":true}; hit -> the full query response plus
+//       "hit":true (query_id is 0 — probes are not scheduled queries).
+//   {"op":"shard_query","mode":"execute|mine|count",<query fields>,
+//    "partition":{"index":I,"count":K},      (mine/count)
+//    "candidates":[[...],...]}               (count)
+//       peer-to-peer sub-query op. "execute" runs the whole query
+//       locally at boosted priority (route-to-owner forward); "mine"
+//       runs SON phase 1 on partition I of K and replies
+//       {"ok":true,"phase":"mine","candidates":[{"items":[...],
+//       "support":N},...]}; "count" counts the candidate list over the
+//       partition and replies {"counts":[...],"ok":true,
+//       "phase":"count"}.
+//
 // v1 compatibility: {"op":"mine",...} (every field of "query" except
 // the task family) still decodes, runs as task "frequent", and its
 // response is byte-identical to protocol v1 — same keys, no "task".
@@ -115,6 +144,24 @@ struct DatasetOpRequest {
   WindowPolicy window;                  ///< window
 };
 
+/// The decoded payload of a cluster op (cluster_info/cache_probe/
+/// shard_query). The query body itself rides in ServiceRequest::mine.
+struct ClusterOpRequest {
+  /// What a shard_query asks the peer to run.
+  enum class ShardMode {
+    kExecute,  ///< whole query, locally, at boosted priority
+    kMine,     ///< SON phase 1 over one partition
+    kCount,    ///< SON phase 2: count candidates over one partition
+  };
+
+  std::string path;                ///< cluster_info placement lookup
+  std::string digest;              ///< cache_probe content digest
+  ShardMode shard_mode = ShardMode::kExecute;
+  uint32_t partition_index = 0;    ///< shard_query mine/count
+  uint32_t partition_count = 1;    ///< shard_query mine/count
+  std::vector<Itemset> candidates; ///< shard_query count
+};
+
 /// A decoded protocol request.
 struct ServiceRequest {
   enum class Op {
@@ -131,6 +178,9 @@ struct ServiceRequest {
     kExpire,
     kWindow,
     kDatasetInfo,
+    kClusterInfo,
+    kCacheProbe,
+    kShardQuery,
   };
 
   /// One entry of a batch. Entries that fail to decode carry the error
@@ -145,9 +195,17 @@ struct ServiceRequest {
   /// 1 for the "mine" compat shim, 2 for "query"/"batch" — selects the
   /// response encoding.
   int version = 1;
-  MineRequest mine;               ///< populated for kMine and kQuery
+  MineRequest mine;               ///< kMine, kQuery, kCacheProbe, kShardQuery
   std::vector<BatchEntry> batch;  ///< populated for kBatch
   DatasetOpRequest dataset_op;    ///< populated for the dataset ops
+  ClusterOpRequest cluster;       ///< populated for the cluster ops
+};
+
+/// A decoded cache_probe reply: `hit` says whether `response` is
+/// populated (task/cache/itemsets/rules of the remote cache's answer).
+struct CacheProbeReply {
+  bool hit = false;
+  MineResponse response;
 };
 
 /// Decodes one request line. InvalidArgument on malformed JSON, unknown
@@ -182,6 +240,57 @@ std::string EncodeDatasetInfoResponse(const DatasetInfo& info);
 /// rows), cache, scheduler (with in-flight jobs), the 1s/10s/60s
 /// latency windows and the watchdog counters.
 std::string EncodeStatsResponse(const ServiceStats& stats);
+
+/// Stats response with an optional "cluster" section (the coordinator's
+/// InfoJson); `cluster` may be nullptr for the non-clustered encoding.
+std::string EncodeStatsResponse(const ServiceStats& stats,
+                                const JsonValue* cluster);
+
+// --- Cluster wire helpers (coordinator <-> peer) -------------------
+
+/// Encodes a cache_probe request line for a peer: the query body of
+/// `request` (task family, algorithm, patterns, ...) addressed by
+/// content digest instead of a dataset path — the peer consults its
+/// ResultCache without loading anything.
+std::string EncodeCacheProbeRequest(const std::string& digest,
+                                    const MineRequest& request);
+
+/// Encodes a shard_query request line. `mode` "execute" forwards the
+/// whole query; "mine"/"count" carry partition {index, count} and —
+/// for count — the candidate itemsets.
+std::string EncodeShardQueryRequest(const MineRequest& request,
+                                    ClusterOpRequest::ShardMode mode,
+                                    uint32_t partition_index,
+                                    uint32_t partition_count,
+                                    const std::vector<Itemset>& candidates);
+
+/// Encodes a cache_probe reply: {"hit":false,"ok":true} on miss, the
+/// full query response plus "hit":true on hit.
+std::string EncodeCacheProbeResponse(bool hit, const MineResponse& response);
+
+/// Encodes a shard_query mode "mine" reply (the shard's local frequent
+/// itemsets, i.e. its candidate contributions).
+std::string EncodeShardMineResponse(
+    const std::vector<CollectingSink::Entry>& entries);
+
+/// Encodes a shard_query mode "count" reply (per-candidate supports in
+/// request candidate order).
+std::string EncodeShardCountResponse(const std::vector<Support>& counts);
+
+/// Decodes a peer's v2 query (or shard_query "execute") response line
+/// back into a MineResponse. An {"ok":false,...} envelope becomes the
+/// carried status (code parsed from the error's "code").
+Result<MineResponse> DecodeQueryResponse(const std::string& line);
+
+/// Decodes a peer's cache_probe reply.
+Result<CacheProbeReply> DecodeCacheProbeResponse(const std::string& line);
+
+/// Decodes a peer's shard_query "mine" reply.
+Result<std::vector<CollectingSink::Entry>> DecodeShardMineResponse(
+    const std::string& line);
+
+/// Decodes a peer's shard_query "count" reply.
+Result<std::vector<Support>> DecodeShardCountResponse(const std::string& line);
 
 /// Encodes the "metrics_text" response: the Prometheus exposition text
 /// as a JSON string field ({"ok":true,"text":"..."}).

@@ -26,6 +26,15 @@ const char* CacheOutcomeName(CacheOutcome outcome) {
   return "unknown";
 }
 
+Result<CacheOutcome> ParseCacheOutcome(const std::string& name) {
+  if (name == "miss") return CacheOutcome::kMiss;
+  if (name == "hit") return CacheOutcome::kExact;
+  if (name == "dominated") return CacheOutcome::kDominated;
+  if (name == "cross_task") return CacheOutcome::kCrossTask;
+  if (name == "reseeded") return CacheOutcome::kReseeded;
+  return Status::InvalidArgument("unknown cache outcome '" + name + "'");
+}
+
 bool MineJob::done() const {
   std::lock_guard<std::mutex> lock(mu_);
   return done_;

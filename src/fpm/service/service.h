@@ -80,6 +80,12 @@ struct MineRequest {
   /// When true the response carries counts only, no itemsets/rules —
   /// cheaper to transport; the result is still cached in full.
   bool count_only = false;
+  /// Cluster-mode opt-in (v2 "query" only): fan the mine out across the
+  /// dataset's replica owners with the partitioned (SON) merge instead
+  /// of routing to one owner. Results come back in canonical sorted
+  /// order (a documented deviation from kernel emission order — see
+  /// fpm/cluster/shard_exec.h). Ignored by a non-clustered daemon.
+  bool scatter = false;
   /// Request-scoped observability. `query_id` 0 (the norm) lets Submit
   /// assign the next monotonic id; the daemon pre-allocates via
   /// AllocateQueryId() so even rejected requests are logged under a
@@ -102,6 +108,10 @@ enum class CacheOutcome {
 
 const char* CacheOutcomeName(CacheOutcome outcome);
 
+/// Inverse of CacheOutcomeName — what the cluster coordinator uses to
+/// interpret a peer's response. InvalidArgument on unknown names.
+Result<CacheOutcome> ParseCacheOutcome(const std::string& name);
+
 struct MineResponse {
   MiningTask task = MiningTask::kFrequent;
   /// Number of result entries: itemsets for the itemset tasks, rules
@@ -122,6 +132,12 @@ struct MineResponse {
   uint64_t peak_bytes = 0;      ///< kernel peak structure bytes (miss only)
   uint64_t query_id = 0;        ///< the request's service-assigned id
   std::string trace_id;         ///< echoed client passthrough
+  /// Cluster mode: the peer endpoint(s) that produced the result —
+  /// empty when served locally. Encoded as "peer" in v2 responses.
+  std::string served_by;
+  /// Cluster scatter: number of shard owners that participated (0 for
+  /// every non-scatter response). Encoded as "shards" when nonzero.
+  uint32_t shard_count = 0;
 };
 
 /// Handle to a submitted job. Thread-safe; holding it keeps the result
@@ -249,6 +265,11 @@ class MiningService {
   /// expire / window / dataset_info) the daemon forwards.
   DatasetRegistry& registry() { return registry_; }
   const ResultCache& cache() const { return cache_; }
+  /// Mutable cache access for the cluster "cache_probe" op: a remote
+  /// coordinator's lookup walks the same dominance/cross-task
+  /// derivation matrix a local query would (Lookup mutates LRU state
+  /// and memoizes derivations, hence non-const).
+  ResultCache& cache() { return cache_; }
   const JobScheduler& scheduler() const { return scheduler_; }
   const StuckJobWatchdog& watchdog() const { return watchdog_; }
   StuckJobWatchdog& watchdog() { return watchdog_; }

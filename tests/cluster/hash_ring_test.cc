@@ -1,0 +1,184 @@
+// ConsistentHashRing placement properties — the contract the cluster's
+// correctness and stability rest on (see fpm/cluster/hash_ring.h):
+// determinism across instances and insertion orders, balance within the
+// documented bound at the default virtual-node count, and minimal key
+// movement when nodes join or leave.
+
+#include "fpm/cluster/hash_ring.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fpm {
+namespace {
+
+std::vector<std::string> SixNodes() {
+  return {"10.0.0.1:7100", "10.0.0.2:7100", "10.0.0.3:7100",
+          "10.0.0.4:7100", "10.0.0.5:7100", "10.0.0.6:7100"};
+}
+
+std::vector<std::string> ManyKeys(size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Shaped like the FNV content digests the coordinator places.
+    keys.push_back("digest-" + std::to_string(i * 2654435761u));
+  }
+  return keys;
+}
+
+TEST(HashRingTest, EmptyRingHasNoOwners) {
+  ConsistentHashRing ring;
+  EXPECT_TRUE(ring.Owners("anything", 2).empty());
+  EXPECT_EQ(ring.PrimaryOwner("anything"), "");
+  EXPECT_FALSE(ring.HasNode("a:1"));
+}
+
+TEST(HashRingTest, SingleNodeOwnsEverything) {
+  ConsistentHashRing ring({"solo:7100"});
+  for (const std::string& key : ManyKeys(50)) {
+    EXPECT_EQ(ring.PrimaryOwner(key), "solo:7100");
+    EXPECT_EQ(ring.Owners(key, 3),
+              std::vector<std::string>({"solo:7100"}));
+  }
+}
+
+TEST(HashRingTest, OwnersAreDistinctAndCapped) {
+  ConsistentHashRing ring(SixNodes());
+  for (const std::string& key : ManyKeys(200)) {
+    const std::vector<std::string> owners = ring.Owners(key, 3);
+    ASSERT_EQ(owners.size(), 3u) << key;
+    const std::set<std::string> unique(owners.begin(), owners.end());
+    EXPECT_EQ(unique.size(), owners.size()) << key << ": duplicate owner";
+    EXPECT_EQ(owners.front(), ring.PrimaryOwner(key));
+  }
+  // Asking for more replicas than nodes returns every node once.
+  const std::vector<std::string> all = ring.Owners("k", 99);
+  EXPECT_EQ(all.size(), SixNodes().size());
+}
+
+TEST(HashRingTest, PlacementIsDeterministicAcrossInstancesAndOrder) {
+  // Every fpmd builds its ring from its own --cluster flag; a shuffled
+  // flag or a restart must not change placement.
+  std::vector<std::string> shuffled = SixNodes();
+  std::reverse(shuffled.begin(), shuffled.end());
+  ConsistentHashRing a(SixNodes());
+  ConsistentHashRing b(shuffled);
+  ConsistentHashRing c;  // incremental joins, another order
+  c.AddNode("10.0.0.4:7100");
+  c.AddNode("10.0.0.1:7100");
+  c.AddNode("10.0.0.6:7100");
+  c.AddNode("10.0.0.2:7100");
+  c.AddNode("10.0.0.5:7100");
+  c.AddNode("10.0.0.3:7100");
+  for (const std::string& key : ManyKeys(500)) {
+    const std::vector<std::string> owners = a.Owners(key, 2);
+    EXPECT_EQ(owners, b.Owners(key, 2)) << key;
+    EXPECT_EQ(owners, c.Owners(key, 2)) << key;
+  }
+}
+
+TEST(HashRingTest, DuplicateNodesCollapse) {
+  std::vector<std::string> doubled = SixNodes();
+  const std::vector<std::string> nodes = SixNodes();
+  doubled.insert(doubled.end(), nodes.begin(), nodes.end());
+  ConsistentHashRing a(SixNodes());
+  ConsistentHashRing b(doubled);
+  EXPECT_EQ(a.nodes(), b.nodes());
+  for (const std::string& key : ManyKeys(100)) {
+    EXPECT_EQ(a.Owners(key, 2), b.Owners(key, 2)) << key;
+  }
+}
+
+TEST(HashRingTest, BalanceBound) {
+  // The DESIGN/ROADMAP partition-balance target: at 64 virtual nodes
+  // the most-loaded node carries at most ~1.25x the mean.
+  ConsistentHashRing ring(SixNodes(),
+                          ConsistentHashRing::kDefaultVirtualNodes);
+  std::map<std::string, size_t> load;
+  const std::vector<std::string> keys = ManyKeys(10000);
+  for (const std::string& key : keys) ++load[ring.PrimaryOwner(key)];
+  const double mean =
+      static_cast<double>(keys.size()) / static_cast<double>(SixNodes().size());
+  size_t max_load = 0;
+  for (const auto& [node, count] : load) {
+    max_load = std::max(max_load, count);
+  }
+  EXPECT_LE(static_cast<double>(max_load) / mean, 1.25)
+      << "max " << max_load << " vs mean " << mean;
+  // Every node should own something at this key count.
+  EXPECT_EQ(load.size(), SixNodes().size());
+}
+
+TEST(HashRingTest, RemoveMovesOnlyTheLeaversKeys) {
+  ConsistentHashRing ring(SixNodes());
+  const std::vector<std::string> keys = ManyKeys(5000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.PrimaryOwner(key);
+
+  const std::string leaver = "10.0.0.3:7100";
+  ring.RemoveNode(leaver);
+  EXPECT_FALSE(ring.HasNode(leaver));
+  size_t moved = 0;
+  for (const std::string& key : keys) {
+    const std::string now = ring.PrimaryOwner(key);
+    if (before[key] == leaver) {
+      EXPECT_NE(now, leaver);
+      ++moved;
+    } else {
+      // Keys the leaver did not own must not move at all.
+      EXPECT_EQ(now, before[key]) << key;
+    }
+  }
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(HashRingTest, JoinStealsOnlyForTheJoiner) {
+  ConsistentHashRing ring(SixNodes());
+  const std::vector<std::string> keys = ManyKeys(5000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.PrimaryOwner(key);
+
+  const std::string joiner = "10.0.0.7:7100";
+  ring.AddNode(joiner);
+  size_t stolen = 0;
+  for (const std::string& key : keys) {
+    const std::string now = ring.PrimaryOwner(key);
+    if (now != before[key]) {
+      // Any key that moved must have moved *to* the joiner.
+      EXPECT_EQ(now, joiner) << key;
+      ++stolen;
+    }
+  }
+  // The joiner takes roughly 1/7th; it must take something and far
+  // less than half.
+  EXPECT_GT(stolen, 0u);
+  EXPECT_LT(stolen, keys.size() / 2);
+}
+
+TEST(HashRingTest, AddRemoveRoundTripRestoresPlacement) {
+  ConsistentHashRing ring(SixNodes());
+  const std::vector<std::string> keys = ManyKeys(1000);
+  std::map<std::string, std::vector<std::string>> before;
+  for (const std::string& key : keys) before[key] = ring.Owners(key, 2);
+  ring.AddNode("transient:7100");
+  ring.RemoveNode("transient:7100");
+  for (const std::string& key : keys) {
+    EXPECT_EQ(ring.Owners(key, 2), before[key]) << key;
+  }
+}
+
+TEST(HashRingTest, HashKeyIsFnv1a64) {
+  // Pin the hash so a refactor cannot silently reshuffle every
+  // cluster's placement: FNV-1a 64 of "a" is the published constant.
+  EXPECT_EQ(ConsistentHashRing::HashKey(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(ConsistentHashRing::HashKey("a"), 0xaf63dc4c8601ec8cull);
+}
+
+}  // namespace
+}  // namespace fpm

@@ -389,5 +389,251 @@ TEST(EncodeTest, MetricsTextResponseWrapsTheExposition) {
             "# TYPE fpm_x counter\nfpm_x 1\n");
 }
 
+TEST(DecodeRequestTest, DecodesClusterInfoOp) {
+  auto bare = DecodeRequest("{\"op\":\"cluster_info\"}");
+  ASSERT_TRUE(bare.ok()) << bare.status();
+  EXPECT_EQ(bare->op, ServiceRequest::Op::kClusterInfo);
+  EXPECT_EQ(bare->version, 2);
+  EXPECT_TRUE(bare->cluster.path.empty());
+
+  auto with_dataset = DecodeRequest(
+      "{\"op\":\"cluster_info\",\"dataset\":\"/tmp/x.dat\"}");
+  ASSERT_TRUE(with_dataset.ok()) << with_dataset.status();
+  EXPECT_EQ(with_dataset->cluster.path, "/tmp/x.dat");
+
+  EXPECT_EQ(DecodeRequest("{\"op\":\"cluster_info\",\"dataset\":7}")
+                .status()
+                .message(),
+            "op 'cluster_info': field 'dataset': not a non-empty string");
+}
+
+TEST(DecodeRequestTest, DecodesCacheProbeOp) {
+  auto probe = DecodeRequest(
+      "{\"op\":\"cache_probe\",\"digest\":\"abcdef0123456789\","
+      "\"min_support\":4,\"task\":\"closed\",\"count_only\":true}");
+  ASSERT_TRUE(probe.ok()) << probe.status();
+  EXPECT_EQ(probe->op, ServiceRequest::Op::kCacheProbe);
+  EXPECT_EQ(probe->cluster.digest, "abcdef0123456789");
+  EXPECT_EQ(probe->mine.query.min_support, 4u);
+  EXPECT_EQ(probe->mine.query.task, MiningTask::kClosed);
+  EXPECT_TRUE(probe->mine.count_only);
+  // The probe body carries no dataset — the digest IS the address.
+  EXPECT_TRUE(probe->mine.dataset_path.empty());
+
+  EXPECT_EQ(DecodeRequest("{\"op\":\"cache_probe\",\"min_support\":2}")
+                .status()
+                .message(),
+            "op 'cache_probe': field 'digest': missing or not a string");
+}
+
+TEST(DecodeRequestTest, DecodesShardQueryModes) {
+  auto execute = DecodeRequest(
+      "{\"op\":\"shard_query\",\"mode\":\"execute\","
+      "\"dataset\":\"/tmp/x.dat\",\"min_support\":3}");
+  ASSERT_TRUE(execute.ok()) << execute.status();
+  EXPECT_EQ(execute->op, ServiceRequest::Op::kShardQuery);
+  EXPECT_EQ(execute->cluster.shard_mode,
+            ClusterOpRequest::ShardMode::kExecute);
+
+  auto mine = DecodeRequest(
+      "{\"op\":\"shard_query\",\"mode\":\"mine\","
+      "\"dataset\":\"/tmp/x.dat\",\"min_support\":3,"
+      "\"partition\":{\"index\":1,\"count\":4}}");
+  ASSERT_TRUE(mine.ok()) << mine.status();
+  EXPECT_EQ(mine->cluster.shard_mode, ClusterOpRequest::ShardMode::kMine);
+  EXPECT_EQ(mine->cluster.partition_index, 1u);
+  EXPECT_EQ(mine->cluster.partition_count, 4u);
+
+  auto count = DecodeRequest(
+      "{\"op\":\"shard_query\",\"mode\":\"count\","
+      "\"dataset\":\"/tmp/x.dat\",\"min_support\":3,"
+      "\"partition\":{\"index\":0,\"count\":2},"
+      "\"candidates\":[[1,2],[7]]}");
+  ASSERT_TRUE(count.ok()) << count.status();
+  ASSERT_EQ(count->cluster.candidates.size(), 2u);
+  EXPECT_EQ(count->cluster.candidates[0], (Itemset{1, 2}));
+  EXPECT_EQ(count->cluster.candidates[1], (Itemset{7}));
+}
+
+TEST(DecodeRequestTest, ShardQueryErrorsNameTheField) {
+  EXPECT_EQ(DecodeRequest("{\"op\":\"shard_query\",\"mode\":\"explode\","
+                          "\"dataset\":\"d\",\"min_support\":1}")
+                .status()
+                .message(),
+            "op 'shard_query': field 'mode': expected 'execute', 'mine' or "
+            "'count'");
+  EXPECT_EQ(DecodeRequest("{\"op\":\"shard_query\",\"mode\":\"mine\","
+                          "\"dataset\":\"d\",\"min_support\":1}")
+                .status()
+                .message(),
+            "op 'shard_query': field 'partition': missing or not an object");
+  EXPECT_EQ(DecodeRequest("{\"op\":\"shard_query\",\"mode\":\"mine\","
+                          "\"dataset\":\"d\",\"min_support\":1,"
+                          "\"partition\":{\"index\":2,\"count\":2}}")
+                .status()
+                .message(),
+            "op 'shard_query': field 'partition.index': must be < "
+            "partition.count");
+  EXPECT_EQ(DecodeRequest("{\"op\":\"shard_query\",\"mode\":\"count\","
+                          "\"dataset\":\"d\",\"min_support\":1,"
+                          "\"partition\":{\"index\":0,\"count\":2}}")
+                .status()
+                .message(),
+            "op 'shard_query': field 'candidates': missing or not an array");
+  EXPECT_EQ(DecodeRequest("{\"op\":\"shard_query\",\"mode\":\"count\","
+                          "\"dataset\":\"d\",\"min_support\":1,"
+                          "\"partition\":{\"index\":0,\"count\":2},"
+                          "\"candidates\":[[]]}")
+                .status()
+                .message(),
+            "op 'shard_query': field 'candidates[0]': not a non-empty array");
+}
+
+TEST(DecodeRequestTest, QueryDecodesScatterFlag) {
+  auto query = DecodeRequest(
+      "{\"op\":\"query\",\"dataset\":\"d.dat\",\"min_support\":2,"
+      "\"scatter\":true}");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_TRUE(query->mine.scatter);
+
+  EXPECT_EQ(DecodeRequest("{\"op\":\"query\",\"dataset\":\"d.dat\","
+                          "\"min_support\":2,\"scatter\":1}")
+                .status()
+                .message(),
+            "op 'query': field 'scatter': not a bool");
+
+  // v1 mine has no scatter.
+  auto mine = DecodeRequest(
+      "{\"op\":\"mine\",\"dataset\":\"d.dat\",\"min_support\":2,"
+      "\"scatter\":true}");
+  ASSERT_TRUE(mine.ok()) << mine.status();
+  EXPECT_FALSE(mine->mine.scatter);
+}
+
+TEST(ClusterWireTest, CacheProbeRequestRoundTrips) {
+  MineRequest request;
+  request.query.min_support = 5;
+  request.query.task = MiningTask::kTopK;
+  request.query.k = 3;
+  request.algorithm = Algorithm::kEclat;
+  request.trace_id = "qid-7@n1:7100";
+  const std::string line =
+      EncodeCacheProbeRequest("abcdef0123456789", request);
+  auto decoded = DecodeRequest(line);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->op, ServiceRequest::Op::kCacheProbe);
+  EXPECT_EQ(decoded->cluster.digest, "abcdef0123456789");
+  EXPECT_EQ(decoded->mine.query.min_support, 5u);
+  EXPECT_EQ(decoded->mine.query.task, MiningTask::kTopK);
+  EXPECT_EQ(decoded->mine.query.k, 3u);
+  EXPECT_EQ(decoded->mine.algorithm, Algorithm::kEclat);
+  EXPECT_EQ(decoded->mine.trace_id, "qid-7@n1:7100");
+}
+
+TEST(ClusterWireTest, CacheProbeResponsesRoundTrip) {
+  auto miss = DecodeCacheProbeResponse(EncodeCacheProbeResponse(false, {}));
+  ASSERT_TRUE(miss.ok()) << miss.status();
+  EXPECT_FALSE(miss->hit);
+
+  MineResponse response;
+  response.task = MiningTask::kFrequent;
+  response.num_frequent = 2;
+  response.itemsets = {{{1, 2}, 4}, {{3}, 6}};
+  response.cache = CacheOutcome::kExact;
+  response.dataset_digest = "abcdef0123456789";
+  auto hit = DecodeCacheProbeResponse(EncodeCacheProbeResponse(true, response));
+  ASSERT_TRUE(hit.ok()) << hit.status();
+  EXPECT_TRUE(hit->hit);
+  EXPECT_EQ(hit->response.num_frequent, 2u);
+  EXPECT_EQ(hit->response.itemsets, response.itemsets);
+  EXPECT_EQ(hit->response.cache, CacheOutcome::kExact);
+  EXPECT_EQ(hit->response.dataset_digest, "abcdef0123456789");
+}
+
+TEST(ClusterWireTest, ShardQueryRequestRoundTrips) {
+  MineRequest request;
+  request.dataset_path = "/data/retail.fpk";
+  request.query.min_support = 9;
+  const std::string line = EncodeShardQueryRequest(
+      request, ClusterOpRequest::ShardMode::kCount, 2, 5, {{4, 1}, {2}});
+  auto decoded = DecodeRequest(line);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->cluster.shard_mode, ClusterOpRequest::ShardMode::kCount);
+  EXPECT_EQ(decoded->cluster.partition_index, 2u);
+  EXPECT_EQ(decoded->cluster.partition_count, 5u);
+  EXPECT_EQ(decoded->mine.dataset_path, "/data/retail.fpk");
+  ASSERT_EQ(decoded->cluster.candidates.size(), 2u);
+  EXPECT_EQ(decoded->cluster.candidates[0], (Itemset{4, 1}));
+}
+
+TEST(ClusterWireTest, ShardPhaseResponsesRoundTrip) {
+  const std::vector<CollectingSink::Entry> entries = {{{1, 2}, 3}, {{5}, 7}};
+  auto mined = DecodeShardMineResponse(EncodeShardMineResponse(entries));
+  ASSERT_TRUE(mined.ok()) << mined.status();
+  EXPECT_EQ(mined.value(), entries);
+
+  const std::vector<Support> counts = {0, 4, 9};
+  auto counted = DecodeShardCountResponse(EncodeShardCountResponse(counts));
+  ASSERT_TRUE(counted.ok()) << counted.status();
+  EXPECT_EQ(counted.value(), counts);
+}
+
+TEST(ClusterWireTest, QueryResponseCarriesPeerAndShards) {
+  MineResponse response;
+  response.num_frequent = 1;
+  response.itemsets = {{{2}, 8}};
+  response.served_by = "n2:7100";
+  response.shard_count = 3;
+  auto decoded = DecodeQueryResponse(EncodeQueryResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->served_by, "n2:7100");
+  EXPECT_EQ(decoded->shard_count, 3u);
+  EXPECT_EQ(decoded->itemsets, response.itemsets);
+
+  // Non-cluster responses carry neither key.
+  MineResponse plain;
+  plain.num_frequent = 0;
+  const std::string line = EncodeQueryResponse(plain);
+  EXPECT_EQ(line.find("\"peer\""), std::string::npos);
+  EXPECT_EQ(line.find("\"shards\""), std::string::npos);
+}
+
+TEST(ClusterWireTest, QueryResponseDecodeSurfacesPeerErrors) {
+  auto decoded = DecodeQueryResponse(EncodeError(Status::NotFound("nope")));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(decoded.status().message(), "nope");
+}
+
+TEST(EncodeTest, StatsResponseEmbedsClusterSection) {
+  ServiceStats stats;
+  stats.uptime_seconds = 1.0;
+  JsonValue cluster = JsonValue::Object();
+  cluster.Set("enabled", JsonValue::Bool(true));
+  cluster.Set("self", JsonValue::Str("n1:7100"));
+  const std::string line = EncodeStatsResponse(stats, &cluster);
+  auto doc = ParseJson(line);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc.value()["cluster"]["enabled"].bool_value());
+  EXPECT_EQ(doc.value()["cluster"]["self"].string_value(), "n1:7100");
+  // The two-arg overload with no cluster matches the plain encoding.
+  EXPECT_EQ(EncodeStatsResponse(stats, nullptr), EncodeStatsResponse(stats));
+}
+
+TEST(EncodeTest, RegistryRowCarriesDigestWhenKnown) {
+  ServiceStats stats;
+  DatasetRegistryStats::Dataset row;
+  row.id = "ds-1";
+  row.path = "/tmp/x.dat";
+  row.storage = "fimi";
+  row.digest = "abcdef0123456789";
+  stats.registry.datasets.push_back(row);
+  auto doc = ParseJson(EncodeStatsResponse(stats));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()["registry"]["datasets"].array_items()[0]["digest"]
+                .string_value(),
+            "abcdef0123456789");
+}
+
 }  // namespace
 }  // namespace fpm

@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of fpmd cluster mode (DESIGN.md §19).
+
+Usage: cluster_smoke.py FPMD_BINARY FPM_CLIENT_BINARY
+
+Starts a 3-node cluster on loopback TCP (plus a plain single-node
+reference daemon) over one shared dataset, then proves the routing
+contract from the outside:
+
+  1. every node answers ping on its Unix socket AND its cluster TCP
+     listener (fpm_client --endpoint HOST:PORT — the shared dialer)
+  2. cluster-info places the dataset on exactly --replicas=2 owners,
+     identically from every node (placement is a pure function of the
+     digest + peer list)
+  3. a query sent to the NON-owner is forwarded: the answer is
+     byte-identical (itemsets, supports, emission order) to the
+     single-node reference, and carries peer=<the serving owner>
+  4. the same query again is served by a remote cache probe: the
+     response says cache=hit, the non-owner's probe_hits counter rises,
+     some owner's probe_hits_served rises, and the owners mined exactly
+     once between them (sum of fpm.service.cache.misses == 1; the
+     non-owner mined nothing)
+  5. --scatter fans the query across both owners (SON two-phase) and
+     the merged result is set-equal to the reference, in canonical
+     order, with shards=2
+  6. fpm_top.py renders the cluster panel against a live node over TCP
+  7. SIGKILL the primary owner: the next query (fresh threshold, so no
+     cache anywhere) still answers correctly via the surviving
+     replica, the non-owner's failovers counter is >= 1, and
+     cluster-info now reports the killed peer unhealthy; dialing the
+     dead node's TCP port fails with the shared dialer's "dial ..."
+     error
+  8. clean shutdown of the survivors
+
+Health pings are configured slow (60 s) on purpose: the smoke proves
+failure discovery through real traffic (probe/forward failures mark
+the peer unhealthy and fail over within one query), not through the
+background pinger the unit tests cover.
+
+Standard library only — runs on any CI python3.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def free_port():
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def run_client(client, endpoint, *args, allow_fail=False):
+    cmd = [client, f"--endpoint={endpoint}", *args]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    if proc.returncode != 0 and not allow_fail:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    if allow_fail:
+        return proc
+    return [json.loads(line) for line in proc.stdout.splitlines() if line]
+
+
+def mined_fields(response):
+    """The parts of a query response that must not depend on which node
+    answered: the task, the count, and the itemset listing in emission
+    order."""
+    return json.dumps({"task": response.get("task"),
+                       "num_frequent": response.get("num_frequent"),
+                       "itemsets": response.get("itemsets")})
+
+
+def itemset_set(response):
+    return {(tuple(e["items"]), e["support"])
+            for e in response.get("itemsets", [])}
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    fpmd, client = argv[1], argv[2]
+
+    tmp = tempfile.mkdtemp(prefix="fpm_cluster_smoke_")
+    dataset = os.path.join(tmp, "cluster.dat")
+    with open(dataset, "w", encoding="utf-8") as f:
+        for row in ["1 2 3", "1 2", "1 3", "2 3", "1 2 3 4", "2 3 4"]:
+            f.write(row + "\n")
+
+    ports = [free_port() for _ in range(3)]
+    peers = [f"127.0.0.1:{p}" for p in ports]
+    cluster_arg = ",".join(peers)
+    sockets = [os.path.join(tmp, f"n{i}.sock") for i in range(3)]
+    ref_socket = os.path.join(tmp, "ref.sock")
+
+    daemons = []
+    try:
+        for i in range(3):
+            daemons.append(subprocess.Popen(
+                [fpmd, f"--socket={sockets[i]}", "--threads=2",
+                 f"--cluster={cluster_arg}", f"--self={peers[i]}",
+                 "--replicas=2", "--ping-interval-s=60"],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True))
+        reference = subprocess.Popen(
+            [fpmd, f"--socket={ref_socket}", "--threads=2"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        daemons.append(reference)
+
+        for path, daemon in zip(sockets + [ref_socket], daemons):
+            for _ in range(200):
+                if os.path.exists(path):
+                    break
+                if daemon.poll() is not None:
+                    fail(f"fpmd exited early:\n{daemon.stderr.read()}")
+                time.sleep(0.05)
+            else:
+                fail(f"fpmd never created {path}")
+
+        # 1. Liveness on both listeners; --endpoint takes either form.
+        for i in range(3):
+            for endpoint in (sockets[i], peers[i]):
+                if run_client(client, endpoint, "ping") != [{"ok": True}]:
+                    fail(f"ping via {endpoint} failed")
+
+        # 2. Identical placement from every node.
+        placements = []
+        for i in range(3):
+            info = run_client(client, sockets[i], "cluster-info",
+                              dataset)[0]["cluster"]
+            if not info.get("enabled"):
+                fail(f"node {i} reports cluster disabled")
+            if len(info.get("peers", [])) != 3:
+                fail(f"node {i} sees {len(info.get('peers', []))} peers")
+            placements.append(info["placement"])
+        if len({json.dumps(p, sort_keys=True) for p in placements}) != 1:
+            fail(f"nodes disagree on placement: {placements}")
+        owners = placements[0]["owners"]
+        if len(owners) != 2 or not set(owners) <= set(peers):
+            fail(f"placement owners = {owners}, want 2 of {peers}")
+        non_owner = next(i for i in range(3) if peers[i] not in owners)
+        by_peer = {peers[i]: i for i in range(3)}
+        print(f"placement: digest {placements[0]['digest']} -> {owners}, "
+              f"non-owner {peers[non_owner]}")
+
+        # 3. Forwarded query == single-node reference, byte for byte.
+        reference_q2 = run_client(client, ref_socket, "query", dataset,
+                                  "2")[0]
+        forwarded = run_client(client, sockets[non_owner], "query", dataset,
+                               "2")[0]
+        if forwarded.get("peer") not in owners:
+            fail(f"forwarded query peer = {forwarded.get('peer')}, "
+                 f"want one of {owners}")
+        if forwarded.get("cache") != "miss":
+            fail(f"first forwarded query cache = {forwarded.get('cache')}, "
+                 "want 'miss'")
+        if mined_fields(forwarded) != mined_fields(reference_q2):
+            fail("forwarded result differs from the single-node reference:"
+                 f"\n  cluster:   {mined_fields(forwarded)}"
+                 f"\n  reference: {mined_fields(reference_q2)}")
+
+        # 4. Repeat: answered by a remote cache probe, nobody re-mines.
+        probed = run_client(client, sockets[non_owner], "query", dataset,
+                            "2")[0]
+        if probed.get("cache") != "hit" or probed.get("peer") not in owners:
+            fail(f"repeat query = cache:{probed.get('cache')} "
+                 f"peer:{probed.get('peer')}, want a remote cache hit")
+        if mined_fields(probed) != mined_fields(reference_q2):
+            fail("probe-served result differs from the reference")
+        info = run_client(client, sockets[non_owner], "cluster-info")[0]
+        counters = info["cluster"]["counters"]
+        if counters.get("probe_hits", 0) < 1:
+            fail(f"non-owner probe_hits = {counters.get('probe_hits')}, "
+                 "want >= 1")
+        served = sum(
+            run_client(client, sockets[by_peer[o]],
+                       "cluster-info")[0]["cluster"]["counters"]
+            .get("probe_hits_served", 0) for o in owners)
+        if served < 1:
+            fail(f"owners' probe_hits_served sum = {served}, want >= 1")
+        # "No second mine": cache probes never submit scheduler jobs,
+        # a mine always does — so across both owners exactly one job
+        # ran for the two queries, and the non-owner ran none (it only
+        # routed). (fpm.service.cache.misses would over-count here:
+        # every probe lookup that finds nothing is a counted miss.)
+        owner_jobs = sum(
+            run_client(client, sockets[by_peer[o]], "stats")[0]
+            .get("scheduler", {}).get("completed", 0) for o in owners)
+        if owner_jobs != 1:
+            fail(f"owners ran {owner_jobs} mining jobs for the repeated "
+                 "query, want exactly 1 (the repeat must come from the "
+                 "cache)")
+        non_owner_jobs = run_client(
+            client, sockets[non_owner], "stats")[0].get(
+            "scheduler", {}).get("completed", 0)
+        if non_owner_jobs != 0:
+            fail(f"non-owner ran {non_owner_jobs} mining jobs, want 0 "
+                 "(it should only route)")
+
+        # 5. Scatter: SON fan-out across both owners, set-equal result.
+        scattered = run_client(client, sockets[non_owner], "query", dataset,
+                               "2", "--scatter")[0]
+        if scattered.get("shards") != 2:
+            fail(f"scatter shards = {scattered.get('shards')}, want 2")
+        if itemset_set(scattered) != itemset_set(reference_q2):
+            fail("scatter result set differs from the reference")
+        if scattered.get("num_frequent") != reference_q2.get("num_frequent"):
+            fail("scatter num_frequent differs from the reference")
+
+        # 6. The dashboard renders the cluster panel over TCP.
+        tools_dir = os.path.dirname(os.path.abspath(__file__))
+        top = subprocess.run(
+            [sys.executable, os.path.join(tools_dir, "fpm_top.py"),
+             f"--endpoint={peers[non_owner]}", "--once"],
+            capture_output=True, text=True, timeout=60)
+        if top.returncode != 0:
+            fail(f"fpm_top.py --once failed ({top.returncode}):\n"
+                 f"{top.stdout}{top.stderr}")
+        for needle in (f"cluster: self={peers[non_owner]}", "routing:",
+                       owners[0]):
+            if needle not in top.stdout:
+                fail(f"fpm_top output missing {needle!r}:\n{top.stdout}")
+
+        # 7. Kill the primary owner; the replica answers, failover is
+        # counted, and the corpse is marked unhealthy.
+        primary = owners[0]
+        survivor = owners[1]
+        daemons[by_peer[primary]].send_signal(signal.SIGKILL)
+        daemons[by_peer[primary]].wait(timeout=30)
+
+        failover_q3 = run_client(client, sockets[non_owner], "query",
+                                 dataset, "3")[0]
+        reference_q3 = run_client(client, ref_socket, "query", dataset,
+                                  "3")[0]
+        if mined_fields(failover_q3) != mined_fields(reference_q3):
+            fail("post-kill result differs from the single-node reference")
+        if failover_q3.get("peer") != survivor:
+            fail(f"post-kill query peer = {failover_q3.get('peer')}, "
+                 f"want the survivor {survivor}")
+        info = run_client(client, sockets[non_owner], "cluster-info")[0]
+        cluster = info["cluster"]
+        if cluster["counters"].get("failovers", 0) < 1:
+            fail(f"failovers = {cluster['counters'].get('failovers')}, "
+                 "want >= 1 after killing the primary owner")
+        dead_rows = [p for p in cluster["peers"] if p["endpoint"] == primary]
+        if len(dead_rows) != 1 or dead_rows[0].get("healthy"):
+            fail(f"killed owner not reported unhealthy: {dead_rows}")
+
+        # The dead node's TCP port refuses with the shared dialer's
+        # error shape (the same message fpm_client unit tests pin).
+        refused = run_client(client, primary, "ping", allow_fail=True)
+        if refused.returncode == 0 or not refused.stderr.startswith(
+                f"dial {primary}: "):
+            fail(f"dial to dead node: rc={refused.returncode}, "
+                 f"stderr={refused.stderr!r}, want a 'dial {primary}: ...' "
+                 "error")
+
+        # 8. Clean shutdown of the survivors.
+        for i in range(3):
+            if i == by_peer[primary]:
+                continue
+            run_client(client, sockets[i], "shutdown")
+        run_client(client, ref_socket, "shutdown")
+        for i, daemon in enumerate(daemons):
+            if daemon.poll() is None and daemon.wait(timeout=30) != 0:
+                fail(f"daemon {i} exited {daemon.returncode} after shutdown")
+    finally:
+        for daemon in daemons:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+    print("cluster smoke: OK (3 nodes, shared placement, forwarded query "
+          "byte-identical, repeat served by remote cache probe with one "
+          "mine total, scatter set-equal, dashboard rendered, failover "
+          "after SIGKILL answered by the replica with failovers >= 1, "
+          "clean shutdown)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

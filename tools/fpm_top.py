@@ -1,13 +1,22 @@
 #!/usr/bin/env python3
 """Live terminal dashboard for a running fpmd daemon.
 
-Usage: fpm_top.py --socket=PATH [--interval=SECONDS] [--once] [--json]
+Usage: fpm_top.py --endpoint=SPEC [--interval=SECONDS] [--once] [--json]
+
+SPEC is a Unix socket path or HOST:PORT (a cluster node's TCP listener;
+the same grammar fpm_client --endpoint accepts). --socket=PATH is kept
+as an alias.
 
 Speaks the daemon's newline-delimited JSON protocol directly: sends
-{"op": "stats"} every refresh and renders the response as a top-style
-dashboard — uptime, latency windows (1s/10s/60s count/qps/p50/p99/max),
-scheduler queue depth and in-flight queries with ages, cache and
-registry counters, per-dataset rows, and the stuck-job watchdog.
+{"op": "stats"} and {"op": "cluster_info"} every refresh and renders
+the responses as a top-style dashboard — uptime, latency windows
+(1s/10s/60s count/qps/p50/p99/max), scheduler queue depth and in-flight
+queries with ages, cache and registry counters, per-dataset rows, the
+stuck-job watchdog, and — on a cluster node — the cluster view: this
+node's identity, per-peer health / RTT percentiles / owned-shard
+counts, and the coordinator's routing counters (probe hits, forwards,
+failovers, local fallbacks). A non-clustered daemon answers
+cluster_info with enabled:false and the panel is simply omitted.
 
   --once      print a single snapshot and exit (CI / smoke tests)
   --json      dump the raw stats JSON instead of the dashboard
@@ -23,12 +32,21 @@ import sys
 import time
 
 
-def fetch_stats(socket_path, timeout=10.0):
-    """One stats round-trip; returns the decoded response object."""
-    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+def connect(endpoint, timeout):
+    """Dials a Unix socket path or a HOST:PORT TCP endpoint."""
+    if "/" in endpoint or ":" not in endpoint:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         sock.settimeout(timeout)
-        sock.connect(socket_path)
-        sock.sendall(b'{"op":"stats"}\n')
+        sock.connect(endpoint)
+        return sock
+    host, port = endpoint.rsplit(":", 1)
+    return socket.create_connection((host, int(port)), timeout=timeout)
+
+
+def fetch(endpoint, op, timeout=10.0):
+    """One request/response round-trip; returns the decoded object."""
+    with connect(endpoint, timeout) as sock:
+        sock.sendall(json.dumps({"op": op}).encode() + b"\n")
         buffer = b""
         while b"\n" not in buffer:
             chunk = sock.recv(65536)
@@ -37,7 +55,7 @@ def fetch_stats(socket_path, timeout=10.0):
             buffer += chunk
     response = json.loads(buffer.split(b"\n", 1)[0])
     if not response.get("ok"):
-        raise ValueError(f"stats request failed: {response}")
+        raise ValueError(f"{op} request failed: {response}")
     return response
 
 
@@ -49,7 +67,39 @@ def format_bytes(n):
     return f"{n:.1f}GiB"
 
 
-def render(stats):
+def render_cluster(cluster):
+    """The cluster panel: identity, per-peer health, routing counters."""
+    lines = []
+    lines.append(f"cluster: self={cluster.get('self', '?')} "
+                 f"replicas={cluster.get('replicas', 0)} "
+                 f"vnodes={cluster.get('virtual_nodes', 0)}")
+    peers = cluster.get("peers", [])
+    if peers:
+        lines.append("  peer                 health  fail  pings"
+                     "   p50ms   p99ms  owned")
+        for p in peers:
+            marker = "*" if p.get("self") else " "
+            health = "up" if p.get("healthy") else "DOWN"
+            lines.append(
+                f" {marker}{p.get('endpoint', '?'):<20} {health:>6} "
+                f"{p.get('failures', 0):>5} {p.get('pings', 0):>6} "
+                f"{p.get('rtt_p50_ms', 0.0):>7.2f} "
+                f"{p.get('rtt_p99_ms', 0.0):>7.2f} "
+                f"{p.get('datasets_owned', 0):>6}")
+    c = cluster.get("counters", {})
+    lines.append(f"  routing: remote={c.get('remote_queries', 0)} "
+                 f"probe_hits={c.get('probe_hits', 0)} "
+                 f"probe_misses={c.get('probe_misses', 0)} "
+                 f"forwards={c.get('forwards', 0)} "
+                 f"failovers={c.get('failovers', 0)} "
+                 f"fallbacks={c.get('local_fallbacks', 0)} "
+                 f"scatter={c.get('scatter_queries', 0)}")
+    lines.append(f"  serving: probe_hits={c.get('probe_hits_served', 0)} "
+                 f"probe_misses={c.get('probe_misses_served', 0)}")
+    return lines
+
+
+def render(stats, cluster=None):
     """Returns the dashboard for one stats snapshot as a string."""
     lines = []
     uptime = stats.get("uptime_seconds", 0.0)
@@ -106,14 +156,19 @@ def render(stats):
                          f"{d.get('live_transactions', 0):>8} "
                          f"{format_bytes(d.get('bytes', 0)):>10}  "
                          f"{d.get('path', '')}")
+    if cluster and cluster.get("enabled"):
+        lines.append("")
+        lines.extend(render_cluster(cluster))
     return "\n".join(lines)
 
 
 def main(argv):
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[0], prog="fpm_top.py")
-    parser.add_argument("--socket", required=True,
-                        help="fpmd Unix socket path")
+    parser.add_argument("--endpoint",
+                        help="fpmd Unix socket path or cluster HOST:PORT")
+    parser.add_argument("--socket", dest="endpoint",
+                        help="alias for --endpoint")
     parser.add_argument("--interval", type=float, default=1.0,
                         help="refresh period in seconds (default 1.0)")
     parser.add_argument("--once", action="store_true",
@@ -121,17 +176,21 @@ def main(argv):
     parser.add_argument("--json", action="store_true",
                         help="dump raw stats JSON instead of the dashboard")
     args = parser.parse_args(argv[1:])
+    if not args.endpoint:
+        parser.error("--endpoint (or --socket) is required")
 
     try:
         while True:
-            stats = fetch_stats(args.socket)
+            stats = fetch(args.endpoint, "stats")
+            cluster = fetch(args.endpoint, "cluster_info").get("cluster")
             if args.json:
                 print(json.dumps(stats, sort_keys=True))
             elif args.once:
-                print(render(stats))
+                print(render(stats, cluster))
             else:
                 # Clear screen + home, like top(1).
-                sys.stdout.write("\x1b[2J\x1b[H" + render(stats) + "\n")
+                sys.stdout.write("\x1b[2J\x1b[H" + render(stats, cluster)
+                                 + "\n")
                 sys.stdout.flush()
             if args.once:
                 return 0

@@ -19,8 +19,17 @@ bench_incremental_ingest) must carry a boolean "rebuild" flag plus
 incremental_ms/rebuild_ms/ratio, with delta_frac in (0, 1].
 Out-of-core rows (any row carrying "storage", as written by
 bench_out_of_core) must tag storage as packed|memory and stage as
-cold|warm, with non-negative load_ms/mine_ms/total_ms. Exits
-nonzero with one line per problem.
+cold|warm, with non-negative load_ms/mine_ms/total_ms. Cluster
+fan-out rows (any row carrying "shards", as written by
+bench_cluster_fanout) must carry the two SON phase timings plus the
+candidate and result counts, with shards >= 1. Exits nonzero with one
+line per problem.
+
+Thread-scaling rows (any row carrying "threads" > 1) measured on a
+host whose recorded host.logical_cpus is 1 cannot show real
+concurrency; the validator prints a WARNING for them (the file still
+validates — the schema is intact, the numbers are just ~1x by
+construction).
 
 Standard library only — runs on any CI python3.
 """
@@ -68,6 +77,11 @@ INGEST_ROW_KEYS = ("incremental_ms", "rebuild_ms", "ratio")
 
 # Timing fields every out-of-core row (tagged by "storage") must carry.
 OUT_OF_CORE_ROW_KEYS = ("load_ms", "mine_ms", "total_ms")
+
+# Fields every cluster fan-out row (tagged by "shards") must carry:
+# the SON phase timings and the candidate/result counts.
+CLUSTER_ROW_KEYS = ("phase1_ms", "count_ms", "total_ms", "candidates",
+                    "num_results")
 
 # Legal values of the out-of-core row tags.
 STORAGE_KINDS = ("packed", "memory")
@@ -140,6 +154,29 @@ def check_out_of_core_row(row, i, err):
             err(f"rows[{i}] {key} {v} < 0")
 
 
+def check_cluster_row(row, i, err):
+    """A row with "shards" is a cluster fan-out measurement: both SON
+    phase timings and the candidate/result counts must be present, and
+    phase 1 cannot yield fewer candidates than survive the filter."""
+    shards = row["shards"]
+    if not isinstance(shards, int) or isinstance(shards, bool):
+        err(f"rows[{i}] 'shards' is not an integer")
+    elif shards < 1:
+        err(f"rows[{i}] shards {shards} < 1")
+    ok = True
+    for key in CLUSTER_ROW_KEYS:
+        v = row.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            err(f"rows[{i}] has 'shards' but '{key}' missing or "
+                "not a number")
+            ok = False
+        elif v < 0:
+            err(f"rows[{i}] {key} {v} < 0")
+    if ok and row["num_results"] > row["candidates"]:
+        err(f"rows[{i}] num_results {row['num_results']} > candidates "
+            f"{row['candidates']} (the SON filter cannot add itemsets)")
+
+
 def check(path):
     errors = []
 
@@ -184,6 +221,21 @@ def check(path):
     elif not pc["available"] and not isinstance(pc.get("reason"), str):
         err("perf_counters unavailable but no 'reason' string")
 
+    # Thread-scaling rows on a 1-logical-CPU host: schema-valid, but
+    # every speedup is ~1x by construction (the caveat EXPERIMENTS.md
+    # attaches to BENCH_parallel_scaling). Warn, don't fail.
+    logical_cpus = doc["host"].get("logical_cpus")
+    if logical_cpus == 1:
+        scaling = sum(1 for row in doc["rows"]
+                      if isinstance(row, dict)
+                      and isinstance(row.get("threads"), int)
+                      and row["threads"] > 1)
+        if scaling:
+            print(f"{path}: WARNING: {scaling} thread-scaling row(s) "
+                  "(threads > 1) recorded on a host with 1 logical CPU — "
+                  "speedups are ~1x by construction, not evidence of "
+                  "scaling", file=sys.stderr)
+
     if not doc["rows"]:
         err("'rows' is empty")
     for i, row in enumerate(doc["rows"]):
@@ -196,6 +248,8 @@ def check(path):
             check_ingest_row(row, i, err)
         if "storage" in row:
             check_out_of_core_row(row, i, err)
+        if "shards" in row:
+            check_cluster_row(row, i, err)
         if "task" in row and row["task"] not in MINING_TASKS:
             err(f"rows[{i}] 'task' {row['task']!r} not one of "
                 f"{'|'.join(MINING_TASKS)}")
